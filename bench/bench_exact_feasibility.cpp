@@ -1,0 +1,103 @@
+// E2 — Theorem 1: the finite simulation game.
+//
+// Measures the exact solver's explored-state count and wall time as the
+// instance grows along two axes the theorem's finiteness argument
+// depends on: the number of constraints (alphabet size) and the maximum
+// deadline (window size). Demonstrates that the game is finite and
+// decidable — and that its state space grows steeply, which motivates
+// the heuristic (Theorem 3) and foreshadows the hardness result (E3).
+#include <chrono>
+#include <cstdio>
+
+#include "core/feasibility.hpp"
+
+using namespace rtg;
+using sim::Time;
+
+namespace {
+
+core::GraphModel instance(std::size_t n_constraints, Time deadline) {
+  core::CommGraph comm;
+  for (std::size_t i = 0; i < n_constraints; ++i) {
+    comm.add_element("e" + std::to_string(i), 1, false);
+  }
+  core::GraphModel model(std::move(comm));
+  for (std::size_t i = 0; i < n_constraints; ++i) {
+    core::TaskGraph tg;
+    tg.add_op(static_cast<core::ElementId>(i));
+    model.add_constraint(core::TimingConstraint{
+        "c" + std::to_string(i), std::move(tg), 1, deadline,
+        core::ConstraintKind::kAsynchronous});
+  }
+  return model;
+}
+
+const char* status_name(core::FeasibilityStatus status) {
+  switch (status) {
+    case core::FeasibilityStatus::kFeasible: return "feasible";
+    case core::FeasibilityStatus::kInfeasible: return "infeasible";
+    case core::FeasibilityStatus::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+void run(std::size_t n, Time d) {
+  const core::GraphModel model = instance(n, d);
+  core::ExactOptions options;
+  options.state_budget = 2'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  const core::ExactResult r = core::exact_feasible(model, options);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  std::printf("%-4zu %-6lld %-12s %-12zu %-10.2f %s\n", n,
+              static_cast<long long>(d), status_name(r.status), r.states_explored, ms,
+              r.status == core::FeasibilityStatus::kFeasible
+                  ? ("len=" + std::to_string(r.schedule->length())).c_str()
+                  : "");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E2: exact feasibility via the simulation game\n");
+  std::printf("(n single-op unit constraints, common deadline d; feasible iff n <= d)\n\n");
+  std::printf("%-4s %-6s %-12s %-12s %-10s %s\n", "n", "d", "status", "states",
+              "time_ms", "schedule");
+
+  // Axis 1: constraints at the feasibility boundary (d = n).
+  for (std::size_t n = 1; n <= 5; ++n) {
+    run(n, static_cast<Time>(n));      // exactly feasible
+  }
+  std::printf("\n");
+  // Axis 2: growing slack for fixed n (window size drives the state
+  // space).
+  for (Time d = 3; d <= 7; ++d) {
+    run(3, d);
+  }
+  std::printf("\n");
+  // Axis 3: infeasible instances (full exploration needed for the
+  // infeasibility proof).
+  for (std::size_t n = 2; n <= 5; ++n) {
+    run(n, static_cast<Time>(n) - 1);  // one slot short
+  }
+
+  // Ablation: DFS branching order. Least-recently-executed-first finds
+  // feasible cycles orders of magnitude faster than static id order on
+  // the same instances (both are complete).
+  std::printf("\nBranch-order ablation (feasible boundary instances):\n");
+  std::printf("%-4s %-6s %-16s %-16s\n", "n", "d", "LRU_states", "static_states");
+  for (std::size_t n = 3; n <= 6; ++n) {
+    const core::GraphModel model = instance(n, static_cast<Time>(n));
+    core::ExactOptions lru;
+    lru.order = core::BranchOrder::kLeastRecentlyExecuted;
+    core::ExactOptions stat;
+    stat.order = core::BranchOrder::kStaticId;
+    stat.state_budget = 500'000;
+    const auto a = core::exact_feasible(model, lru);
+    const auto b = core::exact_feasible(model, stat);
+    std::printf("%-4zu %-6zu %-16zu %-16zu\n", n, n, a.states_explored,
+                b.states_explored);
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// E14 — quality gap: exact (simulation game) vs constructive heuristic.
+//
+// Where both engines succeed, how much shorter/leaner are the optimal
+// game cycles than the Theorem-3 server schedules? Random tiny async
+// models (the regime the exact solver can handle), reporting per
+// instance class: success rates, mean schedule length, and mean busy
+// fraction of each engine, plus the analytic demand-density lower
+// bound for calibration.
+#include <cstdio>
+
+#include "core/bounds.hpp"
+#include "core/feasibility.hpp"
+#include "core/heuristic.hpp"
+#include "core/optimize.hpp"
+#include "sim/rng.hpp"
+
+using namespace rtg;
+using sim::Time;
+
+namespace {
+
+core::GraphModel random_model(std::size_t n_elems, Time min_d, Time max_d,
+                              sim::Rng& rng) {
+  core::CommGraph comm;
+  for (std::size_t i = 0; i < n_elems; ++i) {
+    comm.add_element("e" + std::to_string(i), 1, false);
+  }
+  core::GraphModel model(std::move(comm));
+  const int k = static_cast<int>(rng.uniform(1, static_cast<Time>(n_elems)));
+  for (int c = 0; c < k; ++c) {
+    core::TaskGraph tg;
+    tg.add_op(static_cast<core::ElementId>(
+        rng.uniform(0, static_cast<Time>(n_elems) - 1)));
+    model.add_constraint(core::TimingConstraint{
+        "c" + std::to_string(c), std::move(tg), 1, rng.uniform(min_d, max_d),
+        core::ConstraintKind::kAsynchronous});
+  }
+  return model;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E14: exact simulation game vs Theorem-3 heuristic (unit async\n"
+              "constraints; 40 instances per row)\n\n");
+  std::printf("%-10s %-12s %-12s %-14s %-14s %-14s %-12s\n", "deadlines", "exact_ok%",
+              "heur_ok%", "exact_busy", "exact64_busy", "heur_busy", "density_lb");
+
+  sim::Rng rng(2025);
+  struct Bucket {
+    Time min_d, max_d;
+  };
+  for (const Bucket bucket : {Bucket{2, 4}, Bucket{4, 8}, Bucket{8, 12}}) {
+    int exact_ok = 0, heur_ok = 0, both = 0;
+    double exact_busy = 0.0, exact64_busy = 0.0, heur_busy = 0.0, density = 0.0;
+    const int trials = 40;
+    for (int t = 0; t < trials; ++t) {
+      const core::GraphModel model = random_model(3, bucket.min_d, bucket.max_d, rng);
+      density += core::demand_density(model);
+
+      core::ExactOptions options;
+      options.state_budget = 300'000;
+      const core::ExactResult exact = core::exact_feasible(model, options);
+      const core::HeuristicResult heur = core::latency_schedule(model);
+      if (exact.status == core::FeasibilityStatus::kFeasible) ++exact_ok;
+      if (heur.success) ++heur_ok;
+      if (exact.status == core::FeasibilityStatus::kFeasible && heur.success) {
+        ++both;
+        // The game returns the *first* cycle its DFS closes (it favours
+        // busy slots), and the heuristic over-polls by design. Compact
+        // both (drop executions, keep the cycle length) so the column
+        // compares minimal sustained work rates. exact64 additionally
+        // searches 64 cycle candidates and keeps the leanest.
+        exact_busy += core::compact_schedule(*exact.schedule, model).utilization();
+        core::ExactOptions best_of;
+        best_of.state_budget = 300'000;
+        best_of.cycle_candidates = 64;
+        const core::ExactResult lean = core::exact_feasible(model, best_of);
+        exact64_busy +=
+            core::compact_schedule(*lean.schedule, model).utilization();
+        heur_busy +=
+            core::compact_schedule(*heur.schedule, heur.scheduled_model).utilization();
+      }
+      // Sanity: the heuristic never succeeds where the exact engine
+      // proves infeasibility.
+      if (heur.success && exact.status == core::FeasibilityStatus::kInfeasible) {
+        std::printf("!! soundness violation\n");
+        return 1;
+      }
+    }
+    char range[16];
+    std::snprintf(range, sizeof range, "%lld-%lld",
+                  static_cast<long long>(bucket.min_d),
+                  static_cast<long long>(bucket.max_d));
+    std::printf("%-10s %-12.0f %-12.0f %-14.3f %-14.3f %-14.3f %-12.3f\n", range,
+                100.0 * exact_ok / trials, 100.0 * heur_ok / trials,
+                both ? exact_busy / both : 0.0, both ? exact64_busy / both : 0.0,
+                both ? heur_busy / both : 0.0, density / trials);
+  }
+  std::printf("\nReading: the exact engine is complete (accepts more instances,\n"
+              "especially at tight deadlines where the heuristic's doubled\n"
+              "server rate cannot fit). The first cycle the DFS closes is\n"
+              "short and over-serves loose deadlines (exact_busy); letting\n"
+              "the search collect 64 candidate cycles and keep the leanest\n"
+              "(exact64_busy) recovers schedules at or below the heuristic's\n"
+              "rate, approaching the density lower bound — completeness and\n"
+              "quality, for extra search time.\n");
+  return 0;
+}

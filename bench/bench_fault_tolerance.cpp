@@ -1,0 +1,74 @@
+// E12 — fault-tolerant scheduling: replication cost vs survival.
+//
+// For hardening levels k = 0, 1, 2 over the control-system model:
+// schedule busy fraction (the cost), verified fault-tolerant latency,
+// and measured invocation survival under omission faults at several
+// failure rates. The paper's fault-tolerance discussion is qualitative;
+// this experiment gives it numbers.
+#include <cstdio>
+
+#include "core/fault.hpp"
+#include "core/heuristic.hpp"
+#include "core/model.hpp"
+#include "rt/scheduler.hpp"
+
+using namespace rtg;
+using sim::Time;
+
+int main() {
+  std::printf("E12: k-fault-tolerant schedules — cost and survival\n\n");
+
+  // Asynchronous-only variant of the control system (hardening turns
+  // everything into continuous servers anyway).
+  core::CommGraph comm;
+  const auto fx = comm.add_element("fx", 1);
+  const auto fs = comm.add_element("fs", 2);
+  const auto fk = comm.add_element("fk", 1);
+  comm.add_channel(fx, fs);
+  comm.add_channel(fs, fk);
+  core::GraphModel model(std::move(comm));
+  core::TaskGraph tg;
+  const auto a = tg.add_op(fx);
+  const auto b = tg.add_op(fs);
+  const auto c = tg.add_op(fk);
+  tg.add_dep(a, b);
+  tg.add_dep(b, c);
+  model.add_constraint(core::TimingConstraint{
+      "LOOP", std::move(tg), 10, 36, core::ConstraintKind::kAsynchronous});
+
+  std::printf("%-4s %-8s %-10s %-12s %-12s %-12s\n", "k", "busy%", "ft_latency",
+              "surv@10%", "surv@25%", "surv@40%");
+
+  const auto arrivals = rt::max_rate_arrivals(10, 6000);
+  for (std::size_t k : {0u, 1u, 2u}) {
+    const core::HardenedResult r = core::harden_and_schedule(model, k);
+    if (!r.success) {
+      std::printf("%-4zu hardening failed: %s\n", k, r.failure_reason.c_str());
+      continue;
+    }
+    double survival[3] = {0, 0, 0};
+    const double rates[3] = {0.10, 0.25, 0.40};
+    for (int i = 0; i < 3; ++i) {
+      core::FailureModel fm;
+      fm.omission_probability = rates[i];
+      fm.seed = 17 + static_cast<std::uint64_t>(i);
+      // Check against ORIGINAL deadlines: build a verification model
+      // that pairs the original constraint with the pipelined graph.
+      core::GraphModel check(r.scheduled_model.comm());
+      core::TimingConstraint orig = r.scheduled_model.constraint(0);
+      orig.deadline = model.constraint(0).deadline;
+      check.add_constraint(std::move(orig));
+      const core::FaultInjectionResult fr =
+          core::run_with_failures(*r.schedule, check, {arrivals}, 6200, fm);
+      survival[i] = fr.survival_rate();
+    }
+    std::printf("%-4zu %-8.1f %-10lld %-12.3f %-12.3f %-12.3f\n", k,
+                100.0 * r.utilization,
+                r.ft_latency[0] ? static_cast<long long>(*r.ft_latency[0]) : -1,
+                survival[0], survival[1], survival[2]);
+  }
+  std::printf("\nExpected shape: busy%% roughly scales with k+1 while the\n"
+              "survival columns approach 1.0 — replication buys omission\n"
+              "masking at proportional processor cost.\n");
+  return 0;
+}

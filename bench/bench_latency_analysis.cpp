@@ -1,0 +1,111 @@
+// E10 — latency-analysis engine cost.
+//
+// google-benchmark microbenchmarks of schedule_latency as the schedule
+// length and task-graph size/shape grow: the greedy embedding path
+// (distinct labels) is near-linear per window start; the
+// branch-and-bound path (repeated labels) shows the exponential tail
+// Theorem 2 predicts for the general problem.
+#include <benchmark/benchmark.h>
+
+#include "core/latency.hpp"
+#include "sim/rng.hpp"
+
+using namespace rtg;
+using sim::Time;
+
+namespace {
+
+// Random cyclic schedule of `len` unit slots over `alphabet` elements
+// (20% idle).
+core::StaticSchedule random_schedule(Time len, core::ElementId alphabet,
+                                     sim::Rng& rng) {
+  core::StaticSchedule sched;
+  for (Time i = 0; i < len; ++i) {
+    if (rng.chance(0.2)) {
+      sched.push_idle(1);
+    } else {
+      sched.push_execution(
+          static_cast<core::ElementId>(rng.uniform(0, alphabet - 1)), 1);
+    }
+  }
+  return sched;
+}
+
+core::TaskGraph chain_distinct(core::ElementId alphabet, std::size_t len,
+                               sim::Rng& rng) {
+  core::TaskGraph tg;
+  core::OpId prev = graph::kInvalidNode;
+  for (std::size_t i = 0; i < len; ++i) {
+    const core::OpId op =
+        tg.add_op(static_cast<core::ElementId>(i % alphabet));
+    if (prev != graph::kInvalidNode) tg.add_dep(prev, op);
+    prev = op;
+  }
+  (void)rng;
+  return tg;
+}
+
+void BM_LatencyVsScheduleLength(benchmark::State& state) {
+  sim::Rng rng(9);
+  const Time len = state.range(0);
+  const core::StaticSchedule sched = random_schedule(len, 8, rng);
+  const core::TaskGraph tg = chain_distinct(8, 4, rng);
+  for (auto _ : state) {
+    const auto latency = core::schedule_latency(sched, tg);
+    benchmark::DoNotOptimize(latency);
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(len));
+}
+BENCHMARK(BM_LatencyVsScheduleLength)->Range(32, 2048)->Complexity();
+
+void BM_LatencyVsTaskGraphSize(benchmark::State& state) {
+  sim::Rng rng(11);
+  const auto ops = static_cast<std::size_t>(state.range(0));
+  const core::StaticSchedule sched = random_schedule(256, 8, rng);
+  const core::TaskGraph tg = chain_distinct(8, ops, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_latency(sched, tg));
+  }
+}
+BENCHMARK(BM_LatencyVsTaskGraphSize)->Arg(2)->Arg(4)->Arg(8);
+
+// Repeated labels force branch-and-bound: chain a->b->a->b->...
+void BM_LatencyRepeatedLabels(benchmark::State& state) {
+  sim::Rng rng(13);
+  const auto ops = static_cast<std::size_t>(state.range(0));
+  const core::StaticSchedule sched = random_schedule(128, 2, rng);
+  core::TaskGraph tg;
+  core::OpId prev = graph::kInvalidNode;
+  for (std::size_t i = 0; i < ops; ++i) {
+    const core::OpId op = tg.add_op(static_cast<core::ElementId>(i % 2));
+    if (prev != graph::kInvalidNode) tg.add_dep(prev, op);
+    prev = op;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_latency(sched, tg));
+  }
+}
+BENCHMARK(BM_LatencyRepeatedLabels)->Arg(2)->Arg(4)->Arg(6);
+
+// Fork-join DAG embedding (greedy path, non-chain precedence).
+void BM_LatencyForkJoin(benchmark::State& state) {
+  sim::Rng rng(17);
+  const auto width = static_cast<core::ElementId>(state.range(0));
+  const core::StaticSchedule sched = random_schedule(512, width + 2, rng);
+  core::TaskGraph tg;
+  const core::OpId src = tg.add_op(width);
+  const core::OpId snk = tg.add_op(width + 1);
+  for (core::ElementId i = 0; i < width; ++i) {
+    const core::OpId mid = tg.add_op(i);
+    tg.add_dep(src, mid);
+    tg.add_dep(mid, snk);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schedule_latency(sched, tg));
+  }
+}
+BENCHMARK(BM_LatencyForkJoin)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// E11 — ablation of the synthesis pipeline's optimization knobs.
+//
+// DESIGN.md calls out two design choices the constructive scheduler
+// makes: (a) coalescing shared work before scheduling, (b) post-hoc
+// schedule compaction. This harness ablates both on shared-suffix
+// workloads (the Fig. 1 shape generalized) and reports busy fraction
+// and schedule length for each combination — quantifying how much each
+// pass contributes.
+#include <cstdio>
+
+#include "core/heuristic.hpp"
+#include "core/optimize.hpp"
+#include "sim/rng.hpp"
+
+using namespace rtg;
+using sim::Time;
+
+namespace {
+
+// k sensors feeding a shared weight-2 suffix, plus one sporadic chain.
+core::GraphModel workload(std::size_t k, Time p) {
+  core::CommGraph comm;
+  std::vector<core::ElementId> ins;
+  for (std::size_t i = 0; i < k; ++i) {
+    ins.push_back(comm.add_element("in" + std::to_string(i), 1));
+  }
+  const auto fs = comm.add_element("fs", 2);
+  const auto fk = comm.add_element("fk", 1);
+  for (auto e : ins) comm.add_channel(e, fs);
+  comm.add_channel(fs, fk);
+  core::GraphModel model(std::move(comm));
+  for (std::size_t i = 0; i < k; ++i) {
+    core::TaskGraph tg;
+    const auto a = tg.add_op(ins[i]);
+    const auto b = tg.add_op(fs);
+    const auto c = tg.add_op(fk);
+    tg.add_dep(a, b);
+    tg.add_dep(b, c);
+    model.add_constraint(core::TimingConstraint{
+        "C" + std::to_string(i), std::move(tg), p, p,
+        core::ConstraintKind::kPeriodic});
+  }
+  return model;
+}
+
+struct Row {
+  bool ok = false;
+  double busy = 0.0;
+  Time length = 0;
+};
+
+Row run(const core::GraphModel& model, bool coalesce, bool optimize) {
+  core::HeuristicOptions opts;
+  opts.coalesce = coalesce;
+  const core::HeuristicResult h = core::latency_schedule(model, opts);
+  Row row;
+  if (!h.success) return row;
+  core::StaticSchedule sched = *h.schedule;
+  if (optimize) {
+    sched = core::optimize_schedule(sched, h.scheduled_model);
+  }
+  row.ok = true;
+  row.busy = sched.utilization();
+  row.length = sched.length();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("E11: ablation — coalescing and schedule compaction\n");
+  std::printf("(k sensors sharing a weight-2 suffix, period 24; busy fraction)\n\n");
+  std::printf("%-4s %-12s %-12s %-12s %-12s\n", "k", "plain", "+coalesce",
+              "+optimize", "+both");
+
+  for (std::size_t k : {2, 3, 4}) {
+    const core::GraphModel model = workload(k, 24);
+    const Row plain = run(model, false, false);
+    const Row co = run(model, true, false);
+    const Row op = run(model, false, true);
+    const Row both = run(model, true, true);
+    auto cell = [](const Row& r) {
+      static char buffers[4][32];
+      static int next = 0;
+      char* buf = buffers[next++ % 4];
+      if (!r.ok) {
+        std::snprintf(buf, 32, "failed");
+      } else {
+        std::snprintf(buf, 32, "%.3f/L%lld", r.busy, static_cast<long long>(r.length));
+      }
+      return buf;
+    };
+    std::printf("%-4zu %-12s %-12s %-12s %-12s\n", k, cell(plain), cell(co), cell(op),
+                cell(both));
+  }
+  std::printf("\nColumns report busy-fraction / schedule length. Coalescing\n"
+              "removes duplicated shared work before scheduling; compaction\n"
+              "strips whatever over-provisioning survives it. Their sum is\n"
+              "the gap between naive per-constraint servers and a lean\n"
+              "static schedule.\n");
+  return 0;
+}

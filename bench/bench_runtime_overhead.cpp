@@ -1,0 +1,92 @@
+// E7 — "the run-time scheduler is very efficient once a feasible static
+// schedule has been found off-line."
+//
+// google-benchmark microbenchmarks of per-slot dispatch cost:
+//   * static executive: advance a cursor through the schedule table;
+//   * EDF / LLF online schedulers: maintain a ready set and pick by
+//     deadline / laxity each slot.
+// The static dispatcher is O(1) per op with no comparisons; the online
+// policies pay a ready-queue scan per slot.
+#include <benchmark/benchmark.h>
+
+#include "core/heuristic.hpp"
+#include "core/model.hpp"
+#include "rt/scheduler.hpp"
+
+using namespace rtg;
+
+namespace {
+
+// A static schedule for the control system, built once.
+const core::StaticSchedule& control_schedule() {
+  static const core::HeuristicResult result = [] {
+    core::HeuristicResult r = core::latency_schedule(core::make_control_system());
+    if (!r.success) std::abort();
+    return r;
+  }();
+  return *result.schedule;
+}
+
+void BM_StaticDispatch(benchmark::State& state) {
+  const core::StaticSchedule& sched = control_schedule();
+  const auto& entries = sched.entries();
+  std::size_t cursor = 0;
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    // One dispatch: table lookup + cursor advance (wrap at the end).
+    const core::ScheduleEntry& entry = entries[cursor];
+    executed += static_cast<std::uint64_t>(entry.duration);
+    if (++cursor == entries.size()) cursor = 0;
+    benchmark::DoNotOptimize(executed);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StaticDispatch);
+
+rt::TaskSet process_set(std::size_t n) {
+  rt::TaskSet ts;
+  for (std::size_t i = 0; i < n; ++i) {
+    rt::Task t;
+    t.name = "t" + std::to_string(i);
+    t.p = static_cast<sim::Time>(8 + 4 * i);
+    t.c = 1 + static_cast<sim::Time>(i % 2);
+    t.d = t.p;
+    ts.add(t);
+  }
+  return ts;
+}
+
+void BM_OnlineScheduler(benchmark::State& state, rt::Policy policy) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const rt::TaskSet ts = process_set(n);
+  const sim::Time horizon = 4096;
+  for (auto _ : state) {
+    const rt::SimResult r = rt::simulate(ts, policy, horizon);
+    benchmark::DoNotOptimize(r.jobs.data());
+  }
+  // Report per-slot cost.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * horizon);
+}
+
+void BM_EdfDispatch(benchmark::State& state) {
+  BM_OnlineScheduler(state, rt::Policy::kEdf);
+}
+void BM_LlfDispatch(benchmark::State& state) {
+  BM_OnlineScheduler(state, rt::Policy::kLlf);
+}
+BENCHMARK(BM_EdfDispatch)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_LlfDispatch)->Arg(4)->Arg(8)->Arg(16);
+
+// Off-line synthesis cost, for contrast with dispatch cost.
+void BM_OfflineSynthesis(benchmark::State& state) {
+  const core::GraphModel model = core::make_control_system();
+  for (auto _ : state) {
+    const core::HeuristicResult r = core::latency_schedule(model);
+    benchmark::DoNotOptimize(r.success);
+  }
+}
+BENCHMARK(BM_OfflineSynthesis);
+
+}  // namespace
+
+BENCHMARK_MAIN();

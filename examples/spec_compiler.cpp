@@ -1,0 +1,252 @@
+// spec_compiler — command-line front end: compile a .rts requirements
+// specification into a graph-based model instance, synthesize a static
+// schedule, and emit artifacts.
+//
+//   $ ./spec_compiler <file.rts> [--dot] [--schedule] [--processes]
+//                     [--emit] [--exact] [--multiproc N]
+//                     [--save <sched>] [--verify <sched>]
+//   $ echo "element a" | ./spec_compiler -
+//
+// Exit status: 0 on success, 1 on spec errors, 2 on synthesis failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/feasibility.hpp"
+#include "core/heuristic.hpp"
+#include "core/multiproc.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/schedule_io.hpp"
+#include "core/synthesis.hpp"
+#include "graph/dot.hpp"
+#include "rt/analysis.hpp"
+#include "spec/compile.hpp"
+#include "spec/emit.hpp"
+
+using namespace rtg;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: spec_compiler <file.rts | -> [--dot] [--schedule] "
+               "[--processes] [--emit] [--exact] [--analyze] [--multiproc N]\n"
+               "                     [--save <sched>] [--verify <sched>]\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  bool want_dot = false, want_schedule = false, want_processes = false;
+  bool want_emit = false, want_exact = false, want_analyze = false;
+  std::size_t multiproc = 0;
+  const char* path = nullptr;
+  const char* save_path = nullptr;
+  const char* verify_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--dot") == 0) {
+      want_dot = true;
+    } else if (std::strcmp(argv[i], "--schedule") == 0) {
+      want_schedule = true;
+    } else if (std::strcmp(argv[i], "--processes") == 0) {
+      want_processes = true;
+    } else if (std::strcmp(argv[i], "--analyze") == 0) {
+      want_analyze = true;
+    } else if (std::strcmp(argv[i], "--emit") == 0) {
+      want_emit = true;
+    } else if (std::strcmp(argv[i], "--exact") == 0) {
+      want_exact = true;
+    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
+      save_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--verify") == 0 && i + 1 < argc) {
+      verify_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--multiproc") == 0 && i + 1 < argc) {
+      multiproc = static_cast<std::size_t>(std::atoi(argv[++i]));
+      if (multiproc == 0) return usage();
+    } else if (path == nullptr) {
+      path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (path == nullptr) return usage();
+  if (save_path != nullptr) want_schedule = true;
+  if (!want_dot && !want_processes && !want_emit && !want_exact && !want_analyze &&
+      multiproc == 0 && verify_path == nullptr) {
+    want_schedule = true;
+  }
+
+  std::string text;
+  if (std::strcmp(path, "-") == 0) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    text = buffer.str();
+  } else {
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "spec_compiler: cannot open '%s'\n", path);
+      return 1;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    text = buffer.str();
+  }
+
+  const spec::CompileResult compiled = spec::compile_text(text);
+  if (!compiled.ok()) {
+    for (const spec::CompileError& e : compiled.errors) {
+      std::fprintf(stderr, "%s:%zu: error: %s\n", path, e.line, e.message.c_str());
+    }
+    return 1;
+  }
+  const core::GraphModel& model = *compiled.model;
+  std::fprintf(stderr, "compiled: %zu elements, %zu constraints, sum w/d = %.3f\n",
+               model.comm().size(), model.constraint_count(),
+               model.deadline_utilization());
+
+  if (want_dot) {
+    std::printf("%s", graph::to_dot(model.comm().digraph(),
+                                    {.graph_name = "spec"})
+                          .c_str());
+  }
+  if (want_schedule) {
+    const core::HeuristicResult synth = core::latency_schedule(model);
+    if (!synth.success) {
+      std::fprintf(stderr, "synthesis failed: %s\n", synth.failure_reason.c_str());
+      return 2;
+    }
+    std::printf("# static schedule, length %lld, utilization %.3f\n",
+                static_cast<long long>(synth.schedule->length()),
+                synth.schedule->utilization());
+    std::printf("%s\n", synth.schedule->to_string(synth.scheduled_model.comm()).c_str());
+    if (save_path != nullptr) {
+      std::ofstream out(save_path);
+      if (!out) {
+        std::fprintf(stderr, "spec_compiler: cannot write '%s'\n", save_path);
+        return 2;
+      }
+      out << "# schedule for " << path << " (element names follow the\n"
+          << "# software-pipelined model; verify with --verify)\n"
+          << core::schedule_to_text(*synth.schedule, synth.scheduled_model.comm())
+          << "\n";
+      std::fprintf(stderr, "saved schedule to %s\n", save_path);
+    }
+    for (const core::ConstraintVerdict& v : synth.report.verdicts) {
+      const core::TimingConstraint& c = synth.scheduled_model.constraint(v.constraint);
+      if (v.latency) {
+        std::printf("# %s: latency %lld, deadline %lld\n", c.name.c_str(),
+                    static_cast<long long>(*v.latency),
+                    static_cast<long long>(c.deadline));
+      } else {
+        std::printf("# %s: periodic windows %s\n", c.name.c_str(),
+                    v.satisfied ? "ok" : "MISSED");
+      }
+    }
+  }
+  if (want_analyze) {
+    std::printf("%s", core::render_analysis(core::analyze_model(model), model).c_str());
+  }
+  if (want_emit) {
+    std::printf("%s", spec::emit(model).c_str());
+  }
+  if (want_exact) {
+    core::ExactOptions options;
+    options.state_budget = 500'000;
+    const core::ExactResult r = core::exact_feasible(model, options);
+    switch (r.status) {
+      case core::FeasibilityStatus::kFeasible:
+        std::printf("# exact: FEASIBLE (%zu states)\n", r.states_explored);
+        std::printf("%s\n", r.schedule->to_string(model.comm()).c_str());
+        break;
+      case core::FeasibilityStatus::kInfeasible:
+        std::printf("# exact: INFEASIBLE (%zu states)\n", r.states_explored);
+        break;
+      case core::FeasibilityStatus::kUnknown:
+        std::printf("# exact: UNKNOWN — state budget exhausted (%zu states)\n",
+                    r.states_explored);
+        break;
+    }
+  }
+  if (multiproc > 0) {
+    core::MultiprocOptions options;
+    options.processors = multiproc;
+    options.strategy = core::PartitionStrategy::kCommunication;
+    const core::MultiprocResult r = core::multiproc_schedule(model, options);
+    if (!r.success) {
+      std::fprintf(stderr, "multiprocessor synthesis failed: %s\n",
+                   r.failure_reason.c_str());
+      return 2;
+    }
+    std::printf("# multiprocessor schedule on %zu processors, %zu bus channels\n",
+                multiproc, r.bus_channels.size());
+    for (std::size_t p = 0; p < r.processor_schedules.size(); ++p) {
+      std::printf("P%zu: %s\n", p,
+                  r.processor_schedules[p].to_string(r.scheduled_model.comm()).c_str());
+    }
+    for (std::size_t i = 0; i < r.end_to_end_latency.size(); ++i) {
+      std::printf("# %s: end-to-end latency %lld / deadline %lld\n",
+                  r.scheduled_model.constraint(i).name.c_str(),
+                  static_cast<long long>(*r.end_to_end_latency[i]),
+                  static_cast<long long>(r.scheduled_model.constraint(i).deadline));
+    }
+  }
+  if (verify_path != nullptr) {
+    std::ifstream in(verify_path);
+    if (!in) {
+      std::fprintf(stderr, "spec_compiler: cannot open '%s'\n", verify_path);
+      return 2;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    // Schedules are expressed against the pipelined model.
+    const core::GraphModel pipelined = core::pipeline_model(model).model;
+    const auto parsed = core::schedule_from_text(buffer.str(), pipelined.comm());
+    if (!parsed.ok()) {
+      for (const auto& e : parsed.errors) {
+        std::fprintf(stderr, "%s:%zu: error: %s\n", verify_path, e.line,
+                     e.message.c_str());
+      }
+      return 2;
+    }
+    const core::FeasibilityReport report =
+        core::verify_schedule(*parsed.schedule, pipelined);
+    for (const core::ConstraintVerdict& v : report.verdicts) {
+      const core::TimingConstraint& c = pipelined.constraint(v.constraint);
+      if (v.latency) {
+        std::printf("# %s: latency %lld / deadline %lld -> %s\n", c.name.c_str(),
+                    static_cast<long long>(*v.latency),
+                    static_cast<long long>(c.deadline), v.satisfied ? "ok" : "MISS");
+      } else {
+        std::printf("# %s: periodic windows -> %s\n", c.name.c_str(),
+                    v.satisfied ? "ok" : "MISS");
+      }
+    }
+    std::printf("# verdict: %s\n", report.feasible ? "FEASIBLE" : "INFEASIBLE");
+    if (!report.feasible) return 2;
+  }
+  if (want_processes) {
+    const core::ProcessSynthesis procs = core::synthesize_processes(model, true);
+    std::printf("# process-based synthesis: %zu processes, %zu monitors\n",
+                procs.processes.size(), procs.monitors.size());
+    for (const core::SynthesizedProcess& p : procs.processes) {
+      std::printf("process %s (%s, p=%lld, d=%lld, c=%lld):", p.name.c_str(),
+                  p.kind == core::ConstraintKind::kPeriodic ? "periodic" : "sporadic",
+                  static_cast<long long>(p.period),
+                  static_cast<long long>(p.deadline),
+                  static_cast<long long>(p.computation));
+      for (core::ElementId e : p.body) {
+        std::printf(" %s", procs.model.comm().name(e).c_str());
+      }
+      std::printf("\n");
+    }
+    std::printf("# EDF schedulable: %s\n",
+                rt::edf_schedulable(procs.task_set) ? "yes" : "no");
+  }
+  return 0;
+}

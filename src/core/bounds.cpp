@@ -1,0 +1,113 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "graph/algorithms.hpp"
+
+namespace rtg::core {
+
+Time task_graph_critical_path(const TaskGraph& tg, const CommGraph& comm) {
+  // Rebuild the skeleton with element weights to reuse the DAG longest
+  // path.
+  graph::Digraph weighted;
+  for (OpId op = 0; op < tg.size(); ++op) {
+    weighted.add_node(comm.weight(tg.label(op)));
+  }
+  for (const graph::Edge& e : tg.skeleton().edges()) {
+    weighted.add_edge(e.from, e.to);
+  }
+  return graph::critical_path_weight(weighted);
+}
+
+namespace {
+
+// The longest span one execution can "cover", i.e. the sound
+// per-execution window for the rate bound:
+//  * asynchronous: disjoint windows of length d each need their own
+//    execution -> rate >= 1/d;
+//  * periodic with d <= p: invocation windows are disjoint -> 1/p;
+//  * periodic with d > p: one execution can serve up to floor(d/p)+1
+//    overlapping invocation windows -> rate >= 1/(p+d).
+Time demand_window(const TimingConstraint& c) {
+  if (!c.periodic()) return c.deadline;
+  return c.deadline <= c.period ? c.period : c.period + c.deadline;
+}
+
+}  // namespace
+
+double demand_density(const GraphModel& model) {
+  // rate(e) = max over constraints of (ops of e in C_i) / window_i.
+  std::vector<double> rate(model.comm().size(), 0.0);
+  for (const TimingConstraint& c : model.constraints()) {
+    std::unordered_map<ElementId, std::size_t> count;
+    for (ElementId e : c.task_graph.labels()) ++count[e];
+    const double window = static_cast<double>(demand_window(c));
+    for (const auto& [e, cnt] : count) {
+      rate[e] = std::max(rate[e], static_cast<double>(cnt) / window);
+    }
+  }
+  double density = 0.0;
+  for (ElementId e = 0; e < model.comm().size(); ++e) {
+    density += static_cast<double>(model.comm().weight(e)) * rate[e];
+  }
+  return density;
+}
+
+std::vector<InfeasibilityWitness> refute_feasibility(const GraphModel& model) {
+  std::vector<InfeasibilityWitness> witnesses;
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const TimingConstraint& c = model.constraint(i);
+    const Time cp = task_graph_critical_path(c.task_graph, model.comm());
+    if (cp > c.deadline) {
+      InfeasibilityWitness w;
+      w.kind = InfeasibilityWitness::Kind::kCriticalPath;
+      w.constraint = i;
+      w.detail = "critical path " + std::to_string(cp) + " > deadline " +
+                 std::to_string(c.deadline);
+      witnesses.push_back(std::move(w));
+    }
+    const Time total = c.task_graph.computation_time(model.comm());
+    if (total > c.deadline) {
+      InfeasibilityWitness w;
+      w.kind = InfeasibilityWitness::Kind::kWindowCapacity;
+      w.constraint = i;
+      w.detail = "computation time " + std::to_string(total) + " > deadline " +
+                 std::to_string(c.deadline);
+      witnesses.push_back(std::move(w));
+    }
+  }
+  const double density = demand_density(model);
+  if (density > 1.0 + 1e-9) {
+    InfeasibilityWitness w;
+    w.kind = InfeasibilityWitness::Kind::kDemandDensity;
+    std::ostringstream os;
+    os << "element demand density " << density << " > 1";
+    w.detail = os.str();
+    witnesses.push_back(std::move(w));
+  }
+  return witnesses;
+}
+
+std::string to_string(const InfeasibilityWitness& witness, const GraphModel& model) {
+  std::string out;
+  switch (witness.kind) {
+    case InfeasibilityWitness::Kind::kCriticalPath:
+      out = "critical-path violation";
+      break;
+    case InfeasibilityWitness::Kind::kWindowCapacity:
+      out = "window-capacity violation";
+      break;
+    case InfeasibilityWitness::Kind::kDemandDensity:
+      out = "demand-density violation";
+      break;
+  }
+  if (witness.constraint != static_cast<std::size_t>(-1)) {
+    out += " in constraint '" + model.constraint(witness.constraint).name + "'";
+  }
+  out += ": " + witness.detail;
+  return out;
+}
+
+}  // namespace rtg::core

@@ -1,0 +1,62 @@
+// bounds.hpp — necessary conditions for feasibility.
+//
+// Cheap analytic lower bounds that refute infeasible models without
+// search, and diagnose *why*. Complements the exact solver (which uses
+// them as an early-out before exploring the simulation game) and the
+// heuristic (whose failure reports cite them):
+//
+//   * Critical path: a task graph's heaviest precedence path must fit
+//     inside the deadline — precedence forces those executions to run
+//     serially, so cp(C_i) > d_i is immediately infeasible.
+//   * Window capacity: a window of length d_i has d_i slots but must
+//     hold w_i slots of C_i's work, so w_i > d_i is infeasible (the
+//     per-window version of the critical-path test for antichains).
+//   * Element demand density: constraint i forces, in every window of
+//     length d_i, cnt_i(e) complete executions of element e. Executions
+//     are shareable between constraints, so the binding per-element
+//     rate is max_i cnt_i(e)/d_i (not the sum), and the processor must
+//     sustain Σ_e weight(e) · max_i cnt_i(e)/d_i ≤ 1 in the long run.
+//     (Conservative in the exact window combinatorics but sound: it
+//     uses disjoint windows only.)
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace rtg::core {
+
+/// One refutation produced by the bounds analysis.
+struct InfeasibilityWitness {
+  enum class Kind : std::uint8_t {
+    kCriticalPath,   ///< cp(C_i) > d_i
+    kWindowCapacity, ///< w_i > d_i
+    kDemandDensity,  ///< Σ_e w(e)·rate(e) > 1
+  };
+  Kind kind = Kind::kCriticalPath;
+  /// Offending constraint for the per-constraint kinds; unset (npos)
+  /// for the global density bound.
+  std::size_t constraint = static_cast<std::size_t>(-1);
+  std::string detail;
+};
+
+/// Heaviest precedence-path weight of the task graph under the model's
+/// element weights.
+[[nodiscard]] Time task_graph_critical_path(const TaskGraph& tg, const CommGraph& comm);
+
+/// The sharing-aware long-run demand density Σ_e weight(e) ·
+/// max_i cnt_i(e)/d_i (0 when there are no constraints).
+[[nodiscard]] double demand_density(const GraphModel& model);
+
+/// Runs all necessary-condition checks. Empty result = no refutation
+/// found (the model MAY be feasible; these are necessary conditions
+/// only). Non-empty = provably infeasible, with reasons.
+[[nodiscard]] std::vector<InfeasibilityWitness> refute_feasibility(const GraphModel& model);
+
+/// Human-readable rendering of a witness.
+[[nodiscard]] std::string to_string(const InfeasibilityWitness& witness,
+                                    const GraphModel& model);
+
+}  // namespace rtg::core

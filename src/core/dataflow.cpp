@@ -1,0 +1,167 @@
+#include "core/dataflow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace rtg::core {
+
+namespace {
+
+std::uint64_t pack_channel(ElementId from, ElementId to) {
+  return (static_cast<std::uint64_t>(from) << 32) | to;
+}
+
+}  // namespace
+
+std::vector<Value> DataflowResult::outputs_of(ElementId e) const {
+  std::vector<Value> out;
+  for (const ExecutionEvent& ev : executions) {
+    if (ev.elem == e) out.push_back(ev.output);
+  }
+  return out;
+}
+
+std::vector<Value> DataflowResult::channel_values(ElementId from, ElementId to) const {
+  std::vector<Value> out;
+  for (const TransmissionEvent& tr : transmissions) {
+    if (tr.from == from && tr.to == to) out.push_back(tr.value);
+  }
+  return out;
+}
+
+DataflowExecutive::DataflowExecutive(const GraphModel& model)
+    : model_(model),
+      behaviour_(model.comm().size()),
+      state_(model.comm().size(), 0),
+      source_(model.comm().size()) {
+  for (ElementId e = 0; e < model.comm().size(); ++e) {
+    behaviour_[e] = [](std::span<const Value> inputs, Value state) {
+      Value sum = state;
+      for (Value v : inputs) sum += v;
+      return std::pair<Value, Value>{sum, state};
+    };
+  }
+}
+
+void DataflowExecutive::set_behaviour(ElementId e, ElementFn fn) {
+  if (!model_.comm().has_element(e)) {
+    throw std::out_of_range("DataflowExecutive::set_behaviour: unknown element");
+  }
+  behaviour_.at(e) = std::move(fn);
+}
+
+void DataflowExecutive::set_edge_relation(ElementId from, ElementId to,
+                                          EdgeRelation relation) {
+  if (!model_.comm().has_channel(from, to)) {
+    throw std::invalid_argument("DataflowExecutive::set_edge_relation: no such channel");
+  }
+  relations_.emplace_back(pack_channel(from, to), std::move(relation));
+}
+
+void DataflowExecutive::set_state(ElementId e, Value state) {
+  state_.at(e) = state;
+}
+
+void DataflowExecutive::set_source(ElementId e, std::function<Value(Time)> generator) {
+  if (!model_.comm().has_element(e)) {
+    throw std::out_of_range("DataflowExecutive::set_source: unknown element");
+  }
+  source_.at(e) = std::move(generator);
+}
+
+DataflowResult DataflowExecutive::run(const StaticSchedule& schedule,
+                                      std::size_t cycles) {
+  const auto diags = schedule.validate(model_.comm());
+  if (!diags.empty()) {
+    throw std::invalid_argument("DataflowExecutive::run: invalid schedule: " + diags[0]);
+  }
+
+  const CommGraph& comm = model_.comm();
+  DataflowResult result;
+
+  // latest[u][slot-of-v]: latest value received by v on channel u -> v.
+  // Stored as map channel -> value, plus map channel -> last value for
+  // relation checking.
+  std::unordered_map<std::uint64_t, Value> received;
+  std::unordered_map<std::uint64_t, Value> last_sent;
+
+  std::vector<Value> state = state_;
+  const std::vector<ScheduledOp> base = schedule.ops();
+  const Time period = schedule.length();
+
+  for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+    const Time shift = static_cast<Time>(cycle) * period;
+    for (const ScheduledOp& op : base) {
+      const ElementId e = op.elem;
+      const Time start = op.start + shift;
+      const Time finish = start + op.duration;
+
+      // Gather inputs: latest received value per in-channel, in
+      // predecessor order; sources use their generator instead.
+      std::vector<Value> inputs;
+      const auto& preds = comm.digraph().predecessors(e);
+      if (preds.empty()) {
+        if (source_[e]) inputs.push_back(source_[e](start));
+      } else {
+        for (ElementId u : preds) {
+          const auto it = received.find(pack_channel(u, e));
+          inputs.push_back(it == received.end() ? 0 : it->second);
+        }
+      }
+
+      const auto [output, new_state] = behaviour_[e](inputs, state[e]);
+      state[e] = new_state;
+      result.executions.push_back(ExecutionEvent{e, start, finish, output});
+
+      // Transmit the latest output along every out-channel.
+      for (ElementId v : comm.digraph().successors(e)) {
+        const std::uint64_t ch = pack_channel(e, v);
+        const Value previous =
+            last_sent.contains(ch) ? last_sent[ch] : 0;
+        for (const auto& [key, relation] : relations_) {
+          if (key == ch && !relation(previous, output)) {
+            result.violations.push_back(EdgeViolation{e, v, finish, previous, output});
+          }
+        }
+        last_sent[ch] = output;
+        received[ch] = output;
+        result.transmissions.push_back(TransmissionEvent{e, v, finish, output});
+      }
+    }
+  }
+
+  result.pipeline_ordered =
+      check_pipeline_ordering(result.executions, result.transmissions);
+  return result;
+}
+
+bool check_pipeline_ordering(std::span<const ExecutionEvent> executions,
+                             std::span<const TransmissionEvent> transmissions) {
+  // Executions of an element: distinct start times, and start order
+  // equals finish order.
+  std::unordered_map<ElementId, std::vector<std::pair<Time, Time>>> per_element;
+  for (const ExecutionEvent& ev : executions) {
+    per_element[ev.elem].emplace_back(ev.start, ev.finish);
+  }
+  for (auto& [elem, runs] : per_element) {
+    std::vector<std::pair<Time, Time>> by_start = runs;
+    std::sort(by_start.begin(), by_start.end());
+    for (std::size_t i = 1; i < by_start.size(); ++i) {
+      if (by_start[i].first == by_start[i - 1].first) return false;  // equal starts
+      if (by_start[i].second <= by_start[i - 1].second) return false;  // finish inversion
+    }
+  }
+  // Transmissions per channel: strictly ordered send times.
+  std::unordered_map<std::uint64_t, Time> last_at;
+  for (const TransmissionEvent& tr : transmissions) {
+    const std::uint64_t ch =
+        (static_cast<std::uint64_t>(tr.from) << 32) | tr.to;
+    const auto it = last_at.find(ch);
+    if (it != last_at.end() && tr.at <= it->second) return false;
+    last_at[ch] = tr.at;
+  }
+  return true;
+}
+
+}  // namespace rtg::core

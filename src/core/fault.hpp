@@ -1,0 +1,95 @@
+// fault.hpp — fault-tolerant latency scheduling.
+//
+// The paper's conclusion proposes devising "more domain-specific
+// fault-tolerance techniques" on top of the model. This module carries
+// that out for crash/omission faults of executions:
+//
+//   * A schedule is *k-fault-tolerant* for a constraint (C, p, d) if
+//     every window of length d contains k+1 pairwise-disjoint
+//     executions of C — then any k omitted (failed) executions still
+//     leave a complete one inside every invocation window.
+//   * Hardening: tighten each deadline to floor(d / (k+1)) and run the
+//     ordinary constructive scheduler. Every window of length d then
+//     contains k+1 disjoint sub-windows, each with its own execution —
+//     a sufficient (not necessary) construction, in the same spirit as
+//     Theorem 3.
+//   * Verification measures the *fault-tolerant latency*: the smallest
+//     L such that every window of length >= L contains k+1 disjoint
+//     executions.
+//   * Failure injection: the executive drops executions at random (or
+//     scripted) and invocations are re-verified against the surviving
+//     ops only.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/heuristic.hpp"
+#include "core/model.hpp"
+#include "core/runtime.hpp"
+#include "core/static_schedule.hpp"
+#include "sim/rng.hpp"
+
+namespace rtg::core {
+
+/// Smallest L such that every window of length >= L of the cyclic
+/// schedule contains `replicas` pairwise-disjoint executions of `tg`
+/// (disjoint = no shared schedule op). nullopt = no such L.
+/// replicas == 1 coincides with schedule_latency.
+[[nodiscard]] std::optional<Time> fault_tolerant_latency(const StaticSchedule& sched,
+                                                         const TaskGraph& tg,
+                                                         std::size_t replicas);
+
+/// Rewrites the model with deadlines floored to d / (k+1) (periodic
+/// constraints' periods are untouched; their deadlines shrink the same
+/// way). Throws std::invalid_argument if some deadline would reach 0.
+[[nodiscard]] GraphModel harden_model(const GraphModel& model, std::size_t k);
+
+struct HardenedResult {
+  bool success = false;
+  std::string failure_reason;
+  /// Schedule over scheduled_model (pipelined hardened model).
+  GraphModel scheduled_model;
+  std::optional<StaticSchedule> schedule;
+  /// Verified fault-tolerant latency per original constraint (against
+  /// the ORIGINAL deadlines, k+1 disjoint executions).
+  std::vector<std::optional<Time>> ft_latency;
+  /// Extra busy fraction relative to the unhardened schedule (>= 1).
+  double utilization = 0.0;
+};
+
+/// Hardens and schedules: every asynchronous constraint's window of its
+/// original deadline d ends up holding k+1 disjoint executions.
+[[nodiscard]] HardenedResult harden_and_schedule(const GraphModel& model, std::size_t k,
+                                                 const HeuristicOptions& options = {});
+
+/// Failure model for injection: each scheduled execution independently
+/// fails (is omitted) with probability `omission_probability`.
+struct FailureModel {
+  double omission_probability = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct FaultInjectionResult {
+  std::size_t invocations = 0;
+  std::size_t satisfied = 0;
+  std::size_t failed_ops = 0;
+  std::size_t total_ops = 0;
+
+  [[nodiscard]] double survival_rate() const {
+    return invocations == 0 ? 1.0
+                            : static_cast<double>(satisfied) /
+                                  static_cast<double>(invocations);
+  }
+};
+
+/// Runs the executive for `horizon` slots with omission faults: failed
+/// executions are removed from the op timeline before invocation
+/// windows are checked. Arrival streams as in run_executive.
+[[nodiscard]] FaultInjectionResult run_with_failures(const StaticSchedule& sched,
+                                                     const GraphModel& model,
+                                                     const ConstraintArrivals& arrivals,
+                                                     Time horizon,
+                                                     const FailureModel& failures);
+
+}  // namespace rtg::core

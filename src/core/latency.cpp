@@ -1,0 +1,333 @@
+#include "core/latency.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "rt/task.hpp"  // lcm_checked
+
+namespace rtg::core {
+
+namespace {
+
+constexpr Time kInf = std::numeric_limits<Time>::max();
+
+// Greedy earliest-finish embedding for task graphs without repeated
+// element labels. Processing ops of `tg` in topological order and
+// picking, for each, the earliest execution of its element that starts
+// after all predecessors finish is optimal: each choice minimizes that
+// op's finish, finishes propagate monotonically to successors, and no
+// two task-graph ops compete for the same execution.
+std::optional<EmbeddingWitness> greedy_embedding(const TaskGraph& tg,
+                                                 std::span<const ScheduledOp> ops,
+                                                 Time window_begin,
+                                                 const std::vector<bool>& excluded) {
+  const auto topo = tg.topological_ops();
+  std::vector<Time> finish(tg.size(), 0);
+  EmbeddingWitness witness;
+  witness.assignment.assign(tg.size(), 0);
+
+  Time makespan = window_begin;
+  for (OpId v : topo) {
+    Time ready = window_begin;
+    for (OpId u : tg.skeleton().predecessors(v)) {
+      ready = std::max(ready, finish[u]);
+    }
+    const ElementId want = tg.label(v);
+    // Find the first available op of `want` with start >= ready.
+    auto it = std::lower_bound(ops.begin(), ops.end(), ready,
+                               [](const ScheduledOp& op, Time t) { return op.start < t; });
+    bool found = false;
+    for (; it != ops.end(); ++it) {
+      const std::size_t idx = static_cast<std::size_t>(it - ops.begin());
+      if (it->elem == want && (excluded.empty() || !excluded[idx])) {
+        finish[v] = it->finish();
+        makespan = std::max(makespan, finish[v]);
+        witness.assignment[v] = idx;
+        found = true;
+        break;
+      }
+    }
+    if (!found) return std::nullopt;
+  }
+  witness.finish = makespan;
+  return witness;
+}
+
+// Branch-and-bound embedding for task graphs where an element labels
+// several ops (executions must be assigned injectively). Worst case
+// exponential — consistent with the general problem's hardness — but
+// effective for the small task graphs of real constraints.
+struct BnbSearch {
+  const TaskGraph& tg;
+  std::span<const ScheduledOp> ops;
+  Time window_begin;
+  const std::vector<bool>& excluded;
+  std::vector<OpId> topo;
+  std::vector<Time> finish;        // per task-graph op
+  std::vector<std::size_t> chosen; // per task-graph op, current path
+  std::vector<bool> used;          // per schedule op
+  Time best = kInf;
+  std::vector<std::size_t> best_assignment;
+
+  void rec(std::size_t k, Time makespan) {
+    if (makespan >= best) return;
+    if (k == topo.size()) {
+      best = makespan;
+      best_assignment = chosen;
+      return;
+    }
+    const OpId v = topo[k];
+    Time ready = window_begin;
+    for (OpId u : tg.skeleton().predecessors(v)) {
+      ready = std::max(ready, finish[u]);
+    }
+    const ElementId want = tg.label(v);
+    auto it = std::lower_bound(ops.begin(), ops.end(), ready,
+                               [](const ScheduledOp& op, Time t) { return op.start < t; });
+    for (; it != ops.end(); ++it) {
+      if (it->elem != want) continue;
+      if (it->start >= best) break;  // any later choice is no better
+      const std::size_t idx = static_cast<std::size_t>(it - ops.begin());
+      if (used[idx]) continue;
+      if (!excluded.empty() && excluded[idx]) continue;
+      used[idx] = true;
+      finish[v] = it->finish();
+      chosen[v] = idx;
+      rec(k + 1, std::max(makespan, finish[v]));
+      used[idx] = false;
+    }
+  }
+};
+
+std::optional<EmbeddingWitness> bnb_embedding(const TaskGraph& tg,
+                                              std::span<const ScheduledOp> ops,
+                                              Time window_begin,
+                                              const std::vector<bool>& excluded) {
+  BnbSearch search{tg,
+                   ops,
+                   window_begin,
+                   excluded,
+                   tg.topological_ops(),
+                   std::vector<Time>(tg.size(), 0),
+                   std::vector<std::size_t>(tg.size(), 0),
+                   std::vector<bool>(ops.size(), false),
+                   kInf,
+                   {}};
+  search.rec(0, window_begin);
+  if (search.best == kInf) return std::nullopt;
+  return EmbeddingWitness{search.best, std::move(search.best_assignment)};
+}
+
+}  // namespace
+
+std::optional<EmbeddingWitness> find_earliest_embedding(const TaskGraph& tg,
+                                                        std::span<const ScheduledOp> ops,
+                                                        Time window_begin,
+                                                        const std::vector<bool>& used) {
+  if (tg.empty()) return EmbeddingWitness{window_begin, {}};
+  if (tg.has_repeated_labels()) {
+    return bnb_embedding(tg, ops, window_begin, used);
+  }
+  return greedy_embedding(tg, ops, window_begin, used);
+}
+
+std::optional<Time> earliest_embedding_finish(const TaskGraph& tg,
+                                              std::span<const ScheduledOp> ops,
+                                              Time window_begin) {
+  const auto witness = find_earliest_embedding(tg, ops, window_begin);
+  if (!witness) return std::nullopt;
+  return witness->finish;
+}
+
+bool window_contains_execution(const TaskGraph& tg, std::span<const ScheduledOp> ops,
+                               Time begin, Time end) {
+  const auto finish = earliest_embedding_finish(tg, ops, begin);
+  return finish.has_value() && *finish <= end;
+}
+
+std::vector<ScheduledOp> unroll_ops(const StaticSchedule& sched, std::size_t periods) {
+  const std::vector<ScheduledOp> base = sched.ops();
+  const Time period = sched.length();
+  std::vector<ScheduledOp> result;
+  result.reserve(base.size() * periods);
+  for (std::size_t r = 0; r < periods; ++r) {
+    const Time shift = static_cast<Time>(r) * period;
+    for (const ScheduledOp& op : base) {
+      result.push_back(ScheduledOp{op.elem, op.start + shift, op.duration});
+    }
+  }
+  return result;
+}
+
+std::vector<ScheduledOp> ops_from_trace(const sim::ExecutionTrace& trace,
+                                        const CommGraph& comm) {
+  std::vector<ScheduledOp> ops;
+  std::size_t i = 0;
+  const std::size_t n = trace.size();
+  while (i < n) {
+    const sim::Slot s = trace[i];
+    if (s == sim::kIdle) {
+      ++i;
+      continue;
+    }
+    if (!comm.has_element(s)) {
+      throw std::invalid_argument("ops_from_trace: unknown element id " +
+                                  std::to_string(s));
+    }
+    std::size_t run = 0;
+    while (i + run < n && trace[i + run] == s) ++run;
+    const Time w = comm.weight(s);
+    const std::size_t complete = run / static_cast<std::size_t>(w);
+    for (std::size_t k = 0; k < complete; ++k) {
+      ops.push_back(ScheduledOp{s, static_cast<Time>(i) + static_cast<Time>(k) * w, w});
+    }
+    i += run;
+  }
+  return ops;
+}
+
+std::optional<Time> finite_trace_latency(std::span<const ScheduledOp> ops, Time horizon,
+                                         const TaskGraph& tg) {
+  if (tg.empty()) return 0;
+  if (horizon <= 0) return std::nullopt;
+
+  // completion(t) at the left endpoints of its constancy regions.
+  std::vector<Time> candidates{0};
+  for (const ScheduledOp& op : ops) {
+    if (op.start + 1 <= horizon) candidates.push_back(op.start + 1);
+  }
+  struct Point {
+    Time t;
+    Time completion;  // kInf when no embedding at or after t
+  };
+  std::vector<Point> points;
+  points.reserve(candidates.size());
+  for (Time t : candidates) {
+    const auto finish = earliest_embedding_finish(tg, ops, t);
+    points.push_back(Point{t, finish && *finish <= horizon ? *finish : kInf});
+  }
+
+  // Smallest k such that for every t with t + k <= horizon:
+  // completion(t) <= t + k. Checked via the candidate points: for a
+  // point (t, c), the requirement applies to all window starts t' in
+  // [t, next_t) with t' + k <= horizon and demands c <= t' + k; the
+  // binding case is t' = t. Points with c == kInf forbid any window of
+  // length k starting at t, i.e. require t + k > horizon.
+  auto feasible = [&](Time k) {
+    for (const Point& point : points) {
+      if (point.t + k > horizon) continue;  // window does not fit
+      if (point.completion == kInf || point.completion - point.t > k) return false;
+    }
+    return true;
+  };
+  // feasible(k) is monotone in k only while windows still fit; it is in
+  // fact monotone overall (larger k both relaxes the bound and drops
+  // trailing windows), so binary search applies.
+  Time lo = 1, hi = horizon;
+  if (!feasible(hi)) return std::nullopt;
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (feasible(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+namespace {
+
+// Number of unrolled periods sufficient for any embedding query with a
+// window start inside the first period: in the greedy construction each
+// task-graph op waits at most two periods past its ready time (one to
+// reach the next occurrence of its element, one more when competing
+// occurrences are exhausted), so 2|C| + 2 periods always suffice.
+std::size_t unroll_budget(const TaskGraph& tg) { return 2 * tg.size() + 2; }
+
+// True iff every element of tg occurs at least once in the schedule.
+bool covers_elements(const StaticSchedule& sched, const TaskGraph& tg) {
+  std::vector<bool> present;
+  for (const ScheduledOp& op : sched.ops()) {
+    if (op.elem >= present.size()) present.resize(op.elem + 1, false);
+    present[op.elem] = true;
+  }
+  for (ElementId e : tg.labels()) {
+    if (e >= present.size() || !present[e]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Time> schedule_latency(const StaticSchedule& sched, const TaskGraph& tg) {
+  if (tg.empty()) return 0;
+  if (sched.length() == 0 || !covers_elements(sched, tg)) return std::nullopt;
+
+  const Time period = sched.length();
+  const std::vector<ScheduledOp> unrolled = unroll_ops(sched, unroll_budget(tg));
+
+  // completion(t) = earliest finish of an embedding starting at or
+  // after t, is a non-decreasing step function of t that only jumps at
+  // t = op.start + 1 (when the op at `start` leaves the window). The
+  // maximum of completion(t) - t is therefore attained at t = 0 or at
+  // one of those jump points, and by cyclicity only t in [0, period)
+  // matters.
+  std::vector<Time> candidates{0};
+  for (const ScheduledOp& op : sched.ops()) {
+    if (op.start + 1 < period) candidates.push_back(op.start + 1);
+  }
+
+  Time latency = 0;
+  for (Time t : candidates) {
+    const auto finish = earliest_embedding_finish(tg, unrolled, t);
+    if (!finish) return std::nullopt;  // cannot happen if covers_elements
+    latency = std::max(latency, *finish - t);
+  }
+  return latency;
+}
+
+bool periodic_satisfied(const StaticSchedule& sched, const TaskGraph& tg, Time p,
+                        Time d) {
+  if (p < 1 || d < 1) {
+    throw std::invalid_argument("periodic_satisfied: p and d must be >= 1");
+  }
+  if (tg.empty()) return true;
+  if (sched.length() == 0 || !covers_elements(sched, tg)) return false;
+
+  const Time period = sched.length();
+  const Time cycle = rt::lcm_checked(period, p);
+  // Invocations at t = 0, p, ..., cycle - p repeat identically afterwards.
+  const std::size_t periods_needed =
+      static_cast<std::size_t>(cycle / period) + unroll_budget(tg);
+  const std::vector<ScheduledOp> unrolled = unroll_ops(sched, periods_needed);
+  for (Time t = 0; t < cycle; t += p) {
+    const auto finish = earliest_embedding_finish(tg, unrolled, t);
+    if (!finish || *finish > t + d) return false;
+  }
+  return true;
+}
+
+FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel& model) {
+  FeasibilityReport report;
+  report.feasible = true;
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const TimingConstraint& c = model.constraint(i);
+    ConstraintVerdict verdict;
+    verdict.constraint = i;
+    if (c.periodic()) {
+      verdict.satisfied = periodic_satisfied(sched, c.task_graph, c.period, c.deadline);
+    } else {
+      verdict.latency = schedule_latency(sched, c.task_graph);
+      verdict.satisfied = verdict.latency.has_value() && *verdict.latency <= c.deadline;
+    }
+    report.feasible = report.feasible && verdict.satisfied;
+    report.verdicts.push_back(verdict);
+  }
+  return report;
+}
+
+}  // namespace rtg::core

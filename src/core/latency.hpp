@@ -1,0 +1,115 @@
+// latency.hpp — latency analysis of traces and static schedules.
+//
+// Central definitions from the paper:
+//   * An execution trace F has latency k w.r.t. a timing constraint
+//     (C, p, d) iff F contains an execution of C in every time interval
+//     of length >= k.
+//   * A static schedule L has latency k iff the trace obtained by
+//     repeating L round-robin ad infinitum has latency k.
+//   * L is feasible w.r.t. the asynchronous constraints T_a iff its
+//     latency w.r.t. every (C, p, d) in T_a is at most d.
+//
+// An *execution of C* inside an interval is an embedding: an injective
+// map from C's operations to complete executions in the trace, all
+// inside the interval, such that for every edge u -> v of C the image
+// of u finishes no later than the image of v starts (the output of u is
+// transmitted before v runs).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/static_schedule.hpp"
+
+namespace rtg::core {
+
+/// Earliest finish time over all embeddings of `tg` into `ops` whose
+/// executions all start at or after `window_begin`. `ops` must be
+/// sorted by start time and non-overlapping. Returns nullopt when no
+/// embedding exists within the given ops.
+///
+/// Exact for all task graphs: greedy (provably optimal) when no element
+/// labels two ops of `tg`, branch-and-bound otherwise.
+[[nodiscard]] std::optional<Time> earliest_embedding_finish(
+    const TaskGraph& tg, std::span<const ScheduledOp> ops, Time window_begin);
+
+/// True iff the interval [begin, end) of the given op sequence contains
+/// a complete execution of `tg` (every execution inside the interval).
+[[nodiscard]] bool window_contains_execution(const TaskGraph& tg,
+                                             std::span<const ScheduledOp> ops,
+                                             Time begin, Time end);
+
+/// An embedding witness: the finish time plus, per task-graph op (in op
+/// id order), the index into `ops` of the execution it mapped to.
+struct EmbeddingWitness {
+  Time finish = 0;
+  std::vector<std::size_t> assignment;
+};
+
+/// Like earliest_embedding_finish, but returns the witness and supports
+/// an exclusion mask: ops with used[i] == true are unavailable (pass an
+/// empty span for no exclusions).
+[[nodiscard]] std::optional<EmbeddingWitness> find_earliest_embedding(
+    const TaskGraph& tg, std::span<const ScheduledOp> ops, Time window_begin,
+    const std::vector<bool>& used = {});
+
+/// Flattens `periods` consecutive repetitions of the schedule into an
+/// absolute-time op sequence (period r's ops shifted by r * length).
+[[nodiscard]] std::vector<ScheduledOp> unroll_ops(const StaticSchedule& sched,
+                                                  std::size_t periods);
+
+/// Decodes a raw slot trace into complete executions: each maximal run
+/// of element e splits into floor(run / weight(e)) back-to-back
+/// executions; a trailing partial run is dropped. Slots with unknown
+/// element ids throw std::invalid_argument.
+[[nodiscard]] std::vector<ScheduledOp> ops_from_trace(const sim::ExecutionTrace& trace,
+                                                      const CommGraph& comm);
+
+/// Latency of a *finite* trace prefix w.r.t. `tg`: the smallest k such
+/// that every window [t, t+k] fully inside [0, horizon] contains an
+/// execution of `tg`. Unlike schedule_latency there is no cyclic
+/// extension — this measures what an observed trace (e.g. from the
+/// process-model simulator) actually guaranteed over its span.
+/// Returns nullopt when no k <= horizon works (some execution-free
+/// window of every length exists, e.g. an element never ran).
+[[nodiscard]] std::optional<Time> finite_trace_latency(std::span<const ScheduledOp> ops,
+                                                       Time horizon,
+                                                       const TaskGraph& tg);
+
+/// Latency of the cyclic schedule w.r.t. task graph `tg`: the smallest
+/// k such that every window of length >= k of the round-robin trace
+/// contains an execution of `tg`. Returns nullopt when the latency is
+/// infinite (no such k), e.g. when an element of `tg` never appears.
+[[nodiscard]] std::optional<Time> schedule_latency(const StaticSchedule& sched,
+                                                   const TaskGraph& tg);
+
+/// True iff the periodic constraint (tg, p, d) is satisfied by the
+/// cyclic schedule: for every invocation instant t = 0, p, 2p, ... the
+/// window [t, t+d] contains an execution of `tg`. Checked exactly over
+/// one combined cycle lcm(schedule length, p).
+[[nodiscard]] bool periodic_satisfied(const StaticSchedule& sched, const TaskGraph& tg,
+                                      Time p, Time d);
+
+/// Per-constraint verification result.
+struct ConstraintVerdict {
+  std::size_t constraint = 0;
+  /// For asynchronous constraints: the measured latency (nullopt =
+  /// infinite). For periodic constraints: unset.
+  std::optional<Time> latency;
+  bool satisfied = false;
+};
+
+/// Full feasibility report for a schedule against a model: latency <= d
+/// for every asynchronous constraint and invocation-window containment
+/// for every periodic constraint.
+struct FeasibilityReport {
+  std::vector<ConstraintVerdict> verdicts;
+  bool feasible = false;
+};
+
+[[nodiscard]] FeasibilityReport verify_schedule(const StaticSchedule& sched,
+                                                const GraphModel& model);
+
+}  // namespace rtg::core

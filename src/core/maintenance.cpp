@@ -1,0 +1,74 @@
+#include "core/maintenance.hpp"
+
+#include "core/pipeline.hpp"
+
+namespace rtg::core {
+
+namespace {
+
+// Re-expresses `sched` (over `from`) against `to`, matching elements by
+// name. nullopt when some scheduled element has no namesake in `to` or
+// the weights disagree (the execution would change shape).
+std::optional<StaticSchedule> translate_schedule(const StaticSchedule& sched,
+                                                 const CommGraph& from,
+                                                 const CommGraph& to) {
+  StaticSchedule out;
+  for (const ScheduleEntry& entry : sched.entries()) {
+    if (entry.elem == kIdleEntry) {
+      out.push_idle(entry.duration);
+      continue;
+    }
+    if (!from.has_element(entry.elem)) return std::nullopt;
+    const auto target = to.find(from.name(entry.elem));
+    if (!target || to.weight(*target) != entry.duration) return std::nullopt;
+    out.push_execution(*target, entry.duration);
+  }
+  return out;
+}
+
+}  // namespace
+
+MaintenanceResult maintain_schedule(const StaticSchedule& deployed,
+                                    const GraphModel& deployed_model,
+                                    const GraphModel& new_model,
+                                    const HeuristicOptions& options) {
+  MaintenanceResult result;
+
+  // Express the new model the same way the deployed schedule is
+  // expressed (pipelined or not, matching the synthesis options).
+  GraphModel target = options.pipeline ? pipeline_model(new_model).model : new_model;
+
+  const auto translated =
+      translate_schedule(deployed, deployed_model.comm(), target.comm());
+  if (translated) {
+    const FeasibilityReport report = verify_schedule(*translated, target);
+    if (report.feasible) {
+      result.outcome = MaintenanceOutcome::kScheduleUnchanged;
+      result.detail = "deployed schedule satisfies the revised model";
+      result.schedule = *translated;
+      result.scheduled_model = std::move(target);
+      return result;
+    }
+    for (const ConstraintVerdict& v : report.verdicts) {
+      if (!v.satisfied) result.violated.push_back(v.constraint);
+    }
+  } else {
+    result.detail = "deployed schedule references elements the revised model "
+                    "renamed or reweighted; ";
+  }
+
+  const HeuristicResult synth = latency_schedule(new_model, options);
+  result.scheduled_model = synth.scheduled_model;
+  if (!synth.success) {
+    result.outcome = MaintenanceOutcome::kFailed;
+    result.detail += "re-synthesis failed: " + synth.failure_reason;
+    return result;
+  }
+  result.outcome = MaintenanceOutcome::kRescheduled;
+  result.detail += "re-synthesized (" + std::to_string(result.violated.size()) +
+                   " constraint(s) violated by the old schedule)";
+  result.schedule = synth.schedule;
+  return result;
+}
+
+}  // namespace rtg::core

@@ -1,0 +1,58 @@
+// maintenance.hpp — incremental model maintenance.
+//
+// The paper's abstract promises to "substantially automate the design
+// *and maintenance* of real-time systems". This module supports the
+// maintenance half: when requirements change — a constraint is added,
+// removed, or retimed — the tooling first checks whether the deployed
+// static schedule already satisfies the revised model (re-verification
+// is cheap), and only re-synthesizes when it does not, reporting which
+// constraints forced the change.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/heuristic.hpp"
+#include "core/latency.hpp"
+#include "core/model.hpp"
+#include "core/static_schedule.hpp"
+
+namespace rtg::core {
+
+enum class MaintenanceOutcome : std::uint8_t {
+  kScheduleUnchanged,   ///< the deployed schedule satisfies the new model
+  kRescheduled,         ///< a new schedule was synthesized
+  kFailed,              ///< the new model could not be scheduled
+};
+
+struct MaintenanceResult {
+  MaintenanceOutcome outcome = MaintenanceOutcome::kFailed;
+  std::string detail;
+
+  /// The schedule in force after maintenance (the old one when
+  /// kScheduleUnchanged, the new one when kRescheduled; unset when
+  /// kFailed). Expressed against `scheduled_model`.
+  std::optional<StaticSchedule> schedule;
+  GraphModel scheduled_model;
+
+  /// Constraints of the new model the OLD schedule violated (indices
+  /// into the new model). Empty when the old schedule survived.
+  std::vector<std::size_t> violated;
+};
+
+/// Revalidates `deployed` (expressed against `deployed_model`, usually
+/// the pipelined model from the original synthesis) against
+/// `new_model`, and re-synthesizes with `options` when needed.
+///
+/// The check requires the new model's pipelined element set to be a
+/// superset-compatible rewrite of the deployed one: elements are
+/// matched by NAME, so renaming an element forces a reschedule. New
+/// elements absent from the deployed schedule simply make any
+/// constraint touching them fail the check (triggering reschedule).
+[[nodiscard]] MaintenanceResult maintain_schedule(const StaticSchedule& deployed,
+                                                  const GraphModel& deployed_model,
+                                                  const GraphModel& new_model,
+                                                  const HeuristicOptions& options = {});
+
+}  // namespace rtg::core

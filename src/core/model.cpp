@@ -1,0 +1,209 @@
+#include "core/model.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+
+namespace rtg::core {
+
+ElementId CommGraph::add_element(std::string name, Time weight, bool pipelinable) {
+  if (name.empty()) {
+    throw std::invalid_argument("CommGraph::add_element: empty name");
+  }
+  if (weight < 1) {
+    throw std::invalid_argument("CommGraph::add_element: weight must be >= 1");
+  }
+  const ElementId id = g_.add_node(weight, std::move(name));
+  pipelinable_.push_back(pipelinable);
+  return id;
+}
+
+bool CommGraph::add_channel(ElementId u, ElementId v) { return g_.add_edge(u, v); }
+
+std::vector<std::string> CommGraph::element_names() const {
+  std::vector<std::string> names;
+  names.reserve(g_.node_count());
+  for (ElementId e = 0; e < g_.node_count(); ++e) {
+    names.push_back(g_.name(e));
+  }
+  return names;
+}
+
+OpId TaskGraph::add_op(ElementId e) {
+  const OpId id = skel_.add_node(/*weight=*/1);
+  labels_.push_back(e);
+  return id;
+}
+
+bool TaskGraph::add_dep(OpId u, OpId v) { return skel_.add_edge(u, v); }
+
+Time TaskGraph::computation_time(const CommGraph& g) const {
+  Time total = 0;
+  for (ElementId e : labels_) total += g.weight(e);
+  return total;
+}
+
+std::vector<std::string> TaskGraph::validate(const CommGraph& g) const {
+  std::vector<std::string> diags;
+  if (!graph::is_acyclic(skel_)) {
+    diags.push_back("task graph is cyclic");
+  }
+  for (OpId op = 0; op < size(); ++op) {
+    if (!g.has_element(labels_[op])) {
+      diags.push_back("op " + std::to_string(op) + " references unknown element " +
+                      std::to_string(labels_[op]));
+    }
+  }
+  if (!diags.empty()) return diags;  // labels unsafe to dereference below
+  for (const graph::Edge& e : skel_.edges()) {
+    if (!g.has_channel(labels_[e.from], labels_[e.to])) {
+      diags.push_back("edge " + g.name(labels_[e.from]) + " -> " +
+                      g.name(labels_[e.to]) +
+                      " has no corresponding communication channel");
+    }
+  }
+  return diags;
+}
+
+std::optional<std::vector<OpId>> TaskGraph::as_chain() const {
+  if (empty()) return std::vector<OpId>{};
+  OpId head = graph::kInvalidNode;
+  for (OpId op = 0; op < size(); ++op) {
+    if (skel_.in_degree(op) > 1 || skel_.out_degree(op) > 1) return std::nullopt;
+    if (skel_.in_degree(op) == 0) {
+      if (head != graph::kInvalidNode) return std::nullopt;  // two heads
+      head = op;
+    }
+  }
+  if (head == graph::kInvalidNode) return std::nullopt;  // cyclic
+  std::vector<OpId> order{head};
+  while (skel_.out_degree(order.back()) == 1) {
+    order.push_back(skel_.successors(order.back())[0]);
+  }
+  if (order.size() != size()) return std::nullopt;  // disconnected
+  return order;
+}
+
+std::vector<OpId> TaskGraph::topological_ops() const {
+  auto order = graph::topological_sort(skel_);
+  if (!order) {
+    throw std::invalid_argument("TaskGraph::topological_ops: cyclic skeleton");
+  }
+  return *order;
+}
+
+bool TaskGraph::has_repeated_labels() const {
+  std::unordered_set<ElementId> seen;
+  for (ElementId e : labels_) {
+    if (!seen.insert(e).second) return true;
+  }
+  return false;
+}
+
+std::size_t GraphModel::add_constraint(TimingConstraint c) {
+  if (c.period < 1 || c.deadline < 1) {
+    throw std::invalid_argument("GraphModel::add_constraint: period and deadline must be >= 1");
+  }
+  if (c.task_graph.empty()) {
+    throw std::invalid_argument("GraphModel::add_constraint: empty task graph");
+  }
+  const auto diags = c.task_graph.validate(comm_);
+  if (!diags.empty()) {
+    std::string message = "GraphModel::add_constraint('" + c.name + "'):";
+    for (const auto& d : diags) message += " " + d + ";";
+    throw std::invalid_argument(message);
+  }
+  constraints_.push_back(std::move(c));
+  return constraints_.size() - 1;
+}
+
+std::optional<std::size_t> GraphModel::find_constraint(std::string_view name) const {
+  for (std::size_t i = 0; i < constraints_.size(); ++i) {
+    if (constraints_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+double GraphModel::deadline_utilization() const {
+  double u = 0.0;
+  for (const TimingConstraint& c : constraints_) {
+    u += static_cast<double>(c.task_graph.computation_time(comm_)) /
+         static_cast<double>(c.deadline);
+  }
+  return u;
+}
+
+bool GraphModel::satisfies_theorem3() const {
+  if (deadline_utilization() > 0.5 + 1e-12) return false;
+  for (const TimingConstraint& c : constraints_) {
+    const Time w = c.task_graph.computation_time(comm_);
+    if (c.deadline / 2 < w) return false;
+    for (ElementId e : c.task_graph.labels()) {
+      if (comm_.weight(e) > 1 && !comm_.pipelinable(e)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<ElementId> GraphModel::shared_elements() const {
+  std::vector<std::size_t> users(comm_.size(), 0);
+  for (const TimingConstraint& c : constraints_) {
+    std::unordered_set<ElementId> distinct(c.task_graph.labels().begin(),
+                                           c.task_graph.labels().end());
+    for (ElementId e : distinct) ++users[e];
+  }
+  std::vector<ElementId> shared;
+  for (ElementId e = 0; e < users.size(); ++e) {
+    if (users[e] >= 2) shared.push_back(e);
+  }
+  return shared;
+}
+
+GraphModel make_control_system(const ControlSystemParams& params) {
+  CommGraph g;
+  const ElementId fx = g.add_element("fx", params.cx);
+  const ElementId fy = g.add_element("fy", params.cy);
+  const ElementId fz = g.add_element("fz", params.cz);
+  const ElementId fs = g.add_element("fs", params.cs);
+  const ElementId fk = g.add_element("fk", params.ck);
+  g.add_channel(fx, fs);
+  g.add_channel(fy, fs);
+  g.add_channel(fz, fs);
+  g.add_channel(fs, fk);
+  g.add_channel(fk, fs);  // feedback of internal state v
+
+  GraphModel model(std::move(g));
+
+  {
+    TaskGraph cx_graph;
+    const OpId ox = cx_graph.add_op(fx);
+    const OpId os = cx_graph.add_op(fs);
+    const OpId ok = cx_graph.add_op(fk);
+    cx_graph.add_dep(ox, os);
+    cx_graph.add_dep(os, ok);
+    model.add_constraint(TimingConstraint{"X", std::move(cx_graph), params.px,
+                                          params.dx, ConstraintKind::kPeriodic});
+  }
+  {
+    TaskGraph cy_graph;
+    const OpId oy = cy_graph.add_op(fy);
+    const OpId os = cy_graph.add_op(fs);
+    const OpId ok = cy_graph.add_op(fk);
+    cy_graph.add_dep(oy, os);
+    cy_graph.add_dep(os, ok);
+    model.add_constraint(TimingConstraint{"Y", std::move(cy_graph), params.py,
+                                          params.dy, ConstraintKind::kPeriodic});
+  }
+  {
+    TaskGraph cz_graph;
+    const OpId oz = cz_graph.add_op(fz);
+    const OpId os = cz_graph.add_op(fs);
+    cz_graph.add_dep(oz, os);
+    model.add_constraint(TimingConstraint{"Z", std::move(cz_graph), params.pz,
+                                          params.dz, ConstraintKind::kAsynchronous});
+  }
+  return model;
+}
+
+}  // namespace rtg::core

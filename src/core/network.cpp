@@ -1,0 +1,420 @@
+#include "core/network.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "core/multiproc.hpp"  // partition_elements
+#include "core/pipeline.hpp"
+#include "rt/task.hpp"         // lcm_checked
+
+namespace rtg::core {
+
+NetworkTopology::NetworkTopology(std::size_t processors)
+    : n_(processors), adj_(processors) {
+  if (processors == 0) {
+    throw std::invalid_argument("NetworkTopology: zero processors");
+  }
+}
+
+bool NetworkTopology::add_link(std::size_t a, std::size_t b) {
+  if (a >= n_ || b >= n_) throw std::out_of_range("NetworkTopology::add_link");
+  if (a == b) throw std::invalid_argument("NetworkTopology: self link");
+  if (has_link(a, b)) return false;
+  adj_[a].push_back(b);
+  std::sort(adj_[a].begin(), adj_[a].end());
+  return true;
+}
+
+void NetworkTopology::add_duplex(std::size_t a, std::size_t b) {
+  add_link(a, b);
+  add_link(b, a);
+}
+
+bool NetworkTopology::has_link(std::size_t a, std::size_t b) const {
+  if (a >= n_ || b >= n_) return false;
+  return std::binary_search(adj_[a].begin(), adj_[a].end(), b);
+}
+
+std::vector<NetworkLink> NetworkTopology::links() const {
+  std::vector<NetworkLink> out;
+  for (std::size_t a = 0; a < n_; ++a) {
+    for (std::size_t b : adj_[a]) out.push_back(NetworkLink{a, b});
+  }
+  return out;
+}
+
+std::optional<std::vector<std::size_t>> NetworkTopology::route(std::size_t a,
+                                                               std::size_t b) const {
+  if (a >= n_ || b >= n_) return std::nullopt;
+  if (a == b) return std::vector<std::size_t>{a};
+  std::vector<std::size_t> parent(n_, static_cast<std::size_t>(-1));
+  std::deque<std::size_t> queue{a};
+  parent[a] = a;
+  while (!queue.empty()) {
+    const std::size_t cur = queue.front();
+    queue.pop_front();
+    for (std::size_t next : adj_[cur]) {  // ascending -> deterministic
+      if (parent[next] != static_cast<std::size_t>(-1)) continue;
+      parent[next] = cur;
+      if (next == b) {
+        std::vector<std::size_t> path{b};
+        for (std::size_t v = b; v != a; v = parent[v]) path.push_back(parent[v]);
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      queue.push_back(next);
+    }
+  }
+  return std::nullopt;
+}
+
+NetworkTopology NetworkTopology::full_mesh(std::size_t processors) {
+  NetworkTopology t(processors);
+  for (std::size_t a = 0; a < processors; ++a) {
+    for (std::size_t b = 0; b < processors; ++b) {
+      if (a != b) t.add_link(a, b);
+    }
+  }
+  return t;
+}
+
+NetworkTopology NetworkTopology::ring(std::size_t processors) {
+  NetworkTopology t(processors);
+  if (processors >= 2) {
+    for (std::size_t a = 0; a < processors; ++a) {
+      const std::size_t b = (a + 1) % processors;
+      if (!t.has_link(a, b)) t.add_duplex(a, b);
+    }
+  }
+  return t;
+}
+
+NetworkTopology NetworkTopology::star(std::size_t processors) {
+  NetworkTopology t(processors);
+  for (std::size_t leaf = 1; leaf < processors; ++leaf) {
+    t.add_duplex(0, leaf);
+  }
+  return t;
+}
+
+namespace {
+
+// Index of a link's schedule in the table, or npos.
+std::size_t find_link_schedule(const std::vector<LinkSchedule>& tables,
+                               std::size_t from, std::size_t to) {
+  for (std::size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].link.from == from && tables[i].link.to == to) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+// Slot offset of (channel, hop) in a link's cycle, or npos.
+std::size_t find_slot(const LinkSchedule& table, ElementId u, ElementId v,
+                      std::size_t hop) {
+  for (std::size_t k = 0; k < table.slots.size(); ++k) {
+    if (table.slots[k] == LinkSlot{u, v, hop}) return k;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+// Earliest arrival over the TDMA slot (offset within cycle) with
+// transmission start >= ready.
+Time slot_arrival(Time ready, std::size_t offset, Time cycle) {
+  const Time off = static_cast<Time>(offset);
+  Time j = (ready - off + cycle - 1) / cycle;
+  if (j < 0) j = 0;
+  return j * cycle + off + 1;
+}
+
+}  // namespace
+
+std::optional<Time> network_latency(const TaskGraph& tg,
+                                    const std::vector<StaticSchedule>& schedules,
+                                    const std::vector<std::size_t>& assignment,
+                                    const NetworkTopology& topology,
+                                    const std::vector<LinkSchedule>& tables) {
+  if (tg.empty()) return 0;
+
+  Time cycle = 1;
+  for (const StaticSchedule& s : schedules) {
+    if (s.length() > 0) cycle = rt::lcm_checked(cycle, s.length());
+  }
+  for (const LinkSchedule& t : tables) {
+    cycle = rt::lcm_checked(cycle, t.cycle());
+  }
+
+  const std::size_t horizon_cycles = 2 * tg.size() + 2;
+  const Time horizon = static_cast<Time>(horizon_cycles) * cycle;
+  std::vector<std::vector<ScheduledOp>> proc_ops(schedules.size());
+  for (std::size_t p = 0; p < schedules.size(); ++p) {
+    if (schedules[p].length() == 0) continue;
+    proc_ops[p] =
+        unroll_ops(schedules[p], static_cast<std::size_t>(horizon / schedules[p].length()) + 1);
+  }
+
+  const auto topo = tg.topological_ops();
+
+  auto completion = [&](Time t) -> std::optional<Time> {
+    std::vector<Time> finish(tg.size(), 0);
+    Time makespan = t;
+    for (OpId v : topo) {
+      const ElementId ev = tg.label(v);
+      const std::size_t pv = assignment.at(ev);
+      Time ready = t;
+      for (OpId u : tg.skeleton().predecessors(v)) {
+        const ElementId eu = tg.label(u);
+        const std::size_t pu = assignment.at(eu);
+        if (pu == pv) {
+          ready = std::max(ready, finish[u]);
+          continue;
+        }
+        const auto path = topology.route(pu, pv);
+        if (!path) return std::nullopt;
+        Time hop_ready = std::max(finish[u], t);  // transmissions inside window
+        for (std::size_t hop = 0; hop + 1 < path->size(); ++hop) {
+          const std::size_t table =
+              find_link_schedule(tables, (*path)[hop], (*path)[hop + 1]);
+          if (table == static_cast<std::size_t>(-1)) return std::nullopt;
+          const std::size_t offset = find_slot(tables[table], eu, ev, hop);
+          if (offset == static_cast<std::size_t>(-1)) return std::nullopt;
+          hop_ready = slot_arrival(hop_ready, offset, tables[table].cycle());
+        }
+        ready = std::max(ready, hop_ready);
+      }
+      const auto& ops = proc_ops[pv];
+      auto it = std::lower_bound(
+          ops.begin(), ops.end(), ready,
+          [](const ScheduledOp& op, Time tt) { return op.start < tt; });
+      bool found = false;
+      for (; it != ops.end(); ++it) {
+        if (it->elem == ev) {
+          finish[v] = it->finish();
+          makespan = std::max(makespan, finish[v]);
+          found = true;
+          break;
+        }
+      }
+      if (!found) return std::nullopt;
+    }
+    return makespan;
+  };
+
+  std::set<Time> candidates{0};
+  for (std::size_t p = 0; p < schedules.size(); ++p) {
+    if (schedules[p].length() == 0) continue;
+    const Time reps = cycle / schedules[p].length();
+    for (Time r = 0; r < reps; ++r) {
+      for (const ScheduledOp& op : schedules[p].ops()) {
+        const Time s = r * schedules[p].length() + op.start + 1;
+        if (s < cycle) candidates.insert(s);
+      }
+    }
+  }
+  // Every slot boundary matters for link timing; link cycles are short,
+  // so add all boundaries up to the largest link cycle.
+  Time max_link_cycle = 1;
+  for (const LinkSchedule& t : tables) max_link_cycle = std::max(max_link_cycle, t.cycle());
+  for (Time s = 1; s < std::min(cycle, max_link_cycle + 1); ++s) candidates.insert(s);
+
+  Time latency = 0;
+  for (Time t : candidates) {
+    const auto finish = completion(t);
+    if (!finish) return std::nullopt;
+    latency = std::max(latency, *finish - t);
+  }
+  return latency;
+}
+
+NetworkScheduleResult network_schedule(const GraphModel& input,
+                                       const NetworkTopology& topology,
+                                       const NetworkOptions& options) {
+  NetworkScheduleResult result;
+  const std::size_t m = topology.processors();
+
+  GraphModel model = options.local.pipeline ? pipeline_model(input).model : input;
+  result.scheduled_model = model;
+  const CommGraph& comm = model.comm();
+
+  result.assignment = partition_elements(comm, m, options.strategy);
+
+  // Register every (channel, hop) on the link it traverses.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<LinkSlot>> link_slots;
+  auto register_channel = [&](ElementId u, ElementId v) -> bool {
+    const std::size_t pu = result.assignment[u];
+    const std::size_t pv = result.assignment[v];
+    const auto path = topology.route(pu, pv);
+    if (!path) return false;
+    for (std::size_t hop = 0; hop + 1 < path->size(); ++hop) {
+      auto& slots = link_slots[{(*path)[hop], (*path)[hop + 1]}];
+      const LinkSlot slot{u, v, hop};
+      if (std::find(slots.begin(), slots.end(), slot) == slots.end()) {
+        slots.push_back(slot);
+      }
+    }
+    return true;
+  };
+
+  for (const TimingConstraint& c : model.constraints()) {
+    for (const graph::Edge& e : c.task_graph.skeleton().edges()) {
+      const ElementId u = c.task_graph.label(e.from);
+      const ElementId v = c.task_graph.label(e.to);
+      if (result.assignment[u] != result.assignment[v]) {
+        if (!register_channel(u, v)) {
+          result.failure_reason =
+              "no route between processors for channel " + comm.name(u) + " -> " +
+              comm.name(v);
+          return result;
+        }
+      }
+    }
+  }
+  for (auto& [link, slots] : link_slots) {
+    std::sort(slots.begin(), slots.end(), [](const LinkSlot& a, const LinkSlot& b) {
+      if (a.from_elem != b.from_elem) return a.from_elem < b.from_elem;
+      if (a.to_elem != b.to_elem) return a.to_elem < b.to_elem;
+      return a.hop < b.hop;
+    });
+    result.link_schedules.push_back(
+        LinkSchedule{NetworkLink{link.first, link.second}, slots});
+  }
+
+  // Message budget of a channel: Σ over its hops of the hop's link
+  // cycle (wait) + 1 (transit) — slot_arrival waits at most one cycle.
+  auto channel_budget = [&](ElementId u, ElementId v) -> Time {
+    const auto path = topology.route(result.assignment[u], result.assignment[v]);
+    Time budget = 0;
+    for (std::size_t hop = 0; hop + 1 < path->size(); ++hop) {
+      const std::size_t table =
+          find_link_schedule(result.link_schedules, (*path)[hop], (*path)[hop + 1]);
+      budget += result.link_schedules[table].cycle() + 1;
+    }
+    return budget;
+  };
+
+  // Per-processor decomposition (work-proportional deadline split, as
+  // in core/multiproc).
+  struct LocalWorld {
+    CommGraph comm;
+    std::vector<ElementId> to_global;
+    std::vector<ElementId> to_local;
+    std::vector<TimingConstraint> constraints;
+  };
+  std::vector<LocalWorld> worlds(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    worlds[p].to_local.assign(comm.size(), graph::kInvalidNode);
+  }
+  for (ElementId e = 0; e < comm.size(); ++e) {
+    LocalWorld& w = worlds[result.assignment[e]];
+    const ElementId local =
+        w.comm.add_element(comm.name(e), comm.weight(e), comm.pipelinable(e));
+    w.to_global.push_back(e);
+    w.to_local[e] = local;
+  }
+  for (const graph::Edge& ch : comm.digraph().edges()) {
+    if (result.assignment[ch.from] == result.assignment[ch.to]) {
+      LocalWorld& w = worlds[result.assignment[ch.from]];
+      w.comm.add_channel(w.to_local[ch.from], w.to_local[ch.to]);
+    }
+  }
+
+  for (const TimingConstraint& c : model.constraints()) {
+    std::set<std::size_t> procs;
+    for (ElementId e : c.task_graph.labels()) procs.insert(result.assignment[e]);
+    Time msg_budget = 0;
+    for (const graph::Edge& e : c.task_graph.skeleton().edges()) {
+      const ElementId u = c.task_graph.label(e.from);
+      const ElementId v = c.task_graph.label(e.to);
+      if (result.assignment[u] != result.assignment[v]) {
+        msg_budget += channel_budget(u, v);
+      }
+    }
+    const Time local_total = c.deadline - msg_budget;
+    if (local_total < static_cast<Time>(procs.size())) {
+      result.failure_reason = "constraint '" + c.name +
+                              "': deadline too small after message budget " +
+                              std::to_string(msg_budget);
+      return result;
+    }
+    std::vector<Time> proc_work(m, 0);
+    Time total_work = 0;
+    for (ElementId e : c.task_graph.labels()) {
+      proc_work[result.assignment[e]] += comm.weight(e);
+      total_work += comm.weight(e);
+    }
+
+    for (std::size_t p : procs) {
+      LocalWorld& w = worlds[p];
+      TaskGraph sub;
+      std::vector<OpId> sub_op(c.task_graph.size(), graph::kInvalidNode);
+      for (OpId op = 0; op < c.task_graph.size(); ++op) {
+        const ElementId e = c.task_graph.label(op);
+        if (result.assignment[e] == p) sub_op[op] = sub.add_op(w.to_local[e]);
+      }
+      if (sub.empty()) continue;
+      for (const graph::Edge& e : c.task_graph.skeleton().edges()) {
+        if (sub_op[e.from] != graph::kInvalidNode &&
+            sub_op[e.to] != graph::kInvalidNode) {
+          sub.add_dep(sub_op[e.from], sub_op[e.to]);
+        }
+      }
+      TimingConstraint local;
+      local.name = c.name + "@" + std::to_string(p);
+      local.task_graph = std::move(sub);
+      local.period = c.period;
+      local.deadline = std::max<Time>(2 * proc_work[p],
+                                      local_total * proc_work[p] /
+                                          std::max<Time>(total_work, 1));
+      local.kind = ConstraintKind::kAsynchronous;
+      w.constraints.push_back(std::move(local));
+    }
+  }
+
+  result.processor_schedules.resize(m);
+  for (std::size_t p = 0; p < m; ++p) {
+    LocalWorld& w = worlds[p];
+    GraphModel local_model(w.comm);
+    for (TimingConstraint& c : w.constraints) local_model.add_constraint(std::move(c));
+    HeuristicOptions local_opts = options.local;
+    local_opts.pipeline = false;
+    const HeuristicResult local = latency_schedule(local_model, local_opts);
+    if (!local.success) {
+      result.failure_reason = "processor " + std::to_string(p) + ": " +
+                              local.failure_reason;
+      return result;
+    }
+    StaticSchedule global_sched;
+    for (const ScheduleEntry& entry : local.schedule->entries()) {
+      if (entry.elem == kIdleEntry) {
+        global_sched.push_idle(entry.duration);
+      } else {
+        global_sched.push_execution(w.to_global[entry.elem], entry.duration);
+      }
+    }
+    result.processor_schedules[p] = std::move(global_sched);
+  }
+  for (std::size_t p = 0; p < m; ++p) {
+    if (result.processor_schedules[p].length() == 0) {
+      result.processor_schedules[p].push_idle(1);
+    }
+  }
+
+  bool all_ok = true;
+  for (const TimingConstraint& c : model.constraints()) {
+    const auto latency =
+        network_latency(c.task_graph, result.processor_schedules, result.assignment,
+                        topology, result.link_schedules);
+    result.end_to_end_latency.push_back(latency);
+    if (!latency || *latency > c.deadline) all_ok = false;
+  }
+  if (!all_ok) {
+    result.failure_reason = "end-to-end verification failed";
+    return result;
+  }
+  result.success = true;
+  return result;
+}
+
+}  // namespace rtg::core

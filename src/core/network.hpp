@@ -1,0 +1,127 @@
+// network.hpp — point-to-point communication-network scheduling.
+//
+// core/multiproc models the network as a single shared TDMA bus. This
+// module generalizes it to arbitrary link topologies — mesh, ring,
+// star — which is the full version of the paper's "similar-looking
+// problem for scheduling the communication network":
+//
+//   * a NetworkTopology is a digraph over processors; messages route
+//     along shortest paths (BFS, deterministic tie-break);
+//   * every link runs its own TDMA cycle: one slot per (element
+//     channel, hop) that traverses it, so hops on different links
+//     proceed in parallel and a hop waits at most one cycle of its own
+//     link;
+//   * a cross-processor task-graph edge u -> v becomes a multi-hop
+//     message: hop i may start only after hop i-1 arrives, in its
+//     link's slot for that channel;
+//   * end-to-end verification extends the distributed embedding search
+//     of multiproc_latency with per-hop message timing.
+//
+// Pipeline ordering of transmissions holds per construction: each
+// (channel, hop) owns one slot per cycle of its link, so successive
+// messages on a channel traverse every hop in FIFO order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/heuristic.hpp"
+#include "core/model.hpp"
+#include "core/multiproc.hpp"  // PartitionStrategy
+#include "core/static_schedule.hpp"
+
+namespace rtg::core {
+
+/// A directed communication link between two processors.
+struct NetworkLink {
+  std::size_t from = 0;
+  std::size_t to = 0;
+
+  friend bool operator==(const NetworkLink&, const NetworkLink&) = default;
+};
+
+/// Processor interconnect topology.
+class NetworkTopology {
+ public:
+  explicit NetworkTopology(std::size_t processors);
+
+  [[nodiscard]] std::size_t processors() const { return n_; }
+
+  /// Adds a directed link a -> b; returns false if already present.
+  bool add_link(std::size_t a, std::size_t b);
+  /// Adds links in both directions.
+  void add_duplex(std::size_t a, std::size_t b);
+
+  [[nodiscard]] bool has_link(std::size_t a, std::size_t b) const;
+  [[nodiscard]] std::vector<NetworkLink> links() const;
+
+  /// Shortest processor path from a to b (inclusive endpoints), BFS
+  /// with smallest-id tie-break; nullopt if unreachable. route(a, a)
+  /// is {a}.
+  [[nodiscard]] std::optional<std::vector<std::size_t>> route(std::size_t a,
+                                                              std::size_t b) const;
+
+  /// Prefabricated shapes.
+  [[nodiscard]] static NetworkTopology full_mesh(std::size_t processors);
+  [[nodiscard]] static NetworkTopology ring(std::size_t processors);  ///< duplex ring
+  [[nodiscard]] static NetworkTopology star(std::size_t processors);  ///< hub = 0
+
+ private:
+  std::size_t n_;
+  std::vector<std::vector<std::size_t>> adj_;
+};
+
+/// One reserved slot in a link's TDMA cycle: hop `hop` of the message
+/// channel carrying element `from_elem` -> `to_elem` data.
+struct LinkSlot {
+  ElementId from_elem = 0;
+  ElementId to_elem = 0;
+  std::size_t hop = 0;
+
+  friend bool operator==(const LinkSlot&, const LinkSlot&) = default;
+};
+
+/// TDMA table of one link: slot k of every cycle carries slots[k].
+struct LinkSchedule {
+  NetworkLink link;
+  std::vector<LinkSlot> slots;
+
+  [[nodiscard]] Time cycle() const {
+    return static_cast<Time>(slots.empty() ? 1 : slots.size());
+  }
+};
+
+struct NetworkScheduleResult {
+  bool success = false;
+  std::string failure_reason;
+
+  GraphModel scheduled_model;            ///< pipelined model
+  std::vector<std::size_t> assignment;   ///< element -> processor
+  std::vector<StaticSchedule> processor_schedules;
+  std::vector<LinkSchedule> link_schedules;
+  std::vector<std::optional<Time>> end_to_end_latency;  ///< per constraint
+};
+
+struct NetworkOptions {
+  PartitionStrategy strategy = PartitionStrategy::kCommunication;
+  HeuristicOptions local;
+};
+
+/// Decomposed synthesis over an explicit topology: partition,
+/// per-processor latency scheduling, per-link TDMA, exact end-to-end
+/// verification. Fails when some needed channel has no route.
+[[nodiscard]] NetworkScheduleResult network_schedule(const GraphModel& model,
+                                                     const NetworkTopology& topology,
+                                                     const NetworkOptions& options = {});
+
+/// Exact end-to-end latency of `tg` over per-processor schedules and
+/// link TDMA tables (greedy embedding; exact without repeated labels).
+/// nullopt = infinite (missing element, route, or link slot).
+[[nodiscard]] std::optional<Time> network_latency(
+    const TaskGraph& tg, const std::vector<StaticSchedule>& processor_schedules,
+    const std::vector<std::size_t>& assignment, const NetworkTopology& topology,
+    const std::vector<LinkSchedule>& link_schedules);
+
+}  // namespace rtg::core

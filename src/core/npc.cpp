@@ -1,0 +1,187 @@
+#include "core/npc.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace rtg::core {
+
+bool ThreePartitionInstance::balanced() const {
+  const Time total = std::accumulate(items.begin(), items.end(), Time{0});
+  return total == static_cast<Time>(bins) * capacity;
+}
+
+namespace {
+
+void check_instance(const ThreePartitionInstance& inst) {
+  if (inst.bins == 0 || inst.items.size() != 3 * inst.bins) {
+    throw std::invalid_argument("three_partition: need exactly 3*bins items");
+  }
+  for (Time a : inst.items) {
+    if (a < 1) throw std::invalid_argument("three_partition: non-positive item");
+  }
+}
+
+TimingConstraint single_op_constraint(std::string name, ElementId e, Time deadline) {
+  TaskGraph tg;
+  tg.add_op(e);
+  TimingConstraint c;
+  c.name = std::move(name);
+  c.task_graph = std::move(tg);
+  c.period = 1;
+  c.deadline = deadline;
+  c.kind = ConstraintKind::kAsynchronous;
+  return c;
+}
+
+}  // namespace
+
+GraphModel three_partition_model(const ThreePartitionInstance& inst) {
+  check_instance(inst);
+  CommGraph comm;
+  const ElementId gate = comm.add_element("gate", 1, /*pipelinable=*/false);
+  std::vector<ElementId> item_elems;
+  for (std::size_t j = 0; j < inst.items.size(); ++j) {
+    item_elems.push_back(comm.add_element("item" + std::to_string(j), inst.items[j],
+                                          /*pipelinable=*/false));
+  }
+  GraphModel model(std::move(comm));
+  const Time cycle = static_cast<Time>(inst.bins) * (inst.capacity + 1);
+  model.add_constraint(single_op_constraint("gate", gate, inst.capacity + 1));
+  for (std::size_t j = 0; j < inst.items.size(); ++j) {
+    // The packing schedule runs item j once per cycle; a window that
+    // opens just after the execution starts sees the next one complete
+    // cycle + w - 1 slots later, hence the w - 1 allowance.
+    model.add_constraint(single_op_constraint("item" + std::to_string(j), item_elems[j],
+                                              cycle + inst.items[j] - 1));
+  }
+  return model;
+}
+
+GraphModel three_partition_chain_model(const ThreePartitionInstance& inst) {
+  check_instance(inst);
+  CommGraph comm;
+  const ElementId gate = comm.add_element("gate", 1, /*pipelinable=*/false);
+
+  GraphModel model;
+  // Build the communication graph first (all elements + chain channels),
+  // then the model, then constraints referencing it.
+  std::vector<std::vector<ElementId>> chains;
+  for (std::size_t j = 0; j < inst.items.size(); ++j) {
+    std::vector<ElementId> chain;
+    ElementId prev = graph::kInvalidNode;
+    for (Time k = 0; k < inst.items[j]; ++k) {
+      const ElementId sub = comm.add_element(
+          "item" + std::to_string(j) + "/" + std::to_string(k), 1,
+          /*pipelinable=*/false);
+      if (prev != graph::kInvalidNode) comm.add_channel(prev, sub);
+      chain.push_back(sub);
+      prev = sub;
+    }
+    chains.push_back(std::move(chain));
+  }
+  model = GraphModel(std::move(comm));
+
+  const Time cycle = static_cast<Time>(inst.bins) * (inst.capacity + 1);
+  model.add_constraint(single_op_constraint("gate", gate, inst.capacity + 1));
+  for (std::size_t j = 0; j < chains.size(); ++j) {
+    TaskGraph tg;
+    OpId prev = graph::kInvalidNode;
+    for (ElementId e : chains[j]) {
+      const OpId op = tg.add_op(e);
+      if (prev != graph::kInvalidNode) tg.add_dep(prev, op);
+      prev = op;
+    }
+    TimingConstraint c;
+    c.name = "item" + std::to_string(j);
+    c.task_graph = std::move(tg);
+    c.period = 1;
+    c.deadline = cycle + inst.items[j] - 1;
+    c.kind = ConstraintKind::kAsynchronous;
+    model.add_constraint(std::move(c));
+  }
+  return model;
+}
+
+ThreePartitionInstance random_solvable_three_partition(std::size_t bins, Time capacity,
+                                                       sim::Rng& rng) {
+  if (bins == 0 || capacity < 8 || capacity % 4 != 0) {
+    throw std::invalid_argument(
+        "random_solvable_three_partition: need bins >= 1, capacity >= 8, capacity % 4 == 0");
+  }
+  ThreePartitionInstance inst;
+  inst.bins = bins;
+  inst.capacity = capacity;
+  // Inclusive canonical range [B/4, B/2]; boundary items slightly relax
+  // strict 3-PARTITION canonicity but keep every bin a triple.
+  const Time lo = capacity / 4;
+  const Time hi = capacity / 2;
+  for (std::size_t b = 0; b < bins; ++b) {
+    // Draw a, then b in ranges that leave c = capacity - a - b in
+    // (capacity/4, capacity/2).
+    Time a, b2, c;
+    do {
+      a = rng.uniform(lo, hi);
+      b2 = rng.uniform(lo, hi);
+      c = capacity - a - b2;
+    } while (c < lo || c > hi);
+    inst.items.push_back(a);
+    inst.items.push_back(b2);
+    inst.items.push_back(c);
+  }
+  // Shuffle so bins are not contiguous in the item order.
+  for (std::size_t i = inst.items.size(); i > 1; --i) {
+    const std::size_t j =
+        static_cast<std::size_t>(rng.uniform(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(inst.items[i - 1], inst.items[j]);
+  }
+  return inst;
+}
+
+ThreePartitionInstance make_overloaded(ThreePartitionInstance inst) {
+  if (inst.items.empty()) {
+    throw std::invalid_argument("make_overloaded: empty instance");
+  }
+  inst.items[0] += 1;
+  return inst;
+}
+
+namespace {
+
+bool tp_rec(const std::vector<Time>& items, std::vector<bool>& used,
+            std::vector<Time>& room, std::size_t placed) {
+  if (placed == items.size()) return true;
+  // Pick the first unused item (items pre-sorted descending).
+  std::size_t j = 0;
+  while (used[j]) ++j;
+  used[j] = true;
+  // Try each bin with room, skipping bins with identical residual room
+  // (symmetry pruning).
+  Time last_room = -1;
+  for (std::size_t b = 0; b < room.size(); ++b) {
+    if (room[b] == last_room) continue;
+    if (room[b] < items[j]) continue;
+    last_room = room[b];
+    room[b] -= items[j];
+    if (tp_rec(items, used, room, placed + 1)) return true;
+    room[b] += items[j];
+  }
+  used[j] = false;
+  return false;
+}
+
+}  // namespace
+
+bool solve_three_partition(const ThreePartitionInstance& inst) {
+  check_instance(inst);
+  if (!inst.balanced()) return false;
+  std::vector<Time> items = inst.items;
+  std::sort(items.begin(), items.end(), std::greater<>());
+  if (!items.empty() && items.front() > inst.capacity) return false;
+  std::vector<bool> used(items.size(), false);
+  std::vector<Time> room(inst.bins, inst.capacity);
+  return tp_rec(items, used, room, 0);
+}
+
+}  // namespace rtg::core

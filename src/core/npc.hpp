@@ -1,0 +1,79 @@
+// npc.hpp — NP-hardness reduction gadgets (Theorem 2).
+//
+// Theorem 2 of the paper: deciding whether a feasible static schedule
+// exists is strongly NP-hard even in two restricted families, proved by
+// reduction from 3-PARTITION and from CYCLIC ORDERING [Garey & Johnson].
+// The paper omits the reduction constructions; this module supplies a
+// faithful-in-spirit 3-PARTITION encoding used by the hardness-scaling
+// experiment (E3) and by tests:
+//
+//   Instance: items a_1..a_{3m}, each in (B/4, B/2), Σ a_j = m·B.
+//   Encoding (single-operation variant, the shape of restriction (ii) —
+//   every task graph a single operation, all but one deadline equal,
+//   no pipelining):
+//     * a gate element g, weight 1, with constraint (g, d = B+1):
+//       g must appear in every window of B+1 slots, i.e. the busy time
+//       between consecutive gates is at most B;
+//     * per item j an element x_j of weight a_j (non-pipelinable) with
+//       constraint (x_j, d = m(B+1) + a_j - 1): x_j must execute once
+//       per cycle of m(B+1) slots (the a_j - 1 allowance covers windows
+//       that open inside an execution).
+//   If the instance is solvable, the bin-packing schedule — m groups of
+//   [gate, three items summing to B] — meets every deadline, so a
+//   feasible static schedule exists. If the instance is overloaded
+//   (Σ a_j > m·B), the gate density (one slot per B+1) plus the item
+//   densities exceed the processor and no schedule exists. Balanced but
+//   unsolvable instances sit between: the solver must search the
+//   packing combinatorics, which is where the exponential blow-up of
+//   Theorem 2 shows (experiment E3 measures it). This encoding is
+//   faithful in spirit; the paper omits its exact construction, and the
+//   a_j - 1 allowances mean the strict "feasible iff solvable"
+//   equivalence is only enforced here for the solvable and overloaded
+//   directions that the tests check.
+//
+//   The chain variant (restriction (i): unit computation times, chain
+//   task graphs) replaces each item element by a chain of a_j distinct
+//   unit-weight sub-elements that must execute in order.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+#include "sim/rng.hpp"
+
+namespace rtg::core {
+
+struct ThreePartitionInstance {
+  /// Item sizes; 3*bins of them, each in (capacity/4, capacity/2) for a
+  /// canonical instance.
+  std::vector<Time> items;
+  Time capacity = 0;  ///< B
+  std::size_t bins = 0;  ///< m
+
+  /// Σ items == bins * capacity (necessary for solvability).
+  [[nodiscard]] bool balanced() const;
+};
+
+/// Single-operation encoding (restriction (ii)). Elements are
+/// non-pipelinable; the gate constraint has the one deviant deadline.
+[[nodiscard]] GraphModel three_partition_model(const ThreePartitionInstance& inst);
+
+/// Chain encoding (restriction (i)): unit weights, chain task graphs.
+[[nodiscard]] GraphModel three_partition_chain_model(const ThreePartitionInstance& inst);
+
+/// Generates a solvable instance: `bins` random triples each summing to
+/// `capacity` with every item in (capacity/4, capacity/2). Requires
+/// capacity >= 8 and capacity divisible by 4 for comfortable margins.
+[[nodiscard]] ThreePartitionInstance random_solvable_three_partition(std::size_t bins,
+                                                                     Time capacity,
+                                                                     sim::Rng& rng);
+
+/// Derives an unsolvable instance from a solvable one by growing one
+/// item (total work then exceeds bin capacity, so no schedule exists).
+[[nodiscard]] ThreePartitionInstance make_overloaded(ThreePartitionInstance inst);
+
+/// Greedy/backtracking 3-PARTITION solver (exponential worst case) used
+/// to cross-check instance solvability independent of the scheduler.
+[[nodiscard]] bool solve_three_partition(const ThreePartitionInstance& inst);
+
+}  // namespace rtg::core

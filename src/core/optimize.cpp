@@ -1,0 +1,162 @@
+#include "core/optimize.hpp"
+
+#include <stdexcept>
+
+namespace rtg::core {
+
+namespace {
+
+// Rebuilds the schedule with entry `skip` replaced by idle time (or
+// removed entirely when remove_slot is true and the entry is idle).
+StaticSchedule rebuild_without(const StaticSchedule& sched, std::size_t skip,
+                               bool to_idle) {
+  StaticSchedule out;
+  const auto& entries = sched.entries();
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ScheduleEntry& entry = entries[i];
+    if (i == skip) {
+      if (to_idle) out.push_idle(entry.duration);
+      // else: drop entirely
+      continue;
+    }
+    if (entry.elem == kIdleEntry) {
+      out.push_idle(entry.duration);
+    } else {
+      out.push_execution(entry.elem, entry.duration);
+    }
+  }
+  return out;
+}
+
+// Rebuilds with one slot shaved off idle entry `which`.
+std::optional<StaticSchedule> shave_idle(const StaticSchedule& sched, std::size_t which) {
+  StaticSchedule out;
+  const auto& entries = sched.entries();
+  bool shaved = false;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const ScheduleEntry& entry = entries[i];
+    if (entry.elem == kIdleEntry) {
+      Time dur = entry.duration;
+      if (i == which) {
+        if (dur == 1) {
+          shaved = true;
+          continue;  // drop the run entirely
+        }
+        dur -= 1;
+        shaved = true;
+      }
+      out.push_idle(dur);
+    } else {
+      out.push_execution(entry.elem, entry.duration);
+    }
+  }
+  if (!shaved) return std::nullopt;
+  return out;
+}
+
+void init_stats(OptimizeStats* stats, const StaticSchedule& sched) {
+  if (!stats) return;
+  stats->length_before = sched.length();
+  stats->utilization_before = sched.utilization();
+}
+
+void finish_stats(OptimizeStats* stats, const StaticSchedule& sched) {
+  if (!stats) return;
+  stats->length_after = sched.length();
+  stats->utilization_after = sched.utilization();
+}
+
+}  // namespace
+
+StaticSchedule compact_schedule(const StaticSchedule& sched, const GraphModel& model,
+                                OptimizeStats* stats) {
+  if (!verify_schedule(sched, model).feasible) {
+    throw std::invalid_argument("compact_schedule: input schedule is not feasible");
+  }
+  init_stats(stats, sched);
+  StaticSchedule current = sched;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const auto& entries = current.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].elem == kIdleEntry) continue;
+      StaticSchedule candidate = rebuild_without(current, i, /*to_idle=*/true);
+      if (verify_schedule(candidate, model).feasible) {
+        current = std::move(candidate);
+        if (stats) ++stats->executions_removed;
+        changed = true;
+        break;  // entry indices shifted; rescan
+      }
+    }
+  }
+  finish_stats(stats, current);
+  return current;
+}
+
+StaticSchedule trim_idle(const StaticSchedule& sched, const GraphModel& model,
+                         OptimizeStats* stats) {
+  if (!verify_schedule(sched, model).feasible) {
+    throw std::invalid_argument("trim_idle: input schedule is not feasible");
+  }
+  init_stats(stats, sched);
+  StaticSchedule current = sched;
+  bool changed = true;
+  while (changed && current.length() > 1) {
+    changed = false;
+    const auto& entries = current.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (entries[i].elem != kIdleEntry) continue;
+      const auto candidate = shave_idle(current, i);
+      if (candidate && candidate->length() >= 1 &&
+          verify_schedule(*candidate, model).feasible) {
+        current = *candidate;
+        if (stats) stats->idle_removed += 1;
+        changed = true;
+        break;
+      }
+    }
+  }
+  finish_stats(stats, current);
+  return current;
+}
+
+StaticSchedule optimize_schedule(const StaticSchedule& sched, const GraphModel& model,
+                                 OptimizeStats* stats, std::size_t max_rounds) {
+  init_stats(stats, sched);
+  StaticSchedule current = sched;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    OptimizeStats pass;
+    current = compact_schedule(current, model, &pass);
+    StaticSchedule trimmed = trim_idle(current, model, nullptr);
+    const Time idle_gain = current.length() - trimmed.length();
+    current = std::move(trimmed);
+    if (stats) {
+      stats->executions_removed += pass.executions_removed;
+      stats->idle_removed += idle_gain;
+    }
+    if (pass.executions_removed == 0 && idle_gain == 0) break;
+  }
+  finish_stats(stats, current);
+  return current;
+}
+
+std::optional<StaticSchedule> find_feasible_rotation(const StaticSchedule& sched,
+                                                     const GraphModel& model) {
+  const auto& entries = sched.entries();
+  for (std::size_t r = 0; r < std::max<std::size_t>(entries.size(), 1); ++r) {
+    StaticSchedule rotated;
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      const ScheduleEntry& entry = entries[(r + i) % entries.size()];
+      if (entry.elem == kIdleEntry) {
+        rotated.push_idle(entry.duration);
+      } else {
+        rotated.push_execution(entry.elem, entry.duration);
+      }
+    }
+    if (verify_schedule(rotated, model).feasible) return rotated;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtg::core

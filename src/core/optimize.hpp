@@ -1,0 +1,68 @@
+// optimize.hpp — post-synthesis schedule optimization.
+//
+// The constructive scheduler (core/heuristic) over-provisions by
+// design: asynchronous servers poll at twice the necessary rate and
+// every server instance executes its whole task graph even when a
+// neighbouring instance's work would have served the same windows.
+// These passes shrink a verified schedule while preserving
+// feasibility — every candidate transformation is accepted only if the
+// exact verifier still passes (generate-and-test, so the passes are
+// trivially sound):
+//
+//   * compact_schedule: greedily delete whole executions whose removal
+//     keeps the schedule feasible (removes duplicated shared work and
+//     over-polling);
+//   * trim_idle: shorten idle runs (and thereby the cycle) while
+//     feasibility holds;
+//   * find_feasible_rotation: latency is rotation-invariant but
+//     periodic invocation windows are phase-sensitive; searches the
+//     rotations of a schedule for one that verifies.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/latency.hpp"
+#include "core/model.hpp"
+#include "core/static_schedule.hpp"
+
+namespace rtg::core {
+
+struct OptimizeStats {
+  std::size_t executions_removed = 0;
+  Time idle_removed = 0;
+  Time length_before = 0;
+  Time length_after = 0;
+  double utilization_before = 0.0;
+  double utilization_after = 0.0;
+};
+
+/// Greedy execution removal: repeatedly tries to drop one execution
+/// (replacing it with idle time) and keeps the drop if verify_schedule
+/// still passes. Deterministic scan order; O(ops^2) verifications.
+/// Requires a schedule that verifies to begin with (throws otherwise).
+[[nodiscard]] StaticSchedule compact_schedule(const StaticSchedule& sched,
+                                              const GraphModel& model,
+                                              OptimizeStats* stats = nullptr);
+
+/// Shrinks idle runs one slot at a time while the schedule stays
+/// feasible. Shortening the cycle can only reduce asynchronous
+/// latencies but can break periodic phase alignment, hence the
+/// verification per step.
+[[nodiscard]] StaticSchedule trim_idle(const StaticSchedule& sched,
+                                       const GraphModel& model,
+                                       OptimizeStats* stats = nullptr);
+
+/// Runs compact_schedule then trim_idle to a fixed point (at most
+/// `max_rounds` rounds).
+[[nodiscard]] StaticSchedule optimize_schedule(const StaticSchedule& sched,
+                                               const GraphModel& model,
+                                               OptimizeStats* stats = nullptr,
+                                               std::size_t max_rounds = 4);
+
+/// Tries every rotation of the schedule (entry-boundary cuts) and
+/// returns the first that verifies against the model, or nullopt.
+[[nodiscard]] std::optional<StaticSchedule> find_feasible_rotation(
+    const StaticSchedule& sched, const GraphModel& model);
+
+}  // namespace rtg::core

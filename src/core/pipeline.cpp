@@ -1,0 +1,83 @@
+#include "core/pipeline.hpp"
+
+#include <string>
+
+namespace rtg::core {
+
+PipelinedModel pipeline_model(const GraphModel& model) {
+  const CommGraph& old_comm = model.comm();
+
+  PipelinedModel result;
+  CommGraph new_comm;
+
+  // first_sub[e] / last_sub[e]: entry and exit sub-element of original
+  // element e in the new graph.
+  std::vector<ElementId> first_sub(old_comm.size());
+  std::vector<ElementId> last_sub(old_comm.size());
+
+  for (ElementId e = 0; e < old_comm.size(); ++e) {
+    const Time w = old_comm.weight(e);
+    if (w > 1 && old_comm.pipelinable(e)) {
+      ElementId prev = graph::kInvalidNode;
+      for (Time k = 0; k < w; ++k) {
+        const ElementId sub = new_comm.add_element(
+            old_comm.name(e) + "/" + std::to_string(k), 1, true);
+        result.origin.push_back(e);
+        result.stage.push_back(k);
+        if (k == 0) first_sub[e] = sub;
+        if (prev != graph::kInvalidNode) new_comm.add_channel(prev, sub);
+        prev = sub;
+      }
+      last_sub[e] = prev;
+    } else {
+      const ElementId sub =
+          new_comm.add_element(old_comm.name(e), w, old_comm.pipelinable(e));
+      result.origin.push_back(e);
+      result.stage.push_back(0);
+      first_sub[e] = last_sub[e] = sub;
+    }
+  }
+
+  // Channels: u -> v becomes last_sub[u] -> first_sub[v].
+  for (const graph::Edge& ch : old_comm.digraph().edges()) {
+    new_comm.add_channel(last_sub[ch.from], first_sub[ch.to]);
+  }
+
+  result.model = GraphModel(std::move(new_comm));
+
+  for (const TimingConstraint& c : model.constraints()) {
+    TaskGraph tg;
+    // For each original op, the chain of new ops; remember entry/exit.
+    std::vector<OpId> entry(c.task_graph.size());
+    std::vector<OpId> exit(c.task_graph.size());
+    for (OpId op = 0; op < c.task_graph.size(); ++op) {
+      const ElementId e = c.task_graph.label(op);
+      const Time w = old_comm.weight(e);
+      const bool decomposed = w > 1 && old_comm.pipelinable(e);
+      const Time stages = decomposed ? w : 1;
+      OpId prev = graph::kInvalidNode;
+      for (Time k = 0; k < stages; ++k) {
+        const OpId sub = tg.add_op(first_sub[e] + static_cast<ElementId>(k));
+        if (k == 0) entry[op] = sub;
+        if (prev != graph::kInvalidNode) tg.add_dep(prev, sub);
+        prev = sub;
+      }
+      exit[op] = prev;
+    }
+    for (const graph::Edge& dep : c.task_graph.skeleton().edges()) {
+      tg.add_dep(exit[dep.from], entry[dep.to]);
+    }
+    result.model.add_constraint(
+        TimingConstraint{c.name, std::move(tg), c.period, c.deadline, c.kind});
+  }
+  return result;
+}
+
+bool fully_unit_weight(const GraphModel& model) {
+  for (ElementId e = 0; e < model.comm().size(); ++e) {
+    if (model.comm().weight(e) > 1 && model.comm().pipelinable(e)) return false;
+  }
+  return true;
+}
+
+}  // namespace rtg::core

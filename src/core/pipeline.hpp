@@ -1,0 +1,44 @@
+// pipeline.hpp — software pipelining.
+//
+// The paper: "we can reduce the size of critical sections by software
+// pipelining, i.e., decomposing a functional element into a chain of
+// sub-functions each of which has the same computation time. (We now
+// see one of the virtues of the graph-based model: all the data
+// dependencies are made explicit and hence software pipelining can be
+// easily automated.)"
+//
+// This module rewrites a model so that every pipelinable element of
+// weight w > 1 becomes a chain of w unit-weight sub-elements
+// e/0 -> e/1 -> ... -> e/w-1; communication channels into e are
+// redirected into e/0, channels out of e leave from e/w-1, and every
+// task-graph operation labelled e becomes the corresponding chain of
+// operations. Non-pipelinable elements are left untouched.
+#pragma once
+
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace rtg::core {
+
+/// Result of pipelining: the rewritten model plus provenance — for each
+/// element of the new communication graph, which original element it
+/// came from (sub-elements of a decomposed element all map back to it).
+struct PipelinedModel {
+  GraphModel model;
+  /// origin[new_element] = original element id.
+  std::vector<ElementId> origin;
+  /// stage[new_element] = sub-function index within the original
+  /// element (0 for elements that were not decomposed).
+  std::vector<Time> stage;
+};
+
+/// Applies software pipelining to every pipelinable element of weight
+/// > 1. Constraints, periods, deadlines and kinds are preserved.
+[[nodiscard]] PipelinedModel pipeline_model(const GraphModel& model);
+
+/// True iff the model needs no pipelining (every element has weight 1
+/// or is non-pipelinable).
+[[nodiscard]] bool fully_unit_weight(const GraphModel& model);
+
+}  // namespace rtg::core

@@ -1,0 +1,86 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+namespace rtg::core {
+
+ModelAnalysis analyze_model(const GraphModel& model) {
+  ModelAnalysis out;
+  out.deadline_utilization = model.deadline_utilization();
+  out.demand_density = demand_density(model);
+  out.theorem3 = model.satisfies_theorem3();
+  out.refutations = refute_feasibility(model);
+
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const TimingConstraint& c = model.constraint(i);
+    ConstraintAnalysis ca;
+    ca.index = i;
+    ca.name = c.name;
+    ca.computation = c.task_graph.computation_time(model.comm());
+    ca.critical_path = task_graph_critical_path(c.task_graph, model.comm());
+    ca.deadline = c.deadline;
+    ca.density = static_cast<double>(ca.computation) / static_cast<double>(c.deadline);
+    ca.half_deadline_ok = c.deadline / 2 >= ca.computation;
+    ca.pipelinable = true;
+    for (ElementId e : c.task_graph.labels()) {
+      if (model.comm().weight(e) > 1 && !model.comm().pipelinable(e)) {
+        ca.pipelinable = false;
+      }
+    }
+    out.constraints.push_back(std::move(ca));
+  }
+
+  if (!out.refutations.empty()) {
+    out.advice = EngineAdvice::kInfeasible;
+  } else if (out.theorem3) {
+    out.advice = EngineAdvice::kHeuristic;
+  } else if (out.deadline_utilization <= 0.5 + 1e-9) {
+    // Under the utilization bound but some other hypothesis missing
+    // (tight half-deadline or non-pipelinable weights).
+    out.advice = EngineAdvice::kHeuristicLikely;
+  } else {
+    // Dense: the heuristic's doubled server rate will overflow; the
+    // exact game is the only complete tool (and only practical when
+    // deadlines are small).
+    out.advice = EngineAdvice::kExactGame;
+  }
+  return out;
+}
+
+std::string render_analysis(const ModelAnalysis& analysis, const GraphModel& model) {
+  std::ostringstream os;
+  os << "model analysis: " << model.comm().size() << " elements, "
+     << analysis.constraints.size() << " constraints\n";
+  os << "  sum w/d = " << analysis.deadline_utilization
+     << ", demand density >= " << analysis.demand_density << "\n";
+  os << "  theorem 3 hypotheses: " << (analysis.theorem3 ? "satisfied" : "NOT satisfied")
+     << "\n";
+  for (const ConstraintAnalysis& ca : analysis.constraints) {
+    os << "  " << ca.name << ": w=" << ca.computation << " cp=" << ca.critical_path
+       << " d=" << ca.deadline << " w/d=" << ca.density
+       << (ca.half_deadline_ok ? "" : " [floor(d/2) < w]")
+       << (ca.pipelinable ? "" : " [non-pipelinable weight]") << "\n";
+  }
+  for (const InfeasibilityWitness& w : analysis.refutations) {
+    os << "  REFUTED: " << to_string(w, model) << "\n";
+  }
+  os << "  advice: ";
+  switch (analysis.advice) {
+    case EngineAdvice::kHeuristic:
+      os << "constructive heuristic (guaranteed by Theorem 3)";
+      break;
+    case EngineAdvice::kHeuristicLikely:
+      os << "constructive heuristic (outside Theorem 3; verify the result)";
+      break;
+    case EngineAdvice::kExactGame:
+      os << "exact simulation game (dense set; expect exponential search)";
+      break;
+    case EngineAdvice::kInfeasible:
+      os << "infeasible — revise the requirements";
+      break;
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace rtg::core

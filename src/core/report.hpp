@@ -1,0 +1,53 @@
+// report.hpp — pre-synthesis model analysis.
+//
+// One call that answers the designer's first questions: how heavy is
+// each constraint, which necessary conditions bind, does Theorem 3
+// apply, and which synthesis engine should be tried first. Rendered as
+// a table by `render_analysis`; used by spec_compiler --analyze and
+// suitable for CI gates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/bounds.hpp"
+#include "core/model.hpp"
+
+namespace rtg::core {
+
+/// Which engine the analysis recommends trying first.
+enum class EngineAdvice : std::uint8_t {
+  kHeuristic,      ///< Theorem 3 applies: construction guaranteed
+  kHeuristicLikely,///< hypotheses miss narrowly; heuristic usually works
+  kExactGame,      ///< small and dense: the simulation game is the tool
+  kInfeasible,     ///< refuted by necessary conditions
+};
+
+struct ConstraintAnalysis {
+  std::size_t index = 0;
+  std::string name;
+  Time computation = 0;      ///< w(C)
+  Time critical_path = 0;    ///< cp(C)
+  Time deadline = 0;
+  double density = 0.0;      ///< w / d
+  bool pipelinable = true;   ///< all multi-slot elements pipelinable
+  bool half_deadline_ok = false;  ///< floor(d/2) >= w
+};
+
+struct ModelAnalysis {
+  std::vector<ConstraintAnalysis> constraints;
+  double deadline_utilization = 0.0;  ///< Σ w/d
+  double demand_density = 0.0;        ///< sharing-aware lower bound
+  bool theorem3 = false;
+  std::vector<InfeasibilityWitness> refutations;
+  EngineAdvice advice = EngineAdvice::kHeuristic;
+};
+
+/// Runs all static analyses on the model.
+[[nodiscard]] ModelAnalysis analyze_model(const GraphModel& model);
+
+/// Human-readable multi-line rendering.
+[[nodiscard]] std::string render_analysis(const ModelAnalysis& analysis,
+                                          const GraphModel& model);
+
+}  // namespace rtg::core

@@ -1,0 +1,74 @@
+#include "core/runtime.hpp"
+
+#include <stdexcept>
+
+namespace rtg::core {
+
+ExecutiveResult run_executive(const StaticSchedule& sched, const GraphModel& model,
+                              const ConstraintArrivals& arrivals, Time horizon) {
+  if (horizon < 0) throw std::invalid_argument("run_executive: negative horizon");
+  if (sched.length() == 0) throw std::invalid_argument("run_executive: empty schedule");
+
+  ExecutiveResult result;
+  result.horizon = horizon;
+
+  // Unroll enough periods that embeddings for late invocations resolve:
+  // a window ending at `horizon` may need ops up to horizon, and the
+  // embedding search itself never looks past the window's deadline.
+  Time max_deadline = 0;
+  std::size_t max_ops = 0;
+  for (const TimingConstraint& c : model.constraints()) {
+    max_deadline = std::max(max_deadline, c.deadline);
+    max_ops = std::max(max_ops, c.task_graph.size());
+  }
+  const std::size_t periods = static_cast<std::size_t>(
+      (horizon + max_deadline) / std::max<Time>(sched.length(), 1) + 1 +
+      static_cast<Time>(2 * max_ops + 2));
+  const std::vector<ScheduledOp> ops = unroll_ops(sched, periods);
+  result.dispatches = static_cast<std::size_t>(
+      static_cast<Time>(sched.ops().size()) *
+      ((horizon + sched.length() - 1) / sched.length()));
+
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const TimingConstraint& c = model.constraint(i);
+    std::vector<Time> instants;
+    if (c.periodic()) {
+      for (Time t = 0; t + c.deadline <= horizon; t += c.period) instants.push_back(t);
+    } else {
+      if (i >= arrivals.size()) {
+        throw std::invalid_argument("run_executive: missing arrival stream for '" +
+                                    c.name + "'");
+      }
+      const auto& stream = arrivals[i];
+      for (std::size_t k = 0; k < stream.size(); ++k) {
+        if (k > 0 && stream[k] - stream[k - 1] < c.period) {
+          throw std::invalid_argument(
+              "run_executive: arrival stream violates minimum separation for '" +
+              c.name + "'");
+        }
+        if (stream[k] < 0) {
+          throw std::invalid_argument("run_executive: negative arrival time");
+        }
+        if (stream[k] + c.deadline <= horizon) instants.push_back(stream[k]);
+      }
+    }
+    for (Time t : instants) {
+      InvocationRecord rec;
+      rec.constraint = i;
+      rec.invoked = t;
+      rec.abs_deadline = t + c.deadline;
+      const auto finish = earliest_embedding_finish(c.task_graph, ops, t);
+      if (finish && *finish <= rec.abs_deadline) {
+        rec.completed = finish;
+        rec.satisfied = true;
+      } else {
+        rec.satisfied = false;
+        result.all_met = false;
+      }
+      result.invocations.push_back(rec);
+    }
+  }
+  return result;
+}
+
+}  // namespace rtg::core

@@ -1,0 +1,101 @@
+#include "core/schedule_io.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace rtg::core {
+
+std::string schedule_to_text(const StaticSchedule& sched, const CommGraph& comm) {
+  std::ostringstream os;
+  bool first = true;
+  for (const ScheduleEntry& entry : sched.entries()) {
+    if (!first) os << ' ';
+    first = false;
+    if (entry.elem == kIdleEntry) {
+      if (entry.duration == 1) {
+        os << '.';
+      } else {
+        os << '.' << entry.duration;
+      }
+    } else {
+      if (!comm.has_element(entry.elem)) {
+        throw std::invalid_argument("schedule_to_text: unknown element id " +
+                                    std::to_string(entry.elem));
+      }
+      os << comm.name(entry.elem);
+    }
+  }
+  return os.str();
+}
+
+ScheduleParseResult schedule_from_text(std::string_view text, const CommGraph& comm) {
+  ScheduleParseResult result;
+  StaticSchedule sched;
+  std::size_t line = 1;
+  std::size_t i = 0;
+
+  auto fail = [&](std::string message) {
+    result.errors.push_back(ScheduleParseError{std::move(message), line});
+  };
+
+  while (i < text.size()) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < text.size() && text[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '.') {
+      ++i;
+      std::string digits;
+      while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+        digits.push_back(text[i]);
+        ++i;
+      }
+      Time count = 1;
+      if (!digits.empty()) {
+        try {
+          count = std::stoll(digits);
+        } catch (const std::exception&) {
+          fail("idle run count out of range");
+          continue;
+        }
+      }
+      if (count < 1) {
+        fail("idle run count must be >= 1");
+        continue;
+      }
+      sched.push_idle(count);
+      continue;
+    }
+    // Element token: up to whitespace.
+    std::string token;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])) &&
+           text[i] != '#') {
+      token.push_back(text[i]);
+      ++i;
+    }
+    const auto elem = comm.find(token);
+    if (!elem) {
+      fail("unknown element '" + token + "'");
+      continue;
+    }
+    sched.push_execution(*elem, comm.weight(*elem));
+  }
+
+  if (result.errors.empty()) {
+    result.schedule = std::move(sched);
+  }
+  return result;
+}
+
+}  // namespace rtg::core

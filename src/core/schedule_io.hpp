@@ -1,0 +1,47 @@
+// schedule_io.hpp — textual serialization of static schedules.
+//
+// Deployment artifact format: the off-line synthesizer saves the
+// schedule; the (embedded) run-time executive loads it. One token per
+// entry: an element name for an execution (duration implied by the
+// element's weight) or "." per idle slot (a run of k idles may be
+// written ".k"). Whitespace separated, '#' comments to end of line.
+//
+//   # control system, cycle = 8
+//   fx fs fk .2 fz fs
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/model.hpp"
+#include "core/static_schedule.hpp"
+
+namespace rtg::core {
+
+/// Serializes the schedule using the model's element names. Idle runs
+/// render as ".k" (or "." when k == 1). Throws std::invalid_argument
+/// for schedules mentioning unknown elements.
+[[nodiscard]] std::string schedule_to_text(const StaticSchedule& sched,
+                                           const CommGraph& comm);
+
+struct ScheduleParseError {
+  std::string message;
+  std::size_t line = 1;
+};
+
+struct ScheduleParseResult {
+  std::optional<StaticSchedule> schedule;
+  std::vector<ScheduleParseError> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty() && schedule.has_value(); }
+};
+
+/// Parses a schedule against a communication graph. Each element token
+/// becomes one complete execution of weight(element) slots; unknown
+/// names and malformed idle tokens are reported with line numbers.
+[[nodiscard]] ScheduleParseResult schedule_from_text(std::string_view text,
+                                                     const CommGraph& comm);
+
+}  // namespace rtg::core

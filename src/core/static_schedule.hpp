@@ -1,0 +1,91 @@
+// static_schedule.hpp — static schedules (finite strings over V ∪ {φ}).
+//
+// The paper defines a static schedule as a finite string of symbols in
+// V ∪ {φ}; a round-robin scheduler repeats it ad infinitum to produce
+// an execution trace. Because an element of weight w needs w consecutive
+// slots to constitute one *execution*, this representation stores the
+// string with explicit execution boundaries: a sequence of entries, each
+// either one complete execution of an element (occupying weight(e)
+// slots) or a run of idle slots. The raw slot string is derived.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "sim/trace.hpp"
+
+namespace rtg::core {
+
+/// One entry of a static schedule.
+struct ScheduleEntry {
+  /// Element executed, or kIdleEntry for an idle run.
+  ElementId elem = graph::kInvalidNode;
+  /// Slots occupied. For executions this must equal weight(elem); for
+  /// idle runs any positive count.
+  Time duration = 1;
+
+  friend bool operator==(const ScheduleEntry&, const ScheduleEntry&) = default;
+};
+
+inline constexpr ElementId kIdleEntry = graph::kInvalidNode;
+
+/// A complete execution instance within the flattened schedule, with its
+/// absolute start slot (relative to the start of one schedule period).
+struct ScheduledOp {
+  ElementId elem = 0;
+  Time start = 0;
+  Time duration = 1;
+
+  [[nodiscard]] Time finish() const { return start + duration; }
+  friend bool operator==(const ScheduledOp&, const ScheduledOp&) = default;
+};
+
+class StaticSchedule {
+ public:
+  StaticSchedule() = default;
+
+  /// Appends one complete execution of `e` taking `duration` slots.
+  void push_execution(ElementId e, Time duration);
+  /// Appends `count` idle slots (merged with a trailing idle run).
+  void push_idle(Time count = 1);
+
+  [[nodiscard]] const std::vector<ScheduleEntry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Total length in slots (the schedule period).
+  [[nodiscard]] Time length() const { return length_; }
+
+  /// Busy (non-idle) slots.
+  [[nodiscard]] Time busy() const { return busy_; }
+
+  /// Fraction of busy slots; 0 for an empty schedule.
+  [[nodiscard]] double utilization() const;
+
+  /// All executions with their start slots within one period, in order.
+  [[nodiscard]] std::vector<ScheduledOp> ops() const;
+
+  /// Executions of a specific element within one period.
+  [[nodiscard]] std::vector<ScheduledOp> ops_of(ElementId e) const;
+
+  /// Flattens `repetitions` periods into a raw slot trace.
+  [[nodiscard]] sim::ExecutionTrace to_trace(std::size_t repetitions = 1) const;
+
+  /// Validates against a communication graph: every execution's element
+  /// exists and its duration equals the element weight. Returns
+  /// diagnostics; empty means valid.
+  [[nodiscard]] std::vector<std::string> validate(const CommGraph& g) const;
+
+  /// Human-readable rendering, e.g. "fx fs[2] . . fk".
+  [[nodiscard]] std::string to_string(const CommGraph& g) const;
+
+  friend bool operator==(const StaticSchedule&, const StaticSchedule&) = default;
+
+ private:
+  std::vector<ScheduleEntry> entries_;
+  Time length_ = 0;
+  Time busy_ = 0;
+};
+
+}  // namespace rtg::core

@@ -1,0 +1,57 @@
+#include "core/synthesis.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/pipeline.hpp"
+
+namespace rtg::core {
+
+ProcessSynthesis synthesize_processes(const GraphModel& input, bool software_pipelining) {
+  ProcessSynthesis out;
+  out.model = software_pipelining ? pipeline_model(input).model : input;
+  const GraphModel& model = out.model;
+  out.monitors = model.shared_elements();
+  const std::unordered_set<ElementId> monitor_set(out.monitors.begin(),
+                                                  out.monitors.end());
+
+  for (const TimingConstraint& c : model.constraints()) {
+    SynthesizedProcess proc;
+    proc.name = c.name;
+    proc.period = c.period;
+    proc.deadline = c.deadline;
+    proc.kind = c.kind;
+    for (OpId op : c.task_graph.topological_ops()) {
+      const ElementId e = c.task_graph.label(op);
+      proc.body.push_back(e);
+      proc.computation += model.comm().weight(e);
+      if (monitor_set.contains(e)) proc.monitored.push_back(e);
+    }
+
+    rt::Task task;
+    task.name = proc.name;
+    task.c = proc.computation;
+    task.p = proc.period;
+    // A process deadline beyond its period is clamped: the process
+    // model re-invokes every period, so d > p adds nothing exploitable
+    // by the analyses in rt/.
+    task.d = std::min(proc.deadline, proc.period);
+    task.arrival = c.periodic() ? rt::Arrival::kPeriodic : rt::Arrival::kSporadic;
+    Time longest_cs = 0;
+    for (ElementId e : proc.monitored) {
+      longest_cs = std::max(longest_cs, model.comm().weight(e));
+    }
+    task.critical_section = std::min(longest_cs, task.c);
+    out.task_set.add(task);
+
+    out.processes.push_back(std::move(proc));
+  }
+
+  out.hyperperiod = out.task_set.hyperperiod();
+  for (const SynthesizedProcess& proc : out.processes) {
+    out.work_per_hyperperiod += (out.hyperperiod / proc.period) * proc.computation;
+  }
+  return out;
+}
+
+}  // namespace rtg::core

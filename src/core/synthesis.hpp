@@ -1,0 +1,64 @@
+// synthesis.hpp — process-based synthesis (the paper's baseline).
+//
+// "A straightforward way to implement an instance of our graph-based
+// model is to map each periodic/asynchronous timing constraint (C,p,d)
+// into a periodic/asynchronous process T' where the body of T' consists
+// of a straight-line program which is any topological sort of the
+// operations in the task graph C. [...] In order to enforce pipeline
+// ordering, we create a monitor for each functional element that occurs
+// in two or more timing constraints."
+//
+// This module performs exactly that translation, producing an rt::
+// TaskSet (with monitor critical-section blocking terms) that the
+// process-model substrate can analyze and simulate. The paper's point —
+// which experiment E5 quantifies — is that this duplicates work shared
+// between constraints (two constraints containing f_S each execute
+// their own copy), whereas latency scheduling shares it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "rt/task.hpp"
+
+namespace rtg::core {
+
+/// A synthesized straight-line process.
+struct SynthesizedProcess {
+  std::string name;
+  /// Operation body: functional elements in topological-sort order.
+  std::vector<ElementId> body;
+  Time computation = 0;
+  Time period = 1;
+  Time deadline = 1;
+  ConstraintKind kind = ConstraintKind::kPeriodic;
+  /// Elements of the body that are monitor-protected (shared).
+  std::vector<ElementId> monitored;
+};
+
+struct ProcessSynthesis {
+  /// The model the processes were synthesized from (the pipelined
+  /// rewrite when software_pipelining was requested); all ElementIds in
+  /// the process bodies refer to this model's communication graph.
+  GraphModel model;
+  std::vector<SynthesizedProcess> processes;
+  /// Shared elements for which monitors were created.
+  std::vector<ElementId> monitors;
+  /// Process task set for rt-layer analysis; critical_section of each
+  /// task is the weight of its longest monitor-protected element.
+  rt::TaskSet task_set;
+  /// Total busy slots per hyperperiod under the process model, counting
+  /// every constraint's private copy of shared work (asynchronous
+  /// constraints charged at their maximum rate).
+  Time work_per_hyperperiod = 0;
+  Time hyperperiod = 1;
+};
+
+/// Translates every timing constraint into a straight-line process.
+/// When `software_pipelining` is set, the model is pipelined first, so
+/// monitor critical sections shrink to unit length.
+[[nodiscard]] ProcessSynthesis synthesize_processes(const GraphModel& model,
+                                                    bool software_pipelining = false);
+
+}  // namespace rtg::core

@@ -1,0 +1,33 @@
+// viz.hpp — inspection renderings: the CONSORT lineage of the paper
+// had a graphics interface; these are this library's equivalents for
+// terminals and Graphviz.
+#pragma once
+
+#include <string>
+
+#include "core/model.hpp"
+#include "core/static_schedule.hpp"
+
+namespace rtg::core {
+
+/// DOT rendering of a task graph: nodes labelled with their functional
+/// elements (and #k disambiguators for repeated labels), edges the
+/// precedence/transmission arcs.
+[[nodiscard]] std::string task_graph_dot(const TaskGraph& tg, const CommGraph& comm,
+                                         const std::string& name = "C");
+
+/// DOT rendering of a whole model: the communication graph plus one
+/// dashed record per timing constraint summarizing (kind, p, d).
+[[nodiscard]] std::string model_dot(const GraphModel& model,
+                                    const std::string& name = "M");
+
+/// ASCII Gantt chart of one schedule period: one row per element, '#'
+/// for its busy slots, '.' elsewhere, with a slot ruler. Rows appear in
+/// element-id order; elements that never run are omitted.
+///
+///   fx   |#...#...|
+///   fs/0 |.#...#..|
+[[nodiscard]] std::string schedule_gantt(const StaticSchedule& sched,
+                                         const CommGraph& comm);
+
+}  // namespace rtg::core

@@ -1,0 +1,407 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+
+namespace rtg::graph {
+
+std::optional<std::vector<NodeId>> topological_sort(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::size_t> indeg(n);
+  for (NodeId v = 0; v < n; ++v) indeg[v] = g.in_degree(v);
+
+  // Min-heap on node id for deterministic output.
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indeg[v] == 0) ready.push(v);
+  }
+
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId v = ready.top();
+    ready.pop();
+    order.push_back(v);
+    for (NodeId w : g.successors(v)) {
+      if (--indeg[w] == 0) ready.push(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+bool is_acyclic(const Digraph& g) { return topological_sort(g).has_value(); }
+
+namespace {
+
+void all_topo_rec(const Digraph& g, std::vector<std::size_t>& indeg,
+                  std::vector<bool>& used, std::vector<NodeId>& partial,
+                  std::vector<std::vector<NodeId>>& out, std::size_t limit) {
+  if (out.size() >= limit) return;
+  if (partial.size() == g.node_count()) {
+    out.push_back(partial);
+    return;
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (used[v] || indeg[v] != 0) continue;
+    used[v] = true;
+    partial.push_back(v);
+    for (NodeId w : g.successors(v)) --indeg[w];
+    all_topo_rec(g, indeg, used, partial, out, limit);
+    for (NodeId w : g.successors(v)) ++indeg[w];
+    partial.pop_back();
+    used[v] = false;
+    if (out.size() >= limit) return;
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> all_topological_sorts(const Digraph& g, std::size_t limit) {
+  if (!is_acyclic(g)) {
+    throw std::invalid_argument("all_topological_sorts: graph is cyclic");
+  }
+  std::vector<std::size_t> indeg(g.node_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) indeg[v] = g.in_degree(v);
+  std::vector<bool> used(g.node_count(), false);
+  std::vector<NodeId> partial;
+  std::vector<std::vector<NodeId>> out;
+  all_topo_rec(g, indeg, used, partial, out, limit);
+  return out;
+}
+
+std::vector<NodeId> reachable_from(const Digraph& g, NodeId source) {
+  if (!g.has_node(source)) {
+    throw std::out_of_range("reachable_from: unknown source");
+  }
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> stack{source};
+  seen[source] = true;
+  std::vector<NodeId> result;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    result.push_back(v);
+    for (NodeId w : g.successors(v)) {
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+bool reaches(const Digraph& g, NodeId source, NodeId target) {
+  if (!g.has_node(source) || !g.has_node(target)) return false;
+  if (source == target) return true;
+  std::vector<bool> seen(g.node_count(), false);
+  std::vector<NodeId> stack{source};
+  seen[source] = true;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId w : g.successors(v)) {
+      if (w == target) return true;
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<bool> transitive_closure(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<bool> closure(n * n, false);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v : reachable_from(g, u)) {
+      closure[u * n + v] = true;
+    }
+  }
+  return closure;
+}
+
+std::vector<Edge> transitive_reduction(const Digraph& g) {
+  if (!is_acyclic(g)) {
+    throw std::invalid_argument("transitive_reduction: graph is cyclic");
+  }
+  const std::size_t n = g.node_count();
+  const std::vector<bool> closure = transitive_closure(g);
+  std::vector<Edge> kept;
+  // Edge (u,v) is redundant iff some other successor w of u reaches v.
+  for (const Edge& e : g.edges()) {
+    bool redundant = false;
+    for (NodeId w : g.successors(e.from)) {
+      if (w != e.to && closure[static_cast<std::size_t>(w) * n + e.to]) {
+        redundant = true;
+        break;
+      }
+    }
+    if (!redundant) kept.push_back(e);
+  }
+  std::sort(kept.begin(), kept.end(), [](const Edge& a, const Edge& b) {
+    return a.from != b.from ? a.from < b.from : a.to < b.to;
+  });
+  return kept;
+}
+
+namespace {
+
+// Computes, for each node of a DAG, the heaviest-path weight ending at
+// that node (inclusive), plus the predecessor on that path.
+void longest_paths(const Digraph& g, std::vector<std::int64_t>& dist,
+                   std::vector<NodeId>& parent) {
+  auto order = topological_sort(g);
+  if (!order) {
+    throw std::invalid_argument("critical_path: graph is cyclic");
+  }
+  const std::size_t n = g.node_count();
+  dist.assign(n, 0);
+  parent.assign(n, kInvalidNode);
+  for (NodeId v : *order) {
+    dist[v] += g.weight(v);
+    for (NodeId w : g.successors(v)) {
+      if (dist[v] > dist[w]) {
+        dist[w] = dist[v];
+        parent[w] = v;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::int64_t critical_path_weight(const Digraph& g) {
+  if (g.empty()) return 0;
+  std::vector<std::int64_t> dist;
+  std::vector<NodeId> parent;
+  longest_paths(g, dist, parent);
+  return *std::max_element(dist.begin(), dist.end());
+}
+
+std::vector<NodeId> critical_path(const Digraph& g) {
+  if (g.empty()) return {};
+  std::vector<std::int64_t> dist;
+  std::vector<NodeId> parent;
+  longest_paths(g, dist, parent);
+  NodeId tail = static_cast<NodeId>(
+      std::max_element(dist.begin(), dist.end()) - dist.begin());
+  std::vector<NodeId> path;
+  for (NodeId v = tail; v != kInvalidNode; v = parent[v]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+namespace {
+
+struct TarjanState {
+  const Digraph& g;
+  std::vector<std::uint32_t> index;
+  std::vector<std::uint32_t> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<NodeId> stack;
+  std::uint32_t next_index = 0;
+  std::vector<std::vector<NodeId>> components;
+
+  static constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+
+  explicit TarjanState(const Digraph& graph)
+      : g(graph),
+        index(graph.node_count(), kUnvisited),
+        lowlink(graph.node_count(), 0),
+        on_stack(graph.node_count(), false) {}
+
+  // Iterative Tarjan to avoid stack overflow on long chains.
+  void run(NodeId root) {
+    struct Frame {
+      NodeId v;
+      std::size_t next_succ;
+    };
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& succ = g.successors(f.v);
+      if (f.next_succ < succ.size()) {
+        const NodeId w = succ[f.next_succ++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[f.v] = std::min(lowlink[f.v], index[w]);
+        }
+      } else {
+        const NodeId v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[frames.back().v] = std::min(lowlink[frames.back().v], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          std::vector<NodeId> comp;
+          NodeId w;
+          do {
+            w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp.push_back(w);
+          } while (w != v);
+          std::sort(comp.begin(), comp.end());
+          components.push_back(std::move(comp));
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> strongly_connected_components(const Digraph& g) {
+  TarjanState state(g);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (state.index[v] == TarjanState::kUnvisited) {
+      state.run(v);
+    }
+  }
+  return std::move(state.components);
+}
+
+std::vector<NodeId> sources(const Digraph& g) {
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.in_degree(v) == 0) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<NodeId> sinks(const Digraph& g) {
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.out_degree(v) == 0) result.push_back(v);
+  }
+  return result;
+}
+
+namespace {
+
+// Kuhn's augmenting-path matching over the strict transitive closure
+// (left copy u -> right copy v iff u strictly reaches v). Returns
+// match_right: per right vertex, its matched left vertex or -1.
+struct ClosureMatching {
+  std::size_t n = 0;
+  std::vector<bool> closure;  // strict reachability, row-major
+  std::vector<int> match_right;
+  std::vector<int> match_left;
+  std::size_t size = 0;
+};
+
+ClosureMatching closure_matching(const Digraph& g) {
+  if (!is_acyclic(g)) {
+    throw std::invalid_argument("path cover / width: graph is cyclic");
+  }
+  ClosureMatching m;
+  m.n = g.node_count();
+  m.closure = transitive_closure(g);
+  for (NodeId v = 0; v < m.n; ++v) {
+    m.closure[v * m.n + v] = false;  // strict order
+  }
+  m.match_right.assign(m.n, -1);
+  m.match_left.assign(m.n, -1);
+
+  std::vector<bool> visited;
+  std::function<bool(NodeId)> augment = [&](NodeId u) -> bool {
+    for (NodeId v = 0; v < m.n; ++v) {
+      if (!m.closure[u * m.n + v] || visited[v]) continue;
+      visited[v] = true;
+      if (m.match_right[v] < 0 || augment(static_cast<NodeId>(m.match_right[v]))) {
+        m.match_right[v] = static_cast<int>(u);
+        m.match_left[u] = static_cast<int>(v);
+        return true;
+      }
+    }
+    return false;
+  };
+  for (NodeId u = 0; u < m.n; ++u) {
+    visited.assign(m.n, false);
+    if (augment(u)) ++m.size;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::size_t minimum_path_cover(const Digraph& g) {
+  if (g.empty()) return 0;
+  const ClosureMatching m = closure_matching(g);
+  return m.n - m.size;
+}
+
+std::size_t dag_width(const Digraph& g) { return minimum_path_cover(g); }
+
+std::vector<NodeId> maximum_antichain(const Digraph& g) {
+  if (g.empty()) return {};
+  const ClosureMatching m = closure_matching(g);
+
+  // Koenig: alternate from unmatched left vertices; the antichain is
+  // the set of nodes whose left copy is reached and right copy is not.
+  std::vector<bool> left_reached(m.n, false);
+  std::vector<bool> right_reached(m.n, false);
+  std::vector<NodeId> stack;
+  for (NodeId u = 0; u < m.n; ++u) {
+    if (m.match_left[u] < 0) {
+      left_reached[u] = true;
+      stack.push_back(u);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (NodeId v = 0; v < m.n; ++v) {
+      if (!m.closure[u * m.n + v] || right_reached[v]) continue;
+      if (m.match_left[u] >= 0 && static_cast<NodeId>(m.match_left[u]) == v) {
+        continue;  // only non-matching edges left -> right
+      }
+      right_reached[v] = true;
+      if (m.match_right[v] >= 0) {
+        const NodeId w = static_cast<NodeId>(m.match_right[v]);
+        if (!left_reached[w]) {
+          left_reached[w] = true;
+          stack.push_back(w);
+        }
+      }
+    }
+  }
+
+  std::vector<NodeId> antichain;
+  for (NodeId v = 0; v < m.n; ++v) {
+    if (left_reached[v] && !right_reached[v]) antichain.push_back(v);
+  }
+  return antichain;
+}
+
+std::vector<std::size_t> node_depths(const Digraph& g) {
+  auto order = topological_sort(g);
+  if (!order) {
+    throw std::invalid_argument("node_depths: graph is cyclic");
+  }
+  std::vector<std::size_t> depth(g.node_count(), 0);
+  for (NodeId v : *order) {
+    for (NodeId w : g.successors(v)) {
+      depth[w] = std::max(depth[w], depth[v] + 1);
+    }
+  }
+  return depth;
+}
+
+}  // namespace rtg::graph

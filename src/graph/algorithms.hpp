@@ -1,0 +1,81 @@
+// algorithms.hpp — classic digraph algorithms used by the scheduling
+// core: topological orders, cycle detection, reachability, transitive
+// closure/reduction, longest weighted paths (critical paths of task
+// graphs), and strongly connected components.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rtg::graph {
+
+/// Kahn topological sort. Returns nullopt iff the graph has a cycle.
+/// Ties are broken by smallest node id, making the order deterministic.
+[[nodiscard]] std::optional<std::vector<NodeId>> topological_sort(const Digraph& g);
+
+/// True iff g is acyclic.
+[[nodiscard]] bool is_acyclic(const Digraph& g);
+
+/// All topological orders of a DAG, in lexicographic order. Guarded by
+/// `limit`: enumeration stops (and the result is truncated) once `limit`
+/// orders were produced. Throws std::invalid_argument on cyclic input.
+[[nodiscard]] std::vector<std::vector<NodeId>> all_topological_sorts(const Digraph& g,
+                                                                     std::size_t limit = 10000);
+
+/// Set of nodes reachable from `source` (including `source`).
+[[nodiscard]] std::vector<NodeId> reachable_from(const Digraph& g, NodeId source);
+
+/// True iff `target` is reachable from `source` (reflexively).
+[[nodiscard]] bool reaches(const Digraph& g, NodeId source, NodeId target);
+
+/// Transitive closure as an n*n boolean matrix, row-major:
+/// closure[u * n + v] == true iff v reachable from u (reflexive).
+[[nodiscard]] std::vector<bool> transitive_closure(const Digraph& g);
+
+/// Edges of the transitive reduction of a DAG (the minimal edge set with
+/// the same reachability). Throws std::invalid_argument on cyclic input.
+[[nodiscard]] std::vector<Edge> transitive_reduction(const Digraph& g);
+
+/// Length (sum of node weights) of the heaviest path in a DAG. The path
+/// weight includes both endpoints. Returns 0 for an empty graph.
+/// Throws std::invalid_argument on cyclic input.
+[[nodiscard]] std::int64_t critical_path_weight(const Digraph& g);
+
+/// Nodes of one heaviest path in a DAG, in path order.
+[[nodiscard]] std::vector<NodeId> critical_path(const Digraph& g);
+
+/// Tarjan strongly connected components. Returns components in reverse
+/// topological order of the condensation; each component's nodes are in
+/// ascending id order.
+[[nodiscard]] std::vector<std::vector<NodeId>> strongly_connected_components(const Digraph& g);
+
+/// Nodes with in-degree zero, ascending.
+[[nodiscard]] std::vector<NodeId> sources(const Digraph& g);
+
+/// Nodes with out-degree zero, ascending.
+[[nodiscard]] std::vector<NodeId> sinks(const Digraph& g);
+
+/// Depth of each node in a DAG: 0 for sources, 1 + max(pred depth)
+/// otherwise. Throws std::invalid_argument on cyclic input.
+[[nodiscard]] std::vector<std::size_t> node_depths(const Digraph& g);
+
+/// Minimum number of vertex-disjoint paths covering every node of a
+/// DAG, computed as n - (maximum bipartite matching on the transitive
+/// closure); paths may jump over intermediate nodes (path cover in the
+/// reachability order). Throws std::invalid_argument on cyclic input.
+[[nodiscard]] std::size_t minimum_path_cover(const Digraph& g);
+
+/// Width of the DAG's reachability partial order: the size of the
+/// largest antichain (= minimum_path_cover, by Dilworth's theorem).
+/// For a task graph this is the maximum number of operations that
+/// could ever run concurrently — a natural cap on useful processors.
+[[nodiscard]] std::size_t dag_width(const Digraph& g);
+
+/// One largest antichain of the DAG's reachability order (pairwise
+/// unreachable nodes), ascending ids.
+[[nodiscard]] std::vector<NodeId> maximum_antichain(const Digraph& g);
+
+}  // namespace rtg::graph

@@ -1,0 +1,101 @@
+#include "graph/digraph.hpp"
+
+#include <stdexcept>
+
+namespace rtg::graph {
+
+NodeId Digraph::add_node(std::int64_t weight, std::string name) {
+  if (weight < 0) {
+    throw std::invalid_argument("Digraph::add_node: negative weight");
+  }
+  if (!name.empty() && by_name_.contains(name)) {
+    throw std::invalid_argument("Digraph::add_node: duplicate name '" + name + "'");
+  }
+  const NodeId id = static_cast<NodeId>(weights_.size());
+  weights_.push_back(weight);
+  names_.push_back(name);
+  out_.emplace_back();
+  in_.emplace_back();
+  if (!name.empty()) {
+    by_name_.emplace(std::move(name), id);
+  }
+  return id;
+}
+
+bool Digraph::add_edge(NodeId u, NodeId v) {
+  check_node(u);
+  check_node(v);
+  if (u == v) {
+    throw std::invalid_argument("Digraph::add_edge: self loop");
+  }
+  if (!edge_set_.insert(pack(u, v)).second) {
+    return false;
+  }
+  out_[u].push_back(v);
+  in_[v].push_back(u);
+  return true;
+}
+
+bool Digraph::has_edge(NodeId u, NodeId v) const {
+  if (!has_node(u) || !has_node(v)) return false;
+  return edge_set_.contains(pack(u, v));
+}
+
+std::int64_t Digraph::weight(NodeId v) const {
+  check_node(v);
+  return weights_[v];
+}
+
+void Digraph::set_weight(NodeId v, std::int64_t w) {
+  check_node(v);
+  if (w < 0) {
+    throw std::invalid_argument("Digraph::set_weight: negative weight");
+  }
+  weights_[v] = w;
+}
+
+const std::string& Digraph::name(NodeId v) const {
+  check_node(v);
+  return names_[v];
+}
+
+std::optional<NodeId> Digraph::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::vector<NodeId>& Digraph::successors(NodeId v) const {
+  check_node(v);
+  return out_[v];
+}
+
+const std::vector<NodeId>& Digraph::predecessors(NodeId v) const {
+  check_node(v);
+  return in_[v];
+}
+
+std::vector<Edge> Digraph::edges() const {
+  std::vector<Edge> result;
+  result.reserve(edge_set_.size());
+  for (NodeId u = 0; u < out_.size(); ++u) {
+    for (NodeId v : out_[u]) {
+      result.push_back(Edge{u, v});
+    }
+  }
+  return result;
+}
+
+std::int64_t Digraph::total_weight() const {
+  std::int64_t sum = 0;
+  for (std::int64_t w : weights_) sum += w;
+  return sum;
+}
+
+void Digraph::check_node(NodeId v) const {
+  if (!has_node(v)) {
+    throw std::out_of_range("Digraph: unknown node id " + std::to_string(v));
+  }
+}
+
+}  // namespace rtg::graph

@@ -1,0 +1,98 @@
+// digraph.hpp — directed graph container used throughout the library.
+//
+// The communication graphs and task graphs of Mok's graph-based model
+// (ICPP 1985) are digraphs whose nodes carry a non-negative integer
+// weight (the worst-case computation time of a functional element) and
+// an optional human-readable name.  This container is deliberately
+// simple: dense 32-bit node ids, append-only node set, and adjacency
+// kept both as out-lists and in-lists so that precedence traversals in
+// either direction are O(degree).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rtg::graph {
+
+/// Dense node identifier. Nodes are numbered 0..node_count()-1 in
+/// insertion order and are never removed.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// A directed edge (u -> v).
+struct Edge {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+/// Directed graph with weighted, named nodes.
+///
+/// Invariants:
+///  * node ids are dense: 0..node_count()-1;
+///  * no self loops, no parallel edges (add_edge rejects both);
+///  * names, when supplied, are unique.
+class Digraph {
+ public:
+  Digraph() = default;
+
+  /// Adds a node with the given weight and optional name.
+  /// Throws std::invalid_argument if the name is already in use.
+  NodeId add_node(std::int64_t weight = 1, std::string name = {});
+
+  /// Adds an edge u -> v. Returns false (and does nothing) if the edge
+  /// already exists. Throws std::out_of_range for unknown ids and
+  /// std::invalid_argument for self loops.
+  bool add_edge(NodeId u, NodeId v);
+
+  [[nodiscard]] std::size_t node_count() const { return weights_.size(); }
+  [[nodiscard]] std::size_t edge_count() const { return edge_set_.size(); }
+  [[nodiscard]] bool empty() const { return weights_.empty(); }
+
+  [[nodiscard]] bool has_node(NodeId v) const { return v < weights_.size(); }
+  [[nodiscard]] bool has_edge(NodeId u, NodeId v) const;
+
+  /// Node weight accessors. Weight is the worst-case computation time
+  /// of the functional element, in integral time slots.
+  [[nodiscard]] std::int64_t weight(NodeId v) const;
+  void set_weight(NodeId v, std::int64_t w);
+
+  /// Name accessors. Unnamed nodes report an empty string.
+  [[nodiscard]] const std::string& name(NodeId v) const;
+  /// Looks a node up by name; nullopt if no such node.
+  [[nodiscard]] std::optional<NodeId> find(std::string_view name) const;
+
+  [[nodiscard]] const std::vector<NodeId>& successors(NodeId v) const;
+  [[nodiscard]] const std::vector<NodeId>& predecessors(NodeId v) const;
+  [[nodiscard]] std::size_t out_degree(NodeId v) const { return successors(v).size(); }
+  [[nodiscard]] std::size_t in_degree(NodeId v) const { return predecessors(v).size(); }
+
+  /// All edges in unspecified but deterministic order.
+  [[nodiscard]] std::vector<Edge> edges() const;
+
+  /// Sum of all node weights.
+  [[nodiscard]] std::int64_t total_weight() const;
+
+ private:
+  void check_node(NodeId v) const;
+  static std::uint64_t pack(NodeId u, NodeId v) {
+    return (static_cast<std::uint64_t>(u) << 32) | v;
+  }
+
+  std::vector<std::int64_t> weights_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::unordered_set<std::uint64_t> edge_set_;
+  std::unordered_map<std::string, NodeId> by_name_;
+};
+
+}  // namespace rtg::graph

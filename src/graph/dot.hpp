@@ -1,0 +1,28 @@
+// dot.hpp — Graphviz DOT export for communication and task graphs.
+//
+// CONSORT (the paper's predecessor system) had a graphics interface for
+// inspecting controller structures; DOT export is this library's
+// equivalent inspection surface.
+#pragma once
+
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace rtg::graph {
+
+/// Rendering options for to_dot.
+struct DotOptions {
+  /// Graph name emitted in the `digraph <name> { ... }` header.
+  std::string graph_name = "G";
+  /// Include `(w=<weight>)` in node labels.
+  bool show_weights = true;
+  /// Left-to-right layout (rankdir=LR) instead of top-down.
+  bool left_to_right = true;
+};
+
+/// Serializes the graph in Graphviz DOT format. Unnamed nodes render as
+/// `n<id>`.
+[[nodiscard]] std::string to_dot(const Digraph& g, const DotOptions& opts = {});
+
+}  // namespace rtg::graph

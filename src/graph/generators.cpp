@@ -1,0 +1,157 @@
+#include "graph/generators.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace rtg::graph {
+
+namespace {
+
+std::int64_t draw_weight(sim::Rng& rng, std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("generator: min_weight > max_weight");
+  return rng.uniform(lo, hi);
+}
+
+}  // namespace
+
+Digraph make_chain(std::size_t n, std::int64_t weight) {
+  Digraph g;
+  NodeId prev = kInvalidNode;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId v = g.add_node(weight);
+    if (prev != kInvalidNode) g.add_edge(prev, v);
+    prev = v;
+  }
+  return g;
+}
+
+Digraph make_fork_join(std::size_t width, std::int64_t weight) {
+  Digraph g;
+  const NodeId src = g.add_node(weight);
+  const NodeId snk_placeholder = kInvalidNode;
+  (void)snk_placeholder;
+  std::vector<NodeId> mid;
+  mid.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    mid.push_back(g.add_node(weight));
+  }
+  const NodeId snk = g.add_node(weight);
+  for (NodeId m : mid) {
+    g.add_edge(src, m);
+    g.add_edge(m, snk);
+  }
+  if (width == 0) g.add_edge(src, snk);
+  return g;
+}
+
+Digraph make_layered_dag(std::size_t layers, std::size_t width, double density,
+                         sim::Rng& rng, std::int64_t min_weight,
+                         std::int64_t max_weight) {
+  if (layers == 0 || width == 0) return {};
+  Digraph g;
+  std::vector<std::vector<NodeId>> layer_ids(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    for (std::size_t i = 0; i < width; ++i) {
+      layer_ids[l].push_back(g.add_node(draw_weight(rng, min_weight, max_weight)));
+    }
+  }
+  for (std::size_t l = 1; l < layers; ++l) {
+    for (NodeId v : layer_ids[l]) {
+      bool any = false;
+      for (NodeId u : layer_ids[l - 1]) {
+        if (rng.chance(density)) {
+          g.add_edge(u, v);
+          any = true;
+        }
+      }
+      if (!any) {
+        // Force connectivity: pick one random predecessor.
+        const auto& prev = layer_ids[l - 1];
+        g.add_edge(prev[static_cast<std::size_t>(
+                       rng.uniform(0, static_cast<std::int64_t>(prev.size()) - 1))],
+                   v);
+      }
+    }
+  }
+  return g;
+}
+
+Digraph make_random_dag(std::size_t n, double density, sim::Rng& rng,
+                        std::int64_t min_weight, std::int64_t max_weight) {
+  Digraph g;
+  for (std::size_t i = 0; i < n; ++i) {
+    g.add_node(draw_weight(rng, min_weight, max_weight));
+  }
+  for (NodeId i = 0; i < n; ++i) {
+    for (NodeId j = i + 1; j < n; ++j) {
+      if (rng.chance(density)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+namespace {
+
+// Recursive series-parallel builder. Returns (source, sink) of the
+// freshly added component consuming `budget` nodes.
+std::pair<NodeId, NodeId> sp_build(Digraph& g, std::size_t budget, double parallel_bias,
+                                   sim::Rng& rng, std::int64_t lo, std::int64_t hi) {
+  if (budget <= 1) {
+    const NodeId v = g.add_node(draw_weight(rng, lo, hi));
+    return {v, v};
+  }
+  const std::size_t left_budget =
+      static_cast<std::size_t>(rng.uniform(1, static_cast<std::int64_t>(budget) - 1));
+  const std::size_t right_budget = budget - left_budget;
+  auto [ls, lt] = sp_build(g, left_budget, parallel_bias, rng, lo, hi);
+  auto [rs, rt] = sp_build(g, right_budget, parallel_bias, rng, lo, hi);
+  if (rng.chance(parallel_bias)) {
+    // Parallel composition: shared virtual endpoints realized by a fresh
+    // source and sink node so the result stays a two-terminal DAG.
+    const NodeId s = g.add_node(draw_weight(rng, lo, hi));
+    const NodeId t = g.add_node(draw_weight(rng, lo, hi));
+    g.add_edge(s, ls);
+    g.add_edge(s, rs);
+    g.add_edge(lt, t);
+    g.add_edge(rt, t);
+    return {s, t};
+  }
+  // Series composition.
+  g.add_edge(lt, rs);
+  return {ls, rt};
+}
+
+}  // namespace
+
+Digraph make_series_parallel(std::size_t n, double parallel_bias, sim::Rng& rng,
+                             std::int64_t min_weight, std::int64_t max_weight) {
+  Digraph g;
+  if (n == 0) return g;
+  sp_build(g, n, parallel_bias, rng, min_weight, max_weight);
+  return g;
+}
+
+Digraph make_reduction_tree(std::size_t leaves, std::int64_t weight) {
+  Digraph g;
+  if (leaves == 0) return g;
+  std::vector<NodeId> frontier;
+  frontier.reserve(leaves);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    frontier.push_back(g.add_node(weight));
+  }
+  while (frontier.size() > 1) {
+    std::vector<NodeId> next;
+    next.reserve((frontier.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < frontier.size(); i += 2) {
+      const NodeId join = g.add_node(weight);
+      g.add_edge(frontier[i], join);
+      g.add_edge(frontier[i + 1], join);
+      next.push_back(join);
+    }
+    if (frontier.size() % 2 == 1) next.push_back(frontier.back());
+    frontier = std::move(next);
+  }
+  return g;
+}
+
+}  // namespace rtg::graph

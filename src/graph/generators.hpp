@@ -1,0 +1,49 @@
+// generators.hpp — synthetic graph workload generators.
+//
+// The paper's evaluation substrate is simulated (no proprietary control
+// traces exist), so experiments draw their communication graphs and task
+// graphs from these parameterized families.  Shapes follow the structures
+// the paper motivates: chains (sample → filter → actuate paths),
+// fork-join (parallel sensor fusion), layered DAGs (multi-stage control
+// laws), and series-parallel compositions.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/digraph.hpp"
+#include "sim/rng.hpp"
+
+namespace rtg::graph {
+
+/// A chain v0 -> v1 -> ... -> v_{n-1}; every node has weight `weight`.
+[[nodiscard]] Digraph make_chain(std::size_t n, std::int64_t weight = 1);
+
+/// Fork-join: one source, `width` parallel middle nodes, one sink.
+[[nodiscard]] Digraph make_fork_join(std::size_t width, std::int64_t weight = 1);
+
+/// Layered DAG: `layers` layers of `width` nodes; each node in layer i
+/// gets edges from a random non-empty subset of layer i-1 (edge kept
+/// with probability `density`, with at least one predecessor forced).
+[[nodiscard]] Digraph make_layered_dag(std::size_t layers, std::size_t width,
+                                       double density, sim::Rng& rng,
+                                       std::int64_t min_weight = 1,
+                                       std::int64_t max_weight = 1);
+
+/// Random DAG on n nodes: edge (i, j) for i < j kept with probability
+/// `density`; weights uniform in [min_weight, max_weight].
+[[nodiscard]] Digraph make_random_dag(std::size_t n, double density, sim::Rng& rng,
+                                      std::int64_t min_weight = 1,
+                                      std::int64_t max_weight = 1);
+
+/// Random series-parallel DAG with ~n nodes built by recursive series /
+/// parallel composition (probability `parallel_bias` of splitting in
+/// parallel). Always has a single source and a single sink.
+[[nodiscard]] Digraph make_series_parallel(std::size_t n, double parallel_bias,
+                                           sim::Rng& rng, std::int64_t min_weight = 1,
+                                           std::int64_t max_weight = 1);
+
+/// In-tree (reduction tree): `leaves` leaves converging through binary
+/// joins to a single sink; edges point towards the root.
+[[nodiscard]] Digraph make_reduction_tree(std::size_t leaves, std::int64_t weight = 1);
+
+}  // namespace rtg::graph

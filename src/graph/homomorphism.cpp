@@ -1,0 +1,88 @@
+#include "graph/homomorphism.hpp"
+
+#include <functional>
+
+namespace rtg::graph {
+
+bool is_homomorphism(const Digraph& c, const Digraph& g,
+                     const std::vector<NodeId>& labels) {
+  if (labels.size() != c.node_count()) return false;
+  for (NodeId v = 0; v < c.node_count(); ++v) {
+    if (!g.has_node(labels[v])) return false;
+  }
+  for (const Edge& e : c.edges()) {
+    if (!g.has_edge(labels[e.from], labels[e.to])) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Backtracking assignment in node-id order; `count_only` enumerates
+// until `limit` instead of stopping at the first solution.
+struct HomSearch {
+  const Digraph& c;
+  const Digraph& g;
+  std::vector<NodeId> labels;
+  std::size_t found = 0;
+  std::size_t limit = 1;
+
+  bool consistent(NodeId v, NodeId image) const {
+    // Check edges between v and already-assigned nodes (ids < v have
+    // assignments; edges may go either way).
+    for (NodeId u : c.predecessors(v)) {
+      if (u < v && !g.has_edge(labels[u], image)) return false;
+    }
+    for (NodeId u : c.successors(v)) {
+      if (u < v && !g.has_edge(image, labels[u])) return false;
+    }
+    return true;
+  }
+
+  void search(NodeId v) {
+    if (found >= limit) return;
+    if (v == c.node_count()) {
+      ++found;
+      return;
+    }
+    for (NodeId image = 0; image < g.node_count(); ++image) {
+      if (!consistent(v, image)) continue;
+      labels[v] = image;
+      search(v + 1);
+      if (found >= limit) return;
+    }
+  }
+};
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> find_homomorphism(const Digraph& c, const Digraph& g) {
+  if (c.node_count() > 0 && g.node_count() == 0) return std::nullopt;
+  HomSearch s{c, g, std::vector<NodeId>(c.node_count(), kInvalidNode), 0, 1};
+  // To recover the witness we re-run stopping at the first success with
+  // the label vector intact.
+  std::optional<std::vector<NodeId>> result;
+  std::function<bool(NodeId)> rec = [&](NodeId v) -> bool {
+    if (v == c.node_count()) {
+      result = s.labels;
+      return true;
+    }
+    for (NodeId image = 0; image < g.node_count(); ++image) {
+      if (!s.consistent(v, image)) continue;
+      s.labels[v] = image;
+      if (rec(v + 1)) return true;
+    }
+    return false;
+  };
+  rec(0);
+  return result;
+}
+
+std::size_t count_homomorphisms(const Digraph& c, const Digraph& g, std::size_t limit) {
+  if (c.node_count() == 0) return 1;
+  HomSearch s{c, g, std::vector<NodeId>(c.node_count(), kInvalidNode), 0, limit};
+  s.search(0);
+  return s.found;
+}
+
+}  // namespace rtg::graph

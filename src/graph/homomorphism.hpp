@@ -1,0 +1,36 @@
+// homomorphism.hpp — graph-compatibility checking.
+//
+// Mok's model requires every task graph C to be *compatible* with the
+// communication graph G: there must be a mapping h with h(v) ∈ V(G) for
+// every node v of C and h(e) ∈ E(G) for every edge e of C — i.e. h is a
+// graph homomorphism from C into G.  In this library task-graph nodes
+// carry their image under h explicitly, so the common operation is
+// *validating* a given labelling; we additionally provide a search for
+// an arbitrary homomorphism, used by tests and by the spec compiler to
+// diagnose unmapped task graphs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace rtg::graph {
+
+/// Validates that `labels` (one entry per node of `c`, the image in `g`)
+/// is a homomorphism from `c` into `g`: every image node exists and
+/// every edge of `c` maps to an edge of `g`.
+[[nodiscard]] bool is_homomorphism(const Digraph& c, const Digraph& g,
+                                   const std::vector<NodeId>& labels);
+
+/// Searches for any homomorphism from `c` into `g` by backtracking.
+/// Returns the label vector, or nullopt if none exists. Exponential in
+/// the worst case; intended for small task graphs.
+[[nodiscard]] std::optional<std::vector<NodeId>> find_homomorphism(const Digraph& c,
+                                                                   const Digraph& g);
+
+/// Counts homomorphisms from `c` into `g`, stopping at `limit`.
+[[nodiscard]] std::size_t count_homomorphisms(const Digraph& c, const Digraph& g,
+                                              std::size_t limit = 1000000);
+
+}  // namespace rtg::graph

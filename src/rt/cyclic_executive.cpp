@@ -1,0 +1,110 @@
+#include "rt/cyclic_executive.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rtg::rt {
+
+sim::ExecutionTrace CyclicExecutive::to_trace() const {
+  sim::ExecutionTrace trace;
+  for (const auto& frame : frames) {
+    Time used = 0;
+    for (const FrameEntry& entry : frame) {
+      trace.append_run(static_cast<sim::Slot>(entry.task),
+                       static_cast<std::size_t>(entry.slots));
+      used += entry.slots;
+    }
+    if (used < frame_size) {
+      trace.append_idle(static_cast<std::size_t>(frame_size - used));
+    }
+  }
+  return trace;
+}
+
+std::vector<Time> candidate_frame_sizes(const TaskSet& ts) {
+  if (ts.empty()) return {};
+  Time max_c = 0;
+  for (const Task& t : ts.tasks()) {
+    if (t.arrival != Arrival::kPeriodic) {
+      throw std::invalid_argument("candidate_frame_sizes: tasks must be periodic");
+    }
+    max_c = std::max(max_c, t.c);
+  }
+  const Time h = ts.hyperperiod();
+  std::vector<Time> result;
+  for (Time f = 1; f <= h; ++f) {
+    if (h % f != 0) continue;
+    if (f < max_c) continue;
+    bool ok = true;
+    for (const Task& t : ts.tasks()) {
+      if (2 * f - std::gcd(f, t.p) > t.d) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) result.push_back(f);
+  }
+  return result;
+}
+
+std::optional<CyclicExecutive> build_cyclic_executive(const TaskSet& ts, Time frame_size) {
+  const auto candidates = candidate_frame_sizes(ts);
+  if (std::find(candidates.begin(), candidates.end(), frame_size) == candidates.end()) {
+    throw std::invalid_argument("build_cyclic_executive: frame size violates the frame conditions");
+  }
+  const Time h = ts.hyperperiod();
+  const std::size_t n_frames = static_cast<std::size_t>(h / frame_size);
+
+  struct Job {
+    std::size_t task;
+    Time release;
+    Time deadline;
+    Time remaining;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    for (Time r = 0; r < h; r += ts[i].p) {
+      jobs.push_back(Job{i, r, r + ts[i].d, ts[i].c});
+    }
+  }
+  std::sort(jobs.begin(), jobs.end(), [](const Job& a, const Job& b) {
+    if (a.deadline != b.deadline) return a.deadline < b.deadline;
+    if (a.release != b.release) return a.release < b.release;
+    return a.task < b.task;
+  });
+
+  CyclicExecutive exec;
+  exec.frame_size = frame_size;
+  exec.hyperperiod = h;
+  exec.frames.resize(n_frames);
+  std::vector<Time> room(n_frames, frame_size);
+
+  for (Job& job : jobs) {
+    // Usable frames: start at or after release, end at or before the
+    // deadline.
+    for (std::size_t k = 0; k < n_frames && job.remaining > 0; ++k) {
+      const Time frame_start = static_cast<Time>(k) * frame_size;
+      const Time frame_end = frame_start + frame_size;
+      if (frame_start < job.release || frame_end > job.deadline) continue;
+      if (room[k] == 0) continue;
+      const Time take = std::min(room[k], job.remaining);
+      exec.frames[k].push_back(FrameEntry{job.task, take});
+      room[k] -= take;
+      job.remaining -= take;
+    }
+    if (job.remaining > 0) return std::nullopt;
+  }
+  return exec;
+}
+
+std::optional<CyclicExecutive> build_cyclic_executive(const TaskSet& ts) {
+  auto candidates = candidate_frame_sizes(ts);
+  std::sort(candidates.rbegin(), candidates.rend());
+  for (Time f : candidates) {
+    if (auto exec = build_cyclic_executive(ts, f)) return exec;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rtg::rt

@@ -1,0 +1,59 @@
+// cyclic_executive.hpp — frame-based cyclic executives for periodic
+// process sets.
+//
+// The classical pre-computed-table counterpart of the paper's static
+// schedules on the *process* side: time is divided into fixed frames of
+// size f; each job is assigned to frames between its release and
+// deadline. Frame-size constraints (Liu):
+//   (1) f >= max_i c_i            (a job fits in one frame);
+//   (2) f divides the hyperperiod H;
+//   (3) 2f - gcd(f, p_i) <= d_i   (a frame boundary falls early enough
+//                                  inside every period for detection).
+// Job-to-frame assignment is earliest-deadline-first bin packing.
+// Used as the process-model baseline against graph-based static
+// schedules (they look similar but the cyclic executive cannot share
+// work between processes, and it handles sporadic constraints only by
+// polling servers).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rt/task.hpp"
+#include "sim/trace.hpp"
+
+namespace rtg::rt {
+
+/// One scheduled job slice inside a frame.
+struct FrameEntry {
+  std::size_t task = 0;
+  Time slots = 0;  ///< execution time allotted within this frame
+};
+
+struct CyclicExecutive {
+  Time frame_size = 0;
+  Time hyperperiod = 0;
+  /// frames[k] lists the job slices run in frame k (k in [0, H/f)).
+  std::vector<std::vector<FrameEntry>> frames;
+
+  /// Flattens the table into a slot-level trace of one hyperperiod.
+  [[nodiscard]] sim::ExecutionTrace to_trace() const;
+};
+
+/// Frame sizes satisfying conditions (1)-(3), ascending. Empty when no
+/// divisor of H qualifies.
+[[nodiscard]] std::vector<Time> candidate_frame_sizes(const TaskSet& ts);
+
+/// Builds a cyclic executive with the given frame size using EDF-ordered
+/// first-fit packing (jobs may split across frames — "slicing" — which
+/// classical cyclic executives permit by splitting the procedure).
+/// Returns nullopt if some job cannot be packed by its deadline.
+/// Requires: all tasks periodic, f a candidate frame size.
+[[nodiscard]] std::optional<CyclicExecutive> build_cyclic_executive(const TaskSet& ts,
+                                                                    Time frame_size);
+
+/// Convenience: tries every candidate frame size (largest first, which
+/// minimizes dispatch overhead) and returns the first that packs.
+[[nodiscard]] std::optional<CyclicExecutive> build_cyclic_executive(const TaskSet& ts);
+
+}  // namespace rtg::rt

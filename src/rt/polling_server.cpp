@@ -1,0 +1,172 @@
+#include "rt/polling_server.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtg::rt {
+
+std::size_t PollingServerResult::periodic_misses() const {
+  std::size_t n = 0;
+  for (const JobRecord& j : periodic_jobs) {
+    if (j.missed()) ++n;
+  }
+  return n;
+}
+
+Time PollingServerResult::worst_aperiodic_response() const {
+  Time worst = -1;
+  for (const ServedJob& j : aperiodic_jobs) {
+    if (j.completed()) worst = std::max(worst, j.response_time());
+  }
+  return worst;
+}
+
+namespace {
+
+// Shared engine for the polling and deferrable variants; `forfeit`
+// selects the polling rule (budget dropped whenever the queue is empty
+// at a service opportunity).
+PollingServerResult simulate_server(const TaskSet& periodic, Time server_capacity,
+                                    Time server_period,
+                                    const std::vector<AperiodicJob>& jobs,
+                                    Time horizon, bool forfeit);
+
+}  // namespace
+
+PollingServerResult simulate_polling_server(const TaskSet& periodic,
+                                            Time server_capacity, Time server_period,
+                                            const std::vector<AperiodicJob>& jobs,
+                                            Time horizon) {
+  return simulate_server(periodic, server_capacity, server_period, jobs, horizon,
+                         /*forfeit=*/true);
+}
+
+PollingServerResult simulate_deferrable_server(const TaskSet& periodic,
+                                               Time server_capacity,
+                                               Time server_period,
+                                               const std::vector<AperiodicJob>& jobs,
+                                               Time horizon) {
+  return simulate_server(periodic, server_capacity, server_period, jobs, horizon,
+                         /*forfeit=*/false);
+}
+
+namespace {
+
+PollingServerResult simulate_server(const TaskSet& periodic, Time server_capacity,
+                                    Time server_period,
+                                    const std::vector<AperiodicJob>& jobs,
+                                    Time horizon, bool forfeit) {
+  if (server_capacity < 1 || server_period < 1 || server_capacity > server_period) {
+    throw std::invalid_argument(
+        "simulate_polling_server: need 1 <= capacity <= period");
+  }
+  for (const Task& t : periodic.tasks()) {
+    if (t.arrival != Arrival::kPeriodic) {
+      throw std::invalid_argument("simulate_polling_server: tasks must be periodic");
+    }
+  }
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    if (jobs[i].release < jobs[i - 1].release) {
+      throw std::invalid_argument("simulate_polling_server: jobs must be sorted");
+    }
+  }
+  for (const AperiodicJob& j : jobs) {
+    if (j.work < 1 || j.release < 0) {
+      throw std::invalid_argument("simulate_polling_server: bad job");
+    }
+  }
+
+  PollingServerResult result;
+  const sim::Slot server_slot = static_cast<sim::Slot>(periodic.size());
+
+  struct Live {
+    std::size_t task;  // == periodic.size() for the server
+    std::size_t record;
+    Time abs_deadline;
+    Time remaining;
+  };
+  std::vector<Live> ready;
+  Time server_budget = 0;
+
+  // FIFO queue of indices into result.aperiodic_jobs with work left.
+  for (const AperiodicJob& j : jobs) {
+    result.aperiodic_jobs.push_back(ServedJob{j.release, j.work, -1});
+  }
+  std::vector<Time> aperiodic_left;
+  for (const AperiodicJob& j : jobs) aperiodic_left.push_back(j.work);
+  std::size_t queue_head = 0;   // first job not yet completed
+  std::size_t next_arrival = 0; // first job not yet released
+
+  for (Time now = 0; now < horizon; ++now) {
+    // Releases.
+    while (next_arrival < result.aperiodic_jobs.size() &&
+           result.aperiodic_jobs[next_arrival].release <= now) {
+      ++next_arrival;
+    }
+    for (std::size_t i = 0; i < periodic.size(); ++i) {
+      if (now % periodic[i].p == 0) {
+        result.periodic_jobs.push_back(
+            JobRecord{i, now, now + periodic[i].d, -1});
+        ready.push_back(
+            Live{i, result.periodic_jobs.size() - 1, now + periodic[i].d,
+                 periodic[i].c});
+      }
+    }
+    // Server replenishment: budget resets; forfeited at once when the
+    // queue is empty (the polling rule).
+    if (now % server_period == 0) {
+      server_budget = server_capacity;
+    }
+    // Queue state for this slot.
+    while (queue_head < next_arrival && aperiodic_left[queue_head] == 0) {
+      ++queue_head;
+    }
+    const bool pending = queue_head < next_arrival;
+    if (forfeit && now % server_period == 0 && !pending) {
+      server_budget = 0;  // polled an empty queue
+    }
+
+    // EDF among periodic jobs and the server (deadline = period end).
+    const Time server_deadline = (now / server_period + 1) * server_period;
+    bool server_eligible = server_budget > 0 && pending;
+
+    std::size_t pick = ready.size();
+    for (std::size_t k = 0; k < ready.size(); ++k) {
+      if (pick == ready.size() || ready[k].abs_deadline < ready[pick].abs_deadline) {
+        pick = k;
+      }
+    }
+    const bool server_wins =
+        server_eligible &&
+        (pick == ready.size() || server_deadline <= ready[pick].abs_deadline);
+
+    if (server_wins) {
+      result.trace.append(server_slot);
+      --server_budget;
+      if (--aperiodic_left[queue_head] == 0) {
+        result.aperiodic_jobs[queue_head].completion = now + 1;
+        // Polling rule: if the queue just emptied, the leftover budget
+        // is forfeited. A deferrable server keeps it.
+        if (forfeit) {
+          std::size_t h = queue_head + 1;
+          while (h < next_arrival && aperiodic_left[h] == 0) ++h;
+          if (h >= next_arrival) server_budget = 0;
+        }
+      }
+    } else if (pick != ready.size()) {
+      Live& job = ready[pick];
+      result.trace.append(static_cast<sim::Slot>(job.task));
+      if (--job.remaining == 0) {
+        result.periodic_jobs[job.record].completion = now + 1;
+        ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    } else {
+      result.trace.append_idle();
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+}  // namespace rtg::rt

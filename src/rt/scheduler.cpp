@@ -1,0 +1,184 @@
+#include "rt/scheduler.hpp"
+
+#include "rt/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rtg::rt {
+
+std::size_t SimResult::miss_count() const {
+  std::size_t n = 0;
+  for (const JobRecord& j : jobs) {
+    if (j.missed()) ++n;
+  }
+  return n;
+}
+
+Time SimResult::worst_response(std::size_t task) const {
+  Time worst = -1;
+  for (const JobRecord& j : jobs) {
+    if (j.task == task && j.completed()) {
+      worst = std::max(worst, j.response_time());
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+// Live job state during simulation; `record` indexes SimResult::jobs.
+struct LiveJob {
+  std::size_t task;
+  std::size_t record;
+  Time abs_deadline;
+  Time remaining;
+  Time executed = 0;  // slots already run (for critical-section tracking)
+};
+
+// True when the job is inside its non-preemptible critical-section
+// prefix: it has started but not yet left the first `cs` slots.
+bool in_critical_section(const LiveJob& job, const TaskSet& ts) {
+  const Time cs = ts[job.task].critical_section;
+  return job.executed > 0 && job.executed < cs;
+}
+
+}  // namespace
+
+SimResult simulate(const TaskSet& ts, Policy policy, Time horizon,
+                   const ArrivalStreams* arrivals) {
+  if (horizon < 0) throw std::invalid_argument("simulate: negative horizon");
+
+  // Validate / default arrival streams.
+  ArrivalStreams empty_streams;
+  const ArrivalStreams& streams = arrivals ? *arrivals : empty_streams;
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    if (ts[i].arrival == Arrival::kSporadic) {
+      if (!arrivals || i >= streams.size()) {
+        throw std::invalid_argument("simulate: sporadic task lacks arrival stream");
+      }
+      const auto& s = streams[i];
+      for (std::size_t k = 1; k < s.size(); ++k) {
+        if (s[k] - s[k - 1] < ts[i].p) {
+          throw std::invalid_argument("simulate: arrival stream violates min separation");
+        }
+      }
+    }
+  }
+
+  // Static priorities for RM/DM (rank position; lower = higher priority).
+  std::vector<std::size_t> static_rank(ts.size(), 0);
+  if (policy == Policy::kRm || policy == Policy::kDm) {
+    const auto order = priority_order(ts, policy == Policy::kRm
+                                              ? PriorityOrder::kRateMonotonic
+                                              : PriorityOrder::kDeadlineMonotonic);
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      static_rank[order[rank]] = rank;
+    }
+  }
+
+  SimResult result;
+  std::vector<LiveJob> ready;
+  std::vector<std::size_t> next_arrival(ts.size(), 0);
+
+  for (Time now = 0; now < horizon; ++now) {
+    // Releases at `now`.
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+      bool release = false;
+      if (ts[i].arrival == Arrival::kPeriodic) {
+        release = (now % ts[i].p) == 0;
+      } else {
+        const auto& s = streams[i];
+        if (next_arrival[i] < s.size() && s[next_arrival[i]] == now) {
+          release = true;
+          ++next_arrival[i];
+        }
+      }
+      if (release) {
+        result.jobs.push_back(JobRecord{i, now, now + ts[i].d, -1});
+        ready.push_back(LiveJob{i, result.jobs.size() - 1, now + ts[i].d, ts[i].c, 0});
+      }
+    }
+
+    if (ready.empty()) {
+      result.trace.append_idle();
+      continue;
+    }
+
+    // A job inside its critical section is non-preemptible: it runs.
+    std::size_t chosen = ready.size();
+    for (std::size_t k = 0; k < ready.size(); ++k) {
+      if (in_critical_section(ready[k], ts)) {
+        chosen = k;
+        break;
+      }
+    }
+    if (chosen == ready.size()) {
+      // Pick by policy; ties broken by earliest release (record index).
+      auto better = [&](const LiveJob& a, const LiveJob& b) {
+        switch (policy) {
+          case Policy::kEdf:
+            if (a.abs_deadline != b.abs_deadline) return a.abs_deadline < b.abs_deadline;
+            break;
+          case Policy::kRm:
+          case Policy::kDm:
+            if (static_rank[a.task] != static_rank[b.task]) {
+              return static_rank[a.task] < static_rank[b.task];
+            }
+            break;
+          case Policy::kLlf: {
+            const Time la = a.abs_deadline - now - a.remaining;
+            const Time lb = b.abs_deadline - now - b.remaining;
+            if (la != lb) return la < lb;
+            break;
+          }
+        }
+        return a.record < b.record;
+      };
+      chosen = 0;
+      for (std::size_t k = 1; k < ready.size(); ++k) {
+        if (better(ready[k], ready[chosen])) chosen = k;
+      }
+    }
+
+    LiveJob& job = ready[chosen];
+    result.trace.append(static_cast<sim::Slot>(job.task));
+    ++job.executed;
+    if (--job.remaining == 0) {
+      result.jobs[job.record].completion = now + 1;
+      ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(chosen));
+    }
+  }
+  return result;
+}
+
+std::vector<Time> max_rate_arrivals(Time min_sep, Time horizon) {
+  if (min_sep < 1) throw std::invalid_argument("max_rate_arrivals: min_sep < 1");
+  std::vector<Time> out;
+  for (Time t = 0; t < horizon; t += min_sep) out.push_back(t);
+  return out;
+}
+
+std::vector<Time> random_arrivals(Time min_sep, Time horizon, double extra_mean,
+                                  sim::Rng& rng) {
+  if (min_sep < 1) throw std::invalid_argument("random_arrivals: min_sep < 1");
+  if (extra_mean < 0) throw std::invalid_argument("random_arrivals: negative mean");
+  std::vector<Time> out;
+  Time t = 0;
+  while (t < horizon) {
+    out.push_back(t);
+    Time extra = 0;
+    if (extra_mean > 0) {
+      // Geometric with mean extra_mean: number of failures before a
+      // success with success probability 1/(1+mean).
+      const double q = extra_mean / (1.0 + extra_mean);
+      while (rng.chance(q) && extra < horizon) ++extra;
+    }
+    t += min_sep + extra;
+  }
+  return out;
+}
+
+}  // namespace rtg::rt

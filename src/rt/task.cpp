@@ -1,0 +1,64 @@
+#include "rt/task.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rtg::rt {
+
+TaskSet::TaskSet(std::vector<Task> tasks) {
+  for (auto& t : tasks) add(std::move(t));
+}
+
+std::size_t TaskSet::add(Task t) {
+  if (t.c < 1 || t.p < 1 || t.d < 1) {
+    throw std::invalid_argument("TaskSet::add: c, p, d must be >= 1");
+  }
+  if (t.critical_section < 0 || t.critical_section > t.c) {
+    throw std::invalid_argument("TaskSet::add: critical_section out of [0, c]");
+  }
+  tasks_.push_back(std::move(t));
+  return tasks_.size() - 1;
+}
+
+double TaskSet::utilization() const {
+  double u = 0.0;
+  for (const Task& t : tasks_) u += t.utilization();
+  return u;
+}
+
+double TaskSet::density() const {
+  double u = 0.0;
+  for (const Task& t : tasks_) {
+    u += static_cast<double>(t.c) / static_cast<double>(std::min(t.p, t.d));
+  }
+  return u;
+}
+
+Time lcm_checked(Time a, Time b) {
+  const Time g = std::gcd(a, b);
+  const Time a_over_g = a / g;
+  if (a_over_g != 0 && b > std::numeric_limits<Time>::max() / a_over_g) {
+    throw std::overflow_error("lcm_checked: overflow");
+  }
+  return a_over_g * b;
+}
+
+Time TaskSet::hyperperiod() const {
+  Time h = 1;
+  for (const Task& t : tasks_) h = lcm_checked(h, t.p);
+  return h;
+}
+
+Time TaskSet::max_deadline() const {
+  Time d = 0;
+  for (const Task& t : tasks_) d = std::max(d, t.d);
+  return d;
+}
+
+bool TaskSet::constrained_deadlines() const {
+  return std::all_of(tasks_.begin(), tasks_.end(),
+                     [](const Task& t) { return t.d <= t.p; });
+}
+
+}  // namespace rtg::rt

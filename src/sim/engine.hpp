@@ -1,0 +1,72 @@
+// engine.hpp — minimal deterministic discrete-event simulation engine.
+//
+// The run-time executive and the process-based scheduling simulators run
+// on this engine: callbacks scheduled at integral times, executed in
+// (time, insertion) order. The engine owns the clock; callbacks may
+// schedule further events at or after the current time.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+
+#include "sim/event_queue.hpp"
+
+namespace rtg::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void(Engine&)>;
+
+  /// Current simulated time. Starts at 0.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `t` (must be >= now()).
+  void schedule_at(Time t, Callback cb) {
+    if (t < now_) {
+      throw std::invalid_argument("Engine::schedule_at: time in the past");
+    }
+    queue_.push(t, std::move(cb));
+  }
+
+  /// Schedules `cb` to run `delay` slots from now.
+  void schedule_after(Time delay, Callback cb) {
+    schedule_at(now_ + delay, std::move(cb));
+  }
+
+  /// Runs events until the queue is empty or the clock would pass
+  /// `horizon`. Events at exactly `horizon` do run. Returns the number
+  /// of events executed.
+  std::size_t run_until(Time horizon) {
+    std::size_t executed = 0;
+    while (!queue_.empty() && queue_.next_time() <= horizon) {
+      auto [t, cb] = queue_.pop();
+      now_ = t;
+      cb(*this);
+      ++executed;
+    }
+    if (now_ < horizon) now_ = horizon;
+    return executed;
+  }
+
+  /// Runs all pending events. Returns the number executed. Use only
+  /// when the event population is known to be finite.
+  std::size_t run_all() {
+    std::size_t executed = 0;
+    while (!queue_.empty()) {
+      auto [t, cb] = queue_.pop();
+      now_ = t;
+      cb(*this);
+      ++executed;
+    }
+    return executed;
+  }
+
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+
+ private:
+  Time now_ = 0;
+  EventQueue<Callback> queue_;
+};
+
+}  // namespace rtg::sim

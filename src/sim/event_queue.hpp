@@ -1,0 +1,62 @@
+// event_queue.hpp — time-ordered event queue for discrete-event
+// simulation. Events at equal timestamps pop in insertion order (FIFO),
+// which keeps simulations deterministic without relying on heap
+// tie-breaking.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace rtg::sim {
+
+/// Simulated time in integral slots, matching the paper's integral
+/// invocation instants.
+using Time = std::int64_t;
+
+/// Min-queue of (time, payload) ordered by time then insertion order.
+template <typename Payload>
+class EventQueue {
+ public:
+  void push(Time t, Payload payload) {
+    heap_.push(Entry{t, next_seq_++, std::move(payload)});
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest event. Precondition: !empty().
+  [[nodiscard]] Time next_time() const { return heap_.top().time; }
+
+  /// Removes and returns the earliest event's payload.
+  /// Precondition: !empty().
+  [[nodiscard]] std::pair<Time, Payload> pop() {
+    Entry top = heap_.top();
+    heap_.pop();
+    return {top.time, std::move(top.payload)};
+  }
+
+  void clear() {
+    heap_ = {};
+    next_seq_ = 0;
+  }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    Payload payload;
+
+    // std::priority_queue is a max-heap; invert the comparison.
+    bool operator<(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace rtg::sim

@@ -1,0 +1,40 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rtg::sim {
+
+std::size_t ExecutionTrace::count(Slot e) const {
+  return static_cast<std::size_t>(std::count(slots_.begin(), slots_.end(), e));
+}
+
+double ExecutionTrace::utilization() const {
+  if (slots_.empty()) return 0.0;
+  return 1.0 - static_cast<double>(idle_count()) / static_cast<double>(slots_.size());
+}
+
+std::span<const Slot> ExecutionTrace::window(std::size_t begin, std::size_t end) const {
+  if (begin > end || end > slots_.size()) {
+    throw std::out_of_range("ExecutionTrace::window: bad range");
+  }
+  return {slots_.data() + begin, end - begin};
+}
+
+std::string ExecutionTrace::to_string(std::span<const std::string> names) const {
+  std::string out;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (i > 0) out.push_back(' ');
+    const Slot s = slots_[i];
+    if (s == kIdle) {
+      out.push_back('.');
+    } else if (s < names.size() && !names[s].empty()) {
+      out += names[s];
+    } else {
+      out += std::to_string(s);
+    }
+  }
+  return out;
+}
+
+}  // namespace rtg::sim

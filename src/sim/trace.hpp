@@ -1,0 +1,68 @@
+// trace.hpp — execution traces.
+//
+// The paper defines an execution trace of a processor as a mapping
+// F : ℕ → V ∪ {φ}: F(i) = u means functional element u executes in the
+// unit interval [i, i+1); F(i) = φ means the processor idles. This
+// container stores a finite prefix of such a trace, with helpers to
+// count symbols, slice windows, and render compactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rtg::sim {
+
+/// A trace symbol: a functional-element id or idle.
+using Slot = std::uint32_t;
+
+/// The idle symbol φ.
+inline constexpr Slot kIdle = static_cast<Slot>(-1);
+
+/// Finite prefix of an execution trace F : ℕ → V ∪ {φ}.
+class ExecutionTrace {
+ public:
+  ExecutionTrace() = default;
+  explicit ExecutionTrace(std::vector<Slot> slots) : slots_(std::move(slots)) {}
+
+  void append(Slot s) { slots_.push_back(s); }
+  void append_idle(std::size_t count = 1) {
+    slots_.insert(slots_.end(), count, kIdle);
+  }
+  /// Appends `count` consecutive slots of element `e` (a weight-`count`
+  /// non-preemptive execution).
+  void append_run(Slot e, std::size_t count) {
+    slots_.insert(slots_.end(), count, e);
+  }
+
+  [[nodiscard]] std::size_t size() const { return slots_.size(); }
+  [[nodiscard]] bool empty() const { return slots_.empty(); }
+  [[nodiscard]] Slot at(std::size_t i) const { return slots_.at(i); }
+  [[nodiscard]] Slot operator[](std::size_t i) const { return slots_[i]; }
+  [[nodiscard]] const std::vector<Slot>& slots() const { return slots_; }
+
+  /// Number of slots carrying element `e`.
+  [[nodiscard]] std::size_t count(Slot e) const;
+
+  /// Number of idle slots.
+  [[nodiscard]] std::size_t idle_count() const { return count(kIdle); }
+
+  /// Fraction of busy (non-idle) slots; 0 for an empty trace.
+  [[nodiscard]] double utilization() const;
+
+  /// View of slots [begin, end).
+  [[nodiscard]] std::span<const Slot> window(std::size_t begin, std::size_t end) const;
+
+  /// Compact text rendering: element names where provided (one char per
+  /// slot uses ids), '.' for idle. `names[e]` supplies the label for
+  /// element e; out-of-range ids render as their number.
+  [[nodiscard]] std::string to_string(std::span<const std::string> names = {}) const;
+
+  friend bool operator==(const ExecutionTrace&, const ExecutionTrace&) = default;
+
+ private:
+  std::vector<Slot> slots_;
+};
+
+}  // namespace rtg::sim

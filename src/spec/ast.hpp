@@ -1,0 +1,58 @@
+// ast.hpp — abstract syntax tree for the specification language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rtg::spec {
+
+/// element <name> [weight <int>] [nopipeline]
+struct ElementDecl {
+  std::string name;
+  std::int64_t weight = 1;
+  bool pipelinable = true;
+  std::size_t line = 0;
+};
+
+/// channel a -> b -> c   (declares edges a->b and b->c)
+struct ChannelDecl {
+  std::vector<std::string> path;  // at least two names
+  std::size_t line = 0;
+};
+
+/// A task-graph node reference inside a constraint body: an element
+/// name with an optional instance index (fs, fs#2, ...). Distinct
+/// indices denote distinct operations of the same element.
+struct OpRef {
+  std::string element;
+  std::int64_t instance = 0;
+  std::size_t line = 0;
+
+  friend bool operator==(const OpRef&, const OpRef&) = default;
+};
+
+/// One chain inside a constraint body: a -> b -> c (or a single node).
+struct ChainStmt {
+  std::vector<OpRef> nodes;
+  std::size_t line = 0;
+};
+
+/// constraint <name> (periodic|sporadic) (period|separation) <int>
+///   deadline <int> { chain* }
+struct ConstraintDecl {
+  std::string name;
+  bool periodic = true;
+  std::int64_t period = 1;
+  std::int64_t deadline = 1;
+  std::vector<ChainStmt> chains;
+  std::size_t line = 0;
+};
+
+struct SpecFile {
+  std::vector<ElementDecl> elements;
+  std::vector<ChannelDecl> channels;
+  std::vector<ConstraintDecl> constraints;
+};
+
+}  // namespace rtg::spec

@@ -1,0 +1,149 @@
+#include "spec/compile.hpp"
+
+#include <map>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "spec/parser.hpp"
+
+namespace rtg::spec {
+
+CompileResult compile(const SpecFile& file) {
+  CompileResult result;
+  auto fail = [&result](std::string message, std::size_t line) {
+    result.errors.push_back(CompileError{std::move(message), line});
+  };
+
+  core::CommGraph comm;
+  for (const ElementDecl& decl : file.elements) {
+    if (comm.find(decl.name)) {
+      fail("duplicate element '" + decl.name + "'", decl.line);
+      continue;
+    }
+    if (decl.weight < 1) {
+      fail("element '" + decl.name + "' has non-positive weight", decl.line);
+      continue;
+    }
+    comm.add_element(decl.name, decl.weight, decl.pipelinable);
+  }
+
+  for (const ChannelDecl& decl : file.channels) {
+    for (std::size_t i = 0; i + 1 < decl.path.size(); ++i) {
+      const auto from = comm.find(decl.path[i]);
+      const auto to = comm.find(decl.path[i + 1]);
+      if (!from) {
+        fail("channel references undeclared element '" + decl.path[i] + "'", decl.line);
+        continue;
+      }
+      if (!to) {
+        fail("channel references undeclared element '" + decl.path[i + 1] + "'",
+             decl.line);
+        continue;
+      }
+      if (*from == *to) {
+        fail("self channel on '" + decl.path[i] + "'", decl.line);
+        continue;
+      }
+      comm.add_channel(*from, *to);
+    }
+  }
+
+  if (!result.errors.empty()) return result;
+
+  core::GraphModel model(std::move(comm));
+  std::set<std::string> constraint_names;
+
+  for (const ConstraintDecl& decl : file.constraints) {
+    if (!constraint_names.insert(decl.name).second) {
+      fail("duplicate constraint '" + decl.name + "'", decl.line);
+      continue;
+    }
+    if (decl.period < 1) {
+      fail("constraint '" + decl.name + "': non-positive period/separation", decl.line);
+      continue;
+    }
+    if (decl.deadline < 1) {
+      fail("constraint '" + decl.name + "': non-positive deadline", decl.line);
+      continue;
+    }
+
+    core::TaskGraph tg;
+    std::map<std::pair<std::string, std::int64_t>, core::OpId> ops;
+    bool body_ok = true;
+    auto intern = [&](const OpRef& ref) -> std::optional<core::OpId> {
+      const auto key = std::make_pair(ref.element, ref.instance);
+      auto it = ops.find(key);
+      if (it != ops.end()) return it->second;
+      const auto elem = model.comm().find(ref.element);
+      if (!elem) {
+        fail("constraint '" + decl.name + "' references undeclared element '" +
+             ref.element + "'", ref.line);
+        return std::nullopt;
+      }
+      const core::OpId op = tg.add_op(*elem);
+      ops.emplace(key, op);
+      return op;
+    };
+
+    for (const ChainStmt& chain : decl.chains) {
+      core::OpId prev = graph::kInvalidNode;
+      for (const OpRef& ref : chain.nodes) {
+        const auto op = intern(ref);
+        if (!op) {
+          body_ok = false;
+          break;
+        }
+        if (prev != graph::kInvalidNode) {
+          const core::ElementId from = tg.label(prev);
+          const core::ElementId to = tg.label(*op);
+          if (!model.comm().has_channel(from, to)) {
+            fail("constraint '" + decl.name + "': no channel " +
+                 model.comm().name(from) + " -> " + model.comm().name(to),
+                 ref.line);
+            body_ok = false;
+            break;
+          }
+          tg.add_dep(prev, *op);
+        }
+        prev = *op;
+      }
+      if (!body_ok) break;
+    }
+    if (!body_ok) continue;
+    if (tg.empty()) {
+      fail("constraint '" + decl.name + "' has an empty body", decl.line);
+      continue;
+    }
+    if (!graph::is_acyclic(tg.skeleton())) {
+      fail("constraint '" + decl.name + "' has a cyclic task graph", decl.line);
+      continue;
+    }
+
+    core::TimingConstraint constraint;
+    constraint.name = decl.name;
+    constraint.task_graph = std::move(tg);
+    constraint.period = decl.period;
+    constraint.deadline = decl.deadline;
+    constraint.kind = decl.periodic ? core::ConstraintKind::kPeriodic
+                                    : core::ConstraintKind::kAsynchronous;
+    model.add_constraint(std::move(constraint));
+  }
+
+  if (!result.errors.empty()) return result;
+  result.model = std::move(model);
+  return result;
+}
+
+CompileResult compile_text(std::string_view text) {
+  const ParseResult parsed = parse(text);
+  if (!parsed.ok()) {
+    CompileResult result;
+    for (const ParseError& e : parsed.errors) {
+      result.errors.push_back(CompileError{e.message, e.line});
+    }
+    return result;
+  }
+  return compile(parsed.file);
+}
+
+}  // namespace rtg::spec

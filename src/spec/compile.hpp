@@ -1,0 +1,43 @@
+// compile.hpp — translation from a parsed specification into an
+// instance of the graph-based model (the paper's step 2: "translate the
+// design specifications into an instance of the formal model for
+// resource allocation and other analysis").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/model.hpp"
+#include "spec/ast.hpp"
+
+namespace rtg::spec {
+
+struct CompileError {
+  std::string message;
+  std::size_t line = 0;
+};
+
+struct CompileResult {
+  std::optional<core::GraphModel> model;
+  std::vector<CompileError> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty() && model.has_value(); }
+};
+
+/// Semantic checks performed:
+///  * duplicate element declarations;
+///  * channels between undeclared elements;
+///  * duplicate constraint names;
+///  * constraint bodies referencing undeclared elements;
+///  * task-graph edges with no corresponding channel;
+///  * cyclic task graphs;
+///  * non-positive weights, periods or deadlines.
+[[nodiscard]] CompileResult compile(const SpecFile& file);
+
+/// Convenience: parse + compile in one step; parse errors are reported
+/// as compile errors.
+[[nodiscard]] CompileResult compile_text(std::string_view text);
+
+}  // namespace rtg::spec

@@ -1,0 +1,67 @@
+#include "spec/emit.hpp"
+
+#include <sstream>
+#include <unordered_map>
+
+namespace rtg::spec {
+
+namespace {
+
+// Name of op `op` inside its task graph: the element name, plus a #k
+// suffix whenever the element labels more than one op.
+std::string op_ref(const core::TaskGraph& tg, const core::CommGraph& comm,
+                   core::OpId op) {
+  const core::ElementId e = tg.label(op);
+  std::size_t count = 0;
+  std::size_t index = 0;
+  for (core::OpId other = 0; other < tg.size(); ++other) {
+    if (tg.label(other) == e) {
+      ++count;
+      if (other < op) ++index;
+    }
+  }
+  std::string ref = comm.name(e);
+  if (count > 1) {
+    ref += "#" + std::to_string(index + 1);
+  }
+  return ref;
+}
+
+}  // namespace
+
+std::string emit(const core::GraphModel& model) {
+  const core::CommGraph& comm = model.comm();
+  std::ostringstream os;
+
+  for (core::ElementId e = 0; e < comm.size(); ++e) {
+    os << "element " << comm.name(e);
+    if (comm.weight(e) != 1) os << " weight " << comm.weight(e);
+    if (!comm.pipelinable(e)) os << " nopipeline";
+    os << "\n";
+  }
+  if (comm.digraph().edge_count() > 0) os << "\n";
+  for (const graph::Edge& ch : comm.digraph().edges()) {
+    os << "channel " << comm.name(ch.from) << " -> " << comm.name(ch.to) << "\n";
+  }
+
+  for (const core::TimingConstraint& c : model.constraints()) {
+    os << "\nconstraint " << c.name << " "
+       << (c.periodic() ? "periodic period " : "sporadic separation ") << c.period
+       << " deadline " << c.deadline << " {\n";
+    std::vector<bool> covered(c.task_graph.size(), false);
+    for (const graph::Edge& dep : c.task_graph.skeleton().edges()) {
+      os << "  " << op_ref(c.task_graph, comm, dep.from) << " -> "
+         << op_ref(c.task_graph, comm, dep.to) << ";\n";
+      covered[dep.from] = covered[dep.to] = true;
+    }
+    for (core::OpId op = 0; op < c.task_graph.size(); ++op) {
+      if (!covered[op]) {
+        os << "  " << op_ref(c.task_graph, comm, op) << ";\n";
+      }
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace rtg::spec

@@ -1,0 +1,21 @@
+// emit.hpp — serialization of a graph-based model back into the
+// specification language (the inverse of spec/compile). Round-tripping
+// lets tools normalize, diff, and persist models: for every valid model
+// `m`, compile_text(emit(m)) succeeds and produces an equivalent model
+// (same elements, channels, constraint parameters, and task-graph
+// structure up to op renumbering).
+#pragma once
+
+#include <string>
+
+#include "core/model.hpp"
+
+namespace rtg::spec {
+
+/// Renders the model as specification text. Task graphs are emitted as
+/// one chain statement per skeleton edge (isolated ops as single-node
+/// chains); repeated elements within a task graph get #k instance
+/// suffixes.
+[[nodiscard]] std::string emit(const core::GraphModel& model);
+
+}  // namespace rtg::spec

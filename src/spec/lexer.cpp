@@ -1,0 +1,151 @@
+#include "spec/lexer.hpp"
+
+#include <cctype>
+
+namespace rtg::spec {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '/' ||
+         c == '.';
+}
+
+}  // namespace
+
+LexResult lex(std::string_view input) {
+  LexResult result;
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+  bool prev_was_ident = false;
+
+  auto push = [&](TokenKind kind, std::string text, std::int64_t value = 0) {
+    result.tokens.push_back(Token{kind, std::move(text), value, line, column});
+  };
+
+  while (i < input.size()) {
+    const char c = input[i];
+    if (c == '\n') {
+      ++line;
+      column = 1;
+      ++i;
+      prev_was_ident = false;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      ++column;
+      prev_was_ident = false;
+      continue;
+    }
+    if (c == '#') {
+      if (prev_was_ident) {
+        // op-instance suffix: ident#3
+        push(TokenKind::kHash, "#");
+        ++i;
+        ++column;
+        prev_was_ident = false;
+        continue;
+      }
+      // comment to end of line
+      while (i < input.size() && input[i] != '\n') {
+        ++i;
+        ++column;
+      }
+      continue;
+    }
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '>') {
+      push(TokenKind::kArrow, "->");
+      i += 2;
+      column += 2;
+      prev_was_ident = false;
+      continue;
+    }
+    if (c == '{') {
+      push(TokenKind::kLBrace, "{");
+      ++i;
+      ++column;
+      prev_was_ident = false;
+      continue;
+    }
+    if (c == '}') {
+      push(TokenKind::kRBrace, "}");
+      ++i;
+      ++column;
+      prev_was_ident = false;
+      continue;
+    }
+    if (c == ';') {
+      push(TokenKind::kSemi, ";");
+      ++i;
+      ++column;
+      prev_was_ident = false;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string digits;
+      const std::size_t start_col = column;
+      while (i < input.size() && std::isdigit(static_cast<unsigned char>(input[i]))) {
+        digits.push_back(input[i]);
+        ++i;
+        ++column;
+      }
+      std::int64_t value = 0;
+      bool overflow = false;
+      for (char d : digits) {
+        if (value > (INT64_MAX - (d - '0')) / 10) {
+          overflow = true;
+          break;
+        }
+        value = value * 10 + (d - '0');
+      }
+      if (overflow) {
+        result.errors.push_back(LexError{"integer literal too large", line, start_col});
+      } else {
+        result.tokens.push_back(Token{TokenKind::kInt, digits, value, line, start_col});
+      }
+      prev_was_ident = false;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::string text;
+      const std::size_t start_col = column;
+      while (i < input.size() && ident_char(input[i])) {
+        text.push_back(input[i]);
+        ++i;
+        ++column;
+      }
+      result.tokens.push_back(Token{TokenKind::kIdent, text, 0, line, start_col});
+      prev_was_ident = true;
+      continue;
+    }
+    result.errors.push_back(
+        LexError{std::string("unexpected character '") + c + "'", line, column});
+    ++i;
+    ++column;
+    prev_was_ident = false;
+  }
+  push(TokenKind::kEnd, "");
+  return result;
+}
+
+std::string_view token_kind_name(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kInt: return "integer";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kLBrace: return "'{'";
+    case TokenKind::kRBrace: return "'}'";
+    case TokenKind::kSemi: return "';'";
+    case TokenKind::kHash: return "'#'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace rtg::spec

@@ -1,0 +1,66 @@
+// lexer.hpp — tokenizer for the requirements specification language.
+//
+// The paper emphasizes that the end-user specification language is "of
+// only secondary importance in so far as it permits a precise
+// translation of user requirements into an instance of our graph-based
+// model". This DSL is that translation surface — a CONSORT-flavoured
+// textual notation:
+//
+//   # control system
+//   element fs weight 2
+//   element fx
+//   channel fx -> fs
+//   constraint X periodic period 20 deadline 20 {
+//     fx -> fs
+//   }
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rtg::spec {
+
+enum class TokenKind : std::uint8_t {
+  kIdent,   // element / keyword / name (keywords resolved by parser)
+  kInt,     // non-negative integer literal
+  kArrow,   // ->
+  kLBrace,  // {
+  kRBrace,  // }
+  kSemi,    // ;
+  kHash,    // #k op-instance suffix is lexed as kHash + kInt
+  kEnd,     // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier text or literal digits
+  std::int64_t value = 0;  // for kInt
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+/// Lexical error with position information.
+struct LexError {
+  std::string message;
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  // always terminated by kEnd on success
+  std::vector<LexError> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Tokenizes the input. Comments run from '#' preceded by whitespace or
+/// line start to end of line; '#' directly after an identifier
+/// introduces an instance suffix instead.
+[[nodiscard]] LexResult lex(std::string_view input);
+
+/// Human-readable token-kind name for diagnostics.
+[[nodiscard]] std::string_view token_kind_name(TokenKind kind);
+
+}  // namespace rtg::spec

@@ -1,0 +1,229 @@
+#include "spec/parser.hpp"
+
+namespace rtg::spec {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  ParseResult run() {
+    while (!at(TokenKind::kEnd)) {
+      if (at_keyword("element")) {
+        parse_element();
+      } else if (at_keyword("channel")) {
+        parse_channel();
+      } else if (at_keyword("constraint")) {
+        parse_constraint();
+      } else {
+        error("expected 'element', 'channel' or 'constraint'");
+        synchronize();
+      }
+    }
+    return std::move(result_);
+  }
+
+  void add_error(ParseError e) { result_.errors.push_back(std::move(e)); }
+
+ private:
+  const Token& peek() const { return tokens_[pos_]; }
+  const Token& advance() { return tokens_[pos_ == tokens_.size() - 1 ? pos_ : pos_++]; }
+  bool at(TokenKind kind) const { return peek().kind == kind; }
+  bool at_keyword(std::string_view kw) const {
+    return peek().kind == TokenKind::kIdent && peek().text == kw;
+  }
+  bool eat_keyword(std::string_view kw) {
+    if (!at_keyword(kw)) return false;
+    advance();
+    return true;
+  }
+
+  void error(std::string message) {
+    result_.errors.push_back(ParseError{std::move(message), peek().line, peek().column});
+  }
+
+  // Skips tokens until the next statement keyword or end of input.
+  void synchronize() {
+    while (!at(TokenKind::kEnd) && !at_keyword("element") && !at_keyword("channel") &&
+           !at_keyword("constraint")) {
+      advance();
+    }
+  }
+
+  bool expect_ident(std::string& out, std::string_view what) {
+    if (!at(TokenKind::kIdent)) {
+      error(std::string("expected ") + std::string(what) + ", found " +
+            std::string(token_kind_name(peek().kind)));
+      return false;
+    }
+    out = advance().text;
+    return true;
+  }
+
+  bool expect_int(std::int64_t& out, std::string_view what) {
+    if (!at(TokenKind::kInt)) {
+      error(std::string("expected ") + std::string(what) + ", found " +
+            std::string(token_kind_name(peek().kind)));
+      return false;
+    }
+    out = advance().value;
+    return true;
+  }
+
+  void parse_element() {
+    ElementDecl decl;
+    decl.line = peek().line;
+    advance();  // 'element'
+    if (!expect_ident(decl.name, "element name")) {
+      synchronize();
+      return;
+    }
+    while (true) {
+      if (eat_keyword("weight")) {
+        if (!expect_int(decl.weight, "weight value")) {
+          synchronize();
+          return;
+        }
+      } else if (eat_keyword("nopipeline")) {
+        decl.pipelinable = false;
+      } else {
+        break;
+      }
+    }
+    result_.file.elements.push_back(std::move(decl));
+  }
+
+  void parse_channel() {
+    ChannelDecl decl;
+    decl.line = peek().line;
+    advance();  // 'channel'
+    std::string name;
+    if (!expect_ident(name, "channel endpoint")) {
+      synchronize();
+      return;
+    }
+    decl.path.push_back(std::move(name));
+    while (at(TokenKind::kArrow)) {
+      advance();
+      if (!expect_ident(name, "channel endpoint")) {
+        synchronize();
+        return;
+      }
+      decl.path.push_back(std::move(name));
+    }
+    if (decl.path.size() < 2) {
+      error("channel needs at least two endpoints (a -> b)");
+      return;
+    }
+    result_.file.channels.push_back(std::move(decl));
+  }
+
+  bool parse_opref(OpRef& ref) {
+    ref.line = peek().line;
+    if (!expect_ident(ref.element, "operation reference")) return false;
+    if (at(TokenKind::kHash)) {
+      advance();
+      if (!expect_int(ref.instance, "instance index after '#'")) return false;
+    }
+    return true;
+  }
+
+  void parse_constraint() {
+    ConstraintDecl decl;
+    decl.line = peek().line;
+    advance();  // 'constraint'
+    if (!expect_ident(decl.name, "constraint name")) {
+      synchronize();
+      return;
+    }
+    if (eat_keyword("periodic")) {
+      decl.periodic = true;
+    } else if (eat_keyword("sporadic")) {
+      decl.periodic = false;
+    } else {
+      error("expected 'periodic' or 'sporadic'");
+      synchronize();
+      return;
+    }
+    const std::string_view rate_kw = decl.periodic ? "period" : "separation";
+    if (!eat_keyword(rate_kw)) {
+      // Accept the other keyword with a diagnostic nudge.
+      if (eat_keyword(decl.periodic ? "separation" : "period")) {
+        error(decl.periodic ? "periodic constraints use 'period', not 'separation'"
+                            : "sporadic constraints use 'separation', not 'period'");
+      } else {
+        error(std::string("expected '") + std::string(rate_kw) + "'");
+        synchronize();
+        return;
+      }
+    }
+    if (!expect_int(decl.period, "period/separation value")) {
+      synchronize();
+      return;
+    }
+    if (!eat_keyword("deadline")) {
+      error("expected 'deadline'");
+      synchronize();
+      return;
+    }
+    if (!expect_int(decl.deadline, "deadline value")) {
+      synchronize();
+      return;
+    }
+    if (!at(TokenKind::kLBrace)) {
+      error("expected '{' to open constraint body");
+      synchronize();
+      return;
+    }
+    advance();
+    while (!at(TokenKind::kRBrace) && !at(TokenKind::kEnd)) {
+      ChainStmt chain;
+      chain.line = peek().line;
+      OpRef ref;
+      if (!parse_opref(ref)) {
+        synchronize();
+        return;
+      }
+      chain.nodes.push_back(std::move(ref));
+      while (at(TokenKind::kArrow)) {
+        advance();
+        OpRef next;
+        if (!parse_opref(next)) {
+          synchronize();
+          return;
+        }
+        chain.nodes.push_back(std::move(next));
+      }
+      if (at(TokenKind::kSemi)) advance();
+      decl.chains.push_back(std::move(chain));
+    }
+    if (!at(TokenKind::kRBrace)) {
+      error("expected '}' to close constraint body");
+      return;
+    }
+    advance();
+    result_.file.constraints.push_back(std::move(decl));
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ParseResult result_;
+};
+
+}  // namespace
+
+ParseResult parse(std::string_view input) {
+  LexResult lexed = lex(input);
+  if (!lexed.ok()) {
+    ParseResult result;
+    for (const LexError& e : lexed.errors) {
+      result.errors.push_back(ParseError{e.message, e.line, e.column});
+    }
+    return result;
+  }
+  Parser parser(std::move(lexed.tokens));
+  return parser.run();
+}
+
+}  // namespace rtg::spec

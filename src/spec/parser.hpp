@@ -1,0 +1,42 @@
+// parser.hpp — recursive-descent parser for the specification language.
+//
+// Grammar (keywords are ordinary identifiers resolved positionally):
+//   spec        := stmt*
+//   stmt        := element_decl | channel_decl | constraint_decl
+//   element_decl:= "element" IDENT ("weight" INT)? ("nopipeline")?
+//   channel_decl:= "channel" IDENT ("->" IDENT)+
+//   constraint  := "constraint" IDENT ("periodic"|"sporadic")
+//                  ("period"|"separation") INT "deadline" INT
+//                  "{" chain* "}"
+//   chain       := opref ("->" opref)* ";"?
+//   opref       := IDENT ("#" INT)?
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spec/ast.hpp"
+#include "spec/lexer.hpp"
+
+namespace rtg::spec {
+
+struct ParseError {
+  std::string message;
+  std::size_t line = 1;
+  std::size_t column = 1;
+};
+
+struct ParseResult {
+  SpecFile file;
+  std::vector<ParseError> errors;
+
+  [[nodiscard]] bool ok() const { return errors.empty(); }
+};
+
+/// Parses a full specification. Lexical errors are folded into the
+/// parse errors. Recovery: on error, skip to the next statement keyword
+/// so multiple diagnostics can be reported in one pass.
+[[nodiscard]] ParseResult parse(std::string_view input);
+
+}  // namespace rtg::spec

@@ -1,0 +1,201 @@
+#include "core/dataflow.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::core {
+namespace {
+
+// Model: src -> filt -> act (unit weights).
+GraphModel chain_model() {
+  CommGraph comm;
+  comm.add_element("src", 1);
+  comm.add_element("filt", 1);
+  comm.add_element("act", 1);
+  comm.add_channel(0, 1);
+  comm.add_channel(1, 2);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  const OpId c = tg.add_op(2);
+  tg.add_dep(a, b);
+  tg.add_dep(b, c);
+  model.add_constraint(
+      TimingConstraint{"flow", std::move(tg), 10, 10, ConstraintKind::kPeriodic});
+  return model;
+}
+
+StaticSchedule chain_schedule() {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_execution(1, 1);
+  s.push_execution(2, 1);
+  s.push_idle(1);
+  return s;
+}
+
+TEST(Dataflow, DefaultBehaviourSumsInputs) {
+  const GraphModel model = chain_model();
+  DataflowExecutive exec(model);
+  exec.set_source(0, [](Time) { return 5; });
+  const DataflowResult r = exec.run(chain_schedule(), 2);
+  // src emits 5; filt sums {5}; act sums {5}.
+  EXPECT_EQ(r.outputs_of(0), (std::vector<Value>{5, 5}));
+  EXPECT_EQ(r.outputs_of(2), (std::vector<Value>{5, 5}));
+}
+
+TEST(Dataflow, CustomBehaviourAndState) {
+  const GraphModel model = chain_model();
+  DataflowExecutive exec(model);
+  exec.set_source(0, [](Time t) { return t; });  // sample = start time
+  // filt: running sum kept in state.
+  exec.set_behaviour(1, [](std::span<const Value> in, Value state) {
+    const Value next = state + (in.empty() ? 0 : in[0]);
+    return std::pair<Value, Value>{next, next};
+  });
+  const DataflowResult r = exec.run(chain_schedule(), 3);
+  // src outputs 0, 4, 8 (start times); filt accumulates 0, 4, 12.
+  EXPECT_EQ(r.outputs_of(0), (std::vector<Value>{0, 4, 8}));
+  EXPECT_EQ(r.outputs_of(1), (std::vector<Value>{0, 4, 12}));
+}
+
+TEST(Dataflow, LatestOutputSemantics) {
+  // act executes before filt in the schedule: it must see filt's value
+  // from the *previous* cycle (latest transmitted), not the current.
+  const GraphModel model = chain_model();
+  StaticSchedule reordered;
+  reordered.push_execution(2, 1);  // act first
+  reordered.push_execution(0, 1);
+  reordered.push_execution(1, 1);
+  DataflowExecutive exec(model);
+  exec.set_source(0, [](Time) { return 7; });
+  const DataflowResult r = exec.run(reordered, 2);
+  const auto act = r.outputs_of(2);
+  ASSERT_EQ(act.size(), 2u);
+  EXPECT_EQ(act[0], 0);  // nothing received yet
+  EXPECT_EQ(act[1], 7);  // previous cycle's filt output
+}
+
+TEST(Dataflow, TransmissionsLogged) {
+  const GraphModel model = chain_model();
+  DataflowExecutive exec(model);
+  exec.set_source(0, [](Time) { return 3; });
+  const DataflowResult r = exec.run(chain_schedule(), 2);
+  EXPECT_EQ(r.channel_values(0, 1), (std::vector<Value>{3, 3}));
+  EXPECT_EQ(r.channel_values(1, 2), (std::vector<Value>{3, 3}));
+  EXPECT_TRUE(r.channel_values(0, 2).empty());  // no such channel
+}
+
+TEST(Dataflow, EdgeRelationViolationDetected) {
+  const GraphModel model = chain_model();
+  DataflowExecutive exec(model);
+  exec.set_source(0, [](Time t) { return t; });
+  // Relation: values on src -> filt must be non-decreasing (holds) and
+  // on filt -> act must stay below 5 (fails on later cycles).
+  exec.set_edge_relation(0, 1, [](Value prev, Value cur) { return cur >= prev; });
+  exec.set_edge_relation(1, 2, [](Value, Value cur) { return cur < 5; });
+  const DataflowResult r = exec.run(chain_schedule(), 3);
+  ASSERT_EQ(r.violations.size(), 1u);  // filt output 8 at cycle 3
+  EXPECT_EQ(r.violations[0].from, 1u);
+  EXPECT_EQ(r.violations[0].to, 2u);
+  EXPECT_EQ(r.violations[0].current, 8);
+}
+
+TEST(Dataflow, EdgeRelationOnMissingChannelThrows) {
+  const GraphModel model = chain_model();
+  DataflowExecutive exec(model);
+  EXPECT_THROW(exec.set_edge_relation(0, 2, [](Value, Value) { return true; }),
+               std::invalid_argument);
+}
+
+TEST(Dataflow, InvalidScheduleRejected) {
+  const GraphModel model = chain_model();
+  DataflowExecutive exec(model);
+  StaticSchedule bad;
+  bad.push_execution(0, 3);  // wrong duration for unit element
+  EXPECT_THROW((void)exec.run(bad, 1), std::invalid_argument);
+}
+
+TEST(Dataflow, PipelineOrderingHoldsOnProducedLogs) {
+  const GraphModel model = chain_model();
+  DataflowExecutive exec(model);
+  exec.set_source(0, [](Time) { return 1; });
+  const DataflowResult r = exec.run(chain_schedule(), 5);
+  EXPECT_TRUE(r.pipeline_ordered);
+  EXPECT_TRUE(check_pipeline_ordering(r.executions, r.transmissions));
+}
+
+TEST(Dataflow, CheckerRejectsBrokenLogs) {
+  // Two executions of the same element with equal starts.
+  std::vector<ExecutionEvent> executions{
+      {0, 5, 6, 0},
+      {0, 5, 7, 0},
+  };
+  EXPECT_FALSE(check_pipeline_ordering(executions, {}));
+
+  // Finish inversion: earlier start finishes later.
+  std::vector<ExecutionEvent> inverted{
+      {0, 1, 10, 0},
+      {0, 2, 3, 0},
+  };
+  EXPECT_FALSE(check_pipeline_ordering(inverted, {}));
+
+  // Non-FIFO transmissions on one channel.
+  std::vector<TransmissionEvent> transmissions{
+      {0, 1, 9, 0},
+      {0, 1, 4, 0},
+  };
+  EXPECT_FALSE(check_pipeline_ordering({}, transmissions));
+
+  // Distinct channels may interleave freely.
+  std::vector<TransmissionEvent> two_channels{
+      {0, 1, 9, 0},
+      {0, 2, 4, 0},
+  };
+  EXPECT_TRUE(check_pipeline_ordering({}, two_channels));
+}
+
+TEST(Dataflow, StateSeeding) {
+  const GraphModel model = chain_model();
+  DataflowExecutive exec(model);
+  exec.set_state(1, 100);  // filt starts with bias 100
+  exec.set_source(0, [](Time) { return 1; });
+  const DataflowResult r = exec.run(chain_schedule(), 1);
+  EXPECT_EQ(r.outputs_of(1), (std::vector<Value>{101}));
+}
+
+TEST(Dataflow, FeedbackLoopUsesPreviousValue) {
+  // fs <-> fk feedback from the control system: fk's input at cycle n
+  // is fs's output of cycle n, fs's fk-input at cycle n is fk's output
+  // of cycle n-1.
+  CommGraph comm;
+  comm.add_element("fs", 1);
+  comm.add_element("fk", 1);
+  comm.add_channel(0, 1);
+  comm.add_channel(1, 0);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId s = tg.add_op(0);
+  const OpId k = tg.add_op(1);
+  tg.add_dep(s, k);
+  model.add_constraint(
+      TimingConstraint{"loop", std::move(tg), 4, 4, ConstraintKind::kPeriodic});
+
+  StaticSchedule sched;
+  sched.push_execution(0, 1);
+  sched.push_execution(1, 1);
+
+  DataflowExecutive exec(model);
+  // fs: adds 1 to fk's last value; fk: passes through.
+  exec.set_behaviour(0, [](std::span<const Value> in, Value st) {
+    return std::pair<Value, Value>{(in.empty() ? 0 : in[0]) + 1, st};
+  });
+  exec.set_behaviour(1, [](std::span<const Value> in, Value st) {
+    return std::pair<Value, Value>{in.empty() ? 0 : in[0], st};
+  });
+  const DataflowResult r = exec.run(sched, 4);
+  EXPECT_EQ(r.outputs_of(0), (std::vector<Value>{1, 2, 3, 4}));  // counts up
+}
+
+}  // namespace
+}  // namespace rtg::core

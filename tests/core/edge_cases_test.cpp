@@ -1,0 +1,208 @@
+// Edge cases for corners the module suites leave thin: multi-channel
+// TDMA timing, op-level (non-preemptive) EDF interleaving, coalescing
+// across constraint kinds, executive horizon arithmetic, and schedule
+// containers under stress.
+#include <gtest/gtest.h>
+
+#include "core/heuristic.hpp"
+#include "core/multiproc.hpp"
+#include "core/network.hpp"
+#include "core/runtime.hpp"
+
+namespace rtg::core {
+namespace {
+
+TEST(MultiprocEdge, BusCycleWithTwoChannelsDelaysSecondSlot) {
+  // Elements a@P0 -> b@P1 and c@P0 -> d@P1: two channels share the bus,
+  // cycle = 2. Channel order is sorted: (a,b) slot 0, (c,d) slot 1.
+  TaskGraph tg;
+  const OpId oc = tg.add_op(2);
+  const OpId od = tg.add_op(3);
+  tg.add_dep(oc, od);
+
+  StaticSchedule p0;
+  p0.push_execution(0, 1);
+  p0.push_execution(2, 1);
+  StaticSchedule p1;
+  p1.push_execution(1, 1);
+  p1.push_execution(3, 1);
+  const std::vector<BusChannel> bus{{0, 1}, {2, 3}};
+  const auto lat = multiproc_latency(tg, {p0, p1}, {0, 1, 0, 1}, bus);
+  ASSERT_TRUE(lat.has_value());
+  // c finishes at 2 (p0 slot 1); its bus slot is offset 1 of cycle 2:
+  // next at 3, arrival 4; d runs at 5 (p1 slot 1 of cycle 3 -> start 5).
+  // completion(0) = 6; worst-case window start shifts add more.
+  EXPECT_GE(*lat, 6);
+}
+
+TEST(NetworkEdge, TwoChannelsOneLinkShareTheCycle) {
+  // Both channels route over the same link: cycle 2, slots ordered.
+  TaskGraph tg_ab;
+  {
+    const OpId a = tg_ab.add_op(0);
+    const OpId b = tg_ab.add_op(1);
+    tg_ab.add_dep(a, b);
+  }
+  StaticSchedule p0;
+  p0.push_execution(0, 1);
+  p0.push_execution(2, 1);
+  StaticSchedule p1;
+  p1.push_execution(1, 1);
+  p1.push_execution(3, 1);
+  NetworkTopology t(2);
+  t.add_link(0, 1);
+  std::vector<LinkSchedule> tables{LinkSchedule{
+      NetworkLink{0, 1}, {LinkSlot{0, 1, 0}, LinkSlot{2, 3, 0}}}};
+  const auto lat = network_latency(tg_ab, {p0, p1}, {0, 1, 0, 1}, t, tables);
+  ASSERT_TRUE(lat.has_value());
+  // a@[0,1), slot for (0,1) at even offsets: next start >= 1 is 2,
+  // arrival 3; b on p1 at start >= 3: b@4 (cycle 2 of p1), finish 5.
+  EXPECT_GE(*lat, 5);
+}
+
+TEST(HeuristicEdge, NonPreemptiveOpsInterleaveAcrossConstraints) {
+  // Without pipelining, ops are atomic but constraints still interleave
+  // at op boundaries: two weight-2 elements, loose deadlines.
+  CommGraph comm;
+  comm.add_element("x", 2, false);
+  comm.add_element("y", 2, false);
+  GraphModel model(std::move(comm));
+  for (ElementId e = 0; e < 2; ++e) {
+    TaskGraph tg;
+    tg.add_op(e);
+    model.add_constraint(TimingConstraint{"c" + std::to_string(e), std::move(tg), 4,
+                                          8, ConstraintKind::kAsynchronous});
+  }
+  HeuristicOptions options;
+  options.pipeline = false;
+  const HeuristicResult r = latency_schedule(model, options);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  // Each execution occupies 2 contiguous slots in the schedule.
+  for (const ScheduledOp& op : r.schedule->ops()) {
+    EXPECT_EQ(op.duration, 2);
+  }
+  EXPECT_TRUE(r.report.feasible);
+}
+
+TEST(HeuristicEdge, CoalescePeriodicWithAsyncBecomesAsync) {
+  // X periodic (p=24, d=24) and Z async (d=20) share fs: the merged
+  // constraint must be asynchronous with deadline min(24, 20).
+  CommGraph comm;
+  const auto fx = comm.add_element("fx", 1);
+  const auto fz = comm.add_element("fz", 1);
+  const auto fs = comm.add_element("fs", 2);
+  comm.add_channel(fx, fs);
+  comm.add_channel(fz, fs);
+  GraphModel model(std::move(comm));
+  {
+    TaskGraph tg;
+    const auto a = tg.add_op(fx);
+    const auto b = tg.add_op(fs);
+    tg.add_dep(a, b);
+    model.add_constraint(
+        TimingConstraint{"X", std::move(tg), 24, 24, ConstraintKind::kPeriodic});
+  }
+  {
+    TaskGraph tg;
+    const auto a = tg.add_op(fz);
+    const auto b = tg.add_op(fs);
+    tg.add_dep(a, b);
+    model.add_constraint(
+        TimingConstraint{"Z", std::move(tg), 30, 20, ConstraintKind::kAsynchronous});
+  }
+  const GraphModel merged = coalesce_model(model);
+  if (merged.constraint_count() == 1) {
+    EXPECT_EQ(merged.constraint(0).kind, ConstraintKind::kAsynchronous);
+    EXPECT_EQ(merged.constraint(0).deadline, 20);
+    // A schedule for the merged model must satisfy the original.
+    HeuristicOptions opts;
+    opts.coalesce = true;
+    const HeuristicResult r = latency_schedule(model, opts);
+    ASSERT_TRUE(r.success) << r.failure_reason;
+    const GraphModel original_pipelined = pipeline_model(model).model;
+    EXPECT_TRUE(verify_schedule(*r.schedule, original_pipelined).feasible);
+  } else {
+    // Merging wasn't profitable: both engines must still schedule it.
+    EXPECT_TRUE(latency_schedule(model).success);
+  }
+}
+
+TEST(RuntimeEdge, HorizonNotMultipleOfScheduleLength) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  tg.add_op(0);
+  model.add_constraint(
+      TimingConstraint{"P", std::move(tg), 3, 3, ConstraintKind::kPeriodic});
+  StaticSchedule sched;
+  sched.push_execution(0, 1);
+  sched.push_idle(2);
+  // Horizon 10 = 3 full periods + 1 slot: invocations at 0, 3, 6 have
+  // windows inside; t=9's deadline (12) exceeds the horizon.
+  const ExecutiveResult r = run_executive(sched, model, {{}}, 10);
+  EXPECT_EQ(r.invocations.size(), 3u);
+  EXPECT_TRUE(r.all_met);
+  // ceil(10/3) = 4 repetitions of a 1-op schedule.
+  EXPECT_EQ(r.dispatches, 4u);
+}
+
+TEST(RuntimeEdge, ZeroHorizonRecordsNothing) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  tg.add_op(0);
+  model.add_constraint(
+      TimingConstraint{"P", std::move(tg), 3, 3, ConstraintKind::kPeriodic});
+  StaticSchedule sched;
+  sched.push_execution(0, 1);
+  const ExecutiveResult r = run_executive(sched, model, {{}}, 0);
+  EXPECT_TRUE(r.invocations.empty());
+  EXPECT_TRUE(r.all_met);
+}
+
+TEST(PartitionEdge, CommunicationAwareFallsBackWhenCapExceeded) {
+  // One giant element forces the soft cap to be exceeded; the fallback
+  // least-loaded placement must still assign everything.
+  CommGraph comm;
+  comm.add_element("giant", 100);
+  for (int i = 0; i < 6; ++i) {
+    comm.add_element("tiny" + std::to_string(i), 1);
+    comm.add_channel(0, static_cast<ElementId>(i + 1));
+  }
+  const auto assignment =
+      partition_elements(comm, 3, PartitionStrategy::kCommunication);
+  EXPECT_EQ(assignment.size(), 7u);
+  for (std::size_t p : assignment) EXPECT_LT(p, 3u);
+  // The tiny elements shouldn't pile onto the giant's processor (its
+  // load already exceeds the cap).
+  std::size_t with_giant = 0;
+  for (std::size_t i = 1; i < assignment.size(); ++i) {
+    if (assignment[i] == assignment[0]) ++with_giant;
+  }
+  EXPECT_LT(with_giant, 6u);
+}
+
+TEST(ScheduleEdge, ManyEntriesStressAccounting) {
+  StaticSchedule s;
+  Time expect_len = 0, expect_busy = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (i % 3 == 0) {
+      s.push_idle(1 + i % 2);
+      expect_len += 1 + i % 2;
+    } else {
+      s.push_execution(static_cast<ElementId>(i % 5), 1 + i % 3);
+      expect_len += 1 + i % 3;
+      expect_busy += 1 + i % 3;
+    }
+  }
+  EXPECT_EQ(s.length(), expect_len);
+  EXPECT_EQ(s.busy(), expect_busy);
+  EXPECT_EQ(s.ops().size(), s.ops_of(0).size() + s.ops_of(1).size() +
+                                s.ops_of(2).size() + s.ops_of(3).size() +
+                                s.ops_of(4).size());
+}
+
+}  // namespace
+}  // namespace rtg::core

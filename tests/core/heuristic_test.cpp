@@ -1,0 +1,280 @@
+#include "core/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.hpp"
+#include "sim/rng.hpp"
+
+namespace rtg::core {
+namespace {
+
+TaskGraph single(ElementId e) {
+  TaskGraph tg;
+  tg.add_op(e);
+  return tg;
+}
+
+TEST(LatencySchedule, EmptyModelSucceeds) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  const HeuristicResult r = latency_schedule(GraphModel(comm));
+  EXPECT_TRUE(r.success);
+}
+
+TEST(LatencySchedule, SingleAsyncConstraint) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), 10, 4, ConstraintKind::kAsynchronous});
+  const HeuristicResult r = latency_schedule(model);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(r.report.feasible);
+  // Server period ceil(4/2) = 2; one unit slot per 2.
+  EXPECT_EQ(r.schedule->length(), 2);
+  EXPECT_DOUBLE_EQ(r.server_utilization, 0.5);
+}
+
+TEST(LatencySchedule, VerifiedLatencyWithinDeadline) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  comm.add_channel(0, 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId oa = tg.add_op(0);
+  const OpId ob = tg.add_op(1);
+  tg.add_dep(oa, ob);
+  model.add_constraint(
+      TimingConstraint{"AB", std::move(tg), 20, 8, ConstraintKind::kAsynchronous});
+  const HeuristicResult r = latency_schedule(model);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  ASSERT_TRUE(r.report.verdicts[0].latency.has_value());
+  EXPECT_LE(*r.report.verdicts[0].latency, 8);
+}
+
+TEST(LatencySchedule, PeriodicConstraintScheduled) {
+  const GraphModel model = make_control_system();
+  const HeuristicResult r = latency_schedule(model);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(r.report.feasible);
+}
+
+TEST(LatencySchedule, PipeliningEnablesTightDeadline) {
+  // A non-preemptible 4-slot run of "big" blocks "urgent" (whose server
+  // window is 2 slots) past its deadline; decomposed into unit
+  // sub-functions the two interleave and both constraints are met.
+  CommGraph comm;
+  comm.add_element("big", 4);  // pipelinable
+  comm.add_element("urgent", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"B", single(0), 40, 16, ConstraintKind::kAsynchronous});
+  model.add_constraint(
+      TimingConstraint{"U", single(1), 10, 4, ConstraintKind::kAsynchronous});
+
+  HeuristicOptions with;
+  with.pipeline = true;
+  const HeuristicResult ok = latency_schedule(model, with);
+  EXPECT_TRUE(ok.success) << ok.failure_reason;
+
+  HeuristicOptions without;
+  without.pipeline = false;
+  const HeuristicResult bad = latency_schedule(model, without);
+  // The non-preemptible 4-slot run of "big" blocks "urgent" past its
+  // 2-slot window, so the unpipelined attempt cannot be feasible.
+  EXPECT_FALSE(bad.success);
+}
+
+TEST(LatencySchedule, FailsWhenWorkExceedsWindow) {
+  CommGraph comm;
+  comm.add_element("big", 5, false);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"B", single(0), 20, 6, ConstraintKind::kAsynchronous});
+  const HeuristicResult r = latency_schedule(model);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("server window"), std::string::npos);
+}
+
+TEST(LatencySchedule, FailsOnOverloadedServers) {
+  CommGraph comm;
+  comm.add_element("a", 1, false);
+  comm.add_element("b", 1, false);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), 1, 1, ConstraintKind::kAsynchronous});
+  model.add_constraint(
+      TimingConstraint{"B", single(1), 1, 1, ConstraintKind::kAsynchronous});
+  const HeuristicResult r = latency_schedule(model);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(LatencySchedule, HyperperiodGuard) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), 10007, 10007, ConstraintKind::kPeriodic});
+  model.add_constraint(
+      TimingConstraint{"B", single(1), 10009, 10009, ConstraintKind::kPeriodic});
+  HeuristicOptions opts;
+  opts.max_schedule_length = 1000;
+  const HeuristicResult r = latency_schedule(model, opts);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("hyperperiod"), std::string::npos);
+}
+
+TEST(LatencySchedule, Theorem3GuaranteeOnRandomInstances) {
+  // Property: whenever the model satisfies Theorem 3's hypotheses the
+  // construction must succeed and verify. Random instances below the
+  // 1/2 bound.
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 40; ++trial) {
+    CommGraph comm;
+    const int n = static_cast<int>(rng.uniform(1, 4));
+    for (int i = 0; i < n; ++i) {
+      comm.add_element("e" + std::to_string(i),
+                       rng.uniform(1, 3), /*pipelinable=*/true);
+    }
+    GraphModel model(std::move(comm));
+    double budget = 0.5;
+    const int k = static_cast<int>(rng.uniform(1, 3));
+    for (int i = 0; i < k; ++i) {
+      const ElementId e = static_cast<ElementId>(rng.uniform(0, n - 1));
+      const Time w = model.comm().weight(e);
+      // Pick a deadline meeting both hypotheses with room in the budget.
+      const Time min_d = 2 * w;
+      const double max_util = budget / (k - i);
+      Time d = std::max<Time>(min_d, static_cast<Time>(
+                                         static_cast<double>(w) / max_util) + 1);
+      d = std::min<Time>(d, 64);
+      if (static_cast<double>(w) / static_cast<double>(d) > max_util) continue;
+      budget -= static_cast<double>(w) / static_cast<double>(d);
+      model.add_constraint(TimingConstraint{"c" + std::to_string(i), single(e), 100, d,
+                                            ConstraintKind::kAsynchronous});
+    }
+    if (model.constraint_count() == 0) continue;
+    ASSERT_TRUE(model.satisfies_theorem3()) << "trial " << trial;
+    const HeuristicResult r = latency_schedule(model);
+    EXPECT_TRUE(r.success) << "trial " << trial << ": " << r.failure_reason;
+    if (r.success) {
+      EXPECT_TRUE(r.report.feasible) << "trial " << trial;
+    }
+  }
+}
+
+TEST(LatencySchedule, HarmonizationTamesCoprimePeriods) {
+  // Two async constraints whose server periods are co-prime: the raw
+  // hyperperiod blows past the cap, harmonized periods collapse it.
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(TimingConstraint{"A", single(0), 10, 2 * 10007,
+                                        ConstraintKind::kAsynchronous});
+  model.add_constraint(TimingConstraint{"B", single(1), 10, 2 * 9973,
+                                        ConstraintKind::kAsynchronous});
+
+  HeuristicOptions raw;
+  raw.max_schedule_length = 100000;
+  const HeuristicResult without = latency_schedule(model, raw);
+  EXPECT_FALSE(without.success);
+  EXPECT_NE(without.failure_reason.find("hyperperiod"), std::string::npos);
+
+  HeuristicOptions harmonized = raw;
+  harmonized.harmonize_periods = true;
+  const HeuristicResult with = latency_schedule(model, harmonized);
+  ASSERT_TRUE(with.success) << with.failure_reason;
+  EXPECT_TRUE(with.report.feasible);
+  EXPECT_EQ(with.schedule->length(), 8192);  // pow2_floor(10007) = 8192
+}
+
+TEST(LatencySchedule, HarmonizationStaysCorrectForPeriodic) {
+  // Periodic constraints keep their invocation-window semantics under
+  // harmonization (the d-window coverage subsumes them).
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"P", single(0), 12, 12, ConstraintKind::kPeriodic});
+  HeuristicOptions options;
+  options.harmonize_periods = true;
+  const HeuristicResult r = latency_schedule(model, options);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(r.report.feasible);
+  EXPECT_EQ(r.schedule->length(), 4);  // pow2_floor(ceil(12/2)) = 4
+}
+
+TEST(LatencySchedule, HarmonizationFailsWhenBudgetTooBig) {
+  // w = 3 but pow2_floor(ceil(5/2)) = 2 < 3: the harmonized server
+  // cannot hold the work.
+  CommGraph comm;
+  comm.add_element("w3", 3, false);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"C", single(0), 10, 5, ConstraintKind::kAsynchronous});
+  HeuristicOptions options;
+  options.harmonize_periods = true;
+  const HeuristicResult r = latency_schedule(model, options);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(CoalesceModel, MergesIdenticalSubchains) {
+  // Two constraints sharing fs, fk with equal rates merge into one.
+  ControlSystemParams params;
+  params.px = 20;
+  params.py = 20;  // same rate as X -> merging is profitable
+  params.dx = 20;
+  params.dy = 20;
+  const GraphModel model = make_control_system(params);
+  const GraphModel merged = coalesce_model(model);
+  EXPECT_LT(merged.constraint_count(), model.constraint_count());
+}
+
+TEST(CoalesceModel, NoMergeWithoutOverlap) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), 10, 10, ConstraintKind::kAsynchronous});
+  model.add_constraint(
+      TimingConstraint{"B", single(1), 10, 10, ConstraintKind::kAsynchronous});
+  EXPECT_EQ(coalesce_model(model).constraint_count(), 2u);
+}
+
+TEST(CoalesceModel, MergedScheduleServesOriginalConstraints) {
+  ControlSystemParams params;
+  params.px = params.py = params.dx = params.dy = 24;
+  const GraphModel model = make_control_system(params);
+
+  HeuristicOptions opts;
+  opts.coalesce = true;
+  const HeuristicResult r = latency_schedule(model, opts);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+
+  // The schedule expressed over the pipelined *original* model must
+  // satisfy the original (uncoalesced) constraints too.
+  const GraphModel original_pipelined = pipeline_model(model).model;
+  EXPECT_TRUE(verify_schedule(*r.schedule, original_pipelined).feasible);
+}
+
+TEST(CoalesceModel, ReducesExecutedWork) {
+  ControlSystemParams params;
+  params.px = params.py = params.dx = params.dy = 24;
+  const GraphModel model = make_control_system(params);
+
+  HeuristicOptions plain;
+  const HeuristicResult without = latency_schedule(model, plain);
+  HeuristicOptions merged;
+  merged.coalesce = true;
+  const HeuristicResult with = latency_schedule(model, merged);
+  ASSERT_TRUE(without.success) << without.failure_reason;
+  ASSERT_TRUE(with.success) << with.failure_reason;
+  EXPECT_LT(with.schedule->utilization(), without.schedule->utilization());
+}
+
+}  // namespace
+}  // namespace rtg::core

@@ -1,0 +1,335 @@
+#include "core/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+
+#include "sim/rng.hpp"
+
+namespace rtg::core {
+namespace {
+
+TaskGraph single(ElementId e) {
+  TaskGraph tg;
+  tg.add_op(e);
+  return tg;
+}
+
+TaskGraph chain(std::initializer_list<ElementId> elems) {
+  TaskGraph tg;
+  OpId prev = graph::kInvalidNode;
+  for (ElementId e : elems) {
+    const OpId op = tg.add_op(e);
+    if (prev != graph::kInvalidNode) tg.add_dep(prev, op);
+    prev = op;
+  }
+  return tg;
+}
+
+// Independent brute-force reference: minimum makespan over all
+// embeddings of tg into ops with starts >= t (exponential; tiny inputs
+// only).
+Time brute_completion(const TaskGraph& tg, const std::vector<ScheduledOp>& ops,
+                      Time t) {
+  constexpr Time kInf = std::numeric_limits<Time>::max();
+  std::vector<int> assign(tg.size(), -1);
+  Time best = kInf;
+  auto consistent = [&](OpId v, std::size_t candidate) {
+    if (ops[candidate].elem != tg.label(v)) return false;
+    if (ops[candidate].start < t) return false;
+    for (OpId u = 0; u < tg.size(); ++u) {
+      if (assign[u] < 0) continue;
+      if (static_cast<std::size_t>(assign[u]) == candidate) return false;  // injective
+      if (tg.skeleton().has_edge(u, v) &&
+          ops[static_cast<std::size_t>(assign[u])].finish() > ops[candidate].start) {
+        return false;
+      }
+      if (tg.skeleton().has_edge(v, u) &&
+          ops[candidate].finish() > ops[static_cast<std::size_t>(assign[u])].start) {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::function<void(OpId, Time)> rec = [&](OpId v, Time makespan) {
+    if (v == tg.size()) {
+      best = std::min(best, makespan);
+      return;
+    }
+    for (std::size_t k = 0; k < ops.size(); ++k) {
+      if (!consistent(v, k)) continue;
+      assign[v] = static_cast<int>(k);
+      rec(v + 1, std::max(makespan, ops[k].finish()));
+      assign[v] = -1;
+    }
+  };
+  rec(0, t);
+  return best;
+}
+
+TEST(EarliestEmbedding, SingleOp) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(1);
+  const auto ops = unroll_ops(s, 3);
+  EXPECT_EQ(earliest_embedding_finish(single(0), ops, 0), 1);
+  EXPECT_EQ(earliest_embedding_finish(single(0), ops, 1), 3);
+  EXPECT_EQ(earliest_embedding_finish(single(0), ops, 2), 3);
+}
+
+TEST(EarliestEmbedding, MissingElementIsNullopt) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  const auto ops = unroll_ops(s, 3);
+  EXPECT_EQ(earliest_embedding_finish(single(1), ops, 0), std::nullopt);
+}
+
+TEST(EarliestEmbedding, EmptyTaskGraphFinishesImmediately) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  const auto ops = unroll_ops(s, 1);
+  EXPECT_EQ(earliest_embedding_finish(TaskGraph{}, ops, 5), 5);
+}
+
+TEST(EarliestEmbedding, ChainRespectsPrecedence) {
+  // Schedule "b a b": chain a -> b must use the *second* b.
+  StaticSchedule s;
+  s.push_execution(1, 1);
+  s.push_execution(0, 1);
+  s.push_execution(1, 1);
+  const auto ops = unroll_ops(s, 2);
+  EXPECT_EQ(earliest_embedding_finish(chain({0, 1}), ops, 0), 3);
+}
+
+TEST(EarliestEmbedding, RepeatedLabelUsesDistinctOps) {
+  // Chain a -> b -> a needs two distinct executions of a.
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_execution(1, 1);
+  const auto ops = unroll_ops(s, 3);  // a@0 b@1 a@2 b@3 a@4 b@5
+  EXPECT_EQ(earliest_embedding_finish(chain({0, 1, 0}), ops, 0), 3);
+}
+
+TEST(EarliestEmbedding, ForkJoinDag) {
+  // tg: 0 -> {1, 2} -> 3 over schedule "0 1 2 3".
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  const OpId c = tg.add_op(2);
+  const OpId d = tg.add_op(3);
+  tg.add_dep(a, b);
+  tg.add_dep(a, c);
+  tg.add_dep(b, d);
+  tg.add_dep(c, d);
+  StaticSchedule s;
+  for (ElementId e : {0, 1, 2, 3}) s.push_execution(e, 1);
+  const auto ops = unroll_ops(s, 2);
+  EXPECT_EQ(earliest_embedding_finish(tg, ops, 0), 4);
+  // Starting at 1 wraps to the next period entirely.
+  EXPECT_EQ(earliest_embedding_finish(tg, ops, 1), 8);
+}
+
+TEST(EarliestEmbedding, WindowContainsExecution) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_execution(1, 1);
+  const auto ops = unroll_ops(s, 2);
+  EXPECT_TRUE(window_contains_execution(chain({0, 1}), ops, 0, 2));
+  EXPECT_FALSE(window_contains_execution(chain({0, 1}), ops, 0, 1));
+  EXPECT_TRUE(window_contains_execution(chain({0, 1}), ops, 1, 4));
+}
+
+TEST(UnrollOps, ShiftsByPeriod) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(2);
+  const auto ops = unroll_ops(s, 3);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0].start, 0);
+  EXPECT_EQ(ops[1].start, 3);
+  EXPECT_EQ(ops[2].start, 6);
+}
+
+TEST(ScheduleLatency, SingleElementWithIdle) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(1);
+  EXPECT_EQ(schedule_latency(s, single(0)), 2);
+}
+
+TEST(ScheduleLatency, LongerIdleGrowsLatency) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(3);
+  EXPECT_EQ(schedule_latency(s, single(0)), 4);
+}
+
+TEST(ScheduleLatency, BackToBackUnitIsOne) {
+  // "a" repeated every slot: every 1-slot window holds an execution.
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  EXPECT_EQ(schedule_latency(s, single(0)), 1);
+}
+
+TEST(ScheduleLatency, WeightedExecution) {
+  StaticSchedule s;
+  s.push_execution(0, 2);
+  s.push_idle(1);
+  // c@[0,2). completion(1) = next c finishing at 5 -> latency 4.
+  EXPECT_EQ(schedule_latency(s, single(0)), 4);
+}
+
+TEST(ScheduleLatency, ChainForwardAndBackward) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_execution(1, 1);
+  EXPECT_EQ(schedule_latency(s, chain({0, 1})), 3);
+  EXPECT_EQ(schedule_latency(s, chain({1, 0})), 3);
+}
+
+TEST(ScheduleLatency, InfiniteWhenElementMissing) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  EXPECT_EQ(schedule_latency(s, single(1)), std::nullopt);
+}
+
+TEST(ScheduleLatency, EmptyScheduleIsInfinite) {
+  StaticSchedule s;
+  EXPECT_EQ(schedule_latency(s, single(0)), std::nullopt);
+}
+
+TEST(ScheduleLatency, EmptyTaskGraphIsZero) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  EXPECT_EQ(schedule_latency(s, TaskGraph{}), 0);
+}
+
+TEST(ScheduleLatency, MatchesBruteForceOnRandomSchedules) {
+  sim::Rng rng(2026);
+  for (int trial = 0; trial < 60; ++trial) {
+    // Random schedule over 3 unit elements with idles, length <= 8.
+    StaticSchedule s;
+    const int len = static_cast<int>(rng.uniform(2, 8));
+    for (int i = 0; i < len; ++i) {
+      const auto pick = rng.uniform(0, 3);
+      if (pick == 3) {
+        s.push_idle(1);
+      } else {
+        s.push_execution(static_cast<ElementId>(pick), 1);
+      }
+    }
+    // Random chain of length 1..3 over those elements (may repeat).
+    std::vector<ElementId> elems;
+    const int tg_len = static_cast<int>(rng.uniform(1, 3));
+    for (int i = 0; i < tg_len; ++i) {
+      elems.push_back(static_cast<ElementId>(rng.uniform(0, 2)));
+    }
+    TaskGraph tg;
+    OpId prev = graph::kInvalidNode;
+    for (ElementId e : elems) {
+      const OpId op = tg.add_op(e);
+      if (prev != graph::kInvalidNode) tg.add_dep(prev, op);
+      prev = op;
+    }
+
+    const auto fast = schedule_latency(s, tg);
+    // Reference: brute-force completion at every offset of one period.
+    const auto ops = unroll_ops(s, 2 * tg.size() + 2);
+    Time ref = 0;
+    bool infinite = false;
+    for (Time t = 0; t < s.length(); ++t) {
+      const Time completion = brute_completion(tg, ops, t);
+      if (completion == std::numeric_limits<Time>::max()) {
+        infinite = true;
+        break;
+      }
+      ref = std::max(ref, completion - t);
+    }
+    if (infinite) {
+      EXPECT_EQ(fast, std::nullopt) << "trial " << trial;
+    } else {
+      ASSERT_TRUE(fast.has_value()) << "trial " << trial;
+      EXPECT_EQ(*fast, ref) << "trial " << trial << " schedule len " << s.length();
+    }
+  }
+}
+
+TEST(PeriodicSatisfied, ExactInvocationWindows) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(1);
+  EXPECT_TRUE(periodic_satisfied(s, single(0), 2, 1));
+  EXPECT_TRUE(periodic_satisfied(s, single(0), 2, 2));
+
+  StaticSchedule late;
+  late.push_idle(1);
+  late.push_execution(0, 1);
+  EXPECT_FALSE(periodic_satisfied(late, single(0), 2, 1));
+  EXPECT_TRUE(periodic_satisfied(late, single(0), 2, 2));
+}
+
+TEST(PeriodicSatisfied, NonDividingPeriodUsesLcm) {
+  StaticSchedule s;  // "a ." len 2; invocations every 3.
+  s.push_execution(0, 1);
+  s.push_idle(1);
+  // Invocation at t=3: next a completes at 5 -> needs d >= 2.
+  EXPECT_FALSE(periodic_satisfied(s, single(0), 3, 1));
+  EXPECT_TRUE(periodic_satisfied(s, single(0), 3, 2));
+}
+
+TEST(PeriodicSatisfied, MissingElementFails) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  EXPECT_FALSE(periodic_satisfied(s, single(1), 2, 2));
+}
+
+TEST(PeriodicSatisfied, ValidatesArguments) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  EXPECT_THROW((void)periodic_satisfied(s, single(0), 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)periodic_satisfied(s, single(0), 1, 0), std::invalid_argument);
+}
+
+TEST(VerifySchedule, MixedModel) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  comm.add_channel(0, 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(TimingConstraint{"P", single(0), 4, 4, ConstraintKind::kPeriodic});
+  model.add_constraint(
+      TimingConstraint{"A", chain({0, 1}), 10, 6, ConstraintKind::kAsynchronous});
+
+  StaticSchedule s;  // "a b . ." len 4
+  s.push_execution(0, 1);
+  s.push_execution(1, 1);
+  s.push_idle(2);
+  const FeasibilityReport report = verify_schedule(s, model);
+  ASSERT_EQ(report.verdicts.size(), 2u);
+  EXPECT_TRUE(report.verdicts[0].satisfied);
+  ASSERT_TRUE(report.verdicts[1].latency.has_value());
+  // Worst window starts just after a@0: a@4, b@5 complete at 6 -> 5.
+  EXPECT_EQ(*report.verdicts[1].latency, 5);
+  EXPECT_TRUE(report.verdicts[1].satisfied);
+  EXPECT_TRUE(report.feasible);
+}
+
+TEST(VerifySchedule, ReportsViolation) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), 10, 2, ConstraintKind::kAsynchronous});
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(3);  // latency 4 > 2
+  const FeasibilityReport report = verify_schedule(s, model);
+  EXPECT_FALSE(report.feasible);
+  EXPECT_FALSE(report.verdicts[0].satisfied);
+  EXPECT_EQ(report.verdicts[0].latency, 4);
+}
+
+}  // namespace
+}  // namespace rtg::core

@@ -1,0 +1,139 @@
+#include "core/maintenance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristic.hpp"
+
+namespace rtg::core {
+namespace {
+
+TaskGraph single(ElementId e) {
+  TaskGraph tg;
+  tg.add_op(e);
+  return tg;
+}
+
+GraphModel base_model(Time d_a = 8) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), 4, d_a, ConstraintKind::kAsynchronous});
+  return model;
+}
+
+struct Deployed {
+  StaticSchedule schedule;
+  GraphModel model;
+};
+
+Deployed deploy(const GraphModel& model) {
+  const HeuristicResult h = latency_schedule(model);
+  EXPECT_TRUE(h.success) << h.failure_reason;
+  return Deployed{*h.schedule, h.scheduled_model};
+}
+
+TEST(Maintenance, UnchangedModelKeepsSchedule) {
+  const GraphModel model = base_model();
+  const Deployed d = deploy(model);
+  const MaintenanceResult r = maintain_schedule(d.schedule, d.model, model);
+  EXPECT_EQ(r.outcome, MaintenanceOutcome::kScheduleUnchanged);
+  ASSERT_TRUE(r.schedule.has_value());
+  EXPECT_EQ(*r.schedule, d.schedule);
+  EXPECT_TRUE(r.violated.empty());
+}
+
+TEST(Maintenance, RelaxedDeadlineKeepsSchedule) {
+  const Deployed d = deploy(base_model(8));
+  const GraphModel relaxed = base_model(16);
+  const MaintenanceResult r = maintain_schedule(d.schedule, d.model, relaxed);
+  EXPECT_EQ(r.outcome, MaintenanceOutcome::kScheduleUnchanged);
+}
+
+TEST(Maintenance, TightenedDeadlineReschedules) {
+  const Deployed d = deploy(base_model(16));  // sparse schedule
+  const GraphModel tightened = base_model(4);
+  const MaintenanceResult r = maintain_schedule(d.schedule, d.model, tightened);
+  EXPECT_EQ(r.outcome, MaintenanceOutcome::kRescheduled);
+  ASSERT_EQ(r.violated.size(), 1u);
+  EXPECT_EQ(r.violated[0], 0u);
+  ASSERT_TRUE(r.schedule.has_value());
+  EXPECT_TRUE(verify_schedule(*r.schedule, r.scheduled_model).feasible);
+}
+
+TEST(Maintenance, AddedConstraintOnIdleElementReschedules) {
+  const GraphModel model = base_model();
+  const Deployed d = deploy(model);
+  GraphModel extended = base_model();
+  extended.add_constraint(
+      TimingConstraint{"B", single(1), 6, 10, ConstraintKind::kAsynchronous});
+  const MaintenanceResult r = maintain_schedule(d.schedule, d.model, extended);
+  // The old schedule never runs b, so the new constraint fails -> reschedule.
+  EXPECT_EQ(r.outcome, MaintenanceOutcome::kRescheduled);
+  EXPECT_TRUE(verify_schedule(*r.schedule, r.scheduled_model).feasible);
+}
+
+TEST(Maintenance, RemovedConstraintKeepsSchedule) {
+  GraphModel two = base_model();
+  two.add_constraint(
+      TimingConstraint{"B", single(1), 6, 10, ConstraintKind::kAsynchronous});
+  const Deployed d = deploy(two);
+  const GraphModel one = base_model();  // B dropped
+  const MaintenanceResult r = maintain_schedule(d.schedule, d.model, one);
+  EXPECT_EQ(r.outcome, MaintenanceOutcome::kScheduleUnchanged);
+}
+
+TEST(Maintenance, RenamedElementForcesReschedule) {
+  const Deployed d = deploy(base_model());
+  CommGraph comm;
+  comm.add_element("alpha", 1);  // "a" renamed
+  comm.add_element("b", 1);
+  GraphModel renamed(std::move(comm));
+  renamed.add_constraint(
+      TimingConstraint{"A", single(0), 4, 8, ConstraintKind::kAsynchronous});
+  const MaintenanceResult r = maintain_schedule(d.schedule, d.model, renamed);
+  EXPECT_EQ(r.outcome, MaintenanceOutcome::kRescheduled);
+  EXPECT_NE(r.detail.find("renamed"), std::string::npos);
+}
+
+TEST(Maintenance, ReweightedElementForcesReschedule) {
+  const Deployed d = deploy(base_model());
+  CommGraph comm;
+  comm.add_element("a", 2);  // heavier now
+  comm.add_element("b", 1);
+  GraphModel heavier(std::move(comm));
+  heavier.add_constraint(
+      TimingConstraint{"A", single(0), 4, 8, ConstraintKind::kAsynchronous});
+  const MaintenanceResult r = maintain_schedule(d.schedule, d.model, heavier);
+  EXPECT_EQ(r.outcome, MaintenanceOutcome::kRescheduled);
+}
+
+TEST(Maintenance, ImpossibleRevisionFails) {
+  const Deployed d = deploy(base_model());
+  // Both elements demanded every slot: density 2 > 1, unschedulable.
+  GraphModel impossible = base_model(1);
+  impossible.add_constraint(
+      TimingConstraint{"B", single(1), 4, 1, ConstraintKind::kAsynchronous});
+  const MaintenanceResult r = maintain_schedule(d.schedule, d.model, impossible);
+  EXPECT_EQ(r.outcome, MaintenanceOutcome::kFailed);
+  ASSERT_FALSE(r.schedule.has_value());
+  EXPECT_NE(r.detail.find("re-synthesis failed"), std::string::npos);
+}
+
+TEST(Maintenance, HarmonizedOptionsPropagate) {
+  const GraphModel model = base_model(10);
+  HeuristicOptions options;
+  options.harmonize_periods = true;
+  const HeuristicResult h = latency_schedule(model, options);
+  ASSERT_TRUE(h.success) << h.failure_reason;
+  // Harmonized server period = pow2_floor(ceil(10/2)) = 4.
+  EXPECT_EQ(h.schedule->length(), 4);
+
+  const MaintenanceResult r =
+      maintain_schedule(*h.schedule, h.scheduled_model, model, options);
+  EXPECT_EQ(r.outcome, MaintenanceOutcome::kScheduleUnchanged);
+}
+
+}  // namespace
+}  // namespace rtg::core

@@ -1,0 +1,264 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rtg::core {
+namespace {
+
+CommGraph simple_comm() {
+  CommGraph g;
+  g.add_element("a", 1);
+  g.add_element("b", 2);
+  g.add_element("c", 3, /*pipelinable=*/false);
+  g.add_channel(0, 1);
+  g.add_channel(1, 2);
+  return g;
+}
+
+TEST(CommGraph, ElementAccessors) {
+  const CommGraph g = simple_comm();
+  EXPECT_EQ(g.size(), 3u);
+  EXPECT_EQ(g.weight(1), 2);
+  EXPECT_EQ(g.name(2), "c");
+  EXPECT_TRUE(g.pipelinable(0));
+  EXPECT_FALSE(g.pipelinable(2));
+  EXPECT_EQ(g.find("b"), 1u);
+  EXPECT_EQ(g.find("zz"), std::nullopt);
+  EXPECT_TRUE(g.has_channel(0, 1));
+  EXPECT_FALSE(g.has_channel(1, 0));
+}
+
+TEST(CommGraph, RejectsBadElements) {
+  CommGraph g;
+  EXPECT_THROW(g.add_element("", 1), std::invalid_argument);
+  EXPECT_THROW(g.add_element("x", 0), std::invalid_argument);
+  g.add_element("x", 1);
+  EXPECT_THROW(g.add_element("x", 1), std::invalid_argument);
+}
+
+TEST(CommGraph, ElementNamesVector) {
+  const CommGraph g = simple_comm();
+  EXPECT_EQ(g.element_names(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TaskGraph, BuildAndLabels) {
+  TaskGraph tg;
+  const OpId o1 = tg.add_op(0);
+  const OpId o2 = tg.add_op(1);
+  EXPECT_TRUE(tg.add_dep(o1, o2));
+  EXPECT_FALSE(tg.add_dep(o1, o2));
+  EXPECT_EQ(tg.size(), 2u);
+  EXPECT_EQ(tg.label(o2), 1u);
+}
+
+TEST(TaskGraph, ComputationTimeSumsElementWeights) {
+  const CommGraph g = simple_comm();
+  TaskGraph tg;
+  tg.add_op(0);
+  tg.add_op(1);
+  tg.add_op(2);
+  EXPECT_EQ(tg.computation_time(g), 6);
+}
+
+TEST(TaskGraph, ValidateAcceptsCompatible) {
+  const CommGraph g = simple_comm();
+  TaskGraph tg;
+  const OpId o1 = tg.add_op(0);
+  const OpId o2 = tg.add_op(1);
+  tg.add_dep(o1, o2);
+  EXPECT_TRUE(tg.validate(g).empty());
+}
+
+TEST(TaskGraph, ValidateRejectsMissingChannel) {
+  const CommGraph g = simple_comm();
+  TaskGraph tg;
+  const OpId o1 = tg.add_op(0);
+  const OpId o3 = tg.add_op(2);
+  tg.add_dep(o1, o3);  // no channel a -> c
+  const auto diags = tg.validate(g);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].find("no corresponding communication channel"), std::string::npos);
+}
+
+TEST(TaskGraph, ValidateRejectsUnknownElement) {
+  const CommGraph g = simple_comm();
+  TaskGraph tg;
+  tg.add_op(17);
+  EXPECT_FALSE(tg.validate(g).empty());
+}
+
+TEST(TaskGraph, AsChainDetectsChains) {
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  const OpId c = tg.add_op(2);
+  tg.add_dep(a, b);
+  tg.add_dep(b, c);
+  const auto chain = tg.as_chain();
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(*chain, (std::vector<OpId>{a, b, c}));
+}
+
+TEST(TaskGraph, AsChainRejectsBranching) {
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  const OpId c = tg.add_op(2);
+  tg.add_dep(a, b);
+  tg.add_dep(a, c);
+  EXPECT_EQ(tg.as_chain(), std::nullopt);
+}
+
+TEST(TaskGraph, AsChainRejectsDisconnected) {
+  TaskGraph tg;
+  tg.add_op(0);
+  tg.add_op(1);  // two isolated ops: two heads
+  EXPECT_EQ(tg.as_chain(), std::nullopt);
+}
+
+TEST(TaskGraph, AsChainSingleOpAndEmpty) {
+  TaskGraph single;
+  single.add_op(0);
+  EXPECT_EQ(single.as_chain(), std::vector<OpId>{0});
+  TaskGraph empty;
+  EXPECT_EQ(empty.as_chain(), std::vector<OpId>{});
+}
+
+TEST(TaskGraph, RepeatedLabelsDetected) {
+  TaskGraph tg;
+  tg.add_op(0);
+  tg.add_op(0);
+  EXPECT_TRUE(tg.has_repeated_labels());
+  TaskGraph distinct;
+  distinct.add_op(0);
+  distinct.add_op(1);
+  EXPECT_FALSE(distinct.has_repeated_labels());
+}
+
+TEST(GraphModel, AddConstraintValidates) {
+  GraphModel model(simple_comm());
+  TaskGraph bad;
+  const OpId o1 = bad.add_op(0);
+  const OpId o3 = bad.add_op(2);
+  bad.add_dep(o1, o3);
+  EXPECT_THROW(model.add_constraint(
+                   TimingConstraint{"bad", bad, 10, 10, ConstraintKind::kPeriodic}),
+               std::invalid_argument);
+}
+
+TEST(GraphModel, RejectsEmptyTaskGraphAndBadParams) {
+  GraphModel model(simple_comm());
+  TaskGraph tg;
+  tg.add_op(0);
+  EXPECT_THROW(model.add_constraint(
+                   TimingConstraint{"x", TaskGraph{}, 10, 10, ConstraintKind::kPeriodic}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      model.add_constraint(TimingConstraint{"x", tg, 0, 10, ConstraintKind::kPeriodic}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      model.add_constraint(TimingConstraint{"x", tg, 10, 0, ConstraintKind::kPeriodic}),
+      std::invalid_argument);
+}
+
+TEST(GraphModel, FindConstraintByName) {
+  GraphModel model(simple_comm());
+  TaskGraph tg;
+  tg.add_op(0);
+  model.add_constraint(TimingConstraint{"X", tg, 10, 10, ConstraintKind::kPeriodic});
+  EXPECT_EQ(model.find_constraint("X"), 0u);
+  EXPECT_EQ(model.find_constraint("Y"), std::nullopt);
+}
+
+TEST(GraphModel, DeadlineUtilization) {
+  GraphModel model(simple_comm());
+  TaskGraph tg;
+  tg.add_op(1);  // weight 2
+  model.add_constraint(TimingConstraint{"X", tg, 10, 8, ConstraintKind::kAsynchronous});
+  EXPECT_DOUBLE_EQ(model.deadline_utilization(), 0.25);
+}
+
+TEST(GraphModel, Theorem3Hypotheses) {
+  GraphModel model(simple_comm());
+  TaskGraph tg;
+  tg.add_op(0);  // weight 1
+  model.add_constraint(TimingConstraint{"X", tg, 10, 10, ConstraintKind::kAsynchronous});
+  EXPECT_TRUE(model.satisfies_theorem3());
+
+  // Adding a constraint over the non-pipelinable weight-3 element
+  // violates hypothesis (iii).
+  TaskGraph tc;
+  tc.add_op(2);
+  model.add_constraint(TimingConstraint{"C", tc, 40, 40, ConstraintKind::kAsynchronous});
+  EXPECT_FALSE(model.satisfies_theorem3());
+}
+
+TEST(GraphModel, Theorem3RejectsHighUtilization) {
+  GraphModel model(simple_comm());
+  TaskGraph tg;
+  tg.add_op(0);
+  model.add_constraint(TimingConstraint{"X", tg, 10, 2, ConstraintKind::kAsynchronous});
+  model.add_constraint(TimingConstraint{"Y", tg, 10, 5, ConstraintKind::kAsynchronous});
+  EXPECT_GT(model.deadline_utilization(), 0.5);
+  EXPECT_FALSE(model.satisfies_theorem3());
+}
+
+TEST(GraphModel, Theorem3RejectsTightDeadline) {
+  GraphModel model(simple_comm());
+  TaskGraph tg;
+  tg.add_op(1);  // weight 2, need floor(d/2) >= 2 i.e. d >= 4
+  model.add_constraint(TimingConstraint{"X", tg, 30, 3, ConstraintKind::kAsynchronous});
+  EXPECT_LE(model.deadline_utilization(), 0.67);
+  EXPECT_FALSE(model.satisfies_theorem3());
+}
+
+TEST(GraphModel, SharedElements) {
+  GraphModel model(simple_comm());
+  TaskGraph t1;
+  t1.add_op(0);
+  t1.add_op(1);
+  t1.add_dep(0, 1);
+  TaskGraph t2;
+  t2.add_op(1);
+  t2.add_op(2);
+  t2.add_dep(0, 1);
+  model.add_constraint(TimingConstraint{"X", t1, 10, 10, ConstraintKind::kPeriodic});
+  model.add_constraint(TimingConstraint{"Y", t2, 10, 10, ConstraintKind::kPeriodic});
+  EXPECT_EQ(model.shared_elements(), (std::vector<ElementId>{1}));
+}
+
+TEST(ControlSystem, MatchesFigure2Structure) {
+  const GraphModel model = make_control_system();
+  EXPECT_EQ(model.comm().size(), 5u);
+  EXPECT_EQ(model.constraint_count(), 3u);
+
+  const auto fs = model.comm().find("fs");
+  const auto fk = model.comm().find("fk");
+  ASSERT_TRUE(fs && fk);
+  EXPECT_TRUE(model.comm().has_channel(*fs, *fk));
+  EXPECT_TRUE(model.comm().has_channel(*fk, *fs));  // feedback loop
+
+  const TimingConstraint& x = model.constraint(*model.find_constraint("X"));
+  EXPECT_TRUE(x.periodic());
+  EXPECT_EQ(x.task_graph.size(), 3u);
+  const TimingConstraint& z = model.constraint(*model.find_constraint("Z"));
+  EXPECT_FALSE(z.periodic());
+  EXPECT_EQ(z.task_graph.size(), 2u);
+
+  // f_s is shared by all three constraints.
+  EXPECT_EQ(model.shared_elements().size(), 2u);  // fs and fk
+}
+
+TEST(ControlSystem, CustomParameters) {
+  ControlSystemParams params;
+  params.cs = 4;
+  params.pz = 100;
+  const GraphModel model = make_control_system(params);
+  EXPECT_EQ(model.comm().weight(*model.comm().find("fs")), 4);
+  EXPECT_EQ(model.constraint(*model.find_constraint("Z")).period, 100);
+}
+
+}  // namespace
+}  // namespace rtg::core

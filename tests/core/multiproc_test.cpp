@@ -1,0 +1,191 @@
+#include "core/multiproc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace rtg::core {
+namespace {
+
+CommGraph pipeline_comm() {
+  CommGraph g;
+  g.add_element("stage0", 1);
+  g.add_element("stage1", 1);
+  g.add_element("stage2", 1);
+  g.add_channel(0, 1);
+  g.add_channel(1, 2);
+  return g;
+}
+
+GraphModel pipeline_model_3(Time d) {
+  GraphModel model(pipeline_comm());
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  const OpId c = tg.add_op(2);
+  tg.add_dep(a, b);
+  tg.add_dep(b, c);
+  model.add_constraint(
+      TimingConstraint{"flow", std::move(tg), 30, d, ConstraintKind::kAsynchronous});
+  return model;
+}
+
+TEST(PartitionElements, RoundRobinCycles) {
+  const CommGraph g = pipeline_comm();
+  const auto a = partition_elements(g, 2, PartitionStrategy::kRoundRobin);
+  EXPECT_EQ(a, (std::vector<std::size_t>{0, 1, 0}));
+}
+
+TEST(PartitionElements, SingleProcessorAllZero) {
+  const CommGraph g = pipeline_comm();
+  for (auto strategy : {PartitionStrategy::kRoundRobin, PartitionStrategy::kLpt,
+                        PartitionStrategy::kCommunication}) {
+    const auto a = partition_elements(g, 1, strategy);
+    EXPECT_EQ(a, (std::vector<std::size_t>{0, 0, 0}));
+  }
+}
+
+TEST(PartitionElements, LptBalancesLoad) {
+  CommGraph g;
+  g.add_element("big", 6);
+  g.add_element("m1", 3);
+  g.add_element("m2", 3);
+  const auto a = partition_elements(g, 2, PartitionStrategy::kLpt);
+  // big alone (load 6), the two mediums together (load 6).
+  EXPECT_NE(a[1], a[0]);
+  EXPECT_EQ(a[1], a[2]);
+}
+
+TEST(PartitionElements, CommunicationPrefersColocation) {
+  // A chain should stay on one processor when capacity allows.
+  CommGraph g;
+  g.add_element("a", 1);
+  g.add_element("b", 1);
+  g.add_channel(0, 1);
+  g.add_element("c", 1);
+  g.add_element("d", 1);
+  g.add_channel(2, 3);
+  const auto a = partition_elements(g, 2, PartitionStrategy::kCommunication);
+  EXPECT_EQ(a[0], a[1]);
+  EXPECT_EQ(a[2], a[3]);
+}
+
+TEST(PartitionElements, ZeroProcessorsThrows) {
+  const CommGraph g = pipeline_comm();
+  EXPECT_THROW((void)partition_elements(g, 0, PartitionStrategy::kLpt),
+               std::invalid_argument);
+}
+
+TEST(MultiprocLatency, SingleProcessorMatchesUniprocessorSemantics) {
+  // One processor, no bus: latency equals the uniprocessor value.
+  TaskGraph tg;
+  tg.add_op(0);
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(1);
+  const auto lat = multiproc_latency(tg, {s}, {0}, {});
+  EXPECT_EQ(lat, 2);
+}
+
+TEST(MultiprocLatency, CrossEdgeWaitsForBusSlot) {
+  // stage0 on P0 ("s0" every slot), stage1 on P1 (every slot), one bus
+  // channel. Execution: s0@[0,1), message in the next bus slot, s1
+  // after arrival.
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  tg.add_dep(a, b);
+  StaticSchedule p0;
+  p0.push_execution(0, 1);
+  StaticSchedule p1;
+  p1.push_execution(1, 1);
+  const std::vector<BusChannel> bus{{0, 1}};
+  const auto lat = multiproc_latency(tg, {p0, p1}, {0, 1}, bus);
+  ASSERT_TRUE(lat.has_value());
+  // s0 finishes at 1, message rides slot [1,2), s1 runs [2,3): 3 slots
+  // from a window start of 0; later starts shift uniformly.
+  EXPECT_EQ(*lat, 3);
+}
+
+TEST(MultiprocLatency, MissingChannelIsInfinite) {
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  tg.add_dep(a, b);
+  StaticSchedule p0;
+  p0.push_execution(0, 1);
+  StaticSchedule p1;
+  p1.push_execution(1, 1);
+  EXPECT_EQ(multiproc_latency(tg, {p0, p1}, {0, 1}, {}), std::nullopt);
+}
+
+TEST(MultiprocLatency, MissingElementIsInfinite) {
+  TaskGraph tg;
+  tg.add_op(1);
+  StaticSchedule p0;
+  p0.push_execution(0, 1);
+  StaticSchedule p1_idle;
+  p1_idle.push_idle(1);
+  EXPECT_EQ(multiproc_latency(tg, {p0, p1_idle}, {0, 1}, {}), std::nullopt);
+}
+
+TEST(MultiprocSchedule, SingleProcessorDegeneratesToUniprocessor) {
+  MultiprocOptions options;
+  options.processors = 1;
+  const MultiprocResult r = multiproc_schedule(pipeline_model_3(24), options);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(r.bus_channels.empty());
+  ASSERT_EQ(r.end_to_end_latency.size(), 1u);
+  EXPECT_LE(*r.end_to_end_latency[0], 24);
+}
+
+TEST(MultiprocSchedule, TwoProcessorPipelineVerifies) {
+  MultiprocOptions options;
+  options.processors = 2;
+  options.strategy = PartitionStrategy::kRoundRobin;
+  const MultiprocResult r = multiproc_schedule(pipeline_model_3(30), options);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.processor_schedules.size(), 2u);
+  EXPECT_FALSE(r.bus_channels.empty());
+  EXPECT_LE(*r.end_to_end_latency[0], 30);
+  EXPECT_TRUE(pipeline_ordered_bus(r.bus_channels));
+}
+
+TEST(MultiprocSchedule, FailsWhenDeadlineTooTightForMessages) {
+  MultiprocOptions options;
+  options.processors = 3;
+  options.strategy = PartitionStrategy::kRoundRobin;
+  const MultiprocResult r = multiproc_schedule(pipeline_model_3(3), options);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(MultiprocSchedule, ZeroProcessorsFails) {
+  MultiprocOptions options;
+  options.processors = 0;
+  EXPECT_FALSE(multiproc_schedule(pipeline_model_3(24), options).success);
+}
+
+TEST(MultiprocSchedule, ControlSystemOnTwoProcessors) {
+  ControlSystemParams params;
+  params.px = params.dx = 40;
+  params.py = params.dy = 80;
+  params.pz = 100;
+  params.dz = 50;
+  MultiprocOptions options;
+  options.processors = 2;
+  options.strategy = PartitionStrategy::kCommunication;
+  const MultiprocResult r = multiproc_schedule(make_control_system(params), options);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  for (std::size_t i = 0; i < r.end_to_end_latency.size(); ++i) {
+    ASSERT_TRUE(r.end_to_end_latency[i].has_value()) << i;
+  }
+}
+
+TEST(PipelineOrderedBus, DetectsDuplicates) {
+  EXPECT_TRUE(pipeline_ordered_bus({{0, 1}, {1, 2}}));
+  EXPECT_FALSE(pipeline_ordered_bus({{0, 1}, {0, 1}}));
+  EXPECT_TRUE(pipeline_ordered_bus({}));
+}
+
+}  // namespace
+}  // namespace rtg::core

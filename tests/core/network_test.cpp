@@ -1,0 +1,224 @@
+#include "core/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::core {
+namespace {
+
+TEST(NetworkTopology, ConstructionAndLinks) {
+  NetworkTopology t(3);
+  EXPECT_EQ(t.processors(), 3u);
+  EXPECT_TRUE(t.add_link(0, 1));
+  EXPECT_FALSE(t.add_link(0, 1));  // duplicate
+  EXPECT_TRUE(t.has_link(0, 1));
+  EXPECT_FALSE(t.has_link(1, 0));
+  t.add_duplex(1, 2);
+  EXPECT_TRUE(t.has_link(2, 1));
+  EXPECT_EQ(t.links().size(), 3u);
+}
+
+TEST(NetworkTopology, RejectsBadLinks) {
+  NetworkTopology t(2);
+  EXPECT_THROW(t.add_link(0, 0), std::invalid_argument);
+  EXPECT_THROW(t.add_link(0, 5), std::out_of_range);
+  EXPECT_THROW(NetworkTopology(0), std::invalid_argument);
+}
+
+TEST(NetworkTopology, RouteShortestPath) {
+  // 0 -> 1 -> 2 and a shortcut 0 -> 2.
+  NetworkTopology t(3);
+  t.add_link(0, 1);
+  t.add_link(1, 2);
+  t.add_link(0, 2);
+  EXPECT_EQ(t.route(0, 2), (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(t.route(0, 1), (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(t.route(0, 0), (std::vector<std::size_t>{0}));
+  EXPECT_EQ(t.route(2, 0), std::nullopt);  // directed
+}
+
+TEST(NetworkTopology, PrefabShapes) {
+  const NetworkTopology mesh = NetworkTopology::full_mesh(4);
+  EXPECT_EQ(mesh.links().size(), 12u);
+  EXPECT_EQ(mesh.route(3, 1)->size(), 2u);
+
+  const NetworkTopology ring = NetworkTopology::ring(4);
+  EXPECT_EQ(ring.links().size(), 8u);
+  EXPECT_EQ(ring.route(0, 2)->size(), 3u);  // two hops around
+
+  const NetworkTopology star = NetworkTopology::star(4);
+  EXPECT_EQ(star.links().size(), 6u);
+  EXPECT_EQ(star.route(1, 3), (std::vector<std::size_t>{1, 0, 3}));
+}
+
+TEST(NetworkTopology, RingOfTwoHasNoDuplicateLinks) {
+  const NetworkTopology ring = NetworkTopology::ring(2);
+  EXPECT_EQ(ring.links().size(), 2u);
+}
+
+GraphModel two_stage_model(Time deadline) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  comm.add_channel(0, 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId oa = tg.add_op(0);
+  const OpId ob = tg.add_op(1);
+  tg.add_dep(oa, ob);
+  model.add_constraint(
+      TimingConstraint{"flow", std::move(tg), 20, deadline,
+                       ConstraintKind::kAsynchronous});
+  return model;
+}
+
+TEST(NetworkLatency, DirectLinkMatchesBusSemantics) {
+  // a on P0 every slot, b on P1 every slot, direct link with one slot.
+  TaskGraph tg;
+  const OpId oa = tg.add_op(0);
+  const OpId ob = tg.add_op(1);
+  tg.add_dep(oa, ob);
+  StaticSchedule p0;
+  p0.push_execution(0, 1);
+  StaticSchedule p1;
+  p1.push_execution(1, 1);
+  NetworkTopology t(2);
+  t.add_link(0, 1);
+  std::vector<LinkSchedule> tables{
+      LinkSchedule{NetworkLink{0, 1}, {LinkSlot{0, 1, 0}}}};
+  const auto lat = network_latency(tg, {p0, p1}, {0, 1}, t, tables);
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_EQ(*lat, 3);  // a@[t,t+1), msg [t+1,t+2), b@[t+2,t+3)
+}
+
+TEST(NetworkLatency, TwoHopRouteAddsLatency) {
+  // a on P0, b on P2, route through P1: two hops.
+  TaskGraph tg;
+  const OpId oa = tg.add_op(0);
+  const OpId ob = tg.add_op(1);
+  tg.add_dep(oa, ob);
+  StaticSchedule p0;
+  p0.push_execution(0, 1);
+  StaticSchedule idle;
+  idle.push_idle(1);
+  StaticSchedule p2;
+  p2.push_execution(1, 1);
+  NetworkTopology t(3);
+  t.add_link(0, 1);
+  t.add_link(1, 2);
+  std::vector<LinkSchedule> tables{
+      LinkSchedule{NetworkLink{0, 1}, {LinkSlot{0, 1, 0}}},
+      LinkSchedule{NetworkLink{1, 2}, {LinkSlot{0, 1, 1}}}};
+  const auto lat = network_latency(tg, {p0, idle, p2}, {0, 2}, t, tables);
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_EQ(*lat, 4);  // one extra hop vs the direct case
+}
+
+TEST(NetworkLatency, MissingSlotIsInfinite) {
+  TaskGraph tg;
+  const OpId oa = tg.add_op(0);
+  const OpId ob = tg.add_op(1);
+  tg.add_dep(oa, ob);
+  StaticSchedule p0;
+  p0.push_execution(0, 1);
+  StaticSchedule p1;
+  p1.push_execution(1, 1);
+  NetworkTopology t(2);
+  t.add_link(0, 1);
+  std::vector<LinkSchedule> empty_table{LinkSchedule{NetworkLink{0, 1}, {}}};
+  EXPECT_EQ(network_latency(tg, {p0, p1}, {0, 1}, t, empty_table), std::nullopt);
+}
+
+TEST(NetworkLatency, NoRouteIsInfinite) {
+  TaskGraph tg;
+  const OpId oa = tg.add_op(0);
+  const OpId ob = tg.add_op(1);
+  tg.add_dep(oa, ob);
+  StaticSchedule p0;
+  p0.push_execution(0, 1);
+  StaticSchedule p1;
+  p1.push_execution(1, 1);
+  NetworkTopology t(2);  // no links at all
+  EXPECT_EQ(network_latency(tg, {p0, p1}, {0, 1}, t, {}), std::nullopt);
+}
+
+TEST(NetworkSchedule, SingleProcessorTrivial) {
+  const GraphModel model = two_stage_model(16);
+  const NetworkScheduleResult r =
+      network_schedule(model, NetworkTopology::full_mesh(1));
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_TRUE(r.link_schedules.empty());
+}
+
+TEST(NetworkSchedule, MeshTwoProcessors) {
+  const GraphModel model = two_stage_model(24);
+  NetworkOptions options;
+  options.strategy = PartitionStrategy::kRoundRobin;  // force a crossing
+  const NetworkScheduleResult r =
+      network_schedule(model, NetworkTopology::full_mesh(2), options);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  ASSERT_EQ(r.end_to_end_latency.size(), 1u);
+  EXPECT_LE(*r.end_to_end_latency[0], 24);
+  EXPECT_FALSE(r.link_schedules.empty());
+}
+
+TEST(NetworkSchedule, FailsWithoutRoute) {
+  const GraphModel model = two_stage_model(24);
+  NetworkOptions options;
+  options.strategy = PartitionStrategy::kRoundRobin;
+  NetworkTopology disconnected(2);  // no links
+  const NetworkScheduleResult r = network_schedule(model, disconnected, options);
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("no route"), std::string::npos);
+}
+
+TEST(NetworkSchedule, RingRoutesMultiHop) {
+  // Three-stage pipeline across a 3-ring with round-robin placement:
+  // some channel must take the ring.
+  CommGraph comm;
+  comm.add_element("s0", 1);
+  comm.add_element("s1", 1);
+  comm.add_element("s2", 1);
+  comm.add_channel(0, 1);
+  comm.add_channel(1, 2);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  const OpId c = tg.add_op(2);
+  tg.add_dep(a, b);
+  tg.add_dep(b, c);
+  model.add_constraint(
+      TimingConstraint{"pipe", std::move(tg), 30, 40, ConstraintKind::kAsynchronous});
+
+  NetworkOptions options;
+  options.strategy = PartitionStrategy::kRoundRobin;
+  const NetworkScheduleResult r =
+      network_schedule(model, NetworkTopology::ring(3), options);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_LE(*r.end_to_end_latency[0], 40);
+}
+
+TEST(NetworkSchedule, StarFunnelsThroughHub) {
+  // Leaves 1 and 2 communicate through hub 0: route length 3.
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  comm.add_channel(0, 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId oa = tg.add_op(0);
+  const OpId ob = tg.add_op(1);
+  tg.add_dep(oa, ob);
+  model.add_constraint(
+      TimingConstraint{"f", std::move(tg), 20, 30, ConstraintKind::kAsynchronous});
+
+  // Manual placement via assignment check: with 3 processors and
+  // round-robin, a -> P0, b -> P1 (direct hub link). Use a 3-star and
+  // LPT which may co-locate; accept either but require success.
+  const NetworkScheduleResult r =
+      network_schedule(model, NetworkTopology::star(3), NetworkOptions{});
+  ASSERT_TRUE(r.success) << r.failure_reason;
+}
+
+}  // namespace
+}  // namespace rtg::core

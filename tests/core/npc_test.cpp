@@ -1,0 +1,145 @@
+#include "core/npc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/feasibility.hpp"
+
+namespace rtg::core {
+namespace {
+
+ThreePartitionInstance tiny_solvable() {
+  // Two bins of capacity 12: {5, 4, 3} twice... items must be in
+  // (3, 6): use {5, 4, 3}? 3 is not > 3; use capacity 12 items 4,4,4.
+  ThreePartitionInstance inst;
+  inst.bins = 2;
+  inst.capacity = 12;
+  inst.items = {4, 4, 4, 5, 4, 3};  // {4,4,4} and {5,4,3}
+  return inst;
+}
+
+TEST(ThreePartitionInstance, BalancedCheck) {
+  EXPECT_TRUE(tiny_solvable().balanced());
+  ThreePartitionInstance bad = tiny_solvable();
+  bad.items[0] += 1;
+  EXPECT_FALSE(bad.balanced());
+}
+
+TEST(SolveThreePartition, SolvesAndRefutes) {
+  EXPECT_TRUE(solve_three_partition(tiny_solvable()));
+  EXPECT_FALSE(solve_three_partition(make_overloaded(tiny_solvable())));
+}
+
+TEST(SolveThreePartition, UnsplittableInstance) {
+  // Balanced but not partitionable into triples of 12: {6,6,6,6,3,9}?
+  // 6+6 needs a 0. Actually {6,6,6} = 18 != 12. Construct: capacity 12,
+  // items {10, 1, 1, 6, 5, 1}: {10,1,1} = 12 works, {6,5,1} = 12 works
+  // -> solvable. Use {9, 9, 2, 2, 1, 1}: triples summing 12 from these:
+  // 9+2+1 = 12 twice -> solvable. Use {11, 11, 1, 1, 0...} not allowed.
+  // {8, 8, 4, 4, 0...}: zero invalid. Use capacity 12 items
+  // {7, 7, 7, 1, 1, 1}: any triple with two 7s > 12; 7+1+1 = 9 < 12 ->
+  // unsolvable though balanced? Sum = 24 = 2*12. Yes: unsolvable.
+  ThreePartitionInstance inst;
+  inst.bins = 2;
+  inst.capacity = 12;
+  inst.items = {7, 7, 7, 1, 1, 1};
+  EXPECT_TRUE(inst.balanced());
+  EXPECT_FALSE(solve_three_partition(inst));
+}
+
+TEST(SolveThreePartition, ValidatesShape) {
+  ThreePartitionInstance inst;
+  inst.bins = 2;
+  inst.capacity = 12;
+  inst.items = {4, 4};  // wrong count
+  EXPECT_THROW((void)solve_three_partition(inst), std::invalid_argument);
+}
+
+TEST(ThreePartitionModel, StructureMatchesEncoding) {
+  const ThreePartitionInstance inst = tiny_solvable();
+  const GraphModel model = three_partition_model(inst);
+  EXPECT_EQ(model.comm().size(), 7u);  // gate + 6 items
+  EXPECT_EQ(model.constraint_count(), 7u);
+  // Gate deadline B+1 = 13; items m(B+1) + a_j - 1.
+  EXPECT_EQ(model.constraint(0).deadline, 13);
+  for (std::size_t i = 1; i < model.constraint_count(); ++i) {
+    EXPECT_EQ(model.constraint(i).deadline, 26 + inst.items[i - 1] - 1);
+    EXPECT_EQ(model.constraint(i).task_graph.size(), 1u);  // single op
+  }
+  // No pipelining allowed (restriction (ii)).
+  for (ElementId e = 0; e < model.comm().size(); ++e) {
+    EXPECT_FALSE(model.comm().pipelinable(e));
+  }
+}
+
+TEST(ThreePartitionChainModel, UnitWeightsAndChains) {
+  const ThreePartitionInstance inst = tiny_solvable();
+  const GraphModel model = three_partition_chain_model(inst);
+  // gate + sum(items) unit elements.
+  EXPECT_EQ(model.comm().size(), 25u);
+  for (ElementId e = 0; e < model.comm().size(); ++e) {
+    EXPECT_EQ(model.comm().weight(e), 1);
+  }
+  // Item 0 is a chain of 4 ops.
+  EXPECT_EQ(model.constraint(1).task_graph.size(),
+            static_cast<std::size_t>(inst.items[0]));
+  EXPECT_TRUE(model.constraint(1).task_graph.as_chain().has_value());
+}
+
+TEST(ThreePartitionModel, SolvableInstanceIsFeasible) {
+  // Tiny instance so the simulation game stays tractable: 1 bin of 4.
+  ThreePartitionInstance inst;
+  inst.bins = 1;
+  inst.capacity = 4;
+  inst.items = {2, 1, 1};
+  ASSERT_TRUE(solve_three_partition(inst));
+  const GraphModel model = three_partition_model(inst);
+  ExactOptions options;
+  options.state_budget = 500000;
+  const ExactResult r = exact_feasible(model, options);
+  ASSERT_EQ(r.status, FeasibilityStatus::kFeasible);
+  EXPECT_TRUE(verify_schedule(*r.schedule, model).feasible);
+}
+
+TEST(ThreePartitionModel, OverloadedInstanceIsInfeasible) {
+  ThreePartitionInstance inst;
+  inst.bins = 1;
+  inst.capacity = 4;
+  inst.items = {2, 2, 1};  // sum 5 > 4: utilization overload
+  const GraphModel model = three_partition_model(inst);
+  ExactOptions options;
+  options.state_budget = 500000;
+  const ExactResult r = exact_feasible(model, options);
+  EXPECT_EQ(r.status, FeasibilityStatus::kInfeasible);
+}
+
+TEST(RandomSolvable, ShapeAndMargins) {
+  sim::Rng rng(31);
+  const auto inst = random_solvable_three_partition(4, 16, rng);
+  EXPECT_EQ(inst.items.size(), 12u);
+  EXPECT_TRUE(inst.balanced());
+  for (Time a : inst.items) {
+    EXPECT_GE(a, 4);  // >= B/4
+    EXPECT_LE(a, 8);  // <= B/2
+  }
+  EXPECT_TRUE(solve_three_partition(inst));
+}
+
+TEST(RandomSolvable, ValidatesParameters) {
+  sim::Rng rng(1);
+  EXPECT_THROW((void)random_solvable_three_partition(0, 16, rng), std::invalid_argument);
+  EXPECT_THROW((void)random_solvable_three_partition(2, 6, rng), std::invalid_argument);
+  EXPECT_THROW((void)random_solvable_three_partition(2, 18, rng), std::invalid_argument);
+}
+
+TEST(MakeOverloaded, BreaksBalance) {
+  const auto inst = make_overloaded(tiny_solvable());
+  EXPECT_FALSE(inst.balanced());
+  ThreePartitionInstance empty;
+  empty.bins = 1;
+  EXPECT_THROW((void)make_overloaded(empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtg::core

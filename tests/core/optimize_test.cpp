@@ -1,0 +1,155 @@
+#include "core/optimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristic.hpp"
+
+namespace rtg::core {
+namespace {
+
+TaskGraph single(ElementId e) {
+  TaskGraph tg;
+  tg.add_op(e);
+  return tg;
+}
+
+GraphModel one_async(Time d) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), 4, d, ConstraintKind::kAsynchronous});
+  return model;
+}
+
+TEST(CompactSchedule, RemovesRedundantExecutions) {
+  const GraphModel model = one_async(6);
+  StaticSchedule over;  // "a a a ." latency well under 6
+  over.push_execution(0, 1);
+  over.push_execution(0, 1);
+  over.push_execution(0, 1);
+  over.push_idle(1);
+  OptimizeStats stats;
+  const StaticSchedule compacted = compact_schedule(over, model, &stats);
+  EXPECT_TRUE(verify_schedule(compacted, model).feasible);
+  EXPECT_GT(stats.executions_removed, 0u);
+  EXPECT_LT(compacted.busy(), over.busy());
+}
+
+TEST(CompactSchedule, KeepsNecessaryExecutions) {
+  const GraphModel model = one_async(2);
+  StaticSchedule tight;  // "a" every slot: latency 1 <= 2 but removing
+  tight.push_execution(0, 1);  // the only op leaves nothing
+  OptimizeStats stats;
+  const StaticSchedule out = compact_schedule(tight, model, &stats);
+  EXPECT_EQ(stats.executions_removed, 0u);
+  EXPECT_EQ(out, tight);
+}
+
+TEST(CompactSchedule, ThrowsOnInfeasibleInput) {
+  const GraphModel model = one_async(1);
+  StaticSchedule bad;
+  bad.push_execution(0, 1);
+  bad.push_idle(5);
+  EXPECT_THROW((void)compact_schedule(bad, model), std::invalid_argument);
+}
+
+TEST(TrimIdle, ShortensLooseSchedules) {
+  const GraphModel model = one_async(8);
+  StaticSchedule loose;  // "a . . . . ." latency 6+... = wait: len 6
+  loose.push_execution(0, 1);
+  loose.push_idle(5);
+  ASSERT_TRUE(verify_schedule(loose, model).feasible);
+  OptimizeStats stats;
+  const StaticSchedule trimmed = trim_idle(loose, model, &stats);
+  EXPECT_TRUE(verify_schedule(trimmed, model).feasible);
+  EXPECT_LT(trimmed.length(), loose.length());
+  EXPECT_EQ(stats.idle_removed, loose.length() - trimmed.length());
+}
+
+TEST(TrimIdle, NeverBreaksFeasibility) {
+  const GraphModel model = one_async(4);
+  StaticSchedule s;  // "a . ." latency 5? a@0,3,6: t=1 -> fin 4, lat 3 -- feasible
+  s.push_execution(0, 1);
+  s.push_idle(2);
+  ASSERT_TRUE(verify_schedule(s, model).feasible);
+  const StaticSchedule trimmed = trim_idle(s, model);
+  EXPECT_TRUE(verify_schedule(trimmed, model).feasible);
+}
+
+TEST(OptimizeSchedule, ImprovesHeuristicOutput) {
+  // Two constraints sharing an element at different deadlines: the
+  // per-constraint servers both schedule it, leaving removable slack.
+  CommGraph comm;
+  comm.add_element("shared", 1);
+  comm.add_element("own", 1);
+  comm.add_channel(1, 0);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"S", single(0), 4, 8, ConstraintKind::kAsynchronous});
+  TaskGraph chain;
+  const OpId a = chain.add_op(1);
+  const OpId b = chain.add_op(0);
+  chain.add_dep(a, b);
+  model.add_constraint(
+      TimingConstraint{"C", std::move(chain), 6, 12, ConstraintKind::kAsynchronous});
+
+  const HeuristicResult h = latency_schedule(model);
+  ASSERT_TRUE(h.success) << h.failure_reason;
+  OptimizeStats stats;
+  const StaticSchedule optimized =
+      optimize_schedule(*h.schedule, h.scheduled_model, &stats);
+  EXPECT_TRUE(verify_schedule(optimized, h.scheduled_model).feasible);
+  EXPECT_LE(optimized.busy(), h.schedule->busy());
+  EXPECT_LE(optimized.length(), h.schedule->length());
+  EXPECT_GT(stats.executions_removed + static_cast<std::size_t>(stats.idle_removed),
+            0u);
+}
+
+TEST(OptimizeSchedule, StatsCaptureBeforeAfter) {
+  const GraphModel model = one_async(6);
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_execution(0, 1);
+  s.push_idle(2);
+  OptimizeStats stats;
+  (void)optimize_schedule(s, model, &stats);
+  EXPECT_EQ(stats.length_before, 4);
+  EXPECT_GT(stats.utilization_before, 0.0);
+  EXPECT_LE(stats.length_after, stats.length_before);
+}
+
+TEST(FindFeasibleRotation, RecoversPhase) {
+  // Periodic constraint needing the execution at the start of each
+  // period: the rotated-away schedule fails, rotation fixes it.
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"P", single(0), 4, 1, ConstraintKind::kPeriodic});
+
+  StaticSchedule misaligned;  // ". . . a" — a lands at slot 3, not 0
+  misaligned.push_idle(3);
+  misaligned.push_execution(0, 1);
+  EXPECT_FALSE(verify_schedule(misaligned, model).feasible);
+
+  const auto rotated = find_feasible_rotation(misaligned, model);
+  ASSERT_TRUE(rotated.has_value());
+  EXPECT_TRUE(verify_schedule(*rotated, model).feasible);
+  EXPECT_EQ(rotated->entries()[0].elem, 0u);  // execution first
+}
+
+TEST(FindFeasibleRotation, NulloptWhenHopeless) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"P", single(0), 2, 1, ConstraintKind::kPeriodic});
+  StaticSchedule s;  // one a per 4 slots can never serve period 2
+  s.push_execution(0, 1);
+  s.push_idle(3);
+  EXPECT_EQ(find_feasible_rotation(s, model), std::nullopt);
+}
+
+}  // namespace
+}  // namespace rtg::core

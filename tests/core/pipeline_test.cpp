@@ -1,0 +1,159 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace rtg::core {
+namespace {
+
+GraphModel weighted_model() {
+  CommGraph comm;
+  comm.add_element("src", 1);            // 0
+  comm.add_element("filt", 3);           // 1: decomposes into 3 stages
+  comm.add_element("act", 2, false);     // 2: non-pipelinable, stays whole
+  comm.add_channel(0, 1);
+  comm.add_channel(1, 2);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  const OpId c = tg.add_op(2);
+  tg.add_dep(a, b);
+  tg.add_dep(b, c);
+  model.add_constraint(
+      TimingConstraint{"C", std::move(tg), 20, 12, ConstraintKind::kAsynchronous});
+  return model;
+}
+
+TEST(PipelineModel, DecomposesPipelinableElements) {
+  const PipelinedModel p = pipeline_model(weighted_model());
+  // src(1) + filt/0..2 + act(1 whole) = 5 elements.
+  EXPECT_EQ(p.model.comm().size(), 5u);
+  EXPECT_TRUE(p.model.comm().find("filt/0").has_value());
+  EXPECT_TRUE(p.model.comm().find("filt/2").has_value());
+  EXPECT_FALSE(p.model.comm().find("filt").has_value());
+  EXPECT_TRUE(p.model.comm().find("act").has_value());  // untouched
+}
+
+TEST(PipelineModel, SubElementsAreUnitWeight) {
+  const PipelinedModel p = pipeline_model(weighted_model());
+  const auto f0 = p.model.comm().find("filt/0");
+  ASSERT_TRUE(f0.has_value());
+  EXPECT_EQ(p.model.comm().weight(*f0), 1);
+  const auto act = p.model.comm().find("act");
+  EXPECT_EQ(p.model.comm().weight(*act), 2);  // non-pipelinable keeps weight
+}
+
+TEST(PipelineModel, ChainChannelsInserted) {
+  const PipelinedModel p = pipeline_model(weighted_model());
+  const auto f0 = *p.model.comm().find("filt/0");
+  const auto f1 = *p.model.comm().find("filt/1");
+  const auto f2 = *p.model.comm().find("filt/2");
+  EXPECT_TRUE(p.model.comm().has_channel(f0, f1));
+  EXPECT_TRUE(p.model.comm().has_channel(f1, f2));
+  // External channels redirected: src -> filt/0 and filt/2 -> act.
+  const auto src = *p.model.comm().find("src");
+  const auto act = *p.model.comm().find("act");
+  EXPECT_TRUE(p.model.comm().has_channel(src, f0));
+  EXPECT_TRUE(p.model.comm().has_channel(f2, act));
+}
+
+TEST(PipelineModel, ProvenanceMapsBack) {
+  const GraphModel original = weighted_model();
+  const PipelinedModel p = pipeline_model(original);
+  for (ElementId e = 0; e < p.model.comm().size(); ++e) {
+    ASSERT_LT(p.origin[e], original.comm().size());
+  }
+  const auto f1 = *p.model.comm().find("filt/1");
+  EXPECT_EQ(original.comm().name(p.origin[f1]), "filt");
+  EXPECT_EQ(p.stage[f1], 1);
+  const auto src = *p.model.comm().find("src");
+  EXPECT_EQ(p.stage[src], 0);
+}
+
+TEST(PipelineModel, TaskGraphsRewrittenAndValid) {
+  const PipelinedModel p = pipeline_model(weighted_model());
+  ASSERT_EQ(p.model.constraint_count(), 1u);
+  const TimingConstraint& c = p.model.constraint(0);
+  // src + 3 filt stages + act = 5 ops.
+  EXPECT_EQ(c.task_graph.size(), 5u);
+  EXPECT_TRUE(c.task_graph.validate(p.model.comm()).empty());
+  EXPECT_TRUE(graph::is_acyclic(c.task_graph.skeleton()));
+  // Computation time is preserved.
+  EXPECT_EQ(c.task_graph.computation_time(p.model.comm()), 6);
+  // It is still a chain.
+  EXPECT_TRUE(c.task_graph.as_chain().has_value());
+}
+
+TEST(PipelineModel, ConstraintParametersPreserved) {
+  const PipelinedModel p = pipeline_model(weighted_model());
+  const TimingConstraint& c = p.model.constraint(0);
+  EXPECT_EQ(c.name, "C");
+  EXPECT_EQ(c.period, 20);
+  EXPECT_EQ(c.deadline, 12);
+  EXPECT_EQ(c.kind, ConstraintKind::kAsynchronous);
+}
+
+TEST(PipelineModel, UnitModelIsUnchangedStructurally) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  comm.add_channel(0, 1);
+  GraphModel model(std::move(comm));
+  const PipelinedModel p = pipeline_model(model);
+  EXPECT_EQ(p.model.comm().size(), 2u);
+  EXPECT_EQ(p.model.comm().name(0), "a");
+}
+
+TEST(PipelineModel, ForkJoinTaskGraphRewiring) {
+  CommGraph comm;
+  comm.add_element("s", 2);   // 0, decomposes
+  comm.add_element("l", 1);   // 1
+  comm.add_element("r", 1);   // 2
+  comm.add_element("t", 2);   // 3, decomposes
+  comm.add_channel(0, 1);
+  comm.add_channel(0, 2);
+  comm.add_channel(1, 3);
+  comm.add_channel(2, 3);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId s = tg.add_op(0);
+  const OpId l = tg.add_op(1);
+  const OpId r = tg.add_op(2);
+  const OpId t = tg.add_op(3);
+  tg.add_dep(s, l);
+  tg.add_dep(s, r);
+  tg.add_dep(l, t);
+  tg.add_dep(r, t);
+  model.add_constraint(
+      TimingConstraint{"fj", std::move(tg), 30, 20, ConstraintKind::kAsynchronous});
+
+  const PipelinedModel p = pipeline_model(model);
+  const TimingConstraint& c = p.model.constraint(0);
+  EXPECT_EQ(c.task_graph.size(), 6u);  // 2 + 1 + 1 + 2
+  EXPECT_TRUE(c.task_graph.validate(p.model.comm()).empty());
+  // Fork edges leave from s/1 (exit stage), join edges enter t/0.
+  const auto s1 = *p.model.comm().find("s/1");
+  const auto t0 = *p.model.comm().find("t/0");
+  const auto l0 = *p.model.comm().find("l");
+  EXPECT_TRUE(p.model.comm().has_channel(s1, l0));
+  EXPECT_TRUE(p.model.comm().has_channel(l0, t0));
+}
+
+TEST(FullyUnitWeight, Classification) {
+  CommGraph unit;
+  unit.add_element("a", 1);
+  EXPECT_TRUE(fully_unit_weight(GraphModel(unit)));
+
+  CommGraph heavy;
+  heavy.add_element("a", 2);
+  EXPECT_FALSE(fully_unit_weight(GraphModel(heavy)));
+
+  CommGraph frozen;
+  frozen.add_element("a", 2, false);  // heavy but not pipelinable
+  EXPECT_TRUE(fully_unit_weight(GraphModel(frozen)));
+}
+
+}  // namespace
+}  // namespace rtg::core

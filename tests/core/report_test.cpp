@@ -1,0 +1,113 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::core {
+namespace {
+
+TaskGraph single(ElementId e) {
+  TaskGraph tg;
+  tg.add_op(e);
+  return tg;
+}
+
+TEST(AnalyzeModel, ControlSystemAdvisesHeuristic) {
+  const GraphModel model = make_control_system();
+  const ModelAnalysis a = analyze_model(model);
+  EXPECT_TRUE(a.theorem3);
+  EXPECT_EQ(a.advice, EngineAdvice::kHeuristic);
+  ASSERT_EQ(a.constraints.size(), 3u);
+  EXPECT_EQ(a.constraints[0].computation, 4);
+  EXPECT_EQ(a.constraints[0].critical_path, 4);  // chain: cp == w
+  EXPECT_TRUE(a.constraints[2].half_deadline_ok);  // Z: 3 <= 12
+  EXPECT_TRUE(a.refutations.empty());
+}
+
+TEST(AnalyzeModel, DenseModelAdvisesExactGame) {
+  CommGraph comm;
+  comm.add_element("a", 1, false);
+  comm.add_element("b", 1, false);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), 1, 2, ConstraintKind::kAsynchronous});
+  model.add_constraint(
+      TimingConstraint{"B", single(1), 1, 2, ConstraintKind::kAsynchronous});
+  const ModelAnalysis a = analyze_model(model);
+  EXPECT_GT(a.deadline_utilization, 0.5);
+  EXPECT_EQ(a.advice, EngineAdvice::kExactGame);
+}
+
+TEST(AnalyzeModel, NarrowMissAdvisesHeuristicLikely) {
+  // Low utilization but a non-pipelinable heavy element breaks (iii).
+  CommGraph comm;
+  comm.add_element("w4", 4, false);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"C", single(0), 40, 40, ConstraintKind::kAsynchronous});
+  const ModelAnalysis a = analyze_model(model);
+  EXPECT_FALSE(a.theorem3);
+  EXPECT_LE(a.deadline_utilization, 0.5);
+  EXPECT_EQ(a.advice, EngineAdvice::kHeuristicLikely);
+  EXPECT_FALSE(a.constraints[0].pipelinable);
+}
+
+TEST(AnalyzeModel, RefutedModelAdvisesInfeasible) {
+  CommGraph comm;
+  comm.add_element("a", 5);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"C", single(0), 10, 3, ConstraintKind::kAsynchronous});
+  const ModelAnalysis a = analyze_model(model);
+  EXPECT_EQ(a.advice, EngineAdvice::kInfeasible);
+  EXPECT_FALSE(a.refutations.empty());
+}
+
+TEST(AnalyzeModel, CriticalPathVsComputationForDags) {
+  // Fork-join: cp < w.
+  CommGraph comm;
+  comm.add_element("s", 1);
+  comm.add_element("l", 2);
+  comm.add_element("r", 2);
+  comm.add_element("t", 1);
+  comm.add_channel(0, 1);
+  comm.add_channel(0, 2);
+  comm.add_channel(1, 3);
+  comm.add_channel(2, 3);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId s = tg.add_op(0);
+  const OpId l = tg.add_op(1);
+  const OpId r = tg.add_op(2);
+  const OpId t = tg.add_op(3);
+  tg.add_dep(s, l);
+  tg.add_dep(s, r);
+  tg.add_dep(l, t);
+  tg.add_dep(r, t);
+  model.add_constraint(
+      TimingConstraint{"FJ", std::move(tg), 20, 20, ConstraintKind::kAsynchronous});
+  const ModelAnalysis a = analyze_model(model);
+  EXPECT_EQ(a.constraints[0].computation, 6);
+  EXPECT_EQ(a.constraints[0].critical_path, 4);  // s -> l -> t
+}
+
+TEST(RenderAnalysis, MentionsKeyFacts) {
+  const GraphModel model = make_control_system();
+  const std::string text = render_analysis(analyze_model(model), model);
+  EXPECT_NE(text.find("theorem 3 hypotheses: satisfied"), std::string::npos);
+  EXPECT_NE(text.find("advice: constructive heuristic"), std::string::npos);
+  EXPECT_NE(text.find("X:"), std::string::npos);
+}
+
+TEST(RenderAnalysis, ShowsRefutations) {
+  CommGraph comm;
+  comm.add_element("a", 5);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"C", single(0), 10, 3, ConstraintKind::kAsynchronous});
+  const std::string text = render_analysis(analyze_model(model), model);
+  EXPECT_NE(text.find("REFUTED:"), std::string::npos);
+  EXPECT_NE(text.find("infeasible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtg::core

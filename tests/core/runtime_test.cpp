@@ -1,0 +1,144 @@
+#include "core/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/heuristic.hpp"
+#include "rt/scheduler.hpp"
+#include "sim/rng.hpp"
+
+namespace rtg::core {
+namespace {
+
+TaskGraph single(ElementId e) {
+  TaskGraph tg;
+  tg.add_op(e);
+  return tg;
+}
+
+GraphModel one_async(Time sep, Time d) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), sep, d, ConstraintKind::kAsynchronous});
+  return model;
+}
+
+TEST(RunExecutive, ServesAsyncArrivals) {
+  const GraphModel model = one_async(3, 4);
+  StaticSchedule sched;  // "a ." latency 2
+  sched.push_execution(0, 1);
+  sched.push_idle(1);
+  const ExecutiveResult r = run_executive(sched, model, {{0, 5, 11}}, 30);
+  EXPECT_TRUE(r.all_met);
+  ASSERT_EQ(r.invocations.size(), 3u);
+  EXPECT_EQ(r.invocations[0].invoked, 0);
+  EXPECT_EQ(*r.invocations[0].completed, 1);
+  EXPECT_EQ(*r.invocations[1].completed, 7);  // a@6 finishes at 7
+}
+
+TEST(RunExecutive, DetectsMissWhenScheduleTooSlow) {
+  const GraphModel model = one_async(3, 1);
+  StaticSchedule sched;  // "a ." latency 2 > deadline 1 for odd arrivals
+  sched.push_execution(0, 1);
+  sched.push_idle(1);
+  const ExecutiveResult r = run_executive(sched, model, {{1}}, 10);
+  EXPECT_FALSE(r.all_met);
+  EXPECT_FALSE(r.invocations[0].satisfied);
+}
+
+TEST(RunExecutive, PeriodicInvocationsGenerated) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"P", single(0), 4, 4, ConstraintKind::kPeriodic});
+  StaticSchedule sched;
+  sched.push_execution(0, 1);
+  sched.push_idle(3);
+  const ExecutiveResult r = run_executive(sched, model, {{}}, 16);
+  EXPECT_TRUE(r.all_met);
+  EXPECT_EQ(r.invocations.size(), 4u);  // t = 0, 4, 8, 12
+}
+
+TEST(RunExecutive, InvocationsPastHorizonExcluded) {
+  const GraphModel model = one_async(3, 5);
+  StaticSchedule sched;
+  sched.push_execution(0, 1);
+  const ExecutiveResult r = run_executive(sched, model, {{0, 7}}, 10);
+  // Arrival at 7 has deadline 12 > horizon: not recorded.
+  EXPECT_EQ(r.invocations.size(), 1u);
+}
+
+TEST(RunExecutive, ValidatesArrivalStreams) {
+  const GraphModel model = one_async(5, 5);
+  StaticSchedule sched;
+  sched.push_execution(0, 1);
+  EXPECT_THROW((void)run_executive(sched, model, {{0, 3}}, 20), std::invalid_argument);
+  EXPECT_THROW((void)run_executive(sched, model, {{-1}}, 20), std::invalid_argument);
+  EXPECT_THROW((void)run_executive(sched, model, {}, 20), std::invalid_argument);
+}
+
+TEST(RunExecutive, RejectsEmptyScheduleAndNegativeHorizon) {
+  const GraphModel model = one_async(5, 5);
+  StaticSchedule empty;
+  EXPECT_THROW((void)run_executive(empty, model, {{}}, 20), std::invalid_argument);
+  StaticSchedule sched;
+  sched.push_execution(0, 1);
+  EXPECT_THROW((void)run_executive(sched, model, {{}}, -1), std::invalid_argument);
+}
+
+TEST(RunExecutive, DispatchCountMatchesUnrolledOps) {
+  const GraphModel model = one_async(5, 5);
+  StaticSchedule sched;  // 2 ops per 4-slot period
+  sched.push_execution(0, 1);
+  sched.push_idle(1);
+  sched.push_execution(0, 1);
+  sched.push_idle(1);
+  const ExecutiveResult r = run_executive(sched, model, {{}}, 12);
+  EXPECT_EQ(r.dispatches, 6u);  // 3 periods * 2 ops
+}
+
+TEST(RunExecutive, FeasibleScheduleServesWorstCaseArrivals) {
+  // Property: a schedule whose verified latency is <= d serves *every*
+  // legal arrival pattern, including maximal-rate ones.
+  const GraphModel model = one_async(2, 6);
+  const HeuristicResult h = latency_schedule(model);
+  ASSERT_TRUE(h.success) << h.failure_reason;
+
+  const auto arrivals = rt::max_rate_arrivals(2, 200);
+  const ExecutiveResult r =
+      run_executive(*h.schedule, h.scheduled_model, {arrivals}, 220);
+  EXPECT_TRUE(r.all_met);
+  EXPECT_GT(r.invocations.size(), 50u);
+}
+
+TEST(RunExecutive, FeasibleScheduleServesRandomArrivals) {
+  const GraphModel model = make_control_system();
+  const HeuristicResult h = latency_schedule(model);
+  ASSERT_TRUE(h.success) << h.failure_reason;
+
+  sim::Rng rng(7);
+  ConstraintArrivals arrivals(3);
+  arrivals[2] = rt::random_arrivals(50, 2000, 20.0, rng);  // Z is index 2
+  const ExecutiveResult r = run_executive(*h.schedule, h.scheduled_model, arrivals, 2200);
+  EXPECT_TRUE(r.all_met);
+  // Response times never exceed the deadline.
+  for (const InvocationRecord& rec : r.invocations) {
+    ASSERT_TRUE(rec.completed.has_value());
+    EXPECT_LE(*rec.completed, rec.abs_deadline);
+  }
+}
+
+TEST(RunExecutive, ResponseTimeAccessor) {
+  const GraphModel model = one_async(3, 4);
+  StaticSchedule sched;
+  sched.push_execution(0, 1);
+  sched.push_idle(1);
+  const ExecutiveResult r = run_executive(sched, model, {{1}}, 10);
+  ASSERT_EQ(r.invocations.size(), 1u);
+  EXPECT_EQ(r.invocations[0].response_time(), 2);  // a@2 finishes at 3
+}
+
+}  // namespace
+}  // namespace rtg::core

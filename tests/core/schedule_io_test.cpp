@@ -1,0 +1,94 @@
+#include "core/schedule_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::core {
+namespace {
+
+CommGraph comm_xyz() {
+  CommGraph g;
+  g.add_element("fx", 1);
+  g.add_element("fs", 2);
+  g.add_element("fk", 1);
+  return g;
+}
+
+TEST(ScheduleToText, RendersNamesAndIdleRuns) {
+  const CommGraph comm = comm_xyz();
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_execution(1, 2);
+  s.push_idle(1);
+  s.push_execution(2, 1);
+  s.push_idle(3);
+  EXPECT_EQ(schedule_to_text(s, comm), "fx fs . fk .3");
+}
+
+TEST(ScheduleToText, UnknownElementThrows) {
+  const CommGraph comm = comm_xyz();
+  StaticSchedule s;
+  s.push_execution(9, 1);
+  EXPECT_THROW((void)schedule_to_text(s, comm), std::invalid_argument);
+}
+
+TEST(ScheduleFromText, ParsesTokens) {
+  const CommGraph comm = comm_xyz();
+  const auto r = schedule_from_text("fx fs .2 fk", comm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.schedule->length(), 6);  // 1 + 2 + 2 + 1
+  const auto ops = r.schedule->ops();
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[1].elem, 1u);
+  EXPECT_EQ(ops[1].duration, 2);  // weight implied
+  EXPECT_EQ(ops[2].start, 5);
+}
+
+TEST(ScheduleFromText, CommentsAndNewlines) {
+  const CommGraph comm = comm_xyz();
+  const auto r = schedule_from_text("# header\nfx # trailing\n. fs\n", comm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.schedule->length(), 4);
+}
+
+TEST(ScheduleFromText, UnknownElementReportedWithLine) {
+  const CommGraph comm = comm_xyz();
+  const auto r = schedule_from_text("fx\nnope\n", comm);
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_EQ(r.errors[0].line, 2u);
+  EXPECT_NE(r.errors[0].message.find("nope"), std::string::npos);
+}
+
+TEST(ScheduleFromText, BadIdleCountRejected) {
+  const CommGraph comm = comm_xyz();
+  EXPECT_FALSE(schedule_from_text(".0", comm).ok());
+}
+
+TEST(ScheduleFromText, EmptyInputIsEmptySchedule) {
+  const CommGraph comm = comm_xyz();
+  const auto r = schedule_from_text("  # nothing\n", comm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.schedule->length(), 0);
+}
+
+TEST(ScheduleIo, RoundTrip) {
+  const CommGraph comm = comm_xyz();
+  StaticSchedule s;
+  s.push_execution(1, 2);
+  s.push_idle(4);
+  s.push_execution(0, 1);
+  s.push_execution(2, 1);
+  const auto r = schedule_from_text(schedule_to_text(s, comm), comm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.schedule, s);
+}
+
+TEST(ScheduleIo, RoundTripValidatesAgainstComm) {
+  const CommGraph comm = comm_xyz();
+  const auto r = schedule_from_text("fs fs fx", comm);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.schedule->validate(comm).empty());
+}
+
+}  // namespace
+}  // namespace rtg::core

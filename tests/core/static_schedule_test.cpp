@@ -1,0 +1,127 @@
+#include "core/static_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::core {
+namespace {
+
+CommGraph comm_ab() {
+  CommGraph g;
+  g.add_element("a", 1);
+  g.add_element("b", 2);
+  return g;
+}
+
+TEST(StaticSchedule, EmptyBasics) {
+  StaticSchedule s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.length(), 0);
+  EXPECT_EQ(s.busy(), 0);
+  EXPECT_EQ(s.utilization(), 0.0);
+  EXPECT_TRUE(s.ops().empty());
+}
+
+TEST(StaticSchedule, LengthAndBusyAccounting) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(2);
+  s.push_execution(1, 2);
+  EXPECT_EQ(s.length(), 5);
+  EXPECT_EQ(s.busy(), 3);
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.6);
+}
+
+TEST(StaticSchedule, OpsCarryStartTimes) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(2);
+  s.push_execution(1, 2);
+  const auto ops = s.ops();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], (ScheduledOp{0, 0, 1}));
+  EXPECT_EQ(ops[1], (ScheduledOp{1, 3, 2}));
+  EXPECT_EQ(ops[1].finish(), 5);
+}
+
+TEST(StaticSchedule, OpsOfFiltersByElement) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_execution(1, 2);
+  s.push_execution(0, 1);
+  EXPECT_EQ(s.ops_of(0).size(), 2u);
+  EXPECT_EQ(s.ops_of(1).size(), 1u);
+  EXPECT_TRUE(s.ops_of(9).empty());
+}
+
+TEST(StaticSchedule, IdleRunsMerge) {
+  StaticSchedule s;
+  s.push_idle(1);
+  s.push_idle(2);
+  EXPECT_EQ(s.entries().size(), 1u);
+  EXPECT_EQ(s.entries()[0].duration, 3);
+}
+
+TEST(StaticSchedule, RejectsBadPushes) {
+  StaticSchedule s;
+  EXPECT_THROW(s.push_execution(kIdleEntry, 1), std::invalid_argument);
+  EXPECT_THROW(s.push_execution(0, 0), std::invalid_argument);
+  EXPECT_THROW(s.push_idle(0), std::invalid_argument);
+}
+
+TEST(StaticSchedule, ToTraceRoundRobin) {
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(1);
+  const auto trace = s.to_trace(2);
+  ASSERT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace[0], 0u);
+  EXPECT_EQ(trace[1], sim::kIdle);
+  EXPECT_EQ(trace[2], 0u);
+  EXPECT_EQ(trace[3], sim::kIdle);
+}
+
+TEST(StaticSchedule, ToTraceExpandsWeights) {
+  StaticSchedule s;
+  s.push_execution(1, 2);
+  const auto trace = s.to_trace();
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0], 1u);
+  EXPECT_EQ(trace[1], 1u);
+}
+
+TEST(StaticSchedule, ValidateAgainstComm) {
+  const CommGraph g = comm_ab();
+  StaticSchedule good;
+  good.push_execution(0, 1);
+  good.push_execution(1, 2);
+  EXPECT_TRUE(good.validate(g).empty());
+
+  StaticSchedule wrong_duration;
+  wrong_duration.push_execution(1, 1);  // b has weight 2
+  EXPECT_EQ(wrong_duration.validate(g).size(), 1u);
+
+  StaticSchedule unknown;
+  unknown.push_execution(9, 1);
+  EXPECT_EQ(unknown.validate(g).size(), 1u);
+}
+
+TEST(StaticSchedule, ToStringRendersNamesAndIdle) {
+  const CommGraph g = comm_ab();
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(2);
+  s.push_execution(1, 2);
+  EXPECT_EQ(s.to_string(g), "a . . b[2]");
+}
+
+TEST(StaticSchedule, Equality) {
+  StaticSchedule a, b;
+  a.push_execution(0, 1);
+  b.push_execution(0, 1);
+  EXPECT_EQ(a, b);
+  b.push_idle(1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace rtg::core

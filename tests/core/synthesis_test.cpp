@@ -1,0 +1,123 @@
+#include "core/synthesis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/analysis.hpp"
+
+namespace rtg::core {
+namespace {
+
+TEST(SynthesizeProcesses, ControlSystemProcesses) {
+  const GraphModel model = make_control_system();
+  const ProcessSynthesis s = synthesize_processes(model);
+  ASSERT_EQ(s.processes.size(), 3u);
+
+  const SynthesizedProcess& x = s.processes[0];
+  EXPECT_EQ(x.name, "X");
+  EXPECT_EQ(x.body.size(), 3u);  // fx, fs, fk
+  EXPECT_EQ(x.computation, 4);   // 1 + 2 + 1
+  EXPECT_EQ(x.kind, ConstraintKind::kPeriodic);
+
+  const SynthesizedProcess& z = s.processes[2];
+  EXPECT_EQ(z.name, "Z");
+  EXPECT_EQ(z.computation, 3);  // 1 + 2
+  EXPECT_EQ(z.kind, ConstraintKind::kAsynchronous);
+}
+
+TEST(SynthesizeProcesses, BodyIsTopologicalOrder) {
+  const GraphModel model = make_control_system();
+  const ProcessSynthesis s = synthesize_processes(model);
+  const auto fx = *model.comm().find("fx");
+  const auto fs = *model.comm().find("fs");
+  const auto fk = *model.comm().find("fk");
+  EXPECT_EQ(s.processes[0].body, (std::vector<ElementId>{fx, fs, fk}));
+}
+
+TEST(SynthesizeProcesses, MonitorsForSharedElements) {
+  const GraphModel model = make_control_system();
+  const ProcessSynthesis s = synthesize_processes(model);
+  // fs is shared by X, Y, Z; fk by X and Y.
+  const auto fs = *model.comm().find("fs");
+  const auto fk = *model.comm().find("fk");
+  EXPECT_EQ(s.monitors, (std::vector<ElementId>{fs, fk}));
+  // Critical section of each task = weight of fs (the heaviest monitor).
+  for (std::size_t i = 0; i < s.task_set.size(); ++i) {
+    EXPECT_EQ(s.task_set[i].critical_section, 2) << i;
+  }
+}
+
+TEST(SynthesizeProcesses, PipeliningShrinksCriticalSections) {
+  const GraphModel model = make_control_system();
+  const ProcessSynthesis s = synthesize_processes(model, /*software_pipelining=*/true);
+  for (std::size_t i = 0; i < s.task_set.size(); ++i) {
+    EXPECT_EQ(s.task_set[i].critical_section, 1) << i;
+  }
+  // Computation unchanged by pipelining.
+  EXPECT_EQ(s.processes[0].computation, 4);
+}
+
+TEST(SynthesizeProcesses, TaskSetParametersClampDeadline) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  tg.add_op(0);
+  model.add_constraint(
+      TimingConstraint{"late", std::move(tg), 5, 9, ConstraintKind::kPeriodic});
+  const ProcessSynthesis s = synthesize_processes(model);
+  EXPECT_EQ(s.task_set[0].d, 5);  // min(9, 5)
+  EXPECT_EQ(s.task_set[0].p, 5);
+}
+
+TEST(SynthesizeProcesses, WorkPerHyperperiodCountsDuplicates) {
+  // Two constraints both containing the weight-2 shared element at the
+  // same rate: the process model runs it twice per period.
+  CommGraph comm;
+  comm.add_element("s", 2);
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  comm.add_channel(1, 0);
+  comm.add_channel(2, 0);
+  GraphModel model(std::move(comm));
+  for (const char* name : {"A", "B"}) {
+    TaskGraph tg;
+    const OpId in = tg.add_op(name[0] == 'A' ? 1 : 2);
+    const OpId shared = tg.add_op(0);
+    tg.add_dep(in, shared);
+    model.add_constraint(
+        TimingConstraint{name, std::move(tg), 10, 10, ConstraintKind::kPeriodic});
+  }
+  const ProcessSynthesis s = synthesize_processes(model);
+  EXPECT_EQ(s.hyperperiod, 10);
+  EXPECT_EQ(s.work_per_hyperperiod, 6);  // (1+2) * 2 constraints
+}
+
+TEST(SynthesizeProcesses, SporadicMapsToSporadicTask) {
+  const GraphModel model = make_control_system();
+  const ProcessSynthesis s = synthesize_processes(model);
+  EXPECT_EQ(s.task_set[2].arrival, rt::Arrival::kSporadic);
+  EXPECT_EQ(s.task_set[0].arrival, rt::Arrival::kPeriodic);
+}
+
+TEST(SynthesizeProcesses, ResultFeedsRtAnalysis) {
+  const GraphModel model = make_control_system();
+  const ProcessSynthesis s = synthesize_processes(model);
+  // The control system's process set is light; EDF must accept it.
+  EXPECT_TRUE(rt::edf_schedulable(s.task_set));
+}
+
+TEST(SynthesizeProcesses, NoMonitorsWhenNothingShared) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  tg.add_op(0);
+  model.add_constraint(
+      TimingConstraint{"only", std::move(tg), 4, 4, ConstraintKind::kPeriodic});
+  const ProcessSynthesis s = synthesize_processes(model);
+  EXPECT_TRUE(s.monitors.empty());
+  EXPECT_EQ(s.task_set[0].critical_section, 0);
+}
+
+}  // namespace
+}  // namespace rtg::core

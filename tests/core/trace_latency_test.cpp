@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "core/latency.hpp"
+#include "rt/scheduler.hpp"
+
+namespace rtg::core {
+namespace {
+
+TaskGraph single(ElementId e) {
+  TaskGraph tg;
+  tg.add_op(e);
+  return tg;
+}
+
+CommGraph comm_abc() {
+  CommGraph g;
+  g.add_element("a", 1);
+  g.add_element("b", 2);
+  g.add_element("c", 1);
+  g.add_channel(0, 2);
+  return g;
+}
+
+TEST(OpsFromTrace, UnitRunsSplitPerSlot) {
+  const CommGraph comm = comm_abc();
+  sim::ExecutionTrace trace({0, 0, sim::kIdle, 2});
+  const auto ops = ops_from_trace(trace, comm);
+  ASSERT_EQ(ops.size(), 3u);
+  EXPECT_EQ(ops[0], (ScheduledOp{0, 0, 1}));
+  EXPECT_EQ(ops[1], (ScheduledOp{0, 1, 1}));
+  EXPECT_EQ(ops[2], (ScheduledOp{2, 3, 1}));
+}
+
+TEST(OpsFromTrace, WeightedRunsGroup) {
+  const CommGraph comm = comm_abc();
+  sim::ExecutionTrace trace({1, 1, 1, 1});  // two back-to-back executions of b
+  const auto ops = ops_from_trace(trace, comm);
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0], (ScheduledOp{1, 0, 2}));
+  EXPECT_EQ(ops[1], (ScheduledOp{1, 2, 2}));
+}
+
+TEST(OpsFromTrace, PartialRunDropped) {
+  const CommGraph comm = comm_abc();
+  sim::ExecutionTrace trace({1, 1, 1});  // 1.5 executions of b
+  EXPECT_EQ(ops_from_trace(trace, comm).size(), 1u);
+  sim::ExecutionTrace preempted({1, sim::kIdle, 1});  // split run: no execution
+  EXPECT_TRUE(ops_from_trace(preempted, comm).empty());
+}
+
+TEST(OpsFromTrace, UnknownElementThrows) {
+  const CommGraph comm = comm_abc();
+  sim::ExecutionTrace trace({99});
+  EXPECT_THROW((void)ops_from_trace(trace, comm), std::invalid_argument);
+}
+
+TEST(FiniteTraceLatency, UniformSpacing) {
+  const CommGraph comm = comm_abc();
+  // a at slots 0, 4, 8, 12: latency 5 over horizon 16 (window after
+  // a@0 waits until a@4 completes at 5... window [1, 1+k] needs k >= 4;
+  // windows near the tail can hide in the horizon).
+  sim::ExecutionTrace trace;
+  for (int rep = 0; rep < 4; ++rep) {
+    trace.append(0);
+    trace.append_idle(3);
+  }
+  const auto ops = ops_from_trace(trace, comm);
+  const auto latency = finite_trace_latency(ops, 16, single(0));
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, 4);  // completion(1) = 5 -> k >= 4
+}
+
+TEST(FiniteTraceLatency, EmptyTraceIsNullopt) {
+  EXPECT_EQ(finite_trace_latency({}, 10, single(0)), std::nullopt);
+}
+
+TEST(FiniteTraceLatency, SingleExecutionCoversNothingTwice) {
+  const CommGraph comm = comm_abc();
+  sim::ExecutionTrace trace({0});
+  trace.append_idle(9);
+  const auto ops = ops_from_trace(trace, comm);
+  // Window [1, 1+k]: no a after slot 0 -> must not fit: k > 9.
+  // Window [0, k] ok for k >= 1. Only k = 10 keeps all fitting windows
+  // served (none besides t=0 fits).
+  const auto latency = finite_trace_latency(ops, 10, single(0));
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, 10);
+}
+
+TEST(FiniteTraceLatency, MissingElementNullopt) {
+  const CommGraph comm = comm_abc();
+  sim::ExecutionTrace trace({0, 0, 0});
+  const auto ops = ops_from_trace(trace, comm);
+  EXPECT_EQ(finite_trace_latency(ops, 3, single(1)), std::nullopt);
+}
+
+TEST(FiniteTraceLatency, ChainAcrossTrace) {
+  const CommGraph comm = comm_abc();
+  TaskGraph chain;
+  const OpId oa = chain.add_op(0);
+  const OpId oc = chain.add_op(2);
+  chain.add_dep(oa, oc);
+  // a c a c over 4 slots: completion(0)=2, completion(1)=4, completion(2)=4.
+  sim::ExecutionTrace trace({0, 2, 0, 2});
+  const auto ops = ops_from_trace(trace, comm);
+  const auto latency = finite_trace_latency(ops, 4, chain);
+  ASSERT_TRUE(latency.has_value());
+  EXPECT_EQ(*latency, 3);  // window [1,4] holds a@2,c@3
+}
+
+TEST(FiniteTraceLatency, AgreesWithScheduleLatencyOnLongUnrolls) {
+  // For a cyclic schedule unrolled many times, the finite-trace latency
+  // converges to the cyclic latency.
+  const CommGraph comm = comm_abc();
+  StaticSchedule sched;
+  sched.push_execution(0, 1);
+  sched.push_idle(2);
+  sched.push_execution(2, 1);
+  const auto cyclic = schedule_latency(sched, single(2));
+  ASSERT_TRUE(cyclic.has_value());
+
+  const auto trace = sched.to_trace(50);
+  const auto ops = ops_from_trace(trace, comm);
+  const auto finite = finite_trace_latency(ops, static_cast<Time>(trace.size()),
+                                           single(2));
+  ASSERT_TRUE(finite.has_value());
+  EXPECT_EQ(*finite, *cyclic);
+}
+
+TEST(FiniteTraceLatency, ProcessSimulatorTraceMeasurable) {
+  // Glue test: measure the latency an EDF process trace provides for a
+  // single-op task graph of the corresponding element.
+  rt::TaskSet ts;
+  rt::Task t;
+  t.c = 1;
+  t.p = 5;
+  t.d = 5;
+  ts.add(t);
+  const rt::SimResult sim = rt::simulate(ts, rt::Policy::kEdf, 40);
+
+  CommGraph comm;
+  comm.add_element("task0", 1);
+  const auto ops = ops_from_trace(sim.trace, comm);
+  const auto latency = finite_trace_latency(ops, 40, single(0));
+  ASSERT_TRUE(latency.has_value());
+  // Task runs at slots 0, 5, 10, ...: worst window opens just after a
+  // run and waits for the next one to complete (5 slots later).
+  EXPECT_EQ(*latency, 5);
+}
+
+}  // namespace
+}  // namespace rtg::core

@@ -1,0 +1,86 @@
+#include "core/viz.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::core {
+namespace {
+
+GraphModel tiny_model() {
+  CommGraph comm;
+  comm.add_element("fx", 1);
+  comm.add_element("fs", 2, false);
+  comm.add_channel(0, 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  tg.add_dep(a, b);
+  model.add_constraint(
+      TimingConstraint{"X", std::move(tg), 8, 8, ConstraintKind::kPeriodic});
+  return model;
+}
+
+TEST(TaskGraphDot, NodesAndEdges) {
+  const GraphModel model = tiny_model();
+  const std::string dot =
+      task_graph_dot(model.constraint(0).task_graph, model.comm(), "X");
+  EXPECT_NE(dot.find("digraph X {"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"fx\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"fs\""), std::string::npos);
+  EXPECT_NE(dot.find("o0 -> o1;"), std::string::npos);
+}
+
+TEST(TaskGraphDot, RepeatedLabelsDisambiguated) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  comm.add_channel(0, 1);
+  comm.add_channel(1, 0);
+  TaskGraph tg;
+  const OpId a1 = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  const OpId a2 = tg.add_op(0);
+  tg.add_dep(a1, b);
+  tg.add_dep(b, a2);
+  const std::string dot = task_graph_dot(tg, comm);
+  EXPECT_NE(dot.find("a#1"), std::string::npos);
+  EXPECT_NE(dot.find("a#2"), std::string::npos);
+}
+
+TEST(ModelDot, ConstraintNotesAndFlags) {
+  const std::string dot = model_dot(tiny_model());
+  EXPECT_NE(dot.find("fs (w=2)"), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=lightgray"), std::string::npos);  // nopipeline
+  EXPECT_NE(dot.find("periodic p=8 d=8"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(ScheduleGantt, RowsAndRuler) {
+  const GraphModel model = tiny_model();
+  StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_execution(1, 2);
+  s.push_idle(1);
+  const std::string gantt = schedule_gantt(s, model.comm());
+  EXPECT_NE(gantt.find("fx"), std::string::npos);
+  EXPECT_NE(gantt.find("fs"), std::string::npos);
+  EXPECT_NE(gantt.find("|#...|"), std::string::npos);   // fx row
+  EXPECT_NE(gantt.find("|.##.|"), std::string::npos);   // fs row
+}
+
+TEST(ScheduleGantt, EmptySchedule) {
+  const GraphModel model = tiny_model();
+  EXPECT_EQ(schedule_gantt(StaticSchedule{}, model.comm()), "(empty schedule)\n");
+}
+
+TEST(ScheduleGantt, UnknownElementsRenderAsIds) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  StaticSchedule s;
+  s.push_execution(7, 1);  // not in comm
+  const std::string gantt = schedule_gantt(s, comm);
+  EXPECT_NE(gantt.find("e7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtg::core

@@ -1,0 +1,126 @@
+// Property sweeps over the graph algorithms on random DAGs: the
+// structural identities the scheduling core depends on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/rng.hpp"
+
+namespace rtg::graph {
+namespace {
+
+class GraphPropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphPropertySweep,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+Digraph random_dag(std::uint64_t seed, std::size_t max_n = 12) {
+  sim::Rng rng(seed * 2654435761u + 1);
+  return make_random_dag(static_cast<std::size_t>(
+                             rng.uniform(1, static_cast<std::int64_t>(max_n))),
+                         rng.uniform01(), rng, 1, 4);
+}
+
+TEST_P(GraphPropertySweep, TopologicalSortRespectsEveryEdge) {
+  const Digraph g = random_dag(GetParam());
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<std::size_t> pos(g.node_count());
+  for (std::size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (const Edge& e : g.edges()) {
+    EXPECT_LT(pos[e.from], pos[e.to]);
+  }
+}
+
+TEST_P(GraphPropertySweep, TransitiveReductionPreservesReachability) {
+  const Digraph g = random_dag(GetParam());
+  Digraph reduced;
+  for (NodeId v = 0; v < g.node_count(); ++v) reduced.add_node(g.weight(v));
+  for (const Edge& e : transitive_reduction(g)) reduced.add_edge(e.from, e.to);
+
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      EXPECT_EQ(reaches(g, u, v), reaches(reduced, u, v)) << u << "->" << v;
+    }
+  }
+  EXPECT_LE(reduced.edge_count(), g.edge_count());
+}
+
+TEST_P(GraphPropertySweep, ReductionIsMinimal) {
+  // Removing any edge of the reduction changes reachability.
+  const Digraph g = random_dag(GetParam(), 8);
+  const auto kept = transitive_reduction(g);
+  for (std::size_t skip = 0; skip < kept.size(); ++skip) {
+    Digraph partial;
+    for (NodeId v = 0; v < g.node_count(); ++v) partial.add_node();
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      if (i != skip) partial.add_edge(kept[i].from, kept[i].to);
+    }
+    EXPECT_FALSE(reaches(partial, kept[skip].from, kept[skip].to));
+  }
+}
+
+TEST_P(GraphPropertySweep, CriticalPathIsAPathAndHeaviest) {
+  const Digraph g = random_dag(GetParam());
+  const auto path = critical_path(g);
+  ASSERT_FALSE(path.empty());
+  std::int64_t weight = 0;
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    weight += g.weight(path[i]);
+    if (i > 0) {
+      EXPECT_TRUE(g.has_edge(path[i - 1], path[i]));
+    }
+  }
+  EXPECT_EQ(weight, critical_path_weight(g));
+}
+
+TEST_P(GraphPropertySweep, DepthsAreLongestUnitPaths) {
+  const Digraph g = random_dag(GetParam());
+  const auto depths = node_depths(g);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(depths[e.to], depths[e.from] + 1);
+  }
+  for (NodeId v : sources(g)) EXPECT_EQ(depths[v], 0u);
+}
+
+TEST_P(GraphPropertySweep, WidthTimesLongestChainBoundsN) {
+  // Mirsky/Dilworth sanity: width * (longest chain length) >= n.
+  const Digraph g = random_dag(GetParam());
+  const std::size_t n = g.node_count();
+  const std::size_t width = dag_width(g);
+  // Longest chain in the order = longest path in nodes (unit weights).
+  Digraph unit;
+  for (NodeId v = 0; v < n; ++v) unit.add_node(1);
+  for (const Edge& e : g.edges()) unit.add_edge(e.from, e.to);
+  const std::size_t chain =
+      static_cast<std::size_t>(critical_path_weight(unit));
+  EXPECT_GE(width * chain, n);
+  EXPECT_GE(width, 1u);
+  EXPECT_LE(width, n);
+}
+
+TEST_P(GraphPropertySweep, SccOfDagIsAllSingletons) {
+  const Digraph g = random_dag(GetParam());
+  const auto comps = strongly_connected_components(g);
+  EXPECT_EQ(comps.size(), g.node_count());
+}
+
+TEST_P(GraphPropertySweep, AllTopologicalSortsAreValidAndDistinct) {
+  const Digraph g = random_dag(GetParam(), 6);
+  const auto sorts = all_topological_sorts(g, 200);
+  std::set<std::vector<NodeId>> distinct(sorts.begin(), sorts.end());
+  EXPECT_EQ(distinct.size(), sorts.size());
+  for (const auto& order : sorts) {
+    std::vector<std::size_t> pos(g.node_count());
+    for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+    for (const Edge& e : g.edges()) {
+      EXPECT_LT(pos[e.from], pos[e.to]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtg::graph

@@ -1,0 +1,203 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "graph/generators.hpp"
+#include "sim/rng.hpp"
+
+namespace rtg::graph {
+namespace {
+
+Digraph diamond() {
+  // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  return g;
+}
+
+Digraph two_cycle() {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  return g;
+}
+
+TEST(TopologicalSort, EmptyGraph) {
+  Digraph g;
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(TopologicalSort, DiamondRespectsPrecedence) {
+  const Digraph g = diamond();
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  ASSERT_EQ(order->size(), 4u);
+  auto pos = [&](NodeId v) {
+    return std::find(order->begin(), order->end(), v) - order->begin();
+  };
+  EXPECT_LT(pos(0), pos(1));
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(1), pos(3));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+TEST(TopologicalSort, DeterministicTieBreakBySmallestId) {
+  Digraph g;
+  for (int i = 0; i < 3; ++i) g.add_node();  // no edges
+  const auto order = topological_sort(g);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(TopologicalSort, CycleReturnsNullopt) {
+  EXPECT_EQ(topological_sort(two_cycle()), std::nullopt);
+}
+
+TEST(IsAcyclic, Classifies) {
+  EXPECT_TRUE(is_acyclic(diamond()));
+  EXPECT_FALSE(is_acyclic(two_cycle()));
+}
+
+TEST(AllTopologicalSorts, DiamondHasTwo) {
+  const auto sorts = all_topological_sorts(diamond());
+  ASSERT_EQ(sorts.size(), 2u);
+  EXPECT_EQ(sorts[0], (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(sorts[1], (std::vector<NodeId>{0, 2, 1, 3}));
+}
+
+TEST(AllTopologicalSorts, LimitTruncates) {
+  Digraph g;
+  for (int i = 0; i < 5; ++i) g.add_node();  // antichain: 120 sorts
+  EXPECT_EQ(all_topological_sorts(g, 7).size(), 7u);
+}
+
+TEST(AllTopologicalSorts, ThrowsOnCycle) {
+  EXPECT_THROW(all_topological_sorts(two_cycle()), std::invalid_argument);
+}
+
+TEST(Reachability, ReachableFromSource) {
+  const Digraph g = diamond();
+  EXPECT_EQ(reachable_from(g, 0), (std::vector<NodeId>{0, 1, 2, 3}));
+  EXPECT_EQ(reachable_from(g, 1), (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(reachable_from(g, 3), (std::vector<NodeId>{3}));
+}
+
+TEST(Reachability, ReachesIsReflexive) {
+  const Digraph g = diamond();
+  EXPECT_TRUE(reaches(g, 2, 2));
+  EXPECT_TRUE(reaches(g, 0, 3));
+  EXPECT_FALSE(reaches(g, 3, 0));
+  EXPECT_FALSE(reaches(g, 1, 2));
+}
+
+TEST(TransitiveClosure, MatchesReachability) {
+  const Digraph g = diamond();
+  const auto closure = transitive_closure(g);
+  const std::size_t n = g.node_count();
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      EXPECT_EQ(closure[u * n + v], reaches(g, u, v)) << u << "->" << v;
+    }
+  }
+}
+
+TEST(TransitiveReduction, RemovesShortcutEdge) {
+  Digraph g;
+  for (int i = 0; i < 3; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);  // redundant
+  const auto reduced = transitive_reduction(g);
+  ASSERT_EQ(reduced.size(), 2u);
+  EXPECT_EQ(reduced[0], (Edge{0, 1}));
+  EXPECT_EQ(reduced[1], (Edge{1, 2}));
+}
+
+TEST(TransitiveReduction, KeepsDiamondIntact) {
+  EXPECT_EQ(transitive_reduction(diamond()).size(), 4u);
+}
+
+TEST(CriticalPath, WeightsSumAlongHeaviestPath) {
+  Digraph g;
+  g.add_node(1);   // 0
+  g.add_node(10);  // 1
+  g.add_node(2);   // 2
+  g.add_node(1);   // 3
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(critical_path_weight(g), 12);  // 0 -> 1 -> 3
+  EXPECT_EQ(critical_path(g), (std::vector<NodeId>{0, 1, 3}));
+}
+
+TEST(CriticalPath, SingleNode) {
+  Digraph g;
+  g.add_node(5);
+  EXPECT_EQ(critical_path_weight(g), 5);
+  EXPECT_EQ(critical_path(g), (std::vector<NodeId>{0}));
+}
+
+TEST(CriticalPath, EmptyGraphIsZero) {
+  Digraph g;
+  EXPECT_EQ(critical_path_weight(g), 0);
+  EXPECT_TRUE(critical_path(g).empty());
+}
+
+TEST(Scc, DagHasSingletonComponents) {
+  const auto comps = strongly_connected_components(diamond());
+  EXPECT_EQ(comps.size(), 4u);
+  for (const auto& comp : comps) EXPECT_EQ(comp.size(), 1u);
+}
+
+TEST(Scc, DetectsCycleComponent) {
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);  // cycle {1, 2}
+  g.add_edge(2, 3);
+  const auto comps = strongly_connected_components(g);
+  ASSERT_EQ(comps.size(), 3u);
+  const bool has_pair = std::any_of(comps.begin(), comps.end(), [](const auto& c) {
+    return c == std::vector<NodeId>{1, 2};
+  });
+  EXPECT_TRUE(has_pair);
+}
+
+TEST(Scc, LongChainDoesNotOverflowStack) {
+  sim::Rng rng(1);
+  const Digraph g = make_chain(200000);
+  const auto comps = strongly_connected_components(g);
+  EXPECT_EQ(comps.size(), 200000u);
+}
+
+TEST(SourcesSinks, Diamond) {
+  const Digraph g = diamond();
+  EXPECT_EQ(sources(g), (std::vector<NodeId>{0}));
+  EXPECT_EQ(sinks(g), (std::vector<NodeId>{3}));
+}
+
+TEST(NodeDepths, LayeredDepths) {
+  const Digraph g = diamond();
+  const auto depths = node_depths(g);
+  EXPECT_EQ(depths, (std::vector<std::size_t>{0, 1, 1, 2}));
+}
+
+TEST(NodeDepths, ThrowsOnCycle) {
+  EXPECT_THROW(node_depths(two_cycle()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtg::graph

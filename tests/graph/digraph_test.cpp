@@ -1,0 +1,145 @@
+#include "graph/digraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rtg::graph {
+namespace {
+
+TEST(Digraph, StartsEmpty) {
+  Digraph g;
+  EXPECT_TRUE(g.empty());
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.total_weight(), 0);
+}
+
+TEST(Digraph, AddNodeAssignsDenseIds) {
+  Digraph g;
+  EXPECT_EQ(g.add_node(), 0u);
+  EXPECT_EQ(g.add_node(), 1u);
+  EXPECT_EQ(g.add_node(), 2u);
+  EXPECT_EQ(g.node_count(), 3u);
+}
+
+TEST(Digraph, NodeWeightDefaultsToOne) {
+  Digraph g;
+  const NodeId v = g.add_node();
+  EXPECT_EQ(g.weight(v), 1);
+}
+
+TEST(Digraph, NodeWeightStoredAndMutable) {
+  Digraph g;
+  const NodeId v = g.add_node(7);
+  EXPECT_EQ(g.weight(v), 7);
+  g.set_weight(v, 3);
+  EXPECT_EQ(g.weight(v), 3);
+}
+
+TEST(Digraph, NegativeWeightRejected) {
+  Digraph g;
+  EXPECT_THROW(g.add_node(-1), std::invalid_argument);
+  const NodeId v = g.add_node(1);
+  EXPECT_THROW(g.set_weight(v, -2), std::invalid_argument);
+}
+
+TEST(Digraph, NamesAreUniqueAndSearchable) {
+  Digraph g;
+  const NodeId a = g.add_node(1, "alpha");
+  const NodeId b = g.add_node(1, "beta");
+  EXPECT_EQ(g.name(a), "alpha");
+  EXPECT_EQ(g.find("alpha"), a);
+  EXPECT_EQ(g.find("beta"), b);
+  EXPECT_EQ(g.find("gamma"), std::nullopt);
+  EXPECT_THROW(g.add_node(1, "alpha"), std::invalid_argument);
+}
+
+TEST(Digraph, UnnamedNodesAllowedInBulk) {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  EXPECT_EQ(g.name(0), "");
+  EXPECT_EQ(g.name(1), "");
+}
+
+TEST(Digraph, AddEdgeCreatesAdjacency) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_TRUE(g.add_edge(a, b));
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_FALSE(g.has_edge(b, a));
+  ASSERT_EQ(g.successors(a).size(), 1u);
+  EXPECT_EQ(g.successors(a)[0], b);
+  ASSERT_EQ(g.predecessors(b).size(), 1u);
+  EXPECT_EQ(g.predecessors(b)[0], a);
+}
+
+TEST(Digraph, ParallelEdgeRejectedIdempotently) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  EXPECT_TRUE(g.add_edge(a, b));
+  EXPECT_FALSE(g.add_edge(a, b));
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(Digraph, SelfLoopThrows) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+}
+
+TEST(Digraph, UnknownNodeThrows) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  EXPECT_THROW(g.add_edge(a, 42), std::out_of_range);
+  EXPECT_THROW((void)g.weight(42), std::out_of_range);
+  EXPECT_THROW((void)g.successors(42), std::out_of_range);
+}
+
+TEST(Digraph, DegreesCount) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  EXPECT_EQ(g.out_degree(a), 2u);
+  EXPECT_EQ(g.in_degree(a), 0u);
+  EXPECT_EQ(g.in_degree(c), 2u);
+  EXPECT_EQ(g.out_degree(c), 0u);
+}
+
+TEST(Digraph, EdgesEnumeratesAll) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const NodeId c = g.add_node();
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  const auto edges = g.edges();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (Edge{a, b}));
+  EXPECT_EQ(edges[1], (Edge{b, c}));
+}
+
+TEST(Digraph, TotalWeightSums) {
+  Digraph g;
+  g.add_node(2);
+  g.add_node(3);
+  g.add_node(0);
+  EXPECT_EQ(g.total_weight(), 5);
+}
+
+TEST(Digraph, HasEdgeOnUnknownNodesIsFalse) {
+  Digraph g;
+  g.add_node();
+  EXPECT_FALSE(g.has_edge(0, 9));
+  EXPECT_FALSE(g.has_edge(9, 0));
+}
+
+}  // namespace
+}  // namespace rtg::graph

@@ -1,0 +1,63 @@
+#include "graph/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::graph {
+namespace {
+
+TEST(Dot, EmptyGraph) {
+  Digraph g;
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph G {"), std::string::npos);
+  EXPECT_NE(dot.find("}"), std::string::npos);
+}
+
+TEST(Dot, NamedNodesAndEdges) {
+  Digraph g;
+  const NodeId a = g.add_node(2, "fx");
+  const NodeId b = g.add_node(1, "fs");
+  g.add_edge(a, b);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("fx (w=2)"), std::string::npos);
+  EXPECT_NE(dot.find("fs (w=1)"), std::string::npos);
+  EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+}
+
+TEST(Dot, WeightsSuppressed) {
+  Digraph g;
+  g.add_node(2, "fx");
+  DotOptions opts;
+  opts.show_weights = false;
+  const std::string dot = to_dot(g, opts);
+  EXPECT_EQ(dot.find("w=2"), std::string::npos);
+  EXPECT_NE(dot.find("fx"), std::string::npos);
+}
+
+TEST(Dot, UnnamedNodesGetIdLabels) {
+  Digraph g;
+  g.add_node();
+  DotOptions opts;
+  opts.show_weights = false;
+  const std::string dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("label=\"n0\""), std::string::npos);
+}
+
+TEST(Dot, CustomGraphNameAndRankdir) {
+  Digraph g;
+  DotOptions opts;
+  opts.graph_name = "CommGraph";
+  opts.left_to_right = false;
+  const std::string dot = to_dot(g, opts);
+  EXPECT_NE(dot.find("digraph CommGraph {"), std::string::npos);
+  EXPECT_EQ(dot.find("rankdir=LR"), std::string::npos);
+}
+
+TEST(Dot, EscapesQuotesInNames) {
+  Digraph g;
+  g.add_node(1, "a\"b");
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("a\\\"b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtg::graph

@@ -1,0 +1,135 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace rtg::graph {
+namespace {
+
+TEST(MakeChain, StructureAndWeights) {
+  const Digraph g = make_chain(4, 3);
+  EXPECT_EQ(g.node_count(), 4u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  for (NodeId v = 0; v < 4; ++v) EXPECT_EQ(g.weight(v), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+TEST(MakeChain, SingleAndEmpty) {
+  EXPECT_EQ(make_chain(1).node_count(), 1u);
+  EXPECT_EQ(make_chain(0).node_count(), 0u);
+}
+
+TEST(MakeForkJoin, SingleSourceSingleSink) {
+  const Digraph g = make_fork_join(5);
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(sources(g).size(), 1u);
+  EXPECT_EQ(sinks(g).size(), 1u);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(g.out_degree(0), 5u);
+}
+
+TEST(MakeForkJoin, ZeroWidthDegeneratesToEdge) {
+  const Digraph g = make_fork_join(0);
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(MakeLayeredDag, EveryNonSourceHasPredecessor) {
+  sim::Rng rng(7);
+  const Digraph g = make_layered_dag(4, 3, 0.3, rng);
+  EXPECT_EQ(g.node_count(), 12u);
+  EXPECT_TRUE(is_acyclic(g));
+  // Nodes beyond the first layer must have at least one predecessor.
+  for (NodeId v = 3; v < 12; ++v) {
+    EXPECT_GE(g.in_degree(v), 1u) << v;
+  }
+}
+
+TEST(MakeLayeredDag, WeightsWithinRange) {
+  sim::Rng rng(9);
+  const Digraph g = make_layered_dag(3, 3, 0.5, rng, 2, 5);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_GE(g.weight(v), 2);
+    EXPECT_LE(g.weight(v), 5);
+  }
+}
+
+TEST(MakeLayeredDag, EmptyOnZeroDims) {
+  sim::Rng rng(1);
+  EXPECT_TRUE(make_layered_dag(0, 3, 0.5, rng).empty());
+  EXPECT_TRUE(make_layered_dag(3, 0, 0.5, rng).empty());
+}
+
+TEST(MakeRandomDag, AlwaysAcyclic) {
+  sim::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Digraph g = make_random_dag(15, 0.4, rng);
+    EXPECT_TRUE(is_acyclic(g));
+  }
+}
+
+TEST(MakeRandomDag, DensityOneIsCompleteDag) {
+  sim::Rng rng(3);
+  const Digraph g = make_random_dag(6, 1.0, rng);
+  EXPECT_EQ(g.edge_count(), 15u);  // C(6, 2)
+}
+
+TEST(MakeRandomDag, DensityZeroHasNoEdges) {
+  sim::Rng rng(3);
+  EXPECT_EQ(make_random_dag(6, 0.0, rng).edge_count(), 0u);
+}
+
+TEST(MakeRandomDag, Deterministic) {
+  sim::Rng a(42), b(42);
+  const Digraph ga = make_random_dag(10, 0.5, a, 1, 9);
+  const Digraph gb = make_random_dag(10, 0.5, b, 1, 9);
+  EXPECT_EQ(ga.edges(), gb.edges());
+  for (NodeId v = 0; v < 10; ++v) EXPECT_EQ(ga.weight(v), gb.weight(v));
+}
+
+TEST(MakeSeriesParallel, TwoTerminalDag) {
+  sim::Rng rng(5);
+  const Digraph g = make_series_parallel(12, 0.5, rng);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_EQ(sources(g).size(), 1u);
+  EXPECT_EQ(sinks(g).size(), 1u);
+  EXPECT_GE(g.node_count(), 12u);
+}
+
+TEST(MakeSeriesParallel, PureSeriesIsChain) {
+  sim::Rng rng(5);
+  const Digraph g = make_series_parallel(6, 0.0, rng);
+  EXPECT_EQ(g.node_count(), 6u);
+  EXPECT_EQ(g.edge_count(), 5u);
+}
+
+TEST(MakeReductionTree, BinaryJoinStructure) {
+  const Digraph g = make_reduction_tree(4);
+  // 4 leaves + 2 joins + 1 root = 7 nodes.
+  EXPECT_EQ(g.node_count(), 7u);
+  EXPECT_EQ(sinks(g).size(), 1u);
+  EXPECT_EQ(sources(g).size(), 4u);
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+TEST(MakeReductionTree, OddLeafCarriesThrough) {
+  const Digraph g = make_reduction_tree(5);
+  EXPECT_EQ(sinks(g).size(), 1u);
+  EXPECT_EQ(sources(g).size(), 5u);
+}
+
+TEST(MakeReductionTree, SingleLeaf) {
+  const Digraph g = make_reduction_tree(1);
+  EXPECT_EQ(g.node_count(), 1u);
+}
+
+TEST(Generators, BadWeightRangeThrows) {
+  sim::Rng rng(1);
+  EXPECT_THROW(make_random_dag(3, 0.5, rng, 5, 2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtg::graph

@@ -1,0 +1,109 @@
+#include "graph/homomorphism.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::graph {
+namespace {
+
+Digraph path(std::size_t n) {
+  Digraph g;
+  for (std::size_t i = 0; i < n; ++i) g.add_node();
+  for (NodeId i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+TEST(IsHomomorphism, IdentityOnSameGraph) {
+  const Digraph g = path(3);
+  EXPECT_TRUE(is_homomorphism(g, g, {0, 1, 2}));
+}
+
+TEST(IsHomomorphism, WrongSizeLabelVector) {
+  const Digraph g = path(3);
+  EXPECT_FALSE(is_homomorphism(g, g, {0, 1}));
+}
+
+TEST(IsHomomorphism, EdgeMustMap) {
+  const Digraph c = path(2);
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  // No edge in g.
+  EXPECT_FALSE(is_homomorphism(c, g, {0, 1}));
+}
+
+TEST(IsHomomorphism, UnknownImageRejected) {
+  const Digraph c = path(2);
+  const Digraph g = path(2);
+  EXPECT_FALSE(is_homomorphism(c, g, {0, 9}));
+}
+
+TEST(IsHomomorphism, NonInjectiveAllowedWhenEdgesMap) {
+  // c: 0 -> 1, 1 -> 2 mapping onto g's 2-cycle 0 <-> 1 as 0,1,0.
+  const Digraph c = path(3);
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_TRUE(is_homomorphism(c, g, {0, 1, 0}));
+}
+
+TEST(FindHomomorphism, FindsEmbeddingOfPathInLongerPath) {
+  const Digraph c = path(2);
+  const Digraph g = path(4);
+  const auto labels = find_homomorphism(c, g);
+  ASSERT_TRUE(labels.has_value());
+  EXPECT_TRUE(is_homomorphism(c, g, *labels));
+}
+
+TEST(FindHomomorphism, NoneWhenTargetHasNoEdges) {
+  const Digraph c = path(2);
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  EXPECT_EQ(find_homomorphism(c, g), std::nullopt);
+}
+
+TEST(FindHomomorphism, EmptyPatternMapsTrivially) {
+  Digraph c;
+  const Digraph g = path(2);
+  const auto labels = find_homomorphism(c, g);
+  ASSERT_TRUE(labels.has_value());
+  EXPECT_TRUE(labels->empty());
+}
+
+TEST(FindHomomorphism, NoTargetNodes) {
+  const Digraph c = path(1);
+  Digraph g;
+  EXPECT_EQ(find_homomorphism(c, g), std::nullopt);
+}
+
+TEST(CountHomomorphisms, SingleNodePatternCountsTargetNodes) {
+  Digraph c;
+  c.add_node();
+  const Digraph g = path(5);
+  EXPECT_EQ(count_homomorphisms(c, g), 5u);
+}
+
+TEST(CountHomomorphisms, EdgePatternCountsTargetEdges) {
+  const Digraph c = path(2);
+  Digraph g = path(3);
+  g.add_edge(0, 2);
+  EXPECT_EQ(count_homomorphisms(c, g), g.edge_count());
+}
+
+TEST(CountHomomorphisms, LimitStopsEnumeration) {
+  Digraph c;
+  c.add_node();
+  const Digraph g = path(100);
+  EXPECT_EQ(count_homomorphisms(c, g, 10), 10u);
+}
+
+TEST(CountHomomorphisms, EmptyPatternIsOne) {
+  Digraph c;
+  const Digraph g = path(3);
+  EXPECT_EQ(count_homomorphisms(c, g), 1u);
+}
+
+}  // namespace
+}  // namespace rtg::graph

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "sim/rng.hpp"
+
+namespace rtg::graph {
+namespace {
+
+TEST(DagWidth, ChainIsOne) {
+  EXPECT_EQ(dag_width(make_chain(6)), 1u);
+  EXPECT_EQ(minimum_path_cover(make_chain(6)), 1u);
+}
+
+TEST(DagWidth, AntichainIsN) {
+  Digraph g;
+  for (int i = 0; i < 5; ++i) g.add_node();
+  EXPECT_EQ(dag_width(g), 5u);
+}
+
+TEST(DagWidth, ForkJoinEqualsMiddleWidth) {
+  EXPECT_EQ(dag_width(make_fork_join(4)), 4u);
+}
+
+TEST(DagWidth, DiamondIsTwo) {
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(dag_width(g), 2u);
+}
+
+TEST(DagWidth, PathCoverMayJump) {
+  // 0 -> 1, 0 -> 2, 1 -> 3: chains in the *order* may skip, so
+  // {0,1,3} and {2} cover with 2 chains even though 2's only neighbour
+  // is 0.
+  Digraph g;
+  for (int i = 0; i < 4; ++i) g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  EXPECT_EQ(minimum_path_cover(g), 2u);
+}
+
+TEST(DagWidth, EmptyGraphIsZero) {
+  Digraph g;
+  EXPECT_EQ(dag_width(g), 0u);
+  EXPECT_TRUE(maximum_antichain(g).empty());
+}
+
+TEST(DagWidth, ThrowsOnCycle) {
+  Digraph g;
+  g.add_node();
+  g.add_node();
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_THROW((void)dag_width(g), std::invalid_argument);
+}
+
+TEST(MaximumAntichain, IsValidAndMaximum) {
+  sim::Rng rng(123);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Digraph g = make_random_dag(
+        static_cast<std::size_t>(rng.uniform(1, 10)), 0.3, rng);
+    const std::size_t width = dag_width(g);
+    const auto antichain = maximum_antichain(g);
+    EXPECT_EQ(antichain.size(), width) << "trial " << trial;
+    // Pairwise unreachable.
+    for (std::size_t i = 0; i < antichain.size(); ++i) {
+      for (std::size_t j = 0; j < antichain.size(); ++j) {
+        if (i == j) continue;
+        EXPECT_FALSE(reaches(g, antichain[i], antichain[j]))
+            << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(MaximumAntichain, MatchesBruteForceOnSmallDags) {
+  sim::Rng rng(77);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::size_t n = static_cast<std::size_t>(rng.uniform(1, 8));
+    const Digraph g = make_random_dag(n, 0.4, rng);
+    // Brute force: largest subset with no reachability between members.
+    std::size_t best = 0;
+    for (std::uint32_t mask = 1; mask < (1u << n); ++mask) {
+      bool ok = true;
+      for (NodeId a = 0; a < n && ok; ++a) {
+        if (!(mask & (1u << a))) continue;
+        for (NodeId b = 0; b < n && ok; ++b) {
+          if (a == b || !(mask & (1u << b))) continue;
+          if (reaches(g, a, b)) ok = false;
+        }
+      }
+      if (ok) best = std::max<std::size_t>(best, std::popcount(mask));
+    }
+    EXPECT_EQ(dag_width(g), best) << "trial " << trial;
+  }
+}
+
+TEST(DagWidth, ReductionTree) {
+  // 8 leaves: the leaves form the largest antichain.
+  EXPECT_EQ(dag_width(make_reduction_tree(8)), 8u);
+}
+
+}  // namespace
+}  // namespace rtg::graph

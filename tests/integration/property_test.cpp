@@ -1,0 +1,217 @@
+// Property-based sweeps over randomized models, exercising the
+// library's central invariants:
+//   P1 latency soundness: a schedule reported feasible serves every
+//      legal arrival pattern in executive simulation;
+//   P2 Theorem 3: under its hypotheses the heuristic never fails;
+//   P3 pipelining preserves computation time and validity;
+//   P4 exact-solver soundness: returned schedules always verify;
+//   P5 EDF optimality on the process substrate: whenever any policy
+//      meets all deadlines in simulation, EDF does too.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/feasibility.hpp"
+#include "core/heuristic.hpp"
+#include "core/pipeline.hpp"
+#include "core/runtime.hpp"
+#include "rt/scheduler.hpp"
+#include "sim/rng.hpp"
+
+namespace rtg {
+namespace {
+
+using core::ConstraintKind;
+using core::ElementId;
+using core::GraphModel;
+using core::TaskGraph;
+using core::TimingConstraint;
+using Time = sim::Time;
+
+// Random model generator: a small communication DAG plus chain
+// constraints drawn along its channels.
+GraphModel random_model(sim::Rng& rng, int max_elems, Time min_d, Time max_d,
+                        bool pipelinable) {
+  core::CommGraph comm;
+  const int n = static_cast<int>(rng.uniform(2, max_elems));
+  for (int i = 0; i < n; ++i) {
+    comm.add_element("e" + std::to_string(i), rng.uniform(1, 2), pipelinable);
+  }
+  for (ElementId u = 0; u < static_cast<ElementId>(n); ++u) {
+    for (ElementId v = u + 1; v < static_cast<ElementId>(n); ++v) {
+      if (rng.chance(0.5)) comm.add_channel(u, v);
+    }
+  }
+  GraphModel model(std::move(comm));
+
+  const int k = static_cast<int>(rng.uniform(1, 3));
+  for (int c = 0; c < k; ++c) {
+    // Random chain along channels starting anywhere.
+    TaskGraph tg;
+    ElementId cur = static_cast<ElementId>(rng.uniform(0, n - 1));
+    core::OpId prev = tg.add_op(cur);
+    for (int step = 0; step < 2; ++step) {
+      const auto& succ = model.comm().digraph().successors(cur);
+      if (succ.empty() || rng.chance(0.4)) break;
+      cur = succ[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<Time>(succ.size()) - 1))];
+      const core::OpId op = tg.add_op(cur);
+      tg.add_dep(prev, op);
+      prev = op;
+    }
+    TimingConstraint constraint;
+    constraint.name = "c" + std::to_string(c);
+    constraint.task_graph = std::move(tg);
+    constraint.deadline = rng.uniform(min_d, max_d);
+    constraint.period = rng.uniform(2, 8);
+    constraint.kind =
+        rng.chance(0.5) ? ConstraintKind::kPeriodic : ConstraintKind::kAsynchronous;
+    model.add_constraint(std::move(constraint));
+  }
+  return model;
+}
+
+class PropertySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweep,
+                         ::testing::Range<std::uint64_t>(0, 25));
+
+TEST_P(PropertySweep, FeasibleScheduleServesAllArrivals) {
+  sim::Rng rng(GetParam() * 7919 + 13);
+  const GraphModel model = random_model(rng, 5, 8, 24, true);
+  const core::HeuristicResult h = core::latency_schedule(model);
+  if (!h.success) GTEST_SKIP() << "heuristic declined: " << h.failure_reason;
+
+  core::ConstraintArrivals arrivals(model.constraint_count());
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const TimingConstraint& c = model.constraint(i);
+    if (!c.periodic()) {
+      arrivals[i] = rng.chance(0.5)
+                        ? rt::max_rate_arrivals(c.period, 400)
+                        : rt::random_arrivals(c.period, 400, 3.0, rng);
+    }
+  }
+  const core::ExecutiveResult run =
+      core::run_executive(*h.schedule, h.scheduled_model, arrivals, 450);
+  EXPECT_TRUE(run.all_met);
+}
+
+TEST_P(PropertySweep, Theorem3NeverFails) {
+  sim::Rng rng(GetParam() * 104729 + 1);
+  // Constraints engineered inside the hypotheses: unit/2-weight
+  // elements, deadlines large enough that sum w/d <= 1/2.
+  core::CommGraph comm;
+  const int n = static_cast<int>(rng.uniform(2, 4));
+  for (int i = 0; i < n; ++i) {
+    comm.add_element("e" + std::to_string(i), rng.uniform(1, 2), true);
+  }
+  GraphModel model(std::move(comm));
+  double budget = 0.5;
+  for (int c = 0; c < 3; ++c) {
+    const ElementId e = static_cast<ElementId>(rng.uniform(0, n - 1));
+    const Time w = model.comm().weight(e);
+    const Time d = std::max<Time>(2 * w, static_cast<Time>(rng.uniform(8, 40)));
+    const double util = static_cast<double>(w) / static_cast<double>(d);
+    if (util > budget) continue;
+    budget -= util;
+    TaskGraph tg;
+    tg.add_op(e);
+    model.add_constraint(TimingConstraint{"c" + std::to_string(c), std::move(tg),
+                                          rng.uniform(2, 10), d,
+                                          ConstraintKind::kAsynchronous});
+  }
+  if (model.constraint_count() == 0 || !model.satisfies_theorem3()) {
+    GTEST_SKIP() << "instance fell outside hypotheses";
+  }
+  const core::HeuristicResult h = core::latency_schedule(model);
+  EXPECT_TRUE(h.success) << h.failure_reason;
+  EXPECT_TRUE(h.report.feasible);
+}
+
+TEST_P(PropertySweep, PipeliningPreservesComputationTime) {
+  sim::Rng rng(GetParam() * 31 + 5);
+  core::CommGraph comm;
+  const int n = static_cast<int>(rng.uniform(2, 5));
+  for (int i = 0; i < n; ++i) {
+    comm.add_element("e" + std::to_string(i), rng.uniform(1, 4), rng.chance(0.7));
+  }
+  for (ElementId u = 0; u < static_cast<ElementId>(n); ++u) {
+    for (ElementId v = u + 1; v < static_cast<ElementId>(n); ++v) {
+      if (rng.chance(0.6)) comm.add_channel(u, v);
+    }
+  }
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  core::OpId prev = graph::kInvalidNode;
+  for (ElementId e = 0; e < static_cast<ElementId>(n); ++e) {
+    const core::OpId op = tg.add_op(e);
+    if (prev != graph::kInvalidNode && model.comm().has_channel(e - 1, e)) {
+      tg.add_dep(prev, op);
+    }
+    prev = op;
+  }
+  model.add_constraint(
+      TimingConstraint{"all", tg, 50, 50, ConstraintKind::kAsynchronous});
+
+  const core::PipelinedModel p = core::pipeline_model(model);
+  EXPECT_EQ(p.model.constraint(0).task_graph.computation_time(p.model.comm()),
+            model.constraint(0).task_graph.computation_time(model.comm()));
+  EXPECT_TRUE(p.model.constraint(0).task_graph.validate(p.model.comm()).empty());
+  // Origin map is total and consistent.
+  for (ElementId e = 0; e < p.model.comm().size(); ++e) {
+    ASSERT_LT(p.origin[e], model.comm().size());
+    EXPECT_LE(p.stage[e], model.comm().weight(p.origin[e]) - 1);
+  }
+}
+
+TEST_P(PropertySweep, ExactSolverSchedulesAlwaysVerify) {
+  sim::Rng rng(GetParam() * 613 + 7);
+  core::CommGraph comm;
+  const int n = static_cast<int>(rng.uniform(1, 3));
+  for (int i = 0; i < n; ++i) {
+    comm.add_element("e" + std::to_string(i), 1, false);
+  }
+  GraphModel model(std::move(comm));
+  const int k = static_cast<int>(rng.uniform(1, 2));
+  for (int c = 0; c < k; ++c) {
+    TaskGraph tg;
+    tg.add_op(static_cast<ElementId>(rng.uniform(0, n - 1)));
+    model.add_constraint(TimingConstraint{
+        "c" + std::to_string(c), std::move(tg), rng.uniform(1, 4), rng.uniform(1, 5),
+        rng.chance(0.3) ? ConstraintKind::kPeriodic : ConstraintKind::kAsynchronous});
+  }
+  core::ExactOptions options;
+  options.state_budget = 200000;
+  const core::ExactResult r = core::exact_feasible(model, options);
+  if (r.status == core::FeasibilityStatus::kFeasible) {
+    EXPECT_TRUE(core::verify_schedule(*r.schedule, model).feasible);
+  }
+}
+
+TEST_P(PropertySweep, EdfOptimalAmongSimulatedPolicies) {
+  sim::Rng rng(GetParam() * 271 + 3);
+  rt::TaskSet ts;
+  const int n = static_cast<int>(rng.uniform(2, 4));
+  for (int i = 0; i < n; ++i) {
+    rt::Task t;
+    t.p = rng.uniform(3, 12);
+    t.c = rng.uniform(1, std::max<Time>(1, t.p / 2));
+    t.d = t.p;
+    ts.add(t);
+  }
+  const Time horizon = std::min<Time>(ts.hyperperiod() * 2, 4000);
+  const bool edf_ok = rt::simulate(ts, rt::Policy::kEdf, horizon).miss_count() == 0;
+  for (auto policy : {rt::Policy::kRm, rt::Policy::kDm, rt::Policy::kLlf}) {
+    const bool other_ok = rt::simulate(ts, policy, horizon).miss_count() == 0;
+    if (other_ok) {
+      EXPECT_TRUE(edf_ok) << "policy beat EDF";
+    }
+  }
+  // Consistency with the analytical test for implicit deadlines.
+  if (ts.utilization() <= 1.0) {
+    EXPECT_TRUE(edf_ok);
+  }
+}
+
+}  // namespace
+}  // namespace rtg

@@ -1,0 +1,130 @@
+#include "rt/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtg::rt {
+namespace {
+
+Task make(Time c, Time p, Time d, Time cs = 0) {
+  Task t;
+  t.c = c;
+  t.p = p;
+  t.d = d;
+  t.critical_section = cs;
+  return t;
+}
+
+TEST(LiuLayland, KnownValues) {
+  EXPECT_DOUBLE_EQ(liu_layland_bound(0), 1.0);
+  EXPECT_DOUBLE_EQ(liu_layland_bound(1), 1.0);
+  EXPECT_NEAR(liu_layland_bound(2), 2.0 * (std::sqrt(2.0) - 1.0), 1e-12);
+  EXPECT_NEAR(liu_layland_bound(1000), std::log(2.0), 1e-3);
+}
+
+TEST(RmUtilizationTest, AcceptsUnderBoundRejectsAbove) {
+  // U = 0.5 <= 0.828 for n=2.
+  EXPECT_TRUE(rm_utilization_test(TaskSet({make(1, 4, 4), make(1, 4, 4)})));
+  // U = 1.0 > bound for n=2.
+  EXPECT_FALSE(rm_utilization_test(TaskSet({make(2, 4, 4), make(2, 4, 4)})));
+}
+
+TEST(PriorityOrder, RateAndDeadlineMonotonic) {
+  TaskSet ts({make(1, 10, 4), make(1, 5, 9)});
+  EXPECT_EQ(priority_order(ts, PriorityOrder::kRateMonotonic),
+            (std::vector<std::size_t>{1, 0}));
+  EXPECT_EQ(priority_order(ts, PriorityOrder::kDeadlineMonotonic),
+            (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(ResponseTimes, ClassicTwoTaskExample) {
+  // hp: c=1, p=4; lp: c=2, p=6 -> R_lp = 2 + ceil(R/4)*1 -> 3.
+  TaskSet ts({make(1, 4, 4), make(2, 6, 6)});
+  const auto rts = response_times(ts, PriorityOrder::kRateMonotonic);
+  ASSERT_TRUE(rts[0].has_value());
+  ASSERT_TRUE(rts[1].has_value());
+  EXPECT_EQ(*rts[0], 1);
+  EXPECT_EQ(*rts[1], 3);
+}
+
+TEST(ResponseTimes, UnschedulableTaskReportsNullopt) {
+  TaskSet ts({make(3, 4, 4), make(3, 6, 6)});  // U > 1
+  const auto rts = response_times(ts, PriorityOrder::kRateMonotonic);
+  EXPECT_TRUE(rts[0].has_value());
+  EXPECT_FALSE(rts[1].has_value());
+}
+
+TEST(ResponseTimes, BlockingFromLowerPriorityCriticalSection) {
+  // High-priority task blocked by the low-priority 2-slot monitor call.
+  TaskSet ts({make(1, 10, 10), make(4, 20, 20, 2)});
+  const auto rts = response_times(ts, PriorityOrder::kRateMonotonic);
+  ASSERT_TRUE(rts[0].has_value());
+  EXPECT_EQ(*rts[0], 3);  // 1 + blocking 2
+}
+
+TEST(ResponseTimes, RequiresConstrainedDeadlines) {
+  TaskSet ts({make(1, 4, 10)});
+  EXPECT_THROW((void)response_times(ts, PriorityOrder::kRateMonotonic),
+               std::invalid_argument);
+}
+
+TEST(FixedPrioritySchedulable, BoundaryCase) {
+  // RM-schedulable beyond the LL bound (harmonic periods, U = 1).
+  TaskSet ts({make(1, 2, 2), make(2, 4, 4)});
+  EXPECT_TRUE(fixed_priority_schedulable(ts, PriorityOrder::kRateMonotonic));
+  EXPECT_FALSE(rm_utilization_test(ts));  // utilization test is only sufficient
+}
+
+TEST(DemandBound, StepsAtDeadlines) {
+  TaskSet ts({make(2, 5, 4)});
+  EXPECT_EQ(demand_bound(ts, 3), 0);
+  EXPECT_EQ(demand_bound(ts, 4), 2);
+  EXPECT_EQ(demand_bound(ts, 8), 2);
+  EXPECT_EQ(demand_bound(ts, 9), 4);
+}
+
+TEST(EdfSchedulable, ImplicitDeadlineFullUtilization) {
+  TaskSet ts({make(1, 2, 2), make(2, 4, 4)});  // U = 1
+  EXPECT_TRUE(edf_schedulable(ts));
+}
+
+TEST(EdfSchedulable, OverUtilizationRejected) {
+  TaskSet ts({make(3, 4, 4), make(2, 4, 4)});
+  EXPECT_FALSE(edf_schedulable(ts));
+}
+
+TEST(EdfSchedulable, ConstrainedDeadlineDemandViolation) {
+  // Two tasks each needing 2 slots by t=2: h(2) = 4 > 2.
+  TaskSet ts({make(2, 10, 2), make(2, 10, 2)});
+  EXPECT_FALSE(edf_schedulable(ts));
+}
+
+TEST(EdfSchedulable, ConstrainedDeadlineFeasible) {
+  TaskSet ts({make(1, 4, 2), make(1, 4, 3)});
+  EXPECT_TRUE(edf_schedulable(ts));
+}
+
+TEST(EdfSchedulable, EmptySetTriviallySchedulable) {
+  EXPECT_TRUE(edf_schedulable(TaskSet{}));
+}
+
+TEST(EdfSchedulable, RejectsUnconstrainedDeadlines) {
+  TaskSet ts({make(1, 2, 5)});
+  EXPECT_THROW((void)edf_schedulable(ts), std::invalid_argument);
+}
+
+TEST(EdfUtilizationTest, SimpleThreshold) {
+  EXPECT_TRUE(edf_utilization_test(TaskSet({make(1, 2, 2), make(1, 2, 2)})));
+  EXPECT_FALSE(edf_utilization_test(TaskSet({make(3, 4, 4), make(2, 4, 4)})));
+}
+
+TEST(EdfVsRm, EdfStrictlyMoreCapable) {
+  // U = 1 non-harmonic: EDF yes, RM no.
+  TaskSet ts({make(2, 4, 4), make(3, 6, 6)});
+  EXPECT_TRUE(edf_schedulable(ts));
+  EXPECT_FALSE(fixed_priority_schedulable(ts, PriorityOrder::kRateMonotonic));
+}
+
+}  // namespace
+}  // namespace rtg::rt

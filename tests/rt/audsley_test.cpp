@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "rt/analysis.hpp"
+
+namespace rtg::rt {
+namespace {
+
+Task make(Time c, Time p, Time d, Time cs = 0) {
+  Task t;
+  t.c = c;
+  t.p = p;
+  t.d = d;
+  t.critical_section = cs;
+  return t;
+}
+
+TEST(ResponseTimeUnder, MatchesRmAnalysisUnderRmOrder) {
+  TaskSet ts({make(1, 4, 4), make(2, 6, 6)});
+  const auto rm = response_times(ts, PriorityOrder::kRateMonotonic);
+  const std::vector<std::size_t> order{0, 1};  // RM order here
+  EXPECT_EQ(response_time_under(ts, order, 0), rm[0]);
+  EXPECT_EQ(response_time_under(ts, order, 1), rm[1]);
+}
+
+TEST(ResponseTimeUnder, OrderMatters) {
+  TaskSet ts({make(1, 4, 4), make(2, 6, 6)});
+  // Inverted order: the short task waits behind the long one.
+  const std::vector<std::size_t> inverted{1, 0};
+  const auto rt0 = response_time_under(ts, inverted, 0);
+  ASSERT_TRUE(rt0.has_value());
+  EXPECT_EQ(*rt0, 3);  // 1 + interference 2
+}
+
+TEST(ResponseTimeUnder, MissingTaskThrows) {
+  TaskSet ts({make(1, 4, 4)});
+  EXPECT_THROW((void)response_time_under(ts, {0}, 3), std::invalid_argument);
+  EXPECT_THROW((void)response_time_under(ts, {}, 0), std::invalid_argument);
+}
+
+TEST(Audsley, FindsAssignmentWhereDmFails) {
+  // Classic OPA showcase uses offsets/jitter; with plain constrained
+  // deadlines DM is optimal, so here Audsley must simply agree with DM
+  // on feasibility.
+  TaskSet ts({make(2, 10, 5), make(2, 10, 7), make(2, 10, 9)});
+  const auto order = audsley_assignment(ts);
+  ASSERT_TRUE(order.has_value());
+  // All three meet their deadlines under the returned order.
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto rt = response_time_under(ts, *order, i);
+    ASSERT_TRUE(rt.has_value()) << i;
+    EXPECT_LE(*rt, ts[i].d);
+  }
+}
+
+TEST(Audsley, AgreesWithDmOnRandomSets) {
+  // DM is optimal for synchronous constrained-deadline sets without
+  // blocking, so audsley-feasible == dm-feasible.
+  const Time params[][3] = {
+      {1, 5, 3}, {2, 7, 6}, {1, 4, 2}, {3, 11, 9}, {2, 9, 4},
+  };
+  for (int mask = 1; mask < 32; ++mask) {
+    TaskSet ts;
+    for (int bit = 0; bit < 5; ++bit) {
+      if (mask & (1 << bit)) {
+        ts.add(make(params[bit][0], params[bit][1], params[bit][2]));
+      }
+    }
+    const bool dm = fixed_priority_schedulable(ts, PriorityOrder::kDeadlineMonotonic);
+    const bool opa = audsley_assignment(ts).has_value();
+    EXPECT_EQ(dm, opa) << "mask " << mask;
+  }
+}
+
+TEST(Audsley, InfeasibleSetRejected) {
+  TaskSet ts({make(3, 4, 4), make(3, 4, 4)});
+  EXPECT_EQ(audsley_assignment(ts), std::nullopt);
+}
+
+TEST(Audsley, SingleTask) {
+  TaskSet ts({make(2, 5, 3)});
+  const auto order = audsley_assignment(ts);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<std::size_t>{0}));
+}
+
+TEST(Audsley, EmptySet) {
+  TaskSet ts;
+  const auto order = audsley_assignment(ts);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_TRUE(order->empty());
+}
+
+TEST(Audsley, RequiresConstrainedDeadlines) {
+  TaskSet ts({make(1, 4, 9)});
+  EXPECT_THROW((void)audsley_assignment(ts), std::invalid_argument);
+}
+
+TEST(Audsley, BlockingAwareAssignment) {
+  // The low-priority task's critical section blocks whoever sits above
+  // it; Audsley must still find the workable order.
+  TaskSet ts({make(1, 6, 3), make(3, 12, 12, 2)});
+  const auto order = audsley_assignment(ts);
+  ASSERT_TRUE(order.has_value());
+  // The urgent task cannot sit at the bottom (interference 3 > d - c),
+  // so Audsley must put it on top, where blocking 2 + c 1 just fits.
+  EXPECT_EQ((*order)[0], 0u);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const auto rt = response_time_under(ts, *order, i);
+    ASSERT_TRUE(rt.has_value());
+    EXPECT_LE(*rt, ts[i].d);
+  }
+}
+
+}  // namespace
+}  // namespace rtg::rt

@@ -1,0 +1,169 @@
+#include "rt/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "rt/analysis.hpp"
+
+namespace rtg::rt {
+namespace {
+
+Task make(Time c, Time p, Time d, Arrival arrival = Arrival::kPeriodic, Time cs = 0) {
+  Task t;
+  t.c = c;
+  t.p = p;
+  t.d = d;
+  t.arrival = arrival;
+  t.critical_section = cs;
+  return t;
+}
+
+TEST(Simulate, EmptySetIdles) {
+  const SimResult r = simulate(TaskSet{}, Policy::kEdf, 5);
+  EXPECT_EQ(r.trace.size(), 5u);
+  EXPECT_EQ(r.trace.idle_count(), 5u);
+  EXPECT_TRUE(r.jobs.empty());
+}
+
+TEST(Simulate, SingleTaskRunsEveryPeriod) {
+  TaskSet ts({make(2, 5, 5)});
+  const SimResult r = simulate(ts, Policy::kEdf, 10);
+  EXPECT_EQ(r.jobs.size(), 2u);
+  EXPECT_EQ(r.miss_count(), 0u);
+  EXPECT_EQ(r.trace.count(0), 4u);
+  EXPECT_EQ(r.jobs[0].completion, 2);
+  EXPECT_EQ(r.jobs[1].completion, 7);
+}
+
+TEST(Simulate, EdfMeetsFullUtilization) {
+  TaskSet ts({make(1, 2, 2), make(2, 4, 4)});
+  const SimResult r = simulate(ts, Policy::kEdf, ts.hyperperiod() * 4);
+  EXPECT_EQ(r.miss_count(), 0u);
+  EXPECT_EQ(r.trace.idle_count(), 0u);  // U = 1
+}
+
+TEST(Simulate, RmMissesWhereEdfSucceeds) {
+  // U = 1 non-harmonic: classic RM overload.
+  TaskSet ts({make(2, 4, 4), make(3, 6, 6)});
+  const SimResult edf = simulate(ts, Policy::kEdf, ts.hyperperiod() * 2);
+  const SimResult rm = simulate(ts, Policy::kRm, ts.hyperperiod() * 2);
+  EXPECT_EQ(edf.miss_count(), 0u);
+  EXPECT_GT(rm.miss_count(), 0u);
+}
+
+TEST(Simulate, LlfMeetsFullUtilization) {
+  TaskSet ts({make(2, 4, 4), make(3, 6, 6)});
+  const SimResult r = simulate(ts, Policy::kLlf, ts.hyperperiod() * 2);
+  EXPECT_EQ(r.miss_count(), 0u);
+}
+
+TEST(Simulate, DmPrioritizesShorterDeadline) {
+  TaskSet ts({make(1, 10, 9), make(1, 10, 2)});
+  const SimResult r = simulate(ts, Policy::kDm, 10);
+  // Task 1 (d=2) must run first.
+  EXPECT_EQ(r.trace[0], 1u);
+  EXPECT_EQ(r.trace[1], 0u);
+}
+
+TEST(Simulate, ResponseTimeMatchesAnalysis) {
+  TaskSet ts({make(1, 4, 4), make(2, 6, 6)});
+  const SimResult r = simulate(ts, Policy::kRm, ts.hyperperiod());
+  const auto rta = response_times(ts, PriorityOrder::kRateMonotonic);
+  EXPECT_EQ(r.worst_response(0), *rta[0]);
+  EXPECT_EQ(r.worst_response(1), *rta[1]);
+}
+
+TEST(Simulate, CriticalSectionBlocksHigherPriority) {
+  // Task 1 (periodic) starts its 3-slot critical section at t=0; the
+  // urgent sporadic task 0 arrives at t=1 with deadline 3 and is
+  // blocked until t=3 — priority inversion makes it miss.
+  TaskSet ts;
+  ts.add(make(1, 8, 2, Arrival::kSporadic));
+  ts.add(make(3, 12, 12, Arrival::kPeriodic, 3));
+  ArrivalStreams arrivals{{1}, {}};
+  const SimResult r = simulate(ts, Policy::kEdf, 12, &arrivals);
+  EXPECT_EQ(r.trace[0], 1u);
+  EXPECT_EQ(r.trace[1], 1u);  // would be task 0 without the CS
+  EXPECT_EQ(r.trace[2], 1u);
+  EXPECT_EQ(r.trace[3], 0u);
+  EXPECT_EQ(r.miss_count(), 1u);  // the blocked sporadic job
+
+  // Pipelined control: unit critical section removes the inversion.
+  TaskSet ts2;
+  ts2.add(make(1, 8, 2, Arrival::kSporadic));
+  ts2.add(make(3, 12, 12, Arrival::kPeriodic, 1));
+  const SimResult r2 = simulate(ts2, Policy::kEdf, 12, &arrivals);
+  EXPECT_EQ(r2.miss_count(), 0u);
+  EXPECT_EQ(r2.trace[1], 0u);  // preempts after the unit section
+}
+
+TEST(Simulate, PreemptionWithoutCriticalSection) {
+  // Task 1 (long, late deadline) is preempted when task 0 re-releases.
+  TaskSet ts({make(1, 3, 3), make(5, 9, 9)});
+  const SimResult r = simulate(ts, Policy::kEdf, 9);
+  EXPECT_EQ(r.miss_count(), 0u);
+  // t=0: task0 (d=3); t=1,2: task1; t=3: task0 (d=6) preempts task1.
+  EXPECT_EQ(r.trace[0], 0u);
+  EXPECT_EQ(r.trace[3], 0u);
+}
+
+TEST(Simulate, SporadicUsesArrivalStream) {
+  TaskSet ts;
+  ts.add(make(2, 5, 5, Arrival::kSporadic));
+  ArrivalStreams arrivals{{1, 7}};
+  const SimResult r = simulate(ts, Policy::kEdf, 12, &arrivals);
+  ASSERT_EQ(r.jobs.size(), 2u);
+  EXPECT_EQ(r.jobs[0].release, 1);
+  EXPECT_EQ(r.jobs[1].release, 7);
+  EXPECT_EQ(r.miss_count(), 0u);
+  EXPECT_EQ(r.trace[0], sim::kIdle);
+}
+
+TEST(Simulate, SporadicWithoutStreamThrows) {
+  TaskSet ts;
+  ts.add(make(1, 5, 5, Arrival::kSporadic));
+  EXPECT_THROW((void)simulate(ts, Policy::kEdf, 10), std::invalid_argument);
+}
+
+TEST(Simulate, MinSeparationViolationThrows) {
+  TaskSet ts;
+  ts.add(make(1, 5, 5, Arrival::kSporadic));
+  ArrivalStreams arrivals{{0, 3}};
+  EXPECT_THROW((void)simulate(ts, Policy::kEdf, 10, &arrivals), std::invalid_argument);
+}
+
+TEST(Simulate, OverloadProducesMisses) {
+  TaskSet ts({make(3, 4, 4), make(3, 4, 4)});  // U = 1.5
+  const SimResult r = simulate(ts, Policy::kEdf, 16);
+  EXPECT_GT(r.miss_count(), 0u);
+}
+
+TEST(Simulate, UnfinishedJobAtHorizonCountsAsMiss) {
+  TaskSet ts({make(10, 20, 20)});
+  const SimResult r = simulate(ts, Policy::kEdf, 5);
+  ASSERT_EQ(r.jobs.size(), 1u);
+  EXPECT_FALSE(r.jobs[0].completed());
+  EXPECT_TRUE(r.jobs[0].missed());
+}
+
+TEST(MaxRateArrivals, SpacedByMinSep) {
+  const auto a = max_rate_arrivals(4, 10);
+  EXPECT_EQ(a, (std::vector<Time>{0, 4, 8}));
+  EXPECT_THROW((void)max_rate_arrivals(0, 10), std::invalid_argument);
+}
+
+TEST(RandomArrivals, RespectsMinSeparation) {
+  sim::Rng rng(3);
+  const auto a = random_arrivals(5, 200, 2.0, rng);
+  ASSERT_GE(a.size(), 2u);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_GE(a[i] - a[i - 1], 5);
+  }
+}
+
+TEST(RandomArrivals, ZeroExtraIsMaxRate) {
+  sim::Rng rng(3);
+  EXPECT_EQ(random_arrivals(4, 10, 0.0, rng), max_rate_arrivals(4, 10));
+}
+
+}  // namespace
+}  // namespace rtg::rt

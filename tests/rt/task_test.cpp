@@ -1,0 +1,87 @@
+#include "rt/task.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace rtg::rt {
+namespace {
+
+Task make(Time c, Time p, Time d) {
+  Task t;
+  t.c = c;
+  t.p = p;
+  t.d = d;
+  return t;
+}
+
+TEST(Task, UtilizationAndDensity) {
+  const Task t = make(2, 10, 5);
+  EXPECT_DOUBLE_EQ(t.utilization(), 0.2);
+  EXPECT_DOUBLE_EQ(t.density(), 0.4);
+}
+
+TEST(TaskSet, AddValidates) {
+  TaskSet ts;
+  EXPECT_THROW(ts.add(make(0, 5, 5)), std::invalid_argument);
+  EXPECT_THROW(ts.add(make(1, 0, 5)), std::invalid_argument);
+  EXPECT_THROW(ts.add(make(1, 5, 0)), std::invalid_argument);
+  EXPECT_EQ(ts.add(make(1, 5, 5)), 0u);
+  EXPECT_EQ(ts.size(), 1u);
+}
+
+TEST(TaskSet, CriticalSectionBounds) {
+  Task t = make(3, 10, 10);
+  t.critical_section = 4;  // > c
+  TaskSet ts;
+  EXPECT_THROW(ts.add(t), std::invalid_argument);
+  t.critical_section = 3;
+  EXPECT_NO_THROW(ts.add(t));
+}
+
+TEST(TaskSet, UtilizationSums) {
+  TaskSet ts({make(1, 4, 4), make(1, 2, 2)});
+  EXPECT_DOUBLE_EQ(ts.utilization(), 0.75);
+}
+
+TEST(TaskSet, DensityUsesMinOfPandD) {
+  TaskSet ts({make(2, 10, 4)});
+  EXPECT_DOUBLE_EQ(ts.density(), 0.5);
+}
+
+TEST(TaskSet, HyperperiodIsLcm) {
+  TaskSet ts({make(1, 4, 4), make(1, 6, 6), make(1, 10, 10)});
+  EXPECT_EQ(ts.hyperperiod(), 60);
+}
+
+TEST(TaskSet, HyperperiodOfEmptySetIsOne) {
+  TaskSet ts;
+  EXPECT_EQ(ts.hyperperiod(), 1);
+}
+
+TEST(TaskSet, MaxDeadline) {
+  TaskSet ts({make(1, 4, 3), make(1, 6, 9)});
+  EXPECT_EQ(ts.max_deadline(), 9);
+}
+
+TEST(TaskSet, ConstrainedDeadlinesDetection) {
+  TaskSet constrained({make(1, 4, 4), make(1, 6, 3)});
+  EXPECT_TRUE(constrained.constrained_deadlines());
+  TaskSet unconstrained({make(1, 4, 8)});
+  EXPECT_FALSE(unconstrained.constrained_deadlines());
+}
+
+TEST(LcmChecked, BasicAndOverflow) {
+  EXPECT_EQ(lcm_checked(4, 6), 12);
+  EXPECT_EQ(lcm_checked(1, 7), 7);
+  EXPECT_THROW((void)lcm_checked(INT64_MAX - 1, INT64_MAX - 2), std::overflow_error);
+}
+
+TEST(TaskSet, IndexingIsBoundsChecked) {
+  TaskSet ts({make(1, 2, 2)});
+  EXPECT_EQ(ts[0].c, 1);
+  EXPECT_THROW((void)ts[5], std::out_of_range);
+}
+
+}  // namespace
+}  // namespace rtg::rt

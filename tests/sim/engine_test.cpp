@@ -1,0 +1,85 @@
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rtg::sim {
+namespace {
+
+TEST(Engine, ClockStartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(Engine, RunsEventsInOrder) {
+  Engine engine;
+  std::vector<Time> fired;
+  engine.schedule_at(5, [&](Engine& e) { fired.push_back(e.now()); });
+  engine.schedule_at(2, [&](Engine& e) { fired.push_back(e.now()); });
+  engine.schedule_at(9, [&](Engine& e) { fired.push_back(e.now()); });
+  EXPECT_EQ(engine.run_all(), 3u);
+  EXPECT_EQ(fired, (std::vector<Time>{2, 5, 9}));
+  EXPECT_EQ(engine.now(), 9);
+}
+
+TEST(Engine, CallbacksCanScheduleMore) {
+  Engine engine;
+  int count = 0;
+  std::function<void(Engine&)> tick = [&](Engine& e) {
+    ++count;
+    if (count < 5) e.schedule_after(3, tick);
+  };
+  engine.schedule_at(0, tick);
+  engine.run_all();
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(engine.now(), 12);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine engine;
+  std::vector<Time> fired;
+  for (Time t : {1, 4, 7, 10}) {
+    engine.schedule_at(t, [&](Engine& e) { fired.push_back(e.now()); });
+  }
+  EXPECT_EQ(engine.run_until(7), 3u);
+  EXPECT_EQ(fired, (std::vector<Time>{1, 4, 7}));
+  EXPECT_EQ(engine.now(), 7);
+  EXPECT_EQ(engine.pending(), 1u);
+}
+
+TEST(Engine, RunUntilAdvancesClockWhenIdle) {
+  Engine engine;
+  EXPECT_EQ(engine.run_until(100), 0u);
+  EXPECT_EQ(engine.now(), 100);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.schedule_at(10, [](Engine&) {});
+  engine.run_all();
+  EXPECT_THROW(engine.schedule_at(5, [](Engine&) {}), std::invalid_argument);
+}
+
+TEST(Engine, SameTimeEventsRunFifo) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3, [&](Engine&) { order.push_back(1); });
+  engine.schedule_at(3, [&](Engine&) { order.push_back(2); });
+  engine.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine engine;
+  Time observed = -1;
+  engine.schedule_at(4, [&](Engine& e) {
+    e.schedule_after(6, [&](Engine& inner) { observed = inner.now(); });
+  });
+  engine.run_all();
+  EXPECT_EQ(observed, 10);
+}
+
+}  // namespace
+}  // namespace rtg::sim

@@ -1,0 +1,76 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace rtg::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue<int> q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue<int> q;
+  q.push(5, 50);
+  q.push(1, 10);
+  q.push(3, 30);
+  EXPECT_EQ(q.next_time(), 1);
+  EXPECT_EQ(q.pop(), (std::pair<Time, int>{1, 10}));
+  EXPECT_EQ(q.pop(), (std::pair<Time, int>{3, 30}));
+  EXPECT_EQ(q.pop(), (std::pair<Time, int>{5, 50}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+  EventQueue<std::string> q;
+  q.push(2, "first");
+  q.push(2, "second");
+  q.push(2, "third");
+  EXPECT_EQ(q.pop().second, "first");
+  EXPECT_EQ(q.pop().second, "second");
+  EXPECT_EQ(q.pop().second, "third");
+}
+
+TEST(EventQueue, InterleavedPushPop) {
+  EventQueue<int> q;
+  q.push(10, 1);
+  q.push(20, 2);
+  EXPECT_EQ(q.pop().second, 1);
+  q.push(15, 3);
+  EXPECT_EQ(q.pop().second, 3);
+  EXPECT_EQ(q.pop().second, 2);
+}
+
+TEST(EventQueue, NegativeTimesAllowed) {
+  EventQueue<int> q;
+  q.push(-5, 1);
+  q.push(0, 2);
+  EXPECT_EQ(q.pop().first, -5);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue<int> q;
+  q.push(1, 1);
+  q.push(2, 2);
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  // FIFO sequence restarts after clear.
+  q.push(7, 10);
+  q.push(7, 11);
+  EXPECT_EQ(q.pop().second, 10);
+}
+
+TEST(EventQueue, SizeTracksContents) {
+  EventQueue<int> q;
+  for (int i = 0; i < 10; ++i) q.push(i, i);
+  EXPECT_EQ(q.size(), 10u);
+  (void)q.pop();
+  EXPECT_EQ(q.size(), 9u);
+}
+
+}  // namespace
+}  // namespace rtg::sim

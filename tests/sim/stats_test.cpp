@@ -1,0 +1,102 @@
+#include "sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rtg::sim {
+namespace {
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 0.0);
+  EXPECT_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, SingleSample) {
+  Accumulator acc;
+  acc.add(4.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 4.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, NegativeValues) {
+  Accumulator acc;
+  acc.add(-3.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.min(), -3.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Percentile, MedianOfOddSet) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 0.5), 2.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  EXPECT_DOUBLE_EQ(percentile({1, 2, 3, 4}, 0.5), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 1.0), 9.0);
+}
+
+TEST(Percentile, OutOfRangeThrows) {
+  EXPECT_THROW((void)percentile({1.0}, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile({1.0}, 1.1), std::invalid_argument);
+}
+
+TEST(Histogram, BinsCounts) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(3.0);   // bin 1
+  h.add(9.9);   // bin 4
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 10.0, 2);
+  h.add(-5.0);
+  h.add(50.0);
+  EXPECT_EQ(h.bin_count(0), 1u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(2), 5.0);
+  EXPECT_THROW((void)h.bin_lo(4), std::out_of_range);
+}
+
+TEST(Histogram, BadConstructionThrows) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtg::sim

@@ -1,0 +1,97 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace rtg::sim {
+namespace {
+
+TEST(ExecutionTrace, StartsEmpty) {
+  ExecutionTrace trace;
+  EXPECT_TRUE(trace.empty());
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.utilization(), 0.0);
+}
+
+TEST(ExecutionTrace, AppendAndIndex) {
+  ExecutionTrace trace;
+  trace.append(3);
+  trace.append_idle();
+  trace.append(1);
+  ASSERT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace[0], 3u);
+  EXPECT_EQ(trace[1], kIdle);
+  EXPECT_EQ(trace[2], 1u);
+}
+
+TEST(ExecutionTrace, AppendRunExpandsToSlots) {
+  ExecutionTrace trace;
+  trace.append_run(7, 3);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.count(7), 3u);
+}
+
+TEST(ExecutionTrace, AppendIdleCount) {
+  ExecutionTrace trace;
+  trace.append_idle(4);
+  EXPECT_EQ(trace.idle_count(), 4u);
+}
+
+TEST(ExecutionTrace, UtilizationFraction) {
+  ExecutionTrace trace;
+  trace.append_run(0, 3);
+  trace.append_idle(1);
+  EXPECT_DOUBLE_EQ(trace.utilization(), 0.75);
+}
+
+TEST(ExecutionTrace, CountPerElement) {
+  ExecutionTrace trace({0, 1, 0, kIdle, 0});
+  EXPECT_EQ(trace.count(0), 3u);
+  EXPECT_EQ(trace.count(1), 1u);
+  EXPECT_EQ(trace.count(9), 0u);
+  EXPECT_EQ(trace.idle_count(), 1u);
+}
+
+TEST(ExecutionTrace, WindowView) {
+  ExecutionTrace trace({0, 1, 2, 3, 4});
+  const auto w = trace.window(1, 4);
+  ASSERT_EQ(w.size(), 3u);
+  EXPECT_EQ(w[0], 1u);
+  EXPECT_EQ(w[2], 3u);
+}
+
+TEST(ExecutionTrace, WindowBadRangeThrows) {
+  ExecutionTrace trace({0, 1});
+  EXPECT_THROW((void)trace.window(1, 5), std::out_of_range);
+  EXPECT_THROW((void)trace.window(2, 1), std::out_of_range);
+}
+
+TEST(ExecutionTrace, AtBoundsChecked) {
+  ExecutionTrace trace({0});
+  EXPECT_EQ(trace.at(0), 0u);
+  EXPECT_THROW((void)trace.at(1), std::out_of_range);
+}
+
+TEST(ExecutionTrace, ToStringWithNames) {
+  ExecutionTrace trace({0, kIdle, 1});
+  const std::vector<std::string> names{"fx", "fs"};
+  EXPECT_EQ(trace.to_string(names), "fx . fs");
+}
+
+TEST(ExecutionTrace, ToStringFallsBackToIds) {
+  ExecutionTrace trace({5, kIdle});
+  EXPECT_EQ(trace.to_string(), "5 .");
+}
+
+TEST(ExecutionTrace, EqualityIsSlotwise) {
+  ExecutionTrace a({0, 1});
+  ExecutionTrace b({0, 1});
+  ExecutionTrace c({1, 0});
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace rtg::sim

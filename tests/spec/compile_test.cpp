@@ -1,0 +1,154 @@
+#include "spec/compile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::spec {
+namespace {
+
+constexpr const char* kControlSpec = R"(
+# Figure 1 / Figure 2 control system
+element fx
+element fy
+element fz
+element fs weight 2
+element fk
+
+channel fx -> fs -> fk
+channel fy -> fs
+channel fz -> fs
+channel fk -> fs
+
+constraint X periodic period 20 deadline 20 { fx -> fs -> fk }
+constraint Y periodic period 40 deadline 40 { fy -> fs -> fk }
+constraint Z sporadic separation 50 deadline 25 { fz -> fs }
+)";
+
+TEST(Compile, ControlSystemSpec) {
+  const CompileResult r = compile_text(kControlSpec);
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0].message);
+  const core::GraphModel& model = *r.model;
+  EXPECT_EQ(model.comm().size(), 5u);
+  EXPECT_EQ(model.constraint_count(), 3u);
+  EXPECT_EQ(model.comm().weight(*model.comm().find("fs")), 2);
+  const auto z = model.find_constraint("Z");
+  ASSERT_TRUE(z.has_value());
+  EXPECT_FALSE(model.constraint(*z).periodic());
+  EXPECT_EQ(model.constraint(*z).deadline, 25);
+}
+
+TEST(Compile, ChannelPathCreatesAllEdges) {
+  const CompileResult r = compile_text(
+      "element a\nelement b\nelement c\nchannel a -> b -> c\n");
+  ASSERT_TRUE(r.ok());
+  const auto& comm = r.model->comm();
+  EXPECT_TRUE(comm.has_channel(*comm.find("a"), *comm.find("b")));
+  EXPECT_TRUE(comm.has_channel(*comm.find("b"), *comm.find("c")));
+  EXPECT_FALSE(comm.has_channel(*comm.find("a"), *comm.find("c")));
+}
+
+TEST(Compile, InstanceSuffixMakesDistinctOps) {
+  const CompileResult r = compile_text(
+      "element a\nelement fs\n"
+      "channel a -> fs\nchannel fs -> a\n"
+      "constraint C sporadic separation 5 deadline 20 {\n"
+      "  fs#1 -> a -> fs#2\n"
+      "}\n");
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0].message);
+  const auto& tg = r.model->constraint(0).task_graph;
+  EXPECT_EQ(tg.size(), 3u);
+  EXPECT_TRUE(tg.has_repeated_labels());
+}
+
+TEST(Compile, SameReferenceSameOp) {
+  const CompileResult r = compile_text(
+      "element a\nelement b\nelement c\n"
+      "channel a -> c\nchannel b -> c\n"
+      "constraint C periodic period 9 deadline 9 {\n"
+      "  a -> c;\n"
+      "  b -> c\n"
+      "}\n");
+  ASSERT_TRUE(r.ok());
+  // c referenced twice without suffix: one op with two predecessors.
+  const auto& tg = r.model->constraint(0).task_graph;
+  EXPECT_EQ(tg.size(), 3u);
+}
+
+TEST(Compile, DuplicateElementRejected) {
+  const CompileResult r = compile_text("element a\nelement a\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("duplicate element"), std::string::npos);
+}
+
+TEST(Compile, UndeclaredChannelEndpoint) {
+  const CompileResult r = compile_text("element a\nchannel a -> ghost\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("undeclared element"), std::string::npos);
+}
+
+TEST(Compile, SelfChannelRejected) {
+  const CompileResult r = compile_text("element a\nchannel a -> a\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("self channel"), std::string::npos);
+}
+
+TEST(Compile, ConstraintOverMissingChannel) {
+  const CompileResult r = compile_text(
+      "element a\nelement b\n"
+      "constraint C periodic period 5 deadline 5 { a -> b }\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("no channel"), std::string::npos);
+}
+
+TEST(Compile, ConstraintWithUndeclaredElement) {
+  const CompileResult r = compile_text(
+      "element a\nconstraint C periodic period 5 deadline 5 { ghost }\n");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST(Compile, DuplicateConstraintName) {
+  const CompileResult r = compile_text(
+      "element a\n"
+      "constraint C periodic period 5 deadline 5 { a }\n"
+      "constraint C periodic period 6 deadline 6 { a }\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("duplicate constraint"), std::string::npos);
+}
+
+TEST(Compile, CyclicTaskGraphRejected) {
+  const CompileResult r = compile_text(
+      "element a\nelement b\n"
+      "channel a -> b\nchannel b -> a\n"
+      "constraint C periodic period 5 deadline 5 { a -> b; b -> a }\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("cyclic"), std::string::npos);
+}
+
+TEST(Compile, NonPositiveParametersRejected) {
+  EXPECT_FALSE(compile_text("element a weight 0\n").ok());
+  EXPECT_FALSE(
+      compile_text("element a\nconstraint C periodic period 0 deadline 5 { a }\n").ok());
+  EXPECT_FALSE(
+      compile_text("element a\nconstraint C periodic period 5 deadline 0 { a }\n").ok());
+}
+
+TEST(Compile, NopipelineFlagPropagates) {
+  const CompileResult r = compile_text("element act weight 3 nopipeline\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.model->comm().pipelinable(*r.model->comm().find("act")));
+}
+
+TEST(Compile, ParseErrorsSurfaceAsCompileErrors) {
+  const CompileResult r = compile_text("channel\n");
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.errors.empty());
+}
+
+TEST(Compile, EmptyConstraintBodyRejected) {
+  const CompileResult r = compile_text(
+      "element a\nconstraint C periodic period 5 deadline 5 { }\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("empty body"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtg::spec

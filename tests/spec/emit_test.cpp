@@ -1,0 +1,148 @@
+#include "spec/emit.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/model.hpp"
+#include "spec/compile.hpp"
+
+namespace rtg::spec {
+namespace {
+
+using core::ConstraintKind;
+using core::GraphModel;
+using core::TaskGraph;
+using core::TimingConstraint;
+
+// Structural equivalence checks used by the round-trip tests.
+void expect_equivalent(const GraphModel& a, const GraphModel& b) {
+  ASSERT_EQ(a.comm().size(), b.comm().size());
+  for (core::ElementId e = 0; e < a.comm().size(); ++e) {
+    const auto other = b.comm().find(a.comm().name(e));
+    ASSERT_TRUE(other.has_value()) << a.comm().name(e);
+    EXPECT_EQ(a.comm().weight(e), b.comm().weight(*other));
+    EXPECT_EQ(a.comm().pipelinable(e), b.comm().pipelinable(*other));
+  }
+  EXPECT_EQ(a.comm().digraph().edge_count(), b.comm().digraph().edge_count());
+  ASSERT_EQ(a.constraint_count(), b.constraint_count());
+  for (std::size_t i = 0; i < a.constraint_count(); ++i) {
+    const auto j = b.find_constraint(a.constraint(i).name);
+    ASSERT_TRUE(j.has_value());
+    const TimingConstraint& ca = a.constraint(i);
+    const TimingConstraint& cb = b.constraint(*j);
+    EXPECT_EQ(ca.period, cb.period);
+    EXPECT_EQ(ca.deadline, cb.deadline);
+    EXPECT_EQ(ca.kind, cb.kind);
+    EXPECT_EQ(ca.task_graph.size(), cb.task_graph.size());
+    EXPECT_EQ(ca.task_graph.skeleton().edge_count(),
+              cb.task_graph.skeleton().edge_count());
+    EXPECT_EQ(ca.task_graph.computation_time(a.comm()),
+              cb.task_graph.computation_time(b.comm()));
+  }
+}
+
+TEST(Emit, ControlSystemRoundTrips) {
+  const GraphModel model = core::make_control_system();
+  const std::string text = emit(model);
+  const CompileResult compiled = compile_text(text);
+  ASSERT_TRUE(compiled.ok()) << text << "\n"
+                             << (compiled.errors.empty() ? ""
+                                                         : compiled.errors[0].message);
+  expect_equivalent(model, *compiled.model);
+}
+
+TEST(Emit, WeightsAndFlagsSerialized) {
+  core::CommGraph comm;
+  comm.add_element("light", 1);
+  comm.add_element("heavy", 5);
+  comm.add_element("frozen", 3, false);
+  const std::string text = emit(GraphModel(std::move(comm)));
+  EXPECT_NE(text.find("element light\n"), std::string::npos);
+  EXPECT_NE(text.find("element heavy weight 5"), std::string::npos);
+  EXPECT_NE(text.find("element frozen weight 3 nopipeline"), std::string::npos);
+}
+
+TEST(Emit, SporadicKeywordUsed) {
+  core::CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  tg.add_op(0);
+  model.add_constraint(
+      TimingConstraint{"Z", std::move(tg), 50, 25, ConstraintKind::kAsynchronous});
+  const std::string text = emit(model);
+  EXPECT_NE(text.find("sporadic separation 50 deadline 25"), std::string::npos);
+}
+
+TEST(Emit, RepeatedLabelsGetInstanceSuffixes) {
+  core::CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("fs", 1);
+  comm.add_channel(0, 1);
+  comm.add_channel(1, 0);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const auto s1 = tg.add_op(1);
+  const auto mid = tg.add_op(0);
+  const auto s2 = tg.add_op(1);
+  tg.add_dep(s1, mid);
+  tg.add_dep(mid, s2);
+  model.add_constraint(
+      TimingConstraint{"C", std::move(tg), 5, 20, ConstraintKind::kAsynchronous});
+
+  const std::string text = emit(model);
+  EXPECT_NE(text.find("fs#1"), std::string::npos);
+  EXPECT_NE(text.find("fs#2"), std::string::npos);
+
+  const CompileResult compiled = compile_text(text);
+  ASSERT_TRUE(compiled.ok()) << text;
+  expect_equivalent(model, *compiled.model);
+}
+
+TEST(Emit, IsolatedOpsEmittedAsSingleNodeChains) {
+  core::CommGraph comm;
+  comm.add_element("solo", 2);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  tg.add_op(0);
+  model.add_constraint(
+      TimingConstraint{"S", std::move(tg), 5, 10, ConstraintKind::kPeriodic});
+  const std::string text = emit(model);
+  EXPECT_NE(text.find("  solo;"), std::string::npos);
+  const CompileResult compiled = compile_text(text);
+  ASSERT_TRUE(compiled.ok());
+  expect_equivalent(model, *compiled.model);
+}
+
+TEST(Emit, EmptyModelCompiles) {
+  const std::string text = emit(GraphModel{});
+  EXPECT_TRUE(compile_text(text).ok());
+}
+
+TEST(Emit, RandomishDagRoundTrips) {
+  core::CommGraph comm;
+  for (int i = 0; i < 5; ++i) {
+    comm.add_element("e" + std::to_string(i), 1 + i % 3, i % 2 == 0);
+  }
+  for (core::ElementId u = 0; u < 5; ++u) {
+    for (core::ElementId v = u + 1; v < 5; ++v) {
+      if ((u + v) % 2 == 0) comm.add_channel(u, v);
+    }
+  }
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const auto a = tg.add_op(0);
+  const auto b = tg.add_op(2);
+  const auto c = tg.add_op(4);
+  tg.add_dep(a, b);
+  tg.add_dep(b, c);
+  tg.add_dep(a, c);
+  model.add_constraint(
+      TimingConstraint{"D", std::move(tg), 9, 30, ConstraintKind::kAsynchronous});
+
+  const CompileResult compiled = compile_text(emit(model));
+  ASSERT_TRUE(compiled.ok());
+  expect_equivalent(model, *compiled.model);
+}
+
+}  // namespace
+}  // namespace rtg::spec

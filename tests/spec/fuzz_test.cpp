@@ -1,0 +1,96 @@
+// Robustness sweeps: the spec front end must never crash, hang, or
+// accept garbage silently — random and adversarial inputs either
+// compile cleanly or produce diagnostics.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/schedule_io.hpp"
+#include "sim/rng.hpp"
+#include "spec/compile.hpp"
+#include "spec/parser.hpp"
+
+namespace rtg::spec {
+namespace {
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range<std::uint64_t>(0, 30));
+
+TEST_P(FuzzSweep, RandomBytesNeverCrashLexerOrParser) {
+  sim::Rng rng(GetParam() * 16127 + 3);
+  std::string input;
+  const int len = static_cast<int>(rng.uniform(0, 400));
+  for (int i = 0; i < len; ++i) {
+    input.push_back(static_cast<char>(rng.uniform(1, 126)));  // printable-ish
+  }
+  const ParseResult r = parse(input);
+  // Either it parsed or it reported errors; both are fine, crashing is not.
+  if (!r.ok()) {
+    EXPECT_FALSE(r.errors.empty());
+  }
+}
+
+TEST_P(FuzzSweep, RandomTokenSoupNeverCrashesCompiler) {
+  sim::Rng rng(GetParam() * 104729 + 11);
+  static const char* kTokens[] = {
+      "element", "channel",  "constraint", "periodic", "sporadic",
+      "period",  "deadline", "separation", "weight",   "nopipeline",
+      "->",      "{",        "}",          ";",        "a",
+      "b",       "fs",       "7",          "0",        "#x",
+      "\n"};
+  std::string input;
+  const int len = static_cast<int>(rng.uniform(0, 120));
+  for (int i = 0; i < len; ++i) {
+    input += kTokens[rng.uniform(0, static_cast<std::int64_t>(std::size(kTokens)) - 1)];
+    input += " ";
+  }
+  const CompileResult r = compile_text(input);
+  if (!r.ok()) {
+    EXPECT_FALSE(r.errors.empty());
+  } else {
+    // Anything accepted must be a structurally valid model.
+    for (std::size_t i = 0; i < r.model->constraint_count(); ++i) {
+      EXPECT_TRUE(
+          r.model->constraint(i).task_graph.validate(r.model->comm()).empty());
+    }
+  }
+}
+
+TEST_P(FuzzSweep, ScheduleParserNeverCrashes) {
+  sim::Rng rng(GetParam() * 31013 + 7);
+  core::CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("bb", 2);
+  std::string input;
+  static const char* kTokens[] = {"a", "bb", ".", ".3", ".0", "zz", "#c", "\n"};
+  const int len = static_cast<int>(rng.uniform(0, 60));
+  for (int i = 0; i < len; ++i) {
+    input += kTokens[rng.uniform(0, static_cast<std::int64_t>(std::size(kTokens)) - 1)];
+    input += " ";
+  }
+  const core::ScheduleParseResult r = core::schedule_from_text(input, comm);
+  if (r.ok()) {
+    EXPECT_TRUE(r.schedule->validate(comm).empty());
+  } else {
+    EXPECT_FALSE(r.errors.empty());
+  }
+}
+
+TEST(FuzzEdges, DeeplyNestedAndDegenerateInputs) {
+  // Long chains, pathological whitespace, huge idle counts.
+  std::string long_chain = "element a\nelement b\nchannel a -> b\n"
+                           "constraint C periodic period 4 deadline 9 { a";
+  for (int i = 0; i < 200; ++i) long_chain += " -> b -> a";
+  long_chain += " }\n";
+  const CompileResult r = compile_text(long_chain);
+  // a -> b is a channel but b -> a is not: must be rejected cleanly.
+  EXPECT_FALSE(r.ok());
+
+  EXPECT_FALSE(compile_text(std::string(1000, '{')).ok());
+  EXPECT_TRUE(parse(std::string(5000, ' ')).ok());
+  EXPECT_FALSE(compile_text("element a weight 99999999999999999999\n").ok());
+}
+
+}  // namespace
+}  // namespace rtg::spec

@@ -1,0 +1,102 @@
+#include "spec/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::spec {
+namespace {
+
+std::vector<TokenKind> kinds(const LexResult& r) {
+  std::vector<TokenKind> out;
+  for (const Token& t : r.tokens) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEnd) {
+  const LexResult r = lex("");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.tokens.size(), 1u);
+  EXPECT_EQ(r.tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(Lexer, IdentifiersAndInts) {
+  const LexResult r = lex("element fx weight 42");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(kinds(r), (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kIdent,
+                                              TokenKind::kIdent, TokenKind::kInt,
+                                              TokenKind::kEnd}));
+  EXPECT_EQ(r.tokens[1].text, "fx");
+  EXPECT_EQ(r.tokens[3].value, 42);
+}
+
+TEST(Lexer, SymbolsAndArrow) {
+  const LexResult r = lex("a -> b ; { }");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(kinds(r), (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kArrow,
+                                              TokenKind::kIdent, TokenKind::kSemi,
+                                              TokenKind::kLBrace, TokenKind::kRBrace,
+                                              TokenKind::kEnd}));
+}
+
+TEST(Lexer, CommentsSkippedToEol) {
+  const LexResult r = lex("# full line comment\nfx # trailing\nfy");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.tokens.size(), 3u);
+  EXPECT_EQ(r.tokens[0].text, "fx");
+  EXPECT_EQ(r.tokens[1].text, "fy");
+}
+
+TEST(Lexer, HashAfterIdentIsInstanceSuffix) {
+  const LexResult r = lex("fs#2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(kinds(r), (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kHash,
+                                              TokenKind::kInt, TokenKind::kEnd}));
+  EXPECT_EQ(r.tokens[2].value, 2);
+}
+
+TEST(Lexer, HashAfterSpaceIsComment) {
+  const LexResult r = lex("fs #2");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.tokens.size(), 2u);  // fs, end
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const LexResult r = lex("a\n  b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.tokens[0].line, 1u);
+  EXPECT_EQ(r.tokens[0].column, 1u);
+  EXPECT_EQ(r.tokens[1].line, 2u);
+  EXPECT_EQ(r.tokens[1].column, 3u);
+}
+
+TEST(Lexer, IdentifiersMayContainSlashAndDot) {
+  const LexResult r = lex("fs/0 ver1.2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.tokens[0].text, "fs/0");
+  EXPECT_EQ(r.tokens[1].text, "ver1.2");
+}
+
+TEST(Lexer, UnexpectedCharacterReported) {
+  const LexResult r = lex("a $ b");
+  ASSERT_FALSE(r.ok());
+  ASSERT_EQ(r.errors.size(), 1u);
+  EXPECT_NE(r.errors[0].message.find("unexpected character"), std::string::npos);
+  EXPECT_EQ(r.errors[0].column, 3u);
+}
+
+TEST(Lexer, OverflowingIntegerReported) {
+  const LexResult r = lex("99999999999999999999999999");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Lexer, LoneMinusIsError) {
+  const LexResult r = lex("a - b");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Lexer, TokenKindNames) {
+  EXPECT_EQ(token_kind_name(TokenKind::kArrow), "'->'");
+  EXPECT_EQ(token_kind_name(TokenKind::kIdent), "identifier");
+}
+
+}  // namespace
+}  // namespace rtg::spec

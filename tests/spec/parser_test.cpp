@@ -1,0 +1,137 @@
+#include "spec/parser.hpp"
+
+#include <gtest/gtest.h>
+
+namespace rtg::spec {
+namespace {
+
+TEST(Parser, EmptySpec) {
+  const ParseResult r = parse("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.file.elements.empty());
+  EXPECT_TRUE(r.file.constraints.empty());
+}
+
+TEST(Parser, ElementDeclarationVariants) {
+  const ParseResult r = parse(
+      "element fx\n"
+      "element fs weight 3\n"
+      "element act weight 2 nopipeline\n"
+      "element raw nopipeline\n");
+  ASSERT_TRUE(r.ok()) << r.errors[0].message;
+  ASSERT_EQ(r.file.elements.size(), 4u);
+  EXPECT_EQ(r.file.elements[0].name, "fx");
+  EXPECT_EQ(r.file.elements[0].weight, 1);
+  EXPECT_TRUE(r.file.elements[0].pipelinable);
+  EXPECT_EQ(r.file.elements[1].weight, 3);
+  EXPECT_FALSE(r.file.elements[2].pipelinable);
+  EXPECT_EQ(r.file.elements[2].weight, 2);
+  EXPECT_FALSE(r.file.elements[3].pipelinable);
+}
+
+TEST(Parser, ChannelPaths) {
+  const ParseResult r = parse("channel a -> b -> c\nchannel x -> y\n");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.file.channels.size(), 2u);
+  EXPECT_EQ(r.file.channels[0].path, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Parser, ChannelNeedsTwoEndpoints) {
+  const ParseResult r = parse("channel a\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, PeriodicConstraint) {
+  const ParseResult r = parse(
+      "constraint X periodic period 20 deadline 15 {\n"
+      "  fx -> fs -> fk\n"
+      "}\n");
+  ASSERT_TRUE(r.ok()) << r.errors[0].message;
+  ASSERT_EQ(r.file.constraints.size(), 1u);
+  const ConstraintDecl& c = r.file.constraints[0];
+  EXPECT_EQ(c.name, "X");
+  EXPECT_TRUE(c.periodic);
+  EXPECT_EQ(c.period, 20);
+  EXPECT_EQ(c.deadline, 15);
+  ASSERT_EQ(c.chains.size(), 1u);
+  ASSERT_EQ(c.chains[0].nodes.size(), 3u);
+  EXPECT_EQ(c.chains[0].nodes[1].element, "fs");
+}
+
+TEST(Parser, SporadicConstraintUsesSeparation) {
+  const ParseResult r = parse(
+      "constraint Z sporadic separation 50 deadline 25 { fz -> fs }\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.file.constraints[0].periodic);
+  EXPECT_EQ(r.file.constraints[0].period, 50);
+}
+
+TEST(Parser, WrongRateKeywordDiagnosed) {
+  const ParseResult r = parse(
+      "constraint Z sporadic period 50 deadline 25 { fz }\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("'separation'"), std::string::npos);
+  // Recovery still parsed the constraint body.
+  EXPECT_EQ(r.file.constraints.size(), 1u);
+}
+
+TEST(Parser, MultipleChainsAndInstances) {
+  const ParseResult r = parse(
+      "constraint C periodic period 9 deadline 9 {\n"
+      "  a -> fs#1;\n"
+      "  b -> fs#2;\n"
+      "  fs#1 -> fs#2\n"
+      "}\n");
+  ASSERT_TRUE(r.ok()) << r.errors[0].message;
+  const ConstraintDecl& c = r.file.constraints[0];
+  ASSERT_EQ(c.chains.size(), 3u);
+  EXPECT_EQ(c.chains[0].nodes[1].instance, 1);
+  EXPECT_EQ(c.chains[1].nodes[1].instance, 2);
+}
+
+TEST(Parser, SingleNodeChain) {
+  const ParseResult r = parse("constraint C sporadic separation 2 deadline 4 { a }\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.file.constraints[0].chains[0].nodes.size(), 1u);
+}
+
+TEST(Parser, MissingBraceReported) {
+  const ParseResult r = parse("constraint C periodic period 2 deadline 2 a -> b\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, UnclosedBodyReported) {
+  const ParseResult r = parse("constraint C periodic period 2 deadline 2 { a -> b\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, UnknownStatementRecoversToNext) {
+  const ParseResult r = parse(
+      "bogus stuff here\n"
+      "element fx\n");
+  ASSERT_FALSE(r.ok());
+  // The element after the junk is still parsed.
+  ASSERT_EQ(r.file.elements.size(), 1u);
+  EXPECT_EQ(r.file.elements[0].name, "fx");
+}
+
+TEST(Parser, MultipleErrorsReportedInOnePass) {
+  const ParseResult r = parse(
+      "channel a\n"
+      "channel b\n");
+  EXPECT_EQ(r.errors.size(), 2u);
+}
+
+TEST(Parser, LexErrorsSurface) {
+  const ParseResult r = parse("element $x\n");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Parser, MissingKindKeyword) {
+  const ParseResult r = parse("constraint C whenever period 2 deadline 2 { a }\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.errors[0].message.find("'periodic' or 'sporadic'"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rtg::spec
