@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_edf_baselines.dir/bench_edf_baselines.cpp.o"
+  "CMakeFiles/bench_edf_baselines.dir/bench_edf_baselines.cpp.o.d"
+  "bench_edf_baselines"
+  "bench_edf_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_edf_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exact_feasibility.dir/bench_exact_feasibility.cpp.o"
+  "CMakeFiles/bench_exact_feasibility.dir/bench_exact_feasibility.cpp.o.d"
+  "bench_exact_feasibility"
+  "bench_exact_feasibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exact_feasibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_halfutil_bound.dir/bench_halfutil_bound.cpp.o"
+  "CMakeFiles/bench_halfutil_bound.dir/bench_halfutil_bound.cpp.o.d"
+  "bench_halfutil_bound"
+  "bench_halfutil_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_halfutil_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

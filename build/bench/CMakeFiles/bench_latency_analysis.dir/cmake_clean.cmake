@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_analysis.dir/bench_latency_analysis.cpp.o"
+  "CMakeFiles/bench_latency_analysis.dir/bench_latency_analysis.cpp.o.d"
+  "bench_latency_analysis"
+  "bench_latency_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiproc.dir/bench_multiproc.cpp.o"
+  "CMakeFiles/bench_multiproc.dir/bench_multiproc.cpp.o.d"
+  "bench_multiproc"
+  "bench_multiproc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiproc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_network_topology.dir/bench_network_topology.cpp.o"
+  "CMakeFiles/bench_network_topology.dir/bench_network_topology.cpp.o.d"
+  "bench_network_topology"
+  "bench_network_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_network_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

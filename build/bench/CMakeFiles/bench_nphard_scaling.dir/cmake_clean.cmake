@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nphard_scaling.dir/bench_nphard_scaling.cpp.o"
+  "CMakeFiles/bench_nphard_scaling.dir/bench_nphard_scaling.cpp.o.d"
+  "bench_nphard_scaling"
+  "bench_nphard_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nphard_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimize_ablation.dir/bench_optimize_ablation.cpp.o"
+  "CMakeFiles/bench_optimize_ablation.dir/bench_optimize_ablation.cpp.o.d"
+  "bench_optimize_ablation"
+  "bench_optimize_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimize_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

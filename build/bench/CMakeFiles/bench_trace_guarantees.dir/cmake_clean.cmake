@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_trace_guarantees.dir/bench_trace_guarantees.cpp.o"
+  "CMakeFiles/bench_trace_guarantees.dir/bench_trace_guarantees.cpp.o.d"
+  "bench_trace_guarantees"
+  "bench_trace_guarantees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_trace_guarantees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

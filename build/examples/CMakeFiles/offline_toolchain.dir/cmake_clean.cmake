@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/offline_toolchain.dir/offline_toolchain.cpp.o"
+  "CMakeFiles/offline_toolchain.dir/offline_toolchain.cpp.o.d"
+  "offline_toolchain"
+  "offline_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/offline_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

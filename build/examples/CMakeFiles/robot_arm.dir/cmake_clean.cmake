@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robot_arm.dir/robot_arm.cpp.o"
+  "CMakeFiles/robot_arm.dir/robot_arm.cpp.o.d"
+  "robot_arm"
+  "robot_arm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robot_arm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bounds.cpp" "src/core/CMakeFiles/rtg_core.dir/bounds.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/bounds.cpp.o.d"
+  "/root/repo/src/core/dataflow.cpp" "src/core/CMakeFiles/rtg_core.dir/dataflow.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/dataflow.cpp.o.d"
+  "/root/repo/src/core/fault.cpp" "src/core/CMakeFiles/rtg_core.dir/fault.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/fault.cpp.o.d"
+  "/root/repo/src/core/feasibility.cpp" "src/core/CMakeFiles/rtg_core.dir/feasibility.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/feasibility.cpp.o.d"
+  "/root/repo/src/core/heuristic.cpp" "src/core/CMakeFiles/rtg_core.dir/heuristic.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/heuristic.cpp.o.d"
+  "/root/repo/src/core/latency.cpp" "src/core/CMakeFiles/rtg_core.dir/latency.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/latency.cpp.o.d"
+  "/root/repo/src/core/maintenance.cpp" "src/core/CMakeFiles/rtg_core.dir/maintenance.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/maintenance.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/rtg_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/multiproc.cpp" "src/core/CMakeFiles/rtg_core.dir/multiproc.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/multiproc.cpp.o.d"
+  "/root/repo/src/core/network.cpp" "src/core/CMakeFiles/rtg_core.dir/network.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/network.cpp.o.d"
+  "/root/repo/src/core/npc.cpp" "src/core/CMakeFiles/rtg_core.dir/npc.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/npc.cpp.o.d"
+  "/root/repo/src/core/optimize.cpp" "src/core/CMakeFiles/rtg_core.dir/optimize.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/optimize.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/rtg_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/rtg_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/rtg_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/schedule_io.cpp" "src/core/CMakeFiles/rtg_core.dir/schedule_io.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/schedule_io.cpp.o.d"
+  "/root/repo/src/core/static_schedule.cpp" "src/core/CMakeFiles/rtg_core.dir/static_schedule.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/static_schedule.cpp.o.d"
+  "/root/repo/src/core/synthesis.cpp" "src/core/CMakeFiles/rtg_core.dir/synthesis.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/synthesis.cpp.o.d"
+  "/root/repo/src/core/viz.cpp" "src/core/CMakeFiles/rtg_core.dir/viz.cpp.o" "gcc" "src/core/CMakeFiles/rtg_core.dir/viz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/rtg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtg_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtg_rt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtg_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/rtg_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/rtg_graph.dir/digraph.cpp.o"
+  "CMakeFiles/rtg_graph.dir/digraph.cpp.o.d"
+  "CMakeFiles/rtg_graph.dir/dot.cpp.o"
+  "CMakeFiles/rtg_graph.dir/dot.cpp.o.d"
+  "CMakeFiles/rtg_graph.dir/generators.cpp.o"
+  "CMakeFiles/rtg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/rtg_graph.dir/homomorphism.cpp.o"
+  "CMakeFiles/rtg_graph.dir/homomorphism.cpp.o.d"
+  "librtg_graph.a"
+  "librtg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rt/analysis.cpp" "src/rt/CMakeFiles/rtg_rt.dir/analysis.cpp.o" "gcc" "src/rt/CMakeFiles/rtg_rt.dir/analysis.cpp.o.d"
+  "/root/repo/src/rt/cyclic_executive.cpp" "src/rt/CMakeFiles/rtg_rt.dir/cyclic_executive.cpp.o" "gcc" "src/rt/CMakeFiles/rtg_rt.dir/cyclic_executive.cpp.o.d"
+  "/root/repo/src/rt/polling_server.cpp" "src/rt/CMakeFiles/rtg_rt.dir/polling_server.cpp.o" "gcc" "src/rt/CMakeFiles/rtg_rt.dir/polling_server.cpp.o.d"
+  "/root/repo/src/rt/scheduler.cpp" "src/rt/CMakeFiles/rtg_rt.dir/scheduler.cpp.o" "gcc" "src/rt/CMakeFiles/rtg_rt.dir/scheduler.cpp.o.d"
+  "/root/repo/src/rt/task.cpp" "src/rt/CMakeFiles/rtg_rt.dir/task.cpp.o" "gcc" "src/rt/CMakeFiles/rtg_rt.dir/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rtg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtg_rt.dir/analysis.cpp.o"
+  "CMakeFiles/rtg_rt.dir/analysis.cpp.o.d"
+  "CMakeFiles/rtg_rt.dir/cyclic_executive.cpp.o"
+  "CMakeFiles/rtg_rt.dir/cyclic_executive.cpp.o.d"
+  "CMakeFiles/rtg_rt.dir/polling_server.cpp.o"
+  "CMakeFiles/rtg_rt.dir/polling_server.cpp.o.d"
+  "CMakeFiles/rtg_rt.dir/scheduler.cpp.o"
+  "CMakeFiles/rtg_rt.dir/scheduler.cpp.o.d"
+  "CMakeFiles/rtg_rt.dir/task.cpp.o"
+  "CMakeFiles/rtg_rt.dir/task.cpp.o.d"
+  "librtg_rt.a"
+  "librtg_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtg_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtg_sim.dir/stats.cpp.o"
+  "CMakeFiles/rtg_sim.dir/stats.cpp.o.d"
+  "CMakeFiles/rtg_sim.dir/trace.cpp.o"
+  "CMakeFiles/rtg_sim.dir/trace.cpp.o.d"
+  "librtg_sim.a"
+  "librtg_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtg_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/compile.cpp" "src/spec/CMakeFiles/rtg_spec.dir/compile.cpp.o" "gcc" "src/spec/CMakeFiles/rtg_spec.dir/compile.cpp.o.d"
+  "/root/repo/src/spec/emit.cpp" "src/spec/CMakeFiles/rtg_spec.dir/emit.cpp.o" "gcc" "src/spec/CMakeFiles/rtg_spec.dir/emit.cpp.o.d"
+  "/root/repo/src/spec/lexer.cpp" "src/spec/CMakeFiles/rtg_spec.dir/lexer.cpp.o" "gcc" "src/spec/CMakeFiles/rtg_spec.dir/lexer.cpp.o.d"
+  "/root/repo/src/spec/parser.cpp" "src/spec/CMakeFiles/rtg_spec.dir/parser.cpp.o" "gcc" "src/spec/CMakeFiles/rtg_spec.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rtg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtg_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtg_spec.dir/compile.cpp.o"
+  "CMakeFiles/rtg_spec.dir/compile.cpp.o.d"
+  "CMakeFiles/rtg_spec.dir/emit.cpp.o"
+  "CMakeFiles/rtg_spec.dir/emit.cpp.o.d"
+  "CMakeFiles/rtg_spec.dir/lexer.cpp.o"
+  "CMakeFiles/rtg_spec.dir/lexer.cpp.o.d"
+  "CMakeFiles/rtg_spec.dir/parser.cpp.o"
+  "CMakeFiles/rtg_spec.dir/parser.cpp.o.d"
+  "librtg_spec.a"
+  "librtg_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtg_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

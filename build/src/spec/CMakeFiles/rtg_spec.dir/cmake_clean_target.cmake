@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librtg_spec.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dataflow_test.dir/core/dataflow_test.cpp.o"
+  "CMakeFiles/core_dataflow_test.dir/core/dataflow_test.cpp.o.d"
+  "core_dataflow_test"
+  "core_dataflow_test.pdb"
+  "core_dataflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dataflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

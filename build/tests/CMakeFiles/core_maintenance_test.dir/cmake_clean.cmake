@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_maintenance_test.dir/core/maintenance_test.cpp.o"
+  "CMakeFiles/core_maintenance_test.dir/core/maintenance_test.cpp.o.d"
+  "core_maintenance_test"
+  "core_maintenance_test.pdb"
+  "core_maintenance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_maintenance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

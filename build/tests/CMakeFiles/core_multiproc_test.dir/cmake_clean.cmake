@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_multiproc_test.dir/core/multiproc_test.cpp.o"
+  "CMakeFiles/core_multiproc_test.dir/core/multiproc_test.cpp.o.d"
+  "core_multiproc_test"
+  "core_multiproc_test.pdb"
+  "core_multiproc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_multiproc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

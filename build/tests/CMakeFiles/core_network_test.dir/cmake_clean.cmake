@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_network_test.dir/core/network_test.cpp.o"
+  "CMakeFiles/core_network_test.dir/core/network_test.cpp.o.d"
+  "core_network_test"
+  "core_network_test.pdb"
+  "core_network_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_network_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

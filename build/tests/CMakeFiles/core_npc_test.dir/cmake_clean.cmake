@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_npc_test.dir/core/npc_test.cpp.o"
+  "CMakeFiles/core_npc_test.dir/core/npc_test.cpp.o.d"
+  "core_npc_test"
+  "core_npc_test.pdb"
+  "core_npc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_npc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

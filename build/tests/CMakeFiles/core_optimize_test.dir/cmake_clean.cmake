@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_optimize_test.dir/core/optimize_test.cpp.o"
+  "CMakeFiles/core_optimize_test.dir/core/optimize_test.cpp.o.d"
+  "core_optimize_test"
+  "core_optimize_test.pdb"
+  "core_optimize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_optimize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

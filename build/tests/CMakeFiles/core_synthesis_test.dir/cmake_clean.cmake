@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_synthesis_test.dir/core/synthesis_test.cpp.o"
+  "CMakeFiles/core_synthesis_test.dir/core/synthesis_test.cpp.o.d"
+  "core_synthesis_test"
+  "core_synthesis_test.pdb"
+  "core_synthesis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_synthesis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_viz_test.dir/core/viz_test.cpp.o"
+  "CMakeFiles/core_viz_test.dir/core/viz_test.cpp.o.d"
+  "core_viz_test"
+  "core_viz_test.pdb"
+  "core_viz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_viz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

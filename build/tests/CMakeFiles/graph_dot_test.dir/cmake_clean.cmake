@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_dot_test.dir/graph/dot_test.cpp.o"
+  "CMakeFiles/graph_dot_test.dir/graph/dot_test.cpp.o.d"
+  "graph_dot_test"
+  "graph_dot_test.pdb"
+  "graph_dot_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_dot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

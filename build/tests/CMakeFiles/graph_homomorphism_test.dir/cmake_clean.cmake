@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_homomorphism_test.dir/graph/homomorphism_test.cpp.o"
+  "CMakeFiles/graph_homomorphism_test.dir/graph/homomorphism_test.cpp.o.d"
+  "graph_homomorphism_test"
+  "graph_homomorphism_test.pdb"
+  "graph_homomorphism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_homomorphism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_width_test.dir/graph/width_test.cpp.o"
+  "CMakeFiles/graph_width_test.dir/graph/width_test.cpp.o.d"
+  "graph_width_test"
+  "graph_width_test.pdb"
+  "graph_width_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_width_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

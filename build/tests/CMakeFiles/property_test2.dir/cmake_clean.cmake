@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_test2.dir/integration/property_test2.cpp.o"
+  "CMakeFiles/property_test2.dir/integration/property_test2.cpp.o.d"
+  "property_test2"
+  "property_test2.pdb"
+  "property_test2[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_test2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_analysis_test.dir/rt/analysis_test.cpp.o"
+  "CMakeFiles/rt_analysis_test.dir/rt/analysis_test.cpp.o.d"
+  "rt_analysis_test"
+  "rt_analysis_test.pdb"
+  "rt_analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_audsley_test.dir/rt/audsley_test.cpp.o"
+  "CMakeFiles/rt_audsley_test.dir/rt/audsley_test.cpp.o.d"
+  "rt_audsley_test"
+  "rt_audsley_test.pdb"
+  "rt_audsley_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_audsley_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_cyclic_executive_test.dir/rt/cyclic_executive_test.cpp.o"
+  "CMakeFiles/rt_cyclic_executive_test.dir/rt/cyclic_executive_test.cpp.o.d"
+  "rt_cyclic_executive_test"
+  "rt_cyclic_executive_test.pdb"
+  "rt_cyclic_executive_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_cyclic_executive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rt/polling_server_test.cpp" "tests/CMakeFiles/rt_polling_server_test.dir/rt/polling_server_test.cpp.o" "gcc" "tests/CMakeFiles/rt_polling_server_test.dir/rt/polling_server_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/rtg_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rtg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/rtg_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/rtg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rtg_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

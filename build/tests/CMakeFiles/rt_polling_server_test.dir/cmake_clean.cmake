@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_polling_server_test.dir/rt/polling_server_test.cpp.o"
+  "CMakeFiles/rt_polling_server_test.dir/rt/polling_server_test.cpp.o.d"
+  "rt_polling_server_test"
+  "rt_polling_server_test.pdb"
+  "rt_polling_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_polling_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_scheduler_test.dir/rt/scheduler_test.cpp.o"
+  "CMakeFiles/rt_scheduler_test.dir/rt/scheduler_test.cpp.o.d"
+  "rt_scheduler_test"
+  "rt_scheduler_test.pdb"
+  "rt_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_compile_test.dir/spec/compile_test.cpp.o"
+  "CMakeFiles/spec_compile_test.dir/spec/compile_test.cpp.o.d"
+  "spec_compile_test"
+  "spec_compile_test.pdb"
+  "spec_compile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_compile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

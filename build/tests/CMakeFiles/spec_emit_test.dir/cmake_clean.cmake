@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_emit_test.dir/spec/emit_test.cpp.o"
+  "CMakeFiles/spec_emit_test.dir/spec/emit_test.cpp.o.d"
+  "spec_emit_test"
+  "spec_emit_test.pdb"
+  "spec_emit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_emit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_lexer_test.dir/spec/lexer_test.cpp.o"
+  "CMakeFiles/spec_lexer_test.dir/spec/lexer_test.cpp.o.d"
+  "spec_lexer_test"
+  "spec_lexer_test.pdb"
+  "spec_lexer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
