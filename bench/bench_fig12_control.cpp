@@ -63,7 +63,7 @@ int main() {
     Time worst_z = 0;
     for (const core::InvocationRecord& rec : run.invocations) {
       if (rec.constraint == 2 && rec.completed) {
-        worst_z = std::max(worst_z, rec.response_time());
+        worst_z = std::max(worst_z, *rec.response_time());
       }
     }
     const auto& z_verdict = synth.report.verdicts[2];

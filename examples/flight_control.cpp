@@ -100,7 +100,7 @@ int main() {
   sim::Time worst_mode = 0;
   for (const core::InvocationRecord& rec : run.invocations) {
     if (rec.constraint == *mode && rec.completed) {
-      worst_mode = std::max(worst_mode, rec.response_time());
+      worst_mode = std::max(worst_mode, *rec.response_time());
     }
   }
   std::printf("executive: %zu invocations, all met: %s; worst mode-switch "

@@ -101,7 +101,7 @@ int main() {
   for (const core::InvocationRecord& rec : run.invocations) {
     if (rec.constraint == 2) {
       ++z_count;
-      if (rec.completed) worst_z = std::max(worst_z, rec.response_time());
+      if (rec.completed) worst_z = std::max(worst_z, *rec.response_time());
     }
   }
   std::printf("\n== Executive run (5200 slots) ==\n");

@@ -1,0 +1,246 @@
+// degradation.hpp — the adaptive executive: watchdog, graceful
+// degradation, and admission control.
+//
+// The static scheduler proves every deadline under declared weights;
+// this module is what runs when reality disagrees. Three mechanisms
+// layer over the table-driven executive:
+//
+//   * A *watchdog* observes the realized op timeline online: it keeps
+//     per-constraint miss counters, a sliding-window miss-rate over the
+//     most recent invocations, and cycle-overrun accounting (how far a
+//     schedule cycle ran past its nominal end).
+//   * A *mode ladder* holds the primary schedule plus pre-synthesized
+//     degraded modes, built offline by shedding asynchronous
+//     constraints in increasing criticality order and re-verifying each
+//     reduced schedule (optionally hardened via harden_model so the
+//     surviving constraints get replicated executions). When the
+//     watchdog's miss-rate crosses a threshold, the executive steps one
+//     mode down; after a recovery window of clean cycles it steps back
+//     up. Mode changes happen only at schedule-cycle boundaries, so the
+//     pipeline ordering baked into each table is never torn mid-cycle.
+//   * *Admission control* replaces run_executive's throw-on-violation
+//     contract for bursty asynchronous arrivals: a too-early arrival is
+//     deferred to the earliest legal instant (backoff) or rejected, per
+//     policy, and every decision is recorded in the result.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fault.hpp"
+#include "core/heuristic.hpp"
+#include "core/model.hpp"
+#include "core/runtime.hpp"
+#include "core/static_schedule.hpp"
+
+namespace rtg::core {
+
+// ---------------------------------------------------------------- modes
+
+struct ModeLadderOptions {
+  /// Maximum number of degraded modes below the primary.
+  std::size_t max_degraded_modes = 3;
+  /// Replication level for degraded modes: when > 0, each reduced model
+  /// is hardened (harden_model) so surviving constraints get k+1
+  /// disjoint executions per window. Falls back to plain scheduling
+  /// when hardening fails.
+  std::size_t harden_k = 0;
+  /// Synthesis options for the primary schedule. Degraded schedules are
+  /// built over the primary's (already pipelined) model.
+  HeuristicOptions heuristic;
+};
+
+/// One executive mode: a schedule plus the subset of constraints it
+/// still serves. All modes are expressed against the same base model.
+struct ExecutiveMode {
+  std::string name;
+  StaticSchedule schedule;
+  /// served[i]: base constraint i is served in this mode.
+  std::vector<bool> served;
+  double utilization = 0.0;
+  /// Asynchronous constraints with criticality below this were shed.
+  Criticality min_criticality = 0;
+};
+
+struct ModeLadder {
+  bool success = false;
+  std::string failure_reason;
+  /// The (pipelined) model every mode's schedule is expressed against;
+  /// constraint indices in modes/results refer to this model, which
+  /// preserves the input model's constraint order.
+  GraphModel base;
+  /// modes[0] is the primary; each later mode sheds strictly more load.
+  std::vector<ExecutiveMode> modes;
+};
+
+/// Synthesizes the primary schedule and the ladder of degraded modes.
+/// Degraded modes shed asynchronous constraints level by level (lowest
+/// criticality first); each degraded schedule is re-verified against
+/// its reduced model (original deadlines) via the maintenance path
+/// before being admitted to the ladder. Periodic constraints are never
+/// shed. Modes whose synthesis or re-verification fails end the ladder
+/// early; the primary alone still yields success.
+[[nodiscard]] ModeLadder build_mode_ladder(const GraphModel& model,
+                                           const ModeLadderOptions& options = {});
+
+// ------------------------------------------------------------- watchdog
+
+struct WatchdogOptions {
+  /// Sliding window: number of recent served-constraint invocations the
+  /// miss-rate is computed over.
+  std::size_t window = 24;
+  /// Invocations observed before the miss-rate is trusted at all.
+  std::size_t min_observations = 8;
+  /// Miss-rate (misses / window) at or above which the executive steps
+  /// one mode down.
+  double degrade_threshold = 0.2;
+  /// Miss-rate at or below which a degraded mode is considered healthy.
+  double recover_threshold = 0.0;
+  /// Cycles spent in a mode before a healthy window steps back up.
+  std::size_t recovery_cycles = 8;
+  /// When > 0: this many *consecutive* cycles overrunning their nominal
+  /// end also trigger degradation, even before deadlines start missing.
+  std::size_t overrun_cycles_to_degrade = 0;
+};
+
+/// Online detector fed by the executive after each evaluated invocation
+/// and each completed cycle. Usable standalone for tests.
+class Watchdog {
+ public:
+  Watchdog(const WatchdogOptions& options, std::size_t constraint_count);
+
+  /// Feeds one evaluated invocation of a *served* constraint.
+  void record(std::size_t constraint, bool missed);
+  /// Feeds one completed cycle's overrun past its nominal end (0 = the
+  /// cycle finished on time).
+  void record_cycle(Time overrun_slots);
+
+  [[nodiscard]] double miss_rate() const;
+  [[nodiscard]] bool should_degrade() const;
+  /// True when the window is trustworthy-clean (used for stepping up).
+  [[nodiscard]] bool healthy() const;
+
+  /// Clears the sliding window and overrun streak (on a mode change the
+  /// old mode's history must not indict the new one).
+  void reset_window();
+
+  [[nodiscard]] std::size_t miss_count(std::size_t constraint) const {
+    return miss_count_.at(constraint);
+  }
+  [[nodiscard]] std::size_t served_count(std::size_t constraint) const {
+    return served_count_.at(constraint);
+  }
+  [[nodiscard]] std::size_t cycle_overruns() const { return cycle_overruns_; }
+  [[nodiscard]] Time overrun_slots() const { return overrun_slots_; }
+
+ private:
+  WatchdogOptions options_;
+  std::deque<bool> window_;  ///< recent outcomes, true = missed
+  std::size_t window_misses_ = 0;
+  std::vector<std::size_t> miss_count_;    ///< per constraint, cumulative
+  std::vector<std::size_t> served_count_;  ///< per constraint, cumulative
+  std::size_t cycle_overruns_ = 0;         ///< cycles that ran long, cumulative
+  Time overrun_slots_ = 0;                 ///< total slots of cycle overrun
+  std::size_t overrun_streak_ = 0;         ///< consecutive overrunning cycles
+};
+
+// ------------------------------------------------------------ admission
+
+enum class AdmissionPolicy : std::uint8_t {
+  /// Defer a too-early arrival to the earliest legal instant (previous
+  /// admission + minimum separation); reject only when the backlog
+  /// exceeds max_backoff.
+  kDefer,
+  /// Reject every arrival that violates the minimum separation.
+  kReject,
+};
+
+enum class AdmissionDecision : std::uint8_t { kAdmitted, kDeferred, kRejected };
+
+/// One admission-control decision for one asynchronous arrival.
+struct AdmissionRecord {
+  std::size_t constraint = 0;
+  Time requested = 0;  ///< the raw arrival instant
+  Time admitted = 0;   ///< the instant actually served (== requested unless deferred)
+  AdmissionDecision decision = AdmissionDecision::kAdmitted;
+};
+
+// ------------------------------------------------------------ executive
+
+struct AdaptiveOptions {
+  /// Injected overrun faults (probability 0 = faithful execution).
+  OverrunModel overruns;
+  WatchdogOptions watchdog;
+  AdmissionPolicy admission = AdmissionPolicy::kDefer;
+  /// Under kDefer: an arrival pushed more than this many slots past its
+  /// requested instant is rejected instead. <= 0 means unlimited.
+  Time max_backoff = 0;
+};
+
+/// A mode switch taken at a cycle boundary.
+struct ModeChange {
+  Time at = 0;  ///< cycle-boundary instant of the switch
+  std::size_t from = 0;
+  std::size_t to = 0;
+  double miss_rate = 0.0;  ///< watchdog miss-rate that motivated it
+};
+
+/// One invocation as seen by the adaptive executive.
+struct AdaptiveInvocation {
+  std::size_t constraint = 0;
+  Time invoked = 0;  ///< admitted instant
+  Time abs_deadline = 0;
+  std::optional<Time> completed;
+  bool satisfied = false;
+  /// True when every cycle overlapping the window had this constraint
+  /// shed — the miss (if any) was deliberate load-shedding, not a
+  /// watchdog-visible fault.
+  bool shed = false;
+
+  [[nodiscard]] std::optional<Time> response_time() const {
+    if (!completed) return std::nullopt;
+    return *completed - invoked;
+  }
+};
+
+struct AdaptiveResult {
+  std::vector<AdaptiveInvocation> invocations;  ///< in deadline order
+  std::vector<AdmissionRecord> admissions;
+  std::vector<ModeChange> mode_changes;
+  /// Per base-constraint tallies over non-shed invocations.
+  std::vector<std::size_t> miss_count;
+  std::vector<std::size_t> served_count;
+  /// Invocations whose window fell entirely into shedding cycles.
+  std::vector<std::size_t> shed_count;
+  std::size_t overrun_ops = 0;  ///< executions that ran past their weight
+  Time overrun_slots = 0;       ///< total cycle-boundary overrun absorbed
+  std::size_t dispatches = 0;
+  Time horizon = 0;
+  std::size_t final_mode = 0;
+
+  /// True iff every non-shed invocation met its deadline.
+  [[nodiscard]] bool all_served_met() const;
+  /// Misses among constraints at or above the given criticality,
+  /// counting shed invocations of those constraints as misses too (a
+  /// critical constraint must never be shed).
+  [[nodiscard]] std::size_t critical_misses(const GraphModel& base,
+                                            Criticality at_least) const;
+};
+
+/// Runs the adaptive executive over the mode ladder for `horizon`
+/// slots. Raw arrival streams may be bursty or unsorted: negative
+/// instants are rejected, the rest pass through admission control
+/// (decisions recorded). Overruns are injected per `options`; the
+/// watchdog drives mode changes at cycle boundaries. Invocations whose
+/// deadlines fall past the horizon are not recorded.
+/// Throws std::invalid_argument when the ladder is unusable (no modes)
+/// or the horizon is negative.
+[[nodiscard]] AdaptiveResult run_adaptive_executive(const ModeLadder& ladder,
+                                                    const ConstraintArrivals& arrivals,
+                                                    Time horizon,
+                                                    const AdaptiveOptions& options = {});
+
+}  // namespace rtg::core

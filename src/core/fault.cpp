@@ -1,6 +1,7 @@
 #include "core/fault.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace rtg::core {
@@ -163,6 +164,77 @@ FaultInjectionResult run_with_failures(const StaticSchedule& sched,
     for (Time t : instants) {
       ++result.invocations;
       const auto finish = earliest_embedding_finish(c.task_graph, surviving, t);
+      if (finish && *finish <= t + c.deadline) ++result.satisfied;
+    }
+  }
+  return result;
+}
+
+std::vector<ScheduledOp> inject_overruns(std::span<const ScheduledOp> ops,
+                                         const OverrunModel& overruns,
+                                         std::size_t* overrun_count) {
+  sim::Rng rng(overruns.seed);
+  std::vector<ScheduledOp> out;
+  out.reserve(ops.size());
+  std::size_t count = 0;
+  Time cursor = 0;
+  for (const ScheduledOp& op : ops) {
+    ScheduledOp actual = op;
+    actual.start = std::max(op.start, cursor);
+    if (rng.chance(overruns.probability_for(op.elem))) {
+      const double mag = std::max(1.0, overruns.magnitude_for(op.elem));
+      actual.duration = static_cast<Time>(
+          std::ceil(static_cast<double>(op.duration) * mag));
+      ++count;
+    }
+    cursor = actual.finish();
+    out.push_back(actual);
+  }
+  if (overrun_count != nullptr) *overrun_count = count;
+  return out;
+}
+
+OverrunRunResult run_with_overruns(const StaticSchedule& sched, const GraphModel& model,
+                                   const ConstraintArrivals& arrivals, Time horizon,
+                                   const OverrunModel& overruns) {
+  if (sched.length() == 0) {
+    throw std::invalid_argument("run_with_overruns: empty schedule");
+  }
+  Time max_deadline = 0;
+  std::size_t max_ops = 0;
+  for (const TimingConstraint& c : model.constraints()) {
+    max_deadline = std::max(max_deadline, c.deadline);
+    max_ops = std::max(max_ops, c.task_graph.size());
+  }
+  const std::size_t periods = static_cast<std::size_t>(
+      (horizon + max_deadline) / std::max<Time>(sched.length(), 1) + 1 +
+      static_cast<Time>(2 * max_ops + 2));
+  const std::vector<ScheduledOp> nominal = unroll_ops(sched, periods);
+
+  OverrunRunResult result;
+  result.total_ops = nominal.size();
+  const std::vector<ScheduledOp> actual =
+      inject_overruns(nominal, overruns, &result.overrun_ops);
+  for (std::size_t i = 0; i < nominal.size(); ++i) {
+    result.max_slide = std::max(result.max_slide, actual[i].start - nominal[i].start);
+  }
+
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const TimingConstraint& c = model.constraint(i);
+    std::vector<Time> instants;
+    if (c.periodic()) {
+      for (Time t = 0; t + c.deadline <= horizon; t += c.period) instants.push_back(t);
+    } else {
+      if (i >= arrivals.size()) {
+        throw std::invalid_argument("run_with_overruns: missing arrival stream");
+      }
+      for (Time t : arrivals[i]) {
+        if (t + c.deadline <= horizon) instants.push_back(t);
+      }
+    }
+    for (Time t : instants) {
+      ++result.invocations;
+      const auto finish = earliest_embedding_finish(c.task_graph, actual, t);
       if (finish && *finish <= t + c.deadline) ++result.satisfied;
     }
   }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "core/heuristic.hpp"
@@ -91,5 +92,61 @@ struct FaultInjectionResult {
                                                      const ConstraintArrivals& arrivals,
                                                      Time horizon,
                                                      const FailureModel& failures);
+
+/// Overrun fault model: an execution may take *longer* than its
+/// declared weight. Each execution independently overruns with the
+/// element's probability; an overrunning execution of duration w takes
+/// ceil(w * magnitude) slots instead. The dispatcher is table-driven
+/// and non-preemptive, so an overrun slides every later op of the same
+/// timeline right (an op starts at max(table slot, previous finish));
+/// idle slots absorb the slide.
+struct OverrunModel {
+  double probability = 0.0;  ///< default per-execution overrun probability
+  double magnitude = 2.0;    ///< duration multiplier when overrunning (> 1)
+  std::uint64_t seed = 1;
+  /// Optional per-element overrides indexed by ElementId; entries past
+  /// the end (or an empty vector) fall back to the defaults above.
+  std::vector<double> element_probability;
+  std::vector<double> element_magnitude;
+
+  [[nodiscard]] double probability_for(ElementId e) const {
+    return e < element_probability.size() ? element_probability[e] : probability;
+  }
+  [[nodiscard]] double magnitude_for(ElementId e) const {
+    return e < element_magnitude.size() ? element_magnitude[e] : magnitude;
+  }
+};
+
+/// Perturbs a table timeline (sorted, non-overlapping, e.g. from
+/// unroll_ops) with overruns under the slide semantics above. The
+/// result is again sorted and non-overlapping. `overrun_count`, when
+/// non-null, receives the number of executions that overran.
+[[nodiscard]] std::vector<ScheduledOp> inject_overruns(
+    std::span<const ScheduledOp> ops, const OverrunModel& overruns,
+    std::size_t* overrun_count = nullptr);
+
+struct OverrunRunResult {
+  std::size_t invocations = 0;
+  std::size_t satisfied = 0;
+  std::size_t overrun_ops = 0;
+  std::size_t total_ops = 0;
+  /// Largest slide of any dispatch past its table slot.
+  Time max_slide = 0;
+
+  [[nodiscard]] double survival_rate() const {
+    return invocations == 0 ? 1.0
+                            : static_cast<double>(satisfied) /
+                                  static_cast<double>(invocations);
+  }
+};
+
+/// Non-adaptive baseline: runs the blind executive for `horizon` slots
+/// under injected overruns and re-verifies every invocation window
+/// against the slid timeline. Arrival streams as in run_executive.
+[[nodiscard]] OverrunRunResult run_with_overruns(const StaticSchedule& sched,
+                                                 const GraphModel& model,
+                                                 const ConstraintArrivals& arrivals,
+                                                 Time horizon,
+                                                 const OverrunModel& overruns);
 
 }  // namespace rtg::core

@@ -306,6 +306,9 @@ GraphModel coalesce_model(const GraphModel& model) {
                                pool[best_i].period == pool[best_j].period;
       merged.kind =
           as_periodic ? ConstraintKind::kPeriodic : ConstraintKind::kAsynchronous;
+      // A merged execution serves both members: it must survive
+      // degradation as long as the more critical of the two.
+      merged.criticality = std::max(pool[best_i].criticality, pool[best_j].criticality);
       pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_j));
       pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_i));
       pool.push_back(std::move(merged));

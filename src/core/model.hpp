@@ -111,6 +111,13 @@ class TaskGraph {
 /// Periodic vs asynchronous (sporadic) constraint.
 enum class ConstraintKind : std::uint8_t { kPeriodic, kAsynchronous };
 
+/// Degradation priority of a constraint. When the adaptive executive
+/// sheds load (core/degradation), asynchronous constraints are dropped
+/// in increasing criticality order: level 0 is best-effort and goes
+/// first, higher levels survive longer. Levels are relative; only the
+/// ordering matters.
+using Criticality = std::uint32_t;
+
 /// A timing constraint (C, p, d).
 struct TimingConstraint {
   std::string name;
@@ -118,6 +125,7 @@ struct TimingConstraint {
   Time period = 1;    ///< period (periodic) or minimum separation (async)
   Time deadline = 1;  ///< relative deadline d
   ConstraintKind kind = ConstraintKind::kPeriodic;
+  Criticality criticality = 1;  ///< shed order under degradation (0 first)
 
   [[nodiscard]] bool periodic() const { return kind == ConstraintKind::kPeriodic; }
 };

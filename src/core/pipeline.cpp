@@ -67,8 +67,8 @@ PipelinedModel pipeline_model(const GraphModel& model) {
     for (const graph::Edge& dep : c.task_graph.skeleton().edges()) {
       tg.add_dep(exit[dep.from], entry[dep.to]);
     }
-    result.model.add_constraint(
-        TimingConstraint{c.name, std::move(tg), c.period, c.deadline, c.kind});
+    result.model.add_constraint(TimingConstraint{c.name, std::move(tg), c.period,
+                                                 c.deadline, c.kind, c.criticality});
   }
   return result;
 }

@@ -4,10 +4,91 @@
 
 namespace rtg::core {
 
+namespace {
+
+const char* issue_kind_label(ArrivalIssue::Kind kind) {
+  switch (kind) {
+    case ArrivalIssue::Kind::kMissingStream:
+      return "missing arrival stream";
+    case ArrivalIssue::Kind::kNegativeTime:
+      return "negative arrival time";
+    case ArrivalIssue::Kind::kUnsorted:
+      return "unsorted arrival stream";
+    case ArrivalIssue::Kind::kSeparationViolation:
+      return "minimum-separation violation";
+  }
+  return "unknown issue";
+}
+
+}  // namespace
+
+std::string ArrivalIssue::to_string() const {
+  std::string s = std::string(issue_kind_label(kind)) + " for constraint '" +
+                  constraint_name + "'";
+  if (kind == Kind::kMissingStream) return s;
+  s += " at stream index " + std::to_string(position) + " (t=" + std::to_string(time);
+  if (kind == Kind::kUnsorted || kind == Kind::kSeparationViolation) {
+    s += ", previous t=" + std::to_string(previous);
+  }
+  s += ")";
+  return s;
+}
+
+std::string ArrivalValidation::to_string() const {
+  std::string s;
+  for (const ArrivalIssue& issue : issues) {
+    if (!s.empty()) s += "\n";
+    s += issue.to_string();
+  }
+  return s;
+}
+
+ArrivalValidation validate_arrivals(const GraphModel& model,
+                                    const ConstraintArrivals& arrivals) {
+  ArrivalValidation v;
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const TimingConstraint& c = model.constraint(i);
+    if (c.periodic()) continue;
+    if (i >= arrivals.size()) {
+      v.issues.push_back(ArrivalIssue{ArrivalIssue::Kind::kMissingStream, i, c.name,
+                                      0, 0, 0});
+      continue;
+    }
+    const auto& stream = arrivals[i];
+    // A flagged-negative instant is not a separation anchor: later
+    // arrivals are judged against the last *valid* one, so a single
+    // bad instant yields a single diagnostic.
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::size_t prev = kNone;
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+      if (stream[k] < 0) {
+        v.issues.push_back(ArrivalIssue{ArrivalIssue::Kind::kNegativeTime, i, c.name,
+                                        k, stream[k], 0});
+        continue;
+      }
+      if (prev != kNone) {
+        if (stream[k] < stream[prev]) {
+          v.issues.push_back(ArrivalIssue{ArrivalIssue::Kind::kUnsorted, i, c.name, k,
+                                          stream[k], stream[prev]});
+        } else if (stream[k] - stream[prev] < c.period) {
+          v.issues.push_back(ArrivalIssue{ArrivalIssue::Kind::kSeparationViolation, i,
+                                          c.name, k, stream[k], stream[prev]});
+        }
+      }
+      prev = k;
+    }
+  }
+  return v;
+}
+
 ExecutiveResult run_executive(const StaticSchedule& sched, const GraphModel& model,
                               const ConstraintArrivals& arrivals, Time horizon) {
   if (horizon < 0) throw std::invalid_argument("run_executive: negative horizon");
   if (sched.length() == 0) throw std::invalid_argument("run_executive: empty schedule");
+  const ArrivalValidation validation = validate_arrivals(model, arrivals);
+  if (!validation.ok()) {
+    throw std::invalid_argument("run_executive: " + validation.to_string());
+  }
 
   ExecutiveResult result;
   result.horizon = horizon;
@@ -35,21 +116,8 @@ ExecutiveResult run_executive(const StaticSchedule& sched, const GraphModel& mod
     if (c.periodic()) {
       for (Time t = 0; t + c.deadline <= horizon; t += c.period) instants.push_back(t);
     } else {
-      if (i >= arrivals.size()) {
-        throw std::invalid_argument("run_executive: missing arrival stream for '" +
-                                    c.name + "'");
-      }
-      const auto& stream = arrivals[i];
-      for (std::size_t k = 0; k < stream.size(); ++k) {
-        if (k > 0 && stream[k] - stream[k - 1] < c.period) {
-          throw std::invalid_argument(
-              "run_executive: arrival stream violates minimum separation for '" +
-              c.name + "'");
-        }
-        if (stream[k] < 0) {
-          throw std::invalid_argument("run_executive: negative arrival time");
-        }
-        if (stream[k] + c.deadline <= horizon) instants.push_back(stream[k]);
+      for (Time t : arrivals[i]) {
+        if (t + c.deadline <= horizon) instants.push_back(t);
       }
     }
     for (Time t : instants) {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/latency.hpp"
@@ -30,8 +31,11 @@ struct InvocationRecord {
   std::optional<Time> completed;
   bool satisfied = false;
 
-  [[nodiscard]] Time response_time() const {
-    return completed ? *completed - invoked : -1;
+  /// completed - invoked; nullopt while no execution completed in the
+  /// window.
+  [[nodiscard]] std::optional<Time> response_time() const {
+    if (!completed) return std::nullopt;
+    return *completed - invoked;
   }
 };
 
@@ -47,12 +51,53 @@ struct ExecutiveResult {
 /// Arrival streams for asynchronous constraints, indexed by constraint
 /// position in the model. Entries for periodic constraints are ignored.
 /// Each stream must be sorted and respect the constraint's minimum
-/// separation; violations throw std::invalid_argument.
+/// separation; use validate_arrivals for a structured diagnosis.
 using ConstraintArrivals = std::vector<std::vector<Time>>;
+
+/// One defect of an arrival stream, pinpointing the constraint and the
+/// offending instants.
+struct ArrivalIssue {
+  enum class Kind : std::uint8_t {
+    kMissingStream,        ///< async constraint has no stream at its index
+    kNegativeTime,         ///< an arrival before t = 0
+    kUnsorted,             ///< time < its predecessor
+    kSeparationViolation,  ///< gap below the constraint's minimum separation
+  };
+
+  Kind kind = Kind::kMissingStream;
+  std::size_t constraint = 0;
+  std::string constraint_name;
+  /// Index of the offending arrival within its stream (0 for
+  /// kMissingStream).
+  std::size_t position = 0;
+  Time time = 0;      ///< the offending arrival instant
+  Time previous = 0;  ///< the preceding instant (kUnsorted / kSeparation...)
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Structured validation verdict for a set of arrival streams.
+struct ArrivalValidation {
+  std::vector<ArrivalIssue> issues;
+
+  [[nodiscard]] bool ok() const { return issues.empty(); }
+  /// All issues rendered one per line; empty string when ok().
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Checks every asynchronous constraint's stream: present, sorted,
+/// non-negative, minimum separation respected. Never throws.
+[[nodiscard]] ArrivalValidation validate_arrivals(const GraphModel& model,
+                                                  const ConstraintArrivals& arrivals);
 
 /// Runs the executive for `horizon` slots and verifies every invocation
 /// whose deadline falls within the horizon. Invocations with deadlines
 /// past the horizon are not recorded (their windows are incomplete).
+///
+/// Throwing wrapper: malformed arrival streams raise
+/// std::invalid_argument carrying the rendered ArrivalValidation. Use
+/// validate_arrivals first (or the adaptive executive's admission
+/// control in core/degradation) to handle defects without exceptions.
 [[nodiscard]] ExecutiveResult run_executive(const StaticSchedule& sched,
                                             const GraphModel& model,
                                             const ConstraintArrivals& arrivals,

@@ -1,7 +1,10 @@
 #include "rt/polling_server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+
+#include "sim/rng.hpp"
 
 namespace rtg::rt {
 
@@ -29,7 +32,8 @@ namespace {
 PollingServerResult simulate_server(const TaskSet& periodic, Time server_capacity,
                                     Time server_period,
                                     const std::vector<AperiodicJob>& jobs,
-                                    Time horizon, bool forfeit);
+                                    Time horizon, bool forfeit,
+                                    const ServerOverruns* overruns);
 
 }  // namespace
 
@@ -38,7 +42,7 @@ PollingServerResult simulate_polling_server(const TaskSet& periodic,
                                             const std::vector<AperiodicJob>& jobs,
                                             Time horizon) {
   return simulate_server(periodic, server_capacity, server_period, jobs, horizon,
-                         /*forfeit=*/true);
+                         /*forfeit=*/true, nullptr);
 }
 
 PollingServerResult simulate_deferrable_server(const TaskSet& periodic,
@@ -47,7 +51,7 @@ PollingServerResult simulate_deferrable_server(const TaskSet& periodic,
                                                const std::vector<AperiodicJob>& jobs,
                                                Time horizon) {
   return simulate_server(periodic, server_capacity, server_period, jobs, horizon,
-                         /*forfeit=*/false);
+                         /*forfeit=*/false, nullptr);
 }
 
 namespace {
@@ -55,7 +59,8 @@ namespace {
 PollingServerResult simulate_server(const TaskSet& periodic, Time server_capacity,
                                     Time server_period,
                                     const std::vector<AperiodicJob>& jobs,
-                                    Time horizon, bool forfeit) {
+                                    Time horizon, bool forfeit,
+                                    const ServerOverruns* overruns) {
   if (server_capacity < 1 || server_period < 1 || server_capacity > server_period) {
     throw std::invalid_argument(
         "simulate_polling_server: need 1 <= capacity <= period");
@@ -87,13 +92,19 @@ PollingServerResult simulate_server(const TaskSet& periodic, Time server_capacit
   };
   std::vector<Live> ready;
   Time server_budget = 0;
+  sim::Rng rng(overruns != nullptr ? overruns->seed : 0);
+  const auto inflate = [&](Time work) {
+    if (overruns == nullptr || !rng.chance(overruns->probability)) return work;
+    return static_cast<Time>(
+        std::ceil(static_cast<double>(work) * std::max(1.0, overruns->magnitude)));
+  };
 
   // FIFO queue of indices into result.aperiodic_jobs with work left.
   for (const AperiodicJob& j : jobs) {
     result.aperiodic_jobs.push_back(ServedJob{j.release, j.work, -1});
   }
   std::vector<Time> aperiodic_left;
-  for (const AperiodicJob& j : jobs) aperiodic_left.push_back(j.work);
+  for (const AperiodicJob& j : jobs) aperiodic_left.push_back(inflate(j.work));
   std::size_t queue_head = 0;   // first job not yet completed
   std::size_t next_arrival = 0; // first job not yet released
 
@@ -109,7 +120,7 @@ PollingServerResult simulate_server(const TaskSet& periodic, Time server_capacit
             JobRecord{i, now, now + periodic[i].d, -1});
         ready.push_back(
             Live{i, result.periodic_jobs.size() - 1, now + periodic[i].d,
-                 periodic[i].c});
+                 inflate(periodic[i].c)});
       }
     }
     // Server replenishment: budget resets; forfeited at once when the
@@ -168,5 +179,13 @@ PollingServerResult simulate_server(const TaskSet& periodic, Time server_capacit
 }
 
 }  // namespace
+
+PollingServerResult simulate_polling_server_overrun(
+    const TaskSet& periodic, Time server_capacity, Time server_period,
+    const std::vector<AperiodicJob>& jobs, Time horizon,
+    const ServerOverruns& overruns) {
+  return simulate_server(periodic, server_capacity, server_period, jobs, horizon,
+                         /*forfeit=*/true, &overruns);
+}
 
 }  // namespace rtg::rt

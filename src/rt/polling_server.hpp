@@ -68,6 +68,25 @@ struct PollingServerResult {
     const TaskSet& periodic, Time server_capacity, Time server_period,
     const std::vector<AperiodicJob>& jobs, Time horizon);
 
+/// Execution-time overruns for the process-model baseline: each job —
+/// periodic instance or aperiodic request — independently demands
+/// ceil(work * magnitude) slots with the given probability (seeded,
+/// reproducible). The EDF dispatcher has no budget enforcement, so an
+/// overrunning job simply holds the processor longer — the process-side
+/// analogue of core/fault's OverrunModel for the graph executive.
+struct ServerOverruns {
+  double probability = 0.0;
+  double magnitude = 2.0;
+  std::uint64_t seed = 1;
+};
+
+/// simulate_polling_server with overrun injection, for baseline
+/// comparisons against the graph model's adaptive executive.
+[[nodiscard]] PollingServerResult simulate_polling_server_overrun(
+    const TaskSet& periodic, Time server_capacity, Time server_period,
+    const std::vector<AperiodicJob>& jobs, Time horizon,
+    const ServerOverruns& overruns);
+
 /// The deferrable-server variant: identical except the budget is
 /// *retained* across an empty queue until the end of the period, so an
 /// arrival mid-period is served at once if budget remains — better

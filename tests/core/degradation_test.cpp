@@ -1,0 +1,349 @@
+#include "core/degradation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/fault.hpp"
+#include "core/heuristic.hpp"
+#include "rt/scheduler.hpp"
+
+namespace rtg::core {
+namespace {
+
+TaskGraph single(ElementId e) {
+  TaskGraph tg;
+  tg.add_op(e);
+  return tg;
+}
+
+// Three asynchronous tiers over distinct unit elements:
+//   CRIT (criticality 2): sep 6, d 14 — must survive everything;
+//   MID  (criticality 1): sep 3, d 6;
+//   BULK (criticality 0): sep 2, d 4 — shed first.
+// Server utilization 1/7 + 1/3 + 1/2 ~ 0.98: the primary schedule is
+// nearly saturated, so execution overruns cascade into misses.
+GraphModel tiered_model() {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("c", 1);
+  comm.add_element("b", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"CRIT", single(0), 6, 14, ConstraintKind::kAsynchronous, 2});
+  model.add_constraint(
+      TimingConstraint{"MID", single(1), 3, 6, ConstraintKind::kAsynchronous, 1});
+  model.add_constraint(
+      TimingConstraint{"BULK", single(2), 2, 4, ConstraintKind::kAsynchronous, 0});
+  return model;
+}
+
+ConstraintArrivals tiered_arrivals(Time horizon) {
+  ConstraintArrivals arrivals(3);
+  arrivals[0] = rt::max_rate_arrivals(6, horizon);
+  arrivals[1] = rt::max_rate_arrivals(3, horizon);
+  arrivals[2] = rt::max_rate_arrivals(2, horizon);
+  return arrivals;
+}
+
+TEST(ModeLadder, ShedsAsynchronousConstraintsByCriticality) {
+  const ModeLadder ladder = build_mode_ladder(tiered_model());
+  ASSERT_TRUE(ladder.success) << ladder.failure_reason;
+  ASSERT_EQ(ladder.modes.size(), 3u);  // primary + shed BULK + shed MID
+
+  EXPECT_EQ(ladder.modes[0].name, "primary");
+  EXPECT_TRUE(ladder.modes[0].served[0] && ladder.modes[0].served[1] &&
+              ladder.modes[0].served[2]);
+
+  // degraded-1 sheds only the criticality-0 tier.
+  EXPECT_TRUE(ladder.modes[1].served[0]);
+  EXPECT_TRUE(ladder.modes[1].served[1]);
+  EXPECT_FALSE(ladder.modes[1].served[2]);
+
+  // degraded-2 keeps only the top tier; it is never shed.
+  EXPECT_TRUE(ladder.modes[2].served[0]);
+  EXPECT_FALSE(ladder.modes[2].served[1]);
+  EXPECT_FALSE(ladder.modes[2].served[2]);
+
+  // Shedding buys headroom: busy fraction strictly decreases.
+  EXPECT_GT(ladder.modes[0].utilization, ladder.modes[1].utilization);
+  EXPECT_GT(ladder.modes[1].utilization, ladder.modes[2].utilization);
+}
+
+TEST(ModeLadder, PeriodicConstraintsAreNeverShed) {
+  CommGraph comm;
+  comm.add_element("p", 1);
+  comm.add_element("q", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"P", single(0), 8, 8, ConstraintKind::kPeriodic, 0});
+  model.add_constraint(
+      TimingConstraint{"B0", single(1), 4, 8, ConstraintKind::kAsynchronous, 0});
+  model.add_constraint(
+      TimingConstraint{"B1", single(1), 4, 8, ConstraintKind::kAsynchronous, 1});
+  const ModeLadder ladder = build_mode_ladder(model);
+  ASSERT_TRUE(ladder.success) << ladder.failure_reason;
+  ASSERT_GE(ladder.modes.size(), 2u);
+  for (const ExecutiveMode& m : ladder.modes) {
+    EXPECT_TRUE(m.served[0]) << m.name;  // the periodic constraint, criticality 0
+  }
+  EXPECT_FALSE(ladder.modes.back().served[1]);  // async criticality 0 shed
+  EXPECT_TRUE(ladder.modes.back().served[2]);   // top async tier survives
+}
+
+TEST(ModeLadder, SingleTierModelHasOnlyPrimary) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"A", single(0), 4, 8, ConstraintKind::kAsynchronous, 1});
+  const ModeLadder ladder = build_mode_ladder(model);
+  ASSERT_TRUE(ladder.success);
+  EXPECT_EQ(ladder.modes.size(), 1u);  // the only tier is the top tier
+}
+
+TEST(Watchdog, SlidingWindowMissRateAndThresholds) {
+  WatchdogOptions opts;
+  opts.window = 4;
+  opts.min_observations = 4;
+  opts.degrade_threshold = 0.5;
+  Watchdog wd(opts, 2);
+
+  wd.record(0, false);
+  wd.record(0, true);
+  wd.record(1, true);
+  EXPECT_FALSE(wd.should_degrade());  // only 3 observations
+  wd.record(1, false);
+  EXPECT_DOUBLE_EQ(wd.miss_rate(), 0.5);
+  EXPECT_TRUE(wd.should_degrade());
+
+  // The window slides: two clean outcomes push the misses out.
+  wd.record(0, false);
+  wd.record(0, false);
+  EXPECT_DOUBLE_EQ(wd.miss_rate(), 0.25);
+  EXPECT_FALSE(wd.should_degrade());
+
+  // Cumulative per-constraint counters are unaffected by the window.
+  EXPECT_EQ(wd.miss_count(0), 1u);
+  EXPECT_EQ(wd.served_count(0), 4u);
+  EXPECT_EQ(wd.miss_count(1), 1u);
+  EXPECT_EQ(wd.served_count(1), 2u);
+
+  wd.reset_window();
+  EXPECT_DOUBLE_EQ(wd.miss_rate(), 0.0);
+  EXPECT_EQ(wd.miss_count(0), 1u);
+}
+
+TEST(Watchdog, ConsecutiveCycleOverrunsTriggerDegradation) {
+  WatchdogOptions opts;
+  opts.overrun_cycles_to_degrade = 3;
+  Watchdog wd(opts, 1);
+  wd.record_cycle(2);
+  wd.record_cycle(1);
+  EXPECT_FALSE(wd.should_degrade());
+  wd.record_cycle(0);  // streak broken
+  wd.record_cycle(3);
+  wd.record_cycle(1);
+  wd.record_cycle(4);
+  EXPECT_TRUE(wd.should_degrade());
+  EXPECT_EQ(wd.cycle_overruns(), 5u);
+  EXPECT_EQ(wd.overrun_slots(), 11);
+}
+
+TEST(AdaptiveExecutive, MatchesPlainExecutiveWithoutFaults) {
+  const GraphModel model = tiered_model();
+  const ModeLadder ladder = build_mode_ladder(model);
+  ASSERT_TRUE(ladder.success) << ladder.failure_reason;
+  const ConstraintArrivals arrivals = tiered_arrivals(2000);
+
+  const AdaptiveResult adaptive = run_adaptive_executive(ladder, arrivals, 2100);
+  EXPECT_TRUE(adaptive.all_served_met());
+  EXPECT_TRUE(adaptive.mode_changes.empty());
+  EXPECT_EQ(adaptive.final_mode, 0u);
+  EXPECT_EQ(adaptive.overrun_ops, 0u);
+
+  const ExecutiveResult plain =
+      run_executive(ladder.modes[0].schedule, ladder.base, arrivals, 2100);
+  EXPECT_TRUE(plain.all_met);
+  EXPECT_EQ(adaptive.invocations.size(), plain.invocations.size());
+}
+
+TEST(AdaptiveExecutive, AdmissionDefersBurstsAndRecordsDecisions) {
+  const GraphModel model = tiered_model();
+  const ModeLadder ladder = build_mode_ladder(model);
+  ASSERT_TRUE(ladder.success);
+
+  // CRIT (sep 6) arrives as a burst: 0, 1, 2 — plus a negative instant.
+  ConstraintArrivals arrivals(3);
+  arrivals[0] = {-3, 0, 1, 2, 40};
+  const AdaptiveResult r = run_adaptive_executive(ladder, arrivals, 300);
+
+  ASSERT_EQ(r.admissions.size(), 5u);
+  EXPECT_EQ(r.admissions[0].decision, AdmissionDecision::kRejected);  // t=-3
+  EXPECT_EQ(r.admissions[1].decision, AdmissionDecision::kAdmitted);  // t=0
+  EXPECT_EQ(r.admissions[2].decision, AdmissionDecision::kDeferred);  // t=1 -> 6
+  EXPECT_EQ(r.admissions[2].admitted, 6);
+  EXPECT_EQ(r.admissions[3].decision, AdmissionDecision::kDeferred);  // t=2 -> 12
+  EXPECT_EQ(r.admissions[3].admitted, 12);
+  EXPECT_EQ(r.admissions[4].decision, AdmissionDecision::kAdmitted);  // t=40
+  EXPECT_TRUE(r.all_served_met());  // deferred arrivals are legal, so served
+}
+
+TEST(AdaptiveExecutive, AdmissionRejectPolicyAndBackoffCap) {
+  const GraphModel model = tiered_model();
+  const ModeLadder ladder = build_mode_ladder(model);
+  ASSERT_TRUE(ladder.success);
+
+  ConstraintArrivals arrivals(3);
+  arrivals[0] = {0, 1, 2};
+
+  AdaptiveOptions strict;
+  strict.admission = AdmissionPolicy::kReject;
+  const AdaptiveResult r1 = run_adaptive_executive(ladder, arrivals, 300, strict);
+  ASSERT_EQ(r1.admissions.size(), 3u);
+  EXPECT_EQ(r1.admissions[1].decision, AdmissionDecision::kRejected);
+  EXPECT_EQ(r1.admissions[2].decision, AdmissionDecision::kRejected);
+
+  AdaptiveOptions capped;
+  capped.max_backoff = 5;  // t=1 -> 6 (backoff 5, ok); t=2 -> 12 (10, too far)
+  const AdaptiveResult r2 = run_adaptive_executive(ladder, arrivals, 300, capped);
+  ASSERT_EQ(r2.admissions.size(), 3u);
+  EXPECT_EQ(r2.admissions[1].decision, AdmissionDecision::kDeferred);
+  EXPECT_EQ(r2.admissions[2].decision, AdmissionDecision::kRejected);
+}
+
+// The acceptance scenario: 10%+ of executions overrun their declared
+// weight; the blind executive misses CRIT deadlines, the adaptive one
+// degrades (shedding BULK, then MID) and keeps every CRIT invocation
+// satisfied.
+TEST(AdaptiveExecutive, DegradedModeKeepsCriticalConstraintsAlive) {
+  const GraphModel model = tiered_model();
+  const ModeLadder ladder = build_mode_ladder(model);
+  ASSERT_TRUE(ladder.success) << ladder.failure_reason;
+  ASSERT_EQ(ladder.modes.size(), 3u);
+
+  const Time horizon = 6000;
+  const ConstraintArrivals arrivals = tiered_arrivals(horizon);
+
+  OverrunModel overruns;
+  overruns.probability = 0.25;
+  overruns.magnitude = 3.0;
+  overruns.seed = 11;
+
+  // Baseline: the non-adaptive executive under the same fault model,
+  // verified against CRIT alone — it demonstrably misses.
+  GraphModel crit_only(ladder.base.comm());
+  crit_only.add_constraint(ladder.base.constraint(0));
+  const OverrunRunResult baseline =
+      run_with_overruns(ladder.modes[0].schedule, crit_only, {arrivals[0]}, horizon,
+                        overruns);
+  EXPECT_GT(baseline.overrun_ops, 0u);
+  EXPECT_LT(baseline.satisfied, baseline.invocations)
+      << "scenario too easy: blind executive served every CRIT invocation";
+
+  // Adaptive: same faults, watchdog-driven degradation; stay degraded
+  // (recovery effectively disabled) for the comparison.
+  AdaptiveOptions opts;
+  opts.overruns = overruns;
+  opts.watchdog.window = 16;  // react fast: CRIT's slack erodes within ~2 cycles
+  opts.watchdog.min_observations = 4;
+  opts.watchdog.degrade_threshold = 0.1;
+  opts.watchdog.recovery_cycles = 100000;
+  const AdaptiveResult adaptive = run_adaptive_executive(ladder, arrivals, horizon, opts);
+
+  EXPECT_GT(adaptive.overrun_ops, 0u);
+  EXPECT_FALSE(adaptive.mode_changes.empty());
+  EXPECT_GT(adaptive.final_mode, 0u);
+  EXPECT_GT(adaptive.shed_count[2], 0u);  // BULK was load-shed
+  EXPECT_EQ(adaptive.critical_misses(ladder.base, 2), 0u)
+      << "a CRIT invocation missed its deadline under degradation";
+  // CRIT was genuinely exercised, not just shed.
+  EXPECT_GT(adaptive.served_count[0], 100u);
+  EXPECT_EQ(adaptive.shed_count[0], 0u);
+}
+
+TEST(AdaptiveExecutive, RecoversToPrimaryWhenOverrunsAreElementLocal) {
+  // A two-tier model with real idle headroom (util ~0.64), so slide
+  // from BULK's overruns is absorbed each cycle instead of compounding:
+  // only BULK's own tight window (d == separation-spaced service) ever
+  // misses. Once BULK is shed the degraded mode runs clean, so after
+  // the recovery window the executive steps back up to the primary —
+  // where overruns resume and it degrades again (a shed/recover cycle).
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"CRIT", single(0), 6, 14, ConstraintKind::kAsynchronous, 2});
+  model.add_constraint(
+      TimingConstraint{"BULK", single(1), 4, 4, ConstraintKind::kAsynchronous, 0});
+  const ModeLadder ladder = build_mode_ladder(model);
+  ASSERT_TRUE(ladder.success) << ladder.failure_reason;
+  ASSERT_EQ(ladder.modes.size(), 2u);
+
+  const Time horizon = 8000;
+  ConstraintArrivals arrivals(2);
+  arrivals[0] = rt::max_rate_arrivals(6, horizon);
+  arrivals[1] = rt::max_rate_arrivals(4, horizon);
+
+  AdaptiveOptions opts;
+  opts.overruns.probability = 0.0;
+  opts.overruns.magnitude = 3.0;
+  opts.overruns.seed = 5;
+  opts.overruns.element_probability = {0.0, 0.35};  // element "b" only
+  opts.watchdog.window = 16;
+  opts.watchdog.min_observations = 4;
+  opts.watchdog.degrade_threshold = 0.1;
+  opts.watchdog.recovery_cycles = 3;
+
+  const AdaptiveResult r = run_adaptive_executive(ladder, arrivals, horizon, opts);
+  bool stepped_down = false;
+  bool stepped_up = false;
+  for (const ModeChange& mc : r.mode_changes) {
+    if (mc.to > mc.from) stepped_down = true;
+    if (mc.to < mc.from && stepped_down) stepped_up = true;
+  }
+  EXPECT_TRUE(stepped_down);
+  EXPECT_TRUE(stepped_up);
+  EXPECT_EQ(r.final_mode, 0u);  // ends recovered
+  // CRIT never suffers: its element never overruns, the idle headroom
+  // absorbs BULK's slide, and it is never shed.
+  EXPECT_EQ(r.shed_count[0], 0u);
+  EXPECT_EQ(r.miss_count[0], 0u);
+  // BULK pays: some invocations shed while degraded, some missed while
+  // primary — that is the graceful-degradation contract.
+  EXPECT_GT(r.shed_count[1], 0u);
+}
+
+TEST(AdaptiveExecutive, RejectsUnusableLadderAndNegativeHorizon) {
+  ModeLadder broken;  // success == false, no modes
+  EXPECT_THROW((void)run_adaptive_executive(broken, {}, 100), std::invalid_argument);
+
+  const ModeLadder ladder = build_mode_ladder(tiered_model());
+  ASSERT_TRUE(ladder.success);
+  EXPECT_THROW((void)run_adaptive_executive(ladder, {}, -1), std::invalid_argument);
+}
+
+TEST(AdaptiveExecutive, HardenedLadderReplicatesSurvivors) {
+  // With harden_k = 1 the degraded modes carry 2 disjoint executions
+  // per original window for every surviving constraint.
+  CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("b", 1);
+  GraphModel model(std::move(comm));
+  model.add_constraint(
+      TimingConstraint{"KEEP", single(0), 6, 16, ConstraintKind::kAsynchronous, 1});
+  model.add_constraint(
+      TimingConstraint{"SHED", single(1), 4, 12, ConstraintKind::kAsynchronous, 0});
+
+  ModeLadderOptions opts;
+  opts.harden_k = 1;
+  const ModeLadder ladder = build_mode_ladder(model, opts);
+  ASSERT_TRUE(ladder.success) << ladder.failure_reason;
+  ASSERT_EQ(ladder.modes.size(), 2u);
+  const auto ft = fault_tolerant_latency(ladder.modes[1].schedule,
+                                         ladder.base.constraint(0).task_graph, 2);
+  ASSERT_TRUE(ft.has_value());
+  EXPECT_LE(*ft, 16);
+}
+
+}  // namespace
+}  // namespace rtg::core

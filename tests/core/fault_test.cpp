@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/latency.hpp"
 #include "rt/scheduler.hpp"
 
 namespace rtg::core {
@@ -147,6 +148,122 @@ TEST(RunWithFailures, HardenedScheduleSurvivesBetter) {
   EXPECT_GT(p.failed_ops, 0u);
   EXPECT_GT(h.survival_rate(), p.survival_rate());
   EXPECT_GT(h.survival_rate(), 0.95);
+}
+
+TEST(InjectOverruns, ZeroProbabilityIsIdentity) {
+  const GraphModel model = one_async(8);
+  const HardenedResult r = harden_and_schedule(model, 0);
+  ASSERT_TRUE(r.success);
+  const std::vector<ScheduledOp> ops = unroll_ops(*r.schedule, 5);
+  OverrunModel om;
+  om.probability = 0.0;
+  std::size_t count = 123;
+  const std::vector<ScheduledOp> out = inject_overruns(ops, om, &count);
+  EXPECT_EQ(count, 0u);
+  ASSERT_EQ(out.size(), ops.size());
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    EXPECT_EQ(out[i].start, ops[i].start);
+    EXPECT_EQ(out[i].finish(), ops[i].finish());
+  }
+}
+
+TEST(InjectOverruns, CertainOverrunSlidesSuccessors) {
+  // Two back-to-back unit ops: with p=1 and magnitude 2 the first op
+  // becomes [0,2) and pushes the second to [2,4).
+  std::vector<ScheduledOp> ops;
+  ops.push_back(ScheduledOp{0, 0, 1});
+  ops.push_back(ScheduledOp{0, 1, 1});
+  OverrunModel om;
+  om.probability = 1.0;
+  om.magnitude = 2.0;
+  std::size_t count = 0;
+  const std::vector<ScheduledOp> out = inject_overruns(ops, om, &count);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(out[0].start, 0);
+  EXPECT_EQ(out[0].finish(), 2);
+  EXPECT_EQ(out[1].start, 2);
+  EXPECT_EQ(out[1].finish(), 4);
+}
+
+TEST(InjectOverruns, MagnitudeBelowOneNeverShrinksOps) {
+  std::vector<ScheduledOp> ops;
+  ops.push_back(ScheduledOp{0, 0, 2});
+  OverrunModel om;
+  om.probability = 1.0;
+  om.magnitude = 0.25;  // clamped to 1.0: an overrun never shortens work
+  const std::vector<ScheduledOp> out = inject_overruns(ops, om);
+  EXPECT_EQ(out[0].duration, 2);
+}
+
+TEST(InjectOverruns, ElementLocalRatesOverrideDefaults) {
+  std::vector<ScheduledOp> ops;
+  ops.push_back(ScheduledOp{0, 0, 1});
+  ops.push_back(ScheduledOp{1, 1, 1});
+  OverrunModel om;
+  om.probability = 0.0;
+  om.magnitude = 3.0;
+  om.element_probability = {0.0, 1.0};  // only element 1 overruns
+  std::size_t count = 0;
+  const std::vector<ScheduledOp> out = inject_overruns(ops, om, &count);
+  EXPECT_EQ(count, 1u);
+  EXPECT_EQ(out[0].finish(), 1);  // element 0 untouched
+  EXPECT_EQ(out[1].duration, 3);
+}
+
+TEST(InjectOverruns, DeterministicUnderSeed) {
+  const GraphModel model = one_async(8);
+  const HardenedResult r = harden_and_schedule(model, 0);
+  ASSERT_TRUE(r.success);
+  const std::vector<ScheduledOp> ops = unroll_ops(*r.schedule, 50);
+  OverrunModel om;
+  om.probability = 0.4;
+  om.seed = 7;
+  std::size_t c1 = 0, c2 = 0;
+  const auto a = inject_overruns(ops, om, &c1);
+  const auto b = inject_overruns(ops, om, &c2);
+  EXPECT_EQ(c1, c2);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].start, b[i].start);
+    EXPECT_EQ(a[i].finish(), b[i].finish());
+  }
+  om.seed = 8;
+  std::size_t c3 = 0;
+  (void)inject_overruns(ops, om, &c3);
+  EXPECT_GT(c1, 0u);  // p=0.4 over ~50 ops: some overruns expected
+}
+
+TEST(RunWithOverruns, CleanRunServesEverything) {
+  const GraphModel model = one_async(8);
+  const HardenedResult r = harden_and_schedule(model, 0);
+  ASSERT_TRUE(r.success);
+  const auto arrivals = rt::max_rate_arrivals(4, 400);
+  OverrunModel om;
+  om.probability = 0.0;
+  const OverrunRunResult out =
+      run_with_overruns(*r.schedule, r.scheduled_model, {arrivals}, 420, om);
+  EXPECT_EQ(out.overrun_ops, 0u);
+  EXPECT_EQ(out.max_slide, 0);
+  EXPECT_DOUBLE_EQ(out.survival_rate(), 1.0);
+  EXPECT_GT(out.invocations, 50u);
+}
+
+TEST(RunWithOverruns, HeavyOverrunsCauseMisses) {
+  // Deadline equal to the service period leaves no slack: every
+  // overrun slides the serving execution past some deadline.
+  const GraphModel model = one_async(4);
+  const HardenedResult r = harden_and_schedule(model, 0);
+  ASSERT_TRUE(r.success);
+  const auto arrivals = rt::max_rate_arrivals(4, 1000);
+  OverrunModel om;
+  om.probability = 0.5;
+  om.magnitude = 3.0;
+  om.seed = 3;
+  const OverrunRunResult out =
+      run_with_overruns(*r.schedule, r.scheduled_model, {arrivals}, 1100, om);
+  EXPECT_GT(out.overrun_ops, 0u);
+  EXPECT_GT(out.max_slide, 0);
+  EXPECT_LT(out.survival_rate(), 1.0);
 }
 
 TEST(RunWithFailures, TotalLossKillsEverything) {

@@ -137,7 +137,51 @@ TEST(RunExecutive, ResponseTimeAccessor) {
   sched.push_idle(1);
   const ExecutiveResult r = run_executive(sched, model, {{1}}, 10);
   ASSERT_EQ(r.invocations.size(), 1u);
-  EXPECT_EQ(r.invocations[0].response_time(), 2);  // a@2 finishes at 3
+  ASSERT_TRUE(r.invocations[0].response_time().has_value());
+  EXPECT_EQ(*r.invocations[0].response_time(), 2);  // a@2 finishes at 3
+}
+
+TEST(RunExecutive, ResponseTimeUnsetWhileIncomplete) {
+  const GraphModel model = one_async(3, 1);
+  StaticSchedule sched;  // "a ." cannot serve an odd arrival inside d=1
+  sched.push_execution(0, 1);
+  sched.push_idle(1);
+  const ExecutiveResult r = run_executive(sched, model, {{1}}, 10);
+  ASSERT_EQ(r.invocations.size(), 1u);
+  EXPECT_FALSE(r.invocations[0].satisfied);
+  EXPECT_EQ(r.invocations[0].response_time(), std::nullopt);
+}
+
+TEST(ValidateArrivals, ReportsEveryDefectWithConstraintAndTimes) {
+  CommGraph comm;
+  comm.add_element("a", 1);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  tg.add_op(0);
+  model.add_constraint(
+      TimingConstraint{"A", tg, 5, 5, ConstraintKind::kAsynchronous});
+
+  // Sorted but separation-violating, plus a negative instant.
+  const ArrivalValidation v = validate_arrivals(model, {{-2, 0, 3}});
+  ASSERT_EQ(v.issues.size(), 2u);
+  EXPECT_EQ(v.issues[0].kind, ArrivalIssue::Kind::kNegativeTime);
+  EXPECT_EQ(v.issues[0].time, -2);
+  EXPECT_EQ(v.issues[1].kind, ArrivalIssue::Kind::kSeparationViolation);
+  EXPECT_EQ(v.issues[1].constraint_name, "A");
+  EXPECT_EQ(v.issues[1].position, 2u);
+  EXPECT_EQ(v.issues[1].time, 3);
+  EXPECT_EQ(v.issues[1].previous, 0);
+  EXPECT_NE(v.to_string().find("'A'"), std::string::npos);
+
+  const ArrivalValidation unsorted = validate_arrivals(model, {{7, 2}});
+  ASSERT_EQ(unsorted.issues.size(), 1u);
+  EXPECT_EQ(unsorted.issues[0].kind, ArrivalIssue::Kind::kUnsorted);
+
+  const ArrivalValidation missing = validate_arrivals(model, {});
+  ASSERT_EQ(missing.issues.size(), 1u);
+  EXPECT_EQ(missing.issues[0].kind, ArrivalIssue::Kind::kMissingStream);
+
+  EXPECT_TRUE(validate_arrivals(model, {{0, 5, 11}}).ok());
 }
 
 }  // namespace

@@ -6,13 +6,17 @@
 //   P3 pipelining preserves computation time and validity;
 //   P4 exact-solver soundness: returned schedules always verify;
 //   P5 EDF optimality on the process substrate: whenever any policy
-//      meets all deadlines in simulation, EDF does too.
+//      meets all deadlines in simulation, EDF does too;
+//   P6 fault-tolerance degenerates correctly: with a single replica
+//      the k-fault-tolerant latency equals the plain cyclic latency.
 #include <gtest/gtest.h>
 
 #include <tuple>
 
+#include "core/fault.hpp"
 #include "core/feasibility.hpp"
 #include "core/heuristic.hpp"
+#include "core/latency.hpp"
 #include "core/pipeline.hpp"
 #include "core/runtime.hpp"
 #include "rt/scheduler.hpp"
@@ -185,6 +189,23 @@ TEST_P(PropertySweep, ExactSolverSchedulesAlwaysVerify) {
   const core::ExactResult r = core::exact_feasible(model, options);
   if (r.status == core::FeasibilityStatus::kFeasible) {
     EXPECT_TRUE(core::verify_schedule(*r.schedule, model).feasible);
+  }
+}
+
+// P6: one replica asks for exactly one execution, so the k=1
+// fault-tolerant latency coincides with the plain cyclic latency on
+// every schedule/constraint pair the heuristic produces.
+TEST_P(PropertySweep, SingleReplicaFaultTolerantLatencyMatchesPlain) {
+  sim::Rng rng(GetParam() * 523 + 11);
+  const GraphModel model = random_model(rng, 5, 8, 24, true);
+  const core::HeuristicResult h = core::latency_schedule(model);
+  if (!h.success) GTEST_SKIP() << "heuristic declined: " << h.failure_reason;
+
+  for (std::size_t i = 0; i < h.scheduled_model.constraint_count(); ++i) {
+    const TaskGraph& tg = h.scheduled_model.constraint(i).task_graph;
+    EXPECT_EQ(core::fault_tolerant_latency(*h.schedule, tg, 1),
+              core::schedule_latency(*h.schedule, tg))
+        << "constraint " << h.scheduled_model.constraint(i).name;
   }
 }
 

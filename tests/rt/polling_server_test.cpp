@@ -162,5 +162,50 @@ TEST(DeferrableServer, PeriodicTasksStillMeetDeadlines) {
   EXPECT_EQ(r.periodic_misses(), 0u);
 }
 
+TEST(PollingServerOverrun, ZeroProbabilityMatchesPlainSimulation) {
+  TaskSet ts({make(2, 8)});
+  const std::vector<AperiodicJob> jobs{{1, 2}, {13, 1}};
+  const auto plain = simulate_polling_server(ts, 2, 6, jobs, 60);
+  ServerOverruns ov;
+  ov.probability = 0.0;
+  const auto faulty = simulate_polling_server_overrun(ts, 2, 6, jobs, 60, ov);
+  EXPECT_EQ(plain.periodic_misses(), faulty.periodic_misses());
+  ASSERT_EQ(plain.aperiodic_jobs.size(), faulty.aperiodic_jobs.size());
+  for (std::size_t i = 0; i < plain.aperiodic_jobs.size(); ++i) {
+    EXPECT_EQ(plain.aperiodic_jobs[i].completion, faulty.aperiodic_jobs[i].completion);
+  }
+}
+
+TEST(PollingServerOverrun, CertainOverrunsDegradeService) {
+  // Near-saturated EDF with no enforcement: doubling every execution
+  // demand must cause periodic misses the clean run does not have.
+  TaskSet ts({make(3, 8), make(2, 6)});
+  const std::vector<AperiodicJob> jobs{{0, 1}, {6, 1}, {12, 1}};
+  const auto plain = simulate_polling_server(ts, 1, 8, jobs, 120);
+  EXPECT_EQ(plain.periodic_misses(), 0u);
+
+  ServerOverruns ov;
+  ov.probability = 1.0;
+  ov.magnitude = 2.0;
+  const auto faulty = simulate_polling_server_overrun(ts, 1, 8, jobs, 120, ov);
+  EXPECT_GT(faulty.periodic_misses(), 0u);
+}
+
+TEST(PollingServerOverrun, DeterministicUnderSeed) {
+  TaskSet ts({make(2, 6)});
+  const std::vector<AperiodicJob> jobs{{0, 2}, {7, 2}, {15, 1}};
+  ServerOverruns ov;
+  ov.probability = 0.5;
+  ov.magnitude = 2.0;
+  ov.seed = 42;
+  const auto a = simulate_polling_server_overrun(ts, 2, 6, jobs, 80, ov);
+  const auto b = simulate_polling_server_overrun(ts, 2, 6, jobs, 80, ov);
+  EXPECT_EQ(a.periodic_misses(), b.periodic_misses());
+  ASSERT_EQ(a.aperiodic_jobs.size(), b.aperiodic_jobs.size());
+  for (std::size_t i = 0; i < a.aperiodic_jobs.size(); ++i) {
+    EXPECT_EQ(a.aperiodic_jobs[i].completion, b.aperiodic_jobs[i].completion);
+  }
+}
+
 }  // namespace
 }  // namespace rtg::rt

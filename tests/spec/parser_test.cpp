@@ -133,5 +133,72 @@ TEST(Parser, MissingKindKeyword) {
   EXPECT_NE(r.errors[0].message.find("'periodic' or 'sporadic'"), std::string::npos);
 }
 
+// Malformed-input sweep: every truncation of a valid spec must produce
+// diagnostics (or parse cleanly at statement boundaries), never crash,
+// and every diagnostic must carry a plausible source position.
+TEST(Parser, EveryPrefixOfAValidSpecIsHandledGracefully) {
+  const std::string spec =
+      "element fx weight 2\n"
+      "element fs\n"
+      "channel fx -> fs\n"
+      "constraint X periodic period 20 deadline 15 {\n"
+      "  fx -> fs\n"
+      "}\n"
+      "constraint Y sporadic separation 9 deadline 7 {\n"
+      "  fs#0\n"
+      "}\n";
+  for (std::size_t len = 0; len <= spec.size(); ++len) {
+    const ParseResult r = parse(std::string_view(spec).substr(0, len));
+    for (const ParseError& e : r.errors) {
+      EXPECT_FALSE(e.message.empty()) << "prefix length " << len;
+      EXPECT_GE(e.line, 1u);
+      EXPECT_GE(e.column, 1u);
+    }
+  }
+  EXPECT_TRUE(parse(spec).ok());
+}
+
+TEST(Parser, GarbageInputNeverCrashesAndAlwaysDiagnoses) {
+  const char* cases[] = {
+      "\x01\x02\x03\xff\xfe",
+      "{}{}{}{}",
+      "-> -> ->",
+      "element\n",
+      "element fx weight\n",
+      "element fx weight -3\n",
+      "constraint\n",
+      "constraint C periodic\n",
+      "constraint C periodic period\n",
+      "constraint C periodic period 5 deadline\n",
+      "constraint C periodic period 5 deadline 4 {\n",
+      "constraint C periodic period 5 deadline 4 { fx#\n}\n",
+      "constraint C sporadic separation 99999999999999999999 deadline 4 { a }\n",
+      "element a element b element c channel",
+      "$$$",
+      "constraint C periodic period 5 deadline 4 { a } }\n",
+  };
+  for (const char* text : cases) {
+    const ParseResult r = parse(text);
+    EXPECT_FALSE(r.ok()) << "accepted garbage: " << text;
+    ASSERT_FALSE(r.errors.empty());
+    for (const ParseError& e : r.errors) {
+      EXPECT_FALSE(e.message.empty());
+    }
+  }
+}
+
+TEST(Parser, DeeplyNestedAndLongInputsStayBounded) {
+  // A pathological but syntactically valid spec: many statements.
+  std::string big;
+  for (int i = 0; i < 2000; ++i) {
+    big += "element e" + std::to_string(i) + "\n";
+  }
+  EXPECT_TRUE(parse(big).ok());
+
+  // A long run of open braces must terminate with errors, not hang.
+  const std::string braces(4096, '{');
+  EXPECT_FALSE(parse(braces).ok());
+}
+
 }  // namespace
 }  // namespace rtg::spec
