@@ -3,7 +3,7 @@
 // schedule, and emit artifacts.
 //
 //   $ ./spec_compiler <file.rts> [--dot] [--schedule] [--processes]
-//                     [--emit] [--exact] [--multiproc N]
+//                     [--emit] [--exact] [--multiproc N] [--threads N]
 //                     [--save <sched>] [--verify <sched>]
 //   $ echo "element a" | ./spec_compiler -
 //
@@ -35,7 +35,9 @@ int usage() {
   std::fprintf(stderr,
                "usage: spec_compiler <file.rts | -> [--dot] [--schedule] "
                "[--processes] [--emit] [--exact] [--analyze] [--multiproc N]\n"
-               "                     [--save <sched>] [--verify <sched>]\n");
+               "                     [--threads N] [--save <sched>] [--verify <sched>]\n"
+               "  --threads N   worker threads for verification and the exact\n"
+               "                search (0 = hardware concurrency, 1 = serial)\n");
   return 1;
 }
 
@@ -46,6 +48,7 @@ int main(int argc, char** argv) {
   bool want_dot = false, want_schedule = false, want_processes = false;
   bool want_emit = false, want_exact = false, want_analyze = false;
   std::size_t multiproc = 0;
+  std::size_t n_threads = 0;  // 0 = hardware concurrency
   const char* path = nullptr;
   const char* save_path = nullptr;
   const char* verify_path = nullptr;
@@ -69,6 +72,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--multiproc") == 0 && i + 1 < argc) {
       multiproc = static_cast<std::size_t>(std::atoi(argv[++i]));
       if (multiproc == 0) return usage();
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      const int n = std::atoi(argv[++i]);
+      if (n < 0) return usage();
+      n_threads = static_cast<std::size_t>(n);
     } else if (path == nullptr) {
       path = argv[i];
     } else {
@@ -116,7 +123,9 @@ int main(int argc, char** argv) {
                           .c_str());
   }
   if (want_schedule) {
-    const core::HeuristicResult synth = core::latency_schedule(model);
+    core::HeuristicOptions heuristic_options;
+    heuristic_options.n_threads = n_threads;
+    const core::HeuristicResult synth = core::latency_schedule(model, heuristic_options);
     if (!synth.success) {
       std::fprintf(stderr, "synthesis failed: %s\n", synth.failure_reason.c_str());
       return 2;
@@ -158,6 +167,7 @@ int main(int argc, char** argv) {
   if (want_exact) {
     core::ExactOptions options;
     options.state_budget = 500'000;
+    options.n_threads = n_threads;
     const core::ExactResult r = core::exact_feasible(model, options);
     switch (r.status) {
       case core::FeasibilityStatus::kFeasible:
@@ -214,8 +224,8 @@ int main(int argc, char** argv) {
       }
       return 2;
     }
-    const core::FeasibilityReport report =
-        core::verify_schedule(*parsed.schedule, pipelined);
+    const core::FeasibilityReport report = core::verify_schedule(
+        *parsed.schedule, pipelined, core::VerifyOptions{.n_threads = n_threads});
     for (const core::ConstraintVerdict& v : report.verdicts) {
       const core::TimingConstraint& c = pipelined.constraint(v.constraint);
       if (v.latency) {

@@ -63,6 +63,16 @@ struct ExactOptions {
   /// shortest), trading solve time for schedule quality — the knob the
   /// E14 experiment motivates.
   std::size_t cycle_candidates = 1;
+  /// Worker threads for the game search. 0 = hardware concurrency;
+  /// 1 = the exact single-threaded legacy search. With more than one
+  /// thread, workers expand disjoint subtrees seeded from a shared
+  /// frontier of short game prefixes, share a lock-striped
+  /// visited-state set, and charge unique state expansions against the
+  /// same state_budget. The FeasibilityStatus is the same as the
+  /// serial search's (both are sound and complete); the witness
+  /// schedule may be a different feasible cycle, and states_explored
+  /// counts unique expansions across all workers.
+  std::size_t n_threads = 0;
 };
 
 /// Decides whether a feasible static schedule exists for the model

@@ -68,7 +68,8 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
     result.success = true;
     result.schedule = StaticSchedule{};
     result.schedule->push_idle(1);
-    result.report = verify_schedule(*result.schedule, working);
+    result.report = verify_schedule(*result.schedule, working,
+                                    VerifyOptions{.n_threads = options.n_threads});
     return result;
   }
 
@@ -188,7 +189,8 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
     }
   }
 
-  result.report = verify_schedule(sched, working);
+  result.report = verify_schedule(sched, working,
+                                  VerifyOptions{.n_threads = options.n_threads});
   if (!result.report.feasible) {
     result.failure_reason = "constructed schedule failed verification";
     return result;

@@ -51,6 +51,10 @@ struct HeuristicOptions {
   /// Upper bound on the server hyperperiod (schedule length); larger
   /// values are rejected with a failure instead of exploding memory.
   Time max_schedule_length = 1'000'000;
+  /// Worker threads for the final verification of the constructed
+  /// schedule (see VerifyOptions::n_threads). 0 = hardware concurrency;
+  /// 1 = serial. The report is bit-identical at every thread count.
+  std::size_t n_threads = 0;
 };
 
 struct HeuristicResult {

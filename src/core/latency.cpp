@@ -1,12 +1,15 @@
 #include "core/latency.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "rt/task.hpp"  // lcm_checked
+#include "util/partition.hpp"
+#include "util/thread_pool.hpp"
 
 namespace rtg::core {
 
@@ -311,7 +314,10 @@ bool periodic_satisfied(const StaticSchedule& sched, const TaskGraph& tg, Time p
   return true;
 }
 
-FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel& model) {
+namespace {
+
+// Serial legacy path: one constraint at a time, no memo, no pool.
+FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& model) {
   FeasibilityReport report;
   report.feasible = true;
   for (std::size_t i = 0; i < model.constraint_count(); ++i) {
@@ -328,6 +334,244 @@ FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel&
     report.verdicts.push_back(verdict);
   }
   return report;
+}
+
+// Structural fingerprint of a task graph. Constraints whose task graphs
+// are structurally identical (same op count, labels, and edges) produce
+// identical embedding queries over identical op spans, so they share
+// memo entries under one id.
+std::string task_graph_fingerprint(const TaskGraph& tg) {
+  std::string key;
+  auto put = [&key](std::uint64_t v) {
+    key.append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  put(tg.size());
+  for (OpId v = 0; v < tg.size(); ++v) {
+    put(tg.label(v));
+    const auto& succ = tg.skeleton().successors(v);
+    put(succ.size());
+    for (OpId s : succ) put(s);
+  }
+  return key;
+}
+
+// Partition seed: fixed so the unit-to-group assignment (and therefore
+// run-to-run behavior) is reproducible.
+constexpr std::uint64_t kPartitionSeed = 0x9e3779b97f4a7c15ULL;
+
+FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel& model,
+                                  std::size_t n_threads, VerifyStats* stats) {
+  // Argument validation mirrors the serial path: any malformed periodic
+  // constraint makes serial verification throw, so throw up front.
+  for (const TimingConstraint& c : model.constraints()) {
+    if (c.periodic() && (c.period < 1 || c.deadline < 1)) {
+      throw std::invalid_argument("periodic_satisfied: p and d must be >= 1");
+    }
+  }
+
+  // Plan every constraint: either a fixed verdict (degenerate cases the
+  // serial path answers without embedding queries) or a batch of
+  // independent (window begin) queries over a prefix of one shared
+  // unrolled op sequence.
+  struct ConstraintPlan {
+    std::size_t tg_id = 0;
+    std::size_t periods = 0;      // op-span prefix length, in periods
+    std::vector<Time> offsets;    // window begins to query
+    std::optional<ConstraintVerdict> fixed;
+  };
+
+  const Time period = sched.length();
+  std::vector<ConstraintPlan> plans(model.constraint_count());
+  std::unordered_map<std::string, std::size_t> tg_ids;
+  std::vector<const TaskGraph*> tg_of_id;
+  std::size_t max_periods = 0;
+
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const TimingConstraint& c = model.constraint(i);
+    ConstraintPlan& plan = plans[i];
+    ConstraintVerdict fixed;
+    fixed.constraint = i;
+    if (c.task_graph.empty()) {
+      if (!c.periodic()) fixed.latency = 0;
+      fixed.satisfied = c.periodic() || 0 <= c.deadline;
+      plan.fixed = fixed;
+      continue;
+    }
+    if (period == 0 || !covers_elements(sched, c.task_graph)) {
+      fixed.satisfied = false;
+      plan.fixed = fixed;
+      continue;
+    }
+    const auto [it, inserted] =
+        tg_ids.emplace(task_graph_fingerprint(c.task_graph), tg_of_id.size());
+    if (inserted) tg_of_id.push_back(&c.task_graph);
+    plan.tg_id = it->second;
+    if (c.periodic()) {
+      const Time cycle = rt::lcm_checked(period, c.period);
+      plan.periods = static_cast<std::size_t>(cycle / period) +
+                     unroll_budget(c.task_graph);
+      for (Time t = 0; t < cycle; t += c.period) plan.offsets.push_back(t);
+    } else {
+      plan.periods = unroll_budget(c.task_graph);
+      plan.offsets.push_back(0);
+      for (const ScheduledOp& op : sched.ops()) {
+        if (op.start + 1 < period) plan.offsets.push_back(op.start + 1);
+      }
+    }
+    max_periods = std::max(max_periods, plan.periods);
+  }
+
+  // One shared unroll: unroll_ops(sched, k) is a prefix of
+  // unroll_ops(sched, k') for k <= k', so every constraint's query span
+  // is a prefix of the longest one.
+  const std::vector<ScheduledOp> unrolled = unroll_ops(sched, max_periods);
+  const std::size_t ops_per_period = sched.ops().size();
+
+  // Shared memo table: one slot per distinct (tg_id, periods, window
+  // begin) query, built in two steps so the parallel hot loop is
+  // lock-free. Plans are grouped by (tg_id, periods); each group's
+  // offset lists (sorted ascending by construction) merge into unique
+  // slots, and unit_queries[i][j] maps plan i's j-th offset to its
+  // slot. Workers then fill disjoint slots with no synchronization
+  // beyond the pool's completion barrier.
+  struct Query {
+    std::size_t tg_id = 0;
+    std::size_t periods = 0;
+    Time t = 0;
+  };
+  std::vector<Query> queries;
+  std::vector<std::vector<std::size_t>> unit_queries(plans.size());
+  std::size_t work_units = 0;
+  {
+    std::vector<std::pair<std::size_t, std::size_t>> group_keys;  // (tg_id, periods)
+    std::vector<std::vector<std::size_t>> group_plans;
+    for (std::size_t i = 0; i < plans.size(); ++i) {
+      const ConstraintPlan& plan = plans[i];
+      if (plan.fixed) continue;
+      work_units += plan.offsets.size();
+      const auto key = std::make_pair(plan.tg_id, plan.periods);
+      std::size_t g = group_keys.size();
+      for (std::size_t j = 0; j < group_keys.size(); ++j) {
+        if (group_keys[j] == key) {
+          g = j;
+          break;
+        }
+      }
+      if (g == group_keys.size()) {
+        group_keys.push_back(key);
+        group_plans.emplace_back();
+      }
+      group_plans[g].push_back(i);
+    }
+    for (std::size_t g = 0; g < group_keys.size(); ++g) {
+      std::vector<Time> merged;
+      for (const std::size_t i : group_plans[g]) {
+        merged.insert(merged.end(), plans[i].offsets.begin(), plans[i].offsets.end());
+      }
+      std::sort(merged.begin(), merged.end());
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      const std::size_t base = queries.size();
+      for (const Time t : merged) {
+        queries.push_back(Query{group_keys[g].first, group_keys[g].second, t});
+      }
+      for (const std::size_t i : group_plans[g]) {
+        const ConstraintPlan& plan = plans[i];
+        unit_queries[i].reserve(plan.offsets.size());
+        std::size_t pos = 0;  // both lists sorted: a single forward walk
+        for (const Time t : plan.offsets) {
+          while (merged[pos] < t) ++pos;
+          unit_queries[i].push_back(base + pos);
+        }
+      }
+    }
+  }
+
+  // Memoized finish per query; kInf encodes "no embedding".
+  std::vector<Time> memo(queries.size(), kInf);
+  {
+    util::ThreadPool pool(n_threads);
+    const auto parts =
+        util::partition_indices(queries.size(), 4 * n_threads, kPartitionSeed);
+    for (const auto& part : parts) {
+      pool.submit([&, part] {
+        for (std::size_t q : part) {
+          const Query& query = queries[q];
+          const std::span<const ScheduledOp> span(unrolled.data(),
+                                                  ops_per_period * query.periods);
+          const auto finish =
+              earliest_embedding_finish(*tg_of_id[query.tg_id], span, query.t);
+          memo[q] = finish ? *finish : kInf;
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  // Reduce per constraint with commutative operations, so the verdicts
+  // are independent of which worker answered which unit.
+  std::vector<std::optional<Time>> worst(plans.size());      // async: max finish - t
+  std::vector<bool> all_met(plans.size(), true);             // periodic
+  std::vector<bool> any_missing(plans.size(), false);        // async: some nullopt
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    const ConstraintPlan& plan = plans[i];
+    if (plan.fixed) continue;
+    const TimingConstraint& c = model.constraint(i);
+    for (std::size_t j = 0; j < plan.offsets.size(); ++j) {
+      const Time t = plan.offsets[j];
+      const Time finish = memo[unit_queries[i][j]];
+      if (c.periodic()) {
+        if (finish == kInf || finish > t + c.deadline) all_met[i] = false;
+      } else {
+        if (finish == kInf) {
+          any_missing[i] = true;
+        } else {
+          const Time lag = finish - t;
+          if (!worst[i] || lag > *worst[i]) worst[i] = lag;
+        }
+      }
+    }
+  }
+
+  FeasibilityReport report;
+  report.feasible = true;
+  for (std::size_t i = 0; i < plans.size(); ++i) {
+    ConstraintVerdict verdict;
+    if (plans[i].fixed) {
+      verdict = *plans[i].fixed;
+    } else {
+      verdict.constraint = i;
+      const TimingConstraint& c = model.constraint(i);
+      if (c.periodic()) {
+        verdict.satisfied = all_met[i];
+      } else {
+        verdict.latency = any_missing[i] ? std::nullopt : worst[i];
+        verdict.satisfied =
+            verdict.latency.has_value() && *verdict.latency <= c.deadline;
+      }
+    }
+    report.feasible = report.feasible && verdict.satisfied;
+    report.verdicts.push_back(verdict);
+  }
+
+  if (stats != nullptr) {
+    stats->embedding_queries = queries.size();
+    stats->memo_hits = work_units - queries.size();
+    stats->work_units = work_units;
+  }
+  return report;
+}
+
+}  // namespace
+
+FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel& model) {
+  return verify_schedule(sched, model, VerifyOptions{});
+}
+
+FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel& model,
+                                  const VerifyOptions& options) {
+  const std::size_t n_threads = util::resolve_threads(options.n_threads);
+  if (n_threads <= 1) return verify_serial(sched, model);
+  return verify_parallel(sched, model, n_threads, options.stats);
 }
 
 }  // namespace rtg::core

@@ -99,6 +99,8 @@ struct ConstraintVerdict {
   /// infinite). For periodic constraints: unset.
   std::optional<Time> latency;
   bool satisfied = false;
+
+  friend bool operator==(const ConstraintVerdict&, const ConstraintVerdict&) = default;
 };
 
 /// Full feasibility report for a schedule against a model: latency <= d
@@ -107,9 +109,39 @@ struct ConstraintVerdict {
 struct FeasibilityReport {
   std::vector<ConstraintVerdict> verdicts;
   bool feasible = false;
+
+  friend bool operator==(const FeasibilityReport&, const FeasibilityReport&) = default;
 };
 
+/// Counters filled by the parallel verification engine (all zero on the
+/// serial path, which neither partitions work nor memoizes).
+struct VerifyStats {
+  /// Embedding queries actually computed (memo misses).
+  std::size_t embedding_queries = 0;
+  /// Embedding queries answered from the shared memo table.
+  std::size_t memo_hits = 0;
+  /// Parallel work units (constraint x window-offset pairs).
+  std::size_t work_units = 0;
+};
+
+struct VerifyOptions {
+  /// Worker threads for the per-constraint x per-window fan-out.
+  /// 0 = hardware concurrency; 1 = the exact serial legacy path.
+  std::size_t n_threads = 0;
+  /// Optional engine counters (only written by the parallel path).
+  VerifyStats* stats = nullptr;
+};
+
+/// Verifies with the default options (auto thread count). The result is
+/// bit-identical at every thread count: each (constraint, window
+/// offset) unit is an independent pure query, results are reduced with
+/// commutative operations (max / conjunction), and the memo table only
+/// caches deterministic query results.
 [[nodiscard]] FeasibilityReport verify_schedule(const StaticSchedule& sched,
                                                 const GraphModel& model);
+
+[[nodiscard]] FeasibilityReport verify_schedule(const StaticSchedule& sched,
+                                                const GraphModel& model,
+                                                const VerifyOptions& options);
 
 }  // namespace rtg::core

@@ -1,0 +1,48 @@
+// partition.hpp — seeded-deterministic task partitioning.
+//
+// The parallel engines fan work units out in groups. Units that are
+// expensive tend to be clustered (all window offsets of one heavy
+// constraint are adjacent in the unit list), so contiguous chunking
+// would hand one group all the expensive units. A seeded Fisher-Yates
+// shuffle followed by round-robin dealing spreads clusters across
+// groups in expectation while staying bit-reproducible: the same
+// (n_items, n_parts, seed) always yields the same partition, so runs
+// are comparable and failures replayable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace rtg::util {
+
+/// Partitions the index set [0, n_items) into at most `n_parts`
+/// non-empty groups of near-equal size (difference at most one), after
+/// a seeded deterministic shuffle. Returns fewer groups when
+/// n_items < n_parts; an empty vector when n_items == 0.
+[[nodiscard]] inline std::vector<std::vector<std::size_t>> partition_indices(
+    std::size_t n_items, std::size_t n_parts, std::uint64_t seed) {
+  std::vector<std::vector<std::size_t>> parts;
+  if (n_items == 0 || n_parts == 0) return parts;
+
+  std::vector<std::size_t> order(n_items);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  sim::Rng rng(seed);
+  for (std::size_t i = n_items; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(order[i - 1], order[j]);
+  }
+
+  const std::size_t used = n_parts < n_items ? n_parts : n_items;
+  parts.resize(used);
+  for (std::size_t i = 0; i < n_items; ++i) {
+    parts[i % used].push_back(order[i]);
+  }
+  return parts;
+}
+
+}  // namespace rtg::util

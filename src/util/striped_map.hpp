@@ -1,0 +1,110 @@
+// striped_map.hpp — lock-striped hash containers for shared state.
+//
+// The parallel engines share two kinds of state across workers: a memo
+// table of embedding-query results and the visited-state set of the
+// simulation game. Both see high-frequency point lookups/inserts from
+// many threads with no cross-key operations, so a fixed array of
+// independently locked shards (stripes) keyed by hash suffices:
+// contention drops by the stripe count, and no resize of a global
+// table ever stalls every worker at once.
+//
+// First-write-wins semantics: values inserted for a key are never
+// replaced. The engines only store results of deterministic
+// computations, so racing writers always carry equal values and either
+// may win.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace rtg::util {
+
+template <typename K, typename V, typename Hash = std::hash<K>>
+class StripedMap {
+ public:
+  explicit StripedMap(std::size_t stripes = 64) : shards_(stripes) {}
+
+  /// Returns the value stored for `key`, if any.
+  [[nodiscard]] std::optional<V> get(const K& key) const {
+    const Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Inserts key -> value unless the key is present; returns true iff
+  /// this call inserted.
+  bool put_if_absent(const K& key, const V& value) {
+    Shard& shard = shard_for(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.map.emplace(key, value).second;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.map.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<K, V, Hash> map;
+  };
+
+  [[nodiscard]] Shard& shard_for(const K& key) {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+  [[nodiscard]] const Shard& shard_for(const K& key) const {
+    return shards_[Hash{}(key) % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+};
+
+template <typename K, typename Hash = std::hash<K>>
+class StripedSet {
+ public:
+  explicit StripedSet(std::size_t stripes = 64) : shards_(stripes) {}
+
+  /// Inserts `key`; returns true iff it was absent (first inserter).
+  bool insert(const K& key) {
+    Shard& shard = shards_[Hash{}(key) % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.set.insert(key).second;
+  }
+
+  [[nodiscard]] bool contains(const K& key) const {
+    const Shard& shard = shards_[Hash{}(key) % shards_.size()];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    return shard.set.count(key) != 0;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      total += shard.set.size();
+    }
+    return total;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_set<K, Hash> set;
+  };
+
+  std::vector<Shard> shards_;
+};
+
+}  // namespace rtg::util

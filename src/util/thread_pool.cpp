@@ -1,0 +1,163 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace rtg::util {
+
+namespace {
+
+// Which worker (if any) the current thread is; lets submit() route
+// nested submissions to the submitter's own deque.
+thread_local const ThreadPool* tls_pool = nullptr;
+thread_local std::size_t tls_worker_id = 0;
+
+}  // namespace
+
+std::size_t resolve_threads(std::size_t n_threads) {
+  if (n_threads != 0) return n_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  const std::size_t n = resolve_threads(n_threads);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  std::size_t target;
+  if (tls_pool == this) {
+    target = tls_worker_id;
+  } else {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    target = next_victim_++ % workers_.size();
+  }
+  // Counters go up before the task becomes stealable so a racing
+  // worker can never decrement them below zero.
+  {
+    std::lock_guard<std::mutex> lock(signal_mutex_);
+    ++queued_;
+    ++in_flight_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  idle_cv_.notify_all();  // a thread helping in wait_idle can take this task
+}
+
+std::function<void()> ThreadPool::take_task(std::size_t id) {
+  // Own deque first, newest task (LIFO).
+  {
+    Worker& own = *workers_[id];
+    std::lock_guard<std::mutex> lock(own.mutex);
+    if (!own.deque.empty()) {
+      auto task = std::move(own.deque.back());
+      own.deque.pop_back();
+      return task;
+    }
+  }
+  // Steal the oldest task from the first non-empty victim.
+  for (std::size_t k = 1; k < workers_.size(); ++k) {
+    Worker& victim = *workers_[(id + k) % workers_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.deque.empty()) {
+      auto task = std::move(victim.deque.front());
+      victim.deque.pop_front();
+      return task;
+    }
+  }
+  return {};
+}
+
+void ThreadPool::worker_loop(std::size_t id) {
+  tls_pool = this;
+  tls_worker_id = id;
+  for (;;) {
+    std::function<void()> task = take_task(id);
+    if (!task) {
+      std::unique_lock<std::mutex> lock(signal_mutex_);
+      work_cv_.wait(lock, [this] { return stopping_ || queued_ > 0; });
+      if (stopping_ && queued_ == 0) return;
+      continue;  // re-race for the task
+    }
+    {
+      std::lock_guard<std::mutex> lock(signal_mutex_);
+      --queued_;
+    }
+    task();
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(signal_mutex_);
+      idle = --in_flight_ == 0;
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::wait_idle() {
+  // The waiting thread helps drain the queue instead of sleeping: with
+  // fewer hardware threads than pool threads (or a loaded machine) this
+  // keeps throughput at least near the serial path's.
+  for (;;) {
+    std::function<void()> task = take_task(0);
+    if (task) {
+      {
+        std::lock_guard<std::mutex> lock(signal_mutex_);
+        --queued_;
+      }
+      task();
+      bool idle;
+      {
+        std::lock_guard<std::mutex> lock(signal_mutex_);
+        idle = --in_flight_ == 0;
+      }
+      if (idle) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(signal_mutex_);
+    if (in_flight_ == 0) return;
+    if (queued_ > 0) continue;  // published but not yet pushed — re-scan
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0 || queued_ > 0; });
+    if (in_flight_ == 0) return;
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t chunks = std::min(n, 4 * pool.size());
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    const std::size_t end = begin + len;
+    pool.submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+    begin = end;
+  }
+  pool.wait_idle();
+}
+
+}  // namespace rtg::util

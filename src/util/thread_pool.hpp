@@ -1,0 +1,74 @@
+// thread_pool.hpp — work-stealing thread pool for the parallel
+// verification and feasibility engines.
+//
+// Each worker owns a deque guarded by its own mutex: the owner pushes
+// and pops at the back (LIFO, cache-friendly for recursive splits) and
+// idle workers steal from the front of a victim's deque (FIFO, taking
+// the oldest — typically largest — task). A pool is cheap enough to
+// construct per top-level query, which keeps the engines free of global
+// mutable state and makes every run independently schedulable under
+// ThreadSanitizer.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rtg::util {
+
+/// Resolves a user-facing thread-count knob: 0 means "auto" (the
+/// hardware concurrency, at least 1); any other value is itself.
+[[nodiscard]] std::size_t resolve_threads(std::size_t n_threads);
+
+class ThreadPool {
+ public:
+  /// Spawns `n_threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks submitted from a worker thread go to that
+  /// worker's own deque; external submissions are dealt round-robin.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running. Tasks may
+  /// submit further tasks; wait_idle() covers those too.
+  void wait_idle();
+
+ private:
+  struct Worker {
+    std::mutex mutex;
+    std::deque<std::function<void()>> deque;
+  };
+
+  void worker_loop(std::size_t id);
+  [[nodiscard]] std::function<void()> take_task(std::size_t id);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex signal_mutex_;  // guards queued_, in_flight_, stopping_
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t queued_ = 0;     // tasks sitting in some deque
+  std::size_t in_flight_ = 0;  // tasks queued or currently running
+  bool stopping_ = false;
+  std::size_t next_victim_ = 0;  // round-robin external submission cursor
+};
+
+/// Runs fn(i) for every i in [0, n) across the pool and blocks until
+/// all calls return. Indices are dealt into roughly 4 * pool.size()
+/// contiguous chunks so stealing can rebalance uneven work.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace rtg::util

@@ -152,6 +152,39 @@ TEST(UnrollOps, ShiftsByPeriod) {
   EXPECT_EQ(ops[2].start, 6);
 }
 
+TEST(UnrollOps, AllIdleScheduleHasNoOps) {
+  // A schedule of pure idle slots (phi-only string) has positive length
+  // but unrolls to zero executions, at any period count.
+  StaticSchedule s;
+  s.push_idle(3);
+  EXPECT_EQ(s.length(), 3);
+  EXPECT_TRUE(unroll_ops(s, 1).empty());
+  EXPECT_TRUE(unroll_ops(s, 4).empty());
+}
+
+TEST(EarliestEmbedding, EmptyTaskGraphOnEmptyOps) {
+  // The empty task graph embeds vacuously even when there is nothing to
+  // embed into: the finish time is the window begin itself.
+  const std::vector<ScheduledOp> no_ops;
+  EXPECT_EQ(earliest_embedding_finish(TaskGraph{}, no_ops, 0), 0);
+  EXPECT_EQ(earliest_embedding_finish(TaskGraph{}, no_ops, 7), 7);
+}
+
+TEST(EarliestEmbedding, NonEmptyTaskGraphOnEmptyOps) {
+  const std::vector<ScheduledOp> no_ops;
+  EXPECT_EQ(earliest_embedding_finish(single(0), no_ops, 0), std::nullopt);
+}
+
+TEST(ScheduleLatency, AllIdleScheduleIsInfinite) {
+  // phi-only schedules never execute anything: latency is unbounded for
+  // any non-empty task graph, zero for the empty one.
+  StaticSchedule s;
+  s.push_idle(2);
+  EXPECT_EQ(schedule_latency(s, single(0)), std::nullopt);
+  EXPECT_EQ(schedule_latency(s, TaskGraph{}), 0);
+  EXPECT_FALSE(periodic_satisfied(s, single(0), 2, 2));
+}
+
 TEST(ScheduleLatency, SingleElementWithIdle) {
   StaticSchedule s;
   s.push_execution(0, 1);
