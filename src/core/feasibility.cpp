@@ -32,10 +32,12 @@ std::uint32_t encode_slot(ElementId e, Time phase) {
 
 // Decodes the trailing `d` slots of the window into the complete
 // executions they contain (partial executions at the cut are dropped),
-// with starts relative to the window beginning.
-std::vector<ScheduledOp> window_ops(const std::deque<std::uint32_t>& window, Time d,
-                                    const CommGraph& comm) {
-  std::vector<ScheduledOp> ops;
+// with starts relative to the window beginning. Appends into `ops`
+// (cleared first) so the caller's scratch buffer is reused across the
+// millions of window checks a search performs.
+void window_ops(const std::deque<std::uint32_t>& window, Time d, const CommGraph& comm,
+                std::vector<ScheduledOp>& ops) {
+  ops.clear();
   const std::size_t n = window.size();
   const std::size_t begin = n - static_cast<std::size_t>(d);
   std::size_t i = begin;
@@ -70,7 +72,6 @@ std::vector<ScheduledOp> window_ops(const std::deque<std::uint32_t>& window, Tim
     }
     ++i;
   }
-  return ops;
 }
 
 struct GameContext {
@@ -81,6 +82,9 @@ struct GameContext {
 
   std::deque<std::uint32_t> window;  // always exactly D slots
   Time clock = 0;                    // total slots emitted
+  // Decoded-window arena reused across checks; contexts are per-worker,
+  // so the mutable scratch is race-free.
+  mutable std::vector<ScheduledOp> ops_scratch;
 
   explicit GameContext(const GraphModel& m) : model(m) {
     for (const TimingConstraint& c : m.constraints()) {
@@ -102,8 +106,8 @@ struct GameContext {
         // Invocation windows [kp, kp+d] close when clock == kp + d.
         if ((clock - c.deadline) % c.period != 0) continue;
       }
-      const auto ops = window_ops(window, c.deadline, model.comm());
-      if (!window_contains_execution(c.task_graph, ops, 0, c.deadline)) {
+      window_ops(window, c.deadline, model.comm(), ops_scratch);
+      if (!window_contains_execution(c.task_graph, ops_scratch, 0, c.deadline)) {
         return false;
       }
     }

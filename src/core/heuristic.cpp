@@ -195,6 +195,14 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
     result.failure_reason = "constructed schedule failed verification";
     return result;
   }
+  if (options.refine) {
+    // The constructive schedule over-provisions (polling servers run
+    // their whole task graph every instance); drop redundant executions
+    // while the incremental verifier keeps feasibility exact.
+    sched = compact_schedule(sched, working, &result.refine_stats);
+    result.report = verify_schedule(sched, working,
+                                    VerifyOptions{.n_threads = options.n_threads});
+  }
   result.success = true;
   result.schedule = std::move(sched);
   return result;

@@ -32,6 +32,7 @@
 
 #include "core/latency.hpp"
 #include "core/model.hpp"
+#include "core/optimize.hpp"
 #include "core/pipeline.hpp"
 #include "core/static_schedule.hpp"
 
@@ -55,6 +56,12 @@ struct HeuristicOptions {
   /// schedule (see VerifyOptions::n_threads). 0 = hardware concurrency;
   /// 1 = serial. The report is bit-identical at every thread count.
   std::size_t n_threads = 0;
+  /// Refine the constructed schedule with the compaction pass
+  /// (core/optimize) before returning. The pass runs on the
+  /// IncrementalVerifier, re-querying only windows whose cached
+  /// embedding witness touched the dropped execution; counters land in
+  /// HeuristicResult::refine_stats.
+  bool refine = false;
 };
 
 struct HeuristicResult {
@@ -73,6 +80,11 @@ struct HeuristicResult {
 
   /// Σ budget_i / server_period_i — must be <= 1 for EDF to work.
   double server_utilization = 0.0;
+
+  /// Counters from the refinement pass (only populated when
+  /// HeuristicOptions::refine is set): executions removed plus the
+  /// verification-engine stats, including incremental cache hits.
+  OptimizeStats refine_stats;
 };
 
 /// Runs the constructive heuristic. Guaranteed to succeed when

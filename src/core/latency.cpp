@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <numeric>
 #include <stdexcept>
 #include <unordered_map>
@@ -165,6 +166,252 @@ std::vector<ScheduledOp> unroll_ops(const StaticSchedule& sched, std::size_t per
   return result;
 }
 
+UnrollIndex::UnrollIndex(const StaticSchedule& sched, std::size_t periods)
+    : base_(sched.ops()), period_(sched.length()), periods_(periods) {
+  ElementId max_elem = 0;
+  for (const ScheduledOp& op : base_) max_elem = std::max(max_elem, op.elem);
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  pairs.reserve(base_.size());
+  // Base ops are in start order, so each element's CSR row comes out in
+  // start order too.
+  for (std::size_t i = 0; i < base_.size(); ++i) {
+    pairs.emplace_back(static_cast<std::size_t>(base_[i].elem), i);
+  }
+  occ_ = util::CsrBuckets<std::size_t>(
+      base_.empty() ? 0 : static_cast<std::size_t>(max_elem) + 1, pairs);
+  occ_rank_.resize(base_.size());
+  for (std::size_t e = 0; e < occ_.bucket_count(); ++e) {
+    std::size_t rank = 0;
+    for (const std::size_t* it = occ_.begin(e); it != occ_.end(e); ++it) {
+      occ_rank_[*it] = rank++;
+    }
+  }
+}
+
+std::size_t UnrollIndex::occurrence_count(ElementId e) const {
+  const auto bucket = static_cast<std::size_t>(e);
+  return bucket < occ_.bucket_count() ? occ_.size(bucket) : 0;
+}
+
+std::span<const std::size_t> UnrollIndex::occurrences(ElementId e) const {
+  const auto bucket = static_cast<std::size_t>(e);
+  if (bucket >= occ_.bucket_count()) return {};
+  return {occ_.begin(bucket), occ_.size(bucket)};
+}
+
+std::size_t UnrollIndex::first_at_or_after(ElementId e, Time t, std::size_t limit) const {
+  const auto bucket = static_cast<std::size_t>(e);
+  if (base_.empty() || period_ <= 0 || bucket >= occ_.bucket_count() ||
+      occ_.size(bucket) == 0) {
+    return npos;
+  }
+  if (t < 0) t = 0;
+  const std::size_t opp = base_.size();
+  // Cycle k covers starts in [k * period, (k+1) * period); every
+  // occurrence in an earlier cycle starts before t, so the first match
+  // is in cycle t / period (or the following one).
+  std::size_t cycle = static_cast<std::size_t>(t / period_);
+  const Time r = t - static_cast<Time>(cycle) * period_;
+  const std::size_t* first = occ_.begin(bucket);
+  const std::size_t* last = occ_.end(bucket);
+  const std::size_t* it = std::lower_bound(
+      first, last, r,
+      [this](std::size_t base_idx, Time rel) { return base_[base_idx].start < rel; });
+  std::size_t base_idx;
+  if (it != last) {
+    base_idx = *it;
+  } else {
+    ++cycle;
+    base_idx = *first;
+  }
+  const std::size_t idx = cycle * opp + base_idx;
+  return idx < std::min(limit, size()) ? idx : npos;
+}
+
+std::size_t UnrollIndex::next_occurrence(std::size_t idx, std::size_t limit) const {
+  const std::size_t opp = base_.size();
+  const std::size_t base_idx = idx % opp;
+  std::size_t cycle = idx / opp;
+  const auto bucket = static_cast<std::size_t>(base_[base_idx].elem);
+  const std::size_t rank = occ_rank_[base_idx];
+  std::size_t next_base;
+  if (rank + 1 < occ_.size(bucket)) {
+    next_base = occ_.begin(bucket)[rank + 1];
+  } else {
+    ++cycle;
+    next_base = *occ_.begin(bucket);
+  }
+  const std::size_t next = cycle * opp + next_base;
+  return next < std::min(limit, size()) ? next : npos;
+}
+
+EmbeddingKernel::EmbeddingKernel(const TaskGraph& tg, const UnrollIndex& index,
+                                 std::size_t periods_limit)
+    : tg_(&tg),
+      index_(&index),
+      limit_(periods_limit == 0
+                 ? index.size()
+                 : std::min(index.size(), periods_limit * index.ops_per_period())),
+      repeated_(tg.has_repeated_labels()),
+      topo_(tg.topological_ops()) {
+  finish_.assign(tg.size(), 0);
+  chosen_.assign(tg.size(), 0);
+  hint_.assign(tg.size(), SeekHint{});
+}
+
+// Fills a hint from a fresh index probe; used on the first query of a
+// sweep, after a backwards window jump, and whenever the previous pick
+// exhausted the prefix. The division to decompose the flat index is
+// paid only here, off the steady-state path.
+void EmbeddingKernel::seed_hint(SeekHint& h, ElementId e, Time ready) {
+  ++counters_.index_seeks;
+  h.idx = index_->first_at_or_after(e, ready, limit_);
+  if (h.idx == UnrollIndex::npos) return;
+  const std::size_t base_idx = h.idx % index_->ops_per_period();
+  h.cycle = h.idx / index_->ops_per_period();
+  h.rank = index_->occurrence_rank(base_idx);
+  const ScheduledOp& b = index_->base_op(base_idx);
+  h.start = b.start + static_cast<Time>(h.cycle) * index_->period();
+  h.finish = h.start + b.duration;
+}
+
+// Indexed greedy / branch-and-bound. Candidate executions of an element
+// are enumerated in the same (start) order as the flat scan visits
+// them, so picks and pruning decisions — and hence finishes and witness
+// assignments — are bit-identical to the reference kernels above.
+bool EmbeddingKernel::solve(Time window_begin, const std::vector<bool>& excluded) {
+  ++counters_.queries;
+  if (warm_) {
+    ++counters_.arena_reuses;
+  } else {
+    warm_ = true;
+  }
+  if (tg_->empty()) {
+    result_finish_ = window_begin;
+    return true;
+  }
+  if (repeated_) {
+    if (used_.size() < limit_) used_.assign(limit_, false);
+    best_ = kInf;
+    bnb_rec(0, window_begin, window_begin, excluded);
+    if (best_ == kInf) return false;
+    result_finish_ = best_;
+    return true;
+  }
+  // Monotone seek hints: the verify engines issue a group's queries in
+  // ascending window order, and the greedy pick for each op is monotone
+  // in the window begin (ready times only grow), so the previous pick
+  // is a sound lower bound — advance linearly from it instead of binary
+  // searching. Amortized O(1) seeks per query over a sweep. Hints are
+  // bypassed (and left untouched) under exclusion masks or when the
+  // window moves backwards; the picks are identical either way.
+  const bool plain = excluded.empty();
+  const bool monotone = plain && (!hints_primed_ || window_begin >= last_begin_);
+  if (plain) {
+    hints_primed_ = true;
+    last_begin_ = window_begin;
+  }
+  const std::size_t opp = index_->ops_per_period();
+  const Time index_period = index_->period();
+  Time makespan = window_begin;
+  for (OpId v : topo_) {
+    Time ready = window_begin;
+    for (OpId u : tg_->skeleton().predecessors(v)) {
+      ready = std::max(ready, finish_[u]);
+    }
+    if (plain) {
+      SeekHint& h = hint_[v];
+      if (!monotone || h.idx == UnrollIndex::npos) {
+        seed_hint(h, tg_->label(v), ready);
+      } else if (h.start < ready) {
+        // Steady-state advance: walk the element's occurrence row with
+        // (cycle, rank) arithmetic only. Visits executions in exactly
+        // next_occurrence order, so the pick is unchanged.
+        const std::span<const std::size_t> row =
+            index_->occurrences(tg_->label(v));
+        do {
+          ++counters_.index_seeks;
+          if (++h.rank == row.size()) {
+            h.rank = 0;
+            ++h.cycle;
+          }
+          const std::size_t base_idx = row[h.rank];
+          h.idx = h.cycle * opp + base_idx;
+          if (h.idx >= limit_) {
+            h.idx = UnrollIndex::npos;
+            break;
+          }
+          const ScheduledOp& b = index_->base_op(base_idx);
+          h.start = b.start + static_cast<Time>(h.cycle) * index_period;
+          h.finish = h.start + b.duration;
+        } while (h.start < ready);
+      }
+      if (h.idx == UnrollIndex::npos) return false;
+      finish_[v] = h.finish;
+      chosen_[v] = h.idx;
+    } else {
+      std::size_t idx = index_->first_at_or_after(tg_->label(v), ready, limit_);
+      ++counters_.index_seeks;
+      while (idx != UnrollIndex::npos && excluded[idx]) {
+        idx = index_->next_occurrence(idx, limit_);
+        ++counters_.index_seeks;
+      }
+      if (idx == UnrollIndex::npos) return false;
+      finish_[v] = index_->op(idx).finish();
+      chosen_[v] = idx;
+    }
+    makespan = std::max(makespan, finish_[v]);
+  }
+  result_finish_ = makespan;
+  return true;
+}
+
+void EmbeddingKernel::bnb_rec(std::size_t k, Time makespan, Time window_begin,
+                              const std::vector<bool>& excluded) {
+  if (makespan >= best_) return;
+  if (k == topo_.size()) {
+    best_ = makespan;
+    best_assignment_ = chosen_;
+    return;
+  }
+  const OpId v = topo_[k];
+  Time ready = window_begin;
+  for (OpId u : tg_->skeleton().predecessors(v)) {
+    ready = std::max(ready, finish_[u]);
+  }
+  std::size_t idx = index_->first_at_or_after(tg_->label(v), ready, limit_);
+  ++counters_.index_seeks;
+  while (idx != UnrollIndex::npos) {
+    const ScheduledOp op = index_->op(idx);
+    if (op.start >= best_) break;  // any later choice is no better
+    if (!used_[idx] && (excluded.empty() || !excluded[idx])) {
+      used_[idx] = true;
+      finish_[v] = op.finish();
+      chosen_[v] = idx;
+      bnb_rec(k + 1, std::max(makespan, finish_[v]), window_begin, excluded);
+      used_[idx] = false;
+    }
+    idx = index_->next_occurrence(idx, limit_);
+    ++counters_.index_seeks;
+  }
+}
+
+std::optional<Time> EmbeddingKernel::finish_at(Time window_begin) {
+  static const std::vector<bool> kNoExclusions;
+  if (!solve(window_begin, kNoExclusions)) return std::nullopt;
+  return result_finish_;
+}
+
+std::optional<EmbeddingWitness> EmbeddingKernel::witness_at(
+    Time window_begin, const std::vector<bool>& excluded) {
+  if (!solve(window_begin, excluded)) return std::nullopt;
+  EmbeddingWitness witness;
+  witness.finish = result_finish_;
+  witness.assignment = repeated_ ? best_assignment_ : chosen_;
+  if (tg_->empty()) witness.assignment.clear();
+  return witness;
+}
+
 std::vector<ScheduledOp> ops_from_trace(const sim::ExecutionTrace& trace,
                                         const CommGraph& comm) {
   std::vector<ScheduledOp> ops;
@@ -271,7 +518,8 @@ std::optional<Time> schedule_latency(const StaticSchedule& sched, const TaskGrap
   if (sched.length() == 0 || !covers_elements(sched, tg)) return std::nullopt;
 
   const Time period = sched.length();
-  const std::vector<ScheduledOp> unrolled = unroll_ops(sched, unroll_budget(tg));
+  const UnrollIndex index(sched, unroll_budget(tg));
+  EmbeddingKernel kernel(tg, index);
 
   // completion(t) = earliest finish of an embedding starting at or
   // after t, is a non-decreasing step function of t that only jumps at
@@ -286,7 +534,7 @@ std::optional<Time> schedule_latency(const StaticSchedule& sched, const TaskGrap
 
   Time latency = 0;
   for (Time t : candidates) {
-    const auto finish = earliest_embedding_finish(tg, unrolled, t);
+    const auto finish = kernel.finish_at(t);
     if (!finish) return std::nullopt;  // cannot happen if covers_elements
     latency = std::max(latency, *finish - t);
   }
@@ -306,6 +554,51 @@ bool periodic_satisfied(const StaticSchedule& sched, const TaskGraph& tg, Time p
   // Invocations at t = 0, p, ..., cycle - p repeat identically afterwards.
   const std::size_t periods_needed =
       static_cast<std::size_t>(cycle / period) + unroll_budget(tg);
+  const UnrollIndex index(sched, periods_needed);
+  EmbeddingKernel kernel(tg, index);
+  for (Time t = 0; t < cycle; t += p) {
+    const auto finish = kernel.finish_at(t);
+    if (!finish || *finish > t + d) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// Flat-scan reference verifier: the pre-index serial path, one
+// constraint at a time over materialized unroll_ops with linear element
+// scans, no memo. Kept (behind VerifyOptions::flat_reference) to pin
+// the legacy behavior for the differential suite.
+std::optional<Time> schedule_latency_flat(const StaticSchedule& sched,
+                                          const TaskGraph& tg) {
+  if (tg.empty()) return 0;
+  if (sched.length() == 0 || !covers_elements(sched, tg)) return std::nullopt;
+  const Time period = sched.length();
+  const std::vector<ScheduledOp> unrolled = unroll_ops(sched, unroll_budget(tg));
+  std::vector<Time> candidates{0};
+  for (const ScheduledOp& op : sched.ops()) {
+    if (op.start + 1 < period) candidates.push_back(op.start + 1);
+  }
+  Time latency = 0;
+  for (Time t : candidates) {
+    const auto finish = earliest_embedding_finish(tg, unrolled, t);
+    if (!finish) return std::nullopt;
+    latency = std::max(latency, *finish - t);
+  }
+  return latency;
+}
+
+bool periodic_satisfied_flat(const StaticSchedule& sched, const TaskGraph& tg, Time p,
+                             Time d) {
+  if (p < 1 || d < 1) {
+    throw std::invalid_argument("periodic_satisfied: p and d must be >= 1");
+  }
+  if (tg.empty()) return true;
+  if (sched.length() == 0 || !covers_elements(sched, tg)) return false;
+  const Time period = sched.length();
+  const Time cycle = rt::lcm_checked(period, p);
+  const std::size_t periods_needed =
+      static_cast<std::size_t>(cycle / period) + unroll_budget(tg);
   const std::vector<ScheduledOp> unrolled = unroll_ops(sched, periods_needed);
   for (Time t = 0; t < cycle; t += p) {
     const auto finish = earliest_embedding_finish(tg, unrolled, t);
@@ -314,10 +607,7 @@ bool periodic_satisfied(const StaticSchedule& sched, const TaskGraph& tg, Time p
   return true;
 }
 
-namespace {
-
-// Serial legacy path: one constraint at a time, no memo, no pool.
-FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& model) {
+FeasibilityReport verify_flat(const StaticSchedule& sched, const GraphModel& model) {
   FeasibilityReport report;
   report.feasible = true;
   for (std::size_t i = 0; i < model.constraint_count(); ++i) {
@@ -325,9 +615,10 @@ FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& m
     ConstraintVerdict verdict;
     verdict.constraint = i;
     if (c.periodic()) {
-      verdict.satisfied = periodic_satisfied(sched, c.task_graph, c.period, c.deadline);
+      verdict.satisfied =
+          periodic_satisfied_flat(sched, c.task_graph, c.period, c.deadline);
     } else {
-      verdict.latency = schedule_latency(sched, c.task_graph);
+      verdict.latency = schedule_latency_flat(sched, c.task_graph);
       verdict.satisfied = verdict.latency.has_value() && *verdict.latency <= c.deadline;
     }
     report.feasible = report.feasible && verdict.satisfied;
@@ -359,36 +650,59 @@ std::string task_graph_fingerprint(const TaskGraph& tg) {
 // run-to-run behavior) is reproducible.
 constexpr std::uint64_t kPartitionSeed = 0x9e3779b97f4a7c15ULL;
 
-FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel& model,
-                                  std::size_t n_threads, VerifyStats* stats) {
-  // Argument validation mirrors the serial path: any malformed periodic
-  // constraint makes serial verification throw, so throw up front.
+// Auto thread mode spawns workers only above this many planned window
+// queries; below it the pool setup dominates (E16/E17).
+constexpr std::size_t kAutoParallelCutoff = 256;
+
+// Plan of one constraint: either a fixed verdict (degenerate cases
+// answered without embedding queries) or a batch of independent
+// window-begin queries over a prefix of one shared unroll.
+struct ConstraintPlan {
+  std::size_t tg_id = 0;
+  std::size_t periods = 0;      // op-span prefix length, in periods
+  std::vector<Time> offsets;    // window begins to query, sorted ascending
+  std::optional<ConstraintVerdict> fixed;
+};
+
+struct VerifyPlan {
+  std::vector<ConstraintPlan> plans;
+  std::vector<const TaskGraph*> tg_of_id;
+  std::size_t max_periods = 0;
+  std::size_t work_units = 0;  // total non-fixed (constraint, offset) units
+};
+
+VerifyPlan build_verify_plan(const StaticSchedule& sched, const GraphModel& model) {
+  // Argument validation mirrors the legacy paths: any malformed
+  // periodic constraint makes verification throw, so throw up front.
   for (const TimingConstraint& c : model.constraints()) {
     if (c.periodic() && (c.period < 1 || c.deadline < 1)) {
       throw std::invalid_argument("periodic_satisfied: p and d must be >= 1");
     }
   }
 
-  // Plan every constraint: either a fixed verdict (degenerate cases the
-  // serial path answers without embedding queries) or a batch of
-  // independent (window begin) queries over a prefix of one shared
-  // unrolled op sequence.
-  struct ConstraintPlan {
-    std::size_t tg_id = 0;
-    std::size_t periods = 0;      // op-span prefix length, in periods
-    std::vector<Time> offsets;    // window begins to query
-    std::optional<ConstraintVerdict> fixed;
-  };
-
   const Time period = sched.length();
-  std::vector<ConstraintPlan> plans(model.constraint_count());
+  VerifyPlan out;
+  out.plans.resize(model.constraint_count());
   std::unordered_map<std::string, std::size_t> tg_ids;
-  std::vector<const TaskGraph*> tg_of_id;
-  std::size_t max_periods = 0;
+
+  // One materialization of the schedule's executions serves element
+  // coverage checks and async offset lists for every constraint.
+  const std::vector<ScheduledOp> ops = sched.ops();
+  std::vector<bool> present;
+  for (const ScheduledOp& op : ops) {
+    if (op.elem >= present.size()) present.resize(op.elem + 1, false);
+    present[op.elem] = true;
+  }
+  const auto covered = [&present](const TaskGraph& tg) {
+    for (ElementId e : tg.labels()) {
+      if (e >= present.size() || !present[e]) return false;
+    }
+    return true;
+  };
 
   for (std::size_t i = 0; i < model.constraint_count(); ++i) {
     const TimingConstraint& c = model.constraint(i);
-    ConstraintPlan& plan = plans[i];
+    ConstraintPlan& plan = out.plans[i];
     ConstraintVerdict fixed;
     fixed.constraint = i;
     if (c.task_graph.empty()) {
@@ -397,14 +711,14 @@ FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel&
       plan.fixed = fixed;
       continue;
     }
-    if (period == 0 || !covers_elements(sched, c.task_graph)) {
+    if (period == 0 || !covered(c.task_graph)) {
       fixed.satisfied = false;
       plan.fixed = fixed;
       continue;
     }
     const auto [it, inserted] =
-        tg_ids.emplace(task_graph_fingerprint(c.task_graph), tg_of_id.size());
-    if (inserted) tg_of_id.push_back(&c.task_graph);
+        tg_ids.emplace(task_graph_fingerprint(c.task_graph), out.tg_of_id.size());
+    if (inserted) out.tg_of_id.push_back(&c.task_graph);
     plan.tg_id = it->second;
     if (c.periodic()) {
       const Time cycle = rt::lcm_checked(period, c.period);
@@ -413,138 +727,139 @@ FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel&
       for (Time t = 0; t < cycle; t += c.period) plan.offsets.push_back(t);
     } else {
       plan.periods = unroll_budget(c.task_graph);
+      plan.offsets.reserve(ops.size() + 1);
       plan.offsets.push_back(0);
-      for (const ScheduledOp& op : sched.ops()) {
+      for (const ScheduledOp& op : ops) {
         if (op.start + 1 < period) plan.offsets.push_back(op.start + 1);
       }
     }
-    max_periods = std::max(max_periods, plan.periods);
+    out.work_units += plan.offsets.size();
+    out.max_periods = std::max(out.max_periods, plan.periods);
   }
+  return out;
+}
 
-  // One shared unroll: unroll_ops(sched, k) is a prefix of
-  // unroll_ops(sched, k') for k <= k', so every constraint's query span
-  // is a prefix of the longest one.
-  const std::vector<ScheduledOp> unrolled = unroll_ops(sched, max_periods);
-  const std::size_t ops_per_period = sched.ops().size();
+// Deduplicated query table: one slot per distinct (tg_id, periods,
+// window begin). Plans are grouped by (tg_id, periods); each group's
+// offset lists (sorted ascending by construction) merge into unique
+// slots, and unit_queries[i][j] maps plan i's j-th offset to its slot.
+// Slots of one group are contiguous, so a serial executor reuses one
+// kernel per group and parallel workers fill disjoint slots lock-free.
+struct Query {
+  std::size_t tg_id = 0;
+  std::size_t periods = 0;
+  Time t = 0;
+};
 
-  // Shared memo table: one slot per distinct (tg_id, periods, window
-  // begin) query, built in two steps so the parallel hot loop is
-  // lock-free. Plans are grouped by (tg_id, periods); each group's
-  // offset lists (sorted ascending by construction) merge into unique
-  // slots, and unit_queries[i][j] maps plan i's j-th offset to its
-  // slot. Workers then fill disjoint slots with no synchronization
-  // beyond the pool's completion barrier.
-  struct Query {
-    std::size_t tg_id = 0;
-    std::size_t periods = 0;
-    Time t = 0;
-  };
+struct QueryTable {
   std::vector<Query> queries;
-  std::vector<std::vector<std::size_t>> unit_queries(plans.size());
-  std::size_t work_units = 0;
-  {
-    std::vector<std::pair<std::size_t, std::size_t>> group_keys;  // (tg_id, periods)
-    std::vector<std::vector<std::size_t>> group_plans;
-    for (std::size_t i = 0; i < plans.size(); ++i) {
-      const ConstraintPlan& plan = plans[i];
-      if (plan.fixed) continue;
-      work_units += plan.offsets.size();
-      const auto key = std::make_pair(plan.tg_id, plan.periods);
-      std::size_t g = group_keys.size();
-      for (std::size_t j = 0; j < group_keys.size(); ++j) {
-        if (group_keys[j] == key) {
-          g = j;
-          break;
-        }
+  std::vector<std::vector<std::size_t>> unit_queries;  // per plan, per offset
+};
+
+QueryTable build_query_table(const VerifyPlan& plan) {
+  QueryTable out;
+  out.unit_queries.resize(plan.plans.size());
+  std::vector<std::pair<std::size_t, std::size_t>> group_keys;  // (tg_id, periods)
+  std::vector<std::vector<std::size_t>> group_plans;
+  for (std::size_t i = 0; i < plan.plans.size(); ++i) {
+    const ConstraintPlan& p = plan.plans[i];
+    if (p.fixed) continue;
+    const auto key = std::make_pair(p.tg_id, p.periods);
+    std::size_t g = group_keys.size();
+    for (std::size_t j = 0; j < group_keys.size(); ++j) {
+      if (group_keys[j] == key) {
+        g = j;
+        break;
       }
-      if (g == group_keys.size()) {
-        group_keys.push_back(key);
-        group_plans.emplace_back();
-      }
-      group_plans[g].push_back(i);
     }
-    for (std::size_t g = 0; g < group_keys.size(); ++g) {
-      std::vector<Time> merged;
-      for (const std::size_t i : group_plans[g]) {
-        merged.insert(merged.end(), plans[i].offsets.begin(), plans[i].offsets.end());
+    if (g == group_keys.size()) {
+      group_keys.push_back(key);
+      group_plans.emplace_back();
+    }
+    group_plans[g].push_back(i);
+  }
+  std::vector<Time> merged;
+  std::vector<Time> scratch;
+  for (std::size_t g = 0; g < group_keys.size(); ++g) {
+    // Each plan's offset list is sorted and unique by construction, so
+    // the group's slots come from a linear merge, not a sort. Members
+    // with identical lists (duplicated constraints, and all async
+    // constraints of a group, which share {0} + op starts) hit the
+    // equality fast path.
+    merged.clear();
+    for (const std::size_t i : group_plans[g]) {
+      const auto& offsets = plan.plans[i].offsets;
+      if (merged.empty()) {
+        merged = offsets;
+        continue;
       }
-      std::sort(merged.begin(), merged.end());
-      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-      const std::size_t base = queries.size();
-      for (const Time t : merged) {
-        queries.push_back(Query{group_keys[g].first, group_keys[g].second, t});
-      }
-      for (const std::size_t i : group_plans[g]) {
-        const ConstraintPlan& plan = plans[i];
-        unit_queries[i].reserve(plan.offsets.size());
-        std::size_t pos = 0;  // both lists sorted: a single forward walk
-        for (const Time t : plan.offsets) {
-          while (merged[pos] < t) ++pos;
-          unit_queries[i].push_back(base + pos);
-        }
+      if (merged == offsets) continue;
+      scratch.clear();
+      scratch.reserve(merged.size() + offsets.size());
+      std::merge(merged.begin(), merged.end(), offsets.begin(), offsets.end(),
+                 std::back_inserter(scratch));
+      scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+      merged.swap(scratch);
+    }
+    const std::size_t base = out.queries.size();
+    for (const Time t : merged) {
+      out.queries.push_back(Query{group_keys[g].first, group_keys[g].second, t});
+    }
+    for (const std::size_t i : group_plans[g]) {
+      const ConstraintPlan& p = plan.plans[i];
+      out.unit_queries[i].reserve(p.offsets.size());
+      std::size_t pos = 0;  // both lists sorted: a single forward walk
+      for (const Time t : p.offsets) {
+        while (merged[pos] < t) ++pos;
+        out.unit_queries[i].push_back(base + pos);
       }
     }
   }
+  return out;
+}
 
-  // Memoized finish per query; kInf encodes "no embedding".
-  std::vector<Time> memo(queries.size(), kInf);
-  {
-    util::ThreadPool pool(n_threads);
-    const auto parts =
-        util::partition_indices(queries.size(), 4 * n_threads, kPartitionSeed);
-    for (const auto& part : parts) {
-      pool.submit([&, part] {
-        for (std::size_t q : part) {
-          const Query& query = queries[q];
-          const std::span<const ScheduledOp> span(unrolled.data(),
-                                                  ops_per_period * query.periods);
-          const auto finish =
-              earliest_embedding_finish(*tg_of_id[query.tg_id], span, query.t);
-          memo[q] = finish ? *finish : kInf;
-        }
-      });
-    }
-    pool.wait_idle();
-  }
-
-  // Reduce per constraint with commutative operations, so the verdicts
-  // are independent of which worker answered which unit.
-  std::vector<std::optional<Time>> worst(plans.size());      // async: max finish - t
-  std::vector<bool> all_met(plans.size(), true);             // periodic
-  std::vector<bool> any_missing(plans.size(), false);        // async: some nullopt
-  for (std::size_t i = 0; i < plans.size(); ++i) {
-    const ConstraintPlan& plan = plans[i];
-    if (plan.fixed) continue;
-    const TimingConstraint& c = model.constraint(i);
-    for (std::size_t j = 0; j < plan.offsets.size(); ++j) {
-      const Time t = plan.offsets[j];
-      const Time finish = memo[unit_queries[i][j]];
-      if (c.periodic()) {
-        if (finish == kInf || finish > t + c.deadline) all_met[i] = false;
-      } else {
-        if (finish == kInf) {
-          any_missing[i] = true;
-        } else {
-          const Time lag = finish - t;
-          if (!worst[i] || lag > *worst[i]) worst[i] = lag;
-        }
-      }
-    }
-  }
-
+// Reduces per-query finishes into the report with commutative
+// operations (max / conjunction), so verdicts are independent of which
+// worker answered which unit. `fixed_of(i)` may pre-empt a constraint,
+// `finish_of(i, j)` yields the j-th offset's finish (kInf = none), and
+// `include(i, j)` filters offsets (the incremental path drops the
+// edited window; full verification includes everything).
+template <typename FixedFn, typename FinishFn, typename IncludeFn>
+FeasibilityReport reduce_report(const VerifyPlan& plan, const GraphModel& model,
+                                FixedFn&& fixed_of, FinishFn&& finish_of,
+                                IncludeFn&& include) {
   FeasibilityReport report;
   report.feasible = true;
-  for (std::size_t i = 0; i < plans.size(); ++i) {
+  for (std::size_t i = 0; i < plan.plans.size(); ++i) {
     ConstraintVerdict verdict;
-    if (plans[i].fixed) {
-      verdict = *plans[i].fixed;
+    if (const auto fixed = fixed_of(i)) {
+      verdict = *fixed;
     } else {
       verdict.constraint = i;
       const TimingConstraint& c = model.constraint(i);
+      const ConstraintPlan& p = plan.plans[i];
       if (c.periodic()) {
-        verdict.satisfied = all_met[i];
+        bool all_met = true;
+        for (std::size_t j = 0; j < p.offsets.size(); ++j) {
+          if (!include(i, j)) continue;
+          const Time finish = finish_of(i, j);
+          if (finish == kInf || finish > p.offsets[j] + c.deadline) all_met = false;
+        }
+        verdict.satisfied = all_met;
       } else {
-        verdict.latency = any_missing[i] ? std::nullopt : worst[i];
+        std::optional<Time> worst;
+        bool any_missing = false;
+        for (std::size_t j = 0; j < p.offsets.size(); ++j) {
+          if (!include(i, j)) continue;
+          const Time finish = finish_of(i, j);
+          if (finish == kInf) {
+            any_missing = true;
+          } else {
+            const Time lag = finish - p.offsets[j];
+            if (!worst || lag > *worst) worst = lag;
+          }
+        }
+        verdict.latency = any_missing ? std::nullopt : worst;
         verdict.satisfied =
             verdict.latency.has_value() && *verdict.latency <= c.deadline;
       }
@@ -552,13 +867,105 @@ FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel&
     report.feasible = report.feasible && verdict.satisfied;
     report.verdicts.push_back(verdict);
   }
-
-  if (stats != nullptr) {
-    stats->embedding_queries = queries.size();
-    stats->memo_hits = work_units - queries.size();
-    stats->work_units = work_units;
-  }
   return report;
+}
+
+// Full reduce over a memoized finish table (serial and parallel paths).
+FeasibilityReport reduce_full(const VerifyPlan& plan, const QueryTable& table,
+                              const std::vector<Time>& memo, const GraphModel& model) {
+  return reduce_report(
+      plan, model,
+      [&](std::size_t i) { return plan.plans[i].fixed; },
+      [&](std::size_t i, std::size_t j) { return memo[table.unit_queries[i][j]]; },
+      [](std::size_t, std::size_t) { return true; });
+}
+
+void fill_stats(VerifyStats* stats, const VerifyPlan& plan, const QueryTable& table,
+                const KernelCounters& counters, std::size_t threads_used) {
+  if (stats == nullptr) return;
+  stats->embedding_queries = table.queries.size();
+  stats->memo_hits = plan.work_units - table.queries.size();
+  stats->work_units = plan.work_units;
+  stats->index_seeks = counters.index_seeks;
+  stats->incremental_hits = 0;
+  stats->arena_reuses = counters.arena_reuses;
+  stats->threads_used = threads_used;
+}
+
+// Serial indexed path: one shared UnrollIndex, one kernel per
+// contiguous (tg_id, periods) query group, memoized like the parallel
+// path (identical pure queries are answered once).
+FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& model,
+                                const VerifyPlan& plan, VerifyStats* stats) {
+  const QueryTable table = build_query_table(plan);
+  std::vector<Time> memo(table.queries.size(), kInf);
+  KernelCounters counters;
+  if (!table.queries.empty()) {
+    const UnrollIndex index(sched, plan.max_periods);
+    std::optional<EmbeddingKernel> kernel;
+    std::size_t cur_tg = UnrollIndex::npos;
+    std::size_t cur_periods = 0;
+    for (std::size_t q = 0; q < table.queries.size(); ++q) {
+      const Query& query = table.queries[q];
+      if (!kernel || query.tg_id != cur_tg || query.periods != cur_periods) {
+        if (kernel) counters += kernel->counters();
+        kernel.emplace(*plan.tg_of_id[query.tg_id], index, query.periods);
+        cur_tg = query.tg_id;
+        cur_periods = query.periods;
+      }
+      const auto finish = kernel->finish_at(query.t);
+      memo[q] = finish ? *finish : kInf;
+    }
+    if (kernel) counters += kernel->counters();
+  }
+  fill_stats(stats, plan, table, counters, 1);
+  return reduce_full(plan, table, memo, model);
+}
+
+FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel& model,
+                                  const VerifyPlan& plan, std::size_t n_threads,
+                                  VerifyStats* stats) {
+  const QueryTable table = build_query_table(plan);
+  std::vector<Time> memo(table.queries.size(), kInf);
+  KernelCounters counters;
+  if (!table.queries.empty()) {
+    // Shared read-only index built before the pool; workers fill
+    // disjoint memo slots with per-part kernels (the scratch arenas are
+    // mutable), so the hot loop stays lock-free.
+    const UnrollIndex index(sched, plan.max_periods);
+    const auto parts =
+        util::partition_indices(table.queries.size(), 4 * n_threads, kPartitionSeed);
+    std::vector<KernelCounters> part_counters(parts.size());
+    {
+      util::ThreadPool pool(n_threads);
+      for (std::size_t pi = 0; pi < parts.size(); ++pi) {
+        pool.submit([&, pi] {
+          std::map<std::pair<std::size_t, std::size_t>, EmbeddingKernel> kernels;
+          for (std::size_t q : parts[pi]) {
+            const Query& query = table.queries[q];
+            const auto key = std::make_pair(query.tg_id, query.periods);
+            auto it = kernels.find(key);
+            if (it == kernels.end()) {
+              it = kernels
+                       .emplace(std::piecewise_construct, std::forward_as_tuple(key),
+                                std::forward_as_tuple(*plan.tg_of_id[query.tg_id],
+                                                      index, query.periods))
+                       .first;
+            }
+            const auto finish = it->second.finish_at(query.t);
+            memo[q] = finish ? *finish : kInf;
+          }
+          for (const auto& [key, kernel] : kernels) {
+            part_counters[pi] += kernel.counters();
+          }
+        });
+      }
+      pool.wait_idle();
+    }
+    for (const KernelCounters& c : part_counters) counters += c;
+  }
+  fill_stats(stats, plan, table, counters, n_threads);
+  return reduce_full(plan, table, memo, model);
 }
 
 }  // namespace
@@ -569,9 +976,301 @@ FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel&
 
 FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel& model,
                                   const VerifyOptions& options) {
-  const std::size_t n_threads = util::resolve_threads(options.n_threads);
-  if (n_threads <= 1) return verify_serial(sched, model);
-  return verify_parallel(sched, model, n_threads, options.stats);
+  if (options.flat_reference) {
+    if (options.stats != nullptr) {
+      *options.stats = VerifyStats{};
+      options.stats->threads_used = 1;
+    }
+    return verify_flat(sched, model);
+  }
+  const VerifyPlan plan = build_verify_plan(sched, model);
+  std::size_t n_threads = options.n_threads;
+  if (n_threads == 0) {
+    // Small-work cutoff: spawning workers pessimizes single-core hosts
+    // and sub-threshold plans (E16), so auto mode stays serial there.
+    const std::size_t hw = util::resolve_threads(0);
+    n_threads = (hw <= 1 || plan.work_units < kAutoParallelCutoff) ? 1 : hw;
+  }
+  if (n_threads <= 1) return verify_serial(sched, model, plan, options.stats);
+  return verify_parallel(sched, model, plan, n_threads, options.stats);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalVerifier
+
+struct IncrementalVerifier::Impl {
+  VerifyPlan plan;
+  QueryTable table;
+  UnrollIndex index;
+  std::vector<CachedQuery> memo;  // per query: finish + witness assignment
+
+  // Pending candidate state (valid between verify_drop and commit_drop).
+  bool pending = false;
+  StaticSchedule candidate;
+  std::size_t dropped_base = 0;  // dropped op's index within one period
+  ElementId dropped_elem = 0;
+  Time dropped_offset = 0;  // the window begin that disappears (start + 1)
+  std::unordered_map<std::size_t, CachedQuery> overrides;  // re-queried slots
+  std::vector<char> force_unsat;  // per constraint: coverage lost
+  FeasibilityReport candidate_report;
+};
+
+namespace {
+
+// Fingerprints per tg_id, for matching query slots across plan rebuilds
+// (tg ids themselves can shift when a constraint turns fixed).
+std::vector<std::string> plan_fingerprints(const VerifyPlan& plan) {
+  std::vector<std::string> out;
+  out.reserve(plan.tg_of_id.size());
+  for (const TaskGraph* tg : plan.tg_of_id) out.push_back(task_graph_fingerprint(*tg));
+  return out;
+}
+
+}  // namespace
+
+IncrementalVerifier::IncrementalVerifier(const GraphModel& model) : model_(&model) {}
+
+void IncrementalVerifier::rebuild_baseline(const StaticSchedule& sched) {
+  auto impl = std::make_shared<Impl>();
+  impl->plan = build_verify_plan(sched, *model_);
+  impl->table = build_query_table(impl->plan);
+  impl->memo.assign(impl->table.queries.size(), CachedQuery{});
+  KernelCounters counters;
+  if (!impl->table.queries.empty()) {
+    impl->index = UnrollIndex(sched, impl->plan.max_periods);
+    std::optional<EmbeddingKernel> kernel;
+    std::size_t cur_tg = UnrollIndex::npos;
+    std::size_t cur_periods = 0;
+    for (std::size_t q = 0; q < impl->table.queries.size(); ++q) {
+      const Query& query = impl->table.queries[q];
+      if (!kernel || query.tg_id != cur_tg || query.periods != cur_periods) {
+        if (kernel) counters += kernel->counters();
+        kernel.emplace(*impl->plan.tg_of_id[query.tg_id], impl->index, query.periods);
+        cur_tg = query.tg_id;
+        cur_periods = query.periods;
+      }
+      auto witness = kernel->witness_at(query.t);
+      if (witness) {
+        impl->memo[q] = CachedQuery{witness->finish, std::move(witness->assignment)};
+      } else {
+        impl->memo[q] = CachedQuery{kInf, {}};
+      }
+    }
+    if (kernel) counters += kernel->counters();
+  }
+  stats_.embedding_queries += impl->table.queries.size();
+  stats_.memo_hits += impl->plan.work_units - impl->table.queries.size();
+  stats_.work_units += impl->plan.work_units;
+  stats_.index_seeks += counters.index_seeks;
+  stats_.arena_reuses += counters.arena_reuses;
+  stats_.threads_used = 1;
+  report_ = reduce_report(
+      impl->plan, *model_, [&](std::size_t i) { return impl->plan.plans[i].fixed; },
+      [&](std::size_t i, std::size_t j) {
+        return impl->memo[impl->table.unit_queries[i][j]].finish;
+      },
+      [](std::size_t, std::size_t) { return true; });
+  committed_ = sched;
+  impl_ = std::move(impl);
+}
+
+const FeasibilityReport& IncrementalVerifier::verify(const StaticSchedule& sched) {
+  rebuild_baseline(sched);
+  return report_;
+}
+
+const FeasibilityReport& IncrementalVerifier::verify_drop(
+    const StaticSchedule& candidate, std::size_t entry) {
+  if (!impl_) throw std::logic_error("IncrementalVerifier::verify_drop before verify");
+  const auto& entries = committed_.entries();
+  if (entry >= entries.size() || entries[entry].elem == kIdleEntry) {
+    throw std::invalid_argument("verify_drop: entry is not an execution");
+  }
+  if (candidate.length() != committed_.length()) {
+    throw std::invalid_argument("verify_drop: candidate changes the schedule length");
+  }
+  Impl& im = *impl_;
+  im.pending = false;
+  im.overrides.clear();
+  im.force_unsat.assign(im.plan.plans.size(), 0);
+
+  std::size_t base = 0;
+  for (std::size_t i = 0; i < entry; ++i) {
+    if (entries[i].elem != kIdleEntry) ++base;
+  }
+  im.dropped_base = base;
+  im.dropped_elem = entries[entry].elem;
+  const std::vector<ScheduledOp> committed_ops = committed_.ops();
+  im.dropped_offset = committed_ops.at(base).start + 1;
+
+  std::size_t remaining = 0;
+  for (const ScheduledOp& op : committed_ops) {
+    if (op.elem == im.dropped_elem) ++remaining;
+  }
+  --remaining;  // the dropped execution itself
+  const bool coverage_lost = remaining == 0;
+
+  auto tg_uses_elem = [&](const TaskGraph& tg) {
+    const auto& labels = tg.labels();
+    return std::find(labels.begin(), labels.end(), im.dropped_elem) != labels.end();
+  };
+  // A task graph whose labels avoid the dropped element sees the exact
+  // same executions in the candidate — every one of its windows is a
+  // cache hit. If the last occurrence of the element went away, every
+  // constraint over it fails outright, again with no queries.
+  std::vector<char> tg_affected(im.plan.tg_of_id.size(), 0);
+  for (std::size_t g = 0; g < im.plan.tg_of_id.size(); ++g) {
+    tg_affected[g] = !coverage_lost && tg_uses_elem(*im.plan.tg_of_id[g]) ? 1 : 0;
+  }
+  if (coverage_lost) {
+    for (std::size_t i = 0; i < im.plan.plans.size(); ++i) {
+      if (!im.plan.plans[i].fixed &&
+          tg_uses_elem(*im.plan.tg_of_id[im.plan.plans[i].tg_id])) {
+        im.force_unsat[i] = 1;
+      }
+    }
+  }
+
+  // Re-query only windows whose cached witness used the dropped
+  // execution (in any unrolled cycle). Dropping shrinks availability,
+  // so a witness that avoided it stays optimal and an embedding-free
+  // window stays embedding-free — those are served from the cache.
+  std::size_t hits = 0;
+  std::size_t recomputed = 0;
+  KernelCounters counters;
+  std::optional<UnrollIndex> cand_index;
+  std::map<std::pair<std::size_t, std::size_t>, EmbeddingKernel> kernels;
+  const std::size_t opp = im.index.ops_per_period();
+  for (std::size_t q = 0; q < im.table.queries.size(); ++q) {
+    const Query& query = im.table.queries[q];
+    if (!tg_affected[query.tg_id]) {
+      ++hits;
+      continue;
+    }
+    const CachedQuery& cached = im.memo[q];
+    if (cached.finish == kInf) {
+      ++hits;
+      continue;
+    }
+    bool uses_dropped = false;
+    for (const std::size_t idx : cached.assignment) {
+      if (idx % opp == im.dropped_base) {
+        uses_dropped = true;
+        break;
+      }
+    }
+    if (!uses_dropped) {
+      ++hits;
+      continue;
+    }
+    if (!cand_index) cand_index.emplace(candidate, im.plan.max_periods);
+    const auto key = std::make_pair(query.tg_id, query.periods);
+    auto it = kernels.find(key);
+    if (it == kernels.end()) {
+      it = kernels
+               .emplace(std::piecewise_construct, std::forward_as_tuple(key),
+                        std::forward_as_tuple(*im.plan.tg_of_id[query.tg_id],
+                                              *cand_index, query.periods))
+               .first;
+    }
+    auto witness = it->second.witness_at(query.t);
+    if (witness) {
+      im.overrides[q] = CachedQuery{witness->finish, std::move(witness->assignment)};
+    } else {
+      im.overrides[q] = CachedQuery{kInf, {}};
+    }
+    ++recomputed;
+  }
+  for (const auto& [key, kernel] : kernels) counters += kernel.counters();
+
+  stats_.incremental_hits += hits;
+  stats_.embedding_queries += recomputed;
+  stats_.work_units += hits + recomputed;
+  stats_.index_seeks += counters.index_seeks;
+  stats_.arena_reuses += counters.arena_reuses;
+
+  im.candidate_report = reduce_report(
+      im.plan, *model_,
+      [&](std::size_t i) -> std::optional<ConstraintVerdict> {
+        if (im.plan.plans[i].fixed) return im.plan.plans[i].fixed;
+        if (im.force_unsat[i]) {
+          ConstraintVerdict verdict;
+          verdict.constraint = i;
+          verdict.satisfied = false;
+          return verdict;
+        }
+        return std::nullopt;
+      },
+      [&](std::size_t i, std::size_t j) {
+        const std::size_t q = im.table.unit_queries[i][j];
+        const auto it = im.overrides.find(q);
+        return it != im.overrides.end() ? it->second.finish : im.memo[q].finish;
+      },
+      [&](std::size_t i, std::size_t j) {
+        // The dropped execution's window begin disappears from the
+        // candidate's async offset set; periodic invocation instants
+        // are schedule-independent.
+        return model_->constraint(i).periodic() ||
+               im.plan.plans[i].offsets[j] != im.dropped_offset;
+      });
+
+  im.pending = true;
+  im.candidate = candidate;
+  return im.candidate_report;
+}
+
+void IncrementalVerifier::commit_drop() {
+  if (!impl_ || !impl_->pending) {
+    throw std::logic_error("IncrementalVerifier::commit_drop without a candidate");
+  }
+  Impl& old = *impl_;
+  auto next = std::make_shared<Impl>();
+  next->plan = build_verify_plan(old.candidate, *model_);
+  next->table = build_query_table(next->plan);
+  next->memo.assign(next->table.queries.size(), CachedQuery{});
+
+  if (!next->table.queries.empty()) {
+    next->index = UnrollIndex(old.candidate, next->plan.max_periods);
+    // Carry the cache over: every new query existed in the old table
+    // (offsets only shrink), keyed by task-graph fingerprint because tg
+    // ids can shift when a constraint turned fixed. Cached witnesses
+    // from the old view remap into the shortened period (base indices
+    // above the dropped op shift down by one); re-queried slots are
+    // already candidate-indexed.
+    const std::vector<std::string> old_fp = plan_fingerprints(old.plan);
+    const std::vector<std::string> new_fp = plan_fingerprints(next->plan);
+    std::map<std::tuple<std::string, std::size_t, Time>, std::size_t> old_slot;
+    for (std::size_t q = 0; q < old.table.queries.size(); ++q) {
+      const Query& query = old.table.queries[q];
+      old_slot.emplace(std::make_tuple(old_fp[query.tg_id], query.periods, query.t), q);
+    }
+    const std::size_t old_opp = old.index.ops_per_period();
+    const std::size_t new_opp = next->index.ops_per_period();
+    for (std::size_t nq = 0; nq < next->table.queries.size(); ++nq) {
+      const Query& query = next->table.queries[nq];
+      const std::size_t oq =
+          old_slot.at(std::make_tuple(new_fp[query.tg_id], query.periods, query.t));
+      const auto it = old.overrides.find(oq);
+      if (it != old.overrides.end()) {
+        next->memo[nq] = std::move(it->second);
+        continue;
+      }
+      CachedQuery remapped;
+      remapped.finish = old.memo[oq].finish;
+      remapped.assignment.reserve(old.memo[oq].assignment.size());
+      for (const std::size_t idx : old.memo[oq].assignment) {
+        const std::size_t cycle = idx / old_opp;
+        const std::size_t base = idx % old_opp;
+        remapped.assignment.push_back(cycle * new_opp + base -
+                                      (base > old.dropped_base ? 1 : 0));
+      }
+      next->memo[nq] = std::move(remapped);
+    }
+  }
+
+  report_ = std::move(old.candidate_report);
+  committed_ = std::move(old.candidate);
+  impl_ = std::move(next);
 }
 
 }  // namespace rtg::core

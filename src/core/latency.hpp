@@ -16,12 +16,15 @@
 // transmitted before v runs).
 #pragma once
 
+#include <algorithm>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "core/model.hpp"
 #include "core/static_schedule.hpp"
+#include "util/csr.hpp"
 
 namespace rtg::core {
 
@@ -59,6 +62,157 @@ struct EmbeddingWitness {
 /// absolute-time op sequence (period r's ops shifted by r * length).
 [[nodiscard]] std::vector<ScheduledOp> unroll_ops(const StaticSchedule& sched,
                                                   std::size_t periods);
+
+/// A CSR-indexed *virtual* unroll of a static schedule: one period of
+/// ops is materialized, cycle k's copies are derived arithmetically
+/// (start + k * period), and a per-element index maps (element, time)
+/// to the next execution of that element in O(log occurrences) instead
+/// of a linear scan over every op. Global op index i corresponds
+/// exactly to unroll_ops(sched, periods)[i], so witness assignments
+/// against this view are valid positions into the public unrolled-op
+/// sequence.
+class UnrollIndex {
+ public:
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  UnrollIndex() = default;
+  UnrollIndex(const StaticSchedule& sched, std::size_t periods);
+
+  [[nodiscard]] std::size_t periods() const { return periods_; }
+  [[nodiscard]] std::size_t ops_per_period() const { return base_.size(); }
+  [[nodiscard]] std::size_t size() const { return base_.size() * periods_; }
+  [[nodiscard]] Time period() const { return period_; }
+
+  /// The op at global index `idx`; equals unroll_ops(sched, periods)[idx].
+  [[nodiscard]] ScheduledOp op(std::size_t idx) const {
+    const ScheduledOp& base = base_[idx % base_.size()];
+    const Time shift = static_cast<Time>(idx / base_.size()) * period_;
+    return ScheduledOp{base.elem, base.start + shift, base.duration};
+  }
+
+  /// Executions of `e` within one period.
+  [[nodiscard]] std::size_t occurrence_count(ElementId e) const;
+
+  /// Base-op indices of `e`'s executions within one period, start order.
+  [[nodiscard]] std::span<const std::size_t> occurrences(ElementId e) const;
+
+  /// The base-period op at base index `idx` (idx < ops_per_period()).
+  [[nodiscard]] const ScheduledOp& base_op(std::size_t idx) const {
+    return base_[idx];
+  }
+
+  /// Rank of base op `idx` within its element's occurrence row.
+  [[nodiscard]] std::size_t occurrence_rank(std::size_t idx) const {
+    return occ_rank_[idx];
+  }
+
+  /// Global index of the first execution of `e` with start >= t and
+  /// index < limit, or npos. `limit` caps the searchable op prefix so a
+  /// query over k periods of a longer index behaves exactly like a
+  /// query over unroll_ops(sched, k).
+  [[nodiscard]] std::size_t first_at_or_after(ElementId e, Time t,
+                                              std::size_t limit) const;
+
+  /// Global index of the next execution (start order) of the same
+  /// element as op `idx`, below `limit`; npos when exhausted.
+  [[nodiscard]] std::size_t next_occurrence(std::size_t idx, std::size_t limit) const;
+
+ private:
+  std::vector<ScheduledOp> base_;  // one period, sorted by start
+  Time period_ = 0;
+  std::size_t periods_ = 0;
+  util::CsrBuckets<std::size_t> occ_;    // element -> base indices, start order
+  std::vector<std::size_t> occ_rank_;    // per base op: rank within its element row
+};
+
+/// Counters of one EmbeddingKernel; merged into VerifyStats.
+struct KernelCounters {
+  /// Embedding queries answered.
+  std::size_t queries = 0;
+  /// Index probes (first_at_or_after + next_occurrence calls).
+  std::size_t index_seeks = 0;
+  /// Queries that reused the kernel's scratch arena (no allocation).
+  std::size_t arena_reuses = 0;
+
+  KernelCounters& operator+=(const KernelCounters& o) {
+    queries += o.queries;
+    index_seeks += o.index_seeks;
+    arena_reuses += o.arena_reuses;
+    return *this;
+  }
+};
+
+/// The indexed embedding kernel: binds one task graph to an UnrollIndex
+/// and answers earliest-finish embedding queries for arbitrary window
+/// begins. Per query each task-graph op costs O(log occurrences) index
+/// seeks over *its element's* executions only, instead of a linear scan
+/// over every unrolled op. The topological order and all per-query
+/// buffers (finish/chosen/used/witness) live in a reusable scratch
+/// arena, so repeated window queries allocate nothing.
+///
+/// Results are bit-identical to the flat-scan reference
+/// (find_earliest_embedding over unroll_ops(sched, k)): both kernels
+/// enumerate candidate executions of an element in start order, so the
+/// greedy picks and the branch-and-bound improvement sequence — and
+/// therefore finishes *and* witness assignments — coincide.
+class EmbeddingKernel {
+ public:
+  /// Binds `tg` to `index`. Queries see only the first `periods_limit`
+  /// periods of the index (0 = all of it). Both referents must outlive
+  /// the kernel.
+  EmbeddingKernel(const TaskGraph& tg, const UnrollIndex& index,
+                  std::size_t periods_limit = 0);
+
+  /// Earliest finish over embeddings whose executions start at or after
+  /// `window_begin`; nullopt when none exists within the op prefix.
+  [[nodiscard]] std::optional<Time> finish_at(Time window_begin);
+
+  /// Like finish_at but returns the witness; `excluded` (indexed by
+  /// global op index, empty = none) marks unavailable executions.
+  [[nodiscard]] std::optional<EmbeddingWitness> witness_at(
+      Time window_begin, const std::vector<bool>& excluded = {});
+
+  [[nodiscard]] const KernelCounters& counters() const { return counters_; }
+
+ private:
+  [[nodiscard]] bool solve(Time window_begin, const std::vector<bool>& excluded);
+  void bnb_rec(std::size_t k, Time makespan, Time window_begin,
+               const std::vector<bool>& excluded);
+
+  const TaskGraph* tg_ = nullptr;
+  const UnrollIndex* index_ = nullptr;
+  std::size_t limit_ = 0;  // op-count prefix visible to queries
+  bool repeated_ = false;
+  std::vector<OpId> topo_;  // cached once per kernel
+
+  // Scratch arena, reused across queries.
+  std::vector<Time> finish_;
+  std::vector<std::size_t> chosen_;
+  std::vector<std::size_t> best_assignment_;
+  std::vector<bool> used_;  // BnB only; all-false between queries
+  // Monotone seek hints (greedy, no-exclusion queries only): per op,
+  // the execution chosen by the previous query — a sound resume point
+  // while window begins ascend, making a sweep's seeks amortized O(1).
+  // The cursor is kept decomposed as (cycle, rank within the element's
+  // occurrence row) with cached start/finish times, so the steady-state
+  // advance is pure add/compare arithmetic — no division.
+  struct SeekHint {
+    std::size_t idx = UnrollIndex::npos;  // flat unrolled index
+    std::size_t cycle = 0;
+    std::size_t rank = 0;
+    Time start = 0;
+    Time finish = 0;
+  };
+  void seed_hint(SeekHint& h, ElementId e, Time ready);
+  std::vector<SeekHint> hint_;
+  Time last_begin_ = 0;
+  bool hints_primed_ = false;
+  Time best_ = 0;
+  Time result_finish_ = 0;
+  bool warm_ = false;
+
+  KernelCounters counters_;
+};
 
 /// Decodes a raw slot trace into complete executions: each maximal run
 /// of element e splits into floor(run / weight(e)) back-to-back
@@ -113,23 +267,52 @@ struct FeasibilityReport {
   friend bool operator==(const FeasibilityReport&, const FeasibilityReport&) = default;
 };
 
-/// Counters filled by the parallel verification engine (all zero on the
-/// serial path, which neither partitions work nor memoizes).
+/// Counters filled by the verification engine. Serial and parallel
+/// paths both deduplicate identical (task graph, span, window-begin)
+/// queries, so memo_hits can be non-zero at every thread count; the
+/// flat-scan reference path leaves everything but threads_used zero.
 struct VerifyStats {
   /// Embedding queries actually computed (memo misses).
   std::size_t embedding_queries = 0;
   /// Embedding queries answered from the shared memo table.
   std::size_t memo_hits = 0;
-  /// Parallel work units (constraint x window-offset pairs).
+  /// Work units (constraint x window-offset pairs).
   std::size_t work_units = 0;
+  /// UnrollIndex occurrence probes issued by the embedding kernels.
+  std::size_t index_seeks = 0;
+  /// Windows answered from an IncrementalVerifier witness cache.
+  std::size_t incremental_hits = 0;
+  /// Kernel queries that reused a warm scratch arena (no allocation).
+  std::size_t arena_reuses = 0;
+  /// Worker threads the engine actually ran with (1 = serial path,
+  /// including the auto mode's small-work / single-core fallback).
+  std::size_t threads_used = 0;
+
+  VerifyStats& operator+=(const VerifyStats& other) {
+    embedding_queries += other.embedding_queries;
+    memo_hits += other.memo_hits;
+    work_units += other.work_units;
+    index_seeks += other.index_seeks;
+    incremental_hits += other.incremental_hits;
+    arena_reuses += other.arena_reuses;
+    threads_used = std::max(threads_used, other.threads_used);
+    return *this;
+  }
 };
 
 struct VerifyOptions {
   /// Worker threads for the per-constraint x per-window fan-out.
-  /// 0 = hardware concurrency; 1 = the exact serial legacy path.
+  /// 0 = auto: hardware concurrency, except that single-core hosts and
+  /// plans below a small query-count threshold fall back to the serial
+  /// path (spawning workers would only add overhead — see E16/E17).
+  /// 1 = serial; >= 2 = always the parallel engine.
   std::size_t n_threads = 0;
-  /// Optional engine counters (only written by the parallel path).
+  /// Optional engine counters.
   VerifyStats* stats = nullptr;
+  /// Testing-only: run the pre-index flat-scan serial verifier (linear
+  /// scans over materialized unroll_ops). Pins the legacy behavior for
+  /// the differential suite; n_threads is ignored.
+  bool flat_reference = false;
 };
 
 /// Verifies with the default options (auto thread count). The result is
@@ -143,5 +326,65 @@ struct VerifyOptions {
 [[nodiscard]] FeasibilityReport verify_schedule(const StaticSchedule& sched,
                                                 const GraphModel& model,
                                                 const VerifyOptions& options);
+
+/// Incremental re-verification session for schedule edit loops
+/// (optimize's drop/shave passes, the heuristic's refinement).
+///
+/// The session holds a *committed* baseline schedule plus, per
+/// (constraint, window-offset) embedding query, the cached finish and
+/// witness assignment. verify_drop() checks a candidate obtained from
+/// the baseline by replacing one execution entry with idle time of the
+/// same length — the edit optimize's compaction performs, which keeps
+/// every other execution's slot times. Because dropping an execution
+/// only *shrinks* availability, a cached witness that never mapped onto
+/// the dropped execution (in any unrolled cycle) stays optimal, and a
+/// window with no embedding stays embedding-free; only windows whose
+/// witness actually used the dropped execution are re-queried. The
+/// produced report is bit-identical to verify_schedule(candidate).
+///
+/// Reports for rejected candidates leave the baseline untouched;
+/// commit_drop() promotes the last candidate, remapping cached witness
+/// indices into the shortened unrolled-op view.
+class IncrementalVerifier {
+ public:
+  explicit IncrementalVerifier(const GraphModel& model);
+
+  /// Full verification of `sched`; commits it as the baseline and
+  /// primes the witness cache. Invalidates any pending candidate.
+  const FeasibilityReport& verify(const StaticSchedule& sched);
+
+  /// Verifies `candidate`, which must equal the baseline with execution
+  /// entry `entry` (an index into the baseline's entries()) replaced by
+  /// idle time of equal duration. Throws std::invalid_argument when
+  /// `entry` is not an execution or the lengths disagree.
+  const FeasibilityReport& verify_drop(const StaticSchedule& candidate,
+                                       std::size_t entry);
+
+  /// Commits the last verify_drop candidate as the new baseline.
+  /// Throws std::logic_error when no candidate is pending.
+  void commit_drop();
+
+  /// Report for the committed baseline.
+  [[nodiscard]] const FeasibilityReport& report() const { return report_; }
+
+  /// Cumulative engine counters across the session (incremental_hits
+  /// counts windows served from the witness cache).
+  [[nodiscard]] const VerifyStats& stats() const { return stats_; }
+
+ private:
+  struct CachedQuery {
+    Time finish = 0;  // kInfTime = no embedding
+    std::vector<std::size_t> assignment;
+  };
+  struct Impl;
+
+  void rebuild_baseline(const StaticSchedule& sched);
+
+  const GraphModel* model_ = nullptr;
+  std::shared_ptr<Impl> impl_;  // plan + query table + index + memo
+  StaticSchedule committed_;
+  FeasibilityReport report_;
+  VerifyStats stats_;
+};
 
 }  // namespace rtg::core

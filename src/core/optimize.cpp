@@ -70,7 +70,12 @@ void finish_stats(OptimizeStats* stats, const StaticSchedule& sched) {
 
 StaticSchedule compact_schedule(const StaticSchedule& sched, const GraphModel& model,
                                 OptimizeStats* stats) {
-  if (!verify_schedule(sched, model).feasible) {
+  // The drop edit replaces one execution with an equal-length idle run,
+  // so slot times are untouched — exactly the shape the incremental
+  // verifier caches witnesses across. Only windows whose witness used
+  // the dropped execution get re-queried per candidate.
+  IncrementalVerifier verifier(model);
+  if (!verifier.verify(sched).feasible) {
     throw std::invalid_argument("compact_schedule: input schedule is not feasible");
   }
   init_stats(stats, sched);
@@ -82,7 +87,8 @@ StaticSchedule compact_schedule(const StaticSchedule& sched, const GraphModel& m
     for (std::size_t i = 0; i < entries.size(); ++i) {
       if (entries[i].elem == kIdleEntry) continue;
       StaticSchedule candidate = rebuild_without(current, i, /*to_idle=*/true);
-      if (verify_schedule(candidate, model).feasible) {
+      if (verifier.verify_drop(candidate, i).feasible) {
+        verifier.commit_drop();
         current = std::move(candidate);
         if (stats) ++stats->executions_removed;
         changed = true;
@@ -90,13 +96,24 @@ StaticSchedule compact_schedule(const StaticSchedule& sched, const GraphModel& m
       }
     }
   }
+  if (stats) stats->verify += verifier.stats();
   finish_stats(stats, current);
   return current;
 }
 
 StaticSchedule trim_idle(const StaticSchedule& sched, const GraphModel& model,
                          OptimizeStats* stats) {
-  if (!verify_schedule(sched, model).feasible) {
+  // Shaving changes slot times after the cut, so every window can move:
+  // no incremental reuse here — each candidate is verified in full.
+  VerifyStats step;
+  VerifyOptions opts;
+  opts.stats = stats ? &step : nullptr;
+  auto feasible = [&](const StaticSchedule& s) {
+    const bool ok = verify_schedule(s, model, opts).feasible;
+    if (stats) stats->verify += step;
+    return ok;
+  };
+  if (!feasible(sched)) {
     throw std::invalid_argument("trim_idle: input schedule is not feasible");
   }
   init_stats(stats, sched);
@@ -108,8 +125,7 @@ StaticSchedule trim_idle(const StaticSchedule& sched, const GraphModel& model,
     for (std::size_t i = 0; i < entries.size(); ++i) {
       if (entries[i].elem != kIdleEntry) continue;
       const auto candidate = shave_idle(current, i);
-      if (candidate && candidate->length() >= 1 &&
-          verify_schedule(*candidate, model).feasible) {
+      if (candidate && candidate->length() >= 1 && feasible(*candidate)) {
         current = *candidate;
         if (stats) stats->idle_removed += 1;
         changed = true;
@@ -128,12 +144,15 @@ StaticSchedule optimize_schedule(const StaticSchedule& sched, const GraphModel& 
   for (std::size_t round = 0; round < max_rounds; ++round) {
     OptimizeStats pass;
     current = compact_schedule(current, model, &pass);
-    StaticSchedule trimmed = trim_idle(current, model, nullptr);
+    OptimizeStats trim_pass;
+    StaticSchedule trimmed = trim_idle(current, model, &trim_pass);
     const Time idle_gain = current.length() - trimmed.length();
     current = std::move(trimmed);
     if (stats) {
       stats->executions_removed += pass.executions_removed;
       stats->idle_removed += idle_gain;
+      stats->verify += pass.verify;
+      stats->verify += trim_pass.verify;
     }
     if (pass.executions_removed == 0 && idle_gain == 0) break;
   }

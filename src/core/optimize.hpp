@@ -35,6 +35,10 @@ struct OptimizeStats {
   Time length_after = 0;
   double utilization_before = 0.0;
   double utilization_after = 0.0;
+  /// Verification-engine counters accumulated across the pass. The
+  /// compact loop runs on the IncrementalVerifier, so incremental_hits
+  /// counts windows served from cached witnesses instead of re-verified.
+  VerifyStats verify;
 };
 
 /// Greedy execution removal: repeatedly tries to drop one execution

@@ -1,0 +1,54 @@
+// csr.hpp — compressed-sparse-row bucketing.
+//
+// Builds, in two counting-sort passes, the classic CSR layout (an
+// offsets array plus a flat values array) for a sequence of
+// (bucket, value) pairs whose bucket ids are small dense integers.
+// Values keep their insertion order within each bucket, so feeding
+// pairs in a globally sorted order yields per-bucket sorted rows — the
+// property the embedding index relies on (ops fed in start order give
+// per-element occurrence lists in start order).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rtg::util {
+
+template <typename Value>
+class CsrBuckets {
+ public:
+  CsrBuckets() = default;
+
+  /// Builds the layout from `pairs` of (bucket id, value); bucket ids
+  /// must be < bucket_count.
+  CsrBuckets(std::size_t bucket_count,
+             const std::vector<std::pair<std::size_t, Value>>& pairs) {
+    offsets_.assign(bucket_count + 1, 0);
+    for (const auto& [bucket, value] : pairs) ++offsets_[bucket + 1];
+    for (std::size_t b = 1; b <= bucket_count; ++b) offsets_[b] += offsets_[b - 1];
+    values_.resize(pairs.size());
+    std::vector<std::size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (const auto& [bucket, value] : pairs) values_[cursor[bucket]++] = value;
+  }
+
+  [[nodiscard]] std::size_t bucket_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// Values of one bucket, in insertion order.
+  [[nodiscard]] const Value* begin(std::size_t bucket) const {
+    return values_.data() + offsets_[bucket];
+  }
+  [[nodiscard]] const Value* end(std::size_t bucket) const {
+    return values_.data() + offsets_[bucket + 1];
+  }
+  [[nodiscard]] std::size_t size(std::size_t bucket) const {
+    return offsets_[bucket + 1] - offsets_[bucket];
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;
+  std::vector<Value> values_;
+};
+
+}  // namespace rtg::util
