@@ -1,0 +1,333 @@
+// E18 — online monitor throughput and capture overhead (ISSUE 4).
+//
+// Three measurements:
+//   1. Streaming vs naive: the StreamingMonitor consuming long cyclic
+//      traces slot by slot vs the per-window offline reference checker
+//      (reference_check — one embedding query per evaluable window,
+//      the pre-monitor way to get the same verdicts). Verdicts are
+//      checked bit-identical before timing. The workload mixes clean
+//      feasible traces with degraded ones (random slots dropped to
+//      idle) so both the satisfied and the violated paths are hot.
+//   2. The memory bound: per-constraint peak buffered executions
+//      against the d_c + 1 analytical bound (starts of live ops span
+//      less than one deadline, executions occupy disjoint slots).
+//   3. Capture: slots/s through the lock-free TraceCapture ring into a
+//      null sink (ring cost alone, drops allowed and counted) and into
+//      a StreamingMonitor (end-to-end online checking).
+// Emits BENCH_monitor.json in the working directory.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/heuristic.hpp"
+#include "core/latency.hpp"
+#include "core/model.hpp"
+#include "core/static_schedule.hpp"
+#include "monitor/streaming_monitor.hpp"
+#include "monitor/trace_capture.hpp"
+#include "sim/rng.hpp"
+#include "sim/trace.hpp"
+
+namespace {
+
+using namespace rtg;
+using core::GraphModel;
+using Time = core::Time;
+
+struct MonitorCase {
+  GraphModel model;
+  sim::ExecutionTrace trace;
+};
+
+// Feasible random models whose static schedules are unrolled into
+// ~target_slots-long traces. Task graphs are chains of 2–4 operations
+// along a chain communication graph (the E17 sweep's shape): embedding
+// queries then cost real work, which is exactly what the per-window
+// baseline pays once per slot and the streaming monitor pays once per
+// relevant execution. Half the cases are degraded by dropping 5% of
+// slots to idle — what a lossy capture does — so the violation path is
+// hot too.
+std::vector<MonitorCase> make_cases(int count, Time target_slots) {
+  std::vector<MonitorCase> cases;
+  sim::Rng rng(0xE18);
+  while (static_cast<int>(cases.size()) < count) {
+    core::CommGraph comm;
+    const int n = static_cast<int>(rng.uniform(12, 16));
+    for (int i = 0; i < n; ++i) {
+      comm.add_element("e" + std::to_string(i), 1, true);
+    }
+    for (int i = 0; i + 1 < n; ++i) {
+      comm.add_channel(static_cast<core::ElementId>(i),
+                       static_cast<core::ElementId>(i + 1));
+    }
+    GraphModel model(std::move(comm));
+    const int k = static_cast<int>(rng.uniform(3, 4));
+    for (int c = 0; c < k; ++c) {
+      const int chain = static_cast<int>(rng.uniform(3, 4));
+      const int start = static_cast<int>(rng.uniform(0, n - chain));
+      core::TaskGraph tg;
+      core::OpId prev = tg.add_op(static_cast<core::ElementId>(start));
+      for (int j = 1; j < chain; ++j) {
+        const core::OpId op = tg.add_op(static_cast<core::ElementId>(start + j));
+        tg.add_dep(prev, op);
+        prev = op;
+      }
+      const auto kind = rng.chance(0.3) ? core::ConstraintKind::kPeriodic
+                                        : core::ConstraintKind::kAsynchronous;
+      model.add_constraint(core::TimingConstraint{
+          "c" + std::to_string(c), std::move(tg), rng.uniform(8, 16),
+          rng.uniform(static_cast<Time>(16 * chain), static_cast<Time>(24 * chain)),
+          kind});
+    }
+    const core::HeuristicResult h = core::latency_schedule(model);
+    if (!h.success) continue;
+    const Time length = h.schedule->length();
+    const auto reps = static_cast<std::size_t>((target_slots + length - 1) / length);
+    sim::ExecutionTrace trace = h.schedule->to_trace(reps);
+    if (cases.size() % 2 == 1) {
+      // Degrade: drop slots to idle (what capture overflow does).
+      std::vector<sim::Slot> slots = trace.slots();
+      for (sim::Slot& s : slots) {
+        if (rng.chance(0.05)) s = sim::kIdle;
+      }
+      trace = sim::ExecutionTrace(std::move(slots));
+    }
+    cases.push_back(MonitorCase{h.scheduled_model, std::move(trace)});
+  }
+  return cases;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+// The naive online checker: no incremental state. Every time a window
+// closes it re-decodes the window's slots into executions and runs a
+// fresh embedding query — O(d) work per window per constraint, which
+// is what "re-verify on every slot" costs before the streaming
+// monitor's amortization. Requires unit element weights (window-local
+// run decoding is only equivalent to whole-trace decoding when runs
+// cannot straddle the window edge mid-execution), which make_cases
+// guarantees.
+monitor::ReferenceVerdict naive_online_check(const sim::ExecutionTrace& trace,
+                                             const GraphModel& model) {
+  monitor::ReferenceVerdict verdict;
+  const auto horizon = static_cast<Time>(trace.size());
+  verdict.horizon = horizon;
+  verdict.violated.resize(model.constraint_count());
+  verdict.checked.resize(model.constraint_count());
+  const std::vector<sim::Slot>& slots = trace.slots();
+  std::vector<core::ScheduledOp> ops;
+  for (Time now = 1; now <= horizon; ++now) {
+    for (std::size_t ci = 0; ci < model.constraint_count(); ++ci) {
+      const core::TimingConstraint& c = model.constraint(ci);
+      const Time stride = c.periodic() ? c.period : 1;
+      const Time t = now - c.deadline;
+      if (t < 0 || t % stride != 0) continue;
+      ops.clear();
+      for (Time i = t; i < now; ++i) {
+        const sim::Slot s = slots[static_cast<std::size_t>(i)];
+        if (s == sim::kIdle) continue;
+        ops.push_back(core::ScheduledOp{static_cast<core::ElementId>(s), i, 1});
+      }
+      ++verdict.checked[ci];
+      if (!core::window_contains_execution(c.task_graph, ops, t, now)) {
+        verdict.violated[ci].push_back(t);
+      }
+    }
+  }
+  return verdict;
+}
+
+struct NullSink final : sim::TraceSink {
+  void on_slot(sim::Slot) override {}
+};
+
+}  // namespace
+
+int main() {
+  constexpr int kCases = 8;
+  constexpr Time kTargetSlots = 20'000;
+  constexpr int kReps = 5;
+  constexpr std::uint64_t kCaptureSlots = 1 << 20;  // ~1M
+
+  std::setvbuf(stdout, nullptr, _IONBF, 0);  // progress visible when redirected
+
+  const auto cases = make_cases(kCases, kTargetSlots);
+  std::uint64_t total_slots = 0;
+  std::size_t total_constraints = 0;
+  for (const MonitorCase& c : cases) {
+    total_slots += c.trace.size();
+    total_constraints += c.model.constraint_count();
+  }
+  std::printf("# E18: %d cases, %llu slots, %zu constraints total, %d reps\n",
+              kCases, static_cast<unsigned long long>(total_slots),
+              total_constraints, kReps);
+
+  // Correctness first: the streaming monitor, the naive online checker,
+  // and the offline batch reference must all agree bit for bit.
+  std::size_t violated_windows = 0;
+  std::size_t peak_ops_total = 0, bound_total = 0;
+  bool within_bound = true;
+  for (const MonitorCase& c : cases) {
+    monitor::StreamingMonitor mon(c.model);
+    mon.on_slots(c.trace.slots());
+    const monitor::MonitorReport report = mon.report();
+    const monitor::ReferenceVerdict batch = monitor::reference_check(c.trace, c.model);
+    const monitor::ReferenceVerdict online = naive_online_check(c.trace, c.model);
+    if (!monitor::verdicts_match(report, batch) ||
+        batch.violated != online.violated || batch.checked != online.checked) {
+      std::fprintf(stderr, "streaming verdicts diverged from the reference!\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < report.health.size(); ++i) {
+      violated_windows += report.health[i].windows_violated;
+      const auto bound = static_cast<std::size_t>(c.model.constraint(i).deadline) + 1;
+      peak_ops_total += report.health[i].peak_buffered_ops;
+      bound_total += bound;
+      if (report.health[i].peak_buffered_ops > bound) within_bound = false;
+    }
+  }
+  std::printf("# verdicts bit-identical to reference; %zu violated windows in workload\n",
+              violated_windows);
+  std::printf("memory: peak buffered ops %zu vs O(d * constraints) bound %zu -> %s\n",
+              peak_ops_total, bound_total, within_bound ? "within" : "EXCEEDED");
+  if (!within_bound) return 1;
+
+  // 1. Naive online checking: re-decode + re-query per closed window.
+  auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const MonitorCase& c : cases) {
+      const monitor::ReferenceVerdict v = naive_online_check(c.trace, c.model);
+      if (v.horizon != static_cast<Time>(c.trace.size())) return 1;
+    }
+  }
+  const double naive_s = seconds_since(t0);
+
+  // 2. The offline batch reference (decode once, one query per window).
+  t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const MonitorCase& c : cases) {
+      const monitor::ReferenceVerdict v = monitor::reference_check(c.trace, c.model);
+      if (v.horizon != static_cast<Time>(c.trace.size())) return 1;
+    }
+  }
+  const double batch_s = seconds_since(t0);
+
+  // 3. Streaming monitor over the same traces.
+  t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const MonitorCase& c : cases) {
+      monitor::StreamingMonitor mon(c.model);
+      mon.on_slots(c.trace.slots());
+      if (mon.report().horizon != static_cast<Time>(c.trace.size())) return 1;
+    }
+  }
+  const double streaming_s = seconds_since(t0);
+
+  const double reps_slots = static_cast<double>(total_slots) * kReps;
+  const double naive_rate = naive_s > 0 ? reps_slots / naive_s : 0;
+  const double batch_rate = batch_s > 0 ? reps_slots / batch_s : 0;
+  const double streaming_rate = streaming_s > 0 ? reps_slots / streaming_s : 0;
+  const double speedup = streaming_s > 0 ? naive_s / streaming_s : 0;
+  const double batch_speedup = streaming_s > 0 ? batch_s / streaming_s : 0;
+  std::printf("naive online (re-verify per window): %.4fs (%.0f slots/s)\n", naive_s,
+              naive_rate);
+  std::printf("offline batch reference:             %.4fs (%.0f slots/s)\n", batch_s,
+              batch_rate);
+  std::printf("streaming monitor:                   %.4fs (%.0f slots/s)\n",
+              streaming_s, streaming_rate);
+  std::printf("speedup vs naive online %.2fx, vs offline batch %.2fx\n", speedup,
+              batch_speedup);
+
+  // 3. Capture ring throughput.
+  const std::vector<sim::Slot> pattern{0, 1, sim::kIdle, sim::kIdle};
+  double ring_s = 0;
+  std::uint64_t ring_dropped = 0;
+  {
+    NullSink null;
+    monitor::TraceCapture capture(null, 1024);
+    t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kCaptureSlots; ++i) {
+      capture.on_slot(pattern[i & 3]);
+    }
+    capture.close();
+    ring_s = seconds_since(t0);
+    ring_dropped = capture.stats().dropped;
+  }
+  const double ring_rate = ring_s > 0 ? static_cast<double>(kCaptureSlots) / ring_s : 0;
+  std::printf("capture -> null sink: %.4fs (%.0f slots/s, %llu dropped of %llu)\n",
+              ring_s, ring_rate, static_cast<unsigned long long>(ring_dropped),
+              static_cast<unsigned long long>(kCaptureSlots));
+
+  double live_s = 0;
+  std::uint64_t live_dropped = 0;
+  std::size_t live_violated = 0;
+  {
+    core::CommGraph comm;
+    const auto a = comm.add_element("a", 1);
+    const auto b = comm.add_element("b", 1);
+    comm.add_channel(a, b);
+    GraphModel model(std::move(comm));
+    core::TaskGraph tg;
+    const auto oa = tg.add_op(a);
+    const auto ob = tg.add_op(b);
+    tg.add_dep(oa, ob);
+    model.add_constraint(core::TimingConstraint{
+        "chain", std::move(tg), 1, 6, core::ConstraintKind::kAsynchronous});
+    monitor::StreamingMonitor mon(model);
+    // Ring sized past the workload: on a single-core host the producer
+    // outruns the drain thread, and a lossy run would measure drop
+    // flushing instead of end-to-end checking.
+    monitor::TraceCapture capture(mon, kCaptureSlots + 1);
+    t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kCaptureSlots; ++i) {
+      capture.on_slot(pattern[i & 3]);
+    }
+    capture.close();
+    live_s = seconds_since(t0);
+    live_dropped = capture.stats().dropped;
+    for (const monitor::ConstraintHealth& h : mon.report().health) {
+      live_violated += h.windows_violated;
+    }
+  }
+  const double live_rate = live_s > 0 ? static_cast<double>(kCaptureSlots) / live_s : 0;
+  std::printf("capture -> monitor:   %.4fs (%.0f slots/s, %llu dropped, "
+              "%zu violated windows)\n",
+              live_s, live_rate, static_cast<unsigned long long>(live_dropped),
+              live_violated);
+
+  std::FILE* out = std::fopen("BENCH_monitor.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_monitor.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"E18_monitor_throughput\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"cases\": %d, \"slots\": %llu, \"constraints\": %zu, "
+               "\"reps\": %d, \"violated_windows\": %zu},\n",
+               kCases, static_cast<unsigned long long>(total_slots), total_constraints,
+               kReps, violated_windows);
+  std::fprintf(out,
+               "  \"naive_online\": {\"s\": %.6f, \"slots_per_s\": %.0f},\n"
+               "  \"offline_batch\": {\"s\": %.6f, \"slots_per_s\": %.0f},\n"
+               "  \"streaming\": {\"s\": %.6f, \"slots_per_s\": %.0f},\n"
+               "  \"speedup_vs_naive\": %.3f,\n  \"speedup_vs_batch\": %.3f,\n",
+               naive_s, naive_rate, batch_s, batch_rate, streaming_s, streaming_rate,
+               speedup, batch_speedup);
+  std::fprintf(out,
+               "  \"memory\": {\"peak_buffered_ops\": %zu, \"bound\": %zu, "
+               "\"within_bound\": %s},\n",
+               peak_ops_total, bound_total, within_bound ? "true" : "false");
+  std::fprintf(out,
+               "  \"capture\": {\"slots\": %llu, \"null_sink_slots_per_s\": %.0f, "
+               "\"null_sink_dropped\": %llu, \"monitor_slots_per_s\": %.0f, "
+               "\"monitor_dropped\": %llu}\n}\n",
+               static_cast<unsigned long long>(kCaptureSlots), ring_rate,
+               static_cast<unsigned long long>(ring_dropped), live_rate,
+               static_cast<unsigned long long>(live_dropped));
+  std::fclose(out);
+  std::printf("# wrote BENCH_monitor.json\n");
+  return speedup >= 5.0 ? 0 : 1;
+}

@@ -5,15 +5,19 @@
 //   $ ./spec_compiler <file.rts> [--dot] [--schedule] [--processes]
 //                     [--emit] [--exact] [--multiproc N] [--threads N]
 //                     [--save <sched>] [--verify <sched>]
+//                     [--emit-trace <trace.rtt>] [--monitor]
 //   $ echo "element a" | ./spec_compiler -
 //
 // Exit status: 0 on success, 1 on spec errors, 2 on synthesis failure.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/feasibility.hpp"
 #include "core/heuristic.hpp"
@@ -23,7 +27,12 @@
 #include "core/schedule_io.hpp"
 #include "core/synthesis.hpp"
 #include "graph/dot.hpp"
+#include "monitor/streaming_monitor.hpp"
+#include "monitor/trace_capture.hpp"
+#include "monitor/trace_io.hpp"
 #include "rt/analysis.hpp"
+#include "rt/task.hpp"
+#include "sim/trace.hpp"
 #include "spec/compile.hpp"
 #include "spec/emit.hpp"
 
@@ -36,8 +45,14 @@ int usage() {
                "usage: spec_compiler <file.rts | -> [--dot] [--schedule] "
                "[--processes] [--emit] [--exact] [--analyze] [--multiproc N]\n"
                "                     [--threads N] [--save <sched>] [--verify <sched>]\n"
+               "                     [--emit-trace <trace.rtt>] [--monitor]\n"
                "  --threads N   worker threads for verification and the exact\n"
-               "                search (0 = hardware concurrency, 1 = serial)\n");
+               "                search (0 = hardware concurrency, 1 = serial)\n"
+               "  --emit-trace  capture the synthesized schedule's execution\n"
+               "                trace to a binary .rtt file (replay with\n"
+               "                trace_replay)\n"
+               "  --monitor     run the online streaming monitor over the\n"
+               "                synthesized trace and print its health report\n");
   return 1;
 }
 
@@ -52,6 +67,8 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   const char* save_path = nullptr;
   const char* verify_path = nullptr;
+  const char* emit_trace_path = nullptr;
+  bool want_monitor = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dot") == 0) {
       want_dot = true;
@@ -69,6 +86,10 @@ int main(int argc, char** argv) {
       save_path = argv[++i];
     } else if (std::strcmp(argv[i], "--verify") == 0 && i + 1 < argc) {
       verify_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--emit-trace") == 0 && i + 1 < argc) {
+      emit_trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--monitor") == 0) {
+      want_monitor = true;
     } else if (std::strcmp(argv[i], "--multiproc") == 0 && i + 1 < argc) {
       multiproc = static_cast<std::size_t>(std::atoi(argv[++i]));
       if (multiproc == 0) return usage();
@@ -83,7 +104,9 @@ int main(int argc, char** argv) {
     }
   }
   if (path == nullptr) return usage();
-  if (save_path != nullptr) want_schedule = true;
+  if (save_path != nullptr || emit_trace_path != nullptr || want_monitor) {
+    want_schedule = true;
+  }
   if (!want_dot && !want_processes && !want_emit && !want_exact && !want_analyze &&
       multiproc == 0 && verify_path == nullptr) {
     want_schedule = true;
@@ -155,6 +178,69 @@ int main(int argc, char** argv) {
       } else {
         std::printf("# %s: periodic windows %s\n", c.name.c_str(),
                     v.satisfied ? "ok" : "MISSED");
+      }
+    }
+    if (emit_trace_path != nullptr || want_monitor) {
+      const core::GraphModel& sm = synth.scheduled_model;
+      // Repeat the cyclic schedule until every constraint's verdict on
+      // the finite trace is decided: lcm with the period for periodic
+      // alignment, plus one deadline of lookahead.
+      const core::Time length = synth.schedule->length();
+      core::Time needed = length;
+      for (const core::TimingConstraint& c : sm.constraints()) {
+        const core::Time span =
+            (c.periodic() ? rt::lcm_checked(length, c.period) : length) + c.deadline;
+        needed = std::max(needed, span);
+      }
+      const auto reps = static_cast<std::size_t>((needed + length - 1) / length);
+      const sim::ExecutionTrace trace = synth.schedule->to_trace(reps);
+
+      monitor::RttWriter writer(monitor::model_fingerprint(sm));
+      monitor::StreamingMonitor streaming(sm);
+      std::vector<sim::TraceSink*> sinks;
+      if (emit_trace_path != nullptr) sinks.push_back(&writer);
+      if (want_monitor) sinks.push_back(&streaming);
+      sim::FanOutSink fan(sinks);
+      monitor::CaptureStats capture_stats;
+      {
+        // Ring sized to the whole trace: the capture path is exercised
+        // end to end but lossless, so the .rtt file is exact.
+        monitor::TraceCapture capture(fan, trace.size() + 1);
+        capture.on_slots(trace.slots());
+        capture.close();
+        capture_stats = capture.stats();
+      }
+      std::fprintf(stderr,
+                   "captured %llu slots (%zu schedule repetitions, %llu dropped)\n",
+                   static_cast<unsigned long long>(capture_stats.produced), reps,
+                   static_cast<unsigned long long>(capture_stats.dropped));
+      if (emit_trace_path != nullptr) {
+        std::ofstream out(emit_trace_path, std::ios::binary);
+        if (!out) {
+          std::fprintf(stderr, "spec_compiler: cannot write '%s'\n", emit_trace_path);
+          return 2;
+        }
+        writer.finish(out);
+        std::fprintf(stderr, "saved trace to %s\n", emit_trace_path);
+      }
+      if (want_monitor) {
+        const monitor::MonitorReport mr = streaming.report();
+        std::printf("# monitor: %lld slots, idle %.1f%%, %zu violation events\n",
+                    static_cast<long long>(mr.horizon), 100.0 * mr.idle_ratio(),
+                    mr.violations.size());
+        for (std::size_t i = 0; i < mr.health.size(); ++i) {
+          const monitor::ConstraintHealth& h = mr.health[i];
+          std::printf("# %s: %zu windows, %zu violated, min slack %s, "
+                      "peak buffered ops %zu, embedding queries %zu\n",
+                      sm.constraint(i).name.c_str(), h.windows_checked,
+                      h.windows_violated,
+                      h.min_slack ? std::to_string(*h.min_slack).c_str() : "-",
+                      h.peak_buffered_ops, h.embedding_queries);
+        }
+        if (!mr.ok()) {
+          std::fprintf(stderr, "monitor found violations in a verified schedule\n");
+          return 2;
+        }
       }
     }
   }

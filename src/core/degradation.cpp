@@ -284,6 +284,8 @@ AdaptiveResult run_adaptive_executive(const ModeLadder& ladder,
   Time time = 0;
   std::size_t cycles_in_mode = 0;
   std::size_t next_pending = 0;
+  Time emitted = 0;           ///< slots already delivered to the trace sink
+  std::size_t next_emit = 0;  ///< first realized op not yet emitted
 
   const auto evaluate = [&](const PendingInvocation& p) {
     AdaptiveInvocation inv;
@@ -357,6 +359,17 @@ AdaptiveResult run_adaptive_executive(const ModeLadder& ladder,
     result.overrun_slots += overrun;
     cycle_finishes.push_back(cycle_end);
     time = cycle_end;
+
+    if (options.trace_sink != nullptr) {
+      for (; next_emit < realized.size(); ++next_emit) {
+        const ScheduledOp& op = realized[next_emit];
+        for (; emitted < op.start; ++emitted) options.trace_sink->on_slot(sim::kIdle);
+        for (; emitted < op.finish(); ++emitted) {
+          options.trace_sink->on_slot(static_cast<sim::Slot>(op.elem));
+        }
+      }
+      for (; emitted < cycle_end; ++emitted) options.trace_sink->on_slot(sim::kIdle);
+    }
 
     while (next_pending < pending.size() && pending[next_pending].deadline <= time) {
       evaluate(pending[next_pending]);

@@ -178,6 +178,11 @@ struct AdaptiveOptions {
   /// Under kDefer: an arrival pushed more than this many slots past its
   /// requested instant is rejected instead. <= 0 means unlimited.
   Time max_backoff = 0;
+  /// When non-null, receives the *realized* slot timeline (overrun
+  /// slides included) cycle by cycle as the executive runs. Emission
+  /// ends at the final cycle boundary, which may lie past `horizon` —
+  /// cycles are never torn.
+  sim::TraceSink* trace_sink = nullptr;
 };
 
 /// A mode switch taken at a cycle boundary.

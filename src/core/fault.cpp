@@ -196,7 +196,8 @@ std::vector<ScheduledOp> inject_overruns(std::span<const ScheduledOp> ops,
 
 OverrunRunResult run_with_overruns(const StaticSchedule& sched, const GraphModel& model,
                                    const ConstraintArrivals& arrivals, Time horizon,
-                                   const OverrunModel& overruns) {
+                                   const OverrunModel& overruns,
+                                   sim::TraceSink* trace_sink) {
   if (sched.length() == 0) {
     throw std::invalid_argument("run_with_overruns: empty schedule");
   }
@@ -215,6 +216,7 @@ OverrunRunResult run_with_overruns(const StaticSchedule& sched, const GraphModel
   result.total_ops = nominal.size();
   const std::vector<ScheduledOp> actual =
       inject_overruns(nominal, overruns, &result.overrun_ops);
+  if (trace_sink != nullptr) emit_timeline(actual, horizon, *trace_sink);
   for (std::size_t i = 0; i < nominal.size(); ++i) {
     result.max_slide = std::max(result.max_slide, actual[i].start - nominal[i].start);
   }

@@ -143,10 +143,13 @@ struct OverrunRunResult {
 /// Non-adaptive baseline: runs the blind executive for `horizon` slots
 /// under injected overruns and re-verifies every invocation window
 /// against the slid timeline. Arrival streams as in run_executive.
+/// A non-null `trace_sink` receives the *slid* slot timeline (what a
+/// probe on the processor would actually observe), `horizon` slots.
 [[nodiscard]] OverrunRunResult run_with_overruns(const StaticSchedule& sched,
                                                  const GraphModel& model,
                                                  const ConstraintArrivals& arrivals,
                                                  Time horizon,
-                                                 const OverrunModel& overruns);
+                                                 const OverrunModel& overruns,
+                                                 sim::TraceSink* trace_sink = nullptr);
 
 }  // namespace rtg::core

@@ -22,6 +22,18 @@ const char* issue_kind_label(ArrivalIssue::Kind kind) {
 
 }  // namespace
 
+void emit_timeline(std::span<const ScheduledOp> ops, Time horizon,
+                   sim::TraceSink& sink) {
+  Time cursor = 0;
+  for (const ScheduledOp& op : ops) {
+    if (op.start >= horizon) break;
+    for (; cursor < op.start; ++cursor) sink.on_slot(sim::kIdle);
+    const Time end = std::min(op.finish(), horizon);
+    for (; cursor < end; ++cursor) sink.on_slot(static_cast<sim::Slot>(op.elem));
+  }
+  for (; cursor < horizon; ++cursor) sink.on_slot(sim::kIdle);
+}
+
 std::string ArrivalIssue::to_string() const {
   std::string s = std::string(issue_kind_label(kind)) + " for constraint '" +
                   constraint_name + "'";
@@ -82,7 +94,8 @@ ArrivalValidation validate_arrivals(const GraphModel& model,
 }
 
 ExecutiveResult run_executive(const StaticSchedule& sched, const GraphModel& model,
-                              const ConstraintArrivals& arrivals, Time horizon) {
+                              const ConstraintArrivals& arrivals, Time horizon,
+                              sim::TraceSink* trace_sink) {
   if (horizon < 0) throw std::invalid_argument("run_executive: negative horizon");
   if (sched.length() == 0) throw std::invalid_argument("run_executive: empty schedule");
   const ArrivalValidation validation = validate_arrivals(model, arrivals);
@@ -106,6 +119,7 @@ ExecutiveResult run_executive(const StaticSchedule& sched, const GraphModel& mod
       (horizon + max_deadline) / std::max<Time>(sched.length(), 1) + 1 +
       static_cast<Time>(2 * max_ops + 2));
   const std::vector<ScheduledOp> ops = unroll_ops(sched, periods);
+  if (trace_sink != nullptr) emit_timeline(ops, horizon, *trace_sink);
   result.dispatches = static_cast<std::size_t>(
       static_cast<Time>(sched.ops().size()) *
       ((horizon + sched.length() - 1) / sched.length()));

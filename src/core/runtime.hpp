@@ -19,8 +19,17 @@
 #include "core/latency.hpp"
 #include "core/model.hpp"
 #include "core/static_schedule.hpp"
+#include "sim/trace.hpp"
 
 namespace rtg::core {
+
+/// Renders a sorted, non-overlapping op timeline as exactly `horizon`
+/// raw trace slots delivered to `sink` in time order: each op
+/// contributes duration slots of its element, gaps become idle, and the
+/// horizon cuts mid-op if it must (the dropped tail decodes as an
+/// incomplete execution, consistent with ops_from_trace).
+void emit_timeline(std::span<const ScheduledOp> ops, Time horizon,
+                   sim::TraceSink& sink);
 
 /// One invocation of a timing constraint and its outcome.
 struct InvocationRecord {
@@ -98,9 +107,15 @@ struct ArrivalValidation {
 /// std::invalid_argument carrying the rendered ArrivalValidation. Use
 /// validate_arrivals first (or the adaptive executive's admission
 /// control in core/degradation) to handle defects without exceptions.
+///
+/// When `trace_sink` is non-null the executive also emits the raw slot
+/// timeline it dispatched (the round-robin trace, `horizon` slots) —
+/// feed it a monitor::TraceCapture or a StreamingMonitor to observe the
+/// run online.
 [[nodiscard]] ExecutiveResult run_executive(const StaticSchedule& sched,
                                             const GraphModel& model,
                                             const ConstraintArrivals& arrivals,
-                                            Time horizon);
+                                            Time horizon,
+                                            sim::TraceSink* trace_sink = nullptr);
 
 }  // namespace rtg::core

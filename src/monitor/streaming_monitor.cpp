@@ -1,0 +1,315 @@
+#include "monitor/streaming_monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace rtg::monitor {
+
+namespace {
+
+constexpr std::size_t kNoEvent = static_cast<std::size_t>(-1);
+
+// Evaluable windows of a constraint over `horizon` slots: starts t = 0,
+// stride, 2*stride, ... with t + d <= horizon. Shared by the monitor's
+// report and the offline reference so the counts agree by construction.
+std::size_t evaluable_windows(Time horizon, Time deadline, Time stride) {
+  if (horizon < deadline) return 0;
+  return static_cast<std::size_t>((horizon - deadline) / stride) + 1;
+}
+
+}  // namespace
+
+std::vector<Time> MonitorReport::violated_starts(std::size_t constraint) const {
+  std::vector<Time> starts;
+  for (const ViolationEvent& e : violations) {
+    if (e.constraint != constraint) continue;
+    for (Time t = e.first_begin; t <= e.last_begin; t += e.stride) {
+      starts.push_back(t);
+    }
+  }
+  std::sort(starts.begin(), starts.end());
+  return starts;
+}
+
+StreamingMonitor::StreamingMonitor(const core::GraphModel& model,
+                                   const MonitorOptions& options)
+    : model_(&model), options_(options) {
+  if (options_.slack_buckets == 0) {
+    throw std::invalid_argument("StreamingMonitor: slack_buckets must be >= 1");
+  }
+  element_busy_.assign(model.comm().size(), 0);
+  cs_.resize(model.constraint_count());
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const core::TimingConstraint& c = model.constraint(i);
+    if (c.deadline < 1 || c.period < 1) {
+      throw std::invalid_argument("StreamingMonitor: constraint '" + c.name +
+                                  "' needs p >= 1 and d >= 1");
+    }
+    ConstraintState& s = cs_[i];
+    s.deadline = c.deadline;
+    s.stride = c.periodic() ? c.period : 1;
+    s.trivial = c.task_graph.empty();
+    s.relevant.assign(model.comm().size(), false);
+    s.needed.assign(model.comm().size(), 0);
+    s.live_count.assign(model.comm().size(), 0);
+    for (core::ElementId e : c.task_graph.labels()) {
+      s.relevant[e] = true;
+      if (s.needed[e]++ == 0) ++s.deficit;
+    }
+    s.slack_hist.assign(options_.slack_buckets, 0);
+  }
+}
+
+void StreamingMonitor::on_slot(sim::Slot s) {
+  if (s != sim::kIdle && !model_->comm().has_element(s)) {
+    throw std::invalid_argument("StreamingMonitor: unknown element id " +
+                                std::to_string(s));
+  }
+  // Run decoding, identical to ops_from_trace: a maximal run of element
+  // e yields one execution per weight(e) consecutive slots from the run
+  // start; a trailing partial chunk is dropped.
+  if (s == run_elem_) {
+    ++run_len_;
+  } else {
+    run_elem_ = s;
+    run_len_ = (s == sim::kIdle) ? 0 : 1;
+  }
+  ++now_;
+  if (s == sim::kIdle) {
+    ++idle_slots_;
+  } else {
+    ++element_busy_[s];
+  }
+  if (run_elem_ != sim::kIdle) {
+    const Time w = model_->comm().weight(run_elem_);
+    if (run_len_ == w) {
+      feed_execution(core::ScheduledOp{run_elem_, now_ - w, w});
+      run_len_ = 0;
+    }
+  }
+  // Close windows whose deadline has passed without a witness. Safe
+  // without re-querying: after every execution event the cascade ends
+  // on a failed query or a label deficit (either way no embedding
+  // exists from next_check), and windows with a later start only see
+  // a subset of the eligible executions.
+  for (std::size_t ci = 0; ci < cs_.size(); ++ci) close_expired(ci);
+}
+
+void StreamingMonitor::feed_execution(const core::ScheduledOp& op) {
+  for (std::size_t ci = 0; ci < cs_.size(); ++ci) {
+    ConstraintState& s = cs_[ci];
+    if (s.trivial || !s.relevant[op.elem]) continue;
+    // An execution starting before the earliest unresolved window can
+    // never participate in a future witness.
+    if (op.start < s.next_check) continue;
+    s.buf.push_back(op);
+    s.peak_buf = std::max(s.peak_buf, s.buf.size() - s.head);
+    if (++s.live_count[op.elem] == s.needed[op.elem]) --s.deficit;
+    query_cascade(ci);
+  }
+}
+
+void StreamingMonitor::query_cascade(std::size_t ci) {
+  ConstraintState& s = cs_[ci];
+  const core::TaskGraph& tg = model_->constraint(ci).task_graph;
+  for (;;) {
+    // The live multiset lacks some label of C: every query would fail.
+    if (s.deficit > 0) break;
+    ++s.queries;
+    const auto witness = core::find_earliest_embedding(tg, live(s), s.next_check);
+    if (!witness) break;
+    const std::span<const core::ScheduledOp> ops = live(s);
+    Time witness_start = witness->finish;
+    for (std::size_t idx : witness->assignment) {
+      witness_start = std::min(witness_start, ops[idx].start);
+    }
+    resolve(ci, witness->finish, witness_start);
+    prune(ci);
+  }
+}
+
+// A witness with finish f whose earliest execution starts at s* proves
+// F(t) = f for every window start t in [next_check, s*]: the witness is
+// an embedding for all of them (monotone lower bound from t =
+// next_check, upper bound by exhibition), and f is final because every
+// later execution finishes strictly later. Each such window is settled
+// now: satisfied iff f <= t + d.
+void StreamingMonitor::resolve(std::size_t ci, Time finish, Time witness_start) {
+  ConstraintState& s = cs_[ci];
+  Time t = s.next_check;
+  while (t <= witness_start && t + s.deadline < finish) {
+    emit_violation(ci, t);
+    t += s.stride;
+  }
+  while (t <= witness_start) {
+    record_satisfied(ci, t, finish);
+    t += s.stride;
+  }
+  s.next_check = t;
+}
+
+void StreamingMonitor::close_expired(std::size_t ci) {
+  ConstraintState& s = cs_[ci];
+  if (s.trivial) return;
+  bool advanced = false;
+  while (s.next_check + s.deadline <= now_) {
+    emit_violation(ci, s.next_check);
+    s.next_check += s.stride;
+    advanced = true;
+  }
+  if (advanced) prune(ci);
+}
+
+void StreamingMonitor::emit_violation(std::size_t ci, Time begin) {
+  ConstraintState& s = cs_[ci];
+  ++s.violated;
+  if (s.last_event != kNoEvent) {
+    ViolationEvent& open = events_[s.last_event];
+    if (open.last_begin + open.stride == begin) {
+      open.last_begin = begin;
+      return;
+    }
+  }
+  ViolationEvent event;
+  event.constraint = ci;
+  event.first_begin = begin;
+  event.last_begin = begin;
+  event.deadline = s.deadline;
+  event.stride = s.stride;
+  event.matched_ops = diagnose(ci, begin);
+  event.total_ops = model_->constraint(ci).task_graph.size();
+  s.last_event = events_.size();
+  events_.push_back(event);
+}
+
+void StreamingMonitor::record_satisfied(std::size_t ci, Time begin, Time finish) {
+  ConstraintState& s = cs_[ci];
+  const Time slack = begin + s.deadline - finish;
+  if (!s.min_slack || slack < *s.min_slack) s.min_slack = slack;
+  const auto bucket = std::min(static_cast<std::size_t>(slack),
+                               options_.slack_buckets - 1);
+  ++s.slack_hist[bucket];
+}
+
+void StreamingMonitor::prune(std::size_t ci) {
+  ConstraintState& s = cs_[ci];
+  while (s.head < s.buf.size() && s.buf[s.head].start < s.next_check) {
+    const core::ElementId gone = s.buf[s.head].elem;
+    if (s.live_count[gone]-- == s.needed[gone]) ++s.deficit;
+    ++s.head;
+  }
+  if (s.head > 64 && s.head * 2 > s.buf.size()) {
+    s.buf.erase(s.buf.begin(), s.buf.begin() + static_cast<std::ptrdiff_t>(s.head));
+    s.head = 0;
+  }
+}
+
+// Best-effort furthest-partial-embedding diagnosis for a violated
+// window [begin, begin + d): greedy injective placement in topological
+// order, skipping ops whose predecessors could not be placed. Exact for
+// chains; a lower bound in general (the violation itself is exact).
+std::size_t StreamingMonitor::diagnose(std::size_t ci, Time begin) const {
+  const ConstraintState& s = cs_[ci];
+  const core::TaskGraph& tg = model_->constraint(ci).task_graph;
+  const Time end = begin + s.deadline;
+  const std::span<const core::ScheduledOp> ops = live(s);
+  std::vector<bool> placed(tg.size(), false);
+  std::vector<bool> used(ops.size(), false);
+  std::vector<Time> finish(tg.size(), 0);
+  std::size_t count = 0;
+  for (core::OpId v : tg.topological_ops()) {
+    Time ready = begin;
+    bool feasible = true;
+    for (core::OpId u : tg.skeleton().predecessors(v)) {
+      if (!placed[u]) {
+        feasible = false;
+        break;
+      }
+      ready = std::max(ready, finish[u]);
+    }
+    if (!feasible) continue;
+    const core::ElementId want = tg.label(v);
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      if (used[i] || ops[i].elem != want) continue;
+      if (ops[i].start < ready) continue;
+      if (ops[i].finish() > end) break;  // start-sorted: no later fit either
+      used[i] = true;
+      placed[v] = true;
+      finish[v] = ops[i].finish();
+      ++count;
+      break;
+    }
+  }
+  return count;
+}
+
+MonitorReport StreamingMonitor::report() const {
+  MonitorReport report;
+  report.horizon = now_;
+  report.violations = events_;
+  std::stable_sort(report.violations.begin(), report.violations.end(),
+                   [](const ViolationEvent& a, const ViolationEvent& b) {
+                     if (a.first_begin != b.first_begin) {
+                       return a.first_begin < b.first_begin;
+                     }
+                     return a.constraint < b.constraint;
+                   });
+  report.health.resize(cs_.size());
+  for (std::size_t i = 0; i < cs_.size(); ++i) {
+    const ConstraintState& s = cs_[i];
+    ConstraintHealth& h = report.health[i];
+    h.windows_checked = evaluable_windows(now_, s.deadline, s.stride);
+    h.windows_violated = s.violated;
+    h.slack_histogram = s.slack_hist;
+    h.min_slack = s.min_slack;
+    h.peak_buffered_ops = s.peak_buf;
+    h.embedding_queries = s.queries;
+  }
+  report.idle_slots = idle_slots_;
+  report.element_busy = element_busy_;
+  return report;
+}
+
+bool ReferenceVerdict::ok() const {
+  for (const std::vector<Time>& v : violated) {
+    if (!v.empty()) return false;
+  }
+  return true;
+}
+
+ReferenceVerdict reference_check(const sim::ExecutionTrace& trace,
+                                 const core::GraphModel& model) {
+  const std::vector<core::ScheduledOp> ops = core::ops_from_trace(trace, model.comm());
+  ReferenceVerdict verdict;
+  verdict.horizon = static_cast<Time>(trace.size());
+  verdict.violated.resize(model.constraint_count());
+  verdict.checked.resize(model.constraint_count());
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const core::TimingConstraint& c = model.constraint(i);
+    if (c.deadline < 1 || c.period < 1) {
+      throw std::invalid_argument("reference_check: constraint '" + c.name +
+                                  "' needs p >= 1 and d >= 1");
+    }
+    const Time stride = c.periodic() ? c.period : 1;
+    for (Time t = 0; t + c.deadline <= verdict.horizon; t += stride) {
+      ++verdict.checked[i];
+      if (!core::window_contains_execution(c.task_graph, ops, t, t + c.deadline)) {
+        verdict.violated[i].push_back(t);
+      }
+    }
+  }
+  return verdict;
+}
+
+bool verdicts_match(const MonitorReport& report, const ReferenceVerdict& reference) {
+  if (report.horizon != reference.horizon) return false;
+  if (report.health.size() != reference.violated.size()) return false;
+  for (std::size_t i = 0; i < reference.violated.size(); ++i) {
+    if (report.health[i].windows_checked != reference.checked[i]) return false;
+    if (report.violated_starts(i) != reference.violated[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace rtg::monitor

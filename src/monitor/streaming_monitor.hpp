@@ -1,0 +1,223 @@
+// streaming_monitor.hpp — online constraint checking over a live trace.
+//
+// The offline verifiers decide feasibility of a *static schedule* before
+// it runs; this module closes the observability gap at run time. A
+// StreamingMonitor consumes the execution trace F : ℕ → V ∪ {φ} one
+// slot at a time and decides, for every timing constraint (C, p, d),
+// exactly the windows the paper's semantics demand:
+//
+//   * asynchronous: every window [t, t+d) with t+d <= horizon must
+//     contain a complete execution (embedding) of C;
+//   * periodic: the windows starting at t = 0, p, 2p, ... only.
+//
+// The checker is exact and incremental. Per constraint it keeps the
+// earliest still-open window start and a short buffer of decoded
+// executions of C's elements; the key invariant is that the earliest
+// finish F(t) of an embedding with starts >= t is non-decreasing in t
+// and *final* as soon as it is witnessed (later executions finish
+// later, so they can never improve it). One successful embedding query
+// therefore resolves every window start up to the witness's earliest
+// execution, and a failed query stays failed until a relevant element
+// completes — so the number of embedding queries over a trace is
+// bounded by the number of relevant executions, not by the number of
+// slots or windows, and per-slot cost is amortized near-constant.
+// State is pruned as windows close: peak memory is O(Σ_c d_c) decoded
+// executions (see ConstraintHealth::peak_buffered_ops).
+//
+// Verdicts are bit-identical to offline verification of the same
+// finite trace (reference_check below; pinned by the differential
+// suite in tests/monitor/), which makes every captured trace a free
+// differential oracle against verify_schedule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/latency.hpp"
+#include "core/model.hpp"
+#include "sim/trace.hpp"
+
+namespace rtg::monitor {
+
+using core::Time;
+
+/// One maximal run of violated windows of one constraint. For an
+/// asynchronous constraint the violated window starts are first_begin,
+/// first_begin + 1, ..., last_begin; for a periodic constraint they
+/// step by the period. Coalescing keeps a long outage one event
+/// instead of thousands.
+struct ViolationEvent {
+  std::size_t constraint = 0;
+  Time first_begin = 0;  ///< first violated window start
+  Time last_begin = 0;   ///< last violated window start (inclusive)
+  Time deadline = 0;     ///< the constraint's d: windows are [t, t+d)
+  Time stride = 1;       ///< spacing of window starts within the event
+  /// Diagnosis at first_begin: how many of C's operations a best-effort
+  /// greedy pass could still place inside the window (the furthest
+  /// partial embedding), out of total_ops.
+  std::size_t matched_ops = 0;
+  std::size_t total_ops = 0;
+
+  /// Number of violated windows the event covers.
+  [[nodiscard]] std::size_t windows() const {
+    return static_cast<std::size_t>((last_begin - first_begin) / stride) + 1;
+  }
+
+  friend bool operator==(const ViolationEvent&, const ViolationEvent&) = default;
+};
+
+/// Rolling per-constraint health.
+struct ConstraintHealth {
+  /// Windows whose deadline fell inside the observed horizon (the
+  /// evaluable windows; identical to the offline count).
+  std::size_t windows_checked = 0;
+  std::size_t windows_violated = 0;
+  /// Histogram of slack = (t + d) - finish over satisfied windows,
+  /// clamped into the last bucket. Early-resolved windows whose
+  /// deadline lies past the horizon are included (their satisfaction
+  /// is already final), so the bucket sum may exceed windows_checked.
+  std::vector<std::size_t> slack_histogram;
+  std::optional<Time> min_slack;
+  /// Peak decoded executions buffered for this constraint (the memory
+  /// bound: never exceeds the executions of one deadline-length span).
+  std::size_t peak_buffered_ops = 0;
+  /// Embedding queries issued (amortized O(relevant executions)).
+  std::size_t embedding_queries = 0;
+
+  friend bool operator==(const ConstraintHealth&, const ConstraintHealth&) = default;
+};
+
+/// Snapshot of the monitor's verdicts and health after `horizon` slots.
+struct MonitorReport {
+  Time horizon = 0;
+  /// All violation events, sorted by (first_begin, constraint).
+  std::vector<ViolationEvent> violations;
+  std::vector<ConstraintHealth> health;
+  /// Idle slots seen so far (idle ratio = idle_slots / horizon).
+  std::size_t idle_slots = 0;
+  /// Busy slots per element id (per-element utilization).
+  std::vector<std::size_t> element_busy;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] double idle_ratio() const {
+    return horizon == 0 ? 0.0
+                        : static_cast<double>(idle_slots) / static_cast<double>(horizon);
+  }
+  /// Expands this constraint's events into individual violated window
+  /// starts, ascending (for differential comparisons).
+  [[nodiscard]] std::vector<Time> violated_starts(std::size_t constraint) const;
+};
+
+struct MonitorOptions {
+  /// Buckets of the per-constraint slack histogram (slack >= buckets-1
+  /// clamps into the last bucket).
+  std::size_t slack_buckets = 32;
+};
+
+/// The online checker. Feed slots via on_slot / on_slots (it is a
+/// TraceSink, so executives and the capture drain thread can write to
+/// it directly); read verdicts at any time via report() — all windows
+/// whose deadline has passed are always resolved. Single-threaded:
+/// wrap in TraceCapture for concurrent producers.
+class StreamingMonitor final : public sim::TraceSink {
+ public:
+  explicit StreamingMonitor(const core::GraphModel& model,
+                            const MonitorOptions& options = {});
+
+  /// Consumes the next trace slot. Throws std::invalid_argument on a
+  /// symbol that is neither idle nor a known element (same contract as
+  /// ops_from_trace).
+  void on_slot(sim::Slot s) override;
+
+  /// Slots consumed so far.
+  [[nodiscard]] Time now() const { return now_; }
+
+  /// Violation events so far, in emission order (per constraint that
+  /// is ascending window order). The last event of a constraint may
+  /// still be extended by future slots.
+  [[nodiscard]] const std::vector<ViolationEvent>& violations() const {
+    return events_;
+  }
+
+  /// Verdict + health snapshot over the slots consumed so far.
+  [[nodiscard]] MonitorReport report() const;
+
+ private:
+  struct ConstraintState {
+    Time deadline = 0;
+    Time stride = 1;  ///< 1 for asynchronous, p for periodic
+    bool trivial = false;  ///< empty task graph: every window satisfied
+    bool element_relevant_dirty = true;
+    std::vector<bool> relevant;  ///< element id -> labels C?
+    Time next_check = 0;         ///< earliest unresolved window start
+    std::vector<core::ScheduledOp> buf;  ///< decoded executions, start order
+    std::size_t head = 0;                ///< buf[head..) is live
+    // Multiset gate: an embedding needs an injective assignment, so a
+    // query cannot succeed unless every label of C has at least as
+    // many live executions as C has ops with that label. Queries are
+    // only issued while deficit == 0, which skips the doomed query
+    // after each intermediate execution of a multi-op task graph.
+    std::vector<std::uint32_t> needed;      ///< element id -> ops of C so labeled
+    std::vector<std::uint32_t> live_count;  ///< element id -> live executions
+    std::size_t deficit = 0;  ///< labels with live_count < needed
+    // Health.
+    std::size_t violated = 0;
+    std::vector<std::size_t> slack_hist;
+    std::optional<Time> min_slack;
+    std::size_t peak_buf = 0;
+    std::size_t queries = 0;
+    // Open-event coalescing: index into events_ of this constraint's
+    // most recent event, or npos.
+    std::size_t last_event = static_cast<std::size_t>(-1);
+  };
+
+  void feed_execution(const core::ScheduledOp& op);
+  void query_cascade(std::size_t ci);
+  void resolve(std::size_t ci, Time finish, Time witness_start);
+  void close_expired(std::size_t ci);
+  void emit_violation(std::size_t ci, Time begin);
+  void record_satisfied(std::size_t ci, Time begin, Time finish);
+  void prune(std::size_t ci);
+  [[nodiscard]] static std::span<const core::ScheduledOp> live(const ConstraintState& s) {
+    return {s.buf.data() + s.head, s.buf.size() - s.head};
+  }
+  [[nodiscard]] std::size_t diagnose(std::size_t ci, Time begin) const;
+
+  const core::GraphModel* model_;
+  MonitorOptions options_;
+  std::vector<ConstraintState> cs_;
+  std::vector<ViolationEvent> events_;
+  Time now_ = 0;
+  // Run decoding (shared across constraints, matches ops_from_trace).
+  sim::Slot run_elem_ = sim::kIdle;
+  Time run_len_ = 0;  ///< slots of run_elem_ since the last emitted execution
+  // Trace-level health.
+  std::size_t idle_slots_ = 0;
+  std::vector<std::size_t> element_busy_;
+};
+
+/// Offline reference verdict of a finite trace: the naive per-window
+/// re-verification (decode the whole trace, then one embedding query
+/// per evaluable window). Used as the differential oracle for the
+/// streaming monitor and as the "before" baseline of E18.
+struct ReferenceVerdict {
+  Time horizon = 0;
+  /// Per constraint: violated window starts, ascending.
+  std::vector<std::vector<Time>> violated;
+  /// Per constraint: number of evaluable windows.
+  std::vector<std::size_t> checked;
+
+  [[nodiscard]] bool ok() const;
+};
+
+[[nodiscard]] ReferenceVerdict reference_check(const sim::ExecutionTrace& trace,
+                                               const core::GraphModel& model);
+
+/// True iff the monitor report and the reference verdict agree exactly:
+/// same horizon, same violated window starts per constraint, same
+/// evaluable-window counts.
+[[nodiscard]] bool verdicts_match(const MonitorReport& report,
+                                  const ReferenceVerdict& reference);
+
+}  // namespace rtg::monitor

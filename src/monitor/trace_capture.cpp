@@ -1,0 +1,83 @@
+#include "monitor/trace_capture.hpp"
+
+#include <array>
+
+namespace rtg::monitor {
+
+namespace {
+
+/// Record carrying only a drop count (flushed by close()); never a real
+/// element id in practice, and the monitor would reject it if it were.
+constexpr sim::Slot kDropsOnly = static_cast<sim::Slot>(-2);
+
+}  // namespace
+
+TraceCapture::TraceCapture(sim::TraceSink& downstream, std::size_t ring_capacity)
+    : downstream_(&downstream),
+      ring_(ring_capacity),
+      drain_([this] { drain_loop(); }) {}
+
+TraceCapture::~TraceCapture() { close(); }
+
+void TraceCapture::on_slot(sim::Slot s) {
+  ++produced_;
+  produced_published_.store(produced_, std::memory_order_relaxed);
+  const Record r{pending_drops_, s};
+  if (ring_.try_push(r)) {
+    pending_drops_ = 0;
+  } else {
+    ++pending_drops_;
+  }
+}
+
+void TraceCapture::close() {
+  if (!open_.load(std::memory_order_relaxed)) {
+    if (drain_.joinable()) drain_.join();
+    return;
+  }
+  if (pending_drops_ > 0) {
+    const Record r{pending_drops_, kDropsOnly};
+    // The ring drains continuously, so this terminates; close() is the
+    // one place the producer may wait.
+    while (!ring_.try_push(r)) std::this_thread::yield();
+    pending_drops_ = 0;
+  }
+  open_.store(false, std::memory_order_release);
+  if (drain_.joinable()) drain_.join();
+}
+
+CaptureStats TraceCapture::stats() const {
+  CaptureStats s;
+  s.produced = produced_published_.load(std::memory_order_relaxed);
+  s.consumed = consumed_.load(std::memory_order_relaxed);
+  s.dropped = dropped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void TraceCapture::deliver(const Record& r) {
+  for (std::uint32_t i = 0; i < r.dropped_before; ++i) {
+    downstream_->on_slot(sim::kIdle);
+  }
+  dropped_.fetch_add(r.dropped_before, std::memory_order_relaxed);
+  if (r.slot != kDropsOnly) {
+    downstream_->on_slot(r.slot);
+    consumed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void TraceCapture::drain_loop() {
+  std::array<Record, 256> batch;
+  for (;;) {
+    const std::size_t n = ring_.pop_batch(batch);
+    if (n == 0) {
+      // Producer closed and everything it pushed before the release
+      // store is visible (acquire) and drained: done.
+      if (!open_.load(std::memory_order_acquire) && ring_.empty()) return;
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) deliver(batch[i]);
+  }
+}
+
+}  // namespace rtg::monitor

@@ -1,0 +1,81 @@
+// trace_capture.hpp — lock-free trace capture between an executive and
+// a monitor.
+//
+// An executive must never block on observation: TraceCapture is a
+// TraceSink whose on_slot is a wait-free push into an SPSC ring. A
+// drain thread pops slots in batches and forwards them, in order, to a
+// downstream sink (typically a StreamingMonitor, an RttWriter, or a
+// FanOutSink over both). When the ring is full the slot is *dropped
+// and counted*, never blocked on: each subsequent record carries the
+// number of drops preceding it, and the drain substitutes one idle
+// slot per drop so downstream indices stay aligned with real time.
+// Substituting idle is conservative for constraint checking — it can
+// produce spurious violations for windows overlapping the gap, but it
+// can never mask a real violation (removing executions only shrinks
+// the set of embeddings).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "sim/trace.hpp"
+#include "util/spsc_ring.hpp"
+
+namespace rtg::monitor {
+
+/// Counters of one capture session. produced == consumed + dropped
+/// holds after close().
+struct CaptureStats {
+  std::uint64_t produced = 0;  ///< slots offered by the executive
+  std::uint64_t consumed = 0;  ///< slots delivered downstream as-is
+  std::uint64_t dropped = 0;   ///< slots lost to overflow (delivered as idle)
+};
+
+class TraceCapture final : public sim::TraceSink {
+ public:
+  /// `downstream` must outlive the capture. The drain thread starts
+  /// immediately.
+  explicit TraceCapture(sim::TraceSink& downstream, std::size_t ring_capacity = 1024);
+
+  /// Joins the drain thread (close() if still open). Pending slots are
+  /// flushed first.
+  ~TraceCapture() override;
+
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+  /// Producer side; wait-free. Call from exactly one thread.
+  void on_slot(sim::Slot s) override;
+
+  /// Stops accepting slots, flushes everything buffered (including a
+  /// trailing drop count), and joins the drain thread. Idempotent.
+  /// After close() the downstream sink has received exactly produced
+  /// slots, of which `dropped` were idle substitutes.
+  void close();
+
+  [[nodiscard]] CaptureStats stats() const;
+
+ private:
+  struct Record {
+    std::uint32_t dropped_before = 0;  ///< drops since the previous record
+    sim::Slot slot = sim::kIdle;
+  };
+
+  void drain_loop();
+  void deliver(const Record& r);
+
+  sim::TraceSink* downstream_;
+  util::SpscRing<Record> ring_;
+  std::atomic<bool> open_{true};
+  // Producer-owned.
+  std::uint32_t pending_drops_ = 0;
+  std::uint64_t produced_ = 0;
+  // Consumer-owned (drain thread), published for stats().
+  std::atomic<std::uint64_t> consumed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> produced_published_{0};
+  std::thread drain_;
+};
+
+}  // namespace rtg::monitor

@@ -1,0 +1,219 @@
+#include "monitor/trace_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace rtg::monitor {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'T', 'T', 'B'};
+constexpr std::uint32_t kVersion = 1;
+
+// --- FNV-1a ---------------------------------------------------------
+
+struct Fnv1a {
+  std::uint64_t state = 1469598103934665603ull;
+
+  void bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state ^= p[i];
+      state *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      const unsigned char b = static_cast<unsigned char>(v >> (8 * i));
+      bytes(&b, 1);
+    }
+  }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+};
+
+// --- little-endian + varint primitives ------------------------------
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.write(b, 4);
+}
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (8 * i));
+  out.write(b, 8);
+}
+
+void put_varint(std::ostream& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    const char b = static_cast<char>((v & 0x7f) | 0x80);
+    out.write(&b, 1);
+    v >>= 7;
+  }
+  const char b = static_cast<char>(v);
+  out.write(&b, 1);
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("rtt: " + what);
+}
+
+std::uint32_t get_u32(std::istream& in) {
+  char b[4];
+  if (!in.read(b, 4)) fail("truncated header");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  char b[8];
+  if (!in.read(b, 8)) fail("truncated header");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::uint64_t get_varint(std::istream& in) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    char b;
+    if (!in.read(&b, 1)) fail("truncated payload");
+    const auto byte = static_cast<unsigned char>(b);
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  fail("varint too long");
+}
+
+// Idle maps to code 0 so the most common symbol gets the shortest
+// encoding; element e maps to e + 1.
+std::uint64_t symbol_code(sim::Slot s) {
+  return s == sim::kIdle ? 0 : static_cast<std::uint64_t>(s) + 1;
+}
+
+sim::Slot code_symbol(std::uint64_t code) {
+  if (code == 0) return sim::kIdle;
+  if (code > static_cast<std::uint64_t>(sim::kIdle)) fail("symbol code out of range");
+  return static_cast<sim::Slot>(code - 1);
+}
+
+void write_payload(std::ostream& out, std::uint64_t fingerprint,
+                   std::uint64_t slot_count, const std::vector<sim::TraceRun>& runs) {
+  out.write(kMagic, 4);
+  put_u32(out, kVersion);
+  put_u64(out, fingerprint);
+  put_u64(out, slot_count);
+  for (const sim::TraceRun& run : runs) {
+    put_varint(out, symbol_code(run.symbol));
+    put_varint(out, run.length);
+  }
+  if (!out) fail("write failed");
+}
+
+}  // namespace
+
+std::uint64_t model_fingerprint(const core::GraphModel& model) {
+  Fnv1a h;
+  const core::CommGraph& comm = model.comm();
+  h.u64(comm.size());
+  for (core::ElementId e = 0; e < comm.size(); ++e) {
+    h.str(comm.name(e));
+    h.u64(static_cast<std::uint64_t>(comm.weight(e)));
+    h.u64(comm.pipelinable(e) ? 1 : 0);
+  }
+  for (core::ElementId u = 0; u < comm.size(); ++u) {
+    const auto& succ = comm.digraph().successors(u);
+    h.u64(succ.size());
+    for (core::ElementId v : succ) h.u64(v);
+  }
+  h.u64(model.constraint_count());
+  for (const core::TimingConstraint& c : model.constraints()) {
+    h.str(c.name);
+    h.u64(static_cast<std::uint64_t>(c.period));
+    h.u64(static_cast<std::uint64_t>(c.deadline));
+    h.u64(c.periodic() ? 0 : 1);
+    const core::TaskGraph& tg = c.task_graph;
+    h.u64(tg.size());
+    for (core::OpId v = 0; v < tg.size(); ++v) {
+      h.u64(tg.label(v));
+      const auto& succ = tg.skeleton().successors(v);
+      h.u64(succ.size());
+      for (core::OpId w : succ) h.u64(w);
+    }
+  }
+  return h.state;
+}
+
+void RttWriter::on_slot(sim::Slot s) {
+  if (!runs_.empty() && runs_.back().symbol == s) {
+    ++runs_.back().length;
+  } else {
+    runs_.push_back(sim::TraceRun{s, static_cast<std::size_t>(slots_), 1});
+  }
+  ++slots_;
+}
+
+void RttWriter::finish(std::ostream& out) const {
+  write_payload(out, fingerprint_, slots_, runs_);
+}
+
+void write_trace(std::ostream& out, const sim::ExecutionTrace& trace,
+                 std::uint64_t fingerprint) {
+  std::vector<sim::TraceRun> runs;
+  for (const sim::TraceRun& run : trace.runs()) runs.push_back(run);
+  write_payload(out, fingerprint, trace.size(), runs);
+}
+
+RttFile read_trace(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, 4)) fail("truncated header");
+  for (int i = 0; i < 4; ++i) {
+    if (magic[i] != kMagic[i]) fail("bad magic (not an .rtt file)");
+  }
+  const std::uint32_t version = get_u32(in);
+  if (version != kVersion) {
+    fail("unsupported version " + std::to_string(version));
+  }
+  RttFile file;
+  file.fingerprint = get_u64(in);
+  const std::uint64_t count = get_u64(in);
+  std::uint64_t decoded = 0;
+  while (decoded < count) {
+    const sim::Slot symbol = code_symbol(get_varint(in));
+    const std::uint64_t length = get_varint(in);
+    if (length == 0) fail("zero-length run");
+    if (length > count - decoded) fail("runs exceed declared slot count");
+    file.trace.append_run(symbol, static_cast<std::size_t>(length));
+    decoded += length;
+  }
+  // The payload must end exactly at the declared count.
+  char extra;
+  if (in.read(&extra, 1)) fail("trailing bytes after payload");
+  return file;
+}
+
+void write_trace_file(const std::string& path, const sim::ExecutionTrace& trace,
+                      std::uint64_t fingerprint) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) fail("cannot open '" + path + "' for writing");
+  write_trace(out, trace, fingerprint);
+}
+
+RttFile read_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail("cannot open '" + path + "'");
+  return read_trace(in);
+}
+
+}  // namespace rtg::monitor

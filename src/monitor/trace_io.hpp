@@ -1,0 +1,75 @@
+// trace_io.hpp — versioned binary trace files (.rtt).
+//
+// Layout of version 1 (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "RTTB"
+//   4       4     u32 format version (= 1)
+//   8       8     u64 model fingerprint (FNV-1a, see model_fingerprint)
+//   16      8     u64 slot count N
+//   24      ...   RLE payload: runs of (varint symbol-code, varint
+//                 length) until the lengths sum to N. symbol-code 0 is
+//                 idle; code k >= 1 is element id k - 1. Varints are
+//                 LEB128 (7 bits per byte, high bit = continue).
+//
+// The fingerprint binds a capture to the model it was captured under:
+// replay refuses a trace whose fingerprint matches neither the raw nor
+// the pipelined model, because verdicts against the wrong constraint
+// set are meaningless. Readers are strict — bad magic, an unsupported
+// version, a truncated payload, or a run-length mismatch all throw
+// std::runtime_error rather than returning a partial trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "sim/trace.hpp"
+
+namespace rtg::monitor {
+
+/// Order-sensitive FNV-1a digest of the model's observable structure:
+/// elements (name, weight, pipelinability), channels, and constraints
+/// (name, task graph, period, deadline, kind). Two models that could
+/// judge a trace differently get different fingerprints.
+[[nodiscard]] std::uint64_t model_fingerprint(const core::GraphModel& model);
+
+/// Streaming .rtt encoder: a TraceSink that run-length-encodes slots as
+/// they arrive (bounded memory in the number of runs, not slots) and
+/// writes the complete file on finish().
+class RttWriter final : public sim::TraceSink {
+ public:
+  explicit RttWriter(std::uint64_t fingerprint) : fingerprint_(fingerprint) {}
+
+  void on_slot(sim::Slot s) override;
+
+  /// Writes header + payload. The writer stays usable; a later finish()
+  /// rewrites the longer prefix.
+  void finish(std::ostream& out) const;
+
+  [[nodiscard]] std::uint64_t slot_count() const { return slots_; }
+
+ private:
+  std::uint64_t fingerprint_;
+  std::uint64_t slots_ = 0;
+  std::vector<sim::TraceRun> runs_;
+};
+
+struct RttFile {
+  std::uint64_t fingerprint = 0;
+  sim::ExecutionTrace trace;
+};
+
+void write_trace(std::ostream& out, const sim::ExecutionTrace& trace,
+                 std::uint64_t fingerprint);
+[[nodiscard]] RttFile read_trace(std::istream& in);
+
+/// File-path convenience wrappers (binary mode; throw std::runtime_error
+/// on I/O failure).
+void write_trace_file(const std::string& path, const sim::ExecutionTrace& trace,
+                      std::uint64_t fingerprint);
+[[nodiscard]] RttFile read_trace_file(const std::string& path);
+
+}  // namespace rtg::monitor

@@ -6,19 +6,23 @@
 
 namespace rtg::rt {
 
-sim::ExecutionTrace CyclicExecutive::to_trace() const {
-  sim::ExecutionTrace trace;
+void CyclicExecutive::emit(sim::TraceSink& sink) const {
   for (const auto& frame : frames) {
     Time used = 0;
     for (const FrameEntry& entry : frame) {
-      trace.append_run(static_cast<sim::Slot>(entry.task),
-                       static_cast<std::size_t>(entry.slots));
+      for (Time k = 0; k < entry.slots; ++k) {
+        sink.on_slot(static_cast<sim::Slot>(entry.task));
+      }
       used += entry.slots;
     }
-    if (used < frame_size) {
-      trace.append_idle(static_cast<std::size_t>(frame_size - used));
-    }
+    for (Time k = used; k < frame_size; ++k) sink.on_slot(sim::kIdle);
   }
+}
+
+sim::ExecutionTrace CyclicExecutive::to_trace() const {
+  sim::ExecutionTrace trace;
+  sim::TraceAppender appender(trace);
+  emit(appender);
   return trace;
 }
 

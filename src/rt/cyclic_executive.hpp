@@ -36,6 +36,10 @@ struct CyclicExecutive {
   /// frames[k] lists the job slices run in frame k (k in [0, H/f)).
   std::vector<std::vector<FrameEntry>> frames;
 
+  /// Streams the table's slot-level trace of one hyperperiod into a
+  /// sink (slices in frame order, frame tails idle-filled).
+  void emit(sim::TraceSink& sink) const;
+
   /// Flattens the table into a slot-level trace of one hyperperiod.
   [[nodiscard]] sim::ExecutionTrace to_trace() const;
 };

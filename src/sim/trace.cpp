@@ -14,12 +14,14 @@ double ExecutionTrace::utilization() const {
   return 1.0 - static_cast<double>(idle_count()) / static_cast<double>(slots_.size());
 }
 
-std::span<const Slot> ExecutionTrace::window(std::size_t begin, std::size_t end) const {
-  if (begin > end || end > slots_.size()) {
+std::span<const Slot> ExecutionTrace::window(std::size_t begin, std::size_t length) const {
+  if (begin > slots_.size() || length > slots_.size() - begin) {
     throw std::out_of_range("ExecutionTrace::window: bad range");
   }
-  return {slots_.data() + begin, end - begin};
+  return {slots_.data() + begin, length};
 }
+
+void TraceAppender::on_slot(Slot s) { trace_->append(s); }
 
 std::string ExecutionTrace::to_string(std::span<const std::string> names) const {
   std::string out;

@@ -20,6 +20,53 @@ using Slot = std::uint32_t;
 /// The idle symbol φ.
 inline constexpr Slot kIdle = static_cast<Slot>(-1);
 
+/// Consumer of a trace delivered one slot at a time, in trace order.
+/// Implemented by the online monitor, the binary trace writer, and the
+/// capture ring's producer side; the executives emit into one of these
+/// so observation composes with execution without coupling the layers.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_slot(Slot s) = 0;
+  /// Batch delivery; the default forwards slot by slot.
+  virtual void on_slots(std::span<const Slot> slots) {
+    for (Slot s : slots) on_slot(s);
+  }
+};
+
+/// Sink adapter appending every slot to an ExecutionTrace.
+class ExecutionTrace;
+class TraceAppender final : public TraceSink {
+ public:
+  explicit TraceAppender(ExecutionTrace& trace) : trace_(&trace) {}
+  void on_slot(Slot s) override;
+
+ private:
+  ExecutionTrace* trace_;
+};
+
+/// Sink adapter fanning each slot out to several downstream sinks in
+/// order (e.g. a trace writer plus a live monitor).
+class FanOutSink final : public TraceSink {
+ public:
+  explicit FanOutSink(std::vector<TraceSink*> sinks) : sinks_(std::move(sinks)) {}
+  void on_slot(Slot s) override {
+    for (TraceSink* sink : sinks_) sink->on_slot(s);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+/// One maximal run of a single symbol within a trace.
+struct TraceRun {
+  Slot symbol = kIdle;
+  std::size_t begin = 0;   ///< index of the run's first slot
+  std::size_t length = 0;  ///< number of consecutive slots
+
+  friend bool operator==(const TraceRun&, const TraceRun&) = default;
+};
+
 /// Finite prefix of an execution trace F : ℕ → V ∪ {φ}.
 class ExecutionTrace {
  public:
@@ -51,8 +98,65 @@ class ExecutionTrace {
   /// Fraction of busy (non-idle) slots; 0 for an empty trace.
   [[nodiscard]] double utilization() const;
 
-  /// View of slots [begin, end).
-  [[nodiscard]] std::span<const Slot> window(std::size_t begin, std::size_t end) const;
+  /// View of the `length` slots starting at `begin`. Throws
+  /// std::out_of_range when the window does not fit inside the trace
+  /// (an empty window at begin <= size() is fine).
+  [[nodiscard]] std::span<const Slot> window(std::size_t begin, std::size_t length) const;
+
+  /// Maximal single-symbol runs in trace order (run-length encoding).
+  /// Empty for an empty trace; the runs tile [0, size()) exactly.
+  class RunIterator {
+   public:
+    using value_type = TraceRun;
+    using difference_type = std::ptrdiff_t;
+
+    RunIterator() = default;
+    RunIterator(const std::vector<Slot>* slots, std::size_t begin) : slots_(slots) {
+      run_.begin = begin;
+      advance();
+    }
+
+    const TraceRun& operator*() const { return run_; }
+    const TraceRun* operator->() const { return &run_; }
+    RunIterator& operator++() {
+      run_.begin += run_.length;
+      advance();
+      return *this;
+    }
+    RunIterator operator++(int) {
+      RunIterator copy = *this;
+      ++*this;
+      return copy;
+    }
+    friend bool operator==(const RunIterator& a, const RunIterator& b) {
+      return a.run_.begin == b.run_.begin;
+    }
+
+   private:
+    void advance() {
+      run_.length = 0;
+      if (slots_ == nullptr || run_.begin >= slots_->size()) return;
+      run_.symbol = (*slots_)[run_.begin];
+      std::size_t end = run_.begin + 1;
+      while (end < slots_->size() && (*slots_)[end] == run_.symbol) ++end;
+      run_.length = end - run_.begin;
+    }
+
+    const std::vector<Slot>* slots_ = nullptr;
+    TraceRun run_;
+  };
+
+  class RunRange {
+   public:
+    explicit RunRange(const std::vector<Slot>& slots) : slots_(&slots) {}
+    [[nodiscard]] RunIterator begin() const { return RunIterator(slots_, 0); }
+    [[nodiscard]] RunIterator end() const { return RunIterator(slots_, slots_->size()); }
+
+   private:
+    const std::vector<Slot>* slots_;
+  };
+
+  [[nodiscard]] RunRange runs() const { return RunRange(slots_); }
 
   /// Compact text rendering: element names where provided (one char per
   /// slot uses ids), '.' for idle. `names[e]` supplies the label for

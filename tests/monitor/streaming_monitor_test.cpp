@@ -1,0 +1,206 @@
+// Unit tests for the online streaming monitor: verdicts, event
+// coalescing, run decoding, and health metrics on hand-built models
+// where the expected windows can be checked by eye.
+#include "monitor/streaming_monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/model.hpp"
+#include "sim/trace.hpp"
+
+namespace rtg::monitor {
+namespace {
+
+using core::ConstraintKind;
+using core::ElementId;
+using core::GraphModel;
+using core::TaskGraph;
+using core::TimingConstraint;
+
+// comm: a -> b, unit weights; one async chain constraint a -> b.
+GraphModel chain_model(Time period, Time deadline, ConstraintKind kind) {
+  core::CommGraph comm;
+  const ElementId a = comm.add_element("a", 1);
+  const ElementId b = comm.add_element("b", 1);
+  comm.add_channel(a, b);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const auto oa = tg.add_op(a);
+  const auto ob = tg.add_op(b);
+  tg.add_dep(oa, ob);
+  model.add_constraint(TimingConstraint{"chain", std::move(tg), period, deadline, kind});
+  return model;
+}
+
+// The cyclic trace "a b . ." has latency 5 for the chain a -> b: the
+// worst window starts at t = 1 and the next full chain finishes at 6.
+TEST(StreamingMonitor, SatisfiedCyclicTrace) {
+  const GraphModel model = chain_model(1, 5, ConstraintKind::kAsynchronous);
+  StreamingMonitor monitor(model);
+  sim::ExecutionTrace trace;
+  sim::TraceAppender appender(trace);
+  sim::FanOutSink fan({&appender, &monitor});
+  for (int r = 0; r < 10; ++r) {
+    fan.on_slots(std::vector<sim::Slot>{0, 1, sim::kIdle, sim::kIdle});
+  }
+  const MonitorReport report = monitor.report();
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.horizon, 40);
+  EXPECT_EQ(report.health[0].windows_checked, 36u);  // 40 - 5 + 1
+  EXPECT_EQ(report.health[0].windows_violated, 0u);
+  ASSERT_TRUE(report.health[0].min_slack.has_value());
+  EXPECT_EQ(*report.health[0].min_slack, 0);  // the t = 1 window is tight
+  EXPECT_TRUE(verdicts_match(report, reference_check(trace, model)));
+}
+
+// Tightening the deadline to 4 makes exactly the t = 1 (mod 4) windows
+// fail; the monitor must report them as periodic single-window events
+// coalescing into stride-1 runs only when adjacent.
+TEST(StreamingMonitor, ViolationsMatchReferenceAndCoalesce) {
+  const GraphModel model = chain_model(1, 4, ConstraintKind::kAsynchronous);
+  StreamingMonitor monitor(model);
+  sim::ExecutionTrace trace;
+  sim::TraceAppender appender(trace);
+  sim::FanOutSink fan({&appender, &monitor});
+  for (int r = 0; r < 10; ++r) {
+    fan.on_slots(std::vector<sim::Slot>{0, 1, sim::kIdle, sim::kIdle});
+  }
+  const MonitorReport report = monitor.report();
+  EXPECT_FALSE(report.ok());
+  const std::vector<Time> expected{1, 5, 9, 13, 17, 21, 25, 29, 33};
+  EXPECT_EQ(report.violated_starts(0), expected);
+  EXPECT_TRUE(verdicts_match(report, reference_check(trace, model)));
+  // Isolated windows: one event each, no false coalescing.
+  EXPECT_EQ(report.violations.size(), expected.size());
+  for (const ViolationEvent& e : report.violations) {
+    EXPECT_EQ(e.windows(), 1u);
+    EXPECT_EQ(e.deadline, 4);
+  }
+}
+
+// An outage (the trace goes permanently idle) produces one coalesced
+// event whose range keeps extending, with a partial-embedding diagnosis.
+TEST(StreamingMonitor, OutageCoalescesIntoOneEvent) {
+  const GraphModel model = chain_model(1, 5, ConstraintKind::kAsynchronous);
+  StreamingMonitor monitor(model);
+  monitor.on_slots(std::vector<sim::Slot>{0, 1});  // one full chain
+  for (int i = 0; i < 30; ++i) monitor.on_slot(sim::kIdle);
+  const MonitorReport report = monitor.report();
+  EXPECT_FALSE(report.ok());
+  ASSERT_EQ(report.violations.size(), 1u);
+  const ViolationEvent& e = report.violations[0];
+  EXPECT_EQ(e.first_begin, 1);  // t = 0 was served; t = 1 never is
+  EXPECT_EQ(e.last_begin, 32 - 5);
+  EXPECT_EQ(e.stride, 1);
+  EXPECT_EQ(e.total_ops, 2u);
+  EXPECT_EQ(e.matched_ops, 0u);  // at t = 1 nothing can still be placed
+  // Bit-identity with the offline check on the same finite trace.
+  std::vector<sim::Slot> slots{0, 1};
+  slots.insert(slots.end(), 30, sim::kIdle);
+  EXPECT_TRUE(verdicts_match(report, reference_check(sim::ExecutionTrace(slots), model)));
+}
+
+// Periodic constraints step by p: only invocation instants are windows,
+// and events carry stride = p.
+TEST(StreamingMonitor, PeriodicWindowsUseStride) {
+  const GraphModel model = chain_model(4, 4, ConstraintKind::kPeriodic);
+  StreamingMonitor monitor(model);
+  sim::ExecutionTrace trace;
+  sim::TraceAppender appender(trace);
+  sim::FanOutSink fan({&appender, &monitor});
+  // Period 0 serves the chain; later periods are idle -> every later
+  // invocation misses.
+  fan.on_slots(std::vector<sim::Slot>{0, 1, sim::kIdle, sim::kIdle});
+  for (int i = 0; i < 20; ++i) fan.on_slot(sim::kIdle);
+  const MonitorReport report = monitor.report();
+  EXPECT_EQ(report.health[0].windows_checked, 6u);  // t = 0,4,...,20
+  EXPECT_EQ(report.violated_starts(0), (std::vector<Time>{4, 8, 12, 16, 20}));
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].stride, 4);
+  EXPECT_EQ(report.violations[0].windows(), 5u);
+  EXPECT_TRUE(verdicts_match(report, reference_check(trace, model)));
+}
+
+// Weight-2 elements need two consecutive slots per execution; a partial
+// trailing run is not an execution (same contract as ops_from_trace).
+TEST(StreamingMonitor, WeightedRunDecoding) {
+  core::CommGraph comm;
+  const ElementId a = comm.add_element("a", 2);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  tg.add_op(a);
+  model.add_constraint(
+      TimingConstraint{"solo", std::move(tg), 1, 3, ConstraintKind::kAsynchronous});
+
+  StreamingMonitor complete(model);
+  complete.on_slots(std::vector<sim::Slot>{a, a, sim::kIdle});
+  EXPECT_TRUE(complete.report().ok());
+
+  StreamingMonitor partial(model);
+  partial.on_slots(std::vector<sim::Slot>{a, sim::kIdle, sim::kIdle});
+  const MonitorReport report = partial.report();
+  EXPECT_EQ(report.health[0].windows_checked, 1u);
+  EXPECT_EQ(report.violated_starts(0), (std::vector<Time>{0}));
+
+  // A triple run is one execution plus a dropped tail: floor(3/2).
+  StreamingMonitor merged(model);
+  merged.on_slots(std::vector<sim::Slot>{a, a, a});
+  EXPECT_TRUE(merged.report().ok());  // window [0,3) holds the execution
+}
+
+TEST(StreamingMonitor, UnknownSymbolThrows) {
+  const GraphModel model = chain_model(1, 4, ConstraintKind::kAsynchronous);
+  StreamingMonitor monitor(model);
+  EXPECT_THROW(monitor.on_slot(99), std::invalid_argument);
+}
+
+TEST(StreamingMonitor, HealthTracksUtilizationAndMemory) {
+  const GraphModel model = chain_model(1, 5, ConstraintKind::kAsynchronous);
+  StreamingMonitor monitor(model);
+  for (int r = 0; r < 100; ++r) {
+    monitor.on_slots(std::vector<sim::Slot>{0, 1, sim::kIdle, sim::kIdle});
+  }
+  const MonitorReport report = monitor.report();
+  EXPECT_EQ(report.idle_slots, 200u);
+  EXPECT_DOUBLE_EQ(report.idle_ratio(), 0.5);
+  ASSERT_EQ(report.element_busy.size(), 2u);
+  EXPECT_EQ(report.element_busy[0], 100u);
+  EXPECT_EQ(report.element_busy[1], 100u);
+  // Memory bound: the live buffer never holds more executions than fit
+  // in one deadline-length span (d = 5 slots, unit weights -> <= d+1).
+  EXPECT_LE(report.health[0].peak_buffered_ops, 6u);
+  // Amortized cost: queries scale with executions, not windows.
+  EXPECT_LE(report.health[0].embedding_queries, 2u * 200u + 2u);
+  // Slack histogram covers at least every evaluable satisfied window.
+  std::size_t histogram_total = 0;
+  for (const std::size_t bucket : report.health[0].slack_histogram) {
+    histogram_total += bucket;
+  }
+  EXPECT_GE(histogram_total, report.health[0].windows_checked);
+}
+
+TEST(StreamingMonitor, RejectsZeroSlackBuckets) {
+  const GraphModel model = chain_model(1, 4, ConstraintKind::kAsynchronous);
+  EXPECT_THROW(StreamingMonitor(model, MonitorOptions{.slack_buckets = 0}),
+               std::invalid_argument);
+}
+
+// Feeding slot by slot and feeding via on_slots produce identical
+// reports (on_slots is just a loop, but pin it).
+TEST(StreamingMonitor, BatchAndSingleSlotAgree) {
+  const GraphModel model = chain_model(3, 7, ConstraintKind::kPeriodic);
+  const std::vector<sim::Slot> slots{0,         1, sim::kIdle, 0, sim::kIdle,
+                                     sim::kIdle, 1, 0,         1, sim::kIdle};
+  StreamingMonitor batched(model);
+  batched.on_slots(slots);
+  StreamingMonitor single(model);
+  for (const sim::Slot s : slots) single.on_slot(s);
+  EXPECT_EQ(batched.report().violations, single.report().violations);
+  EXPECT_EQ(batched.report().health, single.report().health);
+}
+
+}  // namespace
+}  // namespace rtg::monitor

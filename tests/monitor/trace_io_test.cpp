@@ -1,0 +1,145 @@
+// Tests for the .rtt binary trace format: round-trips, the streaming
+// writer, model fingerprinting, and strict reader errors.
+#include "monitor/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "sim/trace.hpp"
+
+namespace rtg::monitor {
+namespace {
+
+using core::ConstraintKind;
+using core::GraphModel;
+using core::TaskGraph;
+using core::TimingConstraint;
+
+GraphModel small_model(core::Time deadline) {
+  core::CommGraph comm;
+  const auto a = comm.add_element("a", 1);
+  const auto b = comm.add_element("b", 2);
+  comm.add_channel(a, b);
+  GraphModel model(std::move(comm));
+  TaskGraph tg;
+  const auto oa = tg.add_op(a);
+  const auto ob = tg.add_op(b);
+  tg.add_dep(oa, ob);
+  model.add_constraint(
+      TimingConstraint{"c", std::move(tg), 4, deadline, ConstraintKind::kAsynchronous});
+  return model;
+}
+
+TEST(TraceIo, RoundTripPreservesTraceAndFingerprint) {
+  sim::ExecutionTrace trace;
+  trace.append_run(0, 3);
+  trace.append_idle(5);
+  trace.append(1);
+  trace.append_idle(1);
+  trace.append_run(0, 2);
+
+  std::stringstream buffer;
+  write_trace(buffer, trace, 0xDEADBEEFCAFEF00DULL);
+  const RttFile file = read_trace(buffer);
+  EXPECT_EQ(file.fingerprint, 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(file.trace, trace);
+}
+
+TEST(TraceIo, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  write_trace(buffer, sim::ExecutionTrace{}, 42);
+  const RttFile file = read_trace(buffer);
+  EXPECT_EQ(file.fingerprint, 42u);
+  EXPECT_TRUE(file.trace.empty());
+}
+
+TEST(TraceIo, StreamingWriterMatchesBatchWriter) {
+  sim::ExecutionTrace trace;
+  trace.append_run(2, 4);
+  trace.append_idle(2);
+  trace.append(0);
+
+  RttWriter writer(99);
+  writer.on_slots(trace.slots());
+  EXPECT_EQ(writer.slot_count(), trace.size());
+  std::stringstream streamed;
+  writer.finish(streamed);
+
+  std::stringstream batch;
+  write_trace(batch, trace, 99);
+  EXPECT_EQ(streamed.str(), batch.str());
+}
+
+TEST(TraceIo, FingerprintSeparatesModels) {
+  const GraphModel m1 = small_model(6);
+  const GraphModel m2 = small_model(7);  // one deadline differs
+  EXPECT_EQ(model_fingerprint(m1), model_fingerprint(small_model(6)));
+  EXPECT_NE(model_fingerprint(m1), model_fingerprint(m2));
+}
+
+TEST(TraceIo, BadMagicThrows) {
+  std::stringstream buffer("NOPE++++++++++++++++++++");
+  EXPECT_THROW((void)read_trace(buffer), std::runtime_error);
+}
+
+TEST(TraceIo, UnsupportedVersionThrows) {
+  sim::ExecutionTrace trace({0, sim::kIdle});
+  std::stringstream buffer;
+  write_trace(buffer, trace, 1);
+  std::string bytes = buffer.str();
+  bytes[4] = 2;  // bump the version field
+  std::stringstream bumped(bytes);
+  EXPECT_THROW((void)read_trace(bumped), std::runtime_error);
+}
+
+TEST(TraceIo, TruncatedPayloadThrows) {
+  sim::ExecutionTrace trace;
+  trace.append_run(0, 10);
+  trace.append_run(1, 10);
+  std::stringstream buffer;
+  write_trace(buffer, trace, 1);
+  const std::string bytes = buffer.str();
+  std::stringstream truncated(bytes.substr(0, bytes.size() - 1));
+  EXPECT_THROW((void)read_trace(truncated), std::runtime_error);
+}
+
+TEST(TraceIo, TrailingBytesThrow) {
+  sim::ExecutionTrace trace({0, 0, sim::kIdle});
+  std::stringstream buffer;
+  write_trace(buffer, trace, 1);
+  std::stringstream padded(buffer.str() + "x");
+  EXPECT_THROW((void)read_trace(padded), std::runtime_error);
+}
+
+TEST(TraceIo, OverlongRunsThrow) {
+  // Declare 2 slots but encode a run of 3.
+  sim::ExecutionTrace trace({0, 0, 0});
+  std::stringstream buffer;
+  write_trace(buffer, trace, 1);
+  std::string bytes = buffer.str();
+  bytes[16] = 2;  // patch the slot count (little-endian u64 at offset 16)
+  std::stringstream patched(bytes);
+  EXPECT_THROW((void)read_trace(patched), std::runtime_error);
+}
+
+TEST(TraceIo, FileHelpersRoundTrip) {
+  sim::ExecutionTrace trace;
+  trace.append_run(1, 2);
+  trace.append_idle(3);
+  const std::string path = ::testing::TempDir() + "trace_io_test.rtt";
+  write_trace_file(path, trace, 123);
+  const RttFile file = read_trace_file(path);
+  EXPECT_EQ(file.fingerprint, 123u);
+  EXPECT_EQ(file.trace, trace);
+  std::remove(path.c_str());
+  EXPECT_THROW((void)read_trace_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace rtg::monitor

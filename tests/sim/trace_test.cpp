@@ -56,7 +56,7 @@ TEST(ExecutionTrace, CountPerElement) {
 
 TEST(ExecutionTrace, WindowView) {
   ExecutionTrace trace({0, 1, 2, 3, 4});
-  const auto w = trace.window(1, 4);
+  const auto w = trace.window(1, 3);
   ASSERT_EQ(w.size(), 3u);
   EXPECT_EQ(w[0], 1u);
   EXPECT_EQ(w[2], 3u);
@@ -64,8 +64,65 @@ TEST(ExecutionTrace, WindowView) {
 
 TEST(ExecutionTrace, WindowBadRangeThrows) {
   ExecutionTrace trace({0, 1});
-  EXPECT_THROW((void)trace.window(1, 5), std::out_of_range);
-  EXPECT_THROW((void)trace.window(2, 1), std::out_of_range);
+  EXPECT_THROW((void)trace.window(1, 2), std::out_of_range);
+  EXPECT_THROW((void)trace.window(3, 0), std::out_of_range);
+  EXPECT_THROW((void)trace.window(0, 3), std::out_of_range);
+}
+
+TEST(ExecutionTrace, WindowEdgeCases) {
+  const ExecutionTrace empty;
+  EXPECT_EQ(empty.window(0, 0).size(), 0u);
+  EXPECT_THROW((void)empty.window(0, 1), std::out_of_range);
+  EXPECT_THROW((void)empty.window(1, 0), std::out_of_range);
+
+  ExecutionTrace trace({0, 1, 2});
+  // An empty window may sit at any position up to and including size().
+  EXPECT_EQ(trace.window(3, 0).size(), 0u);
+  const auto whole = trace.window(0, 3);
+  ASSERT_EQ(whole.size(), 3u);
+  EXPECT_EQ(whole[2], 2u);
+}
+
+TEST(ExecutionTrace, RunsOfEmptyTrace) {
+  const ExecutionTrace trace;
+  EXPECT_EQ(trace.runs().begin(), trace.runs().end());
+}
+
+TEST(ExecutionTrace, RunsTileTheTrace) {
+  ExecutionTrace trace({2, 2, kIdle, kIdle, kIdle, 1, 2, 2});
+  std::vector<TraceRun> runs;
+  for (const TraceRun& run : trace.runs()) runs.push_back(run);
+  const std::vector<TraceRun> expected{
+      {2, 0, 2}, {kIdle, 2, 3}, {1, 5, 1}, {2, 6, 2}};
+  EXPECT_EQ(runs, expected);
+
+  std::size_t covered = 0;
+  for (const TraceRun& run : runs) {
+    EXPECT_EQ(run.begin, covered);
+    covered += run.length;
+  }
+  EXPECT_EQ(covered, trace.size());
+}
+
+TEST(ExecutionTrace, RunsSingleRun) {
+  ExecutionTrace trace;
+  trace.append_run(4, 5);
+  auto it = trace.runs().begin();
+  ASSERT_NE(it, trace.runs().end());
+  EXPECT_EQ(*it, (TraceRun{4, 0, 5}));
+  EXPECT_EQ(++it, trace.runs().end());
+}
+
+TEST(TraceSinkAdapters, AppenderAndFanOut) {
+  ExecutionTrace a;
+  ExecutionTrace b;
+  TraceAppender to_a(a);
+  TraceAppender to_b(b);
+  FanOutSink fan({&to_a, &to_b});
+  const std::vector<Slot> slots{0, kIdle, 1};
+  fan.on_slots(slots);
+  EXPECT_EQ(a, ExecutionTrace({0, kIdle, 1}));
+  EXPECT_EQ(a, b);
 }
 
 TEST(ExecutionTrace, AtBoundsChecked) {
