@@ -1,0 +1,248 @@
+// E19 — fault injection and self-healing recovery (ISSUE 5).
+//
+// Two measurements over the sense->ctrl loop model (one periodic
+// end-to-end chain, one sporadic command stream) with a primary and a
+// verified fallback schedule:
+//
+//   1. Drop-rate sweep: for each dispatch-loss rate, the blind
+//      table-driven executive (run_executive_with_faults) vs the
+//      self-healing executive (retry + resync + verified hot failover)
+//      — invocation survival, recovery action mix, and the
+//      detection-to-recovery latency distribution.
+//   2. Composite scenario: a startup dispatch blackout, mid-run clock
+//      drift, and a corrupting element — the docs/FAULTS.md example
+//      plan — comparing survival and wall time (the price of the
+//      online monitor + recovery machinery over the blind loop).
+//
+// Every number is deterministic: fault decisions are pure hashes of
+// (seed, spec, element, time), and recovery decisions are bit-identical
+// across verifier thread counts. Emits BENCH_faults.json in the
+// working directory.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "core/fault_injection.hpp"
+#include "core/model.hpp"
+#include "core/static_schedule.hpp"
+#include "rt/recovery.hpp"
+#include "rt/scheduler.hpp"
+
+namespace {
+
+using namespace rtg;
+using Time = core::Time;
+
+core::GraphModel loop_model() {
+  core::CommGraph comm;
+  const auto sense = comm.add_element("sense", 1);
+  const auto ctrl = comm.add_element("ctrl", 1);
+  comm.add_channel(sense, ctrl);
+  core::GraphModel model(std::move(comm));
+  core::TaskGraph chain;
+  const auto op_s = chain.add_op(sense);
+  const auto op_c = chain.add_op(ctrl);
+  chain.add_dep(op_s, op_c);
+  model.add_constraint(core::TimingConstraint{
+      "LOOP", std::move(chain), 8, 8, core::ConstraintKind::kPeriodic});
+  core::TaskGraph cmd;
+  cmd.add_op(sense);
+  model.add_constraint(core::TimingConstraint{
+      "CMD", std::move(cmd), 6, 12, core::ConstraintKind::kAsynchronous});
+  return model;
+}
+
+core::StaticSchedule primary() {
+  core::StaticSchedule s;  // sense ctrl . sense . . . .
+  s.push_execution(0, 1);
+  s.push_execution(1, 1);
+  s.push_idle(1);
+  s.push_execution(0, 1);
+  s.push_idle(4);
+  return s;
+}
+
+core::StaticSchedule fallback() {
+  core::StaticSchedule s;  // sense ctrl . . sense . . .
+  s.push_execution(0, 1);
+  s.push_execution(1, 1);
+  s.push_idle(2);
+  s.push_execution(0, 1);
+  s.push_idle(3);
+  return s;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct SweepRow {
+  double rate = 0;
+  std::size_t invocations = 0;
+  std::size_t baseline_ok = 0;
+  std::size_t healed_ok = 0;
+  std::size_t faulted_ops = 0;
+  std::size_t retries_ok = 0;
+  std::size_t retries_abandoned = 0;
+  std::size_t failovers = 0;
+  double mean_d2r = 0;
+  Time max_d2r = 0;
+};
+
+}  // namespace
+
+int main() {
+  const core::GraphModel model = loop_model();
+  const Time horizon = 4000;
+  core::ConstraintArrivals arrivals(2);
+  arrivals[1] = rt::max_rate_arrivals(6, horizon);
+  const rt::FailoverTable table =
+      rt::compute_failover_table(model, {primary(), fallback()});
+
+  std::printf("E19: fault injection — blind executive vs self-healing\n\n");
+  std::printf("model: LOOP periodic p=8 d=8 (sense->ctrl), CMD sporadic "
+              "s=6 d=12; horizon %lld\n",
+              static_cast<long long>(horizon));
+  std::printf("failover: grid %lld, %zu admissible cells 0->1, %zu cells 1->0\n\n",
+              static_cast<long long>(table.grid), table.admissible_count(0, 1),
+              table.admissible_count(1, 0));
+
+  // --- 1. Drop-rate sweep -------------------------------------------------
+  std::printf("%-8s %-14s %-14s %-8s %-10s %-10s %-10s %-8s\n", "rate",
+              "blind ok", "healed ok", "faults", "retries", "gave-up",
+              "failovers", "d2r");
+  std::vector<SweepRow> rows;
+  for (const double rate : {0.05, 0.15, 0.30, 0.50}) {
+    core::FaultPlan plan;
+    plan.seed = 19;
+    plan.faults.push_back(core::FaultSpec{.kind = core::FaultKind::kDrop,
+                                          .begin = 0,
+                                          .end = horizon,
+                                          .rate = rate,
+                                          .element = 0});
+    const core::FaultRunResult blind =
+        core::run_executive_with_faults(primary(), model, arrivals, horizon, plan);
+    rt::SelfHealingConfig config;
+    config.faults = plan;
+    const rt::SelfHealingResult healed =
+        rt::run_self_healing(model, table, arrivals, horizon, config);
+    SweepRow row;
+    row.rate = rate;
+    row.invocations = blind.executive.invocations.size();
+    row.baseline_ok = blind.satisfied_count();
+    for (const core::InvocationRecord& r : healed.executive.invocations) {
+      row.healed_ok += r.satisfied ? 1 : 0;
+    }
+    row.faulted_ops = healed.counters.faulted_ops();
+    row.retries_ok = healed.retries_succeeded;
+    row.retries_abandoned = healed.retries_abandoned;
+    row.failovers = healed.failovers();
+    row.mean_d2r = healed.mean_detection_to_recovery;
+    row.max_d2r = healed.max_detection_to_recovery;
+    rows.push_back(row);
+    std::printf("%-8.2f %5zu/%-8zu %5zu/%-8zu %-8zu %-10zu %-10zu %-10zu "
+                "%.1f/%lld\n",
+                rate, row.baseline_ok, row.invocations, row.healed_ok,
+                row.invocations, row.faulted_ops, row.retries_ok,
+                row.retries_abandoned, row.failovers, row.mean_d2r,
+                static_cast<long long>(row.max_d2r));
+  }
+
+  // --- 2. Composite scenario + wall time ----------------------------------
+  core::FaultPlan composite;
+  composite.seed = 7;
+  composite.faults.push_back(core::FaultSpec{.kind = core::FaultKind::kDrop,
+                                             .begin = 0,
+                                             .end = 9,
+                                             .rate = 1.0,
+                                             .element = 0});
+  composite.faults.push_back(core::FaultSpec{
+      .kind = core::FaultKind::kClockDrift, .begin = 100, .end = 400, .magnitude = 64});
+  composite.faults.push_back(core::FaultSpec{.kind = core::FaultKind::kCorrupt,
+                                             .begin = 400,
+                                             .end = 700,
+                                             .rate = 0.15,
+                                             .element = 0});
+
+  const int kReps = 50;
+  auto t0 = std::chrono::steady_clock::now();
+  std::size_t blind_ok = 0, blind_total = 0;
+  for (int i = 0; i < kReps; ++i) {
+    const core::FaultRunResult blind = core::run_executive_with_faults(
+        primary(), model, arrivals, horizon, composite);
+    blind_ok = blind.satisfied_count();
+    blind_total = blind.executive.invocations.size();
+  }
+  const double blind_s = seconds_since(t0) / kReps;
+
+  t0 = std::chrono::steady_clock::now();
+  std::size_t healed_ok = 0;
+  std::size_t failovers = 0;
+  double mean_d2r = 0;
+  for (int i = 0; i < kReps; ++i) {
+    rt::SelfHealingConfig config;
+    config.faults = composite;
+    const rt::SelfHealingResult healed =
+        rt::run_self_healing(model, table, arrivals, horizon, config);
+    healed_ok = 0;
+    for (const core::InvocationRecord& r : healed.executive.invocations) {
+      healed_ok += r.satisfied ? 1 : 0;
+    }
+    failovers = healed.failovers();
+    mean_d2r = healed.mean_detection_to_recovery;
+  }
+  const double healed_s = seconds_since(t0) / kReps;
+
+  std::printf("\ncomposite plan (blackout + drift + corruption):\n");
+  std::printf("  blind    %zu/%zu satisfied, %.3f ms per run\n", blind_ok,
+              blind_total, 1e3 * blind_s);
+  std::printf("  healed   %zu/%zu satisfied, %zu failovers, mean d2r %.1f, "
+              "%.3f ms per run (%.1fx blind)\n",
+              healed_ok, blind_total, failovers, mean_d2r, 1e3 * healed_s,
+              healed_s / blind_s);
+
+  std::FILE* out = std::fopen("BENCH_faults.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_faults.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"E19_fault_recovery\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"horizon\": %lld, \"constraints\": 2, "
+               "\"failover_grid\": %lld, \"admissible_0_to_1\": %zu},\n",
+               static_cast<long long>(horizon), static_cast<long long>(table.grid),
+               table.admissible_count(0, 1));
+  std::fprintf(out, "  \"drop_sweep\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"rate\": %.2f, \"invocations\": %zu, \"blind_ok\": %zu, "
+                 "\"healed_ok\": %zu, \"faulted_ops\": %zu, \"retries_ok\": %zu, "
+                 "\"retries_abandoned\": %zu, \"failovers\": %zu, "
+                 "\"mean_detection_to_recovery\": %.3f, "
+                 "\"max_detection_to_recovery\": %lld}%s\n",
+                 r.rate, r.invocations, r.baseline_ok, r.healed_ok, r.faulted_ops,
+                 r.retries_ok, r.retries_abandoned, r.failovers, r.mean_d2r,
+                 static_cast<long long>(r.max_d2r),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"composite\": {\"blind_ok\": %zu, \"healed_ok\": %zu, "
+               "\"invocations\": %zu, \"failovers\": %zu, "
+               "\"mean_detection_to_recovery\": %.3f, \"blind_ms\": %.3f, "
+               "\"healed_ms\": %.3f, \"overhead\": %.3f}\n",
+               blind_ok, healed_ok, blind_total, failovers, mean_d2r, 1e3 * blind_s,
+               1e3 * healed_s, healed_s / blind_s);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("# wrote BENCH_faults.json\n");
+
+  std::printf("\nExpected shape: the healed column dominates blind at every\n"
+              "drop rate — retries resurrect most invalidated windows and the\n"
+              "residue is windows whose recovery bound cannot hold (LOOP's\n"
+              "d = p leaves no slack). Detection-to-recovery grows with the\n"
+              "rate as backoff escalates; the self-healing overhead stays a\n"
+              "small multiple of the blind dispatch loop.\n");
+  return 0;
+}

@@ -1,0 +1,9 @@
+# Fault plan for control_system.rts (format: docs/FAULTS.md).
+# Exercise with:
+#   spec_compiler control_system.rts --inject control_faults.fp --recovery
+seed 42
+drop fs rate 0.2 from 0 to 200
+fail fk at 300 repair 25
+corrupt fx rate 0.1 from 400 to 600
+jitter Z max 4
+drift every 150 from 0 to 900

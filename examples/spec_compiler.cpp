@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault_injection.hpp"
 #include "core/feasibility.hpp"
 #include "core/heuristic.hpp"
 #include "core/multiproc.hpp"
@@ -31,6 +32,8 @@
 #include "monitor/trace_capture.hpp"
 #include "monitor/trace_io.hpp"
 #include "rt/analysis.hpp"
+#include "rt/recovery.hpp"
+#include "rt/scheduler.hpp"
 #include "rt/task.hpp"
 #include "sim/trace.hpp"
 #include "spec/compile.hpp"
@@ -40,19 +43,66 @@ using namespace rtg;
 
 namespace {
 
+// Rotates a cyclic schedule left by `k` entries — the cheap way to get
+// a distinct-but-often-feasible fallback candidate for --recovery.
+core::StaticSchedule rotate_entries(const core::StaticSchedule& s, std::size_t k) {
+  core::StaticSchedule r;
+  const std::vector<core::ScheduleEntry>& es = s.entries();
+  for (std::size_t i = 0; i < es.size(); ++i) {
+    const core::ScheduleEntry& e = es[(i + k) % es.size()];
+    if (e.elem == core::kIdleEntry) {
+      r.push_idle(e.duration);
+    } else {
+      r.push_execution(e.elem, e.duration);
+    }
+  }
+  return r;
+}
+
+// Re-targets a fault plan parsed against the source model onto the
+// software-pipelined model the schedule runs on: a spec naming element
+// `fs` fans out to every pipelined replica (`fs/0`, `fs/1`, ...).
+// Constraint indices are stable across pipelining.
+core::FaultPlan remap_plan(const core::FaultPlan& plan, const core::CommGraph& from,
+                           const core::CommGraph& to) {
+  core::FaultPlan out;
+  out.seed = plan.seed;
+  for (const core::FaultSpec& spec : plan.faults) {
+    if (spec.element == core::kAnyElement) {
+      out.faults.push_back(spec);
+      continue;
+    }
+    const std::string& name = from.name(spec.element);
+    for (core::ElementId e = 0; e < static_cast<core::ElementId>(to.size()); ++e) {
+      const std::string& candidate = to.name(e);
+      if (candidate == name || candidate.rfind(name + "/", 0) == 0) {
+        core::FaultSpec copy = spec;
+        copy.element = e;
+        out.faults.push_back(copy);
+      }
+    }
+  }
+  return out;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: spec_compiler <file.rts | -> [--dot] [--schedule] "
                "[--processes] [--emit] [--exact] [--analyze] [--multiproc N]\n"
                "                     [--threads N] [--save <sched>] [--verify <sched>]\n"
                "                     [--emit-trace <trace.rtt>] [--monitor]\n"
+               "                     [--inject <plan.fp>] [--recovery]\n"
                "  --threads N   worker threads for verification and the exact\n"
                "                search (0 = hardware concurrency, 1 = serial)\n"
                "  --emit-trace  capture the synthesized schedule's execution\n"
                "                trace to a binary .rtt file (replay with\n"
                "                trace_replay)\n"
                "  --monitor     run the online streaming monitor over the\n"
-               "                synthesized trace and print its health report\n");
+               "                synthesized trace and print its health report\n"
+               "  --inject      run the synthesized schedule under a fault plan\n"
+               "                (format: docs/FAULTS.md) and report survival\n"
+               "  --recovery    rerun the faulted horizon under the self-healing\n"
+               "                executive (retry / resync / verified failover)\n");
   return 1;
 }
 
@@ -68,7 +118,9 @@ int main(int argc, char** argv) {
   const char* save_path = nullptr;
   const char* verify_path = nullptr;
   const char* emit_trace_path = nullptr;
+  const char* inject_path = nullptr;
   bool want_monitor = false;
+  bool want_recovery = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dot") == 0) {
       want_dot = true;
@@ -90,6 +142,10 @@ int main(int argc, char** argv) {
       emit_trace_path = argv[++i];
     } else if (std::strcmp(argv[i], "--monitor") == 0) {
       want_monitor = true;
+    } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
+      inject_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--recovery") == 0) {
+      want_recovery = true;
     } else if (std::strcmp(argv[i], "--multiproc") == 0 && i + 1 < argc) {
       multiproc = static_cast<std::size_t>(std::atoi(argv[++i]));
       if (multiproc == 0) return usage();
@@ -104,7 +160,8 @@ int main(int argc, char** argv) {
     }
   }
   if (path == nullptr) return usage();
-  if (save_path != nullptr || emit_trace_path != nullptr || want_monitor) {
+  if (save_path != nullptr || emit_trace_path != nullptr || want_monitor ||
+      inject_path != nullptr || want_recovery) {
     want_schedule = true;
   }
   if (!want_dot && !want_processes && !want_emit && !want_exact && !want_analyze &&
@@ -240,6 +297,110 @@ int main(int argc, char** argv) {
         if (!mr.ok()) {
           std::fprintf(stderr, "monitor found violations in a verified schedule\n");
           return 2;
+        }
+      }
+    }
+    if (inject_path != nullptr || want_recovery) {
+      const core::GraphModel& sm = synth.scheduled_model;
+      core::FaultPlan plan;  // empty = fault-free
+      if (inject_path != nullptr) {
+        std::ifstream in(inject_path);
+        if (!in) {
+          std::fprintf(stderr, "spec_compiler: cannot open '%s'\n", inject_path);
+          return 1;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        // Plans are written against the source model's names; fan each
+        // spec out to the pipelined replicas the schedule dispatches.
+        const core::FaultPlanParse fp = core::parse_fault_plan(buffer.str(), model);
+        if (!fp.ok()) {
+          for (const std::string& e : fp.errors) {
+            std::fprintf(stderr, "%s: error: %s\n", inject_path, e.c_str());
+          }
+          return 1;
+        }
+        plan = remap_plan(*fp.plan, model.comm(), sm.comm());
+      }
+      // Horizon: enough repetitions to decide every constraint, tripled
+      // so stochastic faults get statistical mass.
+      const core::Time length = synth.schedule->length();
+      core::Time needed = length;
+      for (const core::TimingConstraint& c : sm.constraints()) {
+        const core::Time span =
+            (c.periodic() ? rt::lcm_checked(length, c.period) : length) + c.deadline;
+        needed = std::max(needed, span);
+      }
+      const core::Time horizon = needed * 3;
+      core::ConstraintArrivals arrivals(sm.constraint_count());
+      for (std::size_t i = 0; i < sm.constraint_count(); ++i) {
+        if (!sm.constraint(i).periodic()) {
+          arrivals[i] = rt::max_rate_arrivals(sm.constraint(i).period, horizon);
+        }
+      }
+      const core::FaultRunResult baseline = core::run_executive_with_faults(
+          *synth.schedule, sm, arrivals, horizon, plan);
+      std::printf("# inject: horizon %lld, %zu faulted ops "
+                  "(%zu slot-lost, %zu down, %zu dropped, %zu corrupt, "
+                  "drift %lld), blind executive %zu/%zu satisfied\n",
+                  static_cast<long long>(horizon), baseline.counters.faulted_ops(),
+                  baseline.counters.slot_lost, baseline.counters.element_down,
+                  baseline.counters.dropped, baseline.counters.corrupted,
+                  static_cast<long long>(baseline.counters.drift_slots),
+                  baseline.satisfied_count(), baseline.executive.invocations.size());
+      if (want_recovery) {
+        // Fallback candidates: entry rotations of the synthesized
+        // schedule; the first one accepted by the table builder (i.e.
+        // verified feasible with an admissible seam check) joins the
+        // fleet. With none, the table holds the primary alone and
+        // recovery is retry + resync only.
+        rt::FailoverOptions fo;
+        fo.max_offsets = std::size_t{1} << 22;  // long synthesized schedules
+        fo.n_threads = n_threads;
+        rt::FailoverTable table;
+        bool with_fallback = false;
+        const std::size_t n_entries = synth.schedule->entries().size();
+        for (std::size_t k = 1; k < std::min<std::size_t>(n_entries, 8) && !with_fallback;
+             ++k) {
+          try {
+            table = rt::compute_failover_table(
+                sm, {*synth.schedule, rotate_entries(*synth.schedule, k)}, fo);
+            with_fallback = table.admissible_count(0, 1) > 0;
+          } catch (const std::invalid_argument&) {
+            with_fallback = false;  // infeasible rotation: keep looking
+          }
+        }
+        if (!with_fallback) {
+          table = rt::compute_failover_table(sm, {*synth.schedule}, fo);
+        }
+        rt::SelfHealingConfig config;
+        config.faults = plan;
+        config.recovery.n_threads = n_threads;
+        const rt::SelfHealingResult healed =
+            rt::run_self_healing(sm, table, arrivals, horizon, config);
+        std::size_t healed_ok = 0;
+        for (const core::InvocationRecord& r : healed.executive.invocations) {
+          healed_ok += r.satisfied ? 1 : 0;
+        }
+        std::printf("# recovery: %zu fallback schedules, self-healing %zu/%zu "
+                    "satisfied, %zu retries ok, %zu abandoned, %zu failovers "
+                    "(%zu blocked), final schedule %zu\n",
+                    table.size(), healed_ok, healed.executive.invocations.size(),
+                    healed.retries_succeeded, healed.retries_abandoned,
+                    healed.failovers(), healed.blocked_switches,
+                    healed.final_schedule);
+        std::printf("# recovery: detection-to-recovery mean %.2f max %lld, "
+                    "monitor %s offline verdicts\n",
+                    healed.mean_detection_to_recovery,
+                    static_cast<long long>(healed.max_detection_to_recovery),
+                    healed.monitor.ok() == healed.executive.all_met
+                        ? "agrees with"
+                        : "DISAGREES with");
+        for (const rt::RecoveryBound& b : rt::recovery_bounds(*synth.schedule, sm)) {
+          std::printf("# recovery bound %s: %s\n",
+                      sm.constraint(b.constraint).name.c_str(),
+                      b.recoverable ? "single-fault recoverable"
+                                    : "not provably recoverable");
         }
       }
     }

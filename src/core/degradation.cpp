@@ -263,8 +263,31 @@ AdaptiveResult run_adaptive_executive(const ModeLadder& ladder,
   result.horizon = horizon;
   result.shed_count.assign(n, 0);
 
+  std::optional<FaultInjector> injector;
+  if (!options.faults.empty()) {
+    const std::vector<std::string> issues =
+        validate_fault_plan(options.faults, ladder.base);
+    if (!issues.empty()) {
+      throw std::invalid_argument("run_adaptive_executive: " + issues.front());
+    }
+    injector.emplace(options.faults);
+  }
+
+  // Arrival jitter perturbs the raw streams; admission control then
+  // defers/rejects any separation violation jitter may have induced.
+  ConstraintArrivals jittered = arrivals;
+  if (injector) {
+    for (std::size_t ci = 0; ci < n && ci < jittered.size(); ++ci) {
+      if (ladder.base.constraint(ci).periodic()) continue;
+      for (std::size_t k = 0; k < jittered[ci].size(); ++k) {
+        if (jittered[ci][k] < 0) continue;
+        jittered[ci][k] += injector->arrival_shift(ci, k, jittered[ci][k]);
+      }
+    }
+  }
+
   const std::vector<PendingInvocation> pending =
-      admit_arrivals(ladder.base, arrivals, horizon, options, result.admissions);
+      admit_arrivals(ladder.base, jittered, horizon, options, result.admissions);
 
   // Per-mode op tables, flattened once.
   std::vector<std::vector<ScheduledOp>> mode_ops;
@@ -275,6 +298,12 @@ AdaptiveResult run_adaptive_executive(const ModeLadder& ladder,
   sim::Rng rng(options.overruns.seed);
 
   std::vector<ScheduledOp> realized;
+  // Parallel to `realized`: false for ops a fault invalidated. Only
+  // valid ops count toward invocation windows; faulted spans idle in
+  // the emitted trace so online observers agree with the evaluation.
+  std::vector<bool> realized_ok;
+  std::vector<ScheduledOp> valid;
+  Time drift_taken = 0;
   // Cycle log for shed attribution: start, end, mode of every cycle.
   std::vector<Time> cycle_starts;
   std::vector<Time> cycle_finishes;
@@ -294,13 +323,13 @@ AdaptiveResult run_adaptive_executive(const ModeLadder& ladder,
     inv.abs_deadline = p.deadline;
 
     const auto lo = std::lower_bound(
-        realized.begin(), realized.end(), p.invoked,
+        valid.begin(), valid.end(), p.invoked,
         [](const ScheduledOp& op, Time t) { return op.start < t; });
     const auto hi = std::lower_bound(
-        lo, realized.end(), p.deadline,
+        lo, valid.end(), p.deadline,
         [](const ScheduledOp& op, Time t) { return op.start < t; });
     const std::span<const ScheduledOp> window(
-        realized.data() + (lo - realized.begin()), static_cast<std::size_t>(hi - lo));
+        valid.data() + (lo - valid.begin()), static_cast<std::size_t>(hi - lo));
     const TaskGraph& tg = ladder.base.constraint(p.constraint).task_graph;
     const auto finish = earliest_embedding_finish(tg, window, p.invoked);
     if (finish && *finish <= p.deadline) {
@@ -333,6 +362,16 @@ AdaptiveResult run_adaptive_executive(const ModeLadder& ladder,
   };
 
   while (time < horizon) {
+    // Clock drift stalls the table: every tick owed by now inserts one
+    // idle slot before the next cycle begins.
+    if (injector) {
+      const Time owed = injector->drift_before(time) - drift_taken;
+      if (owed > 0) {
+        time += owed;
+        drift_taken += owed;
+        result.fault_counters.drift_slots += owed;
+      }
+    }
     const ExecutiveMode& m = ladder.modes[mode];
     const Time cycle_start = time;
     cycle_starts.push_back(cycle_start);
@@ -349,7 +388,28 @@ AdaptiveResult run_adaptive_executive(const ModeLadder& ladder,
         ++result.overrun_ops;
       }
       cursor = actual.finish();
+      bool ok = true;
+      if (injector) {
+        const ExecutionFate f =
+            injector->fate(actual.elem, actual.start, actual.duration);
+        if (f != ExecutionFate::kOk) {
+          ok = false;
+          result.fault_events.push_back(
+              FaultEvent{f, actual.elem, actual.start, actual.duration});
+          switch (f) {
+            case ExecutionFate::kSlotLost: ++result.fault_counters.slot_lost; break;
+            case ExecutionFate::kElementDown:
+              ++result.fault_counters.element_down;
+              break;
+            case ExecutionFate::kDropped: ++result.fault_counters.dropped; break;
+            case ExecutionFate::kCorrupted: ++result.fault_counters.corrupted; break;
+            case ExecutionFate::kOk: break;
+          }
+        }
+      }
       realized.push_back(actual);
+      realized_ok.push_back(ok);
+      if (ok) valid.push_back(actual);
       ++result.dispatches;
     }
     const Time nominal_end = cycle_start + m.schedule.length();
@@ -364,9 +424,10 @@ AdaptiveResult run_adaptive_executive(const ModeLadder& ladder,
       for (; next_emit < realized.size(); ++next_emit) {
         const ScheduledOp& op = realized[next_emit];
         for (; emitted < op.start; ++emitted) options.trace_sink->on_slot(sim::kIdle);
-        for (; emitted < op.finish(); ++emitted) {
-          options.trace_sink->on_slot(static_cast<sim::Slot>(op.elem));
-        }
+        const sim::Slot symbol = realized_ok[next_emit]
+                                     ? static_cast<sim::Slot>(op.elem)
+                                     : sim::kIdle;
+        for (; emitted < op.finish(); ++emitted) options.trace_sink->on_slot(symbol);
       }
       for (; emitted < cycle_end; ++emitted) options.trace_sink->on_slot(sim::kIdle);
     }

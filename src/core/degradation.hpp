@@ -173,6 +173,12 @@ struct AdmissionRecord {
 struct AdaptiveOptions {
   /// Injected overrun faults (probability 0 = faithful execution).
   OverrunModel overruns;
+  /// Composable fault plan (core/fault_injection): execution fates
+  /// strike the realized (overrun-slid) ops, clock drift stalls cycle
+  /// starts, and arrival jitter perturbs raw streams *before* admission
+  /// control (so induced separation violations are deferred/rejected
+  /// per policy). An empty plan injects nothing.
+  FaultPlan faults;
   WatchdogOptions watchdog;
   AdmissionPolicy admission = AdmissionPolicy::kDefer;
   /// Under kDefer: an arrival pushed more than this many slots past its
@@ -222,6 +228,9 @@ struct AdaptiveResult {
   std::vector<std::size_t> shed_count;
   std::size_t overrun_ops = 0;  ///< executions that ran past their weight
   Time overrun_slots = 0;       ///< total cycle-boundary overrun absorbed
+  /// Fault-plan tallies and per-occurrence log (empty without a plan).
+  FaultCounters fault_counters;
+  std::vector<FaultEvent> fault_events;
   std::size_t dispatches = 0;
   Time horizon = 0;
   std::size_t final_mode = 0;

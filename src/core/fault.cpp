@@ -197,7 +197,7 @@ std::vector<ScheduledOp> inject_overruns(std::span<const ScheduledOp> ops,
 OverrunRunResult run_with_overruns(const StaticSchedule& sched, const GraphModel& model,
                                    const ConstraintArrivals& arrivals, Time horizon,
                                    const OverrunModel& overruns,
-                                   sim::TraceSink* trace_sink) {
+                                   sim::TraceSink* trace_sink, const FaultPlan* faults) {
   if (sched.length() == 0) {
     throw std::invalid_argument("run_with_overruns: empty schedule");
   }
@@ -214,12 +214,25 @@ OverrunRunResult run_with_overruns(const StaticSchedule& sched, const GraphModel
 
   OverrunRunResult result;
   result.total_ops = nominal.size();
-  const std::vector<ScheduledOp> actual =
+  std::vector<ScheduledOp> actual =
       inject_overruns(nominal, overruns, &result.overrun_ops);
-  if (trace_sink != nullptr) emit_timeline(actual, horizon, *trace_sink);
   for (std::size_t i = 0; i < nominal.size(); ++i) {
     result.max_slide = std::max(result.max_slide, actual[i].start - nominal[i].start);
   }
+
+  // Compose the fault plan over the slid timeline: drift shifts starts
+  // further, fates strike at the realized times, and only survivors
+  // are visible (to the trace and to invocation windows alike).
+  std::optional<FaultInjector> injector;
+  ConstraintArrivals effective;
+  if (faults != nullptr && !faults->empty()) {
+    injector.emplace(*faults);
+    FaultedTimeline timeline = injector->apply(actual, horizon);
+    result.fault_counters = timeline.counters;
+    actual = std::move(timeline.valid);
+    effective = injector->apply_arrivals(model, arrivals);
+  }
+  if (trace_sink != nullptr) emit_timeline(actual, horizon, *trace_sink);
 
   for (std::size_t i = 0; i < model.constraint_count(); ++i) {
     const TimingConstraint& c = model.constraint(i);
@@ -230,7 +243,8 @@ OverrunRunResult run_with_overruns(const StaticSchedule& sched, const GraphModel
       if (i >= arrivals.size()) {
         throw std::invalid_argument("run_with_overruns: missing arrival stream");
       }
-      for (Time t : arrivals[i]) {
+      const std::vector<Time>& stream = injector ? effective[i] : arrivals[i];
+      for (Time t : stream) {
         if (t + c.deadline <= horizon) instants.push_back(t);
       }
     }

@@ -25,6 +25,7 @@
 #include <span>
 #include <vector>
 
+#include "core/fault_injection.hpp"
 #include "core/heuristic.hpp"
 #include "core/model.hpp"
 #include "core/runtime.hpp"
@@ -132,6 +133,8 @@ struct OverrunRunResult {
   std::size_t total_ops = 0;
   /// Largest slide of any dispatch past its table slot.
   Time max_slide = 0;
+  /// Fault-plan tallies (all zero when no plan was injected).
+  FaultCounters fault_counters;
 
   [[nodiscard]] double survival_rate() const {
     return invocations == 0 ? 1.0
@@ -145,11 +148,16 @@ struct OverrunRunResult {
 /// against the slid timeline. Arrival streams as in run_executive.
 /// A non-null `trace_sink` receives the *slid* slot timeline (what a
 /// probe on the processor would actually observe), `horizon` slots.
+/// A non-null `faults` composes a fault plan on top of the overruns:
+/// the plan transforms the slid timeline (core/fault_injection), only
+/// surviving executions count toward invocations, the emitted trace
+/// idles the faulted slots, and arrivals are jitter-adjusted.
 [[nodiscard]] OverrunRunResult run_with_overruns(const StaticSchedule& sched,
                                                  const GraphModel& model,
                                                  const ConstraintArrivals& arrivals,
                                                  Time horizon,
                                                  const OverrunModel& overruns,
-                                                 sim::TraceSink* trace_sink = nullptr);
+                                                 sim::TraceSink* trace_sink = nullptr,
+                                                 const FaultPlan* faults = nullptr);
 
 }  // namespace rtg::core

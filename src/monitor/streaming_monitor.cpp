@@ -161,9 +161,32 @@ void StreamingMonitor::close_expired(std::size_t ci) {
   if (advanced) prune(ci);
 }
 
+bool StreamingMonitor::capture_degraded() const {
+  if (dropped_slots_ < options_.drop_degrade_min) return false;
+  // Ratio denominator: slots that should have reached us so far —
+  // delivered slots plus the announced-but-not-yet-substituted drops.
+  const double seen = static_cast<double>(now_) + static_cast<double>(dropped_slots_);
+  return static_cast<double>(dropped_slots_) >= options_.drop_degrade_ratio * seen;
+}
+
+void StreamingMonitor::note_dropped(std::uint64_t n) {
+  if (n == 0) return;
+  // The ratio may have recovered while slots streamed in since the last
+  // announcement; re-sample so a later sustained overflow is a fresh
+  // rising edge rather than a continuation of the old one.
+  was_degraded_ = capture_degraded();
+  dropped_slots_ += n;
+  const bool degraded = capture_degraded();
+  if (degraded && !was_degraded_) {
+    capture_events_.push_back(CaptureHealthEvent{now_, dropped_slots_});
+  }
+  was_degraded_ = degraded;
+}
+
 void StreamingMonitor::emit_violation(std::size_t ci, Time begin) {
   ConstraintState& s = cs_[ci];
   ++s.violated;
+  if (violation_listener_) violation_listener_(ci, begin, s.deadline);
   if (s.last_event != kNoEvent) {
     ViolationEvent& open = events_[s.last_event];
     if (open.last_begin + open.stride == begin) {
@@ -268,6 +291,9 @@ MonitorReport StreamingMonitor::report() const {
   }
   report.idle_slots = idle_slots_;
   report.element_busy = element_busy_;
+  report.dropped_slots = dropped_slots_;
+  report.capture_degraded = capture_degraded();
+  report.capture_events = capture_events_;
   return report;
 }
 

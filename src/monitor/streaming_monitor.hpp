@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -88,6 +89,17 @@ struct ConstraintHealth {
   friend bool operator==(const ConstraintHealth&, const ConstraintHealth&) = default;
 };
 
+/// Degraded capture health: the capture ring ahead of this monitor has
+/// been overflowing (note_dropped) persistently enough that verdicts
+/// over the substituted-idle gaps are no longer trustworthy as ground
+/// truth (still conservative: substitution can only add violations).
+struct CaptureHealthEvent {
+  Time at = 0;              ///< monitor time when degradation was declared
+  std::uint64_t dropped = 0;  ///< cumulative dropped slots at that point
+
+  friend bool operator==(const CaptureHealthEvent&, const CaptureHealthEvent&) = default;
+};
+
 /// Snapshot of the monitor's verdicts and health after `horizon` slots.
 struct MonitorReport {
   Time horizon = 0;
@@ -98,6 +110,12 @@ struct MonitorReport {
   std::size_t idle_slots = 0;
   /// Busy slots per element id (per-element utilization).
   std::vector<std::size_t> element_busy;
+  /// Capture-ring drops announced via note_dropped, and whether they
+  /// currently exceed the degradation thresholds (one event per rising
+  /// edge).
+  std::uint64_t dropped_slots = 0;
+  bool capture_degraded = false;
+  std::vector<CaptureHealthEvent> capture_events;
 
   [[nodiscard]] bool ok() const { return violations.empty(); }
   [[nodiscard]] double idle_ratio() const {
@@ -113,6 +131,13 @@ struct MonitorOptions {
   /// Buckets of the per-constraint slack histogram (slack >= buckets-1
   /// clamps into the last bucket).
   std::size_t slack_buckets = 32;
+  /// Capture health: note_dropped declares the capture degraded once
+  /// cumulative drops reach drop_degrade_min AND the drop ratio
+  /// (drops / slots observed) reaches drop_degrade_ratio. Sustained
+  /// ring overflow thus raises a health event instead of being
+  /// silently replayed as idle.
+  double drop_degrade_ratio = 0.01;
+  std::uint64_t drop_degrade_min = 64;
 };
 
 /// The online checker. Feed slots via on_slot / on_slots (it is a
@@ -129,6 +154,31 @@ class StreamingMonitor final : public sim::TraceSink {
   /// symbol that is neither idle nor a known element (same contract as
   /// ops_from_trace).
   void on_slot(sim::Slot s) override;
+
+  /// Invoked synchronously for *every* violated window as it is decided
+  /// (constraint index, window start, deadline d) — including windows
+  /// coalesced into an existing event. Runs on the feeding thread from
+  /// inside on_slot; the callback must not feed this monitor
+  /// re-entrantly. This is the hook recovery managers use to react to
+  /// violations online.
+  using ViolationListener = std::function<void(std::size_t constraint, Time begin,
+                                               Time deadline)>;
+  void set_violation_listener(ViolationListener listener) {
+    violation_listener_ = std::move(listener);
+  }
+
+  /// Announces `n` trace slots dropped by the capture layer ahead of
+  /// this monitor (e.g. TraceCapture ring overflow) *before* their
+  /// substituted idle slots are fed. Drops accumulate into the report;
+  /// crossing the MonitorOptions degradation thresholds raises a
+  /// CaptureHealthEvent (edge-triggered).
+  void note_dropped(std::uint64_t n);
+
+  /// Cumulative dropped slots announced so far.
+  [[nodiscard]] std::uint64_t dropped_slots() const { return dropped_slots_; }
+
+  /// True while announced drops exceed the degradation thresholds.
+  [[nodiscard]] bool capture_degraded() const;
 
   /// Slots consumed so far.
   [[nodiscard]] Time now() const { return now_; }
@@ -188,6 +238,10 @@ class StreamingMonitor final : public sim::TraceSink {
   MonitorOptions options_;
   std::vector<ConstraintState> cs_;
   std::vector<ViolationEvent> events_;
+  ViolationListener violation_listener_;
+  std::uint64_t dropped_slots_ = 0;
+  bool was_degraded_ = false;
+  std::vector<CaptureHealthEvent> capture_events_;
   Time now_ = 0;
   // Run decoding (shared across constraints, matches ops_from_trace).
   sim::Slot run_elem_ = sim::kIdle;

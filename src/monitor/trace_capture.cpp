@@ -55,6 +55,9 @@ CaptureStats TraceCapture::stats() const {
 }
 
 void TraceCapture::deliver(const Record& r) {
+  if (r.dropped_before > 0 && drop_listener_) {
+    drop_listener_(r.dropped_before);
+  }
   for (std::uint32_t i = 0; i < r.dropped_before; ++i) {
     downstream_->on_slot(sim::kIdle);
   }

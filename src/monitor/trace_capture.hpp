@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <thread>
 
 #include "sim/trace.hpp"
@@ -56,6 +57,16 @@ class TraceCapture final : public sim::TraceSink {
 
   [[nodiscard]] CaptureStats stats() const;
 
+  /// Called on the drain thread with each batch of dropped slots, just
+  /// *before* their idle substitutes are forwarded downstream — wire it
+  /// to StreamingMonitor::note_dropped so sustained ring overflow
+  /// surfaces as degraded capture health instead of silent idle. Set
+  /// before the producer starts; runs on the same thread as the
+  /// downstream sink, so it may touch the monitor safely.
+  void set_drop_listener(std::function<void(std::uint64_t)> listener) {
+    drop_listener_ = std::move(listener);
+  }
+
  private:
   struct Record {
     std::uint32_t dropped_before = 0;  ///< drops since the previous record
@@ -66,6 +77,7 @@ class TraceCapture final : public sim::TraceSink {
   void deliver(const Record& r);
 
   sim::TraceSink* downstream_;
+  std::function<void(std::uint64_t)> drop_listener_;
   util::SpscRing<Record> ring_;
   std::atomic<bool> open_{true};
   // Producer-owned.

@@ -60,13 +60,13 @@ void put_varint(std::ostream& out, std::uint64_t v) {
   out.write(&b, 1);
 }
 
-[[noreturn]] void fail(const std::string& what) {
-  throw std::runtime_error("rtt: " + what);
+[[noreturn]] void fail(RttErrorKind kind, const std::string& what) {
+  throw RttError(kind, what);
 }
 
 std::uint32_t get_u32(std::istream& in) {
   char b[4];
-  if (!in.read(b, 4)) fail("truncated header");
+  if (!in.read(b, 4)) fail(RttErrorKind::kTruncated, "truncated header");
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i) {
     v |= static_cast<std::uint32_t>(static_cast<unsigned char>(b[i])) << (8 * i);
@@ -76,7 +76,7 @@ std::uint32_t get_u32(std::istream& in) {
 
 std::uint64_t get_u64(std::istream& in) {
   char b[8];
-  if (!in.read(b, 8)) fail("truncated header");
+  if (!in.read(b, 8)) fail(RttErrorKind::kTruncated, "truncated header");
   std::uint64_t v = 0;
   for (int i = 0; i < 8; ++i) {
     v |= static_cast<std::uint64_t>(static_cast<unsigned char>(b[i])) << (8 * i);
@@ -88,12 +88,18 @@ std::uint64_t get_varint(std::istream& in) {
   std::uint64_t v = 0;
   for (int shift = 0; shift < 64; shift += 7) {
     char b;
-    if (!in.read(&b, 1)) fail("truncated payload");
+    if (!in.read(&b, 1)) fail(RttErrorKind::kTruncated, "truncated payload");
     const auto byte = static_cast<unsigned char>(b);
-    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    const std::uint64_t bits = byte & 0x7f;
+    // The 10th byte contributes only the top bit of a u64; anything
+    // more would be silently discarded by the shift — reject it.
+    if (shift == 63 && bits > 1) {
+      fail(RttErrorKind::kMalformedVarint, "varint overflows 64 bits");
+    }
+    v |= bits << shift;
     if ((byte & 0x80) == 0) return v;
   }
-  fail("varint too long");
+  fail(RttErrorKind::kMalformedVarint, "varint longer than 10 bytes");
 }
 
 // Idle maps to code 0 so the most common symbol gets the shortest
@@ -104,7 +110,9 @@ std::uint64_t symbol_code(sim::Slot s) {
 
 sim::Slot code_symbol(std::uint64_t code) {
   if (code == 0) return sim::kIdle;
-  if (code > static_cast<std::uint64_t>(sim::kIdle)) fail("symbol code out of range");
+  if (code > static_cast<std::uint64_t>(sim::kIdle)) {
+    fail(RttErrorKind::kBadSymbol, "symbol code out of range");
+  }
   return static_cast<sim::Slot>(code - 1);
 }
 
@@ -118,10 +126,34 @@ void write_payload(std::ostream& out, std::uint64_t fingerprint,
     put_varint(out, symbol_code(run.symbol));
     put_varint(out, run.length);
   }
-  if (!out) fail("write failed");
+  if (!out) fail(RttErrorKind::kIo, "write failed");
 }
 
 }  // namespace
+
+std::string_view rtt_error_kind_name(RttErrorKind kind) {
+  switch (kind) {
+    case RttErrorKind::kIo:
+      return "io";
+    case RttErrorKind::kBadMagic:
+      return "bad-magic";
+    case RttErrorKind::kBadVersion:
+      return "bad-version";
+    case RttErrorKind::kTruncated:
+      return "truncated";
+    case RttErrorKind::kMalformedVarint:
+      return "malformed-varint";
+    case RttErrorKind::kBadSymbol:
+      return "bad-symbol";
+    case RttErrorKind::kBadRun:
+      return "bad-run";
+    case RttErrorKind::kTrailingBytes:
+      return "trailing-bytes";
+    case RttErrorKind::kTooLarge:
+      return "too-large";
+  }
+  return "?";
+}
 
 std::uint64_t model_fingerprint(const core::GraphModel& model) {
   Fnv1a h;
@@ -175,45 +207,56 @@ void write_trace(std::ostream& out, const sim::ExecutionTrace& trace,
   write_payload(out, fingerprint, trace.size(), runs);
 }
 
-RttFile read_trace(std::istream& in) {
+RttFile read_trace(std::istream& in, const RttReadLimits& limits) {
   char magic[4];
-  if (!in.read(magic, 4)) fail("truncated header");
+  if (!in.read(magic, 4)) fail(RttErrorKind::kTruncated, "truncated header");
   for (int i = 0; i < 4; ++i) {
-    if (magic[i] != kMagic[i]) fail("bad magic (not an .rtt file)");
+    if (magic[i] != kMagic[i]) {
+      fail(RttErrorKind::kBadMagic, "bad magic (not an .rtt file)");
+    }
   }
   const std::uint32_t version = get_u32(in);
   if (version != kVersion) {
-    fail("unsupported version " + std::to_string(version));
+    fail(RttErrorKind::kBadVersion, "unsupported version " + std::to_string(version));
   }
   RttFile file;
   file.fingerprint = get_u64(in);
   const std::uint64_t count = get_u64(in);
+  // Refuse before allocating anything: a corrupt or hostile count field
+  // must not translate into a giant allocation.
+  if (count > limits.max_slots) {
+    fail(RttErrorKind::kTooLarge, "declared slot count " + std::to_string(count) +
+                                      " exceeds limit " +
+                                      std::to_string(limits.max_slots));
+  }
   std::uint64_t decoded = 0;
   while (decoded < count) {
     const sim::Slot symbol = code_symbol(get_varint(in));
     const std::uint64_t length = get_varint(in);
-    if (length == 0) fail("zero-length run");
-    if (length > count - decoded) fail("runs exceed declared slot count");
+    if (length == 0) fail(RttErrorKind::kBadRun, "zero-length run");
+    if (length > count - decoded) {
+      fail(RttErrorKind::kBadRun, "runs exceed declared slot count");
+    }
     file.trace.append_run(symbol, static_cast<std::size_t>(length));
     decoded += length;
   }
   // The payload must end exactly at the declared count.
   char extra;
-  if (in.read(&extra, 1)) fail("trailing bytes after payload");
+  if (in.read(&extra, 1)) fail(RttErrorKind::kTrailingBytes, "trailing bytes after payload");
   return file;
 }
 
 void write_trace_file(const std::string& path, const sim::ExecutionTrace& trace,
                       std::uint64_t fingerprint) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) fail("cannot open '" + path + "' for writing");
+  if (!out) fail(RttErrorKind::kIo, "cannot open '" + path + "' for writing");
   write_trace(out, trace, fingerprint);
 }
 
-RttFile read_trace_file(const std::string& path) {
+RttFile read_trace_file(const std::string& path, const RttReadLimits& limits) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) fail("cannot open '" + path + "'");
-  return read_trace(in);
+  if (!in) fail(RttErrorKind::kIo, "cannot open '" + path + "'");
+  return read_trace(in, limits);
 }
 
 }  // namespace rtg::monitor

@@ -16,19 +16,61 @@
 // replay refuses a trace whose fingerprint matches neither the raw nor
 // the pipelined model, because verdicts against the wrong constraint
 // set are meaningless. Readers are strict — bad magic, an unsupported
-// version, a truncated payload, or a run-length mismatch all throw
-// std::runtime_error rather than returning a partial trace.
+// version, a truncated payload, an overlong or overflowing LEB128
+// varint, or a run-length mismatch all throw RttError (a
+// std::runtime_error carrying a machine-readable kind) rather than
+// returning a partial trace. A declared slot count is checked against
+// RttReadLimits before any allocation, so a hostile 30-byte file
+// cannot make the reader allocate terabytes.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/model.hpp"
 #include "sim/trace.hpp"
 
 namespace rtg::monitor {
+
+/// What exactly a strict reader rejected.
+enum class RttErrorKind : std::uint8_t {
+  kIo,              ///< cannot open / write failure
+  kBadMagic,        ///< not an .rtt file
+  kBadVersion,      ///< unsupported format version
+  kTruncated,       ///< header or payload ends early
+  kMalformedVarint, ///< LEB128 longer than 10 bytes or overflowing 64 bits
+  kBadSymbol,       ///< symbol code outside the slot alphabet
+  kBadRun,          ///< zero-length run or runs exceeding the declared count
+  kTrailingBytes,   ///< payload bytes after the declared slot count
+  kTooLarge,        ///< declared slot count exceeds RttReadLimits::max_slots
+};
+
+[[nodiscard]] std::string_view rtt_error_kind_name(RttErrorKind kind);
+
+/// Structured reader/writer failure. Derives std::runtime_error, so
+/// existing catch sites keep working; kind() tells tools apart
+/// corruption (retryable from a fresh capture) from resource refusal.
+class RttError : public std::runtime_error {
+ public:
+  RttError(RttErrorKind kind, const std::string& what)
+      : std::runtime_error("rtt: " + what), kind_(kind) {}
+
+  [[nodiscard]] RttErrorKind kind() const { return kind_; }
+
+ private:
+  RttErrorKind kind_;
+};
+
+/// Resource bounds enforced *before* allocation while reading. The
+/// default admits a billion-slot trace (4 GiB decoded) — far beyond any
+/// realistic capture; lower it when ingesting untrusted files.
+struct RttReadLimits {
+  std::uint64_t max_slots = std::uint64_t{1} << 30;
+};
 
 /// Order-sensitive FNV-1a digest of the model's observable structure:
 /// elements (name, weight, pipelinability), channels, and constraints
@@ -64,12 +106,13 @@ struct RttFile {
 
 void write_trace(std::ostream& out, const sim::ExecutionTrace& trace,
                  std::uint64_t fingerprint);
-[[nodiscard]] RttFile read_trace(std::istream& in);
+[[nodiscard]] RttFile read_trace(std::istream& in, const RttReadLimits& limits = {});
 
-/// File-path convenience wrappers (binary mode; throw std::runtime_error
-/// on I/O failure).
+/// File-path convenience wrappers (binary mode; throw RttError with
+/// kind kIo on I/O failure).
 void write_trace_file(const std::string& path, const sim::ExecutionTrace& trace,
                       std::uint64_t fingerprint);
-[[nodiscard]] RttFile read_trace_file(const std::string& path);
+[[nodiscard]] RttFile read_trace_file(const std::string& path,
+                                      const RttReadLimits& limits = {});
 
 }  // namespace rtg::monitor

@@ -7,15 +7,25 @@
 namespace rtg::rt {
 
 void CyclicExecutive::emit(sim::TraceSink& sink) const {
+  emit(sink, SlotTransform{});
+}
+
+void CyclicExecutive::emit(sim::TraceSink& sink, const SlotTransform& transform,
+                           Time start) const {
+  Time now = start;
+  const auto deliver = [&](sim::Slot s) {
+    sink.on_slot(transform ? transform(now, s) : s);
+    ++now;
+  };
   for (const auto& frame : frames) {
     Time used = 0;
     for (const FrameEntry& entry : frame) {
       for (Time k = 0; k < entry.slots; ++k) {
-        sink.on_slot(static_cast<sim::Slot>(entry.task));
+        deliver(static_cast<sim::Slot>(entry.task));
       }
       used += entry.slots;
     }
-    for (Time k = used; k < frame_size; ++k) sink.on_slot(sim::kIdle);
+    for (Time k = used; k < frame_size; ++k) deliver(sim::kIdle);
   }
 }
 

@@ -16,6 +16,7 @@
 // polling servers).
 #pragma once
 
+#include <functional>
 #include <optional>
 #include <vector>
 
@@ -23,6 +24,13 @@
 #include "sim/trace.hpp"
 
 namespace rtg::rt {
+
+/// Per-slot transform applied during emission: receives the absolute
+/// slot time and the table's symbol, returns the symbol actually
+/// delivered. Lets fault layers (e.g. core's FaultInjector::
+/// make_slot_filter) perturb a cyclic executive's trace without this
+/// module depending on them.
+using SlotTransform = std::function<sim::Slot(Time, sim::Slot)>;
 
 /// One scheduled job slice inside a frame.
 struct FrameEntry {
@@ -39,6 +47,11 @@ struct CyclicExecutive {
   /// Streams the table's slot-level trace of one hyperperiod into a
   /// sink (slices in frame order, frame tails idle-filled).
   void emit(sim::TraceSink& sink) const;
+
+  /// Like emit, but every slot passes through `transform` first (slot
+  /// times count from `start`). A null transform behaves like emit.
+  void emit(sim::TraceSink& sink, const SlotTransform& transform,
+            Time start = 0) const;
 
   /// Flattens the table into a slot-level trace of one hyperperiod.
   [[nodiscard]] sim::ExecutionTrace to_trace() const;

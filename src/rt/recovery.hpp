@@ -1,0 +1,261 @@
+// recovery.hpp — the self-healing executive: online recovery policies
+// over a static schedule, with verified hot failover.
+//
+// The table-driven executive of core/runtime is blind: it dispatches
+// the static schedule and hopes. Under the fault plans of
+// core/fault_injection that is exactly the no-recovery baseline
+// (run_executive_with_faults). This module closes the loop. A
+// RecoveryManager-style run (run_self_healing) consumes
+// monitor::StreamingMonitor violation events *online* and reacts with
+// three policies, cheapest first:
+//
+//   * retry    — a faulted dispatch (drop / corruption / outage) is
+//     answered by re-dispatching the *entire task graph* of every
+//     affected constraint into upcoming idle slots, with exponential
+//     backoff. Re-dispatching only the faulted element would be
+//     useless for chains: the downstream table executions have already
+//     run against the lost output, so only a fresh complete execution
+//     of C can still satisfy a window.
+//   * resync   — clock drift inserts idle slots and leaves the table
+//     position lagging absolute time; the executive re-synchronizes by
+//     absorbing the lag into idle entries (advancing the table without
+//     consuming wall time) until the nominal alignment — which the
+//     schedule's feasibility proof assumes — is restored.
+//   * failover — persistent violations escalate to a hot switch onto a
+//     precomputed fallback schedule. A switch is taken only at a slot
+//     the FailoverTable proves admissible under Mok's latency
+//     semantics (below), never mid-execution, never while lagging.
+//
+// Failover admissibility. Switching from schedule a (at table offset
+// "phase", absolute time S) to schedule b (restarted at its offset 0)
+// splices two cyclic traces. Steady-state windows are covered by each
+// schedule's own feasibility proof; what must be checked is the seam:
+//
+//   * asynchronous (C, p, d): every window [t, t+d) with
+//     S - d < t < S straddles the seam — it must contain an execution
+//     of C inside the spliced trace (a's tail at this phase followed
+//     by b's head);
+//   * periodic (C, p, d): the grid windows t = kp straddling S, plus
+//     every grid window in [S, S + lcm(|b|, p)) — b restarts at S, so
+//     its alignment against the invocation grid differs from the
+//     grid-0 alignment its feasibility proof used; one lcm(|b|, p)
+//     span covers every residue (t - S) mod |b| that will ever occur,
+//     so passing it extends to all later grid windows by periodicity.
+//
+// The spliced-window content is a pure function of (phase, S mod G)
+// where G = lcm of the periodic periods, so the table is a finite
+// (phase x grid) admissibility matrix per ordered schedule pair.
+// The same periodicity argument makes the scheme compose across
+// repeated failovers: each switch's realignment check covers all grid
+// windows until the *next* switch, whose own check takes over.
+//
+// Every schedule entering a FailoverTable is verified feasible through
+// core::IncrementalVerifier, and every verification is bit-identical
+// across verifier thread counts (see core/latency.hpp), which is what
+// the determinism pin test relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/fault_injection.hpp"
+#include "core/latency.hpp"
+#include "core/model.hpp"
+#include "core/runtime.hpp"
+#include "core/static_schedule.hpp"
+#include "monitor/streaming_monitor.hpp"
+#include "sim/trace.hpp"
+
+namespace rtg::rt {
+
+using core::Time;
+
+/// Knobs of the online recovery policies.
+struct RecoveryOptions {
+  // Retry (lost / corrupted / dropped service).
+  bool retry = true;
+  /// Slots between detecting a fault and the first re-dispatch.
+  Time retry_backoff = 1;
+  /// Backoff multiplier per failed attempt (exponential).
+  double backoff_factor = 2.0;
+  /// Attempts before a retry is abandoned (kRetryGaveUp).
+  std::size_t max_retries = 3;
+  // Resync (clock drift).
+  bool resync = true;
+  // Failover.
+  bool failover = true;
+  /// Monitor violations since the last switch that trigger a failover
+  /// request.
+  std::size_t failover_violations = 1;
+  /// Minimum slots between consecutive switches.
+  Time min_dwell = 0;
+  /// Re-confirm the switch against the *realized* (faulted) recent
+  /// trace: block it if some seam window that staying would satisfy
+  /// would be lost by switching. The table already proves the nominal
+  /// seam; this guards the cases where faults emptied a's tail.
+  bool confirm_online = true;
+  /// Verifier threads used while building bounds/tables (results are
+  /// bit-identical at every value; see core/latency.hpp).
+  std::size_t n_threads = 1;
+};
+
+/// Options of compute_failover_table.
+struct FailoverOptions {
+  /// Cap on phase x grid admissibility cells per schedule pair; larger
+  /// tables throw std::invalid_argument (pick coarser schedules or
+  /// fewer fallbacks).
+  std::size_t max_offsets = 4096;
+  /// Verifier threads (bit-identical results at every value).
+  std::size_t n_threads = 1;
+};
+
+/// Precomputed hot-failover admissibility between fallback schedules.
+/// Build with compute_failover_table; query admissible() at run time.
+struct FailoverTable {
+  /// The fallback schedule set (index = schedule id).
+  std::vector<core::StaticSchedule> schedules;
+  /// Per schedule: its feasibility report (always feasible; the
+  /// builder throws otherwise).
+  std::vector<core::FeasibilityReport> reports;
+  /// G = lcm of the periodic constraint periods (1 when none).
+  Time grid = 1;
+  /// Largest constraint deadline (seam lookback).
+  Time max_deadline = 0;
+  /// ok[a * size() + b][phase * grid + g] != 0 iff switching a -> b at
+  /// table offset `phase` and absolute time == g (mod grid) is
+  /// admissible. Only entry-boundary phases can be admissible.
+  std::vector<std::vector<std::uint8_t>> ok;
+
+  [[nodiscard]] std::size_t size() const { return schedules.size(); }
+
+  /// Is switching from schedule `from` at table offset `phase` to
+  /// schedule `to` (offset 0) admissible at absolute time `when`?
+  [[nodiscard]] bool admissible(std::size_t from, std::size_t to, Time phase,
+                                Time when) const;
+
+  /// Admissible (phase, grid) cells of the ordered pair.
+  [[nodiscard]] std::size_t admissible_count(std::size_t from, std::size_t to) const;
+};
+
+/// Builds the admissibility table over `schedules` for `model`. Every
+/// schedule must validate against the communication graph and verify
+/// feasible (checked through core::IncrementalVerifier and
+/// cross-checked by the parallel engine at `options.n_threads`);
+/// std::invalid_argument otherwise.
+[[nodiscard]] FailoverTable compute_failover_table(
+    const core::GraphModel& model, std::vector<core::StaticSchedule> schedules,
+    const FailoverOptions& options = {});
+
+/// Conservative per-constraint recoverability bound for single-fault
+/// windows. A window invalidated by one fault is still satisfiable by
+/// retry when
+///
+///     latency + redispatch + detection <= d
+///
+/// latency L: worst nominal wait for an embedding (async: the
+/// schedule's latency; periodic: the worst grid window's finish - t).
+/// redispatch W: worst time to place one full execution of C into the
+/// schedule's cyclic idle pattern starting from the worst offset,
+/// plus the initial retry backoff. detection δ: worst detection delay
+/// of a fault (a corruption is only known at completion, so the max
+/// element weight of C). The bound is sufficient, not necessary —
+/// it assumes the retry itself is not struck again in the same window.
+struct RecoveryBound {
+  std::size_t constraint = 0;
+  std::optional<Time> latency;     ///< L; nullopt = infinite
+  std::optional<Time> redispatch;  ///< W; nullopt = C cannot be placed in idle
+  Time detection = 0;              ///< δ
+  bool recoverable = false;        ///< L + W + δ <= d (both finite)
+};
+
+[[nodiscard]] std::vector<RecoveryBound> recovery_bounds(
+    const core::StaticSchedule& sched, const core::GraphModel& model,
+    const RecoveryOptions& options = {});
+
+/// What a recovery action was.
+enum class RecoveryActionKind : std::uint8_t {
+  kRetry,        ///< full task-graph re-dispatch completed
+  kRetryGaveUp,  ///< retry abandoned after max_retries attempts
+  kResync,       ///< drift lag fully absorbed back into the table
+  kFailover,     ///< hot switch onto a fallback schedule
+};
+
+[[nodiscard]] std::string_view recovery_action_name(RecoveryActionKind kind);
+
+/// One recovery decision, for logs and the E19 latency metrics.
+struct RecoveryAction {
+  RecoveryActionKind kind = RecoveryActionKind::kRetry;
+  Time onset = 0;      ///< when the disturbance began
+  Time detected = 0;   ///< when the executive could first know
+  Time completed = 0;  ///< when the action finished (gave up: decision time)
+  core::ElementId elem = core::kAnyElement;  ///< retry: faulted element
+  std::size_t constraint = core::kAnyConstraint;  ///< retry: re-dispatched C
+  std::size_t attempts = 0;                       ///< retry: dispatch attempts
+  std::size_t from_schedule = 0;  ///< failover: source schedule
+  std::size_t to_schedule = 0;    ///< failover: target schedule
+
+  [[nodiscard]] Time detection_to_recovery() const { return completed - detected; }
+};
+
+/// Configuration of one self-healing run.
+struct SelfHealingConfig {
+  RecoveryOptions recovery;
+  /// Faults injected into the run (empty = fault-free).
+  core::FaultPlan faults;
+  /// Schedule the run starts on (index into the table).
+  std::size_t initial = 0;
+  /// Optional observer of the visible slot timeline.
+  sim::TraceSink* trace_sink = nullptr;
+};
+
+/// Outcome of a self-healing run.
+struct SelfHealingResult {
+  /// Offline re-verification of every invocation against the surviving
+  /// executions (same semantics as run_executive_with_faults).
+  core::ExecutiveResult executive;
+  /// The online monitor's verdict over the visible trace.
+  monitor::MonitorReport monitor;
+  /// The visible slot timeline (valid executions busy, all else idle).
+  sim::ExecutionTrace trace;
+  /// Arrivals after jitter + re-legalization.
+  core::ConstraintArrivals effective_arrivals;
+  /// Every recovery decision, in time order.
+  std::vector<RecoveryAction> actions;
+  std::vector<core::FaultEvent> fault_events;
+  core::FaultCounters counters;
+  std::size_t final_schedule = 0;
+  std::size_t retries_dispatched = 0;
+  std::size_t retries_succeeded = 0;
+  std::size_t retries_abandoned = 0;
+  /// Failover requests deferred because the current slot was not
+  /// admissible (or confirm_online vetoed it).
+  std::size_t blocked_switches = 0;
+  /// Detection-to-recovery latency over completed retry/resync/failover
+  /// actions.
+  double mean_detection_to_recovery = 0.0;
+  Time max_detection_to_recovery = 0;
+
+  [[nodiscard]] std::size_t failovers() const {
+    std::size_t n = 0;
+    for (const RecoveryAction& a : actions) {
+      if (a.kind == RecoveryActionKind::kFailover) ++n;
+    }
+    return n;
+  }
+};
+
+/// Runs the self-healing executive for `horizon` slots on
+/// table.schedules[config.initial], injecting config.faults, feeding a
+/// StreamingMonitor online, and applying the recovery policies. Throws
+/// std::invalid_argument on an empty table, a bad initial index,
+/// malformed arrivals, or an invalid fault plan. With recovery
+/// disabled and an empty plan the realized trace is the nominal
+/// round-robin trace of the initial schedule.
+[[nodiscard]] SelfHealingResult run_self_healing(const core::GraphModel& model,
+                                                 const FailoverTable& table,
+                                                 const core::ConstraintArrivals& arrivals,
+                                                 Time horizon,
+                                                 const SelfHealingConfig& config = {});
+
+}  // namespace rtg::rt

@@ -33,6 +33,17 @@ class Engine {
     schedule_at(now_ + delay, std::move(cb));
   }
 
+  /// Schedules `cb` at first, first + period, ... up to and including
+  /// `until` — recurring fault bursts, probes, heartbeats. Events are
+  /// materialized eagerly, so keep (until - first) / period modest; the
+  /// callback is copied per occurrence.
+  void schedule_every(Time first, Time period, Time until, const Callback& cb) {
+    if (period < 1) {
+      throw std::invalid_argument("Engine::schedule_every: period must be >= 1");
+    }
+    for (Time t = first; t <= until; t += period) schedule_at(t, cb);
+  }
+
   /// Runs events until the queue is empty or the clock would pass
   /// `horizon`. Events at exactly `horizon` do run. Returns the number
   /// of events executed.

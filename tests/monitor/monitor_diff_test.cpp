@@ -297,5 +297,39 @@ TEST(MonitorCapture, LosslessWhenRingFits) {
   EXPECT_EQ(recorded, input);
 }
 
+// Ring overflow surfaces into the monitor's health metrics: every slot
+// the capture layer dropped is announced to note_dropped (on the drain
+// thread, before the substituted idles), so the monitor's drop counter
+// always equals the capture stats — whether or not the tiny ring
+// actually overflowed in this run.
+TEST(MonitorCapture, DropListenerFeedsMonitorHealth) {
+  sim::Rng rng(31);
+  const GraphModel model = random_model(rng, 1, 12);
+  const sim::ExecutionTrace input = random_trace(rng, model, 50000);
+
+  StreamingMonitor monitor(model);
+  CaptureStats stats;
+  {
+    TraceCapture capture(monitor, 4);  // tiny ring: overflow expected
+    capture.set_drop_listener([&monitor](std::uint64_t n) { monitor.note_dropped(n); });
+    for (const sim::Slot s : input.slots()) capture.on_slot(s);
+    capture.close();
+    stats = capture.stats();
+  }
+  EXPECT_EQ(stats.consumed + stats.dropped, stats.produced);
+  EXPECT_EQ(monitor.dropped_slots(), stats.dropped);
+  EXPECT_EQ(monitor.now(), static_cast<Time>(input.size()));
+  const MonitorReport report = monitor.report();
+  EXPECT_EQ(report.dropped_slots, stats.dropped);
+  // Sustained overflow (the expected case with a 4-slot ring) must have
+  // raised at least one degraded-health event.
+  if (stats.dropped >= 64 &&
+      static_cast<double>(stats.dropped) >=
+          0.01 * static_cast<double>(monitor.now() + static_cast<Time>(stats.dropped))) {
+    EXPECT_TRUE(report.capture_degraded);
+    EXPECT_GE(report.capture_events.size(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace rtg::monitor

@@ -202,5 +202,81 @@ TEST(StreamingMonitor, BatchAndSingleSlotAgree) {
   EXPECT_EQ(batched.report().health, single.report().health);
 }
 
+// --- Violation listener (the recovery hook) ----------------------------
+
+TEST(StreamingMonitor, ViolationListenerFiresForEveryViolatedWindow) {
+  const GraphModel model = chain_model(1, 4, ConstraintKind::kAsynchronous);
+  StreamingMonitor monitor(model);
+  struct Hit {
+    std::size_t constraint;
+    Time begin;
+    Time deadline;
+  };
+  std::vector<Hit> hits;
+  monitor.set_violation_listener([&hits](std::size_t c, Time b, Time d) {
+    hits.push_back(Hit{c, b, d});
+  });
+  // 10 cycles of "a b . ." then an outage long enough to coalesce many
+  // violated windows into one event.
+  for (int r = 0; r < 10; ++r) {
+    monitor.on_slots(std::vector<sim::Slot>{0, 1, sim::kIdle, sim::kIdle});
+  }
+  for (int i = 0; i < 12; ++i) monitor.on_slot(sim::kIdle);
+
+  const MonitorReport report = monitor.report();
+  const std::vector<Time> expected = report.violated_starts(0);
+  ASSERT_FALSE(expected.empty());
+  // One callback per violated window — including windows folded into a
+  // coalesced event — with the constraint's deadline attached.
+  ASSERT_EQ(hits.size(), expected.size());
+  EXPECT_GT(hits.size(), report.violations.size());  // coalescing happened
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].constraint, 0u);
+    EXPECT_EQ(hits[i].begin, expected[i]);
+    EXPECT_EQ(hits[i].deadline, 4);
+  }
+}
+
+// --- Capture-drop health (satellite: ring overflow surfaces) -----------
+
+TEST(StreamingMonitor, NoteDroppedDegradesEdgeTriggered) {
+  const GraphModel model = chain_model(1, 5, ConstraintKind::kAsynchronous);
+  MonitorOptions options;
+  options.drop_degrade_min = 4;
+  options.drop_degrade_ratio = 0.1;
+  StreamingMonitor monitor(model, options);
+  const auto feed = [&monitor](int cycles) {
+    for (int r = 0; r < cycles; ++r) {
+      monitor.on_slots(std::vector<sim::Slot>{0, 1, sim::kIdle, sim::kIdle});
+    }
+  };
+
+  feed(3);  // now = 12
+  monitor.note_dropped(2);  // below min: healthy
+  EXPECT_FALSE(monitor.capture_degraded());
+  EXPECT_EQ(monitor.report().capture_events.size(), 0u);
+
+  monitor.note_dropped(2);  // 4 drops vs 12 slots: degraded
+  EXPECT_TRUE(monitor.capture_degraded());
+  ASSERT_EQ(monitor.report().capture_events.size(), 1u);
+  EXPECT_EQ(monitor.report().capture_events[0].at, 12);
+  EXPECT_EQ(monitor.report().capture_events[0].dropped, 4u);
+
+  monitor.note_dropped(1);  // still degraded: edge already reported
+  EXPECT_EQ(monitor.report().capture_events.size(), 1u);
+
+  feed(25);  // now = 112: ratio recovers below 0.1
+  EXPECT_FALSE(monitor.capture_degraded());
+
+  monitor.note_dropped(20);  // second sustained overflow: new edge
+  EXPECT_TRUE(monitor.capture_degraded());
+  const MonitorReport report = monitor.report();
+  EXPECT_EQ(report.dropped_slots, 25u);
+  EXPECT_TRUE(report.capture_degraded);
+  ASSERT_EQ(report.capture_events.size(), 2u);
+  EXPECT_EQ(report.capture_events[1].at, 112);
+  EXPECT_EQ(report.capture_events[1].dropped, 25u);
+}
+
 }  // namespace
 }  // namespace rtg::monitor

@@ -128,6 +128,120 @@ TEST(TraceIo, OverlongRunsThrow) {
   EXPECT_THROW((void)read_trace(patched), std::runtime_error);
 }
 
+// --- Malformed-input corpus: the strict reader must always answer with
+// --- a structured RttError — never crash, hang, or over-allocate. ------
+
+std::string valid_bytes() {
+  sim::ExecutionTrace trace;
+  trace.append_run(0, 3);
+  trace.append_idle(5);
+  trace.append_run(1, 200);  // forces a two-byte length varint
+  trace.append_idle(1);
+  std::stringstream buffer;
+  write_trace(buffer, trace, 0x1234567890ABCDEFULL);
+  return buffer.str();
+}
+
+TEST(TraceIo, ErrorsCarryMachineReadableKinds) {
+  const std::string good = valid_bytes();
+  const auto kind_of = [](const std::string& bytes) {
+    std::stringstream in(bytes);
+    try {
+      (void)read_trace(in);
+    } catch (const RttError& e) {
+      return e.kind();
+    }
+    return RttErrorKind::kIo;  // sentinel: "did not throw"
+  };
+  std::string bad = good;
+  bad[0] = 'X';
+  EXPECT_EQ(kind_of(bad), RttErrorKind::kBadMagic);
+  bad = good;
+  bad[4] = 9;
+  EXPECT_EQ(kind_of(bad), RttErrorKind::kBadVersion);
+  EXPECT_EQ(kind_of(good + "x"), RttErrorKind::kTrailingBytes);
+  EXPECT_EQ(kind_of(good.substr(0, good.size() - 1)), RttErrorKind::kTruncated);
+  EXPECT_NE(rtt_error_kind_name(RttErrorKind::kMalformedVarint), "?");
+}
+
+TEST(TraceIo, TruncationAtEveryPrefixThrowsStructured) {
+  const std::string good = valid_bytes();
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    std::stringstream in(good.substr(0, len));
+    EXPECT_THROW((void)read_trace(in), RttError) << "prefix length " << len;
+  }
+}
+
+TEST(TraceIo, OversizedLeb128Rejected) {
+  // Header declaring one slot, then a symbol-code varint of ten 0xFF
+  // bytes: the tenth byte would overflow a u64.
+  std::string bytes = valid_bytes().substr(0, 16);
+  bytes += std::string("\x01\x00\x00\x00\x00\x00\x00\x00", 8);  // count = 1
+  bytes += std::string(10, static_cast<char>(0xFF));
+  std::stringstream overflowing(bytes);
+  try {
+    (void)read_trace(overflowing);
+    FAIL() << "overflowing varint accepted";
+  } catch (const RttError& e) {
+    EXPECT_EQ(e.kind(), RttErrorKind::kMalformedVarint);
+  }
+  // Eleven continuation bytes: structurally too long even with zero
+  // payload bits.
+  bytes = bytes.substr(0, 24) + std::string(10, static_cast<char>(0x80)) + '\x01';
+  std::stringstream overlong(bytes);
+  try {
+    (void)read_trace(overlong);
+    FAIL() << "overlong varint accepted";
+  } catch (const RttError& e) {
+    EXPECT_EQ(e.kind(), RttErrorKind::kMalformedVarint);
+  }
+}
+
+TEST(TraceIo, HugeDeclaredCountRejectedBeforeAllocation) {
+  // A 25-byte file claiming 2^60 slots must be refused up front.
+  std::string bytes = valid_bytes().substr(0, 16);
+  bytes += std::string("\x00\x00\x00\x00\x00\x00\x00\x10", 8);  // count = 2^60
+  bytes += '\x00';
+  std::stringstream in(bytes);
+  try {
+    (void)read_trace(in);
+    FAIL() << "hostile slot count accepted";
+  } catch (const RttError& e) {
+    EXPECT_EQ(e.kind(), RttErrorKind::kTooLarge);
+  }
+  // Caller-supplied limits bind too.
+  std::stringstream good(valid_bytes());
+  RttReadLimits tight;
+  tight.max_slots = 8;  // the valid trace has 209 slots
+  EXPECT_THROW((void)read_trace(good, tight), RttError);
+  std::stringstream good2(valid_bytes());
+  RttReadLimits enough;
+  enough.max_slots = 4096;
+  EXPECT_EQ(read_trace(good2, enough).trace.size(), 209u);
+}
+
+TEST(TraceIo, BitFlipCorpusNeverCrashesOrOverAllocates) {
+  const std::string good = valid_bytes();
+  RttReadLimits limits;
+  limits.max_slots = 4096;  // bound any accepted parse
+  for (std::size_t i = 0; i < good.size(); ++i) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bytes = good;
+      bytes[i] = static_cast<char>(bytes[i] ^ (1 << bit));
+      std::stringstream in(bytes);
+      try {
+        const RttFile file = read_trace(in, limits);
+        // A flip that still parses must respect the allocation bound.
+        EXPECT_LE(file.trace.size(), limits.max_slots)
+            << "byte " << i << " bit " << bit;
+      } catch (const RttError&) {
+        // Structured rejection is the expected outcome; anything else
+        // (std::bad_alloc, segfault, hang) fails the test run itself.
+      }
+    }
+  }
+}
+
 TEST(TraceIo, FileHelpersRoundTrip) {
   sim::ExecutionTrace trace;
   trace.append_run(1, 2);

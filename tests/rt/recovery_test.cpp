@@ -1,0 +1,590 @@
+#include "rt/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/fault_injection.hpp"
+#include "core/latency.hpp"
+#include "monitor/streaming_monitor.hpp"
+#include "rt/scheduler.hpp"
+#include "rt/task.hpp"
+
+namespace rtg::rt {
+namespace {
+
+core::TaskGraph single(core::ElementId e) {
+  core::TaskGraph tg;
+  tg.add_op(e);
+  return tg;
+}
+
+// One element a (weight 1); periodic P: (a, p 4, d 16) and sporadic
+// Z: (a, sep 4, d 16). Deadlines are 4x the period, so recovery_bounds
+// classifies both constraints recoverable under schedule "a . . .".
+core::GraphModel lenient_model() {
+  core::CommGraph comm;
+  comm.add_element("a", 1);
+  core::GraphModel model(std::move(comm));
+  model.add_constraint(core::TimingConstraint{"P", single(0), 4, 16});
+  model.add_constraint(
+      core::TimingConstraint{"Z", single(0), 4, 16, core::ConstraintKind::kAsynchronous});
+  return model;
+}
+
+// Same element, but tight deadlines (d == p == 4): every window depends
+// on exactly one dispatch, so retry can never make the bound and hot
+// failover is the interesting policy.
+core::GraphModel tight_model() {
+  core::CommGraph comm;
+  comm.add_element("a", 1);
+  core::GraphModel model(std::move(comm));
+  model.add_constraint(core::TimingConstraint{"P", single(0), 4, 4});
+  model.add_constraint(
+      core::TimingConstraint{"Z", single(0), 4, 4, core::ConstraintKind::kAsynchronous});
+  return model;
+}
+
+core::StaticSchedule sched_a_first() {  // "a . . ."
+  core::StaticSchedule s;
+  s.push_execution(0, 1);
+  s.push_idle(3);
+  return s;
+}
+
+core::StaticSchedule sched_a_last() {  // ". . . a"
+  core::StaticSchedule s;
+  s.push_idle(3);
+  s.push_execution(0, 1);
+  return s;
+}
+
+core::ConstraintArrivals arrivals_for(Time horizon) {
+  core::ConstraintArrivals arrivals(2);
+  arrivals[1] = max_rate_arrivals(4, horizon);
+  return arrivals;
+}
+
+std::size_t satisfied_count(const core::ExecutiveResult& r) {
+  std::size_t n = 0;
+  for (const core::InvocationRecord& i : r.invocations) n += i.satisfied ? 1 : 0;
+  return n;
+}
+
+bool same_actions(const std::vector<RecoveryAction>& x,
+                  const std::vector<RecoveryAction>& y) {
+  if (x.size() != y.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i].kind != y[i].kind || x[i].onset != y[i].onset ||
+        x[i].detected != y[i].detected || x[i].completed != y[i].completed ||
+        x[i].elem != y[i].elem || x[i].constraint != y[i].constraint ||
+        x[i].attempts != y[i].attempts || x[i].from_schedule != y[i].from_schedule ||
+        x[i].to_schedule != y[i].to_schedule) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Independent re-derivation of the seam-admissibility verdict: pick a
+// concrete switch instant s == g (mod grid), splice a's tail at this
+// phase with b restarted at s, and check every window the steady-state
+// proofs do not cover, directly via window_contains_execution. `extra`
+// shifts the concrete instant by whole grids — the verdict must not
+// depend on it (admissibility is a pure function of (phase, s mod G)).
+bool brute_admissible(const core::GraphModel& model, const core::StaticSchedule& a,
+                      const core::StaticSchedule& b, Time phase, Time g, Time grid,
+                      Time d_max, Time extra) {
+  const Time len_a = a.length();
+  const Time len_b = b.length();
+  const Time back = d_max + len_a;
+  const Time s = (back / grid + 4 + extra) * grid + g;
+
+  std::vector<core::ScheduledOp> ops;
+  const std::vector<core::ScheduledOp> a_ops = a.ops();
+  for (Time base = s - phase - (back / len_a + 2) * len_a; base < s; base += len_a) {
+    for (const core::ScheduledOp& op : a_ops) {
+      const Time st = base + op.start;
+      if (st >= s) break;
+      if (st + op.duration > s) return false;  // switching would cut an execution
+      ops.push_back(core::ScheduledOp{op.elem, st, op.duration});
+    }
+  }
+  Time post = d_max;
+  for (const core::TimingConstraint& c : model.constraints()) {
+    if (c.periodic()) post = std::max(post, lcm_checked(len_b, c.period) + c.deadline);
+  }
+  const std::vector<core::ScheduledOp> b_ops = b.ops();
+  for (Time base = s; base < s + post + len_b; base += len_b) {
+    for (const core::ScheduledOp& op : b_ops) {
+      ops.push_back(core::ScheduledOp{op.elem, base + op.start, op.duration});
+    }
+  }
+
+  for (std::size_t i = 0; i < model.constraint_count(); ++i) {
+    const core::TimingConstraint& c = model.constraint(i);
+    if (c.task_graph.empty()) continue;
+    if (c.periodic()) {
+      const Time span = lcm_checked(len_b, c.period);
+      for (Time t = 0; t < s + span; t += c.period) {
+        if (t + c.deadline <= s) continue;  // settled by a's own feasibility proof
+        if (!core::window_contains_execution(c.task_graph, ops, t, t + c.deadline)) {
+          return false;
+        }
+      }
+    } else {
+      for (Time t = s - c.deadline + 1; t < s; ++t) {
+        if (!core::window_contains_execution(c.task_graph, ops, t, t + c.deadline)) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<Time> entry_boundaries(const core::StaticSchedule& s) {
+  std::vector<Time> b;
+  Time off = 0;
+  for (const core::ScheduleEntry& e : s.entries()) {
+    b.push_back(off);
+    off += e.duration;
+  }
+  return b;
+}
+
+// --- Clean-run equivalence ---------------------------------------------
+
+TEST(Recovery, CleanRunMatchesNominalExecutive) {
+  const core::GraphModel model = lenient_model();
+  const FailoverTable table = compute_failover_table(model, {sched_a_first()});
+  const core::ConstraintArrivals arrivals = arrivals_for(48);
+
+  sim::ExecutionTrace nominal;
+  sim::TraceAppender sink(nominal);
+  const core::ExecutiveResult plain =
+      core::run_executive(sched_a_first(), model, arrivals, 48, &sink);
+
+  const SelfHealingResult healing = run_self_healing(model, table, arrivals, 48);
+  EXPECT_EQ(healing.trace, nominal);
+  EXPECT_TRUE(healing.actions.empty());
+  EXPECT_TRUE(healing.executive.all_met);
+  EXPECT_TRUE(plain.all_met);
+  EXPECT_TRUE(healing.monitor.ok());
+  EXPECT_EQ(healing.counters.faulted_ops(), 0u);
+  EXPECT_EQ(healing.final_schedule, 0u);
+}
+
+// --- The differential acceptance criterion -----------------------------
+//
+// A fault plan that kills exactly the nominal dispatch slots: the
+// no-recovery baseline provably violates, while the self-healing
+// executive re-dispatches into idle slots and satisfies every window of
+// every constraint whose recovery bound holds (here: all of them).
+
+TEST(Recovery, DifferentialRecoveryBeatsNoRecoveryBaseline) {
+  const core::GraphModel model = lenient_model();
+  const core::StaticSchedule sched = sched_a_first();
+  const core::ConstraintArrivals arrivals = arrivals_for(120);
+
+  core::FaultPlan plan;
+  plan.seed = 11;
+  for (Time t : {Time{0}, Time{4}, Time{8}, Time{12}}) {
+    plan.faults.push_back(core::FaultSpec{core::FaultKind::kDrop, t, t + 1, 1.0, 0});
+  }
+
+  // Every constraint's slack bound admits recovery under this schedule.
+  for (const RecoveryBound& b : recovery_bounds(sched, model)) {
+    EXPECT_TRUE(b.recoverable) << "constraint " << b.constraint;
+  }
+
+  const core::FaultRunResult baseline =
+      core::run_executive_with_faults(sched, model, arrivals, 120, plan);
+  EXPECT_FALSE(baseline.executive.all_met);  // provably violates
+
+  const FailoverTable table = compute_failover_table(model, {sched});
+  SelfHealingConfig config;
+  config.faults = plan;
+  const SelfHealingResult healing = run_self_healing(model, table, arrivals, 120, config);
+
+  EXPECT_TRUE(healing.executive.all_met);
+  EXPECT_TRUE(healing.monitor.ok());
+  EXPECT_GT(healing.counters.dropped, 0u);
+  EXPECT_GE(healing.retries_succeeded, 4u);
+  EXPECT_GT(satisfied_count(healing.executive), satisfied_count(baseline.executive));
+  // The online verdict over the realized trace is the offline ground
+  // truth of the same trace.
+  EXPECT_TRUE(monitor::verdicts_match(healing.monitor,
+                                      monitor::reference_check(healing.trace, model)));
+}
+
+TEST(Recovery, SeededSweepNeverWorseAndMonitorConsistent) {
+  const core::GraphModel model = lenient_model();
+  const core::StaticSchedule sched = sched_a_first();
+  const core::ConstraintArrivals arrivals = arrivals_for(140);
+  const FailoverTable table = compute_failover_table(model, {sched});
+
+  bool any_strict = false;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    core::FaultPlan plan;
+    plan.seed = seed;
+    plan.faults.push_back(
+        core::FaultSpec{core::FaultKind::kDrop, 0, 60, 0.75, core::kAnyElement});
+    plan.faults.push_back(core::FaultSpec{core::FaultKind::kCorrupt, 20, 80, 0.25, 0});
+
+    const core::FaultRunResult baseline =
+        core::run_executive_with_faults(sched, model, arrivals, 140, plan);
+    SelfHealingConfig config;
+    config.faults = plan;
+    const SelfHealingResult healing =
+        run_self_healing(model, table, arrivals, 140, config);
+
+    ASSERT_EQ(healing.executive.invocations.size(), baseline.executive.invocations.size());
+    // Retry only adds surviving executions at otherwise-idle slots, so
+    // recovery can never lose a window the baseline satisfied.
+    EXPECT_GE(satisfied_count(healing.executive), baseline.satisfied_count())
+        << "seed " << seed;
+    if (satisfied_count(healing.executive) > baseline.satisfied_count()) {
+      any_strict = true;
+    }
+    EXPECT_TRUE(monitor::verdicts_match(healing.monitor,
+                                        monitor::reference_check(healing.trace, model)))
+        << "seed " << seed;
+  }
+  EXPECT_TRUE(any_strict);
+}
+
+// --- Recovery bounds ---------------------------------------------------
+
+TEST(Recovery, BoundsClassifyConstraints) {
+  // Lenient deadlines: both constraints recoverable, with finite parts.
+  for (const RecoveryBound& b : recovery_bounds(sched_a_first(), lenient_model())) {
+    EXPECT_TRUE(b.recoverable);
+    ASSERT_TRUE(b.latency.has_value());
+    ASSERT_TRUE(b.redispatch.has_value());
+    EXPECT_EQ(b.detection, 1);
+    EXPECT_LE(*b.latency + *b.redispatch + b.detection, 16);
+  }
+  // Tight deadlines (d == p == 4): L + W + delta > 4, not recoverable.
+  for (const RecoveryBound& b : recovery_bounds(sched_a_first(), tight_model())) {
+    EXPECT_FALSE(b.recoverable);
+  }
+  EXPECT_THROW(recovery_bounds(core::StaticSchedule{}, lenient_model()),
+               std::invalid_argument);
+}
+
+TEST(Recovery, HeadBlockedRetryGivesUpImmediately) {
+  // c weighs 3 but no idle run is longer than 2: a retry of Q could
+  // never be placed, recovery_bounds says so, and the executive gives
+  // up instead of head-blocking the queue forever.
+  core::CommGraph comm;
+  comm.add_element("a", 1);
+  comm.add_element("c", 3);
+  core::GraphModel model(std::move(comm));
+  model.add_constraint(core::TimingConstraint{"P", single(0), 8, 8});
+  model.add_constraint(core::TimingConstraint{"Q", single(1), 8, 8});
+  core::StaticSchedule sched;
+  sched.push_execution(0, 1);
+  sched.push_idle(1);
+  sched.push_execution(1, 3);
+  sched.push_idle(2);
+  sched.push_execution(0, 1);
+
+  const std::vector<RecoveryBound> bounds = recovery_bounds(sched, model);
+  ASSERT_EQ(bounds.size(), 2u);
+  EXPECT_TRUE(bounds[0].recoverable);
+  EXPECT_FALSE(bounds[1].redispatch.has_value());
+  EXPECT_FALSE(bounds[1].recoverable);
+
+  core::FaultPlan plan;
+  plan.faults.push_back(core::FaultSpec{core::FaultKind::kDrop, 2, 3, 1.0, 1});
+  const FailoverTable table = compute_failover_table(model, {sched});
+  SelfHealingConfig config;
+  config.faults = plan;
+  const SelfHealingResult healing =
+      run_self_healing(model, table, core::ConstraintArrivals(2), 48, config);
+  EXPECT_EQ(healing.retries_abandoned, 1u);
+  EXPECT_EQ(healing.retries_dispatched, 0u);
+  bool saw = false;
+  for (const RecoveryAction& a : healing.actions) {
+    if (a.kind == RecoveryActionKind::kRetryGaveUp) {
+      saw = true;
+      EXPECT_EQ(a.constraint, 1u);
+      EXPECT_EQ(a.attempts, 0u);
+    }
+  }
+  EXPECT_TRUE(saw);
+  EXPECT_FALSE(healing.executive.all_met);  // honestly reported
+}
+
+TEST(Recovery, RetryExhaustionRecordsGiveUp) {
+  const core::GraphModel model = lenient_model();
+  core::FaultPlan plan;
+  plan.faults.push_back(core::FaultSpec{core::FaultKind::kElementFail, 0, core::kOpenEnd,
+                                        1.0, 0, core::kAnyConstraint, 500});
+  const FailoverTable table = compute_failover_table(model, {sched_a_first()});
+  SelfHealingConfig config;
+  config.faults = plan;
+  const SelfHealingResult healing =
+      run_self_healing(model, table, arrivals_for(40), 40, config);
+  EXPECT_GT(healing.counters.element_down, 0u);
+  EXPECT_GE(healing.retries_abandoned, 1u);
+  EXPECT_EQ(healing.retries_succeeded, 0u);
+  EXPECT_FALSE(healing.executive.all_met);
+  EXPECT_TRUE(monitor::verdicts_match(healing.monitor,
+                                      monitor::reference_check(healing.trace, model)));
+}
+
+TEST(Recovery, ResyncAbsorbsDriftLag) {
+  const core::GraphModel model = lenient_model();
+  core::FaultPlan plan;
+  plan.faults.push_back(core::FaultSpec{core::FaultKind::kClockDrift, 0, core::kOpenEnd,
+                                        1.0, core::kAnyElement, core::kAnyConstraint, 5});
+  const FailoverTable table = compute_failover_table(model, {sched_a_first()});
+  SelfHealingConfig config;
+  config.faults = plan;
+  const SelfHealingResult healing =
+      run_self_healing(model, table, arrivals_for(80), 80, config);
+  EXPECT_GT(healing.counters.drift_slots, 0);
+  EXPECT_EQ(healing.trace.size(), 80u);
+  std::size_t resyncs = 0;
+  for (const RecoveryAction& a : healing.actions) {
+    resyncs += a.kind == RecoveryActionKind::kResync ? 1 : 0;
+  }
+  EXPECT_GE(resyncs, 1u);
+  EXPECT_TRUE(monitor::verdicts_match(healing.monitor,
+                                      monitor::reference_check(healing.trace, model)));
+}
+
+// --- Failover table ----------------------------------------------------
+
+TEST(Recovery, FailoverTableMatchesBruteForceExhaustively) {
+  const core::GraphModel model = tight_model();
+  const FailoverTable table =
+      compute_failover_table(model, {sched_a_first(), sched_a_last()});
+  ASSERT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.grid, 4);
+  EXPECT_EQ(table.max_deadline, 4);
+  for (const core::FeasibilityReport& r : table.reports) EXPECT_TRUE(r.feasible);
+
+  for (std::size_t a = 0; a < 2; ++a) {
+    const std::size_t b = 1 - a;
+    const std::vector<Time> boundaries = entry_boundaries(table.schedules[a]);
+    for (Time phase = 0; phase < table.schedules[a].length(); ++phase) {
+      const bool at_boundary =
+          std::find(boundaries.begin(), boundaries.end(), phase) != boundaries.end();
+      for (Time g = 0; g < table.grid; ++g) {
+        // Query far from g itself: admissible() reduces `when` mod grid.
+        const bool got = table.admissible(a, b, phase, 100 * table.grid + g);
+        if (!at_boundary) {
+          // Only entry boundaries are switchable, whatever the seam says.
+          EXPECT_FALSE(got) << a << "->" << b << " phase " << phase << " g " << g;
+          continue;
+        }
+        const bool want = brute_admissible(model, table.schedules[a], table.schedules[b],
+                                           phase, g, table.grid, table.max_deadline, 0);
+        EXPECT_EQ(got, want) << a << "->" << b << " phase " << phase << " g " << g;
+        // Pure-function claim: any concrete instant in the congruence
+        // class gives the same verdict.
+        EXPECT_EQ(want,
+                  brute_admissible(model, table.schedules[a], table.schedules[b], phase,
+                                   g, table.grid, table.max_deadline, 3));
+      }
+    }
+  }
+  // Both directions must offer at least one admissible cell, and the
+  // phase right after the dispatch of a must be admissible (the window
+  // it serves is already satisfied; b picks up from there).
+  EXPECT_GE(table.admissible_count(0, 1), 1u);
+  EXPECT_GE(table.admissible_count(1, 0), 1u);
+  EXPECT_TRUE(table.admissible(0, 1, 1, 1));
+  // Self-switches and out-of-range queries are never admissible.
+  EXPECT_EQ(table.admissible_count(0, 0), 0u);
+  EXPECT_FALSE(table.admissible(0, 0, 0, 0));
+  EXPECT_FALSE(table.admissible(0, 5, 0, 0));
+}
+
+TEST(Recovery, FailoverTableRejectsBadInputs) {
+  const core::GraphModel model = lenient_model();
+  EXPECT_THROW(compute_failover_table(model, {}), std::invalid_argument);
+  // An all-idle schedule is infeasible and cannot be a failover target.
+  core::StaticSchedule idle;
+  idle.push_idle(4);
+  EXPECT_THROW(compute_failover_table(model, {sched_a_first(), idle}),
+               std::invalid_argument);
+  // An empty schedule is rejected before verification.
+  EXPECT_THROW(compute_failover_table(model, {core::StaticSchedule{}}),
+               std::invalid_argument);
+  // The admissibility matrix cap is enforced.
+  FailoverOptions tiny;
+  tiny.max_offsets = 1;
+  EXPECT_THROW(compute_failover_table(model, {sched_a_first(), sched_a_last()}, tiny),
+               std::invalid_argument);
+}
+
+// --- Hot failover at run time ------------------------------------------
+
+TEST(Recovery, FailoverSwitchesOnlyAtAdmissibleSlots) {
+  const core::GraphModel model = tight_model();
+  const FailoverTable table =
+      compute_failover_table(model, {sched_a_first(), sched_a_last()});
+  core::FaultPlan plan;
+  plan.faults.push_back(core::FaultSpec{core::FaultKind::kDrop, 0, 9, 1.0, 0});
+
+  SelfHealingConfig config;
+  config.faults = plan;
+  config.recovery.retry = false;        // tight deadlines: retry cannot help
+  config.recovery.confirm_online = false;
+  const SelfHealingResult healing =
+      run_self_healing(model, table, arrivals_for(60), 60, config);
+
+  EXPECT_GE(healing.failovers(), 1u);
+  // Replay the switch sequence: with no drift and no retries the table
+  // advances one offset per wall slot, so the phase at each switch is
+  // reconstructible — and every taken switch must be admissible both by
+  // the table and by the independent brute-force seam check.
+  std::size_t cur = 0;
+  Time anchor = 0;  // instant the current schedule (re)started at offset 0
+  for (const RecoveryAction& a : healing.actions) {
+    if (a.kind != RecoveryActionKind::kFailover) continue;
+    EXPECT_EQ(a.from_schedule, cur);
+    const Time len = table.schedules[cur].length();
+    const Time phase = (a.completed - anchor) % len;
+    EXPECT_TRUE(table.admissible(a.from_schedule, a.to_schedule, phase, a.completed))
+        << "switch at t=" << a.completed;
+    EXPECT_TRUE(brute_admissible(model, table.schedules[a.from_schedule],
+                                 table.schedules[a.to_schedule], phase,
+                                 a.completed % table.grid, table.grid,
+                                 table.max_deadline, 0))
+        << "switch at t=" << a.completed;
+    EXPECT_GE(a.completed, a.detected);
+    cur = a.to_schedule;
+    anchor = a.completed;
+  }
+  EXPECT_EQ(cur, healing.final_schedule);
+  EXPECT_TRUE(monitor::verdicts_match(healing.monitor,
+                                      monitor::reference_check(healing.trace, model)));
+}
+
+TEST(Recovery, ConfirmOnlineStillFailsOverAndIsDeterministic) {
+  const core::GraphModel model = tight_model();
+  const FailoverTable table =
+      compute_failover_table(model, {sched_a_first(), sched_a_last()});
+  core::FaultPlan plan;
+  plan.faults.push_back(core::FaultSpec{core::FaultKind::kDrop, 0, 9, 1.0, 0});
+  SelfHealingConfig config;
+  config.faults = plan;
+  config.recovery.retry = false;
+  config.recovery.confirm_online = true;
+  const SelfHealingResult r1 = run_self_healing(model, table, arrivals_for(60), 60, config);
+  const SelfHealingResult r2 = run_self_healing(model, table, arrivals_for(60), 60, config);
+  EXPECT_GE(r1.failovers() + r1.blocked_switches, 1u);
+  EXPECT_EQ(r1.trace, r2.trace);
+  EXPECT_TRUE(same_actions(r1.actions, r2.actions));
+  EXPECT_EQ(r1.blocked_switches, r2.blocked_switches);
+  EXPECT_EQ(r1.final_schedule, r2.final_schedule);
+}
+
+TEST(Recovery, FailoverDisabledStaysOnInitialSchedule) {
+  const core::GraphModel model = tight_model();
+  const FailoverTable table =
+      compute_failover_table(model, {sched_a_first(), sched_a_last()});
+  core::FaultPlan plan;
+  plan.faults.push_back(core::FaultSpec{core::FaultKind::kDrop, 0, 9, 1.0, 0});
+  SelfHealingConfig config;
+  config.faults = plan;
+  config.recovery.retry = false;
+  config.recovery.failover = false;
+  const SelfHealingResult healing =
+      run_self_healing(model, table, arrivals_for(60), 60, config);
+  EXPECT_EQ(healing.failovers(), 0u);
+  EXPECT_EQ(healing.final_schedule, 0u);
+}
+
+// --- Determinism pin across verifier thread counts ---------------------
+
+TEST(Recovery, DeterministicAcrossThreadCounts) {
+  const core::GraphModel model = tight_model();
+  core::FaultPlan plan;
+  plan.seed = 23;
+  plan.faults.push_back(core::FaultSpec{core::FaultKind::kDrop, 0, 30, 0.5, 0});
+  plan.faults.push_back(core::FaultSpec{core::FaultKind::kClockDrift, 0, core::kOpenEnd,
+                                        1.0, core::kAnyElement, core::kAnyConstraint, 7});
+
+  std::vector<FailoverTable> tables;
+  std::vector<SelfHealingResult> runs;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    FailoverOptions fo;
+    fo.n_threads = threads;
+    tables.push_back(
+        compute_failover_table(model, {sched_a_first(), sched_a_last()}, fo));
+    SelfHealingConfig config;
+    config.faults = plan;
+    config.recovery.n_threads = threads;
+    runs.push_back(run_self_healing(model, tables.back(), arrivals_for(100), 100, config));
+  }
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(tables[i].ok, tables[0].ok);
+    EXPECT_EQ(tables[i].reports, tables[0].reports);
+    EXPECT_EQ(runs[i].trace, runs[0].trace);
+    EXPECT_TRUE(same_actions(runs[i].actions, runs[0].actions));
+    EXPECT_EQ(runs[i].counters, runs[0].counters);
+    EXPECT_EQ(runs[i].fault_events, runs[0].fault_events);
+    EXPECT_EQ(runs[i].final_schedule, runs[0].final_schedule);
+    EXPECT_EQ(runs[i].blocked_switches, runs[0].blocked_switches);
+    EXPECT_EQ(runs[i].monitor.violations, runs[0].monitor.violations);
+  }
+}
+
+// --- Metrics and input validation --------------------------------------
+
+TEST(Recovery, LatencyMetricsMatchActions) {
+  const core::GraphModel model = lenient_model();
+  core::FaultPlan plan;
+  plan.seed = 11;
+  for (Time t : {Time{0}, Time{4}, Time{8}, Time{12}}) {
+    plan.faults.push_back(core::FaultSpec{core::FaultKind::kDrop, t, t + 1, 1.0, 0});
+  }
+  const FailoverTable table = compute_failover_table(model, {sched_a_first()});
+  SelfHealingConfig config;
+  config.faults = plan;
+  const SelfHealingResult healing =
+      run_self_healing(model, table, arrivals_for(120), 120, config);
+
+  Time sum = 0;
+  Time max = 0;
+  std::size_t n = 0;
+  for (const RecoveryAction& a : healing.actions) {
+    if (a.kind == RecoveryActionKind::kRetryGaveUp) continue;
+    sum += a.detection_to_recovery();
+    max = std::max(max, a.detection_to_recovery());
+    ++n;
+  }
+  ASSERT_GT(n, 0u);
+  EXPECT_DOUBLE_EQ(healing.mean_detection_to_recovery,
+                   static_cast<double>(sum) / static_cast<double>(n));
+  EXPECT_EQ(healing.max_detection_to_recovery, max);
+}
+
+TEST(Recovery, RunSelfHealingValidatesInputs) {
+  const core::GraphModel model = lenient_model();
+  const FailoverTable table = compute_failover_table(model, {sched_a_first()});
+  EXPECT_THROW(run_self_healing(model, FailoverTable{}, arrivals_for(10), 10),
+               std::invalid_argument);
+  EXPECT_THROW(run_self_healing(model, table, arrivals_for(10), -1),
+               std::invalid_argument);
+  SelfHealingConfig bad_initial;
+  bad_initial.initial = 5;
+  EXPECT_THROW(run_self_healing(model, table, arrivals_for(10), 10, bad_initial),
+               std::invalid_argument);
+  SelfHealingConfig bad_plan;
+  bad_plan.faults.faults.push_back(core::FaultSpec{core::FaultKind::kDrop, 0, 10, 2.0, 0});
+  EXPECT_THROW(run_self_healing(model, table, arrivals_for(10), 10, bad_plan),
+               std::invalid_argument);
+  EXPECT_THROW(run_self_healing(model, table, core::ConstraintArrivals{}, 10),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rtg::rt

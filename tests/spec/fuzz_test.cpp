@@ -77,6 +77,61 @@ TEST_P(FuzzSweep, ScheduleParserNeverCrashes) {
   }
 }
 
+TEST_P(FuzzSweep, RawBinaryGarbageGetsGracefulDiagnostics) {
+  // Full byte range, NUL and high-bit bytes included: the lexer must
+  // produce positioned diagnostics, never crash or loop.
+  sim::Rng rng(GetParam() * 48611 + 29);
+  std::string input;
+  const int len = static_cast<int>(rng.uniform(0, 600));
+  for (int i = 0; i < len; ++i) {
+    input.push_back(static_cast<char>(rng.uniform(0, 255)));
+  }
+  const CompileResult r = compile_text(input);
+  if (!r.ok()) {
+    EXPECT_FALSE(r.errors.empty());
+    for (const CompileError& e : r.errors) EXPECT_FALSE(e.message.empty());
+  }
+}
+
+TEST_P(FuzzSweep, MutatedValidSpecsParseOrDiagnose) {
+  // Start from a well-formed spec and corrupt it with seeded edits
+  // (byte flips, deletions, duplications). Every mutant must either
+  // compile to a structurally valid model or report diagnostics.
+  static const std::string kSeedSpec =
+      "element a weight 1\n"
+      "element b weight 2\n"
+      "channel a -> b\n"
+      "constraint X periodic period 8 deadline 8 { a -> b }\n"
+      "constraint Z sporadic separation 6 deadline 6 { a }\n";
+  sim::Rng rng(GetParam() * 7919 + 101);
+  std::string input = kSeedSpec;
+  const int edits = static_cast<int>(rng.uniform(1, 12));
+  for (int i = 0; i < edits && !input.empty(); ++i) {
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(input.size()) - 1));
+    switch (rng.uniform(0, 2)) {
+      case 0:  // flip a byte
+        input[pos] = static_cast<char>(rng.uniform(1, 255));
+        break;
+      case 1:  // delete a byte
+        input.erase(pos, 1);
+        break;
+      default:  // duplicate a span
+        input.insert(pos, input.substr(pos, static_cast<std::size_t>(rng.uniform(1, 8))));
+        break;
+    }
+  }
+  const CompileResult r = compile_text(input);
+  if (r.ok()) {
+    for (std::size_t i = 0; i < r.model->constraint_count(); ++i) {
+      EXPECT_TRUE(r.model->constraint(i).task_graph.validate(r.model->comm()).empty());
+    }
+  } else {
+    EXPECT_FALSE(r.errors.empty());
+    for (const CompileError& e : r.errors) EXPECT_FALSE(e.message.empty());
+  }
+}
+
 TEST(FuzzEdges, DeeplyNestedAndDegenerateInputs) {
   // Long chains, pathological whitespace, huge idle counts.
   std::string long_chain = "element a\nelement b\nchannel a -> b\n"
