@@ -1,0 +1,164 @@
+// E20 — verification service under offered load (overload tolerance).
+//
+// Submits bursts of mixed verify/synthesize jobs (three tenants) to an
+// in-process VerifyService at increasing offered load and reports, per
+// load point: goodput (completed jobs/s), p50/p99 service latency of
+// completed jobs, and the shed rate (explicit kRejected responses /
+// offered). A robust server shows a goodput plateau with a rising shed
+// rate — never a latency collapse or a silent drop.
+//
+// Every job's spec carries a unique comment line, so the result cache
+// cannot short-circuit the work being measured.
+//
+// Emits BENCH_service.json in the working directory.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace rtg;
+
+const char* kSpecBase =
+    "element fx\n"
+    "element fy\n"
+    "element fz\n"
+    "element fs weight 2\n"
+    "element fk\n"
+    "channel fx -> fs -> fk\n"
+    "channel fy -> fs\n"
+    "channel fz -> fs\n"
+    "channel fk -> fs\n"
+    "constraint X periodic period 20 deadline 20 { fx -> fs -> fk }\n"
+    "constraint Y periodic period 40 deadline 40 { fy -> fs -> fk }\n"
+    "constraint Z sporadic separation 50 deadline 25 { fz -> fs }\n";
+
+struct Row {
+  std::size_t offered = 0;
+  std::size_t completed = 0;
+  std::size_t rejected = 0;
+  std::size_t other = 0;  // expired/invalid/failed (should stay 0)
+  double wall_s = 0;
+  double goodput_jobs_s = 0;
+  double shed_rate = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+double percentile(std::vector<double>& xs, double p) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const auto idx = static_cast<std::size_t>(p * static_cast<double>(xs.size() - 1));
+  return xs[idx];
+}
+
+Row run_load_point(std::size_t offered) {
+  svc::ServiceOptions options;
+  options.workers = 2;
+  options.admission.max_pending = 64;
+  options.admission.policy = core::AdmissionPolicy::kReject;
+  options.admission.tenant_rate = 100.0;
+  options.admission.tenant_burst = 16.0;
+
+  svc::VerifyService service(options);
+  std::vector<std::future<svc::JobResponse>> futures;
+  futures.reserve(offered);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < offered; ++i) {
+    svc::JobRequest req;
+    req.id = i + 1;
+    req.tenant = "tenant-" + std::to_string(i % 3);
+    req.kind = svc::JobKind::kSynthesize;
+    // Unique comment defeats the cache; the work itself is identical.
+    req.spec = std::string("# job ") + std::to_string(i) + "\n" + kSpecBase;
+    futures.push_back(service.submit(std::move(req)));
+  }
+
+  Row row;
+  row.offered = offered;
+  std::vector<double> latencies_ms;
+  for (auto& f : futures) {
+    const svc::JobResponse rsp = f.get();
+    switch (rsp.status) {
+      case svc::JobStatus::kOk:
+        ++row.completed;
+        latencies_ms.push_back(static_cast<double>(rsp.queue_ms + rsp.run_ms));
+        break;
+      case svc::JobStatus::kRejected:
+        ++row.rejected;
+        break;
+      default:
+        ++row.other;
+        break;
+    }
+  }
+  row.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  service.shutdown();
+
+  row.goodput_jobs_s =
+      row.wall_s > 0 ? static_cast<double>(row.completed) / row.wall_s : 0;
+  row.shed_rate = static_cast<double>(row.rejected) / static_cast<double>(offered);
+  row.p50_ms = percentile(latencies_ms, 0.50);
+  row.p99_ms = percentile(latencies_ms, 0.99);
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kLoads[] = {8, 32, 128, 256, 512};
+
+  std::printf("# E20: service under offered load (hardware_concurrency = %zu)\n",
+              util::resolve_threads(0));
+  std::printf("%8s %10s %9s %7s %12s %10s %9s %9s\n", "offered", "completed",
+              "rejected", "other", "goodput/s", "shed", "p50[ms]", "p99[ms]");
+
+  std::vector<Row> rows;
+  for (const std::size_t offered : kLoads) {
+    const Row row = run_load_point(offered);
+    std::printf("%8zu %10zu %9zu %7zu %12.1f %9.1f%% %9.1f %9.1f\n", row.offered,
+                row.completed, row.rejected, row.other, row.goodput_jobs_s,
+                100.0 * row.shed_rate, row.p50_ms, row.p99_ms);
+    if (row.other != 0) {
+      std::fprintf(stderr, "unexpected non-ok non-rejected responses!\n");
+      return 1;
+    }
+    if (row.completed + row.rejected != row.offered) {
+      std::fprintf(stderr, "lost responses!\n");
+      return 1;
+    }
+    rows.push_back(row);
+  }
+
+  std::FILE* out = std::fopen("BENCH_service.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"E20_service_overload\",\n");
+  std::fprintf(out, "  \"hardware_concurrency\": %zu,\n", util::resolve_threads(0));
+  std::fprintf(out, "  \"workers\": 2,\n  \"max_pending\": 64,\n");
+  std::fprintf(out, "  \"tenant_rate\": 100.0,\n  \"tenant_burst\": 16.0,\n");
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "    {\"offered\": %zu, \"completed\": %zu, \"rejected\": %zu, "
+                 "\"goodput_jobs_s\": %.1f, \"shed_rate\": %.4f, "
+                 "\"p50_ms\": %.1f, \"p99_ms\": %.1f}%s\n",
+                 r.offered, r.completed, r.rejected, r.goodput_jobs_s, r.shed_rate,
+                 r.p50_ms, r.p99_ms, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("# wrote BENCH_service.json\n");
+  return 0;
+}

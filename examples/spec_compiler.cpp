@@ -8,10 +8,13 @@
 //                     [--emit-trace <trace.rtt>] [--monitor]
 //   $ echo "element a" | ./spec_compiler -
 //
-// Exit status: 0 on success, 1 on spec errors, 2 on synthesis failure.
+// Exit status: 0 on success, 1 on spec or usage errors, 2 on synthesis
+// failure, 3 on an internal error (reported as one line, never an
+// unhandled exception).
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -85,6 +88,13 @@ core::FaultPlan remap_plan(const core::FaultPlan& plan, const core::CommGraph& f
   return out;
 }
 
+// One-line diagnostic + non-zero exit for a bad invocation; the full
+// usage text is reserved for bare `spec_compiler`.
+int flag_error(const std::string& message) {
+  std::fprintf(stderr, "spec_compiler: error: %s\n", message.c_str());
+  return 1;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: spec_compiler <file.rts | -> [--dot] [--schedule] "
@@ -108,7 +118,24 @@ int usage() {
 
 }  // namespace
 
+namespace {
+int run(int argc, char** argv);
+}  // namespace
+
 int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    // Synthesis and analysis can throw (lcm overflow, absurd weights,
+    // I/O failures); a tool must turn that into a diagnostic, not a
+    // terminate() after partial output.
+    std::fprintf(stderr, "spec_compiler: error: %s\n", e.what());
+    return 3;
+  }
+}
+
+namespace {
+int run(int argc, char** argv) {
   if (argc < 2) return usage();
   bool want_dot = false, want_schedule = false, want_processes = false;
   bool want_emit = false, want_exact = false, want_analyze = false;
@@ -121,6 +148,16 @@ int main(int argc, char** argv) {
   const char* inject_path = nullptr;
   bool want_monitor = false;
   bool want_recovery = false;
+  // Value-taking flags must fail loudly when the value is missing; the
+  // old `&& i + 1 < argc` guards silently demoted e.g. a bare `--save`
+  // into the input path.
+  const auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "spec_compiler: error: %s requires a value\n", argv[i]);
+      std::exit(1);
+    }
+    return argv[++i];
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--dot") == 0) {
       want_dot = true;
@@ -134,32 +171,40 @@ int main(int argc, char** argv) {
       want_emit = true;
     } else if (std::strcmp(argv[i], "--exact") == 0) {
       want_exact = true;
-    } else if (std::strcmp(argv[i], "--save") == 0 && i + 1 < argc) {
-      save_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--verify") == 0 && i + 1 < argc) {
-      verify_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--emit-trace") == 0 && i + 1 < argc) {
-      emit_trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--save") == 0) {
+      save_path = need_value(i);
+    } else if (std::strcmp(argv[i], "--verify") == 0) {
+      verify_path = need_value(i);
+    } else if (std::strcmp(argv[i], "--emit-trace") == 0) {
+      emit_trace_path = need_value(i);
     } else if (std::strcmp(argv[i], "--monitor") == 0) {
       want_monitor = true;
-    } else if (std::strcmp(argv[i], "--inject") == 0 && i + 1 < argc) {
-      inject_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--inject") == 0) {
+      inject_path = need_value(i);
     } else if (std::strcmp(argv[i], "--recovery") == 0) {
       want_recovery = true;
-    } else if (std::strcmp(argv[i], "--multiproc") == 0 && i + 1 < argc) {
-      multiproc = static_cast<std::size_t>(std::atoi(argv[++i]));
-      if (multiproc == 0) return usage();
-    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
-      const int n = std::atoi(argv[++i]);
-      if (n < 0) return usage();
+    } else if (std::strcmp(argv[i], "--multiproc") == 0) {
+      multiproc = static_cast<std::size_t>(std::atoi(need_value(i)));
+      if (multiproc == 0) {
+        return flag_error("--multiproc requires a positive processor count");
+      }
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      const int n = std::atoi(need_value(i));
+      if (n < 0) return flag_error("--threads requires a non-negative count");
       n_threads = static_cast<std::size_t>(n);
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      return flag_error(std::string("unknown flag '") + argv[i] + "'");
     } else if (path == nullptr) {
       path = argv[i];
     } else {
-      return usage();
+      return flag_error(std::string("unexpected extra argument '") + argv[i] +
+                        "' (input path already given)");
     }
   }
-  if (path == nullptr) return usage();
+  if (path == nullptr) return flag_error("no input file (use '-' for stdin)");
+  if (want_monitor && emit_trace_path == nullptr) {
+    return flag_error("--monitor requires --emit-trace (the monitor replays the captured trace)");
+  }
   if (save_path != nullptr || emit_trace_path != nullptr || want_monitor ||
       inject_path != nullptr || want_recovery) {
     want_schedule = true;
@@ -507,3 +552,4 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+}  // namespace

@@ -1,0 +1,42 @@
+# End-to-end smoke test for the verification service CLI pair.
+#
+# 1. spec_compiler synthesizes a schedule for the control-system spec.
+# 2. verify_client composes a three-job batch: verify that schedule,
+#    synthesize a fresh one, and monitor the captured .rtt trace.
+# 3. verify_server processes the batch file -> response file.
+# 4. verify_client --summarize must accept every response (exit 0).
+#
+# Invoked via `cmake -P` with CLIENT/SERVER/COMPILER/SPEC/TRACE/WORKDIR.
+
+function(run)
+  execute_process(COMMAND ${ARGV} RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "command failed (${rc}): ${ARGV}")
+  endif()
+endfunction()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(sched "${WORKDIR}/sched.txt")
+set(requests "${WORKDIR}/requests.txt")
+set(responses "${WORKDIR}/responses.txt")
+
+run("${COMPILER}" "${SPEC}" --save "${sched}")
+
+run("${CLIENT}" --spec "${SPEC}" --verify "${sched}" --id 1 --tenant acme
+    --out "${requests}")
+run("${CLIENT}" --spec "${SPEC}" --synth --id 2 --tenant acme
+    --out "${requests}")
+run("${CLIENT}" --spec "${SPEC}" --monitor "${TRACE}" --id 3 --tenant acme
+    --out "${requests}")
+
+run("${SERVER}" --in "${requests}" --out "${responses}" --workers 2 --health)
+
+run("${CLIENT}" --summarize "${responses}")
+
+# The batch must produce exactly one response per request.
+file(STRINGS "${responses}" rsp_lines REGEX "^RSP ")
+list(LENGTH rsp_lines n)
+if(NOT n EQUAL 3)
+  message(FATAL_ERROR "expected 3 responses, got ${n}")
+endif()

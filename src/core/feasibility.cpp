@@ -298,7 +298,15 @@ ExactResult exact_serial(const GraphModel& model, const ExactOptions& options) {
     return sched;
   };
 
+  std::size_t cancel_tick = 0;
   while (!path.empty()) {
+    if (options.cancel != nullptr && (++cancel_tick & 63) == 0 &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      if (best_cycle) return finish_feasible();
+      result.status = FeasibilityStatus::kUnknown;
+      result.cancelled = true;
+      return result;
+    }
     Frame& frame = path.back();
     if (frame.next_choice > n_elements) {
       // Exhausted: blacken and backtrack.
@@ -434,6 +442,20 @@ struct ParallelShared {
   std::atomic<std::size_t> states{0};
   std::atomic<bool> stop{false};
   std::atomic<bool> budget_hit{false};
+  std::atomic<bool> cancelled{false};
+
+  // Folds the caller's cancel flag into the shared stop flag so every
+  // loop that already polls `stop` observes cancellation too.
+  bool should_stop() {
+    if (stop.load(std::memory_order_relaxed)) return true;
+    if (options.cancel != nullptr &&
+        options.cancel->load(std::memory_order_relaxed)) {
+      cancelled.store(true, std::memory_order_relaxed);
+      stop.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
 
   std::mutex cycle_mutex;
   std::optional<StaticSchedule> best_cycle;
@@ -496,7 +518,7 @@ struct FrontierGen {
   void rec() {
     const auto order = choice_order(ctx, sh.n_elements, sh.options.order);
     for (std::size_t choice = 0; choice <= sh.n_elements; ++choice) {
-      if (sh.stop.load(std::memory_order_relaxed)) return;
+      if (sh.should_stop()) return;
       const bool is_idle = choice == sh.n_elements;
       const ElementId elem = is_idle ? kIdleEntry : order[choice];
       const Time dur = is_idle ? 1 : sh.model.comm().weight(elem);
@@ -611,7 +633,7 @@ void search_subtree(ParallelShared& sh, const FrontierEntry& entry) {
   };
 
   while (!path.empty()) {
-    if (sh.stop.load(std::memory_order_relaxed)) return;
+    if (sh.should_stop()) return;
     Frame& frame = path.back();
     if (frame.next_choice > sh.n_elements) {
       // Exhausted: conclusively no acceptable cycle below this state.
@@ -718,6 +740,9 @@ ExactResult exact_parallel(const GraphModel& model, const ExactOptions& options,
   if (sh.best_cycle) {
     result.status = FeasibilityStatus::kFeasible;
     result.schedule = std::move(sh.best_cycle);
+  } else if (sh.cancelled.load()) {
+    result.status = FeasibilityStatus::kUnknown;
+    result.cancelled = true;
   } else if (sh.budget_hit.load()) {
     result.status = FeasibilityStatus::kUnknown;
   } else {

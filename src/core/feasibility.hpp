@@ -21,6 +21,7 @@
 // an explicit kUnknown instead of an endless run.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -42,6 +43,11 @@ struct ExactResult {
   std::optional<StaticSchedule> schedule;
   /// Number of distinct states expanded.
   std::size_t states_explored = 0;
+  /// True when the search was abandoned through ExactOptions::cancel
+  /// before reaching an answer. Status is kUnknown in that case unless
+  /// a feasible cycle had already been collected (then kFeasible with
+  /// the best cycle seen so far).
+  bool cancelled = false;
 };
 
 /// DFS branching order. Least-recently-executed-first biases the search
@@ -73,6 +79,11 @@ struct ExactOptions {
   /// schedule may be a different feasible cycle, and states_explored
   /// counts unique expansions across all workers.
   std::size_t n_threads = 0;
+  /// Cooperative cancellation: when non-null and set, the search stops
+  /// at the next expansion boundary (serial and parallel alike) and
+  /// returns with cancelled = true. The service layer points this at a
+  /// per-job flag to enforce deadlines on the NP-hard search.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Decides whether a feasible static schedule exists for the model

@@ -64,12 +64,19 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
   }
   result.scheduled_model = working;
 
+  const auto cancelled = [&options] {
+    return options.cancel != nullptr &&
+           options.cancel->load(std::memory_order_relaxed);
+  };
+
   if (working.constraint_count() == 0) {
     result.success = true;
     result.schedule = StaticSchedule{};
     result.schedule->push_idle(1);
-    result.report = verify_schedule(*result.schedule, working,
-                                    VerifyOptions{.n_threads = options.n_threads});
+    result.report =
+        verify_schedule(*result.schedule, working,
+                        VerifyOptions{.n_threads = options.n_threads,
+                                      .cancel = options.cancel});
     return result;
   }
 
@@ -138,7 +145,12 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
     return true;
   };
 
+  std::size_t cancel_tick = 0;
   while (t < hyper) {
+    if ((++cancel_tick & 1023) == 0 && cancelled()) {
+      result.failure_reason = "cancelled";
+      return result;
+    }
     if (!process_releases(t)) {
       result.failure_reason = "EDF simulation: instance overrun at re-release";
       return result;
@@ -190,18 +202,28 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
   }
 
   result.report = verify_schedule(sched, working,
-                                  VerifyOptions{.n_threads = options.n_threads});
+                                  VerifyOptions{.n_threads = options.n_threads,
+                                                .cancel = options.cancel});
+  if (result.report.cancelled) {
+    result.failure_reason = "cancelled";
+    return result;
+  }
   if (!result.report.feasible) {
     result.failure_reason = "constructed schedule failed verification";
     return result;
   }
-  if (options.refine) {
+  if (options.refine && !cancelled()) {
     // The constructive schedule over-provisions (polling servers run
     // their whole task graph every instance); drop redundant executions
     // while the incremental verifier keeps feasibility exact.
     sched = compact_schedule(sched, working, &result.refine_stats);
     result.report = verify_schedule(sched, working,
-                                    VerifyOptions{.n_threads = options.n_threads});
+                                    VerifyOptions{.n_threads = options.n_threads,
+                                                  .cancel = options.cancel});
+    if (result.report.cancelled) {
+      result.failure_reason = "cancelled";
+      return result;
+    }
   }
   result.success = true;
   result.schedule = std::move(sched);

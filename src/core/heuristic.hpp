@@ -27,6 +27,7 @@
 // and the result verified; failure is reported with a reason.
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 
@@ -62,6 +63,12 @@ struct HeuristicOptions {
   /// embedding witness touched the dropped execution; counters land in
   /// HeuristicResult::refine_stats.
   bool refine = false;
+  /// Cooperative cancellation: when non-null and set, construction
+  /// stops at the next EDF step or verification boundary and returns
+  /// with success = false and failure_reason = "cancelled" (the
+  /// embedded report carries cancelled = true when verification was the
+  /// phase interrupted). Used by the service layer for job deadlines.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct HeuristicResult {

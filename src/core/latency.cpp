@@ -892,11 +892,25 @@ void fill_stats(VerifyStats* stats, const VerifyPlan& plan, const QueryTable& ta
   stats->threads_used = threads_used;
 }
 
+// A report signalling cooperative cancellation: no verdicts, not
+// feasible, and never confusable with a real INFEASIBLE answer.
+FeasibilityReport cancelled_report() {
+  FeasibilityReport report;
+  report.feasible = false;
+  report.cancelled = true;
+  return report;
+}
+
+bool cancel_requested(const std::atomic<bool>* cancel) {
+  return cancel != nullptr && cancel->load(std::memory_order_relaxed);
+}
+
 // Serial indexed path: one shared UnrollIndex, one kernel per
 // contiguous (tg_id, periods) query group, memoized like the parallel
 // path (identical pure queries are answered once).
 FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& model,
-                                const VerifyPlan& plan, VerifyStats* stats) {
+                                const VerifyPlan& plan, VerifyStats* stats,
+                                const std::atomic<bool>* cancel = nullptr) {
   const QueryTable table = build_query_table(plan);
   std::vector<Time> memo(table.queries.size(), kInf);
   KernelCounters counters;
@@ -906,6 +920,7 @@ FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& m
     std::size_t cur_tg = UnrollIndex::npos;
     std::size_t cur_periods = 0;
     for (std::size_t q = 0; q < table.queries.size(); ++q) {
+      if ((q & 63) == 0 && cancel_requested(cancel)) return cancelled_report();
       const Query& query = table.queries[q];
       if (!kernel || query.tg_id != cur_tg || query.periods != cur_periods) {
         if (kernel) counters += kernel->counters();
@@ -924,7 +939,8 @@ FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& m
 
 FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel& model,
                                   const VerifyPlan& plan, std::size_t n_threads,
-                                  VerifyStats* stats) {
+                                  VerifyStats* stats,
+                                  const std::atomic<bool>* cancel = nullptr) {
   const QueryTable table = build_query_table(plan);
   std::vector<Time> memo(table.queries.size(), kInf);
   KernelCounters counters;
@@ -942,6 +958,7 @@ FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel&
         pool.submit([&, pi] {
           std::map<std::pair<std::size_t, std::size_t>, EmbeddingKernel> kernels;
           for (std::size_t q : parts[pi]) {
+            if (cancel_requested(cancel)) break;  // abandon remaining queries
             const Query& query = table.queries[q];
             const auto key = std::make_pair(query.tg_id, query.periods);
             auto it = kernels.find(key);
@@ -964,6 +981,9 @@ FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel&
     }
     for (const KernelCounters& c : part_counters) counters += c;
   }
+  // Workers that saw the cancel flag left their memo slots unanswered,
+  // so the table cannot be reduced to a trustworthy verdict.
+  if (cancel_requested(cancel)) return cancelled_report();
   fill_stats(stats, plan, table, counters, n_threads);
   return reduce_full(plan, table, memo, model);
 }
@@ -991,8 +1011,8 @@ FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel&
     const std::size_t hw = util::resolve_threads(0);
     n_threads = (hw <= 1 || plan.work_units < kAutoParallelCutoff) ? 1 : hw;
   }
-  if (n_threads <= 1) return verify_serial(sched, model, plan, options.stats);
-  return verify_parallel(sched, model, plan, n_threads, options.stats);
+  if (n_threads <= 1) return verify_serial(sched, model, plan, options.stats, options.cancel);
+  return verify_parallel(sched, model, plan, n_threads, options.stats, options.cancel);
 }
 
 // ---------------------------------------------------------------------------

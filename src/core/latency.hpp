@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
@@ -263,6 +264,10 @@ struct ConstraintVerdict {
 struct FeasibilityReport {
   std::vector<ConstraintVerdict> verdicts;
   bool feasible = false;
+  /// True when verification was abandoned early through
+  /// VerifyOptions::cancel. A cancelled report carries no verdicts and
+  /// must never be treated as an INFEASIBLE answer.
+  bool cancelled = false;
 
   friend bool operator==(const FeasibilityReport&, const FeasibilityReport&) = default;
 };
@@ -313,6 +318,11 @@ struct VerifyOptions {
   /// scans over materialized unroll_ops). Pins the legacy behavior for
   /// the differential suite; n_threads is ignored.
   bool flat_reference = false;
+  /// Cooperative cancellation: when non-null and set, the engine stops
+  /// at the next query boundary and returns a report with
+  /// cancelled = true (and no verdicts). The service layer points this
+  /// at a per-job flag to enforce deadlines on long verifications.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Verifies with the default options (auto thread count). The result is

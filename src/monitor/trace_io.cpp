@@ -3,6 +3,7 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace rtg::monitor {
@@ -256,6 +257,11 @@ void write_trace_file(const std::string& path, const sim::ExecutionTrace& trace,
 RttFile read_trace_file(const std::string& path, const RttReadLimits& limits) {
   std::ifstream in(path, std::ios::binary);
   if (!in) fail(RttErrorKind::kIo, "cannot open '" + path + "'");
+  return read_trace(in, limits);
+}
+
+RttFile read_trace_buffer(std::string_view bytes, const RttReadLimits& limits) {
+  std::istringstream in(std::string(bytes), std::ios::binary);
   return read_trace(in, limits);
 }
 

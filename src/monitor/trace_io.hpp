@@ -115,4 +115,10 @@ void write_trace_file(const std::string& path, const sim::ExecutionTrace& trace,
 [[nodiscard]] RttFile read_trace_file(const std::string& path,
                                       const RttReadLimits& limits = {});
 
+/// In-memory convenience wrapper: parses an .rtt image already held in
+/// a buffer (the service protocol ships traces inline in requests).
+/// Same strict reader, same RttError taxonomy.
+[[nodiscard]] RttFile read_trace_buffer(std::string_view bytes,
+                                        const RttReadLimits& limits = {});
+
 }  // namespace rtg::monitor

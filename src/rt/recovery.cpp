@@ -386,11 +386,7 @@ SelfHealingResult run_self_healing(const core::GraphModel& model,
   std::deque<Retry> queue;
   std::vector<bool> retry_pending(model.constraint_count(), false);
 
-  const auto backoff_after = [&](std::size_t attempts) {
-    double b = static_cast<double>(opts.retry_backoff);
-    for (std::size_t k = 0; k < attempts; ++k) b *= opts.backoff_factor;
-    return static_cast<Time>(std::min(b, 1.0e15));
-  };
+  const BackoffPolicy backoff = opts.backoff();
 
   const auto enqueue_retries = [&](const core::FaultEvent& ev) {
     if (!opts.retry) return;
@@ -409,7 +405,7 @@ SelfHealingResult run_self_healing(const core::GraphModel& model,
       r.constraint = i;
       r.onset = ev.at;
       r.detected = ev.detect_time();
-      r.eligible = ev.detect_time() + opts.retry_backoff;
+      r.eligible = ev.detect_time() + backoff.delay_after(0);
       r.faulted_elem = ev.elem;
       r.order = tg.topological_ops();
       retry_pending[i] = true;
@@ -658,7 +654,7 @@ SelfHealingResult run_self_healing(const core::GraphModel& model,
                   retry_pending[r.constraint] = false;
                   queue.pop_front();
                 } else {
-                  r.eligible = ev.detect_time() + backoff_after(r.attempts);
+                  r.eligible = ev.detect_time() + backoff.delay_after(r.attempts);
                 }
               }
               dispatched = true;

@@ -55,6 +55,7 @@
 // the determinism pin test relies on.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -71,6 +72,30 @@ namespace rtg::rt {
 
 using core::Time;
 
+/// Exponential-backoff schedule shared by the recovery executive's
+/// retry policy and the service layer's job retries: attempt k (0-based
+/// count of failures so far) becomes eligible `delay_after(k)` slots
+/// after its failure was detected.
+struct BackoffPolicy {
+  /// Delay before the first re-dispatch (attempts == 0).
+  Time initial = 1;
+  /// Multiplier per failed attempt (exponential).
+  double factor = 2.0;
+  /// Attempts before a retry is abandoned.
+  std::size_t max_retries = 3;
+
+  [[nodiscard]] Time delay_after(std::size_t attempts) const {
+    double b = static_cast<double>(initial);
+    for (std::size_t k = 0; k < attempts; ++k) b *= factor;
+    // Saturate instead of overflowing Time on absurd attempt counts.
+    return static_cast<Time>(std::min(b, 1.0e15));
+  }
+
+  [[nodiscard]] bool exhausted(std::size_t attempts) const {
+    return attempts >= max_retries;
+  }
+};
+
 /// Knobs of the online recovery policies.
 struct RecoveryOptions {
   // Retry (lost / corrupted / dropped service).
@@ -81,6 +106,11 @@ struct RecoveryOptions {
   double backoff_factor = 2.0;
   /// Attempts before a retry is abandoned (kRetryGaveUp).
   std::size_t max_retries = 3;
+
+  /// The three retry knobs above, as a BackoffPolicy.
+  [[nodiscard]] BackoffPolicy backoff() const {
+    return BackoffPolicy{retry_backoff, backoff_factor, max_retries};
+  }
   // Resync (clock drift).
   bool resync = true;
   // Failover.

@@ -1,0 +1,64 @@
+#include "svc/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rtg::svc {
+
+void TokenBucket::refill(std::uint64_t now_ms) {
+  if (now_ms <= last_ms_) return;
+  const double dt = static_cast<double>(now_ms - last_ms_) / 1000.0;
+  tokens_ = std::min(burst_, tokens_ + dt * rate_);
+  last_ms_ = now_ms;
+}
+
+std::uint64_t TokenBucket::take(std::uint64_t now_ms) {
+  refill(now_ms);
+  tokens_ -= 1.0;
+  if (tokens_ >= 0.0) return 0;
+  if (rate_ <= 0.0) return 1000;  // no refill ever: flat hint
+  const double wait_ms = std::ceil(-tokens_ / rate_ * 1000.0);
+  return static_cast<std::uint64_t>(std::max(1.0, wait_ms));
+}
+
+void TokenBucket::refund() { tokens_ = std::min(burst_, tokens_ + 1.0); }
+
+AdmissionVerdict AdmissionController::decide(const std::string& tenant,
+                                             std::uint64_t now_ms,
+                                             std::size_t pending) {
+  AdmissionVerdict verdict;
+
+  // Global backpressure first: quota tokens must not be burned on jobs
+  // the queue cannot hold anyway.
+  if (pending >= options_.max_pending) {
+    verdict.decision = core::AdmissionDecision::kRejected;
+    // Hint scales with how deep the queue is; a drained queue clears in
+    // roughly one supervisor period.
+    verdict.retry_after_ms = 50;
+    return verdict;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(tenant,
+                      TokenBucket(options_.tenant_rate, options_.tenant_burst))
+             .first;
+  }
+  const std::uint64_t wait_ms = it->second.take(now_ms);
+  if (wait_ms == 0) return verdict;  // admitted
+
+  if (options_.policy == core::AdmissionPolicy::kDefer &&
+      wait_ms <= options_.max_defer_ms) {
+    verdict.decision = core::AdmissionDecision::kDeferred;
+    verdict.eligible_ms = now_ms + wait_ms;
+    return verdict;
+  }
+  it->second.refund();
+  verdict.decision = core::AdmissionDecision::kRejected;
+  verdict.retry_after_ms = wait_ms;
+  return verdict;
+}
+
+}  // namespace rtg::svc

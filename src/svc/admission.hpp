@@ -1,0 +1,85 @@
+// admission.hpp — per-tenant quotas and global backpressure.
+//
+// The service front door reuses the adaptive executive's admission
+// vocabulary (core/degradation's AdmissionPolicy / AdmissionDecision):
+// a submission that exceeds its tenant's token-bucket rate is either
+// *deferred* — accepted, but only eligible to run once the bucket
+// refills, bounded by max_defer_ms — or *rejected* with an explicit
+// retry_after hint, per policy. A full global queue always rejects:
+// backpressure is pushed to the client as data, never as blocking, and
+// never as a silent drop.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/degradation.hpp"
+
+namespace rtg::svc {
+
+/// Classic token bucket over a millisecond clock supplied by the
+/// caller (the service passes steady-clock time; tests pass virtual
+/// time for determinism).
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Takes one token unconditionally — the balance may go negative —
+  /// and returns the milliseconds until the balance is non-negative
+  /// again (0 = admitted now). Borrowing is what paces a burst of
+  /// deferred jobs out at the refill rate instead of releasing them
+  /// all at one instant. Not thread-safe; the controller serializes.
+  std::uint64_t take(std::uint64_t now_ms);
+
+  /// Returns a token taken by `take` when the controller decides to
+  /// reject instead of defer (a shed job must not consume quota).
+  void refund();
+
+ private:
+  void refill(std::uint64_t now_ms);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  std::uint64_t last_ms_ = 0;
+};
+
+struct AdmissionVerdict {
+  core::AdmissionDecision decision = core::AdmissionDecision::kAdmitted;
+  /// kDeferred: the instant the job becomes runnable.
+  std::uint64_t eligible_ms = 0;
+  /// kRejected: suggested client backoff.
+  std::uint64_t retry_after_ms = 0;
+};
+
+struct AdmissionOptions {
+  /// Tokens added per second per tenant.
+  double tenant_rate = 200.0;
+  /// Bucket depth (burst allowance) per tenant.
+  double tenant_burst = 32.0;
+  /// Jobs in flight (queued + running) before the global queue sheds.
+  std::size_t max_pending = 256;
+  core::AdmissionPolicy policy = core::AdmissionPolicy::kDefer;
+  /// Under kDefer: a wait beyond this is rejected instead of deferred.
+  std::uint64_t max_defer_ms = 1000;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options) : options_(options) {}
+
+  /// Decides one submission. `pending` is the current global in-flight
+  /// count (the caller's load gauge).
+  AdmissionVerdict decide(const std::string& tenant, std::uint64_t now_ms,
+                          std::size_t pending);
+
+ private:
+  AdmissionOptions options_;
+  std::mutex mutex_;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+};
+
+}  // namespace rtg::svc

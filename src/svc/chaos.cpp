@@ -1,0 +1,37 @@
+#include "svc/chaos.hpp"
+
+namespace rtg::svc {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+double chaos_unit(std::uint64_t seed, std::uint64_t job_id, std::uint64_t attempt,
+                  std::uint64_t salt) {
+  std::uint64_t h = splitmix64(seed ^ salt);
+  h = splitmix64(h ^ job_id);
+  h = splitmix64(h ^ attempt);
+  // 53 mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+bool chaos_should_stall(const ChaosPlan& plan, std::uint64_t job_id,
+                        std::uint64_t attempt) {
+  if (!plan.enabled() || plan.stall_rate <= 0.0) return false;
+  return chaos_unit(plan.seed, job_id, attempt, 0x57414c4cull) < plan.stall_rate;
+}
+
+bool chaos_should_fail(const ChaosPlan& plan, std::uint64_t job_id,
+                       std::uint64_t attempt) {
+  if (!plan.enabled() || plan.fail_rate <= 0.0) return false;
+  return chaos_unit(plan.seed, job_id, attempt, 0x4641494cull) < plan.fail_rate;
+}
+
+}  // namespace rtg::svc

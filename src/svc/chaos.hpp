@@ -1,0 +1,39 @@
+// chaos.hpp — deterministic fault injection for the service layer.
+//
+// Same discipline as core/fault_injection: every chaos decision is a
+// pure hash of (seed, job id, attempt) — no RNG state threaded through
+// the server, no ordering sensitivity. Two runs of the same job mix
+// under the same seed make identical decisions regardless of worker
+// interleaving, which is what lets the chaos suite assert exact
+// properties (exactly one response per job, no wrong verdicts) instead
+// of statistical ones.
+#pragma once
+
+#include <cstdint>
+
+namespace rtg::svc {
+
+struct ChaosPlan {
+  std::uint64_t seed = 0;  ///< 0 disables all injection
+  /// Probability a worker stalls (sleeps stall_ms) before running a
+  /// delivery — long stalls exercise the supervisor's stuck-worker
+  /// re-queue path.
+  double stall_rate = 0.0;
+  std::uint32_t stall_ms = 0;
+  /// Probability a delivery fails transiently after running (exercises
+  /// the retry/backoff path).
+  double fail_rate = 0.0;
+
+  [[nodiscard]] bool enabled() const { return seed != 0; }
+};
+
+/// splitmix64 of the decision coordinates; uniform in [0, 1).
+[[nodiscard]] double chaos_unit(std::uint64_t seed, std::uint64_t job_id,
+                                std::uint64_t attempt, std::uint64_t salt);
+
+[[nodiscard]] bool chaos_should_stall(const ChaosPlan& plan, std::uint64_t job_id,
+                                      std::uint64_t attempt);
+[[nodiscard]] bool chaos_should_fail(const ChaosPlan& plan, std::uint64_t job_id,
+                                     std::uint64_t attempt);
+
+}  // namespace rtg::svc

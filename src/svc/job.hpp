@@ -1,0 +1,75 @@
+// job.hpp — the unit of work of the verification service.
+//
+// A job carries everything a worker needs, self-contained: the spec
+// text (compiled per job), plus the kind-specific payload — a schedule
+// to verify, nothing extra for synthesis, or raw .rtt bytes to ingest
+// into the tenant's streaming monitor. Responses are explicit about
+// *why* a job did not complete: a shed job is kRejected with a
+// retry_after hint (never silently dropped), a deadline overrun is
+// kExpired, a malformed request is kInvalid, and an engine failure
+// (budget exhausted, synthesis impossible, transient fault retries
+// exhausted) is kFailed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace rtg::svc {
+
+enum class JobKind : std::uint8_t {
+  kVerify,      ///< verify_schedule(spec, schedule)
+  kSynthesize,  ///< latency_schedule / exact_feasible over the spec
+  kMonitor,     ///< ingest .rtt bytes into the tenant's StreamingMonitor
+};
+
+enum class JobStatus : std::uint8_t {
+  kOk,        ///< engine ran to completion; see verdict/body
+  kRejected,  ///< shed by admission control; retry_after_ms is the hint
+  kExpired,   ///< deadline passed before the job could finish
+  kInvalid,   ///< malformed request (bad spec, schedule, or trace)
+  kFailed,    ///< engine gave up (budget, synthesis failure, retries exhausted)
+};
+
+[[nodiscard]] std::string_view job_kind_name(JobKind kind);
+[[nodiscard]] std::string_view job_status_name(JobStatus status);
+
+struct JobRequest {
+  std::uint64_t id = 0;
+  std::string tenant = "default";
+  JobKind kind = JobKind::kVerify;
+  /// Wall-clock budget in milliseconds from submission; 0 = none.
+  std::uint64_t deadline_ms = 0;
+  /// Synthesis flavor: exact Theorem-1 game search vs. the Theorem-3
+  /// constructive heuristic. Under overload degradation the service may
+  /// serve an exact request heuristically (response carries degraded).
+  bool exact = false;
+  /// Specification text (.rts language).
+  std::string spec;
+  /// Schedule text (kVerify only).
+  std::string schedule;
+  /// Raw .rtt file bytes (kMonitor only).
+  std::string trace;
+};
+
+struct JobResponse {
+  std::uint64_t id = 0;
+  JobStatus status = JobStatus::kFailed;
+  /// kVerify: schedule feasible. kSynthesize: a schedule was produced.
+  /// kMonitor: no violations so far in the tenant's stream.
+  bool verdict = false;
+  /// Served from the result cache without running an engine.
+  bool cached = false;
+  /// An exact request served heuristically under overload.
+  bool degraded = false;
+  /// kRejected only: suggested client backoff.
+  std::uint64_t retry_after_ms = 0;
+  /// Milliseconds spent queued / running (0 for rejected jobs).
+  std::uint64_t queue_ms = 0;
+  std::uint64_t run_ms = 0;
+  /// Kind-specific body: synthesized schedule text, failure reason, or
+  /// monitor summary.
+  std::string detail;
+};
+
+}  // namespace rtg::svc

@@ -1,0 +1,276 @@
+#include "svc/protocol.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace rtg::svc {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) { throw ProtocolError(what); }
+
+std::uint64_t parse_u64(const std::string& token, const char* field) {
+  if (token.empty()) fail(std::string(field) + ": empty number");
+  std::uint64_t v = 0;
+  for (const char c : token) {
+    if (c < '0' || c > '9') {
+      fail(std::string(field) + ": bad number '" + token + "'");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (v > (UINT64_MAX - digit) / 10) {
+      fail(std::string(field) + ": number overflow '" + token + "'");
+    }
+    v = v * 10 + digit;
+  }
+  return v;
+}
+
+bool parse_bool(const std::string& token, const char* field) {
+  if (token == "0") return false;
+  if (token == "1") return true;
+  fail(std::string(field) + ": expected 0 or 1, got '" + token + "'");
+}
+
+// getline with the limits' line cap enforced.
+bool next_line(std::istream& in, std::string& line, const ProtocolLimits& limits) {
+  if (!std::getline(in, line)) return false;
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.size() > limits.max_line_bytes) {
+    fail("line exceeds " + std::to_string(limits.max_line_bytes) + " bytes");
+  }
+  return true;
+}
+
+std::string read_section(std::istream& in, std::uint64_t n_lines,
+                         const ProtocolLimits& limits, const char* what) {
+  if (n_lines > limits.max_section_lines) {
+    fail(std::string(what) + ": " + std::to_string(n_lines) +
+         " lines exceed the section limit");
+  }
+  std::string text;
+  std::string line;
+  for (std::uint64_t i = 0; i < n_lines; ++i) {
+    if (!next_line(in, line, limits)) {
+      fail(std::string(what) + ": stream ended inside the section");
+    }
+    text += line;
+    text += '\n';
+  }
+  return text;
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream ss(line);
+  std::string tok;
+  while (ss >> tok) tokens.push_back(std::move(tok));
+  return tokens;
+}
+
+std::size_t count_lines(const std::string& text) {
+  if (text.empty()) return 0;
+  std::size_t n = 0;
+  for (const char c : text) {
+    if (c == '\n') ++n;
+  }
+  if (text.back() != '\n') ++n;
+  return n;
+}
+
+void write_section(std::ostream& out, const char* keyword, const std::string& text) {
+  if (text.empty()) return;
+  out << keyword << ' ' << count_lines(text) << '\n';
+  out << text;
+  if (text.back() != '\n') out << '\n';
+}
+
+// key=value token; fails when the key does not match.
+std::uint64_t parse_kv(const std::string& token, const char* key) {
+  const std::string prefix = std::string(key) + "=";
+  if (token.compare(0, prefix.size(), prefix) != 0) {
+    fail("expected '" + prefix + "...', got '" + token + "'");
+  }
+  return parse_u64(token.substr(prefix.size()), key);
+}
+
+}  // namespace
+
+std::string_view job_kind_name(JobKind kind) {
+  switch (kind) {
+    case JobKind::kVerify: return "verify";
+    case JobKind::kSynthesize: return "synth";
+    case JobKind::kMonitor: return "monitor";
+  }
+  return "unknown";
+}
+
+std::string_view job_status_name(JobStatus status) {
+  switch (status) {
+    case JobStatus::kOk: return "ok";
+    case JobStatus::kRejected: return "rejected";
+    case JobStatus::kExpired: return "expired";
+    case JobStatus::kInvalid: return "invalid";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string hex_encode(std::string_view bytes) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+std::string hex_decode(std::string_view hex) {
+  if (hex.size() % 2 != 0) fail("odd-length hex payload");
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    fail(std::string("bad hex digit '") + c + "'");
+  };
+  std::string out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<char>((nibble(hex[i]) << 4) | nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+std::optional<JobRequest> read_request(std::istream& in,
+                                       const ProtocolLimits& limits) {
+  std::string line;
+  // Skip blank lines between frames; clean EOF here means "no more".
+  do {
+    if (!next_line(in, line, limits)) return std::nullopt;
+  } while (line.empty());
+
+  const std::vector<std::string> head = split_ws(line);
+  if (head.empty() || head[0] != "REQ") {
+    fail("expected REQ, got '" + line + "'");
+  }
+  if (head.size() != 6) {
+    fail("REQ needs 5 fields (id tenant kind deadline_ms exact), got " +
+         std::to_string(head.size() - 1));
+  }
+  JobRequest req;
+  req.id = parse_u64(head[1], "id");
+  req.tenant = head[2];
+  if (head[3] == "verify") {
+    req.kind = JobKind::kVerify;
+  } else if (head[3] == "synth") {
+    req.kind = JobKind::kSynthesize;
+  } else if (head[3] == "monitor") {
+    req.kind = JobKind::kMonitor;
+  } else {
+    fail("unknown job kind '" + head[3] + "'");
+  }
+  req.deadline_ms = parse_u64(head[4], "deadline_ms");
+  req.exact = parse_bool(head[5], "exact");
+
+  for (;;) {
+    if (!next_line(in, line, limits)) fail("stream ended inside a REQ frame");
+    if (line == "END") break;
+    const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.size() != 2) fail("bad section header '" + line + "'");
+    const std::uint64_t n = parse_u64(tokens[1], tokens[0].c_str());
+    if (tokens[0] == "SPEC") {
+      req.spec = read_section(in, n, limits, "SPEC");
+    } else if (tokens[0] == "SCHED") {
+      req.schedule = read_section(in, n, limits, "SCHED");
+    } else if (tokens[0] == "TRACE") {
+      if (n > limits.max_line_bytes) {
+        fail("TRACE: declared " + std::to_string(n) + " hex chars exceed the limit");
+      }
+      if (!next_line(in, line, limits)) fail("TRACE: stream ended before payload");
+      if (line.size() != n) {
+        fail("TRACE: declared " + std::to_string(n) + " hex chars, got " +
+             std::to_string(line.size()));
+      }
+      req.trace = hex_decode(line);
+    } else {
+      fail("unknown section '" + tokens[0] + "'");
+    }
+  }
+  return req;
+}
+
+void write_request(std::ostream& out, const JobRequest& req) {
+  out << "REQ " << req.id << ' ' << req.tenant << ' ' << job_kind_name(req.kind)
+      << ' ' << req.deadline_ms << ' ' << (req.exact ? 1 : 0) << '\n';
+  write_section(out, "SPEC", req.spec);
+  write_section(out, "SCHED", req.schedule);
+  if (!req.trace.empty()) {
+    const std::string hex = hex_encode(req.trace);
+    out << "TRACE " << hex.size() << '\n' << hex << '\n';
+  }
+  out << "END\n";
+}
+
+std::optional<JobResponse> read_response(std::istream& in,
+                                         const ProtocolLimits& limits) {
+  std::string line;
+  do {
+    if (!next_line(in, line, limits)) return std::nullopt;
+  } while (line.empty());
+
+  const std::vector<std::string> head = split_ws(line);
+  if (head.empty() || head[0] != "RSP") {
+    fail("expected RSP, got '" + line + "'");
+  }
+  if (head.size() != 9) {
+    fail("RSP needs 8 fields, got " + std::to_string(head.size() - 1));
+  }
+  JobResponse rsp;
+  rsp.id = parse_u64(head[1], "id");
+  if (head[2] == "ok") {
+    rsp.status = JobStatus::kOk;
+  } else if (head[2] == "rejected") {
+    rsp.status = JobStatus::kRejected;
+  } else if (head[2] == "expired") {
+    rsp.status = JobStatus::kExpired;
+  } else if (head[2] == "invalid") {
+    rsp.status = JobStatus::kInvalid;
+  } else if (head[2] == "failed") {
+    rsp.status = JobStatus::kFailed;
+  } else {
+    fail("unknown status '" + head[2] + "'");
+  }
+  rsp.verdict = parse_kv(head[3], "verdict") != 0;
+  rsp.cached = parse_kv(head[4], "cached") != 0;
+  rsp.degraded = parse_kv(head[5], "degraded") != 0;
+  rsp.retry_after_ms = parse_kv(head[6], "retry_after_ms");
+  rsp.queue_ms = parse_kv(head[7], "queue_ms");
+  rsp.run_ms = parse_kv(head[8], "run_ms");
+
+  for (;;) {
+    if (!next_line(in, line, limits)) fail("stream ended inside an RSP frame");
+    if (line == "END") break;
+    const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.size() != 2 || tokens[0] != "BODY") {
+      fail("bad section header '" + line + "'");
+    }
+    rsp.detail = read_section(in, parse_u64(tokens[1], "BODY"), limits, "BODY");
+  }
+  return rsp;
+}
+
+void write_response(std::ostream& out, const JobResponse& rsp) {
+  out << "RSP " << rsp.id << ' ' << job_status_name(rsp.status)
+      << " verdict=" << (rsp.verdict ? 1 : 0) << " cached=" << (rsp.cached ? 1 : 0)
+      << " degraded=" << (rsp.degraded ? 1 : 0)
+      << " retry_after_ms=" << rsp.retry_after_ms << " queue_ms=" << rsp.queue_ms
+      << " run_ms=" << rsp.run_ms << '\n';
+  write_section(out, "BODY", rsp.detail);
+  out << "END\n";
+}
+
+}  // namespace rtg::svc

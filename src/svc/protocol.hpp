@@ -1,0 +1,71 @@
+// protocol.hpp — line-delimited request/response framing.
+//
+// The server reads a stream of frames (from a pipe, a file, or a
+// socket wrapper — anything std::istream) and writes response frames.
+// Everything is text except trace payloads, which travel hex-encoded so
+// a frame never contains a raw newline:
+//
+//   REQ <id> <tenant> <verify|synth|monitor> <deadline_ms> <exact 0|1>
+//   SPEC <n>          -- optional: n verbatim spec lines follow
+//   ...
+//   SCHED <n>         -- optional: n verbatim schedule lines follow
+//   ...
+//   TRACE <hexlen>    -- optional: one line of hexlen hex characters
+//   <hex bytes>
+//   END
+//
+//   RSP <id> <ok|rejected|expired|invalid|failed> verdict=<0|1>
+//       cached=<0|1> degraded=<0|1> retry_after_ms=<n> queue_ms=<n>
+//       run_ms=<n>                         (single line)
+//   BODY <n>          -- optional: n verbatim detail lines follow
+//   ...
+//   END
+//
+// The reader is strict: an unknown keyword, a malformed count, an
+// oversized section, or EOF inside a frame is a ProtocolError naming
+// the offending line — a malformed frame can never be half-applied.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "svc/job.hpp"
+
+namespace rtg::svc {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what)
+      : std::runtime_error("protocol: " + what) {}
+};
+
+struct ProtocolLimits {
+  /// Maximum lines in a SPEC/SCHED/BODY section.
+  std::size_t max_section_lines = 10'000;
+  /// Maximum bytes in one line (section lines and the hex trace line).
+  std::size_t max_line_bytes = 1u << 20;
+};
+
+/// Reads the next request frame. Returns nullopt on clean EOF (stream
+/// exhausted before a REQ line); throws ProtocolError on a malformed
+/// frame or EOF mid-frame.
+[[nodiscard]] std::optional<JobRequest> read_request(
+    std::istream& in, const ProtocolLimits& limits = {});
+
+void write_request(std::ostream& out, const JobRequest& req);
+
+[[nodiscard]] std::optional<JobResponse> read_response(
+    std::istream& in, const ProtocolLimits& limits = {});
+
+void write_response(std::ostream& out, const JobResponse& rsp);
+
+/// Hex helpers for the trace payload (lowercase; throws ProtocolError
+/// on odd length or non-hex digits).
+[[nodiscard]] std::string hex_encode(std::string_view bytes);
+[[nodiscard]] std::string hex_decode(std::string_view hex);
+
+}  // namespace rtg::svc

@@ -1,0 +1,182 @@
+#include "svc/result_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+namespace rtg::svc {
+
+namespace {
+
+constexpr char kMagic[4] = {'R', 'T', 'V', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+[[noreturn]] void fail(CacheErrorKind kind, const std::string& what) {
+  throw CacheError(kind, what);
+}
+
+// Bounds-checked little-endian reads over the in-memory image.
+struct Reader {
+  std::string_view buf;
+  std::size_t pos = 0;
+
+  std::uint64_t read(std::size_t n) {
+    if (buf.size() - pos < n) {
+      fail(CacheErrorKind::kTruncated, "snapshot ends inside a field");
+    }
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[pos + i]))
+           << (8 * i);
+    }
+    pos += n;
+    return v;
+  }
+  std::string_view read_bytes(std::size_t n) {
+    if (buf.size() - pos < n) {
+      fail(CacheErrorKind::kTruncated, "snapshot ends inside a value");
+    }
+    std::string_view v = buf.substr(pos, n);
+    pos += n;
+    return v;
+  }
+};
+
+}  // namespace
+
+std::string_view cache_error_kind_name(CacheErrorKind kind) {
+  switch (kind) {
+    case CacheErrorKind::kIo: return "io";
+    case CacheErrorKind::kBadMagic: return "bad-magic";
+    case CacheErrorKind::kBadVersion: return "bad-version";
+    case CacheErrorKind::kTruncated: return "truncated";
+    case CacheErrorKind::kTooLarge: return "too-large";
+    case CacheErrorKind::kChecksum: return "checksum";
+    case CacheErrorKind::kTrailingBytes: return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+std::optional<std::string> ResultCache::get(std::uint64_t key) {
+  auto value = map_.get(key);
+  if (value) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return value;
+}
+
+void ResultCache::put(std::uint64_t key, std::string value) {
+  map_.put(key, std::move(value));
+}
+
+std::string ResultCache::snapshot_bytes() const {
+  // Collect and sort so the image depends only on contents, not on the
+  // shard layout or recency order.
+  std::vector<std::pair<std::uint64_t, std::string>> entries;
+  map_.for_each([&entries](const std::uint64_t& key, const std::string& value) {
+    entries.emplace_back(key, value);
+  });
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  std::string out(kMagic, sizeof kMagic);
+  append_u32(out, kVersion);
+  append_u64(out, entries.size());
+  for (const auto& [key, value] : entries) {
+    append_u64(out, key);
+    append_u32(out, static_cast<std::uint32_t>(value.size()));
+    out += value;
+  }
+  Fnv1a sum;
+  sum.bytes(out);
+  append_u64(out, sum.state);
+  return out;
+}
+
+void ResultCache::save_snapshot(const std::string& path) const {
+  const std::string image = snapshot_bytes();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail(CacheErrorKind::kIo, "cannot open '" + tmp + "' for writing");
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) fail(CacheErrorKind::kIo, "short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    fail(CacheErrorKind::kIo, "cannot rename '" + tmp + "' to '" + path + "'");
+  }
+}
+
+void ResultCache::load_snapshot(const std::string& path,
+                                const CacheReadLimits& limits) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) fail(CacheErrorKind::kIo, "cannot open '" + path + "'");
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  load_snapshot_bytes(bytes, limits);
+}
+
+void ResultCache::load_snapshot_bytes(std::string_view bytes,
+                                      const CacheReadLimits& limits) {
+  Reader r{bytes};
+  if (bytes.size() < sizeof kMagic ||
+      bytes.compare(0, sizeof kMagic, kMagic, sizeof kMagic) != 0) {
+    fail(CacheErrorKind::kBadMagic, "not a cache snapshot");
+  }
+  r.pos = sizeof kMagic;
+  const auto version = static_cast<std::uint32_t>(r.read(4));
+  if (version != kVersion) {
+    fail(CacheErrorKind::kBadVersion,
+         "unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t count = r.read(8);
+  if (count > limits.max_entries) {
+    fail(CacheErrorKind::kTooLarge,
+         "declared " + std::to_string(count) + " entries, limit " +
+             std::to_string(limits.max_entries));
+  }
+
+  // Parse fully — including the checksum — before touching the map, so
+  // a corrupt snapshot cannot leave a half-merged cache behind.
+  std::vector<std::pair<std::uint64_t, std::string>> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t key = r.read(8);
+    const std::uint64_t len = r.read(4);
+    if (len > limits.max_value_bytes) {
+      fail(CacheErrorKind::kTooLarge,
+           "entry of " + std::to_string(len) + " bytes, limit " +
+               std::to_string(limits.max_value_bytes));
+    }
+    entries.emplace_back(key, std::string(r.read_bytes(static_cast<std::size_t>(len))));
+  }
+  const std::size_t payload_end = r.pos;
+  const std::uint64_t declared_sum = r.read(8);
+  Fnv1a sum;
+  sum.bytes(bytes.substr(0, payload_end));
+  if (sum.state != declared_sum) {
+    fail(CacheErrorKind::kChecksum, "checksum mismatch");
+  }
+  if (r.pos != bytes.size()) {
+    fail(CacheErrorKind::kTrailingBytes,
+         std::to_string(bytes.size() - r.pos) + " bytes after the checksum");
+  }
+
+  for (auto& [key, value] : entries) {
+    map_.put(key, std::move(value));
+  }
+}
+
+}  // namespace rtg::svc

@@ -1,0 +1,125 @@
+// result_cache.hpp — bounded memo of completed job results with a
+// crash-safe on-disk snapshot.
+//
+// Verification and synthesis are deterministic functions of (kind,
+// spec, schedule, engine), so their results are safe to memoize across
+// jobs, tenants, and — via the snapshot — server restarts. The store is
+// a util::StripedLruMap keyed by an FNV-1a digest of those inputs; the
+// value is the serialized result payload.
+//
+// Snapshot format (version 1, all integers little-endian):
+//
+//   offset  size  field
+//   0       4     magic "RTVC"
+//   4       4     u32 format version (= 1)
+//   8       8     u64 entry count N
+//   16      ...   N entries: u64 key, u32 length, `length` value bytes.
+//                 Entries are sorted by key, so the image is a pure
+//                 function of the cache *contents* — two caches holding
+//                 the same entries snapshot bit-identically regardless
+//                 of insertion or eviction history.
+//   ...     8     u64 FNV-1a checksum of every preceding byte
+//
+// The reader is strict in the .rtt style: bad magic, unsupported
+// version, truncated entries, oversized declarations (checked against
+// CacheReadLimits *before* allocating), trailing bytes, and checksum
+// mismatches all throw CacheError with a machine-readable kind — a
+// half-written or bit-flipped snapshot can only yield an error, never
+// silently-wrong cache hits. Saving writes a temp file in the target
+// directory and renames it over the destination, so a crash mid-save
+// leaves the previous snapshot intact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/striped_map.hpp"
+
+namespace rtg::svc {
+
+enum class CacheErrorKind : std::uint8_t {
+  kIo,             ///< cannot open / write / rename
+  kBadMagic,       ///< not a cache snapshot
+  kBadVersion,     ///< unsupported format version
+  kTruncated,      ///< header, entry, or checksum ends early
+  kTooLarge,       ///< declared counts exceed CacheReadLimits
+  kChecksum,       ///< trailer does not match the bytes read
+  kTrailingBytes,  ///< bytes after the checksum trailer
+};
+
+[[nodiscard]] std::string_view cache_error_kind_name(CacheErrorKind kind);
+
+class CacheError : public std::runtime_error {
+ public:
+  CacheError(CacheErrorKind kind, const std::string& what)
+      : std::runtime_error("cache: " + what), kind_(kind) {}
+  [[nodiscard]] CacheErrorKind kind() const { return kind_; }
+
+ private:
+  CacheErrorKind kind_;
+};
+
+struct CacheReadLimits {
+  std::uint64_t max_entries = 1u << 20;
+  std::uint64_t max_value_bytes = 1u << 20;
+};
+
+/// Incremental FNV-1a digest used both for cache keys and the snapshot
+/// checksum.
+struct Fnv1a {
+  std::uint64_t state = 14695981039346656037ull;
+
+  void bytes(std::string_view data) {
+    for (const char c : data) {
+      state ^= static_cast<unsigned char>(c);
+      state *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state ^= static_cast<unsigned char>(v >> (8 * i));
+      state *= 1099511628211ull;
+    }
+  }
+};
+
+class ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity, std::size_t stripes = 16)
+      : map_(capacity, stripes) {}
+
+  [[nodiscard]] std::optional<std::string> get(std::uint64_t key);
+  void put(std::uint64_t key, std::string value);
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::uint64_t hits() const { return hits_.load(); }
+  [[nodiscard]] std::uint64_t misses() const { return misses_.load(); }
+  [[nodiscard]] std::uint64_t evictions() const { return map_.evictions(); }
+
+  /// The snapshot image of the current contents (see format above).
+  [[nodiscard]] std::string snapshot_bytes() const;
+
+  /// Atomic save: writes `path` + ".tmp" then renames. Throws
+  /// CacheError(kIo) on failure.
+  void save_snapshot(const std::string& path) const;
+
+  /// Strict load; entries are merged into the cache (existing keys are
+  /// overwritten). Throws CacheError on any corruption; the cache is
+  /// left unmodified in that case.
+  void load_snapshot(const std::string& path, const CacheReadLimits& limits = {});
+
+  /// Parses a snapshot image held in memory (the file loader and the
+  /// corruption-corpus tests share this path).
+  void load_snapshot_bytes(std::string_view bytes,
+                           const CacheReadLimits& limits = {});
+
+ private:
+  util::StripedLruMap<std::uint64_t, std::string> map_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace rtg::svc

@@ -12,6 +12,31 @@ namespace {
 thread_local const ThreadPool* tls_pool = nullptr;
 thread_local std::size_t tls_worker_id = 0;
 
+// Decrements in_flight_ (and wakes wait_idle) even when the task body
+// throws. Without this a throwing task would leave in_flight_ stuck
+// above zero and every later wait_idle() — including the one the
+// destructor runs — would block forever.
+class InFlightGuard {
+ public:
+  InFlightGuard(std::mutex& m, std::size_t& in_flight, std::condition_variable& cv)
+      : mutex_(m), in_flight_(in_flight), idle_cv_(cv) {}
+  InFlightGuard(const InFlightGuard&) = delete;
+  InFlightGuard& operator=(const InFlightGuard&) = delete;
+  ~InFlightGuard() {
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      idle = --in_flight_ == 0;
+    }
+    if (idle) idle_cv_.notify_all();
+  }
+
+ private:
+  std::mutex& mutex_;
+  std::size_t& in_flight_;
+  std::condition_variable& idle_cv_;
+};
+
 }  // namespace
 
 std::size_t resolve_threads(std::size_t n_threads) {
@@ -33,6 +58,13 @@ ThreadPool::ThreadPool(std::size_t n_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  // Shutdown order matters: drain FIRST, then stop. wait_idle() returns
+  // only once queued_ == 0 and in_flight_ == 0, so by the time
+  // stopping_ is set no queued-but-unstarted work can exist — a worker
+  // observing (stopping_ && queued_ == 0) and exiting can never strand
+  // a task in a deque. Setting stopping_ under signal_mutex_ before
+  // notify_all pairs with the workers' wait() predicate reading it
+  // under the same mutex, so no worker can miss the wakeup.
   wait_idle();
   {
     std::lock_guard<std::mutex> lock(signal_mutex_);
@@ -104,13 +136,8 @@ void ThreadPool::worker_loop(std::size_t id) {
       std::lock_guard<std::mutex> lock(signal_mutex_);
       --queued_;
     }
+    InFlightGuard guard(signal_mutex_, in_flight_, idle_cv_);
     task();
-    bool idle;
-    {
-      std::lock_guard<std::mutex> lock(signal_mutex_);
-      idle = --in_flight_ == 0;
-    }
-    if (idle) idle_cv_.notify_all();
   }
 }
 
@@ -125,13 +152,8 @@ void ThreadPool::wait_idle() {
         std::lock_guard<std::mutex> lock(signal_mutex_);
         --queued_;
       }
+      InFlightGuard guard(signal_mutex_, in_flight_, idle_cv_);
       task();
-      bool idle;
-      {
-        std::lock_guard<std::mutex> lock(signal_mutex_);
-        idle = --in_flight_ == 0;
-      }
-      if (idle) idle_cv_.notify_all();
       continue;
     }
     std::unique_lock<std::mutex> lock(signal_mutex_);

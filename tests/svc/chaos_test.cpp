@@ -1,0 +1,253 @@
+// Chaos suite: the service under deterministic fault injection.
+//
+// The invariants checked here are exact, not statistical, because every
+// chaos decision is a pure hash of (seed, job, attempt):
+//   - every submitted job gets exactly one response (no deadlock, no
+//     duplicate, no silent drop),
+//   - load is shed only through explicit kRejected responses,
+//   - every kOk verify verdict equals the direct engine's verdict
+//     (differential check), under stalls, transient failures, and
+//     redeliveries,
+//   - the crash-safe cache warm-starts bit-identically.
+//
+// RTG_CHAOS_SEEDS scales the sweep (CI soak raises it).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/latency.hpp"
+#include "core/pipeline.hpp"
+#include "core/schedule_io.hpp"
+#include "spec/compile.hpp"
+#include "svc/chaos.hpp"
+#include "svc/service.hpp"
+
+namespace rtg::svc {
+namespace {
+
+const char* kSpec =
+    "element fx\n"
+    "element fy\n"
+    "element fz\n"
+    "element fs weight 2\n"
+    "element fk\n"
+    "channel fx -> fs -> fk\n"
+    "channel fy -> fs\n"
+    "channel fz -> fs\n"
+    "channel fk -> fs\n"
+    "constraint X periodic period 20 deadline 20 { fx -> fs -> fk }\n"
+    "constraint Y periodic period 40 deadline 40 { fy -> fs -> fk }\n"
+    "constraint Z sporadic separation 50 deadline 25 { fz -> fs }\n";
+
+std::size_t seed_count() {
+  if (const char* env = std::getenv("RTG_CHAOS_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 3;
+}
+
+TEST(Chaos, DecisionsAreDeterministicAndSeedSensitive) {
+  ChaosPlan plan;
+  plan.seed = 42;
+  plan.stall_rate = 0.5;
+  plan.fail_rate = 0.5;
+  for (std::uint64_t job = 0; job < 50; ++job) {
+    for (std::uint64_t attempt = 0; attempt < 3; ++attempt) {
+      EXPECT_EQ(chaos_should_stall(plan, job, attempt),
+                chaos_should_stall(plan, job, attempt));
+      EXPECT_EQ(chaos_should_fail(plan, job, attempt),
+                chaos_should_fail(plan, job, attempt));
+      const double u = chaos_unit(42, job, attempt, 1);
+      EXPECT_GE(u, 0.0);
+      EXPECT_LT(u, 1.0);
+    }
+  }
+  // Different seeds must not all agree (the hash actually mixes).
+  int diffs = 0;
+  ChaosPlan other = plan;
+  other.seed = 43;
+  for (std::uint64_t job = 0; job < 50; ++job) {
+    if (chaos_should_stall(plan, job, 0) != chaos_should_stall(other, job, 0)) {
+      ++diffs;
+    }
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(Chaos, DisabledPlanInjectsNothing) {
+  ChaosPlan plan;  // seed 0
+  plan.stall_rate = 1.0;
+  plan.fail_rate = 1.0;
+  for (std::uint64_t job = 0; job < 10; ++job) {
+    EXPECT_FALSE(chaos_should_stall(plan, job, 0));
+    EXPECT_FALSE(chaos_should_fail(plan, job, 0));
+  }
+}
+
+// One chaos scenario: N mixed jobs against a service with stalls and
+// transient failures injected, checked against the exact invariants.
+void run_scenario(std::uint64_t seed) {
+  SCOPED_TRACE("seed " + std::to_string(seed));
+
+  const spec::CompileResult compiled = spec::compile_text(kSpec);
+  ASSERT_TRUE(compiled.ok());
+  const core::GraphModel pipelined = core::pipeline_model(*compiled.model).model;
+
+  // A feasible schedule (synthesized once, outside the service) and an
+  // infeasible all-idle one give the differential check both verdicts.
+  ServiceOptions setup;
+  setup.workers = 1;
+  std::string feasible_schedule;
+  {
+    VerifyService plain(setup);
+    JobRequest synth;
+    synth.id = 1;
+    synth.kind = JobKind::kSynthesize;
+    synth.spec = kSpec;
+    const JobResponse rsp = plain.submit(std::move(synth)).get();
+    plain.shutdown();
+    ASSERT_EQ(rsp.status, JobStatus::kOk);
+    ASSERT_TRUE(rsp.verdict);
+    feasible_schedule = rsp.detail;
+  }
+  const std::string infeasible_schedule = ".40\n";
+
+  ServiceOptions options;
+  options.workers = 2;
+  options.ring_capacity = 4;
+  options.admission.max_pending = 64;
+  options.chaos.seed = seed;
+  options.chaos.stall_rate = 0.2;
+  options.chaos.stall_ms = 30;
+  options.chaos.fail_rate = 0.25;
+  // A grace shorter than the stall forces real stuck-worker events and
+  // redeliveries; the supervisor must keep its 10ms cadence.
+  options.stall_grace_ms = 15;
+  options.supervisor_period_ms = 5;
+  options.cache_capacity = 8;  // small: force evictions under load
+
+  VerifyService service(options);
+  struct Expected {
+    bool is_verify = false;
+    bool feasible = false;
+  };
+  std::vector<std::future<JobResponse>> futures;
+  std::vector<Expected> expected;
+  constexpr std::uint64_t kJobs = 24;
+  for (std::uint64_t id = 1; id <= kJobs; ++id) {
+    JobRequest req;
+    req.id = id;
+    req.tenant = (id % 3 == 0) ? "beta" : "alpha";
+    req.spec = kSpec;
+    Expected e;
+    if (id % 2 == 0) {
+      req.kind = JobKind::kVerify;
+      const bool use_feasible = (id % 4 == 0);
+      req.schedule = use_feasible ? feasible_schedule : infeasible_schedule;
+      e.is_verify = true;
+      e.feasible = use_feasible;
+    } else {
+      req.kind = JobKind::kSynthesize;
+    }
+    expected.push_back(e);
+    futures.push_back(service.submit(std::move(req)));
+  }
+
+  // Exactly one response per job; bounded wait so a deadlock fails the
+  // test instead of hanging it.
+  std::size_t responded = 0;
+  std::size_t shed = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "job " << (i + 1) << " never resolved";
+    const JobResponse rsp = futures[i].get();
+    ++responded;
+    switch (rsp.status) {
+      case JobStatus::kRejected:
+        ++shed;  // shedding is allowed, but only explicitly
+        break;
+      case JobStatus::kOk:
+        if (expected[i].is_verify) {
+          // Differential check: the service's verdict must match the
+          // direct engine run on the same inputs.
+          EXPECT_EQ(rsp.verdict, expected[i].feasible)
+              << "job " << (i + 1) << " verdict diverged";
+        }
+        break;
+      case JobStatus::kFailed:
+        // Only the retry-exhaustion path may fail under chaos.
+        EXPECT_NE(rsp.detail.find("retries exhausted"), std::string::npos)
+            << rsp.detail;
+        break;
+      case JobStatus::kExpired:
+      case JobStatus::kInvalid:
+        ADD_FAILURE() << "job " << (i + 1) << " unexpectedly "
+                      << job_status_name(rsp.status) << ": " << rsp.detail;
+        break;
+    }
+  }
+  EXPECT_EQ(responded, kJobs);
+
+  service.shutdown();
+  const ServiceHealth h = service.health();
+  EXPECT_EQ(h.pending, 0u);
+  EXPECT_EQ(h.submitted, kJobs);
+  EXPECT_EQ(h.rejected, shed);
+  EXPECT_EQ(h.completed + h.expired + h.invalid + h.failed + h.rejected, kJobs);
+}
+
+TEST(Chaos, ServiceSurvivesSeededFaultSweep) {
+  const std::size_t seeds = seed_count();
+  for (std::size_t s = 1; s <= seeds; ++s) {
+    run_scenario(1000 + 77 * s);
+    if (HasFatalFailure()) return;
+  }
+}
+
+TEST(Chaos, WarmStartSnapshotIsBitIdentical) {
+  namespace fs = std::filesystem;
+  const std::string snap =
+      (fs::temp_directory_path() / "rtg_chaos_warm.rtvc").string();
+  fs::remove(snap);
+
+  ServiceOptions options;
+  options.workers = 2;
+  options.snapshot_path = snap;
+  options.chaos.seed = 7;
+  options.chaos.fail_rate = 0.3;
+
+  std::string first_image;
+  {
+    VerifyService service(options);
+    std::vector<std::future<JobResponse>> futures;
+    for (std::uint64_t id = 1; id <= 8; ++id) {
+      JobRequest req;
+      req.id = id;
+      req.kind = JobKind::kSynthesize;
+      req.spec = kSpec;
+      futures.push_back(service.submit(std::move(req)));
+    }
+    for (auto& f : futures) (void)f.get();
+    service.shutdown();
+    first_image = service.cache().snapshot_bytes();
+  }
+
+  {
+    VerifyService warm(options);
+    // Without any new jobs the warm cache must reproduce the snapshot
+    // image bit-for-bit.
+    EXPECT_EQ(warm.cache().snapshot_bytes(), first_image);
+    warm.shutdown();
+  }
+  fs::remove(snap);
+}
+
+}  // namespace
+}  // namespace rtg::svc

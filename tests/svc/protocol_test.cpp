@@ -1,0 +1,152 @@
+// Round-trip and malformed-input behavior of the line-delimited
+// request/response protocol.
+#include "svc/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rtg::svc {
+namespace {
+
+JobRequest sample_request() {
+  JobRequest req;
+  req.id = 42;
+  req.tenant = "acme";
+  req.kind = JobKind::kVerify;
+  req.deadline_ms = 1500;
+  req.exact = true;
+  req.spec = "element a\nelement b\n";
+  req.schedule = "a b .2\n";
+  return req;
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  std::ostringstream out;
+  write_request(out, sample_request());
+  std::istringstream in(out.str());
+  const auto got = read_request(in);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 42u);
+  EXPECT_EQ(got->tenant, "acme");
+  EXPECT_EQ(got->kind, JobKind::kVerify);
+  EXPECT_EQ(got->deadline_ms, 1500u);
+  EXPECT_TRUE(got->exact);
+  EXPECT_EQ(got->spec, "element a\nelement b\n");
+  EXPECT_EQ(got->schedule, "a b .2\n");
+  EXPECT_FALSE(read_request(in).has_value());  // clean EOF
+}
+
+TEST(Protocol, BinaryTraceSurvivesHexTransport) {
+  JobRequest req;
+  req.id = 7;
+  req.kind = JobKind::kMonitor;
+  // Every byte value, including NUL and newline, must survive.
+  std::string trace;
+  for (int i = 0; i < 256; ++i) trace.push_back(static_cast<char>(i));
+  req.trace = trace;
+
+  std::ostringstream out;
+  write_request(out, req);
+  std::istringstream in(out.str());
+  const auto got = read_request(in);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->trace, trace);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  JobResponse rsp;
+  rsp.id = 9;
+  rsp.status = JobStatus::kRejected;
+  rsp.retry_after_ms = 120;
+  rsp.queue_ms = 3;
+  rsp.run_ms = 0;
+  rsp.detail = "over quota\nsecond line";
+
+  std::ostringstream out;
+  write_response(out, rsp);
+  std::istringstream in(out.str());
+  const auto got = read_response(in);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 9u);
+  EXPECT_EQ(got->status, JobStatus::kRejected);
+  EXPECT_EQ(got->retry_after_ms, 120u);
+  EXPECT_EQ(got->queue_ms, 3u);
+  // The reader normalizes the body to newline-terminated lines.
+  EXPECT_EQ(got->detail, "over quota\nsecond line\n");
+}
+
+TEST(Protocol, MultipleFramesStream) {
+  std::ostringstream out;
+  for (std::uint64_t id = 1; id <= 5; ++id) {
+    JobRequest req = sample_request();
+    req.id = id;
+    write_request(out, req);
+  }
+  std::istringstream in(out.str());
+  std::vector<std::uint64_t> ids;
+  while (const auto req = read_request(in)) ids.push_back(req->id);
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(Protocol, MalformedRequestsThrowProtocolError) {
+  const char* kBad[] = {
+      "REQ\n",                                   // missing fields
+      "REQ x acme verify 0 0\nEND\n",            // non-numeric id
+      "REQ 1 acme frobnicate 0 0\nEND\n",        // unknown kind
+      "REQ 1 acme verify 0 2\nEND\n",            // exact flag not 0/1
+      "REQ 1 acme verify 0 0\nSPEC 2\nonly-one-line\n",  // truncated section
+      "REQ 1 acme verify 0 0\nSPEC x\nEND\n",    // bad section count
+      "REQ 1 acme verify 0 0\n",                 // EOF before END
+      "REQ 1 acme verify 0 0\nTRACE 4\nzzzz\nEND\n",  // bad hex digits
+      "REQ 1 acme verify 0 0\nTRACE 3\nabc\nEND\n",   // odd hex length
+      "REQ 99999999999999999999 acme verify 0 0\nEND\n",  // u64 overflow
+      "BOGUS 1\n",                               // unknown frame head
+  };
+  for (const char* text : kBad) {
+    std::istringstream in(text);
+    EXPECT_THROW((void)read_request(in), ProtocolError) << text;
+  }
+}
+
+TEST(Protocol, MalformedResponsesThrowProtocolError) {
+  const char* kBad[] = {
+      "RSP\n",
+      "RSP 1 bogus verdict=0 cached=0 degraded=0 retry_after_ms=0 queue_ms=0 run_ms=0\n",
+      "RSP 1 ok\n",  // missing key=value fields
+      "RSP 1 ok verdict=1 cached=0 degraded=0 retry_after_ms=0 queue_ms=0 run_ms=0\nBODY 1\n",
+  };
+  for (const char* text : kBad) {
+    std::istringstream in(text);
+    EXPECT_THROW((void)read_response(in), ProtocolError) << text;
+  }
+}
+
+TEST(Protocol, HexCodecRoundTripsAndRejectsGarbage) {
+  EXPECT_EQ(hex_encode(""), "");
+  EXPECT_EQ(hex_decode(""), "");
+  const std::string bytes = "\x00\x01\xfe\xff ok";
+  EXPECT_EQ(hex_decode(hex_encode(bytes)), bytes);
+  EXPECT_THROW((void)hex_decode("abc"), ProtocolError);   // odd length
+  EXPECT_THROW((void)hex_decode("zz"), ProtocolError);    // bad digit
+  EXPECT_EQ(hex_decode("aB"), hex_decode("ab"));          // case-insensitive
+}
+
+TEST(Protocol, CrlfLineEndingsAccepted) {
+  std::ostringstream out;
+  write_request(out, sample_request());
+  std::string text = out.str();
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += "\r\n"; else crlf += c;
+  }
+  std::istringstream in(crlf);
+  const auto got = read_request(in);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 42u);
+}
+
+}  // namespace
+}  // namespace rtg::svc

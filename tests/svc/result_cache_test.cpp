@@ -1,0 +1,204 @@
+// Crash-safety of the result cache snapshot: bit-identical images,
+// atomic round-trips, and a corruption corpus the strict reader must
+// reject in full.
+#include "svc/result_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace rtg::svc {
+namespace {
+
+class ResultCacheSnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() / "rtg_cache_test";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST(ResultCache, GetPutAndCounters) {
+  ResultCache cache(8);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+  cache.put(1, "one");
+  const auto v = cache.get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ResultCache, BoundedWithEvictions) {
+  ResultCache cache(4, /*stripes=*/1);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    cache.put(k, "v" + std::to_string(k));
+  }
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(ResultCache, SnapshotIsPureFunctionOfContents) {
+  // Same entries reached through different insertion orders and
+  // intervening churn must produce byte-identical snapshots.
+  ResultCache a(64);
+  ResultCache b(64);
+  for (std::uint64_t k = 0; k < 20; ++k) a.put(k, "value-" + std::to_string(k));
+  for (std::uint64_t k = 20; k-- > 0;) b.put(k, "value-" + std::to_string(k));
+  b.put(5, "stale");
+  b.put(5, "value-5");  // overwrite back
+  EXPECT_EQ(a.snapshot_bytes(), b.snapshot_bytes());
+}
+
+TEST_F(ResultCacheSnapshotTest, SaveLoadRoundTripsWarmStart) {
+  ResultCache cache(64);
+  cache.put(0xdead, "feasible");
+  cache.put(0xbeef, std::string(1000, 'x'));
+  cache.put(0, "");  // empty value must survive
+  cache.save_snapshot(path("snap.rtvc"));
+
+  ResultCache warm(64);
+  warm.load_snapshot(path("snap.rtvc"));
+  EXPECT_EQ(warm.size(), 3u);
+  EXPECT_EQ(*warm.get(0xdead), "feasible");
+  EXPECT_EQ(*warm.get(0xbeef), std::string(1000, 'x'));
+  EXPECT_EQ(*warm.get(0), "");
+  // Warm-started cache snapshots bit-identically.
+  EXPECT_EQ(warm.snapshot_bytes(), cache.snapshot_bytes());
+}
+
+TEST_F(ResultCacheSnapshotTest, SaveLeavesNoTempFileBehind) {
+  ResultCache cache(8);
+  cache.put(1, "v");
+  cache.save_snapshot(path("snap.rtvc"));
+  EXPECT_TRUE(std::filesystem::exists(path("snap.rtvc")));
+  EXPECT_FALSE(std::filesystem::exists(path("snap.rtvc") + ".tmp"));
+}
+
+TEST(ResultCache, MissingFileIsIoError) {
+  ResultCache cache(8);
+  try {
+    cache.load_snapshot("/nonexistent/dir/snap.rtvc");
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheErrorKind::kIo);
+  }
+}
+
+TEST(ResultCache, EveryTruncationIsRejectedAndMutatesNothing) {
+  ResultCache cache(64);
+  cache.put(1, "alpha");
+  cache.put(2, "beta");
+  const std::string image = cache.snapshot_bytes();
+
+  // Every proper prefix is a possible crash-mid-write artifact; all of
+  // them must throw and leave the target cache untouched.
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    ResultCache target(64);
+    target.put(99, "preexisting");
+    EXPECT_THROW(target.load_snapshot_bytes(image.substr(0, len)), CacheError)
+        << "prefix length " << len;
+    EXPECT_EQ(target.size(), 1u) << "prefix length " << len;
+    EXPECT_TRUE(target.get(99).has_value());
+  }
+}
+
+TEST(ResultCache, EveryBitFlipIsRejected) {
+  ResultCache cache(64);
+  cache.put(7, "payload");
+  const std::string image = cache.snapshot_bytes();
+
+  // Flipping any single bit must be caught — by the magic check, the
+  // version check, a length that runs off the end, or the checksum.
+  for (std::size_t byte = 0; byte < image.size(); ++byte) {
+    std::string corrupt = image;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ 0x01);
+    ResultCache target(64);
+    EXPECT_THROW(target.load_snapshot_bytes(corrupt), CacheError)
+        << "flipped byte " << byte;
+    EXPECT_EQ(target.size(), 0u);
+  }
+}
+
+TEST(ResultCache, TrailingBytesRejected) {
+  ResultCache cache(8);
+  cache.put(1, "v");
+  std::string image = cache.snapshot_bytes();
+  image += "junk";
+  ResultCache target(8);
+  try {
+    target.load_snapshot_bytes(image);
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheErrorKind::kTrailingBytes);
+  }
+}
+
+TEST(ResultCache, DeclaredSizesCheckedAgainstLimitsBeforeAllocation) {
+  ResultCache cache(8);
+  cache.put(1, std::string(64, 'v'));
+  const std::string image = cache.snapshot_bytes();
+
+  CacheReadLimits tight;
+  tight.max_value_bytes = 8;
+  ResultCache target(8);
+  try {
+    target.load_snapshot_bytes(image, tight);
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheErrorKind::kTooLarge);
+  }
+
+  CacheReadLimits no_entries;
+  no_entries.max_entries = 0;
+  try {
+    target.load_snapshot_bytes(image, no_entries);
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheErrorKind::kTooLarge);
+  }
+}
+
+TEST(ResultCache, WrongMagicAndVersionKinds) {
+  ResultCache cache(8);
+  cache.put(1, "v");
+  std::string image = cache.snapshot_bytes();
+
+  std::string bad_magic = image;
+  bad_magic[0] = 'X';
+  try {
+    cache.load_snapshot_bytes(bad_magic);
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheErrorKind::kBadMagic);
+  }
+
+  std::string bad_version = image;
+  bad_version[4] = 9;
+  try {
+    cache.load_snapshot_bytes(bad_version);
+    FAIL() << "expected CacheError";
+  } catch (const CacheError& e) {
+    EXPECT_EQ(e.kind(), CacheErrorKind::kBadVersion);
+  }
+}
+
+TEST(ResultCache, EmptyCacheSnapshotRoundTrips) {
+  ResultCache cache(8);
+  const std::string image = cache.snapshot_bytes();
+  ResultCache target(8);
+  target.load_snapshot_bytes(image);
+  EXPECT_EQ(target.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rtg::svc

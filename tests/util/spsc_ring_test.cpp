@@ -1,0 +1,134 @@
+// Wrap-around, full-ring, and tiny-capacity behavior of the SPSC ring.
+#include "util/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace rtg::util {
+namespace {
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscRing<int>(1).capacity(), 1u);
+  EXPECT_EQ(SpscRing<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscRing<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscRing<int>(5).capacity(), 8u);
+  EXPECT_EQ(SpscRing<int>(64).capacity(), 64u);
+  EXPECT_THROW(SpscRing<int>(0), std::invalid_argument);
+}
+
+TEST(SpscRing, FullRingRejectsWithoutDroppingAndRecovers) {
+  SpscRing<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(i));
+  // Full: pushes fail and must not clobber queued elements.
+  EXPECT_FALSE(ring.try_push(99));
+  EXPECT_FALSE(ring.try_push(100));
+
+  std::array<int, 2> out{};
+  ASSERT_EQ(ring.pop_batch(out), 2u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 1);
+
+  // Freed slots accept exactly that many new pushes.
+  EXPECT_TRUE(ring.try_push(4));
+  EXPECT_TRUE(ring.try_push(5));
+  EXPECT_FALSE(ring.try_push(6));
+
+  // pop_batch may return fewer than available (the consumer's view of
+  // the tail refreshes lazily), so drain in a loop and check order.
+  std::array<int, 8> rest{};
+  std::vector<int> drained;
+  std::size_t n;
+  while ((n = ring.pop_batch(rest)) > 0) {
+    drained.insert(drained.end(), rest.begin(), rest.begin() + n);
+  }
+  EXPECT_EQ(drained, (std::vector<int>{2, 3, 4, 5}));
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, SingleSlotRingAlternates) {
+  SpscRing<int> ring(1);
+  ASSERT_EQ(ring.capacity(), 1u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(ring.try_push(i));
+    EXPECT_FALSE(ring.try_push(i + 1000));  // full at depth one
+    std::array<int, 1> out{};
+    ASSERT_EQ(ring.pop_batch(out), 1u);
+    EXPECT_EQ(out[0], i);
+    EXPECT_TRUE(ring.empty());
+  }
+}
+
+TEST(SpscRing, WrapAroundPreservesFifoOrder) {
+  SpscRing<std::uint32_t> ring(8);
+  std::uint32_t next_push = 0;
+  std::uint32_t next_pop = 0;
+  // Push/pop in a skewed rhythm so the indices lap the buffer many
+  // times: wrap-around must never reorder or duplicate.
+  for (int round = 0; round < 1000; ++round) {
+    const int pushes = 1 + (round % 7);
+    for (int i = 0; i < pushes; ++i) {
+      if (ring.try_push(next_push)) ++next_push;
+    }
+    std::array<std::uint32_t, 3> out{};
+    const std::size_t n = ring.pop_batch(out);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], next_pop);
+      ++next_pop;
+    }
+  }
+  // Drain the tail.
+  std::array<std::uint32_t, 8> out{};
+  std::size_t n;
+  while ((n = ring.pop_batch(out)) > 0) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out[i], next_pop);
+      ++next_pop;
+    }
+  }
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(SpscRing, ConcurrentProducerConsumerDeliversEverythingInOrder) {
+  constexpr std::uint64_t kCount = 200'000;
+  SpscRing<std::uint64_t> ring(64);
+  std::uint64_t sum = 0;
+  std::uint64_t expected_next = 0;
+  bool ordered = true;
+
+  std::thread consumer([&] {
+    std::array<std::uint64_t, 16> out{};
+    std::uint64_t received = 0;
+    while (received < kCount) {
+      const std::size_t n = ring.pop_batch(out);
+      for (std::size_t i = 0; i < n; ++i) {
+        ordered = ordered && out[i] == expected_next;
+        ++expected_next;
+        sum += out[i];
+      }
+      received += n;
+      if (n == 0) std::this_thread::yield();
+    }
+  });
+
+  for (std::uint64_t v = 0; v < kCount;) {
+    if (ring.try_push(v)) {
+      ++v;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  consumer.join();
+
+  EXPECT_TRUE(ordered);
+  EXPECT_EQ(expected_next, kCount);
+  EXPECT_EQ(sum, kCount * (kCount - 1) / 2);
+}
+
+}  // namespace
+}  // namespace rtg::util

@@ -1,0 +1,109 @@
+// StripedLruMap: capacity accounting, recency order, and concurrent
+// insert/evict (the latter matters under TSan).
+#include "util/striped_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rtg::util {
+namespace {
+
+TEST(StripedLruMap, GetReturnsWhatPutStored) {
+  StripedLruMap<int, std::string> map(16, 4);
+  EXPECT_FALSE(map.get(1).has_value());
+  map.put(1, "one");
+  map.put(2, "two");
+  auto v = map.get(1);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "one");
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(StripedLruMap, PutReplacesInPlaceWithoutEviction) {
+  StripedLruMap<int, std::string> map(4, 1);
+  map.put(7, "a");
+  EXPECT_FALSE(map.put(7, "b"));  // replacement, not an insert
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.evictions(), 0u);
+  EXPECT_EQ(*map.get(7), "b");
+}
+
+TEST(StripedLruMap, EvictsLeastRecentlyUsedAtCapacity) {
+  // One stripe so the LRU order is global and fully observable.
+  StripedLruMap<int, int> map(3, 1);
+  map.put(1, 10);
+  map.put(2, 20);
+  map.put(3, 30);
+  // Touch 1 so 2 becomes the LRU entry.
+  EXPECT_TRUE(map.get(1).has_value());
+  EXPECT_TRUE(map.put(4, 40));  // evicts
+  EXPECT_EQ(map.evictions(), 1u);
+  EXPECT_EQ(map.size(), 3u);
+  EXPECT_FALSE(map.get(2).has_value());  // the cold entry went
+  EXPECT_TRUE(map.get(1).has_value());
+  EXPECT_TRUE(map.get(3).has_value());
+  EXPECT_TRUE(map.get(4).has_value());
+}
+
+TEST(StripedLruMap, EraseRemovesAndForEachVisitsAll) {
+  StripedLruMap<int, int> map(64, 8);
+  for (int i = 0; i < 20; ++i) map.put(i, i * i);
+  EXPECT_TRUE(map.erase(5));
+  EXPECT_FALSE(map.erase(5));
+  EXPECT_EQ(map.size(), 19u);
+
+  std::size_t seen = 0;
+  long sum = 0;
+  map.for_each([&](const int& k, const int& v) {
+    ++seen;
+    sum += v;
+    EXPECT_EQ(v, k * k);
+  });
+  EXPECT_EQ(seen, 19u);
+  EXPECT_EQ(sum, 2470 - 25);  // sum i^2, i<20, minus the erased 5^2
+}
+
+TEST(StripedLruMap, ConcurrentInsertAndEvictKeepsInvariants) {
+  // Hammer a small-capacity map from several threads: size must never
+  // exceed capacity (per-shard bounds), lookups must only ever see
+  // values that were stored for that key, and the run must be clean
+  // under TSan.
+  constexpr std::size_t kCapacity = 64;
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 20'000;
+  StripedLruMap<std::uint64_t, std::uint64_t> map(kCapacity, 8);
+  std::atomic<bool> wrong_value{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&map, &wrong_value, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>((t * 31 + i * 7) % 256);
+        map.put(key, key * 1000 + 1);
+        const auto got = map.get((key + 13) % 256);
+        if (got.has_value() && *got != ((key + 13) % 256) * 1000 + 1) {
+          wrong_value.store(true);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_FALSE(wrong_value.load());
+  EXPECT_LE(map.size(), kCapacity);
+  EXPECT_GT(map.evictions(), 0u);
+  map.for_each([](const std::uint64_t& k, const std::uint64_t& v) {
+    EXPECT_EQ(v, k * 1000 + 1);
+  });
+}
+
+}  // namespace
+}  // namespace rtg::util
