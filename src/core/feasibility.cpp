@@ -300,12 +300,17 @@ ExactResult exact_serial(const GraphModel& model, const ExactOptions& options) {
 
   std::size_t cancel_tick = 0;
   while (!path.empty()) {
-    if (options.cancel != nullptr && (++cancel_tick & 63) == 0 &&
-        options.cancel->load(std::memory_order_relaxed)) {
-      if (best_cycle) return finish_feasible();
-      result.status = FeasibilityStatus::kUnknown;
-      result.cancelled = true;
-      return result;
+    if ((++cancel_tick & 63) == 0) {
+      if (options.progress != nullptr) {
+        options.progress->fetch_add(1, std::memory_order_relaxed);
+      }
+      if (options.cancel != nullptr &&
+          options.cancel->load(std::memory_order_relaxed)) {
+        if (best_cycle) return finish_feasible();
+        result.status = FeasibilityStatus::kUnknown;
+        result.cancelled = true;
+        return result;
+      }
     }
     Frame& frame = path.back();
     if (frame.next_choice > n_elements) {
@@ -447,6 +452,9 @@ struct ParallelShared {
   // Folds the caller's cancel flag into the shared stop flag so every
   // loop that already polls `stop` observes cancellation too.
   bool should_stop() {
+    if (options.progress != nullptr) {
+      options.progress->fetch_add(1, std::memory_order_relaxed);
+    }
     if (stop.load(std::memory_order_relaxed)) return true;
     if (options.cancel != nullptr &&
         options.cancel->load(std::memory_order_relaxed)) {

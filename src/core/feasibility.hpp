@@ -84,6 +84,10 @@ struct ExactOptions {
   /// returns with cancelled = true. The service layer points this at a
   /// per-job flag to enforce deadlines on the NP-hard search.
   const std::atomic<bool>* cancel = nullptr;
+  /// Liveness beacon: when non-null the search bumps it (relaxed) at
+  /// every cancellation poll, so a watchdog can tell a slow-but-alive
+  /// search (counter advancing) from a wedged one (frozen).
+  std::atomic<std::uint64_t>* progress = nullptr;
 };
 
 /// Decides whether a feasible static schedule exists for the model

@@ -65,6 +65,9 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
   result.scheduled_model = working;
 
   const auto cancelled = [&options] {
+    if (options.progress != nullptr) {
+      options.progress->fetch_add(1, std::memory_order_relaxed);
+    }
     return options.cancel != nullptr &&
            options.cancel->load(std::memory_order_relaxed);
   };
@@ -76,7 +79,8 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
     result.report =
         verify_schedule(*result.schedule, working,
                         VerifyOptions{.n_threads = options.n_threads,
-                                      .cancel = options.cancel});
+                                      .cancel = options.cancel,
+                                      .progress = options.progress});
     return result;
   }
 
@@ -203,7 +207,8 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
 
   result.report = verify_schedule(sched, working,
                                   VerifyOptions{.n_threads = options.n_threads,
-                                                .cancel = options.cancel});
+                                                .cancel = options.cancel,
+                                                .progress = options.progress});
   if (result.report.cancelled) {
     result.failure_reason = "cancelled";
     return result;
@@ -219,7 +224,8 @@ HeuristicResult latency_schedule(const GraphModel& model, const HeuristicOptions
     sched = compact_schedule(sched, working, &result.refine_stats);
     result.report = verify_schedule(sched, working,
                                     VerifyOptions{.n_threads = options.n_threads,
-                                                  .cancel = options.cancel});
+                                                  .cancel = options.cancel,
+                                                  .progress = options.progress});
     if (result.report.cancelled) {
       result.failure_reason = "cancelled";
       return result;

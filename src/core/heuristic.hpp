@@ -69,6 +69,10 @@ struct HeuristicOptions {
   /// embedded report carries cancelled = true when verification was the
   /// phase interrupted). Used by the service layer for job deadlines.
   const std::atomic<bool>* cancel = nullptr;
+  /// Liveness beacon: when non-null, bumped (relaxed) at every
+  /// cancellation poll here and in the embedded verification, so a
+  /// watchdog can tell slow-but-alive construction from a wedged run.
+  std::atomic<std::uint64_t>* progress = nullptr;
 };
 
 struct HeuristicResult {

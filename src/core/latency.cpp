@@ -901,7 +901,9 @@ FeasibilityReport cancelled_report() {
   return report;
 }
 
-bool cancel_requested(const std::atomic<bool>* cancel) {
+bool cancel_requested(const std::atomic<bool>* cancel,
+                      std::atomic<std::uint64_t>* progress = nullptr) {
+  if (progress != nullptr) progress->fetch_add(1, std::memory_order_relaxed);
   return cancel != nullptr && cancel->load(std::memory_order_relaxed);
 }
 
@@ -910,7 +912,8 @@ bool cancel_requested(const std::atomic<bool>* cancel) {
 // path (identical pure queries are answered once).
 FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& model,
                                 const VerifyPlan& plan, VerifyStats* stats,
-                                const std::atomic<bool>* cancel = nullptr) {
+                                const std::atomic<bool>* cancel = nullptr,
+                                std::atomic<std::uint64_t>* progress = nullptr) {
   const QueryTable table = build_query_table(plan);
   std::vector<Time> memo(table.queries.size(), kInf);
   KernelCounters counters;
@@ -920,7 +923,7 @@ FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& m
     std::size_t cur_tg = UnrollIndex::npos;
     std::size_t cur_periods = 0;
     for (std::size_t q = 0; q < table.queries.size(); ++q) {
-      if ((q & 63) == 0 && cancel_requested(cancel)) return cancelled_report();
+      if ((q & 63) == 0 && cancel_requested(cancel, progress)) return cancelled_report();
       const Query& query = table.queries[q];
       if (!kernel || query.tg_id != cur_tg || query.periods != cur_periods) {
         if (kernel) counters += kernel->counters();
@@ -940,7 +943,8 @@ FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& m
 FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel& model,
                                   const VerifyPlan& plan, std::size_t n_threads,
                                   VerifyStats* stats,
-                                  const std::atomic<bool>* cancel = nullptr) {
+                                  const std::atomic<bool>* cancel = nullptr,
+                                  std::atomic<std::uint64_t>* progress = nullptr) {
   const QueryTable table = build_query_table(plan);
   std::vector<Time> memo(table.queries.size(), kInf);
   KernelCounters counters;
@@ -958,7 +962,7 @@ FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel&
         pool.submit([&, pi] {
           std::map<std::pair<std::size_t, std::size_t>, EmbeddingKernel> kernels;
           for (std::size_t q : parts[pi]) {
-            if (cancel_requested(cancel)) break;  // abandon remaining queries
+            if (cancel_requested(cancel, progress)) break;  // abandon remaining queries
             const Query& query = table.queries[q];
             const auto key = std::make_pair(query.tg_id, query.periods);
             auto it = kernels.find(key);
@@ -1011,8 +1015,12 @@ FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel&
     const std::size_t hw = util::resolve_threads(0);
     n_threads = (hw <= 1 || plan.work_units < kAutoParallelCutoff) ? 1 : hw;
   }
-  if (n_threads <= 1) return verify_serial(sched, model, plan, options.stats, options.cancel);
-  return verify_parallel(sched, model, plan, n_threads, options.stats, options.cancel);
+  if (n_threads <= 1) {
+    return verify_serial(sched, model, plan, options.stats, options.cancel,
+                         options.progress);
+  }
+  return verify_parallel(sched, model, plan, n_threads, options.stats,
+                         options.cancel, options.progress);
 }
 
 // ---------------------------------------------------------------------------

@@ -323,6 +323,10 @@ struct VerifyOptions {
   /// cancelled = true (and no verdicts). The service layer points this
   /// at a per-job flag to enforce deadlines on long verifications.
   const std::atomic<bool>* cancel = nullptr;
+  /// Liveness beacon: when non-null the engine bumps it (relaxed) at
+  /// every cancellation poll, so a watchdog can tell a slow-but-alive
+  /// verification (counter advancing) from a wedged one (frozen).
+  std::atomic<std::uint64_t>* progress = nullptr;
 };
 
 /// Verifies with the default options (auto thread count). The result is

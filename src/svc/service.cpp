@@ -151,6 +151,23 @@ std::future<JobResponse> VerifyService::submit(JobRequest req) {
   if (job->req.deadline_ms != 0) {
     job->deadline_at_ms = now + job->req.deadline_ms;
   }
+  bool staged = false;
+  {
+    std::lock_guard<std::mutex> lock(staging_mutex_);
+    // Re-checked under the staging lock: shutdown() flips accepting_
+    // and then drains, and drain's idle probe takes this same mutex, so
+    // a job staged here is guaranteed visible to the drain — the
+    // submit/shutdown race can no longer strand a future.
+    if (accepting_.load()) {
+      pending_.fetch_add(1);
+      staging_.push_back(job);
+      staged = true;
+    }
+  }
+  if (!staged) {
+    reject(1000);
+    return future;
+  }
   {
     std::lock_guard<std::mutex> lock(health_mutex_);
     if (job->deferred) {
@@ -159,19 +176,17 @@ std::future<JobResponse> VerifyService::submit(JobRequest req) {
       ++health_.admitted;
     }
   }
-  pending_.fetch_add(1);
-  {
-    std::lock_guard<std::mutex> lock(staging_mutex_);
-    staging_.push_back(std::move(job));
-  }
   staging_cv_.notify_one();
   return future;
 }
 
 void VerifyService::requeue(const JobPtr& job, std::uint64_t eligible_ms) {
-  job->eligible_ms = eligible_ms;
   {
     std::lock_guard<std::mutex> lock(staging_mutex_);
+    // eligible_ms is only ever written or read under staging_mutex_
+    // once a job can sit in staging_, so a chaos-retry requeue racing a
+    // supervisor re-delivery of the same job cannot tear the field.
+    job->eligible_ms = eligible_ms;
     staging_.push_back(job);
   }
   staging_cv_.notify_one();
@@ -256,7 +271,13 @@ void VerifyService::worker_loop(std::size_t id) {
   JobPtr slot[1];
   for (;;) {
     ws.heartbeat_ms.store(now_ms());
-    const std::size_t n = ws.ring.pop_batch(std::span<JobPtr>(slot, 1));
+    std::size_t n;
+    {
+      // The supervisor may reclaim a suspect worker's queued jobs; the
+      // pop mutex keeps the ring single-consumer at any instant.
+      std::lock_guard<std::mutex> lock(ws.pop_mutex);
+      n = ws.ring.pop_batch(std::span<JobPtr>(slot, 1));
+    }
     if (n == 0) {
       if (stopping_.load()) return;
       std::unique_lock<std::mutex> lock(ws.mutex);
@@ -324,9 +345,10 @@ void VerifyService::run_job(std::size_t id, const JobPtr& job) {
     }
   }
 
-  JobResponse rsp = job->req.kind == JobKind::kMonitor
-                        ? execute_monitor(*job)
-                        : execute(*job, degraded_mode && job->req.exact);
+  JobResponse rsp =
+      job->req.kind == JobKind::kMonitor
+          ? execute_monitor(*job, &ws.progress)
+          : execute(*job, degraded_mode && job->req.exact, &ws.progress);
   const std::uint64_t done_at = now_ms();
   rsp.queue_ms = started - job->submit_ms;
   rsp.run_ms = done_at - started;
@@ -366,7 +388,8 @@ void VerifyService::run_job(std::size_t id, const JobPtr& job) {
   finish(job, rsp);
 }
 
-JobResponse VerifyService::execute(Job& job, bool degraded) {
+JobResponse VerifyService::execute(Job& job, bool degraded,
+                                   std::atomic<std::uint64_t>* progress) {
   JobResponse rsp;
   rsp.degraded = degraded;
 
@@ -395,7 +418,8 @@ JobResponse VerifyService::execute(Job& job, bool degraded) {
     const core::FeasibilityReport report = core::verify_schedule(
         *parsed.schedule, pipelined,
         core::VerifyOptions{.n_threads = options_.verify_threads,
-                            .cancel = &job.cancel});
+                            .cancel = &job.cancel,
+                            .progress = progress});
     if (report.cancelled) {
       rsp.status = JobStatus::kExpired;
       rsp.detail = "cancelled mid-verification";
@@ -422,6 +446,7 @@ JobResponse VerifyService::execute(Job& job, bool degraded) {
     opts.state_budget = options_.exact_state_budget;
     opts.n_threads = 1;
     opts.cancel = &job.cancel;
+    opts.progress = progress;
     const core::ExactResult result = core::exact_feasible(model, opts);
     if (result.cancelled && result.status == core::FeasibilityStatus::kUnknown) {
       rsp.status = JobStatus::kExpired;
@@ -451,6 +476,7 @@ JobResponse VerifyService::execute(Job& job, bool degraded) {
   core::HeuristicOptions opts;
   opts.n_threads = options_.verify_threads;
   opts.cancel = &job.cancel;
+  opts.progress = progress;
   const core::HeuristicResult result = core::latency_schedule(model, opts);
   if (!result.success && result.failure_reason == "cancelled") {
     rsp.status = JobStatus::kExpired;
@@ -466,7 +492,8 @@ JobResponse VerifyService::execute(Job& job, bool degraded) {
   return rsp;
 }
 
-JobResponse VerifyService::execute_monitor(Job& job) {
+JobResponse VerifyService::execute_monitor(
+    Job& job, std::atomic<std::uint64_t>* progress) {
   JobResponse rsp;
 
   const spec::CompileResult compiled = spec::compile_text(job.req.spec);
@@ -512,10 +539,20 @@ JobResponse VerifyService::execute_monitor(Job& job) {
     tenant->mon = std::make_unique<monitor::StreamingMonitor>(*tenant->model);
     tenant->slots_ingested = 0;
   }
-  for (const sim::Slot s : file.trace.slots()) {
-    tenant->mon->on_slot(s);
+  // Ingest at most once per job: a re-delivered or chaos-retried run of
+  // the same job must not fold the trace into the shared stream twice.
+  // The claim happens under the tenant mutex, so a losing duplicate run
+  // always reports the post-ingestion stream state.
+  if (!job.ingested.exchange(true)) {
+    std::uint64_t tick = 0;
+    for (const sim::Slot s : file.trace.slots()) {
+      tenant->mon->on_slot(s);
+      if (progress != nullptr && (++tick & 1023) == 0) {
+        progress->fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    tenant->slots_ingested += file.trace.size();
   }
-  tenant->slots_ingested += file.trace.size();
 
   const monitor::MonitorReport report = tenant->mon->report();
   rsp.status = JobStatus::kOk;
@@ -557,12 +594,23 @@ void VerifyService::supervisor_loop() {
       finish(job, rsp);
     }
 
-    // Stuck-worker detection. Edge-triggered on suspect: the job is
+    // Stuck-worker detection. A worker is stuck only when *neither* its
+    // heartbeat nor its engine progress beacon has moved for
+    // stall_grace_ms — a slow exact search that keeps polling its
+    // cancel hook is alive, not wedged, so long jobs are never turned
+    // into spurious failures. Edge-triggered on suspect: the job is
     // re-delivered once per incident, and the done flag keeps the
     // response unique if the stalled run eventually completes too.
     for (const auto& ws : workers_) {
+      const std::uint64_t beacon = ws->progress.load();
+      if (beacon != ws->seen_progress) {
+        ws->seen_progress = beacon;
+        ws->progress_ms = now;
+      }
       if (!ws->busy.load()) continue;
-      const std::uint64_t age = now - ws->heartbeat_ms.load();
+      const std::uint64_t alive_ms =
+          std::max(ws->heartbeat_ms.load(), ws->progress_ms);
+      const std::uint64_t age = now > alive_ms ? now - alive_ms : 0;
       if (age < options_.stall_grace_ms) continue;
       bool expected = false;
       if (!ws->suspect.compare_exchange_strong(expected, true)) continue;
@@ -570,6 +618,20 @@ void VerifyService::supervisor_loop() {
         std::lock_guard<std::mutex> lock(health_mutex_);
         ++health_.stuck_worker_events;
       }
+      // Reclaim the jobs queued in the wedged worker's ring: it is the
+      // only consumer, so without this they would be invisible until it
+      // recovers (or forever), stranding their futures. The pop mutex
+      // makes the steal safe against a concurrently recovering worker.
+      std::vector<JobPtr> reclaimed;
+      {
+        std::lock_guard<std::mutex> lock(ws->pop_mutex);
+        JobPtr slot[1];
+        while (ws->ring.pop_batch(std::span<JobPtr>(slot, 1)) == 1) {
+          if (!slot[0]->done.load()) reclaimed.push_back(std::move(slot[0]));
+          slot[0].reset();
+        }
+      }
+      for (const JobPtr& queued : reclaimed) requeue(queued, now);
       JobPtr job;
       {
         std::lock_guard<std::mutex> lock(ws->current_mutex);
@@ -578,8 +640,10 @@ void VerifyService::supervisor_loop() {
       if (!job || job->done.load()) continue;
       // Hand the job to a healthy worker (bounded). The wedged run is
       // deliberately NOT cancelled — job->cancel is shared with the
-      // fresh delivery, and verdicts are deterministic, so whichever
-      // run finishes first answers; the loser is discarded by `done`.
+      // fresh delivery; verify/synthesize verdicts are deterministic
+      // and monitor ingestion is idempotent per job (job->ingested), so
+      // whichever run finishes first answers and the loser is discarded
+      // by `done` without corrupting tenant state.
       if (job->deliveries.fetch_add(1) < options_.max_redeliveries) {
         {
           std::lock_guard<std::mutex> lock(health_mutex_);
@@ -653,6 +717,23 @@ void VerifyService::shutdown() {
   if (dispatcher_.joinable()) dispatcher_.join();
   if (supervisor_.joinable()) supervisor_.join();
   pool_.reset();  // waits for the resident worker tasks to return
+
+  // Belt and braces: the accepting_ re-check under staging_mutex_ in
+  // submit() means nothing should remain staged past drain(), but any
+  // leftover must still be answered, never stranded.
+  std::deque<JobPtr> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(staging_mutex_);
+    leftovers.swap(staging_);
+  }
+  for (const JobPtr& job : leftovers) {
+    if (job->done.load()) continue;
+    JobResponse rsp;
+    rsp.status = JobStatus::kRejected;
+    rsp.retry_after_ms = 1000;
+    rsp.detail = "service shutting down";
+    finish(job, rsp);
+  }
 
   if (!options_.snapshot_path.empty()) {
     try {

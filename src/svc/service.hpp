@@ -17,11 +17,16 @@
 //   3. Worker watchdog + graceful degradation: jobs flow
 //      submit -> staging deque -> dispatcher thread -> per-worker
 //      SpscRing -> resident worker tasks on a util::ThreadPool. The
-//      supervisor watches per-worker heartbeats; a worker stalled past
-//      stall_grace_ms is marked suspect (the dispatcher routes around
-//      it) and its in-flight job is re-delivered to another worker,
-//      bounded by max_redeliveries — an atomic done flag guarantees
-//      exactly one response no matter how many deliveries race.
+//      supervisor watches per-worker heartbeats *and* the progress
+//      beacons the engines bump at every cancellation poll, so a slow
+//      exact search is never mistaken for a wedged worker. A worker
+//      with neither signal for stall_grace_ms is marked suspect: the
+//      dispatcher routes around it, its queued ring jobs are reclaimed
+//      back into staging, and its in-flight job is re-delivered to
+//      another worker, bounded by max_redeliveries — an atomic done
+//      flag guarantees exactly one response no matter how many
+//      deliveries race (monitor ingestion is additionally idempotent
+//      per job, so a racing duplicate run cannot double-count a trace).
 //      Sustained queue depth degrades exact synthesis to the heuristic
 //      (responses carry degraded=true); every mode shift is recorded in
 //      the health snapshot.
@@ -157,6 +162,10 @@ class VerifyService {
     std::atomic<std::uint64_t> runs{0};       ///< deliveries started
     std::atomic<std::uint64_t> attempts{0};   ///< transient failures so far
     std::atomic<std::uint64_t> deliveries{0}; ///< stuck-worker re-queues
+    /// kMonitor only: the trace has been folded into the tenant's
+    /// stream. Claimed under the tenant mutex so a re-delivered or
+    /// retried duplicate run never ingests a second time.
+    std::atomic<bool> ingested{false};
     bool deferred = false;
   };
   using JobPtr = std::shared_ptr<Job>;
@@ -168,9 +177,20 @@ class VerifyService {
     std::condition_variable cv;
     std::atomic<std::uint64_t> heartbeat_ms{0};
     std::atomic<bool> busy{false};
+    /// Engine-side liveness beacon, bumped at every cancellation poll
+    /// of the job this worker is running. The supervisor samples it so
+    /// a long-but-alive run is never declared stalled.
+    std::atomic<std::uint64_t> progress{0};
+    /// Supervisor-only beacon bookkeeping (single reader/writer).
+    std::uint64_t seen_progress = 0;
+    std::uint64_t progress_ms = 0;
     /// Set by the supervisor on a stale heartbeat; routes new work away
     /// and edge-triggers the re-delivery. Cleared by the worker itself.
     std::atomic<bool> suspect{false};
+    /// Serializes ring consumption between the worker and the
+    /// supervisor's reclaim of a suspect worker's queued jobs; the ring
+    /// stays SPSC because at most one popper runs at a time.
+    std::mutex pop_mutex;
     std::mutex current_mutex;
     JobPtr current;
   };
@@ -181,8 +201,9 @@ class VerifyService {
   void supervisor_loop();
   void worker_loop(std::size_t id);
   void run_job(std::size_t id, const JobPtr& job);
-  JobResponse execute(Job& job, bool degraded);
-  JobResponse execute_monitor(Job& job);
+  JobResponse execute(Job& job, bool degraded,
+                      std::atomic<std::uint64_t>* progress);
+  JobResponse execute_monitor(Job& job, std::atomic<std::uint64_t>* progress);
   void finish(const JobPtr& job, JobResponse rsp);
   void requeue(const JobPtr& job, std::uint64_t eligible_ms);
 

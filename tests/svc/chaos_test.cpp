@@ -211,6 +211,63 @@ TEST(Chaos, ServiceSurvivesSeededFaultSweep) {
   }
 }
 
+TEST(Chaos, QueuedJobsBehindAStalledWorkerArePromptlyReclaimed) {
+  // When a worker wedges, the supervisor drains its ring back into
+  // staging: jobs queued behind the sleeper must be answered long
+  // before the stall ends, not held hostage by the ring's only
+  // consumer being asleep.
+  constexpr std::uint64_t kJobCount = 16;
+  ChaosPlan plan;
+  plan.stall_rate = 0.25;
+  plan.stall_ms = 1500;
+  // Exactly one stalled first run, on job 1 (submitted first, so other
+  // jobs queue behind it), and its re-delivered run must run clean.
+  std::uint64_t seed = 1;
+  for (; seed < 1000000; ++seed) {
+    plan.seed = seed;
+    std::size_t stalls = 0;
+    for (std::uint64_t id = 1; id <= kJobCount; ++id) {
+      if (chaos_should_stall(plan, id, 0)) ++stalls;
+    }
+    if (stalls == 1 && chaos_should_stall(plan, 1, 0) &&
+        !chaos_should_stall(plan, 1, 1)) {
+      break;
+    }
+  }
+  ASSERT_LT(seed, 1000000u);
+
+  ServiceOptions options;
+  options.workers = 2;
+  options.ring_capacity = 8;
+  options.admission.max_pending = 64;
+  options.stall_grace_ms = 15;
+  options.supervisor_period_ms = 5;
+  options.chaos = plan;
+
+  VerifyService service(options);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::future<JobResponse>> futures;
+  for (std::uint64_t id = 1; id <= kJobCount; ++id) {
+    JobRequest req;
+    req.id = id;
+    req.kind = JobKind::kVerify;
+    req.spec = kSpec;
+    req.schedule = ".40\n";
+    futures.push_back(service.submit(std::move(req)));
+  }
+  // Every response must arrive well before the 1500ms stall elapses:
+  // without reclaim, jobs ring-queued behind the sleeper wait it out.
+  const auto budget = t0 + std::chrono::milliseconds(1000);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_until(budget), std::future_status::ready)
+        << "job " << (i + 1) << " held hostage by the stalled worker";
+    const JobResponse rsp = futures[i].get();
+    EXPECT_EQ(rsp.status, JobStatus::kOk) << rsp.detail;
+    EXPECT_FALSE(rsp.verdict);
+  }
+  service.shutdown();
+}
+
 TEST(Chaos, WarmStartSnapshotIsBitIdentical) {
   namespace fs = std::filesystem;
   const std::string snap =

@@ -7,13 +7,16 @@
 #include <filesystem>
 #include <fstream>
 #include <future>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "core/latency.hpp"
 #include "core/pipeline.hpp"
 #include "core/schedule_io.hpp"
+#include "monitor/trace_io.hpp"
 #include "spec/compile.hpp"
+#include "svc/chaos.hpp"
 
 namespace rtg::svc {
 namespace {
@@ -276,6 +279,91 @@ TEST(VerifyService, PerTenantMonitorAccumulatesAcrossJobs) {
   const JobResponse rsp = service.submit(std::move(req)).get();
   service.shutdown();
   EXPECT_EQ(rsp.status, JobStatus::kInvalid);
+}
+
+TEST(VerifyService, MonitorIngestionIsIdempotentUnderRetry) {
+  // A monitor job whose first run completes but is then chaos-failed is
+  // re-run; the retried run must not fold the trace into the tenant's
+  // stream a second time (slots would double and later verdicts would
+  // be computed against a corrupted stream).
+  const spec::CompileResult compiled = spec::compile_text(kSpec);
+  ASSERT_TRUE(compiled.ok());
+  const core::GraphModel pipelined = core::pipeline_model(*compiled.model).model;
+
+  std::string schedule_text;
+  {
+    ServiceOptions plain;
+    plain.workers = 1;
+    VerifyService synth_svc(plain);
+    const JobResponse s = synth_svc.submit(synth_request(1)).get();
+    synth_svc.shutdown();
+    ASSERT_EQ(s.status, JobStatus::kOk);
+    ASSERT_TRUE(s.verdict);
+    schedule_text = s.detail;
+  }
+  const core::ScheduleParseResult parsed =
+      core::schedule_from_text(schedule_text, pipelined.comm());
+  ASSERT_TRUE(parsed.ok());
+  const sim::ExecutionTrace trace = parsed.schedule->to_trace(3);
+  std::ostringstream rtt;
+  monitor::write_trace(rtt, trace, monitor::model_fingerprint(pipelined));
+
+  // A seed that injects exactly one transient failure into the monitor
+  // job's first run, so the second run is the one that answers.
+  ChaosPlan plan;
+  plan.fail_rate = 0.5;
+  std::uint64_t seed = 1;
+  for (; seed < 100000; ++seed) {
+    plan.seed = seed;
+    if (chaos_should_fail(plan, 7, 0) && !chaos_should_fail(plan, 7, 1)) break;
+  }
+  ASSERT_LT(seed, 100000u);
+
+  ServiceOptions options;
+  options.workers = 1;
+  options.chaos = plan;
+  VerifyService service(options);
+  JobRequest req;
+  req.id = 7;
+  req.tenant = "mono";
+  req.kind = JobKind::kMonitor;
+  req.spec = kSpec;
+  req.trace = rtt.str();
+  const JobResponse rsp = service.submit(std::move(req)).get();
+  service.shutdown();
+  ASSERT_EQ(rsp.status, JobStatus::kOk) << rsp.detail;
+  // Exactly one ingestion: a duplicate would report slots at twice the
+  // trace size.
+  EXPECT_TRUE(rsp.detail.ends_with("slots=" + std::to_string(trace.size())))
+      << rsp.detail;
+  EXPECT_GE(service.health().retries, 1u);  // the retry really happened
+}
+
+TEST(VerifyService, SlowButAliveJobsAreNotSpuriouslyFailed) {
+  // The watchdog reads the engines' progress beacons: a run that is
+  // slower than stall_grace_ms but still polling its cancel hook is
+  // alive and must never be force-failed with "re-delivery budget
+  // exhausted". Distinct spec bytes per job keep the cache out of the
+  // way so every job really runs an engine.
+  ServiceOptions options;
+  options.workers = 2;
+  options.stall_grace_ms = 20;  // far below a slow exact search
+  options.supervisor_period_ms = 5;
+  VerifyService service(options);
+  std::vector<std::future<JobResponse>> futures;
+  for (std::uint64_t id = 1; id <= 6; ++id) {
+    JobRequest req = synth_request(id);
+    req.exact = true;
+    req.spec = std::string(kSpec) + std::string(id, '\n');
+    futures.push_back(service.submit(std::move(req)));
+  }
+  for (auto& f : futures) {
+    const JobResponse rsp = f.get();
+    ASSERT_EQ(rsp.status, JobStatus::kOk) << rsp.detail;
+    EXPECT_TRUE(rsp.verdict);
+  }
+  service.shutdown();
+  EXPECT_EQ(service.health().failed, 0u);
 }
 
 TEST(VerifyService, HealthCountersAreCoherent) {
