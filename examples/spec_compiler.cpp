@@ -39,6 +39,7 @@
 #include "rt/scheduler.hpp"
 #include "rt/task.hpp"
 #include "sim/trace.hpp"
+#include "gen/generator.hpp"
 #include "spec/compile.hpp"
 #include "spec/emit.hpp"
 
@@ -97,11 +98,15 @@ int flag_error(const std::string& message) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: spec_compiler <file.rts | -> [--dot] [--schedule] "
+               "usage: spec_compiler <file.rts | - | --gen <opts>> [--dot] [--schedule] "
                "[--processes] [--emit] [--exact] [--analyze] [--multiproc N]\n"
                "                     [--threads N] [--save <sched>] [--verify <sched>]\n"
                "                     [--emit-trace <trace.rtt>] [--monitor]\n"
                "                     [--inject <plan.fp>] [--recovery]\n"
+               "  --gen         generate a seeded scenario instead of reading a\n"
+               "                file; opts are comma-separated key=value pairs,\n"
+               "                e.g. topology=layered,seed=17,util=0.4 or\n"
+               "                domain=avionics,seed=3 (see docs/SCENARIOS.md)\n"
                "  --threads N   worker threads for verification and the exact\n"
                "                search (0 = hardware concurrency, 1 = serial)\n"
                "  --emit-trace  capture the synthesized schedule's execution\n"
@@ -146,6 +151,7 @@ int run(int argc, char** argv) {
   const char* verify_path = nullptr;
   const char* emit_trace_path = nullptr;
   const char* inject_path = nullptr;
+  const char* gen_spec = nullptr;
   bool want_monitor = false;
   bool want_recovery = false;
   // Value-taking flags must fail loudly when the value is missing; the
@@ -183,6 +189,8 @@ int run(int argc, char** argv) {
       inject_path = need_value(i);
     } else if (std::strcmp(argv[i], "--recovery") == 0) {
       want_recovery = true;
+    } else if (std::strcmp(argv[i], "--gen") == 0) {
+      gen_spec = need_value(i);
     } else if (std::strcmp(argv[i], "--multiproc") == 0) {
       multiproc = static_cast<std::size_t>(std::atoi(need_value(i)));
       if (multiproc == 0) {
@@ -201,7 +209,13 @@ int run(int argc, char** argv) {
                         "' (input path already given)");
     }
   }
-  if (path == nullptr) return flag_error("no input file (use '-' for stdin)");
+  if (gen_spec != nullptr && path != nullptr) {
+    return flag_error("--gen replaces the input file; drop '" + std::string(path) +
+                      "'");
+  }
+  if (path == nullptr && gen_spec == nullptr) {
+    return flag_error("no input file (use '-' for stdin, or --gen)");
+  }
   if (want_monitor && emit_trace_path == nullptr) {
     return flag_error("--monitor requires --emit-trace (the monitor replays the captured trace)");
   }
@@ -215,7 +229,19 @@ int run(int argc, char** argv) {
   }
 
   std::string text;
-  if (std::strcmp(path, "-") == 0) {
+  if (gen_spec != nullptr) {
+    std::string error;
+    const std::optional<gen::ScenarioOptions> options =
+        gen::parse_scenario_spec(gen_spec, &error);
+    if (!options) return flag_error("--gen: " + error);
+    const gen::Scenario scenario = gen::generate(*options);
+    std::fprintf(stderr, "generated: %s fingerprint %016llx (--gen %s)\n",
+                 scenario.name.c_str(),
+                 static_cast<unsigned long long>(scenario.fingerprint),
+                 gen::scenario_spec_string(*options).c_str());
+    text = scenario.spec;
+    path = "<gen>";
+  } else if (std::strcmp(path, "-") == 0) {
     std::ostringstream buffer;
     buffer << std::cin.rdbuf();
     text = buffer.str();

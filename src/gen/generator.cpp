@@ -1,0 +1,657 @@
+#include "gen/generator.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "spec/emit.hpp"
+
+namespace rtg::gen {
+
+namespace {
+
+// GCC 12's -Wrestrict misfires on `"lit" + std::to_string(n)` at -O3;
+// building the label with += sidesteps it.
+std::string label(const char* prefix, unsigned long long n) {
+  std::string s(prefix);
+  s += std::to_string(n);
+  return s;
+}
+
+using core::CommGraph;
+using core::ConstraintKind;
+using core::ElementId;
+using core::GraphModel;
+using core::TaskGraph;
+using core::Time;
+using core::TimingConstraint;
+
+// Period families. Values are sorted; pick_period returns the smallest
+// member >= x (clamped to the largest). Harmonic members keep server
+// hyperperiods collapsed; the coprime family is the adversarial case
+// (pairwise-coprime periods make the lcm explode combinatorially).
+constexpr Time kHarmonic[] = {4, 8, 16, 32, 64, 128, 256};
+constexpr Time kNearHarmonic[] = {4, 6, 8, 12, 16, 24, 32, 48, 64, 96, 128, 192, 256};
+constexpr Time kCoprime[] = {5, 7, 9, 11, 13, 17, 19, 23, 29, 31, 37, 41, 128, 256};
+
+Time pick_period(PeriodFamily family, Time at_least) {
+  const auto from = [&](const Time* begin, const Time* end) {
+    for (const Time* p = begin; p != end; ++p) {
+      if (*p >= at_least) return *p;
+    }
+    return *(end - 1);
+  };
+  switch (family) {
+    case PeriodFamily::kHarmonic:
+      return from(std::begin(kHarmonic), std::end(kHarmonic));
+    case PeriodFamily::kNearHarmonic:
+      return from(std::begin(kNearHarmonic), std::end(kNearHarmonic));
+    case PeriodFamily::kCoprime:
+      return from(std::begin(kCoprime), std::end(kCoprime));
+  }
+  return at_least;
+}
+
+// ---------------------------------------------------------------------------
+// PlatformGenerator: a parameterized communication graph. All topologies
+// are DAGs with edges pointing from lower to higher element id, so any
+// induced subgraph is acyclic — the invariant TaskGraphGenerator leans on.
+
+struct Platform {
+  CommGraph comm;
+  std::size_t size = 0;
+};
+
+Platform generate_platform(const PlatformOptions& opt, sim::Rng& rng) {
+  Platform platform;
+  CommGraph& comm = platform.comm;
+
+  std::size_t n = opt.elements;
+  const std::size_t width =
+      opt.width != 0 ? opt.width : std::max<std::size_t>(2, n / 3);
+  switch (opt.topology) {
+    case Topology::kChain:
+      n = std::max<std::size_t>(n, 2);
+      break;
+    case Topology::kForkJoin:
+      n = std::max<std::size_t>(n, 3);
+      break;
+    case Topology::kLayered:
+      n = std::max(n, width);  // at least one full layer
+      break;
+    case Topology::kDiamond:
+      // 1 + 3k nodes: a join doubles as the next motif's split.
+      n = 1 + 3 * std::max<std::size_t>(1, (std::max<std::size_t>(n, 4) - 1) / 3);
+      break;
+    case Topology::kRandomDag:
+      n = std::max<std::size_t>(n, 2);
+      break;
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Time weight = rng.uniform(opt.min_weight, std::max(opt.min_weight,
+                                                             opt.max_weight));
+    const bool pipelinable = rng.chance(opt.pipelinable);
+    comm.add_element(label("e", i), weight, pipelinable);
+  }
+
+  const auto channel = [&](std::size_t u, std::size_t v) {
+    comm.add_channel(static_cast<ElementId>(u), static_cast<ElementId>(v));
+  };
+
+  switch (opt.topology) {
+    case Topology::kChain:
+      for (std::size_t i = 0; i + 1 < n; ++i) channel(i, i + 1);
+      break;
+    case Topology::kForkJoin:
+      for (std::size_t i = 1; i + 1 < n; ++i) channel(0, i);
+      for (std::size_t i = 1; i + 1 < n; ++i) channel(i, n - 1);
+      break;
+    case Topology::kLayered: {
+      // Nodes in id order, grouped into layers of `width`.
+      const auto layer_of = [&](std::size_t v) { return v / width; };
+      for (std::size_t v = width; v < n; ++v) {
+        const std::size_t layer = layer_of(v);
+        const std::size_t lo = (layer - 1) * width;
+        const std::size_t hi = std::min(layer * width, n);
+        bool any = false;
+        for (std::size_t u = lo; u < hi; ++u) {
+          if (rng.chance(opt.density)) {
+            channel(u, v);
+            any = true;
+          }
+        }
+        if (!any) {
+          channel(lo + static_cast<std::size_t>(
+                           rng.uniform(0, static_cast<std::int64_t>(hi - lo) - 1)),
+                  v);
+        }
+      }
+      // Forward fixup: a node the density draw never picked as a
+      // predecessor would be stranded; hand it one successor in the
+      // next layer.
+      for (std::size_t u = 0; u < n && layer_of(u) < layer_of(n - 1); ++u) {
+        if (comm.digraph().out_degree(static_cast<ElementId>(u)) > 0) continue;
+        const std::size_t lo = (layer_of(u) + 1) * width;
+        const std::size_t hi = std::min(lo + width, n);
+        channel(u, lo + static_cast<std::size_t>(rng.uniform(
+                            0, static_cast<std::int64_t>(hi - lo) - 1)));
+      }
+      break;
+    }
+    case Topology::kDiamond:
+      for (std::size_t base = 0; base + 3 < n; base += 3) {
+        channel(base, base + 1);
+        channel(base, base + 2);
+        channel(base + 1, base + 3);
+        channel(base + 2, base + 3);
+        if (rng.chance(opt.density * 0.5)) channel(base, base + 3);  // shortcut
+      }
+      break;
+    case Topology::kRandomDag:
+      for (std::size_t u = 0; u < n; ++u) {
+        for (std::size_t v = u + 1; v < n; ++v) {
+          if (rng.chance(opt.density)) channel(u, v);
+        }
+      }
+      // Connectivity fixup: every non-source node gets a predecessor.
+      for (std::size_t v = 1; v < n; ++v) {
+        if (comm.digraph().in_degree(static_cast<ElementId>(v)) == 0) {
+          channel(v - 1, v);
+        }
+      }
+      break;
+  }
+
+  platform.size = n;
+  return platform;
+}
+
+// ---------------------------------------------------------------------------
+// TaskGraphGenerator: carve constraint task graphs out of the platform.
+
+// Selects a connected sub-DAG of up to `max_ops` elements: start at a
+// random element, grow along out-channels. Returns element ids,
+// ascending (so op ids are topologically sorted — comm edges only point
+// upward — and the emitted spec is a round-trip fixpoint).
+std::vector<ElementId> select_subdag(const CommGraph& comm, std::size_t max_ops,
+                                     sim::Rng& rng) {
+  const auto n = static_cast<std::int64_t>(comm.size());
+  std::vector<ElementId> selected;
+  selected.push_back(static_cast<ElementId>(rng.uniform(0, n - 1)));
+  const std::size_t target =
+      static_cast<std::size_t>(rng.uniform(1, static_cast<std::int64_t>(
+                                                  std::max<std::size_t>(max_ops, 1))));
+  while (selected.size() < target) {
+    // Candidates: unselected successors of any selected element, in
+    // deterministic (selected asc, adjacency-list) order.
+    std::vector<ElementId> candidates;
+    for (const ElementId u : selected) {
+      for (const graph::NodeId v : comm.digraph().successors(u)) {
+        if (std::find(selected.begin(), selected.end(), v) == selected.end() &&
+            std::find(candidates.begin(), candidates.end(), v) == candidates.end()) {
+          candidates.push_back(v);
+        }
+      }
+    }
+    if (candidates.empty()) break;
+    selected.push_back(candidates[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(candidates.size()) - 1))]);
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+TaskGraph induced_task_graph(const CommGraph& comm,
+                             const std::vector<ElementId>& elements) {
+  TaskGraph tg;
+  std::vector<core::OpId> op_of(comm.size(), graph::kInvalidNode);
+  for (const ElementId e : elements) op_of[e] = tg.add_op(e);
+  for (const ElementId u : elements) {
+    for (const graph::NodeId v : comm.digraph().successors(u)) {
+      if (op_of[v] != graph::kInvalidNode) tg.add_dep(op_of[u], op_of[v]);
+    }
+  }
+  return tg;
+}
+
+void add_constraints(GraphModel& model, const ConstraintOptions& opt, sim::Rng& rng) {
+  const std::size_t count = std::max<std::size_t>(opt.constraints, 1);
+  // Per-constraint utilization share of the Σ w/d target; deadlines are
+  // d ≈ w / share, clamped to [w, kDeadlineCap] so the exact game's
+  // window (D = max deadline) stays searchable in a corpus sweep.
+  constexpr Time kDeadlineCap = 120;
+  const double share = std::max(opt.utilization, 0.01) / static_cast<double>(count);
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::vector<ElementId> elements =
+        select_subdag(model.comm(), opt.max_ops, rng);
+    TaskGraph tg = induced_task_graph(model.comm(), elements);
+    const Time w = tg.computation_time(model.comm());
+
+    Time deadline = static_cast<Time>(static_cast<double>(w) / share + 0.5);
+    deadline = std::clamp<Time>(deadline, w, kDeadlineCap);
+    const bool latency_tight = rng.chance(opt.latency_density);
+    Time period;
+    if (latency_tight) {
+      // A true latency constraint: deadline strictly below the
+      // period/separation whenever the family allows it.
+      period = pick_period(opt.periods, deadline + 1);
+    } else {
+      // End-of-window constraint: deadline rides up to the period.
+      period = pick_period(opt.periods, deadline);
+      deadline = std::max(period, w);
+    }
+    const bool sporadic = rng.chance(opt.sporadic_fraction);
+
+    TimingConstraint constraint;
+    constraint.name = label("C", c);
+    constraint.task_graph = std::move(tg);
+    constraint.period = period;
+    constraint.deadline = deadline;
+    constraint.kind =
+        sporadic ? ConstraintKind::kAsynchronous : ConstraintKind::kPeriodic;
+    model.add_constraint(std::move(constraint));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Domain packs: structured scenarios with realistic shapes. Weights and
+// rates carry seeded jitter; structure is fixed per pack.
+
+GraphModel make_sensor_fusion(sim::Rng& rng) {
+  CommGraph comm;
+  const ElementId imu = comm.add_element("imu", 1);
+  const ElementId gyro = comm.add_element("gyro", 1);
+  const ElementId mag = comm.add_element("mag", 1);
+  const ElementId baro = comm.add_element("baro", 1);
+  const ElementId fuse = comm.add_element("fuse", rng.uniform(1, 2));
+  const ElementId kf = comm.add_element("kf", rng.uniform(1, 2));
+  const ElementId nav = comm.add_element("nav", 1);
+  comm.add_channel(imu, fuse);
+  comm.add_channel(gyro, fuse);
+  comm.add_channel(mag, fuse);
+  comm.add_channel(baro, fuse);
+  comm.add_channel(fuse, kf);
+  comm.add_channel(kf, nav);
+
+  GraphModel model(std::move(comm));
+  const Time base = rng.chance(0.5) ? 16 : 32;
+  const auto chain = [&](std::initializer_list<ElementId> path) {
+    TaskGraph tg;
+    core::OpId prev = graph::kInvalidNode;
+    for (const ElementId e : path) {
+      const core::OpId op = tg.add_op(e);
+      if (prev != graph::kInvalidNode) tg.add_dep(prev, op);
+      prev = op;
+    }
+    return tg;
+  };
+  model.add_constraint(TimingConstraint{"attitude", chain({imu, fuse, kf}), base,
+                                        base, ConstraintKind::kPeriodic});
+  model.add_constraint(TimingConstraint{"heading", chain({mag, fuse, kf}), 2 * base,
+                                        2 * base, ConstraintKind::kPeriodic});
+  model.add_constraint(TimingConstraint{"altitude", chain({baro, fuse, kf, nav}),
+                                        2 * base, base + rng.uniform(0, base / 2),
+                                        ConstraintKind::kAsynchronous});
+  model.add_constraint(TimingConstraint{"rate_damp", chain({gyro, fuse}), base,
+                                        base / 2, ConstraintKind::kAsynchronous});
+  return model;
+}
+
+GraphModel make_avionics(sim::Rng& rng) {
+  CommGraph comm;
+  const ElementId adc = comm.add_element("adc", 1);
+  const ElementId ins = comm.add_element("ins", 1);
+  const ElementId gps = comm.add_element("gps", 1);
+  const ElementId modesel = comm.add_element("modesel", 1);
+  const ElementId cruise = comm.add_element("ctl_cruise", rng.uniform(1, 2));
+  const ElementId landing = comm.add_element("ctl_landing", rng.uniform(1, 2));
+  const ElementId mixer = comm.add_element("mixer", 1);
+  const ElementId servo = comm.add_element("servo", 1);
+  comm.add_channel(adc, modesel);
+  comm.add_channel(ins, modesel);
+  comm.add_channel(gps, modesel);
+  comm.add_channel(modesel, cruise);
+  comm.add_channel(modesel, landing);
+  comm.add_channel(cruise, mixer);
+  comm.add_channel(landing, mixer);
+  comm.add_channel(mixer, servo);
+
+  GraphModel model(std::move(comm));
+  const Time base = rng.chance(0.5) ? 32 : 64;
+  const auto chain = [&](std::initializer_list<ElementId> path) {
+    TaskGraph tg;
+    core::OpId prev = graph::kInvalidNode;
+    for (const ElementId e : path) {
+      const core::OpId op = tg.add_op(e);
+      if (prev != graph::kInvalidNode) tg.add_dep(prev, op);
+      prev = op;
+    }
+    return tg;
+  };
+  // The two mode control loops run concurrently (the executive blends
+  // during transitions), the mode-switch path is a tight sporadic
+  // latency constraint, and the servo refresh guards output staleness.
+  model.add_constraint(TimingConstraint{
+      "cruise_loop", chain({ins, modesel, cruise, mixer, servo}), base, base,
+      ConstraintKind::kPeriodic});
+  model.add_constraint(TimingConstraint{
+      "landing_loop", chain({adc, modesel, landing, mixer, servo}), 2 * base,
+      2 * base, ConstraintKind::kPeriodic});
+  model.add_constraint(TimingConstraint{"mode_switch", chain({gps, modesel}),
+                                        2 * base, base / 2 + rng.uniform(0, 8),
+                                        ConstraintKind::kAsynchronous});
+  model.add_constraint(TimingConstraint{"servo_refresh", chain({servo}), base / 2,
+                                        base / 2, ConstraintKind::kPeriodic});
+  return model;
+}
+
+GraphModel make_market_data(sim::Rng& rng) {
+  CommGraph comm;
+  const ElementId feed = comm.add_element("md_feed", 1);
+  const ElementId book = comm.add_element("book", rng.uniform(1, 2));
+  const ElementId signal = comm.add_element("signal", rng.uniform(1, 2));
+  const ElementId risk = comm.add_element("risk", 1);
+  const ElementId order = comm.add_element("order", 1);
+  const ElementId quote = comm.add_element("quote", 1);
+  comm.add_channel(feed, book);
+  comm.add_channel(book, signal);
+  comm.add_channel(book, quote);
+  comm.add_channel(signal, risk);
+  comm.add_channel(signal, order);
+  comm.add_channel(risk, order);
+
+  GraphModel model(std::move(comm));
+  const Time base = rng.chance(0.5) ? 16 : 32;
+  const auto chain = [&](std::initializer_list<ElementId> path) {
+    TaskGraph tg;
+    core::OpId prev = graph::kInvalidNode;
+    for (const ElementId e : path) {
+      const core::OpId op = tg.add_op(e);
+      if (prev != graph::kInvalidNode) tg.add_dep(prev, op);
+      prev = op;
+    }
+    return tg;
+  };
+  // Tick-to-trade is the tight end-to-end latency path; quoting and
+  // risk refresh are periodic upkeep; the alpha fast path bypasses the
+  // risk hop under a separate sporadic bound.
+  model.add_constraint(TimingConstraint{
+      "tick_to_trade", chain({feed, book, signal, risk, order}), 2 * base,
+      base + rng.uniform(0, base / 2), ConstraintKind::kAsynchronous});
+  model.add_constraint(TimingConstraint{"quote_refresh", chain({book, quote}), base,
+                                        base, ConstraintKind::kPeriodic});
+  model.add_constraint(TimingConstraint{"risk_refresh", chain({risk}), 2 * base,
+                                        2 * base, ConstraintKind::kPeriodic});
+  model.add_constraint(TimingConstraint{"alpha_fast", chain({signal, order}), base,
+                                        base / 2 + rng.uniform(0, 4),
+                                        ConstraintKind::kAsynchronous});
+  return model;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+std::string_view topology_name(Topology t) {
+  switch (t) {
+    case Topology::kChain: return "chain";
+    case Topology::kForkJoin: return "fork_join";
+    case Topology::kLayered: return "layered";
+    case Topology::kDiamond: return "diamond";
+    case Topology::kRandomDag: return "random";
+  }
+  return "?";
+}
+
+std::string_view period_family_name(PeriodFamily f) {
+  switch (f) {
+    case PeriodFamily::kHarmonic: return "harmonic";
+    case PeriodFamily::kNearHarmonic: return "near_harmonic";
+    case PeriodFamily::kCoprime: return "coprime";
+  }
+  return "?";
+}
+
+std::string_view domain_name(DomainPack d) {
+  switch (d) {
+    case DomainPack::kNone: return "none";
+    case DomainPack::kSensorFusion: return "sensor_fusion";
+    case DomainPack::kAvionics: return "avionics";
+    case DomainPack::kMarketData: return "market_data";
+  }
+  return "?";
+}
+
+Scenario generate(const ScenarioOptions& options) {
+  // Seed the stream with every discrete shape knob, so e.g. two
+  // topologies at the same seed draw unrelated randomness.
+  std::uint64_t sm = options.seed;
+  sm ^= 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(options.domain) + 1);
+  sm ^= 0xD1B54A32D192ED03ULL *
+        (static_cast<std::uint64_t>(options.platform.topology) + 1);
+  sim::Rng rng(sim::splitmix64(sm));
+
+  Scenario scenario;
+  scenario.options = options;
+  switch (options.domain) {
+    case DomainPack::kNone: {
+      const Platform platform = generate_platform(options.platform, rng);
+      scenario.model = GraphModel(platform.comm);
+      add_constraints(scenario.model, options.constraints, rng);
+      scenario.name = std::string(topology_name(options.platform.topology));
+      break;
+    }
+    case DomainPack::kSensorFusion:
+      scenario.model = make_sensor_fusion(rng);
+      scenario.name = "sensor_fusion";
+      break;
+    case DomainPack::kAvionics:
+      scenario.model = make_avionics(rng);
+      scenario.name = "avionics";
+      break;
+    case DomainPack::kMarketData:
+      scenario.model = make_market_data(rng);
+      scenario.name = "market_data";
+      break;
+  }
+  scenario.name += label("-s", options.seed);
+  scenario.spec = spec::emit(scenario.model);
+  scenario.fingerprint = fnv1a(scenario.spec);
+  return scenario;
+}
+
+ScenarioOptions corpus_options(std::uint64_t index) {
+  ScenarioOptions o;
+  o.seed = index;
+  if (index % 8 == 7) {
+    // Every eighth scenario is a domain pack (structure over breadth).
+    constexpr DomainPack kPacks[] = {DomainPack::kSensorFusion,
+                                     DomainPack::kAvionics, DomainPack::kMarketData};
+    o.domain = kPacks[(index / 8) % 3];
+    return o;
+  }
+  constexpr Topology kTopologies[] = {Topology::kChain, Topology::kForkJoin,
+                                      Topology::kLayered, Topology::kDiamond,
+                                      Topology::kRandomDag};
+  constexpr PeriodFamily kFamilies[] = {PeriodFamily::kHarmonic,
+                                        PeriodFamily::kNearHarmonic,
+                                        PeriodFamily::kCoprime};
+  constexpr double kUtils[] = {0.2, 0.35, 0.5, 0.8};
+  constexpr double kLatency[] = {0.25, 0.5, 1.0};
+  o.platform.topology = kTopologies[index % 5];
+  o.platform.elements = 4 + static_cast<std::size_t>(index % 4);
+  o.platform.density = 0.35 + 0.1 * static_cast<double>((index / 2) % 4);
+  // A sliver of non-pipelinable elements keeps Theorem 3's hypothesis
+  // (iii) from holding vacuously across the whole corpus.
+  o.platform.pipelinable = (index % 6 == 5) ? 0.7 : 1.0;
+  o.constraints.constraints = 2 + static_cast<std::size_t>(index % 3);
+  o.constraints.utilization = kUtils[(index / 3) % 4];
+  o.constraints.periods = kFamilies[(index / 5) % 3];
+  o.constraints.sporadic_fraction = (index % 4 == 3) ? 1.0 : 0.5;
+  o.constraints.latency_density = kLatency[(index / 7) % 3];
+  o.constraints.max_ops = 3 + static_cast<std::size_t>(index % 2);
+  return o;
+}
+
+namespace {
+
+bool parse_u64(std::string_view v, std::uint64_t& out) {
+  if (v.empty()) return false;
+  std::uint64_t r = 0;
+  for (const char c : v) {
+    if (c < '0' || c > '9') return false;
+    r = r * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  out = r;
+  return true;
+}
+
+bool parse_double(std::string_view v, double& out) {
+  const std::string s(v);
+  char* end = nullptr;
+  const double r = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == s.c_str()) return false;
+  out = r;
+  return true;
+}
+
+}  // namespace
+
+std::optional<ScenarioOptions> parse_scenario_spec(std::string_view text,
+                                                   std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<ScenarioOptions> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  ScenarioOptions options;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string_view::npos) comma = text.size();
+    const std::string_view pair = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("expected key=value, got '" + std::string(pair) + "'");
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    std::uint64_t u = 0;
+    double d = 0;
+    if (key == "topology") {
+      if (value == "chain") options.platform.topology = Topology::kChain;
+      else if (value == "fork_join") options.platform.topology = Topology::kForkJoin;
+      else if (value == "layered") options.platform.topology = Topology::kLayered;
+      else if (value == "diamond") options.platform.topology = Topology::kDiamond;
+      else if (value == "random") options.platform.topology = Topology::kRandomDag;
+      else return fail("unknown topology '" + std::string(value) + "'");
+    } else if (key == "domain") {
+      if (value == "none") options.domain = DomainPack::kNone;
+      else if (value == "sensor_fusion") options.domain = DomainPack::kSensorFusion;
+      else if (value == "avionics") options.domain = DomainPack::kAvionics;
+      else if (value == "market_data") options.domain = DomainPack::kMarketData;
+      else return fail("unknown domain '" + std::string(value) + "'");
+    } else if (key == "periods") {
+      if (value == "harmonic") options.constraints.periods = PeriodFamily::kHarmonic;
+      else if (value == "near_harmonic")
+        options.constraints.periods = PeriodFamily::kNearHarmonic;
+      else if (value == "coprime") options.constraints.periods = PeriodFamily::kCoprime;
+      else return fail("unknown period family '" + std::string(value) + "'");
+    } else if (key == "seed") {
+      if (!parse_u64(value, u)) return fail("bad seed '" + std::string(value) + "'");
+      options.seed = u;
+    } else if (key == "elements") {
+      if (!parse_u64(value, u) || u == 0) {
+        return fail("bad elements '" + std::string(value) + "'");
+      }
+      options.platform.elements = static_cast<std::size_t>(u);
+    } else if (key == "width") {
+      if (!parse_u64(value, u)) return fail("bad width '" + std::string(value) + "'");
+      options.platform.width = static_cast<std::size_t>(u);
+    } else if (key == "density") {
+      if (!parse_double(value, d) || d < 0 || d > 1) {
+        return fail("bad density '" + std::string(value) + "'");
+      }
+      options.platform.density = d;
+    } else if (key == "min_weight") {
+      if (!parse_u64(value, u) || u == 0) {
+        return fail("bad min_weight '" + std::string(value) + "'");
+      }
+      options.platform.min_weight = static_cast<Time>(u);
+    } else if (key == "max_weight") {
+      if (!parse_u64(value, u) || u == 0) {
+        return fail("bad max_weight '" + std::string(value) + "'");
+      }
+      options.platform.max_weight = static_cast<Time>(u);
+    } else if (key == "pipelinable") {
+      if (!parse_double(value, d) || d < 0 || d > 1) {
+        return fail("bad pipelinable '" + std::string(value) + "'");
+      }
+      options.platform.pipelinable = d;
+    } else if (key == "constraints") {
+      if (!parse_u64(value, u) || u == 0) {
+        return fail("bad constraints '" + std::string(value) + "'");
+      }
+      options.constraints.constraints = static_cast<std::size_t>(u);
+    } else if (key == "util") {
+      if (!parse_double(value, d) || d <= 0) {
+        return fail("bad util '" + std::string(value) + "'");
+      }
+      options.constraints.utilization = d;
+    } else if (key == "sporadic") {
+      if (!parse_double(value, d) || d < 0 || d > 1) {
+        return fail("bad sporadic '" + std::string(value) + "'");
+      }
+      options.constraints.sporadic_fraction = d;
+    } else if (key == "latency_density") {
+      if (!parse_double(value, d) || d < 0 || d > 1) {
+        return fail("bad latency_density '" + std::string(value) + "'");
+      }
+      options.constraints.latency_density = d;
+    } else if (key == "max_ops") {
+      if (!parse_u64(value, u) || u == 0) {
+        return fail("bad max_ops '" + std::string(value) + "'");
+      }
+      options.constraints.max_ops = static_cast<std::size_t>(u);
+    } else {
+      return fail("unknown key '" + std::string(key) + "'");
+    }
+  }
+  if (options.platform.max_weight < options.platform.min_weight) {
+    return fail("max_weight below min_weight");
+  }
+  return options;
+}
+
+std::string scenario_spec_string(const ScenarioOptions& o) {
+  char buffer[512];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "domain=%s,topology=%s,seed=%llu,elements=%zu,width=%zu,density=%g,"
+      "min_weight=%lld,max_weight=%lld,pipelinable=%g,constraints=%zu,util=%g,"
+      "periods=%s,sporadic=%g,latency_density=%g,max_ops=%zu",
+      std::string(domain_name(o.domain)).c_str(),
+      std::string(topology_name(o.platform.topology)).c_str(),
+      static_cast<unsigned long long>(o.seed), o.platform.elements, o.platform.width,
+      o.platform.density, static_cast<long long>(o.platform.min_weight),
+      static_cast<long long>(o.platform.max_weight), o.platform.pipelinable,
+      o.constraints.constraints, o.constraints.utilization,
+      std::string(period_family_name(o.constraints.periods)).c_str(),
+      o.constraints.sporadic_fraction, o.constraints.latency_density,
+      o.constraints.max_ops);
+  return buffer;
+}
+
+}  // namespace rtg::gen

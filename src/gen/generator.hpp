@@ -1,0 +1,143 @@
+// generator.hpp — the scenario factory: seeded workload generators.
+//
+// Every bench and most tests so far reuse one small control-system
+// family; this module is the standing source of *breadth*. A
+// PlatformGenerator draws a parameterized communication graph
+// (chain / fork-join / layered / diamond / random-DAG topologies,
+// weight and pipelinability knobs), a TaskGraphGenerator carves
+// timing constraints out of it (utilization targets, period families,
+// latency-tightness density), and three domain packs (sensor fusion,
+// avionics mode-switching, a market-data pipeline) provide structured
+// instances with realistic shapes. Everything is a pure function of
+// the seed: the same ScenarioOptions always produce the bit-identical
+// model, emitted .rts spec, and FNV fingerprint, so any corpus failure
+// is one-line reproducible (`spec_compiler --gen <spec-string>`).
+//
+// Generated scenarios are guaranteed to round-trip through the .rts
+// toolchain: spec::emit(model) re-parses, re-compiles, and re-emits to
+// the identical byte string (tests/gen/roundtrip_test.cpp pins this).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/model.hpp"
+
+namespace rtg::gen {
+
+/// Communication-graph families. All are DAGs over element ids
+/// (edges only point from lower to higher id), so any induced
+/// subgraph is a valid acyclic task graph.
+enum class Topology : std::uint8_t {
+  kChain,     ///< e0 -> e1 -> ... -> e{n-1}
+  kForkJoin,  ///< one source, parallel middles, one sink
+  kLayered,   ///< layers of `width`, dense edges between adjacent layers
+  kDiamond,   ///< chained diamond motifs (split -> two arms -> join)
+  kRandomDag, ///< edge (i, j), i < j, kept with probability `density`
+};
+
+/// Period / separation families for generated constraints.
+enum class PeriodFamily : std::uint8_t {
+  kHarmonic,      ///< powers of two of a base (tame hyperperiods)
+  kNearHarmonic,  ///< harmonic with an occasional 3x member
+  kCoprime,       ///< small pairwise-coprime values (adversarial lcm)
+};
+
+/// Structured scenario packs layered on top of the raw topologies.
+enum class DomainPack : std::uint8_t {
+  kNone,          ///< pure parameterized topology
+  kSensorFusion,  ///< imu/gyro/mag/baro -> fuse -> filter -> nav
+  kAvionics,      ///< sensed modes -> mode controllers -> mixer -> actuator
+  kMarketData,    ///< feed -> book -> signal -> risk -> order pipeline
+};
+
+/// Knobs of the communication-graph (platform) generator.
+struct PlatformOptions {
+  Topology topology = Topology::kLayered;
+  /// Element-count target; each topology enforces its own small floor
+  /// (e.g. fork-join needs at least 3).
+  std::size_t elements = 6;
+  /// Layer width (layered) / fork width (fork-join); 0 = derived.
+  std::size_t width = 0;
+  /// Extra-edge keep probability for layered / random topologies.
+  double density = 0.5;
+  core::Time min_weight = 1;
+  core::Time max_weight = 2;
+  /// Probability that an element is pipelinable (Theorem 3 hypothesis).
+  double pipelinable = 1.0;
+};
+
+/// Knobs of the constraint (task-graph) generator.
+struct ConstraintOptions {
+  std::size_t constraints = 3;
+  /// Target Σ w_i / d_i (the paper's load measure). Deadlines are
+  /// derived to approach it; clamping at tiny task graphs can land
+  /// below, never more than ~2x above.
+  double utilization = 0.35;
+  PeriodFamily periods = PeriodFamily::kHarmonic;
+  /// Probability a constraint is asynchronous (sporadic).
+  double sporadic_fraction = 0.5;
+  /// Fraction of constraints whose deadline is tightened strictly
+  /// below the period/separation (a latency constraint in the paper's
+  /// sense, rather than an end-of-period one).
+  double latency_density = 0.5;
+  /// Cap on operations per task graph.
+  std::size_t max_ops = 4;
+};
+
+struct ScenarioOptions {
+  std::uint64_t seed = 0;
+  DomainPack domain = DomainPack::kNone;
+  PlatformOptions platform;
+  ConstraintOptions constraints;
+};
+
+/// A generated scenario: the model plus its emitted spec and the
+/// FNV-1a fingerprint of that spec (the corpus identity used by the
+/// seed-stability pins and the tournament repro lines).
+struct Scenario {
+  std::string name;  ///< e.g. "layered-s17" or "sensor_fusion-s3"
+  ScenarioOptions options;
+  core::GraphModel model;
+  std::string spec;            ///< spec::emit(model)
+  std::uint64_t fingerprint = 0;  ///< fnv1a(spec)
+};
+
+/// FNV-1a over a byte string (the corpus fingerprint primitive).
+[[nodiscard]] std::uint64_t fnv1a(std::string_view bytes);
+
+[[nodiscard]] std::string_view topology_name(Topology t);
+[[nodiscard]] std::string_view period_family_name(PeriodFamily f);
+[[nodiscard]] std::string_view domain_name(DomainPack d);
+
+/// Generates the scenario for `options`. Deterministic: equal options
+/// give bit-identical scenarios. The produced model always validates
+/// (task-graph edges follow channels, acyclic, positive weights) and
+/// its spec round-trips through parse/compile/emit unchanged.
+[[nodiscard]] Scenario generate(const ScenarioOptions& options);
+
+/// The standing mixed corpus: deterministic options for corpus index
+/// `index`. Cycles through every topology, period family, utilization
+/// band, latency density, and (every eighth index) a domain pack, so a
+/// prefix sweep 0..N-1 exercises the whole option lattice. This is the
+/// shared convention between the corpus regression tests, the service
+/// corpus suite, CI's seed window, and bench_scenario_corpus.
+[[nodiscard]] ScenarioOptions corpus_options(std::uint64_t index);
+
+/// Parses a `--gen` scenario-spec string: comma-separated key=value
+/// pairs, e.g. "topology=layered,seed=17,elements=8,util=0.4".
+/// Keys: topology (chain|fork_join|layered|diamond|random),
+/// domain (sensor_fusion|avionics|market_data), seed, elements, width,
+/// density, min_weight, max_weight, pipelinable, constraints, util,
+/// periods (harmonic|near_harmonic|coprime), sporadic, latency_density,
+/// max_ops. Unknown keys or malformed values fail with a diagnostic.
+[[nodiscard]] std::optional<ScenarioOptions> parse_scenario_spec(std::string_view text,
+                                                                 std::string* error);
+
+/// Formats options back into a parse_scenario_spec-compatible string —
+/// the one-line reproduction recipe printed on corpus failures.
+[[nodiscard]] std::string scenario_spec_string(const ScenarioOptions& options);
+
+}  // namespace rtg::gen

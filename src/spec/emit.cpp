@@ -1,7 +1,9 @@
 #include "spec/emit.hpp"
 
+#include <algorithm>
 #include <sstream>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace rtg::spec {
 
@@ -48,16 +50,30 @@ std::string emit(const core::GraphModel& model) {
     os << "\nconstraint " << c.name << " "
        << (c.periodic() ? "periodic period " : "sporadic separation ") << c.period
        << " deadline " << c.deadline << " {\n";
+    // Edges and singletons are printed in ref-name order rather than
+    // op-id order: re-compiling renumbers ops by first appearance, so
+    // only a name-canonical order makes emit(compile(emit(m))) a byte
+    // fixpoint (the generator corpus round-trip pins rely on this).
     std::vector<bool> covered(c.task_graph.size(), false);
+    std::vector<std::pair<std::string, std::string>> edges;
     for (const graph::Edge& dep : c.task_graph.skeleton().edges()) {
-      os << "  " << op_ref(c.task_graph, comm, dep.from) << " -> "
-         << op_ref(c.task_graph, comm, dep.to) << ";\n";
+      edges.emplace_back(op_ref(c.task_graph, comm, dep.from),
+                         op_ref(c.task_graph, comm, dep.to));
       covered[dep.from] = covered[dep.to] = true;
     }
+    std::sort(edges.begin(), edges.end());
+    for (const auto& [from, to] : edges) {
+      os << "  " << from << " -> " << to << ";\n";
+    }
+    std::vector<std::string> singletons;
     for (core::OpId op = 0; op < c.task_graph.size(); ++op) {
       if (!covered[op]) {
-        os << "  " << op_ref(c.task_graph, comm, op) << ";\n";
+        singletons.push_back(op_ref(c.task_graph, comm, op));
       }
+    }
+    std::sort(singletons.begin(), singletons.end());
+    for (const std::string& ref : singletons) {
+      os << "  " << ref << ";\n";
     }
     os << "}\n";
   }

@@ -1,0 +1,104 @@
+// Satellite: the spec round trip. Every generated scenario serializes
+// to .rts, re-parses, re-compiles, and re-emits to the bit-identical
+// byte string (and hence the identical FNV fingerprint). This catches
+// parser/printer drift that the hand-written example specs cannot — the
+// generator reaches shapes (dense layered DAGs, singleton constraints,
+// weight/nopipeline attribute mixes) no example exercises.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "gen/generator.hpp"
+#include "spec/compile.hpp"
+#include "spec/emit.hpp"
+
+namespace rtg::gen {
+namespace {
+
+void expect_fixpoint(const Scenario& scenario) {
+  SCOPED_TRACE(scenario.name + " — reproduce with: spec_compiler --gen " +
+               scenario_spec_string(scenario.options));
+  const spec::CompileResult compiled = spec::compile_text(scenario.spec);
+  ASSERT_TRUE(compiled.ok())
+      << (compiled.errors.empty() ? "?" : compiled.errors.front().message)
+      << "\nspec:\n" << scenario.spec;
+  const std::string reemitted = spec::emit(*compiled.model);
+  EXPECT_EQ(reemitted, scenario.spec);
+  EXPECT_EQ(fnv1a(reemitted), scenario.fingerprint);
+
+  // And the recompiled model is itself a fixpoint (idempotence, not
+  // just one lucky round).
+  const spec::CompileResult again = spec::compile_text(reemitted);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(spec::emit(*again.model), reemitted);
+}
+
+TEST(RoundTrip, CorpusPrefixIsAByteFixpoint) {
+  for (std::uint64_t index = 0; index < 96; ++index) {
+    expect_fixpoint(generate(corpus_options(index)));
+  }
+}
+
+TEST(RoundTrip, EveryTopologyAtEveryPeriodFamily) {
+  for (const Topology t : {Topology::kChain, Topology::kForkJoin,
+                           Topology::kLayered, Topology::kDiamond,
+                           Topology::kRandomDag}) {
+    for (const PeriodFamily f : {PeriodFamily::kHarmonic,
+                                 PeriodFamily::kNearHarmonic,
+                                 PeriodFamily::kCoprime}) {
+      for (std::uint64_t seed = 0; seed < 4; ++seed) {
+        ScenarioOptions options;
+        options.seed = seed;
+        options.platform.topology = t;
+        options.constraints.periods = f;
+        options.platform.pipelinable = (seed % 2 == 0) ? 1.0 : 0.6;
+        options.platform.max_weight = 3;
+        expect_fixpoint(generate(options));
+      }
+    }
+  }
+}
+
+TEST(RoundTrip, DomainPacks) {
+  for (const DomainPack d : {DomainPack::kSensorFusion, DomainPack::kAvionics,
+                             DomainPack::kMarketData}) {
+    for (std::uint64_t seed = 0; seed < 6; ++seed) {
+      ScenarioOptions options;
+      options.seed = seed;
+      options.domain = d;
+      expect_fixpoint(generate(options));
+    }
+  }
+}
+
+TEST(RoundTrip, RepeatedLabelSpecsConvergeUnderCanonicalEmit) {
+  // Hand-written specs may reference one element twice in a constraint
+  // (the #k instance syntax). The canonical printer orders edges by ref
+  // name while the compiler renumbers instances by first appearance, so
+  // one emit→compile pass may relabel instances — but a second pass
+  // must be a fixpoint (the order is then name-canonical already).
+  const char* kSpec =
+      "element a\n"
+      "element b\n"
+      "element c\n"
+      "channel a -> b -> a\n"
+      "channel b -> c\n"
+      "constraint R sporadic separation 24 deadline 12 {\n"
+      "  b#2 -> c;\n"
+      "  a#1 -> b#1;\n"
+      "  b#1 -> a#2;\n"
+      "  a#2 -> b#2;\n"
+      "}\n";
+  const spec::CompileResult first = spec::compile_text(kSpec);
+  ASSERT_TRUE(first.ok());
+  const std::string once = spec::emit(*first.model);
+  const spec::CompileResult second = spec::compile_text(once);
+  ASSERT_TRUE(second.ok());
+  const std::string twice = spec::emit(*second.model);
+  const spec::CompileResult third = spec::compile_text(twice);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(spec::emit(*third.model), twice);
+}
+
+}  // namespace
+}  // namespace rtg::gen

@@ -1,0 +1,91 @@
+// Satellite: seed-stability pins. The corpus is a shared coordinate
+// system — benches, CI windows, and bug reports all refer to scenarios
+// by corpus index or (domain, seed) pair — so a generator refactor
+// that silently reshuffles the mapping would invalidate every recorded
+// number and repro line. This suite pins the FNV-1a fingerprints of a
+// golden set (same idiom as the fault-injection purity pins): any
+// intentional generator change must consciously update these values
+// and note the corpus break in CHANGES.md.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "gen/generator.hpp"
+
+namespace rtg::gen {
+namespace {
+
+struct CorpusPin {
+  std::uint64_t index;
+  std::uint64_t fingerprint;
+};
+
+// The corpus prefix every CI window starts with.
+constexpr CorpusPin kCorpusPins[] = {
+    {0u, 0xb5b97f21c8d6e568ULL},   // chain-s0
+    {1u, 0xd0411a9ce0584a55ULL},   // fork_join-s1
+    {2u, 0x4867416176bae91cULL},   // layered-s2
+    {3u, 0x2fcadc91087fcfefULL},   // diamond-s3
+    {4u, 0x80f3d5548ca9e1ceULL},   // random-s4
+    {5u, 0x442e3b784aeda723ULL},   // chain-s5
+    {6u, 0x5aec03ae32170ef8ULL},   // fork_join-s6
+    {7u, 0x55cdea6ad0dc7ae4ULL},   // sensor_fusion-s7
+    {8u, 0x3971204bc41bc0f7ULL},   // diamond-s8
+    {9u, 0xf2803644312cade9ULL},   // random-s9
+    {10u, 0xc32822420f68295cULL},  // chain-s10
+    {11u, 0xc5134ac6f0be41e2ULL},  // fork_join-s11
+    {12u, 0xf9dd2b4e55b5be28ULL},  // layered-s12
+    {13u, 0xb42657970ba2e1d5ULL},  // diamond-s13
+    {14u, 0xfddd0162167ece1aULL},  // random-s14
+    {15u, 0xc61a9b8e13887a8cULL},  // avionics-s15
+};
+
+struct DomainPin {
+  DomainPack domain;
+  std::uint64_t seed;
+  std::uint64_t fingerprint;
+};
+
+constexpr DomainPin kDomainPins[] = {
+    {DomainPack::kSensorFusion, 1u, 0x599f4975cf92406dULL},
+    {DomainPack::kSensorFusion, 2u, 0x725ac641a0b86ae5ULL},
+    {DomainPack::kSensorFusion, 3u, 0x5b900b362ce75d4fULL},
+    {DomainPack::kAvionics, 1u, 0x4264addcf5b9475fULL},
+    {DomainPack::kAvionics, 2u, 0xf14fe129829306beULL},
+    {DomainPack::kAvionics, 3u, 0x33a7d6ea96695c09ULL},
+    {DomainPack::kMarketData, 1u, 0xe851c0193eb84356ULL},
+    {DomainPack::kMarketData, 2u, 0x0eff6f5dc3306669ULL},
+    {DomainPack::kMarketData, 3u, 0x880f8382241c1bbaULL},
+};
+
+TEST(SeedStability, CorpusPrefixFingerprintsArePinned) {
+  for (const CorpusPin& pin : kCorpusPins) {
+    const Scenario s = generate(corpus_options(pin.index));
+    EXPECT_EQ(s.fingerprint, pin.fingerprint)
+        << "corpus index " << pin.index << " (" << s.name
+        << ") drifted — the generator reshuffled; repro: spec_compiler --gen "
+        << scenario_spec_string(s.options);
+  }
+}
+
+TEST(SeedStability, DomainPackFingerprintsArePinned) {
+  for (const DomainPin& pin : kDomainPins) {
+    ScenarioOptions options;
+    options.seed = pin.seed;
+    options.domain = pin.domain;
+    const Scenario s = generate(options);
+    EXPECT_EQ(s.fingerprint, pin.fingerprint)
+        << s.name << " drifted — the generator reshuffled";
+  }
+}
+
+TEST(SeedStability, FingerprintPrimitiveIsFnv1a) {
+  // The pins above are only as strong as the hash under them: pin the
+  // FNV-1a constants with known-answer vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+}  // namespace
+}  // namespace rtg::gen

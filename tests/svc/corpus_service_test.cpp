@@ -1,0 +1,142 @@
+// Satellite: generated scenarios through the VerifyService chaos
+// harness. PR 6's chaos suite proves the service invariants on one
+// hand-written control-system family; this suite feeds ~50 scenario-
+// factory instances (every topology, period family, and domain pack)
+// through the same chaotic service as mixed-tenant jobs and re-asserts
+// the exact invariants beyond that family:
+//   - exactly one response per submitted job,
+//   - shedding only via explicit kRejected,
+//   - every kOk verdict equals the direct engine's verdict on the same
+//     scenario (synthesis verdicts against a local latency_schedule
+//     run; verify verdicts against the submitted schedule's report).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "core/heuristic.hpp"
+#include "core/schedule_io.hpp"
+#include "gen/generator.hpp"
+#include "svc/service.hpp"
+
+namespace rtg::svc {
+namespace {
+
+TEST(CorpusService, GeneratedScenariosSurviveChaosMixedTenants) {
+  constexpr std::uint64_t kScenarios = 50;
+
+  // Local ground truth, computed before the service exists. The
+  // service's synthesize path runs latency_schedule with default
+  // engine options (thread count does not change the report), so the
+  // verdicts must agree exactly.
+  struct Expected {
+    std::string spec;
+    bool is_verify = false;
+    bool feasible = false;  // expected verdict
+    std::string schedule;   // verify jobs only
+    std::string repro;
+  };
+  std::vector<Expected> expected;
+  expected.reserve(kScenarios);
+  for (std::uint64_t index = 0; index < kScenarios; ++index) {
+    const gen::ScenarioOptions options = gen::corpus_options(index);
+    const gen::Scenario scenario = gen::generate(options);
+    const core::HeuristicResult h = core::latency_schedule(scenario.model);
+    Expected e;
+    e.spec = scenario.spec;
+    e.repro = "spec_compiler --gen " + gen::scenario_spec_string(options);
+    if (index % 2 == 0 && h.success) {
+      // Verify the synthesized schedule (expected feasible) or, every
+      // fourth scenario, an all-idle schedule (expected infeasible).
+      e.is_verify = true;
+      if (index % 4 == 0) {
+        e.feasible = false;
+        e.schedule = ".40\n";
+      } else {
+        e.feasible = true;
+        e.schedule = core::schedule_to_text(*h.schedule, h.scheduled_model.comm());
+      }
+    } else {
+      e.is_verify = false;
+      e.feasible = h.success;
+    }
+    expected.push_back(std::move(e));
+  }
+
+  ServiceOptions options;
+  options.workers = 2;
+  options.ring_capacity = 4;
+  options.admission.max_pending = 128;
+  options.chaos.seed = 20260808;
+  options.chaos.stall_rate = 0.2;
+  options.chaos.stall_ms = 30;
+  options.chaos.fail_rate = 0.25;
+  options.stall_grace_ms = 15;
+  options.supervisor_period_ms = 5;
+  options.cache_capacity = 16;  // small: force evictions across tenants
+
+  VerifyService service(options);
+  std::vector<std::future<JobResponse>> futures;
+  futures.reserve(kScenarios);
+  const char* kTenants[] = {"alpha", "beta", "gamma"};
+  for (std::uint64_t index = 0; index < kScenarios; ++index) {
+    JobRequest req;
+    req.id = index + 1;
+    req.tenant = kTenants[index % 3];
+    req.spec = expected[index].spec;
+    if (expected[index].is_verify) {
+      req.kind = JobKind::kVerify;
+      req.schedule = expected[index].schedule;
+    } else {
+      req.kind = JobKind::kSynthesize;
+    }
+    futures.push_back(service.submit(std::move(req)));
+  }
+
+  std::size_t responded = 0;
+  std::size_t shed = 0;
+  std::size_t ok = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(120)),
+              std::future_status::ready)
+        << "job " << (i + 1) << " never resolved (" << expected[i].repro << ")";
+    const JobResponse rsp = futures[i].get();
+    ++responded;
+    switch (rsp.status) {
+      case JobStatus::kRejected:
+        ++shed;
+        break;
+      case JobStatus::kOk:
+        ++ok;
+        EXPECT_EQ(rsp.verdict, expected[i].feasible)
+            << "job " << (i + 1) << " verdict diverged from the direct engine ("
+            << expected[i].repro << ")";
+        break;
+      case JobStatus::kFailed:
+        EXPECT_NE(rsp.detail.find("retries exhausted"), std::string::npos)
+            << rsp.detail << " (" << expected[i].repro << ")";
+        break;
+      case JobStatus::kExpired:
+      case JobStatus::kInvalid:
+        ADD_FAILURE() << "job " << (i + 1) << " unexpectedly "
+                      << job_status_name(rsp.status) << ": " << rsp.detail << " ("
+                      << expected[i].repro << ")";
+        break;
+    }
+  }
+  EXPECT_EQ(responded, kScenarios);
+  // The sweep is only meaningful if most jobs actually completed.
+  EXPECT_GT(ok, kScenarios / 2);
+
+  service.shutdown();
+  const ServiceHealth h = service.health();
+  EXPECT_EQ(h.pending, 0u);
+  EXPECT_EQ(h.submitted, kScenarios);
+  EXPECT_EQ(h.rejected, shed);
+  EXPECT_EQ(h.completed + h.expired + h.invalid + h.failed + h.rejected, kScenarios);
+}
+
+}  // namespace
+}  // namespace rtg::svc
