@@ -1,0 +1,258 @@
+// E22 — hot-path ablation: SoA columns, bitset occurrence rows, arena
+// scratch, calibrated cutoff (ISSUE 8).
+//
+// Re-runs E16/E17's verification workload (seed-for-seed) through the
+// rebuilt hot path with each mechanical-sympathy layer enabled
+// cumulatively:
+//
+//   flat       VerifyOptions::flat_reference (pre-index linear scans)
+//   aos        indexed engine, every HotPathConfig layer off — the
+//              pre-rebuild AoS kernel shape
+//   +soa       structure-of-arrays UnrollIndex columns
+//   +bitset    per-element occurrence rows with word-mask gates
+//   +arena     bump-pointer scratch arena in the kernels
+//   +cutoff    calibrated serial/parallel cutoff, auto thread mode
+//              (on a single-core host this resolves to the serial path;
+//              the row pins that auto never regresses the serial time)
+//
+// Each row is the best of kBatches timed batches (the host is a shared
+// single-core box; min is the noise-robust statistic), and every report
+// is checked against the flat reference before timing starts. Emits
+// BENCH_hotpath.json in the working directory.
+//
+// --smoke: quick CI guard — two batches, and exits non-zero unless the
+// fully-enabled engine beats flat_reference by >= 3x (the full run
+// measures ~15-20x; 3x leaves room for sanitizer-free CI hosts of any
+// speed). Wired as the perf_smoke_hotpath ctest, skipped under
+// sanitizers where instrumentation distorts the ratio.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/heuristic.hpp"
+#include "core/latency.hpp"
+#include "core/model.hpp"
+#include "core/static_schedule.hpp"
+#include "sim/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace rtg;
+using core::GraphModel;
+using core::StaticSchedule;
+
+struct VerifyCase {
+  GraphModel model;
+  StaticSchedule schedule;
+};
+
+// E16's verification workload, reproduced seed-for-seed so rows are
+// comparable with BENCH_parallel.json and BENCH_embedding.json.
+std::vector<VerifyCase> make_e16_cases(int count) {
+  std::vector<VerifyCase> cases;
+  sim::Rng rng(0xE16);
+  while (static_cast<int>(cases.size()) < count) {
+    core::CommGraph comm;
+    const int n = static_cast<int>(rng.uniform(3, 6));
+    for (int i = 0; i < n; ++i) {
+      comm.add_element("e" + std::to_string(i), rng.uniform(1, 2), true);
+    }
+    GraphModel model(std::move(comm));
+    const int k = static_cast<int>(rng.uniform(2, 4));
+    for (int c = 0; c < k; ++c) {
+      const auto elem = static_cast<core::ElementId>(rng.uniform(0, n - 1));
+      const auto kind = rng.chance(0.4) ? core::ConstraintKind::kPeriodic
+                                        : core::ConstraintKind::kAsynchronous;
+      core::TaskGraph tg;
+      tg.add_op(elem);
+      model.add_constraint(core::TimingConstraint{"c" + std::to_string(c),
+                                                  std::move(tg), rng.uniform(4, 12),
+                                                  rng.uniform(8, 30), kind});
+      if (rng.chance(0.5)) {
+        core::TaskGraph dup;
+        dup.add_op(elem);
+        model.add_constraint(core::TimingConstraint{"c" + std::to_string(c) + "m",
+                                                    std::move(dup), rng.uniform(4, 12),
+                                                    rng.uniform(8, 30), kind});
+      }
+    }
+    const core::HeuristicResult h = core::latency_schedule(model);
+    if (!h.success) continue;
+    cases.push_back(VerifyCase{h.scheduled_model, *h.schedule});
+  }
+  return cases;
+}
+
+struct LayerRow {
+  const char* name;
+  bool flat;  // flat_reference instead of the indexed engine
+  core::HotPathConfig config;
+  std::size_t n_threads;  // 1 = serial; 0 = auto (the cutoff row)
+};
+
+struct Result {
+  const char* name = "";
+  double verify_s = 0;
+  double speedup_vs_flat = 0;
+  double speedup_vs_aos = 0;
+  std::size_t index_seeks = 0;
+  std::size_t bitset_skips = 0;
+  std::size_t arena_reuses = 0;
+  std::size_t arena_bytes_peak = 0;
+};
+
+double run_batch(const std::vector<VerifyCase>& cases, const LayerRow& layer,
+                 int reps, core::VerifyStats* totals) {
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    for (const VerifyCase& c : cases) {
+      core::VerifyStats stats;
+      core::VerifyOptions options;
+      options.n_threads = layer.n_threads;
+      options.stats = &stats;
+      options.flat_reference = layer.flat;
+      const auto report = core::verify_schedule(c.schedule, c.model, options);
+      if (!report.feasible) {
+        std::fprintf(stderr, "verification regressed under %s!\n", layer.name);
+        std::exit(1);
+      }
+      if (totals != nullptr && rep == 0) {
+        totals->index_seeks += stats.index_seeks;
+        totals->bitset_skips += stats.bitset_skips;
+        totals->arena_reuses += stats.arena_reuses;
+        totals->arena_bytes_peak =
+            std::max(totals->arena_bytes_peak, stats.arena_bytes_peak);
+      }
+    }
+  }
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int kVerifyCases = 12;
+  const int kReps = smoke ? 4 : 10;
+  const int kBatches = smoke ? 2 : 3;
+
+  const LayerRow layers[] = {
+      {"flat", true, {}, 1},
+      {"aos",
+       false,
+       {.soa = false, .bitset = false, .arena = false, .calibrate = false},
+       1},
+      {"+soa", false, {.bitset = false, .arena = false, .calibrate = false}, 1},
+      {"+bitset", false, {.arena = false, .calibrate = false}, 1},
+      {"+arena", false, {.calibrate = false}, 1},
+      {"+cutoff", false, {}, 0},
+  };
+
+  const auto cases = make_e16_cases(kVerifyCases);
+
+  // Correctness gate before any timing: every layer must reproduce the
+  // flat reference bit-for-bit.
+  const core::HotPathConfig saved = core::hotpath_config();
+  for (const VerifyCase& c : cases) {
+    core::VerifyOptions flat_options;
+    flat_options.flat_reference = true;
+    const auto want = core::verify_schedule(c.schedule, c.model, flat_options);
+    for (const LayerRow& layer : layers) {
+      core::hotpath_config() = layer.config;
+      core::VerifyOptions options;
+      options.n_threads = layer.n_threads;
+      options.flat_reference = layer.flat;
+      if (!(core::verify_schedule(c.schedule, c.model, options) == want)) {
+        std::fprintf(stderr, "layer %s is not bit-identical to flat!\n",
+                     layer.name);
+        return 1;
+      }
+    }
+  }
+
+  std::printf("# E22: hot-path ablation (hardware_concurrency = %zu, "
+              "cutoff = %zu work units)\n",
+              rtg::util::resolve_threads(0), core::serial_parallel_cutoff());
+  std::printf("%10s %12s %10s %10s %12s %12s %10s %10s\n", "layer", "verify[s]",
+              "vs flat", "vs aos", "seeks", "bit_skips", "arena", "peak[B]");
+
+  std::vector<Result> results;
+  for (const LayerRow& layer : layers) {
+    core::hotpath_config() = layer.config;
+    core::VerifyStats totals;
+    Result r;
+    r.name = layer.name;
+    r.verify_s = run_batch(cases, layer, kReps, &totals);  // warm + counters
+    for (int b = 1; b < kBatches; ++b) {
+      r.verify_s = std::min(r.verify_s, run_batch(cases, layer, kReps, nullptr));
+    }
+    r.index_seeks = totals.index_seeks;
+    r.bitset_skips = totals.bitset_skips;
+    r.arena_reuses = totals.arena_reuses;
+    r.arena_bytes_peak = totals.arena_bytes_peak;
+    if (!results.empty()) {
+      r.speedup_vs_flat = results.front().verify_s / r.verify_s;
+      if (results.size() >= 2) {
+        r.speedup_vs_aos = results[1].verify_s / r.verify_s;
+      }
+    } else {
+      r.speedup_vs_flat = 1.0;
+    }
+    std::printf("%10s %12.4f %10.2f %10.2f %12zu %12zu %10zu %10zu\n", r.name,
+                r.verify_s, r.speedup_vs_flat, r.speedup_vs_aos, r.index_seeks,
+                r.bitset_skips, r.arena_reuses, r.arena_bytes_peak);
+    results.push_back(r);
+  }
+  core::hotpath_config() = saved;
+
+  if (!smoke) {
+    std::FILE* out = std::fopen("BENCH_hotpath.json", "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_hotpath.json\n");
+      return 1;
+    }
+    std::fprintf(out, "{\n  \"experiment\": \"E22_hotpath_ablation\",\n");
+    std::fprintf(out, "  \"hardware_concurrency\": %zu,\n",
+                 rtg::util::resolve_threads(0));
+    std::fprintf(out, "  \"serial_parallel_cutoff\": %zu,\n",
+                 core::serial_parallel_cutoff());
+    std::fprintf(out,
+                 "  \"workload\": \"E16 verify cases x %d reps, best of %d "
+                 "batches, serial unless noted\",\n",
+                 kReps, kBatches);
+    std::fprintf(out, "  \"rows\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      std::fprintf(out,
+                   "    {\"layer\": \"%s\", \"verify_s\": %.6f, "
+                   "\"speedup_vs_flat\": %.2f, \"speedup_vs_aos\": %.2f, "
+                   "\"index_seeks\": %zu, \"bitset_skips\": %zu, "
+                   "\"arena_reuses\": %zu, \"arena_bytes_peak\": %zu}%s\n",
+                   r.name, r.verify_s, r.speedup_vs_flat, r.speedup_vs_aos,
+                   r.index_seeks, r.bitset_skips, r.arena_reuses,
+                   r.arena_bytes_peak, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("# wrote BENCH_hotpath.json\n");
+  }
+
+  // Smoke gate: the fully-enabled serial engine (the +arena row — the
+  // last serial configuration) must beat flat by a wide margin.
+  const double indexed_s = results[results.size() - 2].verify_s;
+  const double ratio = results.front().verify_s / indexed_s;
+  if (smoke) {
+    std::printf("# smoke: indexed %.2fx over flat (gate: >= 3x)\n", ratio);
+    if (ratio < 3.0) {
+      std::fprintf(stderr, "perf smoke FAILED: indexed only %.2fx over flat\n",
+                   ratio);
+      return 1;
+    }
+  }
+  return 0;
+}

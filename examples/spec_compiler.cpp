@@ -101,7 +101,7 @@ int usage() {
                "usage: spec_compiler <file.rts | - | --gen <opts>> [--dot] [--schedule] "
                "[--processes] [--emit] [--exact] [--analyze] [--multiproc N]\n"
                "                     [--threads N] [--save <sched>] [--verify <sched>]\n"
-               "                     [--emit-trace <trace.rtt>] [--monitor]\n"
+               "                     [--stats] [--emit-trace <trace.rtt>] [--monitor]\n"
                "                     [--inject <plan.fp>] [--recovery]\n"
                "  --gen         generate a seeded scenario instead of reading a\n"
                "                file; opts are comma-separated key=value pairs,\n"
@@ -109,6 +109,9 @@ int usage() {
                "                domain=avionics,seed=3 (see docs/SCENARIOS.md)\n"
                "  --threads N   worker threads for verification and the exact\n"
                "                search (0 = hardware concurrency, 1 = serial)\n"
+               "  --stats       with --verify: print the engine counters\n"
+               "                (queries, memo hits, seeks, bitset skips,\n"
+               "                arena peak, threads)\n"
                "  --emit-trace  capture the synthesized schedule's execution\n"
                "                trace to a binary .rtt file (replay with\n"
                "                trace_replay)\n"
@@ -154,6 +157,7 @@ int run(int argc, char** argv) {
   const char* gen_spec = nullptr;
   bool want_monitor = false;
   bool want_recovery = false;
+  bool want_stats = false;
   // Value-taking flags must fail loudly when the value is missing; the
   // old `&& i + 1 < argc` guards silently demoted e.g. a bare `--save`
   // into the input path.
@@ -181,6 +185,8 @@ int run(int argc, char** argv) {
       save_path = need_value(i);
     } else if (std::strcmp(argv[i], "--verify") == 0) {
       verify_path = need_value(i);
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      want_stats = true;
     } else if (std::strcmp(argv[i], "--emit-trace") == 0) {
       emit_trace_path = need_value(i);
     } else if (std::strcmp(argv[i], "--monitor") == 0) {
@@ -218,6 +224,9 @@ int run(int argc, char** argv) {
   }
   if (want_monitor && emit_trace_path == nullptr) {
     return flag_error("--monitor requires --emit-trace (the monitor replays the captured trace)");
+  }
+  if (want_stats && verify_path == nullptr) {
+    return flag_error("--stats requires --verify (it reports the verify engine counters)");
   }
   if (save_path != nullptr || emit_trace_path != nullptr || want_monitor ||
       inject_path != nullptr || want_recovery) {
@@ -542,8 +551,12 @@ int run(int argc, char** argv) {
       }
       return 2;
     }
-    const core::FeasibilityReport report = core::verify_schedule(
-        *parsed.schedule, pipelined, core::VerifyOptions{.n_threads = n_threads});
+    core::VerifyStats stats;
+    core::VerifyOptions verify_options;
+    verify_options.n_threads = n_threads;
+    if (want_stats) verify_options.stats = &stats;
+    const core::FeasibilityReport report =
+        core::verify_schedule(*parsed.schedule, pipelined, verify_options);
     for (const core::ConstraintVerdict& v : report.verdicts) {
       const core::TimingConstraint& c = pipelined.constraint(v.constraint);
       if (v.latency) {
@@ -554,6 +567,20 @@ int run(int argc, char** argv) {
         std::printf("# %s: periodic windows -> %s\n", c.name.c_str(),
                     v.satisfied ? "ok" : "MISS");
       }
+    }
+    if (want_stats) {
+      std::printf(
+          "# stats: work_units=%llu queries=%llu memo_hits=%llu seeks=%llu\n"
+          "# stats: bitset_skips=%llu arena_reuses=%llu arena_bytes_peak=%llu "
+          "threads=%llu\n",
+          static_cast<unsigned long long>(stats.work_units),
+          static_cast<unsigned long long>(stats.embedding_queries),
+          static_cast<unsigned long long>(stats.memo_hits),
+          static_cast<unsigned long long>(stats.index_seeks),
+          static_cast<unsigned long long>(stats.bitset_skips),
+          static_cast<unsigned long long>(stats.arena_reuses),
+          static_cast<unsigned long long>(stats.arena_bytes_peak),
+          static_cast<unsigned long long>(stats.threads_used));
     }
     std::printf("# verdict: %s\n", report.feasible ? "FEASIBLE" : "INFEASIBLE");
     if (!report.feasible) return 2;

@@ -1,6 +1,9 @@
 #include "core/latency.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <map>
@@ -9,14 +12,25 @@
 #include <unordered_map>
 
 #include "rt/task.hpp"  // lcm_checked
-#include "util/partition.hpp"
 #include "util/thread_pool.hpp"
 
 namespace rtg::core {
 
+HotPathConfig& hotpath_config() {
+  static HotPathConfig config;
+  return config;
+}
+
 namespace {
 
 constexpr Time kInf = std::numeric_limits<Time>::max();
+
+// Monotone-hint walks longer than this bail out to a binary-search
+// re-seed: a sweep in ascending window order rarely advances a cursor
+// more than a couple of occurrences per query, so a long walk means the
+// query order is degenerate (e.g. a shuffled parallel part) and the
+// O(log) probe is cheaper. The re-seed lands on the identical pick.
+constexpr std::size_t kMaxHintWalk = 32;
 
 // Greedy earliest-finish embedding for task graphs without repeated
 // element labels. Processing ops of `tg` in topological order and
@@ -167,86 +181,216 @@ std::vector<ScheduledOp> unroll_ops(const StaticSchedule& sched, std::size_t per
 }
 
 UnrollIndex::UnrollIndex(const StaticSchedule& sched, std::size_t periods)
-    : base_(sched.ops()), period_(sched.length()), periods_(periods) {
+    : period_(sched.length()), periods_(periods), bitset_(hotpath_config().bitset) {
+  // One pass over the entries builds the SoA columns directly — same
+  // starts as sched.ops(), without materializing a ScheduledOp vector.
+  const std::vector<ScheduleEntry>& entries = sched.entries();
+  std::size_t n = 0;
   ElementId max_elem = 0;
-  for (const ScheduledOp& op : base_) max_elem = std::max(max_elem, op.elem);
-  std::vector<std::pair<std::size_t, std::size_t>> pairs;
-  pairs.reserve(base_.size());
-  // Base ops are in start order, so each element's CSR row comes out in
-  // start order too.
-  for (std::size_t i = 0; i < base_.size(); ++i) {
-    pairs.emplace_back(static_cast<std::size_t>(base_[i].elem), i);
+  for (const ScheduleEntry& entry : entries) {
+    if (entry.elem == kIdleEntry) continue;
+    ++n;
+    max_elem = std::max(max_elem, entry.elem);
   }
-  occ_ = util::CsrBuckets<std::size_t>(
-      base_.empty() ? 0 : static_cast<std::size_t>(max_elem) + 1, pairs);
-  occ_rank_.resize(base_.size());
-  for (std::size_t e = 0; e < occ_.bucket_count(); ++e) {
-    std::size_t rank = 0;
-    for (const std::size_t* it = occ_.begin(e); it != occ_.end(e); ++it) {
-      occ_rank_[*it] = rank++;
+  starts_.reserve(n);
+  durations_.reserve(n);
+  elems_.reserve(n);
+  Time t = 0;
+  for (const ScheduleEntry& entry : entries) {
+    if (entry.elem != kIdleEntry) {
+      elems_.push_back(entry.elem);
+      starts_.push_back(t);
+      durations_.push_back(entry.duration);
+    }
+    t += entry.duration;
+  }
+  elem_count_ = n == 0 ? 0 : static_cast<std::size_t>(max_elem) + 1;
+
+  // Counting sort into per-element occurrence rows; base ops are in
+  // start order, so each row comes out in start order too, and the
+  // parallel occ_starts_ column gives the searches contiguous Time data.
+  occ_offsets_.assign(elem_count_ + 1, 0);
+  for (const ElementId e : elems_) ++occ_offsets_[static_cast<std::size_t>(e) + 1];
+  for (std::size_t e = 1; e <= elem_count_; ++e) occ_offsets_[e] += occ_offsets_[e - 1];
+  occ_idx_.resize(n);
+  occ_starts_.resize(n);
+  occ_rank_.resize(n);
+  words_per_row_ = bitset_ ? (n + 63) / 64 : 0;
+  if (bitset_) bits_.assign(elem_count_ * words_per_row_, 0);
+  std::vector<std::size_t> cursor(occ_offsets_.begin(),
+                                  occ_offsets_.begin() +
+                                      static_cast<std::ptrdiff_t>(elem_count_));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto e = static_cast<std::size_t>(elems_[i]);
+    const std::size_t pos = cursor[e]++;
+    occ_idx_[pos] = i;
+    occ_starts_[pos] = starts_[i];
+    occ_rank_[i] = pos - occ_offsets_[e];
+    if (bitset_) bits_[e * words_per_row_ + (i >> 6)] |= 1ull << (i & 63);
+  }
+  if (!hotpath_config().soa) {
+    aos_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      aos_.push_back(ScheduledOp{elems_[i], starts_[i], durations_[i]});
     }
   }
 }
 
 std::size_t UnrollIndex::occurrence_count(ElementId e) const {
   const auto bucket = static_cast<std::size_t>(e);
-  return bucket < occ_.bucket_count() ? occ_.size(bucket) : 0;
+  return bucket < elem_count_ ? occ_offsets_[bucket + 1] - occ_offsets_[bucket] : 0;
 }
 
 std::span<const std::size_t> UnrollIndex::occurrences(ElementId e) const {
   const auto bucket = static_cast<std::size_t>(e);
-  if (bucket >= occ_.bucket_count()) return {};
-  return {occ_.begin(bucket), occ_.size(bucket)};
+  if (bucket >= elem_count_) return {};
+  return {occ_idx_.data() + occ_offsets_[bucket],
+          occ_offsets_[bucket + 1] - occ_offsets_[bucket]};
 }
 
-std::size_t UnrollIndex::first_at_or_after(ElementId e, Time t, std::size_t limit) const {
-  const auto bucket = static_cast<std::size_t>(e);
-  if (base_.empty() || period_ <= 0 || bucket >= occ_.bucket_count() ||
-      occ_.size(bucket) == 0) {
-    return npos;
+std::size_t UnrollIndex::search_row(std::size_t row_begin, std::size_t row_end,
+                                    Time rel) const {
+  if (aos_.empty()) {
+    // SoA: binary search over the row's contiguous start column.
+    const Time* first = occ_starts_.data() + row_begin;
+    const Time* last = occ_starts_.data() + row_end;
+    return static_cast<std::size_t>(std::lower_bound(first, last, rel) -
+                                    occ_starts_.data());
   }
+  // Ablation (HotPathConfig::soa off): the legacy indirect comparator,
+  // one dependent AoS load per probe.
+  const std::size_t* first = occ_idx_.data() + row_begin;
+  const std::size_t* last = occ_idx_.data() + row_end;
+  return static_cast<std::size_t>(
+      std::lower_bound(first, last, rel,
+                       [this](std::size_t base_idx, Time r) {
+                         return aos_[base_idx].start < r;
+                       }) -
+      occ_idx_.data());
+}
+
+std::size_t UnrollIndex::first_at_or_after(ElementId e, Time t, std::size_t limit,
+                                           std::size_t* row_skips) const {
+  const auto bucket = static_cast<std::size_t>(e);
+  if (elems_.empty() || period_ <= 0 || bucket >= elem_count_) return npos;
+  const std::size_t row_begin = occ_offsets_[bucket];
+  const std::size_t row_end = occ_offsets_[bucket + 1];
+  if (row_begin == row_end) return npos;
   if (t < 0) t = 0;
-  const std::size_t opp = base_.size();
+  const std::size_t opp = elems_.size();
   // Cycle k covers starts in [k * period, (k+1) * period); every
   // occurrence in an earlier cycle starts before t, so the first match
   // is in cycle t / period (or the following one).
   std::size_t cycle = static_cast<std::size_t>(t / period_);
   const Time r = t - static_cast<Time>(cycle) * period_;
-  const std::size_t* first = occ_.begin(bucket);
-  const std::size_t* last = occ_.end(bucket);
-  const std::size_t* it = std::lower_bound(
-      first, last, r,
-      [this](std::size_t base_idx, Time rel) { return base_[base_idx].start < rel; });
-  std::size_t base_idx;
-  if (it != last) {
-    base_idx = *it;
+  std::size_t pos;
+  if (bitset_) {
+    // Occurrence-row gates: a window at or before the row's first start
+    // takes the row head, one past its last start wraps to the next
+    // cycle's head — both without a binary search.
+    if (r <= occ_starts_[row_begin]) {
+      pos = row_begin;
+      if (row_skips != nullptr) ++*row_skips;
+    } else if (r > occ_starts_[row_end - 1]) {
+      ++cycle;
+      pos = row_begin;
+      if (row_skips != nullptr) ++*row_skips;
+    } else {
+      pos = search_row(row_begin, row_end, r);
+    }
   } else {
-    ++cycle;
-    base_idx = *first;
+    pos = search_row(row_begin, row_end, r);
+    if (pos == row_end) {
+      ++cycle;
+      pos = row_begin;
+    }
   }
-  const std::size_t idx = cycle * opp + base_idx;
+  const std::size_t idx = cycle * opp + occ_idx_[pos];
   return idx < std::min(limit, size()) ? idx : npos;
 }
 
 std::size_t UnrollIndex::next_occurrence(std::size_t idx, std::size_t limit) const {
-  const std::size_t opp = base_.size();
+  const std::size_t opp = elems_.size();
   const std::size_t base_idx = idx % opp;
   std::size_t cycle = idx / opp;
-  const auto bucket = static_cast<std::size_t>(base_[base_idx].elem);
-  const std::size_t rank = occ_rank_[base_idx];
-  std::size_t next_base;
-  if (rank + 1 < occ_.size(bucket)) {
-    next_base = occ_.begin(bucket)[rank + 1];
-  } else {
-    ++cycle;
-    next_base = *occ_.begin(bucket);
+  const auto bucket = static_cast<std::size_t>(base_elem(base_idx));
+  const std::size_t row_begin = occ_offsets_[bucket];
+  const std::size_t row_end = occ_offsets_[bucket + 1];
+  std::size_t next_base = npos;
+  if (bitset_) {
+    // Same-word fast path: base positions are start-ordered, so the
+    // next set bit of the element's row after base_idx — if it is in
+    // the same word — is the next occurrence, one mask + countr_zero.
+    const std::size_t off = base_idx & 63;
+    if (off != 63) {
+      const std::uint64_t rest =
+          bits_[bucket * words_per_row_ + (base_idx >> 6)] >> (off + 1);
+      if (rest != 0) {
+        next_base = base_idx + 1 + static_cast<std::size_t>(std::countr_zero(rest));
+      }
+    }
+  }
+  if (next_base == npos) {
+    const std::size_t rank = occ_rank_[base_idx];
+    if (row_begin + rank + 1 < row_end) {
+      next_base = occ_idx_[row_begin + rank + 1];
+    } else {
+      ++cycle;
+      next_base = occ_idx_[row_begin];
+    }
   }
   const std::size_t next = cycle * opp + next_base;
   return next < std::min(limit, size()) ? next : npos;
 }
 
+bool UnrollIndex::occupied_in(ElementId e, Time a, Time b) const {
+  const auto bucket = static_cast<std::size_t>(e);
+  if (elems_.empty() || period_ <= 0 || bucket >= elem_count_) return false;
+  if (occ_offsets_[bucket] == occ_offsets_[bucket + 1]) return false;
+  if (b <= 0 || a >= b) return false;
+  if (a < 0) a = 0;
+  // A window of a full period contains every residue once; a non-empty
+  // row therefore always hits.
+  if (b - a >= period_) return true;
+  const Time ra = a % period_;
+  const Time rb = ra + (b - a);
+  if (rb <= period_) return row_has_start_in(bucket, ra, rb);
+  return row_has_start_in(bucket, ra, period_) ||
+         row_has_start_in(bucket, 0, rb - period_);
+}
+
+bool UnrollIndex::row_has_start_in(std::size_t bucket, Time x, Time y) const {
+  if (!bitset_) {
+    // Ablation fallback: search the row's start column directly.
+    const std::size_t row_begin = occ_offsets_[bucket];
+    const std::size_t row_end = occ_offsets_[bucket + 1];
+    const std::size_t pos = search_row(row_begin, row_end, x);
+    return pos != row_end && occ_starts_[pos] < y;
+  }
+  // Base positions with start in [x, y) come from the *shared* global
+  // start column (one search serves every element); the element's
+  // answer is then a mask test of its row words over that range.
+  const std::size_t p0 = static_cast<std::size_t>(
+      std::lower_bound(starts_.begin(), starts_.end(), x) - starts_.begin());
+  const std::size_t p1 = static_cast<std::size_t>(
+      std::lower_bound(starts_.begin(), starts_.end(), y) - starts_.begin());
+  if (p0 >= p1) return false;
+  const std::uint64_t* row = bits_.data() + bucket * words_per_row_;
+  const std::size_t w0 = p0 >> 6;
+  const std::size_t w1 = (p1 - 1) >> 6;
+  const std::uint64_t lo = ~0ull << (p0 & 63);
+  const std::size_t hi_off = p1 - (w1 << 6);  // bits of w1 below p1, in [1, 64]
+  const std::uint64_t hi = hi_off == 64 ? ~0ull : (1ull << hi_off) - 1;
+  if (w0 == w1) return (row[w0] & lo & hi) != 0;
+  if ((row[w0] & lo) != 0) return true;
+  for (std::size_t w = w0 + 1; w < w1; ++w) {
+    if (row[w] != 0) return true;
+  }
+  return (row[w1] & hi) != 0;
+}
+
 EmbeddingKernel::EmbeddingKernel(const TaskGraph& tg, const UnrollIndex& index,
-                                 std::size_t periods_limit)
+                                 std::size_t periods_limit, util::Arena* arena)
     : tg_(&tg),
       index_(&index),
       limit_(periods_limit == 0
@@ -254,25 +398,44 @@ EmbeddingKernel::EmbeddingKernel(const TaskGraph& tg, const UnrollIndex& index,
                  : std::min(index.size(), periods_limit * index.ops_per_period())),
       repeated_(tg.has_repeated_labels()),
       topo_(tg.topological_ops()) {
-  finish_.assign(tg.size(), 0);
-  chosen_.assign(tg.size(), 0);
-  hint_.assign(tg.size(), SeekHint{});
+  const std::size_t n = tg.size();
+  if (hotpath_config().arena) {
+    arena_ = arena != nullptr ? arena : &own_arena_;
+    finish_ = arena_->allocate<Time>(n);
+    chosen_ = arena_->allocate<std::size_t>(n);
+    best_assignment_ = arena_->allocate<std::size_t>(n);
+    hint_ = arena_->allocate<SeekHint>(n);
+  } else {
+    finish_vec_.resize(n);
+    chosen_vec_.resize(n);
+    best_vec_.resize(n);
+    hint_vec_.resize(n);
+    finish_ = finish_vec_.data();
+    chosen_ = chosen_vec_.data();
+    best_assignment_ = best_vec_.data();
+    hint_ = hint_vec_.data();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    finish_[i] = 0;
+    chosen_[i] = 0;
+    hint_[i] = SeekHint{};
+  }
 }
 
 // Fills a hint from a fresh index probe; used on the first query of a
-// sweep, after a backwards window jump, and whenever the previous pick
-// exhausted the prefix. The division to decompose the flat index is
-// paid only here, off the steady-state path.
+// sweep, after a backwards window jump, whenever the previous pick
+// exhausted the prefix, and when a linear walk exceeds its step bound.
+// The division to decompose the flat index is paid only here, off the
+// steady-state path.
 void EmbeddingKernel::seed_hint(SeekHint& h, ElementId e, Time ready) {
   ++counters_.index_seeks;
-  h.idx = index_->first_at_or_after(e, ready, limit_);
+  h.idx = index_->first_at_or_after(e, ready, limit_, &counters_.bitset_skips);
   if (h.idx == UnrollIndex::npos) return;
   const std::size_t base_idx = h.idx % index_->ops_per_period();
   h.cycle = h.idx / index_->ops_per_period();
   h.rank = index_->occurrence_rank(base_idx);
-  const ScheduledOp& b = index_->base_op(base_idx);
-  h.start = b.start + static_cast<Time>(h.cycle) * index_->period();
-  h.finish = h.start + b.duration;
+  h.start = index_->base_start(base_idx) + static_cast<Time>(h.cycle) * index_->period();
+  h.finish = h.start + index_->base_duration(base_idx);
 }
 
 // Indexed greedy / branch-and-bound. Candidate executions of an element
@@ -291,7 +454,17 @@ bool EmbeddingKernel::solve(Time window_begin, const std::vector<bool>& excluded
     return true;
   }
   if (repeated_) {
-    if (used_.size() < limit_) used_.assign(limit_, false);
+    if (used_words_ == nullptr) {
+      // Word-granular availability bitset; backtracking restores every
+      // bit, so this zero-fill happens once per kernel, not per query.
+      used_words_len_ = limit_ / 64 + 1;
+      if (arena_ != nullptr) {
+        used_words_ = arena_->allocate_zeroed<std::uint64_t>(used_words_len_);
+      } else {
+        used_vec_.assign(used_words_len_, 0);
+        used_words_ = used_vec_.data();
+      }
+    }
     best_ = kInf;
     bnb_rec(0, window_begin, window_begin, excluded);
     if (best_ == kInf) return false;
@@ -326,10 +499,17 @@ bool EmbeddingKernel::solve(Time window_begin, const std::vector<bool>& excluded
       } else if (h.start < ready) {
         // Steady-state advance: walk the element's occurrence row with
         // (cycle, rank) arithmetic only. Visits executions in exactly
-        // next_occurrence order, so the pick is unchanged.
+        // next_occurrence order, so the pick is unchanged. Bounded —
+        // after kMaxHintWalk steps the walk re-seeds via binary search,
+        // keeping degenerate (non-ascending-dense) sweeps O(log).
         const std::span<const std::size_t> row =
             index_->occurrences(tg_->label(v));
+        std::size_t steps = 0;
         do {
+          if (++steps > kMaxHintWalk) {
+            seed_hint(h, tg_->label(v), ready);
+            break;
+          }
           ++counters_.index_seeks;
           if (++h.rank == row.size()) {
             h.rank = 0;
@@ -341,16 +521,17 @@ bool EmbeddingKernel::solve(Time window_begin, const std::vector<bool>& excluded
             h.idx = UnrollIndex::npos;
             break;
           }
-          const ScheduledOp& b = index_->base_op(base_idx);
-          h.start = b.start + static_cast<Time>(h.cycle) * index_period;
-          h.finish = h.start + b.duration;
+          h.start =
+              index_->base_start(base_idx) + static_cast<Time>(h.cycle) * index_period;
+          h.finish = h.start + index_->base_duration(base_idx);
         } while (h.start < ready);
       }
       if (h.idx == UnrollIndex::npos) return false;
       finish_[v] = h.finish;
       chosen_[v] = h.idx;
     } else {
-      std::size_t idx = index_->first_at_or_after(tg_->label(v), ready, limit_);
+      std::size_t idx = index_->first_at_or_after(tg_->label(v), ready, limit_,
+                                                  &counters_.bitset_skips);
       ++counters_.index_seeks;
       while (idx != UnrollIndex::npos && excluded[idx]) {
         idx = index_->next_occurrence(idx, limit_);
@@ -371,7 +552,7 @@ void EmbeddingKernel::bnb_rec(std::size_t k, Time makespan, Time window_begin,
   if (makespan >= best_) return;
   if (k == topo_.size()) {
     best_ = makespan;
-    best_assignment_ = chosen_;
+    std::copy(chosen_, chosen_ + topo_.size(), best_assignment_);
     return;
   }
   const OpId v = topo_[k];
@@ -379,17 +560,18 @@ void EmbeddingKernel::bnb_rec(std::size_t k, Time makespan, Time window_begin,
   for (OpId u : tg_->skeleton().predecessors(v)) {
     ready = std::max(ready, finish_[u]);
   }
-  std::size_t idx = index_->first_at_or_after(tg_->label(v), ready, limit_);
+  std::size_t idx = index_->first_at_or_after(tg_->label(v), ready, limit_,
+                                              &counters_.bitset_skips);
   ++counters_.index_seeks;
   while (idx != UnrollIndex::npos) {
     const ScheduledOp op = index_->op(idx);
     if (op.start >= best_) break;  // any later choice is no better
-    if (!used_[idx] && (excluded.empty() || !excluded[idx])) {
-      used_[idx] = true;
+    if (!used_test(idx) && (excluded.empty() || !excluded[idx])) {
+      used_flip(idx);
       finish_[v] = op.finish();
       chosen_[v] = idx;
       bnb_rec(k + 1, std::max(makespan, finish_[v]), window_begin, excluded);
-      used_[idx] = false;
+      used_flip(idx);
     }
     idx = index_->next_occurrence(idx, limit_);
     ++counters_.index_seeks;
@@ -407,8 +589,10 @@ std::optional<EmbeddingWitness> EmbeddingKernel::witness_at(
   if (!solve(window_begin, excluded)) return std::nullopt;
   EmbeddingWitness witness;
   witness.finish = result_finish_;
-  witness.assignment = repeated_ ? best_assignment_ : chosen_;
-  if (tg_->empty()) witness.assignment.clear();
+  if (!tg_->empty()) {
+    const std::size_t* src = repeated_ ? best_assignment_ : chosen_;
+    witness.assignment.assign(src, src + tg_->size());
+  }
   return witness;
 }
 
@@ -646,29 +830,33 @@ std::string task_graph_fingerprint(const TaskGraph& tg) {
   return key;
 }
 
-// Partition seed: fixed so the unit-to-group assignment (and therefore
-// run-to-run behavior) is reproducible.
-constexpr std::uint64_t kPartitionSeed = 0x9e3779b97f4a7c15ULL;
-
-// Auto thread mode spawns workers only above this many planned window
-// queries; below it the pool setup dominates (E16/E17).
-constexpr std::size_t kAutoParallelCutoff = 256;
+// Fallback auto-mode cutoff when calibration is disabled: spawn workers
+// only above this many planned window queries (E16/E17).
+constexpr std::size_t kFixedSerialCutoff = 256;
 
 // Plan of one constraint: either a fixed verdict (degenerate cases
 // answered without embedding queries) or a batch of independent
-// window-begin queries over a prefix of one shared unroll.
+// window-begin queries over a prefix of one shared unroll. The offset
+// list lives in the plan-wide pool (offsets_id) — every async
+// constraint shares one list, periodic constraints share per period.
 struct ConstraintPlan {
   std::size_t tg_id = 0;
-  std::size_t periods = 0;      // op-span prefix length, in periods
-  std::vector<Time> offsets;    // window begins to query, sorted ascending
+  std::size_t periods = 0;  // op-span prefix length, in periods
+  std::size_t offsets_id = static_cast<std::size_t>(-1);
   std::optional<ConstraintVerdict> fixed;
 };
 
 struct VerifyPlan {
   std::vector<ConstraintPlan> plans;
   std::vector<const TaskGraph*> tg_of_id;
+  std::vector<std::vector<Time>> offset_pool;  // deduplicated offset lists
   std::size_t max_periods = 0;
   std::size_t work_units = 0;  // total non-fixed (constraint, offset) units
+
+  // Window begins of plan i, sorted ascending (non-fixed plans only).
+  [[nodiscard]] std::span<const Time> offsets_of(std::size_t i) const {
+    return offset_pool[plans[i].offsets_id];
+  }
 };
 
 VerifyPlan build_verify_plan(const StaticSchedule& sched, const GraphModel& model) {
@@ -700,6 +888,39 @@ VerifyPlan build_verify_plan(const StaticSchedule& sched, const GraphModel& mode
     return true;
   };
 
+  // Offset-list pooling (disabled with HotPathConfig::soa so the
+  // ablation baseline reproduces the legacy per-constraint cost): the
+  // async list depends only on the schedule, a periodic list only on
+  // the period p — so each distinct list is built exactly once.
+  const bool pooled = hotpath_config().soa;
+  std::size_t async_id = static_cast<std::size_t>(-1);
+  std::vector<std::pair<Time, std::size_t>> periodic_ids;
+  const auto async_offsets_id = [&]() -> std::size_t {
+    if (async_id != static_cast<std::size_t>(-1)) return async_id;
+    std::vector<Time> offsets;
+    offsets.reserve(ops.size() + 1);
+    offsets.push_back(0);
+    for (const ScheduledOp& op : ops) {
+      if (op.start + 1 < period) offsets.push_back(op.start + 1);
+    }
+    out.offset_pool.push_back(std::move(offsets));
+    if (pooled) async_id = out.offset_pool.size() - 1;
+    return out.offset_pool.size() - 1;
+  };
+  const auto periodic_offsets_id = [&](Time p, Time cycle) -> std::size_t {
+    if (pooled) {
+      for (const auto& [key, id] : periodic_ids) {
+        if (key == p) return id;
+      }
+    }
+    std::vector<Time> offsets;
+    offsets.reserve(static_cast<std::size_t>(cycle / p));
+    for (Time t = 0; t < cycle; t += p) offsets.push_back(t);
+    out.offset_pool.push_back(std::move(offsets));
+    if (pooled) periodic_ids.emplace_back(p, out.offset_pool.size() - 1);
+    return out.offset_pool.size() - 1;
+  };
+
   for (std::size_t i = 0; i < model.constraint_count(); ++i) {
     const TimingConstraint& c = model.constraint(i);
     ConstraintPlan& plan = out.plans[i];
@@ -722,18 +943,14 @@ VerifyPlan build_verify_plan(const StaticSchedule& sched, const GraphModel& mode
     plan.tg_id = it->second;
     if (c.periodic()) {
       const Time cycle = rt::lcm_checked(period, c.period);
-      plan.periods = static_cast<std::size_t>(cycle / period) +
-                     unroll_budget(c.task_graph);
-      for (Time t = 0; t < cycle; t += c.period) plan.offsets.push_back(t);
+      plan.periods =
+          static_cast<std::size_t>(cycle / period) + unroll_budget(c.task_graph);
+      plan.offsets_id = periodic_offsets_id(c.period, cycle);
     } else {
       plan.periods = unroll_budget(c.task_graph);
-      plan.offsets.reserve(ops.size() + 1);
-      plan.offsets.push_back(0);
-      for (const ScheduledOp& op : ops) {
-        if (op.start + 1 < period) plan.offsets.push_back(op.start + 1);
-      }
+      plan.offsets_id = async_offsets_id();
     }
-    out.work_units += plan.offsets.size();
+    out.work_units += out.offset_pool[plan.offsets_id].size();
     out.max_periods = std::max(out.max_periods, plan.periods);
   }
   return out;
@@ -742,9 +959,13 @@ VerifyPlan build_verify_plan(const StaticSchedule& sched, const GraphModel& mode
 // Deduplicated query table: one slot per distinct (tg_id, periods,
 // window begin). Plans are grouped by (tg_id, periods); each group's
 // offset lists (sorted ascending by construction) merge into unique
-// slots, and unit_queries[i][j] maps plan i's j-th offset to its slot.
-// Slots of one group are contiguous, so a serial executor reuses one
-// kernel per group and parallel workers fill disjoint slots lock-free.
+// slots, and slot(i, j) maps plan i's j-th offset to its slot. Groups
+// whose members all reference one pooled offset list — every async
+// group — skip the merge, and plans whose list *is* the group's slot
+// list are identity-mapped (a base offset instead of a materialized
+// per-offset vector). Slots of one group are contiguous, so a serial
+// executor reuses one kernel per group and parallel workers fill
+// disjoint slots lock-free.
 struct Query {
   std::size_t tg_id = 0;
   std::size_t periods = 0;
@@ -753,12 +974,22 @@ struct Query {
 
 struct QueryTable {
   std::vector<Query> queries;
-  std::vector<std::vector<std::size_t>> unit_queries;  // per plan, per offset
+  std::vector<std::size_t> unit_base;   // per plan: identity-map base slot
+  std::vector<std::size_t> idx_offset;  // per plan: npos = identity mapping
+  std::vector<std::size_t> idx_pool;    // flat storage for explicit maps
+
+  [[nodiscard]] std::size_t slot(std::size_t i, std::size_t j) const {
+    return idx_offset[i] == static_cast<std::size_t>(-1)
+               ? unit_base[i] + j
+               : idx_pool[idx_offset[i] + j];
+  }
 };
 
 QueryTable build_query_table(const VerifyPlan& plan) {
   QueryTable out;
-  out.unit_queries.resize(plan.plans.size());
+  out.unit_base.assign(plan.plans.size(), 0);
+  out.idx_offset.assign(plan.plans.size(), static_cast<std::size_t>(-1));
+  const bool fast = hotpath_config().soa;
   std::vector<std::pair<std::size_t, std::size_t>> group_keys;  // (tg_id, periods)
   std::vector<std::vector<std::size_t>> group_plans;
   for (std::size_t i = 0; i < plan.plans.size(); ++i) {
@@ -781,37 +1012,58 @@ QueryTable build_query_table(const VerifyPlan& plan) {
   std::vector<Time> merged;
   std::vector<Time> scratch;
   for (std::size_t g = 0; g < group_keys.size(); ++g) {
-    // Each plan's offset list is sorted and unique by construction, so
-    // the group's slots come from a linear merge, not a sort. Members
-    // with identical lists (duplicated constraints, and all async
-    // constraints of a group, which share {0} + op starts) hit the
-    // equality fast path.
-    merged.clear();
-    for (const std::size_t i : group_plans[g]) {
-      const auto& offsets = plan.plans[i].offsets;
-      if (merged.empty()) {
-        merged = offsets;
-        continue;
+    const std::vector<std::size_t>& members = group_plans[g];
+    // Pool fast path: members referencing one shared offset list (all
+    // async constraints of a group, duplicated periodic constraints)
+    // need no merge at all — the pool list is the slot list.
+    bool uniform = fast;
+    for (const std::size_t i : members) {
+      if (plan.plans[i].offsets_id != plan.plans[members.front()].offsets_id) {
+        uniform = false;
+        break;
       }
-      if (merged == offsets) continue;
-      scratch.clear();
-      scratch.reserve(merged.size() + offsets.size());
-      std::merge(merged.begin(), merged.end(), offsets.begin(), offsets.end(),
-                 std::back_inserter(scratch));
-      scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
-      merged.swap(scratch);
+    }
+    std::span<const Time> slots;
+    if (uniform) {
+      slots = plan.offsets_of(members.front());
+    } else {
+      // Each plan's offset list is sorted and unique by construction,
+      // so the group's slots come from a linear merge, not a sort.
+      merged.clear();
+      for (const std::size_t i : members) {
+        const std::span<const Time> offsets = plan.offsets_of(i);
+        if (merged.empty()) {
+          merged.assign(offsets.begin(), offsets.end());
+          continue;
+        }
+        if (merged.size() == offsets.size() &&
+            std::equal(merged.begin(), merged.end(), offsets.begin())) {
+          continue;
+        }
+        scratch.clear();
+        scratch.reserve(merged.size() + offsets.size());
+        std::merge(merged.begin(), merged.end(), offsets.begin(), offsets.end(),
+                   std::back_inserter(scratch));
+        scratch.erase(std::unique(scratch.begin(), scratch.end()), scratch.end());
+        merged.swap(scratch);
+      }
+      slots = merged;
     }
     const std::size_t base = out.queries.size();
-    for (const Time t : merged) {
+    for (const Time t : slots) {
       out.queries.push_back(Query{group_keys[g].first, group_keys[g].second, t});
     }
-    for (const std::size_t i : group_plans[g]) {
-      const ConstraintPlan& p = plan.plans[i];
-      out.unit_queries[i].reserve(p.offsets.size());
+    for (const std::size_t i : members) {
+      const std::span<const Time> offsets = plan.offsets_of(i);
+      if (fast && offsets.data() == slots.data() && offsets.size() == slots.size()) {
+        out.unit_base[i] = base;  // identity mapping, nothing materialized
+        continue;
+      }
+      out.idx_offset[i] = out.idx_pool.size();
       std::size_t pos = 0;  // both lists sorted: a single forward walk
-      for (const Time t : p.offsets) {
-        while (merged[pos] < t) ++pos;
-        out.unit_queries[i].push_back(base + pos);
+      for (const Time t : offsets) {
+        while (slots[pos] < t) ++pos;
+        out.idx_pool.push_back(base + pos);
       }
     }
   }
@@ -837,25 +1089,25 @@ FeasibilityReport reduce_report(const VerifyPlan& plan, const GraphModel& model,
     } else {
       verdict.constraint = i;
       const TimingConstraint& c = model.constraint(i);
-      const ConstraintPlan& p = plan.plans[i];
+      const std::span<const Time> offsets = plan.offsets_of(i);
       if (c.periodic()) {
         bool all_met = true;
-        for (std::size_t j = 0; j < p.offsets.size(); ++j) {
+        for (std::size_t j = 0; j < offsets.size(); ++j) {
           if (!include(i, j)) continue;
           const Time finish = finish_of(i, j);
-          if (finish == kInf || finish > p.offsets[j] + c.deadline) all_met = false;
+          if (finish == kInf || finish > offsets[j] + c.deadline) all_met = false;
         }
         verdict.satisfied = all_met;
       } else {
         std::optional<Time> worst;
         bool any_missing = false;
-        for (std::size_t j = 0; j < p.offsets.size(); ++j) {
+        for (std::size_t j = 0; j < offsets.size(); ++j) {
           if (!include(i, j)) continue;
           const Time finish = finish_of(i, j);
           if (finish == kInf) {
             any_missing = true;
           } else {
-            const Time lag = finish - p.offsets[j];
+            const Time lag = finish - offsets[j];
             if (!worst || lag > *worst) worst = lag;
           }
         }
@@ -876,12 +1128,13 @@ FeasibilityReport reduce_full(const VerifyPlan& plan, const QueryTable& table,
   return reduce_report(
       plan, model,
       [&](std::size_t i) { return plan.plans[i].fixed; },
-      [&](std::size_t i, std::size_t j) { return memo[table.unit_queries[i][j]]; },
+      [&](std::size_t i, std::size_t j) { return memo[table.slot(i, j)]; },
       [](std::size_t, std::size_t) { return true; });
 }
 
 void fill_stats(VerifyStats* stats, const VerifyPlan& plan, const QueryTable& table,
-                const KernelCounters& counters, std::size_t threads_used) {
+                const KernelCounters& counters, std::size_t threads_used,
+                std::size_t arena_peak) {
   if (stats == nullptr) return;
   stats->embedding_queries = table.queries.size();
   stats->memo_hits = plan.work_units - table.queries.size();
@@ -889,6 +1142,8 @@ void fill_stats(VerifyStats* stats, const VerifyPlan& plan, const QueryTable& ta
   stats->index_seeks = counters.index_seeks;
   stats->incremental_hits = 0;
   stats->arena_reuses = counters.arena_reuses;
+  stats->bitset_skips = counters.bitset_skips;
+  stats->arena_bytes_peak = arena_peak;
   stats->threads_used = threads_used;
 }
 
@@ -909,7 +1164,9 @@ bool cancel_requested(const std::atomic<bool>* cancel,
 
 // Serial indexed path: one shared UnrollIndex, one kernel per
 // contiguous (tg_id, periods) query group, memoized like the parallel
-// path (identical pure queries are answered once).
+// path (identical pure queries are answered once). One bump arena backs
+// every kernel's scratch; it resets at group switches, so each kernel
+// re-lands on the same warm block.
 FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& model,
                                 const VerifyPlan& plan, VerifyStats* stats,
                                 const std::atomic<bool>* cancel = nullptr,
@@ -917,8 +1174,10 @@ FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& m
   const QueryTable table = build_query_table(plan);
   std::vector<Time> memo(table.queries.size(), kInf);
   KernelCounters counters;
+  std::size_t arena_peak = 0;
   if (!table.queries.empty()) {
     const UnrollIndex index(sched, plan.max_periods);
+    util::Arena arena;
     std::optional<EmbeddingKernel> kernel;
     std::size_t cur_tg = UnrollIndex::npos;
     std::size_t cur_periods = 0;
@@ -926,8 +1185,12 @@ FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& m
       if ((q & 63) == 0 && cancel_requested(cancel, progress)) return cancelled_report();
       const Query& query = table.queries[q];
       if (!kernel || query.tg_id != cur_tg || query.periods != cur_periods) {
-        if (kernel) counters += kernel->counters();
-        kernel.emplace(*plan.tg_of_id[query.tg_id], index, query.periods);
+        if (kernel) {
+          counters += kernel->counters();
+          kernel.reset();  // before the arena reset: its scratch dies with it
+          arena.reset();
+        }
+        kernel.emplace(*plan.tg_of_id[query.tg_id], index, query.periods, &arena);
         cur_tg = query.tg_id;
         cur_periods = query.periods;
       }
@@ -935,8 +1198,9 @@ FeasibilityReport verify_serial(const StaticSchedule& sched, const GraphModel& m
       memo[q] = finish ? *finish : kInf;
     }
     if (kernel) counters += kernel->counters();
+    arena_peak = arena.bytes_peak();
   }
-  fill_stats(stats, plan, table, counters, 1);
+  fill_stats(stats, plan, table, counters, 1, arena_peak);
   return reduce_full(plan, table, memo, model);
 }
 
@@ -948,47 +1212,85 @@ FeasibilityReport verify_parallel(const StaticSchedule& sched, const GraphModel&
   const QueryTable table = build_query_table(plan);
   std::vector<Time> memo(table.queries.size(), kInf);
   KernelCounters counters;
+  std::size_t arena_peak = 0;
   if (!table.queries.empty()) {
     // Shared read-only index built before the pool; workers fill
     // disjoint memo slots with per-part kernels (the scratch arenas are
     // mutable), so the hot loop stays lock-free.
     const UnrollIndex index(sched, plan.max_periods);
-    const auto parts =
-        util::partition_indices(table.queries.size(), 4 * n_threads, kPartitionSeed);
+    // Parts are *contiguous* chunks of the query table: a part then
+    // sweeps each of its (tg, periods) group segments in ascending
+    // window order, so the kernels' monotone seek hints amortize
+    // exactly as in the serial path. (A shuffled deal gives every part
+    // a strided subsequence whose hint walks re-cover the gaps — the
+    // E16 n_threads >= 2 collapse.) Work-stealing over 4x chunks
+    // rebalances uneven groups; the split cannot affect results, since
+    // slots are disjoint and every query is pure.
+    const std::size_t n_queries = table.queries.size();
+    const std::size_t n_parts = std::min(n_queries, 4 * n_threads);
+    std::vector<std::pair<std::size_t, std::size_t>> parts(n_parts);
+    for (std::size_t pi = 0, begin = 0; pi < n_parts; ++pi) {
+      const std::size_t len = n_queries / n_parts + (pi < n_queries % n_parts ? 1 : 0);
+      parts[pi] = {begin, begin + len};
+      begin += len;
+    }
     std::vector<KernelCounters> part_counters(parts.size());
-    {
+    std::vector<std::size_t> part_peaks(parts.size(), 0);
+    const auto run_part = [&](std::size_t pi) {
+      util::Arena arena;
+      std::map<std::pair<std::size_t, std::size_t>, EmbeddingKernel> kernels;
+      // Chunks are contiguous, so group switches are rare: queries of
+      // one group hit the cached kernel with two integer compares, and
+      // the map is consulted only at segment boundaries.
+      EmbeddingKernel* cur = nullptr;
+      std::size_t cur_tg = UnrollIndex::npos;
+      std::size_t cur_periods = 0;
+      for (std::size_t q = parts[pi].first; q < parts[pi].second; ++q) {
+        if (cancel_requested(cancel, progress)) break;  // abandon remaining queries
+        const Query& query = table.queries[q];
+        if (cur == nullptr || query.tg_id != cur_tg || query.periods != cur_periods) {
+          const auto key = std::make_pair(query.tg_id, query.periods);
+          auto it = kernels.find(key);
+          if (it == kernels.end()) {
+            it = kernels
+                     .emplace(std::piecewise_construct, std::forward_as_tuple(key),
+                              std::forward_as_tuple(*plan.tg_of_id[query.tg_id], index,
+                                                    query.periods, &arena))
+                     .first;
+          }
+          cur = &it->second;
+          cur_tg = query.tg_id;
+          cur_periods = query.periods;
+        }
+        const auto finish = cur->finish_at(query.t);
+        memo[q] = finish ? *finish : kInf;
+      }
+      for (const auto& [key, kernel] : kernels) {
+        part_counters[pi] += kernel.counters();
+      }
+      part_peaks[pi] = arena.bytes_peak();
+    };
+    if (util::resolve_threads(n_threads) > 1) {
       util::ThreadPool pool(n_threads);
       for (std::size_t pi = 0; pi < parts.size(); ++pi) {
-        pool.submit([&, pi] {
-          std::map<std::pair<std::size_t, std::size_t>, EmbeddingKernel> kernels;
-          for (std::size_t q : parts[pi]) {
-            if (cancel_requested(cancel, progress)) break;  // abandon remaining queries
-            const Query& query = table.queries[q];
-            const auto key = std::make_pair(query.tg_id, query.periods);
-            auto it = kernels.find(key);
-            if (it == kernels.end()) {
-              it = kernels
-                       .emplace(std::piecewise_construct, std::forward_as_tuple(key),
-                                std::forward_as_tuple(*plan.tg_of_id[query.tg_id],
-                                                      index, query.periods))
-                       .first;
-            }
-            const auto finish = it->second.finish_at(query.t);
-            memo[q] = finish ? *finish : kInf;
-          }
-          for (const auto& [key, kernel] : kernels) {
-            part_counters[pi] += kernel.counters();
-          }
-        });
+        pool.submit([&run_part, pi] { run_part(pi); });
       }
       pool.wait_idle();
+    } else {
+      // The clamped pool would hold a single worker (single-core host):
+      // spawning it buys no parallelism, only thread create/join and
+      // scheduler churn. Run the identical per-part tasks inline — the
+      // partitioning, kernels, and counters stay a function of the
+      // requested n_threads, so results and stats match the pooled run.
+      for (std::size_t pi = 0; pi < parts.size(); ++pi) run_part(pi);
     }
     for (const KernelCounters& c : part_counters) counters += c;
+    for (const std::size_t peak : part_peaks) arena_peak = std::max(arena_peak, peak);
   }
   // Workers that saw the cancel flag left their memo slots unanswered,
   // so the table cannot be reduced to a trustworthy verdict.
   if (cancel_requested(cancel)) return cancelled_report();
-  fill_stats(stats, plan, table, counters, n_threads);
+  fill_stats(stats, plan, table, counters, n_threads, arena_peak);
   return reduce_full(plan, table, memo, model);
 }
 
@@ -1013,7 +1315,7 @@ FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel&
     // Small-work cutoff: spawning workers pessimizes single-core hosts
     // and sub-threshold plans (E16), so auto mode stays serial there.
     const std::size_t hw = util::resolve_threads(0);
-    n_threads = (hw <= 1 || plan.work_units < kAutoParallelCutoff) ? 1 : hw;
+    n_threads = (hw <= 1 || plan.work_units < serial_parallel_cutoff()) ? 1 : hw;
   }
   if (n_threads <= 1) {
     return verify_serial(sched, model, plan, options.stats, options.cancel,
@@ -1021,6 +1323,87 @@ FeasibilityReport verify_schedule(const StaticSchedule& sched, const GraphModel&
   }
   return verify_parallel(sched, model, plan, n_threads, options.stats,
                          options.cancel, options.progress);
+}
+
+std::size_t calibrate_serial_cutoff() {
+  using clock = std::chrono::steady_clock;
+  const auto ns_since = [](clock::time_point t0) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() - t0)
+            .count());
+  };
+
+  // Canned plan: three unit-weight elements, two async single-op
+  // constraints plus one periodic, over a short handmade schedule —
+  // enough work units to time steadily, microseconds to run.
+  CommGraph comm;
+  for (int i = 0; i < 3; ++i) comm.add_element("cal" + std::to_string(i), 1);
+  GraphModel model(std::move(comm));
+  for (ElementId c = 0; c < 2; ++c) {
+    TaskGraph tg;
+    tg.add_op(c);
+    model.add_constraint(TimingConstraint{"cal_a" + std::to_string(c), std::move(tg), 4,
+                                          16, ConstraintKind::kAsynchronous});
+  }
+  {
+    TaskGraph tg;
+    tg.add_op(2);
+    model.add_constraint(
+        TimingConstraint{"cal_p", std::move(tg), 6, 12, ConstraintKind::kPeriodic});
+  }
+  StaticSchedule sched;
+  for (int r = 0; r < 4; ++r) {
+    sched.push_execution(0, 1);
+    sched.push_execution(1, 1);
+    sched.push_execution(2, 1);
+    sched.push_idle(1);
+  }
+
+  // Per-unit serial cost. n_threads is pinned to 1 — the probe must not
+  // consult the cutoff it is computing.
+  VerifyStats stats;
+  VerifyOptions options;
+  options.n_threads = 1;
+  options.stats = &stats;
+  (void)verify_schedule(sched, model, options);  // warm-up
+  constexpr int kVerifyReps = 24;
+  std::size_t units = 0;
+  const auto t0 = clock::now();
+  for (int i = 0; i < kVerifyReps; ++i) {
+    (void)verify_schedule(sched, model, options);
+    units += stats.work_units;
+  }
+  const double unit_ns = std::max(1.0, ns_since(t0) / static_cast<double>(
+                                                          units == 0 ? 1 : units));
+
+  // Pool spawn + teardown cost, the overhead the parallel path must
+  // amortize.
+  constexpr int kPoolReps = 4;
+  const auto t1 = clock::now();
+  for (int i = 0; i < kPoolReps; ++i) {
+    util::ThreadPool pool;
+    pool.wait_idle();
+  }
+  const double pool_ns = ns_since(t1) / kPoolReps;
+
+  // Go parallel once the serial work would cost at least twice the pool
+  // setup. Clamped: never below the fixed cutoff's order of magnitude,
+  // never so high that genuinely heavy plans stay serial.
+  const double crossover = 2.0 * pool_ns / unit_ns;
+  const double clamped = std::clamp(crossover, 64.0, 65536.0);
+  return static_cast<std::size_t>(clamped);
+}
+
+std::size_t serial_parallel_cutoff() {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("RTG_SERIAL_CUTOFF")) {
+      const long v = std::atol(env);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    if (!hotpath_config().calibrate) return kFixedSerialCutoff;
+    return calibrate_serial_cutoff();
+  }();
+  return cached;
 }
 
 // ---------------------------------------------------------------------------
@@ -1031,6 +1414,9 @@ struct IncrementalVerifier::Impl {
   QueryTable table;
   UnrollIndex index;
   std::vector<CachedQuery> memo;  // per query: finish + witness assignment
+  // Kernel scratch, warm across the session's drop probes: reset at the
+  // start of each verify_drop / baseline rebuild, never mid-call.
+  util::Arena arena;
 
   // Pending candidate state (valid between verify_drop and commit_drop).
   bool pending = false;
@@ -1072,8 +1458,13 @@ void IncrementalVerifier::rebuild_baseline(const StaticSchedule& sched) {
     for (std::size_t q = 0; q < impl->table.queries.size(); ++q) {
       const Query& query = impl->table.queries[q];
       if (!kernel || query.tg_id != cur_tg || query.periods != cur_periods) {
-        if (kernel) counters += kernel->counters();
-        kernel.emplace(*impl->plan.tg_of_id[query.tg_id], impl->index, query.periods);
+        if (kernel) {
+          counters += kernel->counters();
+          kernel.reset();
+          impl->arena.reset();
+        }
+        kernel.emplace(*impl->plan.tg_of_id[query.tg_id], impl->index, query.periods,
+                       &impl->arena);
         cur_tg = query.tg_id;
         cur_periods = query.periods;
       }
@@ -1091,11 +1482,13 @@ void IncrementalVerifier::rebuild_baseline(const StaticSchedule& sched) {
   stats_.work_units += impl->plan.work_units;
   stats_.index_seeks += counters.index_seeks;
   stats_.arena_reuses += counters.arena_reuses;
+  stats_.bitset_skips += counters.bitset_skips;
+  stats_.arena_bytes_peak = std::max(stats_.arena_bytes_peak, impl->arena.bytes_peak());
   stats_.threads_used = 1;
   report_ = reduce_report(
       impl->plan, *model_, [&](std::size_t i) { return impl->plan.plans[i].fixed; },
       [&](std::size_t i, std::size_t j) {
-        return impl->memo[impl->table.unit_queries[i][j]].finish;
+        return impl->memo[impl->table.slot(i, j)].finish;
       },
       [](std::size_t, std::size_t) { return true; });
   committed_ = sched;
@@ -1121,6 +1514,7 @@ const FeasibilityReport& IncrementalVerifier::verify_drop(
   im.pending = false;
   im.overrides.clear();
   im.force_unsat.assign(im.plan.plans.size(), 0);
+  im.arena.reset();  // probe kernels below re-land on the warm block
 
   std::size_t base = 0;
   for (std::size_t i = 0; i < entry; ++i) {
@@ -1198,7 +1592,7 @@ const FeasibilityReport& IncrementalVerifier::verify_drop(
       it = kernels
                .emplace(std::piecewise_construct, std::forward_as_tuple(key),
                         std::forward_as_tuple(*im.plan.tg_of_id[query.tg_id],
-                                              *cand_index, query.periods))
+                                              *cand_index, query.periods, &im.arena))
                .first;
     }
     auto witness = it->second.witness_at(query.t);
@@ -1216,6 +1610,8 @@ const FeasibilityReport& IncrementalVerifier::verify_drop(
   stats_.work_units += hits + recomputed;
   stats_.index_seeks += counters.index_seeks;
   stats_.arena_reuses += counters.arena_reuses;
+  stats_.bitset_skips += counters.bitset_skips;
+  stats_.arena_bytes_peak = std::max(stats_.arena_bytes_peak, im.arena.bytes_peak());
 
   im.candidate_report = reduce_report(
       im.plan, *model_,
@@ -1230,7 +1626,7 @@ const FeasibilityReport& IncrementalVerifier::verify_drop(
         return std::nullopt;
       },
       [&](std::size_t i, std::size_t j) {
-        const std::size_t q = im.table.unit_queries[i][j];
+        const std::size_t q = im.table.slot(i, j);
         const auto it = im.overrides.find(q);
         return it != im.overrides.end() ? it->second.finish : im.memo[q].finish;
       },
@@ -1239,7 +1635,7 @@ const FeasibilityReport& IncrementalVerifier::verify_drop(
         // candidate's async offset set; periodic invocation instants
         // are schedule-independent.
         return model_->constraint(i).periodic() ||
-               im.plan.plans[i].offsets[j] != im.dropped_offset;
+               im.plan.offsets_of(i)[j] != im.dropped_offset;
       });
 
   im.pending = true;

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
@@ -25,9 +26,42 @@
 
 #include "core/model.hpp"
 #include "core/static_schedule.hpp"
-#include "util/csr.hpp"
+#include "util/arena.hpp"
 
 namespace rtg::core {
+
+/// Process-wide hot-path layer toggles (E22 ablation). Defaults are the
+/// fully optimized configuration; bench_hotpath and the ablation tests
+/// flip layers off one at a time to attribute the speedup. The flags
+/// are captured when an UnrollIndex / EmbeddingKernel / verify plan is
+/// *built*, so flip them only between verifications, never mid-query,
+/// and only from one thread (bench/test usage — production code leaves
+/// the defaults alone).
+struct HotPathConfig {
+  /// Structure-of-arrays index columns + pooled plan / query tables.
+  bool soa = true;
+  /// Per-element occurrence bitset rows + row gates before binary search.
+  bool bitset = true;
+  /// Bump-arena kernel scratch instead of per-kernel std::vectors.
+  bool arena = true;
+  /// Measured serial/parallel cutoff instead of the fixed constant.
+  bool calibrate = true;
+};
+
+[[nodiscard]] HotPathConfig& hotpath_config();
+
+/// Work-unit count below which auto-mode (n_threads == 0) verification
+/// stays serial. Resolution order, cached per process on first use:
+/// the RTG_SERIAL_CUTOFF environment variable if set; otherwise a
+/// one-shot calibration that measures the per-unit cost of a canned
+/// serial verify against the cost of spawning a thread pool and picks
+/// the crossover; a fixed fallback (256) when HotPathConfig::calibrate
+/// is off. See docs/PERF.md.
+[[nodiscard]] std::size_t serial_parallel_cutoff();
+
+/// The calibration probe behind serial_parallel_cutoff(), uncached:
+/// measures and returns the crossover directly (bench/E22 reporting).
+[[nodiscard]] std::size_t calibrate_serial_cutoff();
 
 /// Earliest finish time over all embeddings of `tg` into `ops` whose
 /// executions all start at or after `window_begin`. `ops` must be
@@ -64,14 +98,22 @@ struct EmbeddingWitness {
 [[nodiscard]] std::vector<ScheduledOp> unroll_ops(const StaticSchedule& sched,
                                                   std::size_t periods);
 
-/// A CSR-indexed *virtual* unroll of a static schedule: one period of
-/// ops is materialized, cycle k's copies are derived arithmetically
+/// An indexed *virtual* unroll of a static schedule: one period of ops
+/// is materialized, cycle k's copies are derived arithmetically
 /// (start + k * period), and a per-element index maps (element, time)
 /// to the next execution of that element in O(log occurrences) instead
 /// of a linear scan over every op. Global op index i corresponds
 /// exactly to unroll_ops(sched, periods)[i], so witness assignments
 /// against this view are valid positions into the public unrolled-op
 /// sequence.
+///
+/// Layout (ISSUE 8): the base period is stored as parallel columns
+/// (start / duration / element) so the binary searches walk one
+/// contiguous Time column; per-element occurrence rows carry their own
+/// contiguous start column plus a bitset row (one uint64_t word per 64
+/// base ops) whose gates and masks resolve the common probes — window
+/// at or before the row's first start, wrap past its last, next
+/// occurrence within the same word — before any binary search is paid.
 class UnrollIndex {
  public:
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
@@ -80,15 +122,15 @@ class UnrollIndex {
   UnrollIndex(const StaticSchedule& sched, std::size_t periods);
 
   [[nodiscard]] std::size_t periods() const { return periods_; }
-  [[nodiscard]] std::size_t ops_per_period() const { return base_.size(); }
-  [[nodiscard]] std::size_t size() const { return base_.size() * periods_; }
+  [[nodiscard]] std::size_t ops_per_period() const { return elems_.size(); }
+  [[nodiscard]] std::size_t size() const { return elems_.size() * periods_; }
   [[nodiscard]] Time period() const { return period_; }
 
   /// The op at global index `idx`; equals unroll_ops(sched, periods)[idx].
   [[nodiscard]] ScheduledOp op(std::size_t idx) const {
-    const ScheduledOp& base = base_[idx % base_.size()];
-    const Time shift = static_cast<Time>(idx / base_.size()) * period_;
-    return ScheduledOp{base.elem, base.start + shift, base.duration};
+    const std::size_t b = idx % elems_.size();
+    const Time shift = static_cast<Time>(idx / elems_.size()) * period_;
+    return ScheduledOp{base_elem(b), base_start(b) + shift, base_duration(b)};
   }
 
   /// Executions of `e` within one period.
@@ -97,9 +139,20 @@ class UnrollIndex {
   /// Base-op indices of `e`'s executions within one period, start order.
   [[nodiscard]] std::span<const std::size_t> occurrences(ElementId e) const;
 
-  /// The base-period op at base index `idx` (idx < ops_per_period()).
-  [[nodiscard]] const ScheduledOp& base_op(std::size_t idx) const {
-    return base_[idx];
+  /// Column accessors for the base-period op at base index `idx`
+  /// (idx < ops_per_period()).
+  [[nodiscard]] Time base_start(std::size_t idx) const {
+    return aos_.empty() ? starts_[idx] : aos_[idx].start;
+  }
+  [[nodiscard]] Time base_duration(std::size_t idx) const {
+    return aos_.empty() ? durations_[idx] : aos_[idx].duration;
+  }
+  [[nodiscard]] ElementId base_elem(std::size_t idx) const {
+    return aos_.empty() ? elems_[idx] : aos_[idx].elem;
+  }
+  /// The base-period op at base index `idx`, assembled from the columns.
+  [[nodiscard]] ScheduledOp base_op(std::size_t idx) const {
+    return ScheduledOp{base_elem(idx), base_start(idx), base_duration(idx)};
   }
 
   /// Rank of base op `idx` within its element's occurrence row.
@@ -110,20 +163,53 @@ class UnrollIndex {
   /// Global index of the first execution of `e` with start >= t and
   /// index < limit, or npos. `limit` caps the searchable op prefix so a
   /// query over k periods of a longer index behaves exactly like a
-  /// query over unroll_ops(sched, k).
-  [[nodiscard]] std::size_t first_at_or_after(ElementId e, Time t,
-                                              std::size_t limit) const;
+  /// query over unroll_ops(sched, k). When `row_skips` is non-null it
+  /// is bumped for every call the occurrence-row gates resolved without
+  /// a binary search (KernelCounters::bitset_skips).
+  [[nodiscard]] std::size_t first_at_or_after(ElementId e, Time t, std::size_t limit,
+                                              std::size_t* row_skips = nullptr) const;
 
   /// Global index of the next execution (start order) of the same
   /// element as op `idx`, below `limit`; npos when exhausted.
   [[nodiscard]] std::size_t next_occurrence(std::size_t idx, std::size_t limit) const;
 
+  /// True iff some execution of `e` in the cyclic extension starts in
+  /// [a, b). Resolved from the occurrence bitset row: the window maps
+  /// to a base-position range via the shared contiguous start column,
+  /// then the element's row words are mask-tested — no per-element
+  /// binary search. (Periods-horizon agnostic: answers over the
+  /// infinite cyclic trace.)
+  [[nodiscard]] bool occupied_in(ElementId e, Time a, Time b) const;
+
  private:
-  std::vector<ScheduledOp> base_;  // one period, sorted by start
+  [[nodiscard]] std::size_t search_row(std::size_t row_begin, std::size_t row_end,
+                                       Time rel) const;
+  [[nodiscard]] bool row_has_start_in(std::size_t bucket, Time x, Time y) const;
+
+  // SoA columns of one period, sorted by start (idle entries dropped).
+  std::vector<Time> starts_;
+  std::vector<Time> durations_;
+  std::vector<ElementId> elems_;
+  // Ablation only (HotPathConfig::soa == false): the legacy AoS copy;
+  // when non-empty, searches and accessors take the indirect path.
+  std::vector<ScheduledOp> aos_;
+
   Time period_ = 0;
   std::size_t periods_ = 0;
-  util::CsrBuckets<std::size_t> occ_;    // element -> base indices, start order
-  std::vector<std::size_t> occ_rank_;    // per base op: rank within its element row
+  std::size_t elem_count_ = 0;
+
+  // Per-element occurrence rows (CSR over base positions, start order)
+  // with a parallel contiguous start column for the binary searches.
+  std::vector<std::size_t> occ_offsets_;  // elem -> [begin, end) row bounds
+  std::vector<std::size_t> occ_idx_;      // base indices
+  std::vector<Time> occ_starts_;          // starts_[occ_idx_[i]]
+  std::vector<std::size_t> occ_rank_;     // per base op: rank within its row
+
+  // Occurrence bitset rows: bit p of element e's row is set iff base op
+  // p executes e. Empty when HotPathConfig::bitset is off.
+  std::size_t words_per_row_ = 0;
+  std::vector<std::uint64_t> bits_;
+  bool bitset_ = true;  // captured from hotpath_config() at build time
 };
 
 /// Counters of one EmbeddingKernel; merged into VerifyStats.
@@ -134,11 +220,15 @@ struct KernelCounters {
   std::size_t index_seeks = 0;
   /// Queries that reused the kernel's scratch arena (no allocation).
   std::size_t arena_reuses = 0;
+  /// Index seeks the occurrence-row bitset/metadata resolved without
+  /// paying a binary search (first-/last-start gates).
+  std::size_t bitset_skips = 0;
 
   KernelCounters& operator+=(const KernelCounters& o) {
     queries += o.queries;
     index_seeks += o.index_seeks;
     arena_reuses += o.arena_reuses;
+    bitset_skips += o.bitset_skips;
     return *this;
   }
 };
@@ -148,8 +238,10 @@ struct KernelCounters {
 /// begins. Per query each task-graph op costs O(log occurrences) index
 /// seeks over *its element's* executions only, instead of a linear scan
 /// over every unrolled op. The topological order and all per-query
-/// buffers (finish/chosen/used/witness) live in a reusable scratch
-/// arena, so repeated window queries allocate nothing.
+/// buffers (finish/chosen/used/witness) live in a bump arena — a shared
+/// one handed in by the verify engines (kernels of one worker reuse the
+/// same warm blocks) or a kernel-private one — so repeated window
+/// queries allocate nothing.
 ///
 /// Results are bit-identical to the flat-scan reference
 /// (find_earliest_embedding over unroll_ops(sched, k)): both kernels
@@ -159,10 +251,15 @@ struct KernelCounters {
 class EmbeddingKernel {
  public:
   /// Binds `tg` to `index`. Queries see only the first `periods_limit`
-  /// periods of the index (0 = all of it). Both referents must outlive
-  /// the kernel.
+  /// periods of the index (0 = all of it). Scratch comes from `arena`
+  /// when given (it must outlive the kernel and not be reset while the
+  /// kernel is alive), else from a kernel-private arena. Both referents
+  /// must outlive the kernel.
   EmbeddingKernel(const TaskGraph& tg, const UnrollIndex& index,
-                  std::size_t periods_limit = 0);
+                  std::size_t periods_limit = 0, util::Arena* arena = nullptr);
+
+  EmbeddingKernel(const EmbeddingKernel&) = delete;
+  EmbeddingKernel& operator=(const EmbeddingKernel&) = delete;
 
   /// Earliest finish over embeddings whose executions start at or after
   /// `window_begin`; nullopt when none exists within the op prefix.
@@ -180,23 +277,30 @@ class EmbeddingKernel {
   void bnb_rec(std::size_t k, Time makespan, Time window_begin,
                const std::vector<bool>& excluded);
 
+  // BnB availability bitset over the visible op prefix, one bit per
+  // global index. Backtracking restores every set bit, so the words
+  // stay all-zero between queries — the reset the old vector<bool>
+  // scratch paid per kernel is now a single zero-fill at first use,
+  // 64x smaller and usually on warm arena memory.
+  [[nodiscard]] bool used_test(std::size_t idx) const {
+    return (used_words_[idx >> 6] >> (idx & 63)) & 1u;
+  }
+  void used_flip(std::size_t idx) { used_words_[idx >> 6] ^= 1ull << (idx & 63); }
+
   const TaskGraph* tg_ = nullptr;
   const UnrollIndex* index_ = nullptr;
   std::size_t limit_ = 0;  // op-count prefix visible to queries
   bool repeated_ = false;
   std::vector<OpId> topo_;  // cached once per kernel
 
-  // Scratch arena, reused across queries.
-  std::vector<Time> finish_;
-  std::vector<std::size_t> chosen_;
-  std::vector<std::size_t> best_assignment_;
-  std::vector<bool> used_;  // BnB only; all-false between queries
   // Monotone seek hints (greedy, no-exclusion queries only): per op,
   // the execution chosen by the previous query — a sound resume point
   // while window begins ascend, making a sweep's seeks amortized O(1).
   // The cursor is kept decomposed as (cycle, rank within the element's
   // occurrence row) with cached start/finish times, so the steady-state
-  // advance is pure add/compare arithmetic — no division.
+  // advance is pure add/compare arithmetic — no division. A walk that
+  // exceeds a fixed step bound (degenerate sweep order) bails out to a
+  // fresh binary-search probe, which lands on the identical pick.
   struct SeekHint {
     std::size_t idx = UnrollIndex::npos;  // flat unrolled index
     std::size_t cycle = 0;
@@ -205,7 +309,24 @@ class EmbeddingKernel {
     Time finish = 0;
   };
   void seed_hint(SeekHint& h, ElementId e, Time ready);
-  std::vector<SeekHint> hint_;
+
+  // Scratch, arena-backed (raw pointers into arena_) in the default
+  // configuration; the *_vec_ members back the pointers instead when
+  // HotPathConfig::arena is off (ablation).
+  util::Arena own_arena_;
+  util::Arena* arena_ = nullptr;  // null = legacy vector scratch
+  Time* finish_ = nullptr;                  // per task-graph op
+  std::size_t* chosen_ = nullptr;           // per task-graph op, current path
+  std::size_t* best_assignment_ = nullptr;  // per task-graph op, best path
+  SeekHint* hint_ = nullptr;                // per task-graph op
+  std::uint64_t* used_words_ = nullptr;     // BnB only, lazily sized
+  std::size_t used_words_len_ = 0;
+  std::vector<Time> finish_vec_;
+  std::vector<std::size_t> chosen_vec_;
+  std::vector<std::size_t> best_vec_;
+  std::vector<SeekHint> hint_vec_;
+  std::vector<std::uint64_t> used_vec_;
+
   Time last_begin_ = 0;
   bool hints_primed_ = false;
   Time best_ = 0;
@@ -289,6 +410,11 @@ struct VerifyStats {
   std::size_t incremental_hits = 0;
   /// Kernel queries that reused a warm scratch arena (no allocation).
   std::size_t arena_reuses = 0;
+  /// Index seeks resolved by an occurrence-row bitset/metadata gate
+  /// without a binary search (summed across kernels and threads).
+  std::size_t bitset_skips = 0;
+  /// High-water mark of live scratch-arena bytes, maxed across workers.
+  std::size_t arena_bytes_peak = 0;
   /// Worker threads the engine actually ran with (1 = serial path,
   /// including the auto mode's small-work / single-core fallback).
   std::size_t threads_used = 0;
@@ -300,6 +426,8 @@ struct VerifyStats {
     index_seeks += other.index_seeks;
     incremental_hits += other.incremental_hits;
     arena_reuses += other.arena_reuses;
+    bitset_skips += other.bitset_skips;
+    arena_bytes_peak = std::max(arena_bytes_peak, other.arena_bytes_peak);
     threads_used = std::max(threads_used, other.threads_used);
     return *this;
   }
@@ -308,8 +436,8 @@ struct VerifyStats {
 struct VerifyOptions {
   /// Worker threads for the per-constraint x per-window fan-out.
   /// 0 = auto: hardware concurrency, except that single-core hosts and
-  /// plans below a small query-count threshold fall back to the serial
-  /// path (spawning workers would only add overhead — see E16/E17).
+  /// plans below serial_parallel_cutoff() fall back to the serial path
+  /// (spawning workers would only add overhead — see E16/E17/E22).
   /// 1 = serial; >= 2 = always the parallel engine.
   std::size_t n_threads = 0;
   /// Optional engine counters.

@@ -1,0 +1,125 @@
+// Bump-pointer arena for hot-path scratch memory (ISSUE 8).
+//
+// The embedding kernels allocate the same handful of scratch arrays
+// (finish/chosen/assignment/hints/used-bitset) for every kernel they
+// build, and the verify engines build thousands of kernels per call.
+// Routing that scratch through a bump allocator turns the per-kernel
+// cost into pointer arithmetic over memory that stays hot in cache:
+//
+//   * allocate<T>(n) bumps a cursor inside the current block; a new
+//     block (geometrically grown) is chained only when the current one
+//     is exhausted, so previously returned pointers remain stable;
+//   * reset() rewinds to the start while keeping the largest block, so
+//     a warmed-up arena serves steady-state queries with zero mallocs
+//     (`reuses()` counts resets that recycled a block);
+//   * bytes_peak() reports the high-water mark of live bytes, surfaced
+//     as VerifyStats::arena_bytes_peak.
+//
+// Only trivially-destructible types are supported — reset() never runs
+// destructors — and the arena is deliberately not thread-safe: engines
+// use one arena per worker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace rtg::util {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = 4096)
+      : first_block_bytes_(first_block_bytes < 64 ? 64 : first_block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Uninitialised storage for `count` objects of trivially-destructible
+  /// type T, aligned for T. Pointers stay valid until reset().
+  template <typename T>
+  [[nodiscard]] T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(allocate_bytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Zero-initialised variant (for bitset words / counter rows).
+  template <typename T>
+  [[nodiscard]] T* allocate_zeroed(std::size_t count) {
+    T* p = allocate<T>(count);
+    for (std::size_t i = 0; i < count; ++i) p[i] = T{};
+    return p;
+  }
+
+  /// Rewind to empty, keeping the largest block for reuse. All pointers
+  /// handed out so far become invalid.
+  void reset() {
+    if (!blocks_.empty()) {
+      std::size_t best = 0;
+      for (std::size_t i = 1; i < blocks_.size(); ++i) {
+        if (blocks_[i].size > blocks_[best].size) best = i;
+      }
+      if (best != 0) std::swap(blocks_[0], blocks_[best]);
+      blocks_.resize(1);
+      ++reuses_;
+    }
+    block_used_ = 0;
+    live_bytes_ = 0;
+  }
+
+  /// High-water mark of live (allocated-since-reset) bytes, including
+  /// alignment padding.
+  [[nodiscard]] std::size_t bytes_peak() const { return bytes_peak_; }
+  /// Number of reset() calls that recycled an existing block.
+  [[nodiscard]] std::size_t reuses() const { return reuses_; }
+  /// Bytes currently reserved across all blocks.
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    std::size_t used = blocks_.empty() ? 0 : aligned(block_used_, align);
+    if (blocks_.empty() || used + bytes > blocks_[0].size) {
+      grow(bytes, align);
+      used = 0;
+    }
+    std::byte* p = blocks_[0].data.get() + used;
+    live_bytes_ += (used - block_used_) + bytes;
+    block_used_ = used + bytes;
+    if (live_bytes_ > bytes_peak_) bytes_peak_ = live_bytes_;
+    return p;
+  }
+
+  // New blocks go to the *front* so the bump cursor always works on
+  // blocks_[0]; older blocks stay alive (pointer stability) until reset.
+  void grow(std::size_t bytes, std::size_t align) {
+    std::size_t size = blocks_.empty() ? first_block_bytes_ : blocks_[0].size * 2;
+    if (size < bytes + align) size = bytes + align;
+    Block block{std::make_unique<std::byte[]>(size), size};
+    blocks_.insert(blocks_.begin(), std::move(block));
+    block_used_ = 0;
+  }
+
+  static std::size_t aligned(std::size_t offset, std::size_t align) {
+    return (offset + align - 1) & ~(align - 1);
+  }
+
+  std::size_t first_block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t block_used_ = 0;   // bump cursor inside blocks_[0]
+  std::size_t live_bytes_ = 0;   // bytes since last reset (all blocks)
+  std::size_t bytes_peak_ = 0;
+  std::size_t reuses_ = 0;
+};
+
+}  // namespace rtg::util

@@ -21,8 +21,17 @@
 
 namespace rtg::util {
 
-/// Resolves a user-facing thread-count knob: 0 means "auto" (the
-/// hardware concurrency, at least 1); any other value is itself.
+/// Resolves a user-facing thread-count knob into a count worth running
+/// *compute* threads at: 0 means "auto" (the hardware concurrency, at
+/// least 1); any other value is clamped to the hardware concurrency —
+/// workers beyond the physical cores cannot run in parallel, they only
+/// preempt the ones that do (the E16 `n_threads >= 2` collapse on a
+/// single-core host). Engines partition and report by the *requested*
+/// count (results and stats stay a function of the knob, not the
+/// machine) and consult this only to size or skip the pool. The
+/// ThreadPool constructor deliberately does NOT clamp an explicit
+/// count: resident-task users (the service layer) need one thread per
+/// parked task regardless of core count.
 [[nodiscard]] std::size_t resolve_threads(std::size_t n_threads);
 
 class ThreadPool {
@@ -59,7 +68,10 @@ class ThreadPool {
   std::mutex signal_mutex_;  // guards queued_, in_flight_, stopping_
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
-  std::size_t queued_ = 0;     // tasks sitting in some deque
+  // Tasks sitting in some deque. Signed: a task is pushed *before* it
+  // is counted (so queued_ > 0 implies it is findable by a deque scan),
+  // which lets a racing taker decrement transiently past zero.
+  std::ptrdiff_t queued_ = 0;
   std::size_t in_flight_ = 0;  // tasks queued or currently running
   bool stopping_ = false;
   std::size_t next_victim_ = 0;  // round-robin external submission cursor

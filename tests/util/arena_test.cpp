@@ -1,0 +1,113 @@
+// Unit tests for the bump-pointer scratch arena (ISSUE 8): pointer
+// stability across growth, reset/reuse semantics, alignment, and the
+// bytes_peak accounting surfaced as VerifyStats::arena_bytes_peak.
+#include "util/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace rtg::util {
+namespace {
+
+TEST(Arena, AllocationsAreWritableAndDisjoint) {
+  Arena arena(64);
+  int* a = arena.allocate<int>(10);
+  int* b = arena.allocate<int>(10);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  for (int i = 0; i < 10; ++i) {
+    a[i] = i;
+    b[i] = 100 + i;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(a[i], i);
+    EXPECT_EQ(b[i], 100 + i);  // b did not alias a
+  }
+}
+
+TEST(Arena, PointersStayValidAcrossGrowth) {
+  // Force many block chains: earlier allocations must stay intact
+  // because exhausted blocks are kept alive until reset().
+  Arena arena(64);
+  std::vector<std::uint64_t*> ptrs;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    std::uint64_t* p = arena.allocate<std::uint64_t>(17);
+    p[0] = i;
+    p[16] = ~i;
+    ptrs.push_back(p);
+  }
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(ptrs[i][0], i);
+    EXPECT_EQ(ptrs[i][16], ~i);
+  }
+}
+
+TEST(Arena, AllocateZeroedIsZero) {
+  Arena arena(64);
+  // Dirty the block first so the zeroing is observable after reset.
+  std::uint64_t* dirty = arena.allocate<std::uint64_t>(32);
+  for (int i = 0; i < 32; ++i) dirty[i] = ~0ull;
+  arena.reset();
+  const std::uint64_t* z = arena.allocate_zeroed<std::uint64_t>(32);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(z[i], 0u);
+}
+
+TEST(Arena, AlignmentIsRespected) {
+  Arena arena(64);
+  (void)arena.allocate<char>(3);  // misalign the cursor
+  const double* d = arena.allocate<double>(1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  (void)arena.allocate<char>(1);
+  const std::uint64_t* w = arena.allocate<std::uint64_t>(2);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % alignof(std::uint64_t), 0u);
+}
+
+TEST(Arena, ResetRecyclesTheLargestBlock) {
+  Arena arena(64);
+  (void)arena.allocate<char>(4000);  // grows well past the first block
+  const std::size_t reserved_before = arena.bytes_reserved();
+  arena.reset();
+  EXPECT_EQ(arena.reuses(), 1u);
+  // Only the largest block survives the reset...
+  EXPECT_LE(arena.bytes_reserved(), reserved_before);
+  EXPECT_GE(arena.bytes_reserved(), 4000u);
+  // ...and a same-shaped allocation round now fits without reserving
+  // any new memory.
+  const std::size_t reserved_after = arena.bytes_reserved();
+  (void)arena.allocate<char>(4000);
+  EXPECT_EQ(arena.bytes_reserved(), reserved_after);
+}
+
+TEST(Arena, BytesPeakTracksTheHighWaterMark) {
+  Arena arena(64);
+  EXPECT_EQ(arena.bytes_peak(), 0u);
+  (void)arena.allocate<char>(100);
+  const std::size_t peak1 = arena.bytes_peak();
+  EXPECT_GE(peak1, 100u);
+  arena.reset();
+  EXPECT_EQ(arena.bytes_peak(), peak1);  // peak survives reset
+  (void)arena.allocate<char>(10);
+  EXPECT_EQ(arena.bytes_peak(), peak1);  // smaller round: unchanged
+  (void)arena.allocate<char>(300);
+  EXPECT_GE(arena.bytes_peak(), 310u);  // larger round: advances
+}
+
+TEST(Arena, ManyResetRoundsAllocateNothingNew) {
+  Arena arena;
+  (void)arena.allocate<std::uint64_t>(512);  // warm up
+  arena.reset();
+  const std::size_t reserved = arena.bytes_reserved();
+  for (int round = 0; round < 50; ++round) {
+    (void)arena.allocate<std::uint64_t>(256);
+    (void)arena.allocate<std::uint32_t>(128);
+    (void)arena.allocate<char>(64);
+    arena.reset();
+  }
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+  EXPECT_EQ(arena.reuses(), 51u);
+}
+
+}  // namespace
+}  // namespace rtg::util

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstddef>
@@ -71,6 +72,62 @@ TEST(ThreadPool, ManyShortLivedPoolsShutDownCleanly) {
     }
   }
   EXPECT_EQ(ran.load(), 500);
+}
+
+TEST(ResolveThreads, ClampsToHardwareConcurrency) {
+  const std::size_t hw = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  EXPECT_EQ(resolve_threads(0), hw);  // auto
+  EXPECT_EQ(resolve_threads(1), 1u);
+  // Requests past the core count resolve to the core count: running
+  // more compute workers than cores only adds preemption (E16).
+  EXPECT_EQ(resolve_threads(hw), hw);
+  EXPECT_EQ(resolve_threads(hw + 7), hw);
+  EXPECT_EQ(resolve_threads(1000), hw);
+}
+
+TEST(ThreadPool, ConstructorHonorsExplicitOversubscribedCount) {
+  // The service layer parks one resident (blocking) task per worker, so
+  // an explicit count must produce exactly that many threads even past
+  // the core count — clamping here deadlocks resident-task users.
+  ThreadPool pool(8);
+  EXPECT_EQ(pool.size(), 8u);
+  std::atomic<int> parked{0};
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&parked, &release] {
+      parked.fetch_add(1);
+      while (!release.load()) std::this_thread::sleep_for(std::chrono::microseconds(100));
+    });
+  }
+  // All eight residents must be running *simultaneously*.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (parked.load() < 8 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(parked.load(), 8);
+  release.store(true);
+  pool.wait_idle();
+}
+
+TEST(ThreadPool, OversubscribedPoolDrainsPromptly) {
+  // Regression for the E16 collapse: a pool with more workers than
+  // cores must drain a burst of small tasks in bounded time instead of
+  // livelocking on spin loops. The generous bound only guards against
+  // the pathological pre-fix behavior (seconds of scheduler thrash).
+  const auto t0 = std::chrono::steady_clock::now();
+  std::atomic<int> ran{0};
+  for (int round = 0; round < 20; ++round) {
+    ThreadPool pool(8);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.wait_idle();
+  }
+  EXPECT_EQ(ran.load(), 20 * 64);
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  EXPECT_LT(seconds, 20.0);
 }
 
 TEST(ThreadPool, ParallelForVisitsEachIndexOnce) {
