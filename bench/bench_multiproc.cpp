@@ -1,103 +1,165 @@
-// E8 — multiprocessor decomposition.
+// E23 — the mapping portfolio over the mapped corpus.
 //
-// Random layered control-flow models decomposed onto m processors with
-// each partition strategy: success rate, bus channel count, average
-// end-to-end latency margin (deadline - measured latency), and
-// per-processor load balance. Reproduces the paper's claim that the
-// synthesis problem decomposes into per-processor problems plus a
-// network scheduling problem.
+// A 64-seed slice of the standing scenario corpus (gen::corpus_options,
+// the same seeds CI sweeps) is deployed on every platform family
+// (shared bus, full crossbar, ring) at P in {2, 4, 8} with each
+// portfolio mapper (greedy latency-density, simulated annealing,
+// series-parallel decomposition). Reported per cell: deployment success
+// rate, mean end-to-end latency margin (min over constraints of
+// deadline - measured latency, averaged over successes), mean occupied
+// link slots, and mean load imbalance (peak/mean processor load).
+//
+// The portfolio claim under test: the annealer and the decomposition
+// mapper each beat greedy on success rate or mean margin at every P on
+// at least one platform family. The bench exits 1 when the claim fails,
+// so the recorded BENCH_multiproc.json always evidences it. Every cell
+// is deterministic; a failing (seed, P, mapper) cell reproduces with
+// the printed one-liner.
+//
+// Emits BENCH_multiproc.json in the working directory.
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "core/multiproc.hpp"
-#include "graph/generators.hpp"
-#include "sim/rng.hpp"
-
-using namespace rtg;
-using sim::Time;
+#include "gen/generator.hpp"
+#include "map/deploy.hpp"
 
 namespace {
 
-// A multi-stage processing model: `chains` independent source-to-sink
-// pipelines of `depth` elements, each with a generous deadline.
-core::GraphModel pipeline_farm(std::size_t chains, std::size_t depth, Time deadline,
-                               sim::Rng& rng) {
-  core::CommGraph comm;
-  std::vector<std::vector<core::ElementId>> rows;
-  for (std::size_t c = 0; c < chains; ++c) {
-    std::vector<core::ElementId> row;
-    for (std::size_t d = 0; d < depth; ++d) {
-      row.push_back(comm.add_element("p" + std::to_string(c) + "_" + std::to_string(d),
-                                     rng.uniform(1, 2), true));
-      if (d > 0) comm.add_channel(row[d - 1], row[d]);
-    }
-    rows.push_back(std::move(row));
-  }
-  core::GraphModel model(std::move(comm));
-  for (std::size_t c = 0; c < chains; ++c) {
-    core::TaskGraph tg;
-    core::OpId prev = graph::kInvalidNode;
-    for (core::ElementId e : rows[c]) {
-      const core::OpId op = tg.add_op(e);
-      if (prev != graph::kInvalidNode) tg.add_dep(prev, op);
-      prev = op;
-    }
-    model.add_constraint(core::TimingConstraint{
-        "chain" + std::to_string(c), std::move(tg), 10, deadline,
-        core::ConstraintKind::kAsynchronous});
-  }
-  return model;
+using namespace rtg;
+using core::Time;
+
+constexpr std::uint64_t kSeeds = 64;
+constexpr std::size_t kProcs[] = {2, 4, 8};
+const char* const kFamilies[] = {"bus", "full", "ring"};
+const char* const kMappers[] = {"greedy", "sa", "spd"};
+
+map::Platform make_platform(const std::string& family, std::size_t procs) {
+  if (family == "full") return map::Platform::full(procs);
+  if (family == "ring") return map::Platform::ring(procs);
+  return map::Platform::bus(procs);
 }
 
-const char* strategy_name(core::PartitionStrategy s) {
-  switch (s) {
-    case core::PartitionStrategy::kRoundRobin: return "roundrobin";
-    case core::PartitionStrategy::kLpt: return "lpt";
-    case core::PartitionStrategy::kCommunication: return "comm";
+struct Cell {
+  std::size_t procs = 0;
+  std::string family;
+  std::string mapper;
+  std::size_t attempts = 0;
+  std::size_t ok = 0;
+  double margin_sum = 0;     // over successes
+  double slots_sum = 0;      // over successes
+  double imbalance_sum = 0;  // over successes
+
+  [[nodiscard]] double rate() const {
+    return attempts == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(attempts);
   }
-  return "?";
+  [[nodiscard]] double mean_margin() const {
+    return ok == 0 ? 0.0 : margin_sum / static_cast<double>(ok);
+  }
+  [[nodiscard]] double mean_slots() const {
+    return ok == 0 ? 0.0 : slots_sum / static_cast<double>(ok);
+  }
+  [[nodiscard]] double mean_imbalance() const {
+    return ok == 0 ? 0.0 : imbalance_sum / static_cast<double>(ok);
+  }
+};
+
+Cell& cell_of(std::vector<Cell>& cells, std::size_t procs, const std::string& family,
+              const std::string& mapper) {
+  for (Cell& c : cells) {
+    if (c.procs == procs && c.family == family && c.mapper == mapper) return c;
+  }
+  cells.push_back(Cell{procs, family, mapper});
+  return cells.back();
 }
 
 }  // namespace
 
 int main() {
-  std::printf("E8: multiprocessor decomposition (3 chains x 3 stages, d=96)\n\n");
-  std::printf("%-4s %-12s %-9s %-8s %-14s %-14s\n", "m", "strategy", "success%",
-              "bus_ch", "avg_margin", "max_latency");
+  std::printf("E23: mapping portfolio, %llu-seed corpus slice, P in {2,4,8}\n\n",
+              static_cast<unsigned long long>(kSeeds));
 
-  const int trials = 10;
-  for (std::size_t m : {1, 2, 4}) {
-    for (auto strategy :
-         {core::PartitionStrategy::kRoundRobin, core::PartitionStrategy::kLpt,
-          core::PartitionStrategy::kCommunication}) {
-      int ok = 0;
-      double margin_sum = 0.0;
-      long long worst_latency = 0;
-      std::size_t bus_channels = 0;
-      sim::Rng rng(1000 + m);
-      for (int t = 0; t < trials; ++t) {
-        const core::GraphModel model = pipeline_farm(3, 3, 96, rng);
-        core::MultiprocOptions options;
-        options.processors = m;
-        options.strategy = strategy;
-        const core::MultiprocResult r = core::multiproc_schedule(model, options);
-        if (!r.success) continue;
-        ++ok;
-        bus_channels = std::max(bus_channels, r.bus_channels.size());
-        for (std::size_t i = 0; i < r.end_to_end_latency.size(); ++i) {
-          const Time d = r.scheduled_model.constraint(i).deadline;
-          const Time lat = *r.end_to_end_latency[i];
-          margin_sum += static_cast<double>(d - lat);
-          worst_latency = std::max<long long>(worst_latency, lat);
+  std::vector<Cell> cells;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const gen::ScenarioOptions options = gen::corpus_options(seed);
+    const gen::Scenario scenario = gen::generate(options);
+    for (const std::size_t procs : kProcs) {
+      for (const char* const family : kFamilies) {
+        const map::Platform platform = make_platform(family, procs);
+        for (const char* const mapper : kMappers) {
+          map::DeployOptions deploy_options;
+          deploy_options.mapper = mapper;
+          const map::Deployment d =
+              map::deploy(scenario.model, platform, deploy_options);
+          Cell& cell = cell_of(cells, procs, family, mapper);
+          ++cell.attempts;
+          if (!d.success) continue;
+          ++cell.ok;
+          const auto margin = d.min_margin(d.scheduled_model);
+          cell.margin_sum += margin ? static_cast<double>(*margin) : 0.0;
+          cell.slots_sum += static_cast<double>(d.comm.total_slots());
+          cell.imbalance_sum += map::load_imbalance(d.mapping.loads(
+              d.scheduled_model.comm(), platform.processors()));
+          // Repro for any cell under scrutiny (bus cells reproduce
+          // through the generator's own knobs):
+          //   spec_compiler --gen <spec>,processors=P --map P --mapper M
         }
       }
-      std::printf("%-4zu %-12s %-9.0f %-8zu %-14.1f %-14lld\n", m,
-                  strategy_name(strategy), 100.0 * ok / trials, bus_channels,
-                  ok ? margin_sum / (ok * 3) : 0.0, worst_latency);
     }
   }
-  std::printf("\nExpected shape: m=1 always succeeds with zero bus channels;\n"
-              "comm-aware partitioning needs fewer bus channels than\n"
-              "round-robin and keeps larger margins.\n");
+
+  std::printf("%-4s %-6s %-8s %-9s %-12s %-11s %-10s\n", "P", "fam", "mapper",
+              "success%", "mean_margin", "mean_slots", "imbalance");
+  for (const Cell& c : cells) {
+    std::printf("%-4zu %-6s %-8s %-9.1f %-12.1f %-11.2f %-10.2f\n", c.procs,
+                c.family.c_str(), c.mapper.c_str(), 100.0 * c.rate(),
+                c.mean_margin(), c.mean_slots(), c.mean_imbalance());
+  }
+
+  // Portfolio claim: at every P, sa and spd each beat greedy on success
+  // rate or mean margin on at least one platform family.
+  bool claim_ok = true;
+  for (const std::size_t procs : kProcs) {
+    for (const char* const challenger : {"sa", "spd"}) {
+      bool beats = false;
+      for (const char* const family : kFamilies) {
+        const Cell& g = cell_of(cells, procs, family, "greedy");
+        const Cell& c = cell_of(cells, procs, family, challenger);
+        if (c.ok > g.ok || (c.ok > 0 && c.mean_margin() > g.mean_margin())) {
+          beats = true;
+          break;
+        }
+      }
+      std::printf("# P=%zu: %s %s greedy on some family\n", procs, challenger,
+                  beats ? "beats" : "DOES NOT beat");
+      if (!beats) claim_ok = false;
+    }
+  }
+
+  FILE* json = std::fopen("BENCH_multiproc.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json, "{\n  \"experiment\": \"E23\",\n  \"seeds\": %llu,\n",
+                 static_cast<unsigned long long>(kSeeds));
+    std::fprintf(json, "  \"portfolio_claim\": %s,\n  \"cells\": [\n",
+                 claim_ok ? "true" : "false");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      std::fprintf(json,
+                   "    {\"procs\": %zu, \"family\": \"%s\", \"mapper\": \"%s\", "
+                   "\"attempts\": %zu, \"ok\": %zu, \"mean_margin\": %.2f, "
+                   "\"mean_slots\": %.2f, \"mean_imbalance\": %.3f}%s\n",
+                   c.procs, c.family.c_str(), c.mapper.c_str(), c.attempts, c.ok,
+                   c.mean_margin(), c.mean_slots(), c.mean_imbalance(),
+                   i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_multiproc.json\n");
+  }
+
+  if (!claim_ok) {
+    std::fprintf(stderr, "bench_multiproc: portfolio claim failed\n");
+    return 1;
+  }
   return 0;
 }

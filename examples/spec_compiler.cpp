@@ -3,8 +3,8 @@
 // schedule, and emit artifacts.
 //
 //   $ ./spec_compiler <file.rts> [--dot] [--schedule] [--processes]
-//                     [--emit] [--exact] [--multiproc N] [--threads N]
-//                     [--save <sched>] [--verify <sched>]
+//                     [--emit] [--exact] [--map N] [--mapper <name>]
+//                     [--threads N] [--save <sched>] [--verify <sched>]
 //                     [--emit-trace <trace.rtt>] [--monitor]
 //   $ echo "element a" | ./spec_compiler -
 //
@@ -25,12 +25,12 @@
 #include "core/fault_injection.hpp"
 #include "core/feasibility.hpp"
 #include "core/heuristic.hpp"
-#include "core/multiproc.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/schedule_io.hpp"
 #include "core/synthesis.hpp"
 #include "graph/dot.hpp"
+#include "map/deploy.hpp"
 #include "monitor/streaming_monitor.hpp"
 #include "monitor/trace_capture.hpp"
 #include "monitor/trace_io.hpp"
@@ -99,19 +99,27 @@ int flag_error(const std::string& message) {
 int usage() {
   std::fprintf(stderr,
                "usage: spec_compiler <file.rts | - | --gen <opts>> [--dot] [--schedule] "
-               "[--processes] [--emit] [--exact] [--analyze] [--multiproc N]\n"
+               "[--processes] [--emit] [--exact] [--analyze] [--map N]\n"
+               "                     [--mapper <greedy|sa|spd|roundrobin|lpt|comm>]\n"
                "                     [--threads N] [--save <sched>] [--verify <sched>]\n"
                "                     [--stats] [--emit-trace <trace.rtt>] [--monitor]\n"
                "                     [--inject <plan.fp>] [--recovery]\n"
+               "  --map N       mapped deployment on N processors (shared bus\n"
+               "                unless the spec declares processor/bus/link\n"
+               "                lines): mapper portfolio, per-processor\n"
+               "                synthesis, link slot tables, sharded + seam\n"
+               "                verification (--multiproc N is the deprecated\n"
+               "                alias for --map N --mapper comm)\n"
+               "  --mapper      portfolio member for --map (default greedy)\n"
                "  --gen         generate a seeded scenario instead of reading a\n"
                "                file; opts are comma-separated key=value pairs,\n"
                "                e.g. topology=layered,seed=17,util=0.4 or\n"
                "                domain=avionics,seed=3 (see docs/SCENARIOS.md)\n"
                "  --threads N   worker threads for verification and the exact\n"
                "                search (0 = hardware concurrency, 1 = serial)\n"
-               "  --stats       with --verify: print the engine counters\n"
-               "                (queries, memo hits, seeks, bitset skips,\n"
-               "                arena peak, threads)\n"
+               "  --stats       with --verify or --map: print the engine\n"
+               "                counters (queries, memo hits, seeks, bitset\n"
+               "                skips, arena peak, threads; seam windows)\n"
                "  --emit-trace  capture the synthesized schedule's execution\n"
                "                trace to a binary .rtt file (replay with\n"
                "                trace_replay)\n"
@@ -147,7 +155,8 @@ int run(int argc, char** argv) {
   if (argc < 2) return usage();
   bool want_dot = false, want_schedule = false, want_processes = false;
   bool want_emit = false, want_exact = false, want_analyze = false;
-  std::size_t multiproc = 0;
+  std::size_t map_procs = 0;
+  const char* mapper_name = "greedy";
   std::size_t n_threads = 0;  // 0 = hardware concurrency
   const char* path = nullptr;
   const char* save_path = nullptr;
@@ -197,11 +206,25 @@ int run(int argc, char** argv) {
       want_recovery = true;
     } else if (std::strcmp(argv[i], "--gen") == 0) {
       gen_spec = need_value(i);
+    } else if (std::strcmp(argv[i], "--map") == 0) {
+      map_procs = static_cast<std::size_t>(std::atoi(need_value(i)));
+      if (map_procs == 0) {
+        return flag_error("--map requires a positive processor count");
+      }
+    } else if (std::strcmp(argv[i], "--mapper") == 0) {
+      mapper_name = need_value(i);
+      if (map::make_mapper(mapper_name) == nullptr) {
+        return flag_error(std::string("unknown mapper '") + mapper_name +
+                          "' (greedy, sa, spd, roundrobin, lpt, comm)");
+      }
     } else if (std::strcmp(argv[i], "--multiproc") == 0) {
-      multiproc = static_cast<std::size_t>(std::atoi(need_value(i)));
-      if (multiproc == 0) {
+      // Deprecated alias from the pre-portfolio decomposition; the
+      // communication-aware partition is now GreedyMapper's comm policy.
+      map_procs = static_cast<std::size_t>(std::atoi(need_value(i)));
+      if (map_procs == 0) {
         return flag_error("--multiproc requires a positive processor count");
       }
+      mapper_name = "comm";
     } else if (std::strcmp(argv[i], "--threads") == 0) {
       const int n = std::atoi(need_value(i));
       if (n < 0) return flag_error("--threads requires a non-negative count");
@@ -225,15 +248,16 @@ int run(int argc, char** argv) {
   if (want_monitor && emit_trace_path == nullptr) {
     return flag_error("--monitor requires --emit-trace (the monitor replays the captured trace)");
   }
-  if (want_stats && verify_path == nullptr) {
-    return flag_error("--stats requires --verify (it reports the verify engine counters)");
+  if (want_stats && verify_path == nullptr && map_procs == 0) {
+    return flag_error(
+        "--stats requires --verify or --map (it reports the engine counters)");
   }
   if (save_path != nullptr || emit_trace_path != nullptr || want_monitor ||
       inject_path != nullptr || want_recovery) {
     want_schedule = true;
   }
   if (!want_dot && !want_processes && !want_emit && !want_exact && !want_analyze &&
-      multiproc == 0 && verify_path == nullptr) {
+      map_procs == 0 && verify_path == nullptr) {
     want_schedule = true;
   }
 
@@ -510,27 +534,64 @@ int run(int argc, char** argv) {
         break;
     }
   }
-  if (multiproc > 0) {
-    core::MultiprocOptions options;
-    options.processors = multiproc;
-    options.strategy = core::PartitionStrategy::kCommunication;
-    const core::MultiprocResult r = core::multiproc_schedule(model, options);
-    if (!r.success) {
-      std::fprintf(stderr, "multiprocessor synthesis failed: %s\n",
-                   r.failure_reason.c_str());
+  if (map_procs > 0) {
+    // A spec-declared platform wins over the default shared bus.
+    map::Platform platform;
+    if (compiled.platform.has_value()) {
+      platform = *compiled.platform;
+      if (platform.processors() != map_procs) {
+        std::fprintf(stderr,
+                     "note: spec declares %zu processors; --map %zu ignored\n",
+                     platform.processors(), map_procs);
+      }
+    } else {
+      platform = map::Platform::bus(map_procs);
+    }
+    map::DeployOptions deploy_options;
+    deploy_options.mapper = mapper_name;
+    deploy_options.local.n_threads = n_threads;
+    deploy_options.seam_threads = n_threads;
+    const map::Deployment d = map::deploy(model, platform, deploy_options);
+    if (!d.success) {
+      std::fprintf(stderr, "mapped synthesis failed: %s\n",
+                   d.failure_reason.c_str());
       return 2;
     }
-    std::printf("# multiprocessor schedule on %zu processors, %zu bus channels\n",
-                multiproc, r.bus_channels.size());
-    for (std::size_t p = 0; p < r.processor_schedules.size(); ++p) {
-      std::printf("P%zu: %s\n", p,
-                  r.processor_schedules[p].to_string(r.scheduled_model.comm()).c_str());
+    std::printf("# mapped deployment on %zu processors (mapper %s): "
+                "%zu messages, %llu link slots, load imbalance %.2f\n",
+                platform.processors(), d.mapping.mapper.c_str(),
+                d.messages.size(),
+                static_cast<unsigned long long>(d.comm.total_slots()),
+                map::load_imbalance(d.mapping.loads(d.scheduled_model.comm(),
+                                                    platform.processors())));
+    for (std::size_t p = 0; p < d.processor_schedules.size(); ++p) {
+      std::printf("P%zu (%s): %s\n", p, platform.processor_names[p].c_str(),
+                  d.processor_schedules[p].to_string(d.scheduled_model.comm()).c_str());
     }
-    for (std::size_t i = 0; i < r.end_to_end_latency.size(); ++i) {
+    for (std::size_t i = 0; i < d.comm.messages.size(); ++i) {
+      const map::Message& m = d.comm.messages[i];
+      const auto [link_idx, slot_idx] = d.comm.slot_of[i];
+      const map::SlotAssignment& slot = d.comm.links[link_idx].slots[slot_idx];
+      std::printf("# message %s -> %s via %s (offset %lld, %lld slots)\n",
+                  d.scheduled_model.comm().name(m.from).c_str(),
+                  d.scheduled_model.comm().name(m.to).c_str(),
+                  platform.links[m.link].name.c_str(),
+                  static_cast<long long>(slot.offset),
+                  static_cast<long long>(slot.duration));
+    }
+    for (std::size_t i = 0; i < d.end_to_end.size(); ++i) {
       std::printf("# %s: end-to-end latency %lld / deadline %lld\n",
-                  r.scheduled_model.constraint(i).name.c_str(),
-                  static_cast<long long>(*r.end_to_end_latency[i]),
-                  static_cast<long long>(r.scheduled_model.constraint(i).deadline));
+                  d.scheduled_model.constraint(i).name.c_str(),
+                  static_cast<long long>(*d.end_to_end[i]),
+                  static_cast<long long>(d.scheduled_model.constraint(i).deadline));
+    }
+    if (want_stats) {
+      std::printf("# stats: seam_windows=%llu seam_seeks=%llu threads=%llu "
+                  "witnesses=%zu\n",
+                  static_cast<unsigned long long>(d.seam_stats.windows),
+                  static_cast<unsigned long long>(d.seam_stats.index_seeks),
+                  static_cast<unsigned long long>(d.seam_stats.threads_used),
+                  d.witnesses.size());
     }
   }
   if (verify_path != nullptr) {

@@ -1,13 +1,15 @@
+// Deprecation shim (ISSUE 9): the multiprocessor machinery moved to
+// src/map. Only partition_elements (used by core/network and wrapped by
+// map::GreedyMapper's legacy policies) and the trivial
+// pipeline_ordered_bus check still live in core; multiproc_schedule and
+// multiproc_latency are implemented in map/multiproc_compat.cpp on top
+// of map::deploy / map::distributed_latency — link rtg_map to use them.
 #include "core/multiproc.hpp"
 
 #include <algorithm>
-#include <map>
 #include <numeric>
 #include <set>
 #include <stdexcept>
-
-#include "core/pipeline.hpp"
-#include "rt/task.hpp"  // lcm_checked
 
 namespace rtg::core {
 
@@ -76,123 +78,6 @@ std::vector<std::size_t> partition_elements(const CommGraph& comm, std::size_t m
   return assignment;
 }
 
-namespace {
-
-// Index of a channel in the TDMA order, or npos.
-std::size_t channel_slot(const std::vector<BusChannel>& channels, ElementId u,
-                         ElementId v) {
-  for (std::size_t k = 0; k < channels.size(); ++k) {
-    if (channels[k].first == u && channels[k].second == v) return k;
-  }
-  return static_cast<std::size_t>(-1);
-}
-
-// Earliest TDMA message arrival for channel slot `k` (bus cycle B) with
-// transmission start >= ready: slots start at j*B + k, take 1 slot.
-Time message_arrival(Time ready, std::size_t k, Time bus_cycle) {
-  const Time offset = static_cast<Time>(k);
-  Time j = (ready - offset + bus_cycle - 1) / bus_cycle;
-  if (j < 0) j = 0;
-  return j * bus_cycle + offset + 1;
-}
-
-}  // namespace
-
-std::optional<Time> multiproc_latency(const TaskGraph& tg,
-                                      const std::vector<StaticSchedule>& schedules,
-                                      const std::vector<std::size_t>& assignment,
-                                      const std::vector<BusChannel>& bus_channels) {
-  if (tg.empty()) return 0;
-  const Time bus_cycle = static_cast<Time>(std::max<std::size_t>(bus_channels.size(), 1));
-
-  // Common cycle of all processor schedules and the bus.
-  Time cycle = bus_cycle;
-  for (const StaticSchedule& s : schedules) {
-    if (s.length() == 0) continue;
-    cycle = rt::lcm_checked(cycle, s.length());
-  }
-
-  const std::size_t horizon_cycles = 2 * tg.size() + 2;
-  const Time horizon = static_cast<Time>(horizon_cycles) * cycle;
-
-  // Unroll each processor's ops to the horizon.
-  std::vector<std::vector<ScheduledOp>> proc_ops(schedules.size());
-  for (std::size_t p = 0; p < schedules.size(); ++p) {
-    if (schedules[p].length() == 0) continue;
-    const std::size_t reps =
-        static_cast<std::size_t>(horizon / schedules[p].length()) + 1;
-    proc_ops[p] = unroll_ops(schedules[p], reps);
-  }
-
-  const auto topo = tg.topological_ops();
-
-  // Greedy distributed embedding starting at or after `t`; returns the
-  // makespan or nullopt.
-  auto completion = [&](Time t) -> std::optional<Time> {
-    std::vector<Time> finish(tg.size(), 0);
-    Time makespan = t;
-    for (OpId v : topo) {
-      const ElementId ev = tg.label(v);
-      const std::size_t pv = assignment.at(ev);
-      Time ready = t;
-      for (OpId u : tg.skeleton().predecessors(v)) {
-        const ElementId eu = tg.label(u);
-        if (assignment.at(eu) == pv) {
-          ready = std::max(ready, finish[u]);
-        } else {
-          const std::size_t slot = channel_slot(bus_channels, eu, ev);
-          if (slot == static_cast<std::size_t>(-1)) return std::nullopt;
-          // Transmission must also lie inside the window: start >= t.
-          const Time msg_ready = std::max(finish[u], t);
-          ready = std::max(ready, message_arrival(msg_ready, slot, bus_cycle));
-        }
-      }
-      const auto& ops = proc_ops[pv];
-      auto it = std::lower_bound(
-          ops.begin(), ops.end(), ready,
-          [](const ScheduledOp& op, Time tt) { return op.start < tt; });
-      bool found = false;
-      for (; it != ops.end(); ++it) {
-        if (it->elem == ev) {
-          finish[v] = it->finish();
-          makespan = std::max(makespan, finish[v]);
-          found = true;
-          break;
-        }
-      }
-      if (!found) return std::nullopt;
-    }
-    return makespan;
-  };
-
-  // Candidate window starts: 0 plus every op/message boundary + 1
-  // within one common cycle.
-  std::set<Time> candidates{0};
-  for (std::size_t p = 0; p < schedules.size(); ++p) {
-    if (schedules[p].length() == 0) continue;
-    const Time reps_in_cycle = cycle / schedules[p].length();
-    for (Time r = 0; r < reps_in_cycle; ++r) {
-      for (const ScheduledOp& op : schedules[p].ops()) {
-        const Time s = r * schedules[p].length() + op.start + 1;
-        if (s < cycle) candidates.insert(s);
-      }
-    }
-  }
-  for (Time s = 1; s < cycle; ++s) {
-    if ((s - 1) % bus_cycle < static_cast<Time>(bus_channels.size())) {
-      candidates.insert(s);  // bus slot boundaries
-    }
-  }
-
-  Time latency = 0;
-  for (Time t : candidates) {
-    const auto finish = completion(t);
-    if (!finish) return std::nullopt;
-    latency = std::max(latency, *finish - t);
-  }
-  return latency;
-}
-
 bool pipeline_ordered_bus(const std::vector<BusChannel>& bus_channels) {
   // TDMA gives each channel exactly one slot per cycle, so message
   // k of a channel is sent in cycle k and received in cycle k: FIFO by
@@ -202,174 +87,6 @@ bool pipeline_ordered_bus(const std::vector<BusChannel>& bus_channels) {
     if (!seen.insert(ch).second) return false;
   }
   return true;
-}
-
-MultiprocResult multiproc_schedule(const GraphModel& input, const MultiprocOptions& options) {
-  MultiprocResult result;
-  if (options.processors == 0) {
-    result.failure_reason = "zero processors";
-    return result;
-  }
-
-  // Pipelining happens once, globally, so sub-problems share element ids.
-  GraphModel model = options.local.pipeline ? pipeline_model(input).model : input;
-  result.scheduled_model = model;
-  const CommGraph& comm = model.comm();
-  const std::size_t m = options.processors;
-
-  result.assignment = partition_elements(comm, m, options.strategy);
-
-  // Collect distinct cross-processor channels used by any constraint.
-  std::set<BusChannel> channels;
-  for (const TimingConstraint& c : model.constraints()) {
-    for (const graph::Edge& e : c.task_graph.skeleton().edges()) {
-      const ElementId u = c.task_graph.label(e.from);
-      const ElementId v = c.task_graph.label(e.to);
-      if (result.assignment[u] != result.assignment[v]) {
-        channels.insert(BusChannel{u, v});
-      }
-    }
-  }
-  result.bus_channels.assign(channels.begin(), channels.end());
-  const Time bus_cycle = result.bus_cycle();
-
-  // Build one local model per processor.
-  struct LocalWorld {
-    CommGraph comm;
-    std::vector<ElementId> to_global;          // local -> global
-    std::vector<ElementId> to_local;           // global -> local (or invalid)
-    std::vector<TimingConstraint> constraints;
-  };
-  std::vector<LocalWorld> worlds(m);
-  for (std::size_t p = 0; p < m; ++p) {
-    worlds[p].to_local.assign(comm.size(), graph::kInvalidNode);
-  }
-  for (ElementId e = 0; e < comm.size(); ++e) {
-    LocalWorld& w = worlds[result.assignment[e]];
-    const ElementId local =
-        w.comm.add_element(comm.name(e), comm.weight(e), comm.pipelinable(e));
-    w.to_global.push_back(e);
-    w.to_local[e] = local;
-  }
-  for (const graph::Edge& ch : comm.digraph().edges()) {
-    if (result.assignment[ch.from] == result.assignment[ch.to]) {
-      LocalWorld& w = worlds[result.assignment[ch.from]];
-      w.comm.add_channel(w.to_local[ch.from], w.to_local[ch.to]);
-    }
-  }
-
-  // Project each constraint onto the processors it touches, splitting
-  // the deadline between segments and messages.
-  for (const TimingConstraint& c : model.constraints()) {
-    std::set<std::size_t> procs;
-    for (ElementId e : c.task_graph.labels()) {
-      procs.insert(result.assignment[e]);
-    }
-    Time crossings = 0;
-    for (const graph::Edge& e : c.task_graph.skeleton().edges()) {
-      if (result.assignment[c.task_graph.label(e.from)] !=
-          result.assignment[c.task_graph.label(e.to)]) {
-        ++crossings;
-      }
-    }
-    const Time msg_budget = crossings * bus_cycle;
-    const Time local_total = c.deadline - msg_budget;
-    if (local_total < static_cast<Time>(procs.size())) {
-      result.failure_reason = "constraint '" + c.name +
-                              "': deadline too small after message budget " +
-                              std::to_string(msg_budget);
-      return result;
-    }
-    // Work-proportional deadline split: heavier segments get more of
-    // the remaining budget (never less than twice their work, so their
-    // async server can fit). The exact end-to-end verification at the
-    // bottom is what ultimately decides feasibility.
-    std::vector<Time> proc_work(m, 0);
-    Time total_work = 0;
-    for (ElementId e : c.task_graph.labels()) {
-      proc_work[result.assignment[e]] += comm.weight(e);
-      total_work += comm.weight(e);
-    }
-    auto local_deadline_for = [&](std::size_t p) {
-      const Time proportional =
-          local_total * proc_work[p] / std::max<Time>(total_work, 1);
-      return std::max<Time>(2 * proc_work[p], proportional);
-    };
-
-    for (std::size_t p : procs) {
-      LocalWorld& w = worlds[p];
-      TaskGraph sub;
-      std::vector<OpId> sub_op(c.task_graph.size(), graph::kInvalidNode);
-      for (OpId op = 0; op < c.task_graph.size(); ++op) {
-        const ElementId e = c.task_graph.label(op);
-        if (result.assignment[e] == p) {
-          sub_op[op] = sub.add_op(w.to_local[e]);
-        }
-      }
-      if (sub.empty()) continue;
-      for (const graph::Edge& e : c.task_graph.skeleton().edges()) {
-        if (sub_op[e.from] != graph::kInvalidNode &&
-            sub_op[e.to] != graph::kInvalidNode) {
-          sub.add_dep(sub_op[e.from], sub_op[e.to]);
-        }
-      }
-      TimingConstraint local;
-      local.name = c.name + "@" + std::to_string(p);
-      local.task_graph = std::move(sub);
-      local.period = c.period;
-      local.deadline = local_deadline_for(p);
-      local.kind = ConstraintKind::kAsynchronous;
-      w.constraints.push_back(std::move(local));
-    }
-  }
-
-  // Per-processor latency scheduling.
-  result.processor_schedules.resize(m);
-  for (std::size_t p = 0; p < m; ++p) {
-    LocalWorld& w = worlds[p];
-    GraphModel local_model(w.comm);
-    for (TimingConstraint& c : w.constraints) {
-      local_model.add_constraint(std::move(c));
-    }
-    HeuristicOptions local_opts = options.local;
-    local_opts.pipeline = false;  // already pipelined globally
-    const HeuristicResult local = latency_schedule(local_model, local_opts);
-    if (!local.success) {
-      result.failure_reason =
-          "processor " + std::to_string(p) + ": " + local.failure_reason;
-      return result;
-    }
-    // Translate the local schedule back to global element ids.
-    StaticSchedule global_sched;
-    for (const ScheduleEntry& entry : local.schedule->entries()) {
-      if (entry.elem == kIdleEntry) {
-        global_sched.push_idle(entry.duration);
-      } else {
-        global_sched.push_execution(w.to_global[entry.elem], entry.duration);
-      }
-    }
-    result.processor_schedules[p] = std::move(global_sched);
-  }
-  for (std::size_t p = 0; p < m; ++p) {
-    if (result.processor_schedules[p].length() == 0) {
-      result.processor_schedules[p].push_idle(1);
-    }
-  }
-
-  // Exact end-to-end verification.
-  bool all_ok = true;
-  for (const TimingConstraint& c : model.constraints()) {
-    const auto latency = multiproc_latency(c.task_graph, result.processor_schedules,
-                                           result.assignment, result.bus_channels);
-    result.end_to_end_latency.push_back(latency);
-    if (!latency || *latency > c.deadline) all_ok = false;
-  }
-  if (!all_ok) {
-    result.failure_reason = "end-to-end verification failed";
-    return result;
-  }
-  result.success = true;
-  return result;
 }
 
 }  // namespace rtg::core

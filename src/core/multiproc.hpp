@@ -28,6 +28,16 @@
 // exists. End-to-end latency is therefore at most the sum of segment
 // latencies plus one bus cycle per crossing, which the deadline split
 // budgets for; the final verification checks it exactly.
+//
+// DEPRECATED (ISSUE 9): this header is now a compatibility shim over
+// src/map, which generalizes the decomposition to arbitrary platforms
+// (link topologies, bandwidths, a portfolio of mappers — see
+// docs/MAPPING.md). partition_elements survives here (core/network
+// still uses it; map::GreedyMapper's legacy policies delegate to it);
+// multiproc_schedule / multiproc_latency are implemented in
+// map/multiproc_compat.cpp as the single-bus unit-slot special case of
+// map::deploy / map::distributed_latency — binaries using them must
+// link rtg_map. New code should target map::deploy directly.
 #pragma once
 
 #include <cstdint>

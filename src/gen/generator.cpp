@@ -466,7 +466,16 @@ Scenario generate(const ScenarioOptions& options) {
       break;
   }
   scenario.name += label("-s", options.seed);
-  scenario.spec = spec::emit(scenario.model);
+  if (options.processors > 0) {
+    // The platform is a pure function of the knobs (no RNG draw), so
+    // uniprocessor fingerprints are untouched by the knob's existence.
+    scenario.hardware =
+        map::Platform::bus(options.processors, std::max<Time>(options.link_bandwidth, 1));
+    scenario.name += label("-p", options.processors);
+    scenario.spec = spec::emit(scenario.model, *scenario.hardware);
+  } else {
+    scenario.spec = spec::emit(scenario.model);
+  }
   scenario.fingerprint = fnv1a(scenario.spec);
   return scenario;
 }
@@ -501,6 +510,14 @@ ScenarioOptions corpus_options(std::uint64_t index) {
   o.constraints.sporadic_fraction = (index % 4 == 3) ? 1.0 : 0.5;
   o.constraints.latency_density = kLatency[(index / 7) % 3];
   o.constraints.max_ops = 3 + static_cast<std::size_t>(index % 2);
+  return o;
+}
+
+ScenarioOptions mapped_corpus_options(std::uint64_t index) {
+  ScenarioOptions o = corpus_options(index);
+  constexpr std::size_t kProcs[] = {2, 4, 8};
+  o.processors = kProcs[index % 3];
+  o.link_bandwidth = (index % 3 == 2) ? 2 : 1;
   return o;
 }
 
@@ -625,6 +642,16 @@ std::optional<ScenarioOptions> parse_scenario_spec(std::string_view text,
         return fail("bad max_ops '" + std::string(value) + "'");
       }
       options.constraints.max_ops = static_cast<std::size_t>(u);
+    } else if (key == "processors") {
+      if (!parse_u64(value, u)) {
+        return fail("bad processors '" + std::string(value) + "'");
+      }
+      options.processors = static_cast<std::size_t>(u);
+    } else if (key == "link_bandwidth") {
+      if (!parse_u64(value, u) || u == 0) {
+        return fail("bad link_bandwidth '" + std::string(value) + "'");
+      }
+      options.link_bandwidth = static_cast<Time>(u);
     } else {
       return fail("unknown key '" + std::string(key) + "'");
     }
@@ -651,7 +678,15 @@ std::string scenario_spec_string(const ScenarioOptions& o) {
       std::string(period_family_name(o.constraints.periods)).c_str(),
       o.constraints.sporadic_fraction, o.constraints.latency_density,
       o.constraints.max_ops);
-  return buffer;
+  std::string spec(buffer);
+  if (o.processors > 0) {
+    // Appended only for mapped scenarios, so every pre-existing repro
+    // string (and the pins that quote them) stays byte-identical.
+    std::snprintf(buffer, sizeof buffer, ",processors=%zu,link_bandwidth=%lld",
+                  o.processors, static_cast<long long>(o.link_bandwidth));
+    spec += buffer;
+  }
+  return spec;
 }
 
 }  // namespace rtg::gen

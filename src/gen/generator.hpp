@@ -24,6 +24,7 @@
 #include <string_view>
 
 #include "core/model.hpp"
+#include "map/platform.hpp"
 
 namespace rtg::gen {
 
@@ -92,6 +93,14 @@ struct ScenarioOptions {
   DomainPack domain = DomainPack::kNone;
   PlatformOptions platform;
   ConstraintOptions constraints;
+  /// Multiprocessor knobs (ISSUE 9). 0 = uniprocessor scenario exactly
+  /// as before (the knob does not perturb the RNG stream, so every
+  /// pre-existing fingerprint pin is preserved). > 0 attaches a shared
+  /// bus hardware platform of that many processors to the scenario;
+  /// the emitted spec gains the platform preamble and the fingerprint
+  /// covers it.
+  std::size_t processors = 0;
+  core::Time link_bandwidth = 1;
 };
 
 /// A generated scenario: the model plus its emitted spec and the
@@ -101,7 +110,10 @@ struct Scenario {
   std::string name;  ///< e.g. "layered-s17" or "sensor_fusion-s3"
   ScenarioOptions options;
   core::GraphModel model;
-  std::string spec;            ///< spec::emit(model)
+  /// Hardware platform when options.processors > 0 (a shared bus over
+  /// that many processors at options.link_bandwidth); nullopt otherwise.
+  std::optional<map::Platform> hardware;
+  std::string spec;            ///< spec::emit(model[, hardware])
   std::uint64_t fingerprint = 0;  ///< fnv1a(spec)
 };
 
@@ -126,13 +138,20 @@ struct Scenario {
 /// corpus suite, CI's seed window, and bench_scenario_corpus.
 [[nodiscard]] ScenarioOptions corpus_options(std::uint64_t index);
 
+/// The mapped-corpus convention (ISSUE 9): corpus_options(index) plus a
+/// bus platform whose processor count cycles 2 -> 4 -> 8 with the index
+/// and whose bandwidth doubles every third index. Used by the map
+/// differential suite, the service mapped jobs, and bench_multiproc.
+[[nodiscard]] ScenarioOptions mapped_corpus_options(std::uint64_t index);
+
 /// Parses a `--gen` scenario-spec string: comma-separated key=value
 /// pairs, e.g. "topology=layered,seed=17,elements=8,util=0.4".
 /// Keys: topology (chain|fork_join|layered|diamond|random),
 /// domain (sensor_fusion|avionics|market_data), seed, elements, width,
 /// density, min_weight, max_weight, pipelinable, constraints, util,
 /// periods (harmonic|near_harmonic|coprime), sporadic, latency_density,
-/// max_ops. Unknown keys or malformed values fail with a diagnostic.
+/// max_ops, processors, link_bandwidth. Unknown keys or malformed
+/// values fail with a diagnostic.
 [[nodiscard]] std::optional<ScenarioOptions> parse_scenario_spec(std::string_view text,
                                                                  std::string* error);
 

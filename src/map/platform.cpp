@@ -1,0 +1,107 @@
+#include "map/platform.hpp"
+
+#include <algorithm>
+
+namespace rtg::map {
+
+bool Link::serves(ProcId from, ProcId to) const {
+  return std::binary_search(routes.begin(), routes.end(), Route{from, to});
+}
+
+bool Link::is_bus(std::size_t processors) const {
+  if (processors < 2) return false;
+  if (routes.size() != processors * (processors - 1)) return false;
+  std::size_t k = 0;
+  for (ProcId a = 0; a < processors; ++a) {
+    for (ProcId b = 0; b < processors; ++b) {
+      if (a == b) continue;
+      if (routes[k++] != Route{a, b}) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::size_t> Platform::route(ProcId from, ProcId to) const {
+  for (std::size_t l = 0; l < links.size(); ++l) {
+    if (links[l].serves(from, to)) return l;
+  }
+  return std::nullopt;
+}
+
+Time Platform::transfer_slots(std::size_t l, Time size) const {
+  const Time bw = std::max<Time>(links[l].bandwidth, 1);
+  const Time slots = (std::max<Time>(size, 1) + bw - 1) / bw;
+  return std::max<Time>(slots, 1);
+}
+
+namespace {
+
+// GCC 12's -Wrestrict misfires on `"lit" + std::to_string(n)` at -O3;
+// building the label with += sidesteps it.
+std::string label(const char* prefix, unsigned long long n) {
+  std::string s(prefix);
+  s += std::to_string(n);
+  return s;
+}
+
+std::vector<std::string> default_names(std::size_t processors) {
+  std::vector<std::string> names;
+  names.reserve(processors);
+  for (std::size_t p = 0; p < processors; ++p) {
+    names.push_back(label("p", p));
+  }
+  return names;
+}
+
+}  // namespace
+
+Platform Platform::bus(std::size_t processors, Time bandwidth) {
+  Platform plat;
+  plat.processor_names = default_names(processors);
+  Link link;
+  link.name = "bus";
+  link.bandwidth = bandwidth;
+  for (ProcId a = 0; a < processors; ++a) {
+    for (ProcId b = 0; b < processors; ++b) {
+      if (a != b) link.routes.emplace_back(a, b);
+    }
+  }
+  if (processors >= 2) plat.links.push_back(std::move(link));
+  return plat;
+}
+
+Platform Platform::full(std::size_t processors, Time bandwidth) {
+  Platform plat;
+  plat.processor_names = default_names(processors);
+  for (ProcId a = 0; a < processors; ++a) {
+    for (ProcId b = 0; b < processors; ++b) {
+      if (a == b) continue;
+      Link link;
+      link.name = label("w", a) + "_" + std::to_string(b);
+      link.bandwidth = bandwidth;
+      link.routes.emplace_back(a, b);
+      plat.links.push_back(std::move(link));
+    }
+  }
+  return plat;
+}
+
+Platform Platform::ring(std::size_t processors, Time bandwidth) {
+  Platform plat;
+  plat.processor_names = default_names(processors);
+  if (processors < 2) return plat;
+  for (ProcId a = 0; a < processors; ++a) {
+    const ProcId b = (a + 1) % processors;
+    if (processors == 2 && a == 1) break;  // both directions already in r0
+    Link link;
+    link.name = label("r", a);
+    link.bandwidth = bandwidth;
+    link.routes.emplace_back(a, b);
+    link.routes.emplace_back(b, a);
+    std::sort(link.routes.begin(), link.routes.end());
+    plat.links.push_back(std::move(link));
+  }
+  return plat;
+}
+
+}  // namespace rtg::map

@@ -7,6 +7,25 @@
 
 namespace rtg::spec {
 
+/// processor <name>
+struct ProcessorDecl {
+  std::string name;
+  std::size_t line = 0;
+};
+
+/// bus <name> [bandwidth <int>]           (serves every ordered pair)
+/// link <name> <from> -> <to> [bandwidth <int>]
+/// Repeated `link` lines with the same name merge their routes into one
+/// link; their bandwidths must agree.
+struct LinkDecl {
+  std::string name;
+  bool bus = false;
+  std::string from;  // empty for bus declarations
+  std::string to;    // empty for bus declarations
+  std::int64_t bandwidth = 1;
+  std::size_t line = 0;
+};
+
 /// element <name> [weight <int>] [nopipeline]
 struct ElementDecl {
   std::string name;
@@ -50,6 +69,8 @@ struct ConstraintDecl {
 };
 
 struct SpecFile {
+  std::vector<ProcessorDecl> processors;
+  std::vector<LinkDecl> links;
   std::vector<ElementDecl> elements;
   std::vector<ChannelDecl> channels;
   std::vector<ConstraintDecl> constraints;

@@ -1,5 +1,7 @@
 #include "spec/compile.hpp"
 
+#include <algorithm>
+#include <functional>
 #include <map>
 #include <set>
 
@@ -8,11 +10,112 @@
 
 namespace rtg::spec {
 
+namespace {
+
+// Builds the platform from processor/bus/link declarations. Repeated
+// `link` lines with one name merge routes into a single link (bandwidth
+// must agree); `bus` expands to every ordered processor pair. Link
+// order follows first appearance so emit/compile round-trips preserve
+// route() tie-breaking.
+std::optional<map::Platform> compile_platform(
+    const SpecFile& file,
+    const std::function<void(std::string, std::size_t)>& fail) {
+  if (file.processors.empty()) {
+    if (!file.links.empty()) {
+      fail("'" + file.links.front().name + "' declared without processors",
+           file.links.front().line);
+    }
+    return std::nullopt;
+  }
+
+  map::Platform plat;
+  std::map<std::string, map::ProcId> proc_ids;
+  for (const ProcessorDecl& decl : file.processors) {
+    if (!proc_ids.emplace(decl.name, plat.processor_names.size()).second) {
+      fail("duplicate processor '" + decl.name + "'", decl.line);
+      continue;
+    }
+    plat.processor_names.push_back(decl.name);
+  }
+
+  std::map<std::string, std::size_t> link_ids;
+  for (const LinkDecl& decl : file.links) {
+    if (decl.bandwidth < 1) {
+      fail((decl.bus ? "bus '" : "link '") + decl.name +
+               "' has non-positive bandwidth",
+           decl.line);
+      continue;
+    }
+    const auto [it, fresh] = link_ids.emplace(decl.name, plat.links.size());
+    if (fresh) {
+      map::Link link;
+      link.name = decl.name;
+      link.bandwidth = decl.bandwidth;
+      plat.links.push_back(std::move(link));
+    }
+    map::Link& link = plat.links[it->second];
+    if (!fresh && link.bandwidth != decl.bandwidth) {
+      fail("link '" + decl.name + "' redeclared with bandwidth " +
+               std::to_string(decl.bandwidth) + " (was " +
+               std::to_string(link.bandwidth) + ")",
+           decl.line);
+      continue;
+    }
+    if (decl.bus) {
+      if (!fresh) {
+        fail("bus '" + decl.name + "' redeclared", decl.line);
+        continue;
+      }
+      if (plat.processor_names.size() < 2) {
+        fail("bus '" + decl.name + "' needs at least two processors", decl.line);
+        continue;
+      }
+      for (map::ProcId a = 0; a < plat.processor_names.size(); ++a) {
+        for (map::ProcId b = 0; b < plat.processor_names.size(); ++b) {
+          if (a != b) link.routes.emplace_back(a, b);
+        }
+      }
+      continue;
+    }
+    const auto from = proc_ids.find(decl.from);
+    const auto to = proc_ids.find(decl.to);
+    if (from == proc_ids.end()) {
+      fail("link '" + decl.name + "' references undeclared processor '" +
+               decl.from + "'",
+           decl.line);
+      continue;
+    }
+    if (to == proc_ids.end()) {
+      fail("link '" + decl.name + "' references undeclared processor '" +
+               decl.to + "'",
+           decl.line);
+      continue;
+    }
+    if (from->second == to->second) {
+      fail("link '" + decl.name + "' connects '" + decl.from + "' to itself",
+           decl.line);
+      continue;
+    }
+    link.routes.emplace_back(from->second, to->second);
+  }
+
+  for (map::Link& link : plat.links) {
+    std::sort(link.routes.begin(), link.routes.end());
+    link.routes.erase(std::unique(link.routes.begin(), link.routes.end()),
+                      link.routes.end());
+  }
+  return plat;
+}
+
+}  // namespace
+
 CompileResult compile(const SpecFile& file) {
   CompileResult result;
   auto fail = [&result](std::string message, std::size_t line) {
     result.errors.push_back(CompileError{std::move(message), line});
   };
+
+  result.platform = compile_platform(file, fail);
 
   core::CommGraph comm;
   for (const ElementDecl& decl : file.elements) {

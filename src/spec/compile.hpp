@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "map/platform.hpp"
 #include "spec/ast.hpp"
 
 namespace rtg::spec {
@@ -21,6 +22,10 @@ struct CompileError {
 
 struct CompileResult {
   std::optional<core::GraphModel> model;
+  /// Present when the spec declared processors; used by mapped
+  /// deployment (map::deploy). Specs without processor/bus/link
+  /// declarations compile to a platform-less model exactly as before.
+  std::optional<map::Platform> platform;
   std::vector<CompileError> errors;
 
   [[nodiscard]] bool ok() const { return errors.empty() && model.has_value(); }
@@ -33,7 +38,11 @@ struct CompileResult {
 ///  * constraint bodies referencing undeclared elements;
 ///  * task-graph edges with no corresponding channel;
 ///  * cyclic task graphs;
-///  * non-positive weights, periods or deadlines.
+///  * non-positive weights, periods or deadlines;
+///  * duplicate processor names, links between undeclared processors,
+///    self links, non-positive bandwidths, links without processors,
+///    repeated link names with disagreeing bandwidths, buses over
+///    fewer than two processors.
 [[nodiscard]] CompileResult compile(const SpecFile& file);
 
 /// Convenience: parse + compile in one step; parse errors are reported

@@ -80,4 +80,31 @@ std::string emit(const core::GraphModel& model) {
   return os.str();
 }
 
+std::string emit(const core::GraphModel& model, const map::Platform& platform) {
+  std::ostringstream os;
+  for (const std::string& name : platform.processor_names) {
+    os << "processor " << name << "\n";
+  }
+  const std::size_t procs = platform.processor_names.size();
+  for (const map::Link& link : platform.links) {
+    if (link.is_bus(procs)) {
+      os << "bus " << link.name;
+      if (link.bandwidth != 1) os << " bandwidth " << link.bandwidth;
+      os << "\n";
+      continue;
+    }
+    // Routes are stored sorted, so per-route lines come out canonical;
+    // compile merges same-name lines back into one link.
+    for (const map::Route& route : link.routes) {
+      os << "link " << link.name << " " << platform.processor_names[route.first]
+         << " -> " << platform.processor_names[route.second];
+      if (link.bandwidth != 1) os << " bandwidth " << link.bandwidth;
+      os << "\n";
+    }
+  }
+  if (procs > 0) os << "\n";
+  os << emit(model);
+  return os.str();
+}
+
 }  // namespace rtg::spec

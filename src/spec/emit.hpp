@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/model.hpp"
+#include "map/platform.hpp"
 
 namespace rtg::spec {
 
@@ -17,5 +18,13 @@ namespace rtg::spec {
 /// chains); repeated elements within a task graph get #k instance
 /// suffixes.
 [[nodiscard]] std::string emit(const core::GraphModel& model);
+
+/// Renders the model with a platform preamble: `processor` lines in id
+/// order, then one `bus` line per link whose routes cover every ordered
+/// pair, else sorted `link` lines (one per route); bandwidth printed
+/// only when != 1. With an empty platform this is byte-identical to
+/// emit(model), and emit∘compile∘emit is a byte fixpoint either way.
+[[nodiscard]] std::string emit(const core::GraphModel& model,
+                               const map::Platform& platform);
 
 }  // namespace rtg::spec

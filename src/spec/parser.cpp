@@ -16,8 +16,16 @@ class Parser {
         parse_channel();
       } else if (at_keyword("constraint")) {
         parse_constraint();
+      } else if (at_keyword("processor")) {
+        parse_processor();
+      } else if (at_keyword("bus")) {
+        parse_bus();
+      } else if (at_keyword("link")) {
+        parse_link();
       } else {
-        error("expected 'element', 'channel' or 'constraint'");
+        error(
+            "expected 'element', 'channel', 'constraint', 'processor', 'bus' "
+            "or 'link'");
         synchronize();
       }
     }
@@ -46,7 +54,8 @@ class Parser {
   // Skips tokens until the next statement keyword or end of input.
   void synchronize() {
     while (!at(TokenKind::kEnd) && !at_keyword("element") && !at_keyword("channel") &&
-           !at_keyword("constraint")) {
+           !at_keyword("constraint") && !at_keyword("processor") &&
+           !at_keyword("bus") && !at_keyword("link")) {
       advance();
     }
   }
@@ -69,6 +78,66 @@ class Parser {
     }
     out = advance().value;
     return true;
+  }
+
+  void parse_processor() {
+    ProcessorDecl decl;
+    decl.line = peek().line;
+    advance();  // 'processor'
+    if (!expect_ident(decl.name, "processor name")) {
+      synchronize();
+      return;
+    }
+    result_.file.processors.push_back(std::move(decl));
+  }
+
+  void parse_bus() {
+    LinkDecl decl;
+    decl.bus = true;
+    decl.line = peek().line;
+    advance();  // 'bus'
+    if (!expect_ident(decl.name, "bus name")) {
+      synchronize();
+      return;
+    }
+    if (eat_keyword("bandwidth")) {
+      if (!expect_int(decl.bandwidth, "bandwidth value")) {
+        synchronize();
+        return;
+      }
+    }
+    result_.file.links.push_back(std::move(decl));
+  }
+
+  void parse_link() {
+    LinkDecl decl;
+    decl.line = peek().line;
+    advance();  // 'link'
+    if (!expect_ident(decl.name, "link name")) {
+      synchronize();
+      return;
+    }
+    if (!expect_ident(decl.from, "link source processor")) {
+      synchronize();
+      return;
+    }
+    if (!at(TokenKind::kArrow)) {
+      error("expected '->' between link endpoints");
+      synchronize();
+      return;
+    }
+    advance();
+    if (!expect_ident(decl.to, "link destination processor")) {
+      synchronize();
+      return;
+    }
+    if (eat_keyword("bandwidth")) {
+      if (!expect_int(decl.bandwidth, "bandwidth value")) {
+        synchronize();
+        return;
+      }
+    }
+    result_.file.links.push_back(std::move(decl));
   }
 
   void parse_element() {

@@ -21,6 +21,7 @@ enum class JobKind : std::uint8_t {
   kVerify,      ///< verify_schedule(spec, schedule)
   kSynthesize,  ///< latency_schedule / exact_feasible over the spec
   kMonitor,     ///< ingest .rtt bytes into the tenant's StreamingMonitor
+  kMap,         ///< map::deploy: mapped synthesis + sharded verification
 };
 
 enum class JobStatus : std::uint8_t {
@@ -50,6 +51,14 @@ struct JobRequest {
   std::string schedule;
   /// Raw .rtt file bytes (kMonitor only).
   std::string trace;
+  /// kMap only: processor count for the default shared-bus platform.
+  /// Ignored when the spec itself declares processor/bus/link lines
+  /// (the declared platform wins). 0 with no declared platform is
+  /// kInvalid.
+  std::uint64_t processors = 0;
+  /// kMap only: portfolio member ("greedy", "sa", "spd", or a legacy
+  /// partition alias); empty means "greedy".
+  std::string mapper;
 };
 
 struct JobResponse {

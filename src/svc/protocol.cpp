@@ -102,6 +102,7 @@ std::string_view job_kind_name(JobKind kind) {
     case JobKind::kVerify: return "verify";
     case JobKind::kSynthesize: return "synth";
     case JobKind::kMonitor: return "monitor";
+    case JobKind::kMap: return "map";
   }
   return "unknown";
 }
@@ -170,6 +171,8 @@ std::optional<JobRequest> read_request(std::istream& in,
     req.kind = JobKind::kSynthesize;
   } else if (head[3] == "monitor") {
     req.kind = JobKind::kMonitor;
+  } else if (head[3] == "map") {
+    req.kind = JobKind::kMap;
   } else {
     fail("unknown job kind '" + head[3] + "'");
   }
@@ -180,6 +183,12 @@ std::optional<JobRequest> read_request(std::istream& in,
     if (!next_line(in, line, limits)) fail("stream ended inside a REQ frame");
     if (line == "END") break;
     const std::vector<std::string> tokens = split_ws(line);
+    if (tokens.size() == 3 && tokens[0] == "MAP") {
+      // MAP <processors> <mapper> — the mapped-job header line.
+      req.processors = parse_u64(tokens[1], "MAP processors");
+      req.mapper = tokens[2];
+      continue;
+    }
     if (tokens.size() != 2) fail("bad section header '" + line + "'");
     const std::uint64_t n = parse_u64(tokens[1], tokens[0].c_str());
     if (tokens[0] == "SPEC") {
@@ -206,6 +215,10 @@ std::optional<JobRequest> read_request(std::istream& in,
 void write_request(std::ostream& out, const JobRequest& req) {
   out << "REQ " << req.id << ' ' << req.tenant << ' ' << job_kind_name(req.kind)
       << ' ' << req.deadline_ms << ' ' << (req.exact ? 1 : 0) << '\n';
+  if (req.kind == JobKind::kMap) {
+    out << "MAP " << req.processors << ' '
+        << (req.mapper.empty() ? "greedy" : req.mapper) << '\n';
+  }
   write_section(out, "SPEC", req.spec);
   write_section(out, "SCHED", req.schedule);
   if (!req.trace.empty()) {

@@ -5,7 +5,8 @@
 // Everything is text except trace payloads, which travel hex-encoded so
 // a frame never contains a raw newline:
 //
-//   REQ <id> <tenant> <verify|synth|monitor> <deadline_ms> <exact 0|1>
+//   REQ <id> <tenant> <verify|synth|monitor|map> <deadline_ms> <exact 0|1>
+//   MAP <processors> <mapper>  -- map jobs only: platform + portfolio pick
 //   SPEC <n>          -- optional: n verbatim spec lines follow
 //   ...
 //   SCHED <n>         -- optional: n verbatim schedule lines follow

@@ -10,6 +10,7 @@
 #include "core/latency.hpp"
 #include "core/pipeline.hpp"
 #include "core/schedule_io.hpp"
+#include "map/deploy.hpp"
 #include "monitor/streaming_monitor.hpp"
 #include "monitor/trace_io.hpp"
 #include "spec/compile.hpp"
@@ -47,6 +48,10 @@ std::uint64_t cache_key(const JobRequest& req, bool effective_exact) {
   h.bytes(req.spec);
   h.u64(0x1f);  // domain separator between sections
   h.bytes(req.schedule);
+  if (req.kind == JobKind::kMap) {
+    h.u64(req.processors);
+    h.bytes(req.mapper);
+  }
   return h.state;
 }
 
@@ -436,6 +441,52 @@ JobResponse VerifyService::execute(Job& job, bool degraded,
                      : "infeasible: " + std::to_string(violated) + " of " +
                            std::to_string(report.verdicts.size()) +
                            " constraints violated";
+    return rsp;
+  }
+
+  if (job.req.kind == JobKind::kMap) {
+    // Mapped deployment: the spec's declared platform wins; otherwise
+    // the request's processor count buys a shared bus.
+    map::Platform platform;
+    if (compiled.platform.has_value()) {
+      platform = *compiled.platform;
+    } else if (job.req.processors > 0) {
+      platform = map::Platform::bus(static_cast<std::size_t>(job.req.processors));
+    } else {
+      rsp.status = JobStatus::kInvalid;
+      rsp.detail = "map job needs processors > 0 or a spec-declared platform";
+      return rsp;
+    }
+    map::DeployOptions opts;
+    opts.mapper = job.req.mapper.empty() ? "greedy" : job.req.mapper;
+    opts.local.n_threads = 1;
+    opts.local.cancel = &job.cancel;
+    opts.local.progress = progress;
+    opts.seam_threads = options_.verify_threads;
+    const map::Deployment deployment = map::deploy(model, platform, opts);
+    if (deployment.cancelled) {
+      rsp.status = JobStatus::kExpired;
+      rsp.detail = "cancelled mid-deployment";
+      return rsp;
+    }
+    if (!deployment.success && deployment.failure_reason.rfind("unknown mapper", 0) == 0) {
+      rsp.status = JobStatus::kInvalid;
+      rsp.detail = deployment.failure_reason;
+      return rsp;
+    }
+    rsp.status = JobStatus::kOk;
+    rsp.verdict = deployment.success;
+    if (deployment.success) {
+      const auto margin = deployment.min_margin(deployment.scheduled_model);
+      rsp.detail = "deployed on " + std::to_string(platform.processors()) +
+                   " processors via " + opts.mapper + ": " +
+                   std::to_string(deployment.messages.size()) + " messages, " +
+                   std::to_string(deployment.comm.total_slots()) +
+                   " link slots, min margin " +
+                   (margin ? std::to_string(*margin) : std::string("n/a"));
+    } else {
+      rsp.detail = deployment.failure_reason;
+    }
     return rsp;
   }
 

@@ -1,0 +1,205 @@
+// Link slot tables and the message-set derivation: zero-channel models,
+// self-message elimination, unroutable channels, arrival arithmetic,
+// saturated-bus rejection, and the structural checker's diagnostics.
+#include "map/comm_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "map/deploy.hpp"
+#include "map/mapping.hpp"
+#include "map/platform.hpp"
+
+namespace rtg::map {
+namespace {
+
+using core::ConstraintKind;
+using core::GraphModel;
+using core::OpId;
+using core::TaskGraph;
+using core::TimingConstraint;
+
+core::CommGraph pipeline_comm() {
+  core::CommGraph g;
+  g.add_element("stage0", 1);
+  g.add_element("stage1", 1);
+  g.add_element("stage2", 1);
+  g.add_channel(0, 1);
+  g.add_channel(1, 2);
+  return g;
+}
+
+GraphModel pipeline_model(core::Time deadline) {
+  GraphModel model(pipeline_comm());
+  TaskGraph tg;
+  const OpId a = tg.add_op(0);
+  const OpId b = tg.add_op(1);
+  const OpId c = tg.add_op(2);
+  tg.add_dep(a, b);
+  tg.add_dep(b, c);
+  model.add_constraint(TimingConstraint{"flow", std::move(tg), 30, deadline,
+                                        ConstraintKind::kAsynchronous});
+  return model;
+}
+
+// Two independent elements, no channels: nothing can cross.
+GraphModel zero_channel_model() {
+  core::CommGraph g;
+  g.add_element("a", 1);
+  g.add_element("b", 1);
+  GraphModel model(g);
+  for (core::ElementId e : {0, 1}) {
+    TaskGraph tg;
+    tg.add_op(e);
+    model.add_constraint(TimingConstraint{e == 0 ? "A" : "B", std::move(tg), 10,
+                                          10, ConstraintKind::kPeriodic});
+  }
+  return model;
+}
+
+TEST(CollectMessages, ZeroChannelModelInducesNoMessages) {
+  const GraphModel model = zero_channel_model();
+  const auto messages =
+      collect_messages(model, Platform::bus(2), {0, 1});
+  ASSERT_TRUE(messages.has_value());
+  EXPECT_TRUE(messages->empty());
+}
+
+TEST(CollectMessages, SelfMessagesAreEliminated) {
+  // Everything co-located: both pipeline channels become local hand-offs.
+  const GraphModel model = pipeline_model(30);
+  const auto all_local =
+      collect_messages(model, Platform::bus(2), {0, 0, 0});
+  ASSERT_TRUE(all_local.has_value());
+  EXPECT_TRUE(all_local->empty());
+  // Split after stage1: exactly the 1 -> 2 channel crosses.
+  const auto one_cross =
+      collect_messages(model, Platform::bus(2), {0, 0, 1});
+  ASSERT_TRUE(one_cross.has_value());
+  ASSERT_EQ(one_cross->size(), 1u);
+  EXPECT_EQ((*one_cross)[0].from, 1u);
+  EXPECT_EQ((*one_cross)[0].to, 2u);
+  EXPECT_EQ((*one_cross)[0].src, 0u);
+  EXPECT_EQ((*one_cross)[0].dst, 1u);
+}
+
+TEST(CollectMessages, UnroutableChannelIsRejectedWithDiagnostic) {
+  // ring(4) only links neighbours: the 0 -> 2 crossing has no route.
+  const GraphModel model = pipeline_model(30);
+  std::string why;
+  const auto messages =
+      collect_messages(model, Platform::ring(4), {0, 2, 0}, &why);
+  EXPECT_FALSE(messages.has_value());
+  EXPECT_NE(why.find("no link"), std::string::npos) << why;
+}
+
+TEST(CommSchedule, ZeroChannelDeploymentSucceedsWithEmptyTables) {
+  const Deployment d = deploy(zero_channel_model(), Platform::bus(2));
+  ASSERT_TRUE(d.success) << d.failure_reason;
+  EXPECT_TRUE(d.messages.empty());
+  EXPECT_EQ(d.comm.total_slots(), 0);
+  ASSERT_EQ(d.comm.links.size(), 1u);
+  EXPECT_EQ(d.comm.links[0].cycle, 1);  // idle links tick in unit cycles
+  EXPECT_TRUE(check_comm_schedule(d.platform, d.comm).ok);
+}
+
+TEST(CommSchedule, ArrivalMatchesLegacyTdmaArithmetic) {
+  // Two unit messages on one bus: slot 0 carries msg 0, slot 1 msg 1,
+  // cycle 2 — the legacy TDMA layout. arrival = next slot start + 1.
+  Platform bus = Platform::bus(2);
+  bus.fixed_message_size = 1;
+  std::vector<Message> messages;
+  messages.push_back(Message{0, 1, 0, 1, 0, 1, 1});
+  messages.push_back(Message{1, 2, 1, 0, 0, 1, 1});
+  const CommSchedule schedule = build_comm_schedule(bus, messages);
+  ASSERT_TRUE(check_comm_schedule(bus, schedule).ok);
+  EXPECT_EQ(schedule.links[0].cycle, 2);
+  EXPECT_EQ(schedule.total_slots(), 2);
+  // Message 0 owns slot starts 0, 2, 4, ...; message 1 owns 1, 3, 5, ...
+  EXPECT_EQ(schedule.arrival(0, 0), 1);
+  EXPECT_EQ(schedule.arrival(0, 1), 3);
+  EXPECT_EQ(schedule.arrival(0, 2), 3);
+  EXPECT_EQ(schedule.arrival(1, 0), 2);
+  EXPECT_EQ(schedule.arrival(1, 1), 2);
+  EXPECT_EQ(schedule.arrival(1, 2), 4);
+  EXPECT_EQ(schedule.worst_delay(0), 2);
+  EXPECT_EQ(schedule.find_message(1, 2), 1u);
+  EXPECT_EQ(schedule.find_message(2, 1), CommSchedule::npos);
+}
+
+TEST(CommSchedule, MultiSlotTransfersOccupyConsecutiveRuns) {
+  // Size-3 payload over a bandwidth-2 link: ceil(3/2) = 2 slots.
+  const Platform bus = Platform::bus(2, 2);
+  std::vector<Message> messages;
+  messages.push_back(Message{0, 1, 0, 1, 0, 3, bus.transfer_slots(0, 3)});
+  messages.push_back(Message{1, 2, 1, 0, 0, 1, bus.transfer_slots(0, 1)});
+  const CommSchedule schedule = build_comm_schedule(bus, messages);
+  ASSERT_TRUE(check_comm_schedule(bus, schedule).ok);
+  EXPECT_EQ(schedule.links[0].cycle, 3);
+  EXPECT_EQ(schedule.links[0].slots[0].duration, 2);
+  EXPECT_EQ(schedule.arrival(0, 0), 2);   // run [0,2)
+  EXPECT_EQ(schedule.arrival(1, 0), 3);   // run [2,3)
+  EXPECT_EQ(schedule.arrival(0, 1), 5);   // next cycle's run [3,5)
+}
+
+TEST(CommSchedule, SaturatedBusIsRejectedNotMisverified) {
+  // Deadline 3 cannot cover two crossings' worst-case link cycles plus
+  // the three unit executions; deploy must fail, never report success.
+  DeployOptions options;
+  options.mapper = "roundrobin";
+  const Deployment d = deploy(pipeline_model(3), Platform::bus(3), options);
+  EXPECT_FALSE(d.success);
+  EXPECT_FALSE(d.failure_reason.empty());
+  // A workable deadline on the same mapping succeeds.
+  const Deployment ok = deploy(pipeline_model(30), Platform::bus(3), options);
+  EXPECT_TRUE(ok.success) << ok.failure_reason;
+}
+
+TEST(CheckCommSchedule, FlagsStructuralViolations) {
+  Platform bus = Platform::bus(2);
+  std::vector<Message> messages;
+  messages.push_back(Message{0, 1, 0, 1, 0, 1, 1});
+  messages.push_back(Message{1, 2, 1, 0, 0, 1, 1});
+  const CommSchedule good = build_comm_schedule(bus, messages);
+
+  // Self-message.
+  CommSchedule bad = good;
+  bad.messages[0].dst = bad.messages[0].src;
+  EXPECT_FALSE(check_comm_schedule(bus, bad).ok);
+
+  // Duplicated channel (breaks FIFO pipeline ordering).
+  bad = good;
+  bad.messages[1].from = bad.messages[0].from;
+  bad.messages[1].to = bad.messages[0].to;
+  EXPECT_FALSE(check_comm_schedule(bus, bad).ok);
+
+  // Overlapping slots.
+  bad = good;
+  bad.links[0].slots[1].offset = 0;
+  EXPECT_FALSE(check_comm_schedule(bus, bad).ok);
+
+  // Slot running past the cycle.
+  bad = good;
+  bad.links[0].cycle = 1;
+  EXPECT_FALSE(check_comm_schedule(bus, bad).ok);
+
+  // Unserved route: a message between non-adjacent ring processors
+  // parked on a neighbour link is flagged.
+  bad = good;
+  bad.messages[0].src = 0;
+  bad.messages[0].dst = 2;
+  const Platform ring = Platform::ring(4);
+  EXPECT_FALSE(ring.route(0, 2).has_value());
+  EXPECT_FALSE(check_comm_schedule(ring, bad).ok);
+
+  // Message slotted twice.
+  bad = good;
+  bad.links[0].slots[1].message = 0;
+  EXPECT_FALSE(check_comm_schedule(bus, bad).ok);
+
+  EXPECT_TRUE(check_comm_schedule(bus, good).ok);
+}
+
+}  // namespace
+}  // namespace rtg::map

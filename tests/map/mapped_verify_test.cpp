@@ -1,0 +1,171 @@
+// The mapped differential suite: a 64-seed sweep of the mapped corpus
+// where every deployment must be bit-identical across seam thread
+// counts and against the flat (linear-scan) monolithic reference, every
+// per-shard verdict must agree with the seam check, and every witness
+// must re-validate independently. Plus the unit-slot bus pin against
+// the legacy core::multiproc engine and the cancellation contract.
+#include "map/deploy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <utility>
+
+#include "core/multiproc.hpp"
+#include "gen/generator.hpp"
+#include "map/verify.hpp"
+
+namespace rtg::map {
+namespace {
+
+constexpr std::uint64_t kSeeds = 64;
+
+void expect_same_deployment(const Deployment& a, const Deployment& b,
+                            std::uint64_t seed, const char* what) {
+  ASSERT_EQ(a.success, b.success) << what << " seed " << seed << ": "
+                                  << a.failure_reason << " vs "
+                                  << b.failure_reason;
+  EXPECT_EQ(a.failure_reason, b.failure_reason) << what << " seed " << seed;
+  EXPECT_EQ(a.mapping.assignment, b.mapping.assignment) << what << " seed " << seed;
+  EXPECT_EQ(a.comm, b.comm) << what << " seed " << seed;
+  ASSERT_EQ(a.end_to_end.size(), b.end_to_end.size()) << what << " seed " << seed;
+  for (std::size_t i = 0; i < a.end_to_end.size(); ++i) {
+    EXPECT_EQ(a.end_to_end[i], b.end_to_end[i])
+        << what << " seed " << seed << " constraint " << i;
+  }
+  ASSERT_EQ(a.witnesses.size(), b.witnesses.size()) << what << " seed " << seed;
+  for (std::size_t i = 0; i < a.witnesses.size(); ++i) {
+    EXPECT_EQ(a.witnesses[i], b.witnesses[i])
+        << what << " seed " << seed << " witness " << i;
+  }
+  EXPECT_EQ(a.witness_constraint, b.witness_constraint) << what << " seed " << seed;
+}
+
+// The flat (linear-scan) reference is deliberately naive and goes
+// superlinear in the seam's candidate-window count; a handful of
+// mapped-corpus seeds have 10^5..10^6 windows where it would take
+// minutes per seed. The flat leg therefore only runs when the serial
+// deployment examined at most this many windows — a deterministic,
+// seed-independent gate (the thread-identity legs always run on every
+// seed), and the test asserts below that the gate still admits most of
+// the sweep.
+constexpr std::size_t kFlatWindowBudget = 25'000;
+
+TEST(MappedCorpusDifferential, BitIdenticalAcrossThreadsAndFlatReference) {
+  std::size_t deployed = 0;
+  std::size_t flat_compared = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const gen::Scenario scenario =
+        gen::generate(gen::mapped_corpus_options(seed));
+    ASSERT_TRUE(scenario.hardware.has_value()) << "seed " << seed;
+
+    DeployOptions base;
+    const Deployment serial = deploy(scenario.model, *scenario.hardware, base);
+
+    for (const std::size_t threads : {2u, 4u}) {
+      DeployOptions opt = base;
+      opt.seam_threads = threads;
+      const Deployment d = deploy(scenario.model, *scenario.hardware, opt);
+      expect_same_deployment(serial, d, seed,
+                             threads == 2 ? "threads=2" : "threads=4");
+    }
+    if (serial.seam_stats.windows <= kFlatWindowBudget) {
+      DeployOptions opt = base;
+      opt.flat_reference = true;  // the monolithic linear-scan reference
+      const Deployment d = deploy(scenario.model, *scenario.hardware, opt);
+      expect_same_deployment(serial, d, seed, "flat");
+      ++flat_compared;
+    }
+
+    if (!serial.success) continue;
+    ++deployed;
+
+    // Shard verdicts, seam results, and the deadline must agree.
+    for (const ShardVerification& shard : serial.shard_reports) {
+      EXPECT_TRUE(shard.report.feasible)
+          << "seed " << seed << " proc " << shard.proc;
+    }
+    const auto& constraints = serial.scheduled_model.constraints();
+    ASSERT_EQ(serial.end_to_end.size(), constraints.size());
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+      ASSERT_TRUE(serial.end_to_end[i].has_value()) << "seed " << seed;
+      EXPECT_LE(*serial.end_to_end[i], constraints[i].deadline)
+          << "seed " << seed << " constraint " << i;
+      // Re-verify the reassembled global deployment from scratch.
+      const auto again = distributed_latency(
+          constraints[i].task_graph, serial.processor_schedules,
+          serial.mapping.assignment, serial.comm);
+      EXPECT_EQ(again, serial.end_to_end[i]) << "seed " << seed;
+    }
+    // Every worst-window witness re-validates with no shared code.
+    ASSERT_EQ(serial.witnesses.size(), serial.witness_constraint.size());
+    for (std::size_t w = 0; w < serial.witnesses.size(); ++w) {
+      const auto diag = check_witness(
+          constraints[serial.witness_constraint[w]].task_graph,
+          serial.processor_schedules, serial.mapping.assignment, serial.comm,
+          serial.witnesses[w]);
+      EXPECT_EQ(diag, std::nullopt) << "seed " << seed << ": " << *diag;
+    }
+  }
+  // The sweep must actually exercise successful deployments, not just
+  // reject everything — and the flat gate must admit most of it.
+  EXPECT_GE(deployed, kSeeds / 4) << "mapped corpus success rate collapsed";
+  EXPECT_GE(flat_compared, kSeeds - 8) << "flat window budget excludes too much";
+}
+
+TEST(MappedCorpusDifferential, RepeatRunsAreBitIdentical) {
+  const gen::Scenario scenario = gen::generate(gen::mapped_corpus_options(5));
+  DeployOptions sa;
+  sa.mapper = "sa";
+  const Deployment a = deploy(scenario.model, *scenario.hardware, sa);
+  const Deployment b = deploy(scenario.model, *scenario.hardware, sa);
+  expect_same_deployment(a, b, 5, "repeat");
+}
+
+TEST(MappedVerify, UnitSlotBusMatchesLegacyEngine) {
+  // On a unit-slot shared bus the generalized seam check degenerates to
+  // the legacy TDMA arithmetic; core::multiproc_latency (the compat
+  // surface) must agree per constraint on hand-built bus channels.
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const gen::Scenario scenario = gen::generate(gen::corpus_options(seed));
+    Platform bus = Platform::bus(2 + 2 * (seed % 3));
+    bus.fixed_message_size = 1;
+    const Deployment d = deploy(scenario.model, bus);
+    if (!d.success) continue;
+    std::vector<core::BusChannel> channels;
+    channels.reserve(d.comm.messages.size());
+    for (const Message& m : d.comm.messages) channels.emplace_back(m.from, m.to);
+    const auto& constraints = d.scheduled_model.constraints();
+    for (std::size_t i = 0; i < constraints.size(); ++i) {
+      EXPECT_EQ(core::multiproc_latency(constraints[i].task_graph,
+                                        d.processor_schedules,
+                                        d.mapping.assignment, channels),
+                d.end_to_end[i])
+          << "seed " << seed << " constraint " << i;
+    }
+  }
+}
+
+TEST(MappedVerify, CancellationIsUnknownNotInfeasible) {
+  const gen::Scenario scenario = gen::generate(gen::mapped_corpus_options(0));
+  std::atomic<bool> cancel{true};
+  DeployOptions opt;
+  opt.local.cancel = &cancel;
+  const Deployment d = deploy(scenario.model, *scenario.hardware, opt);
+  EXPECT_FALSE(d.success);
+  EXPECT_TRUE(d.cancelled);
+}
+
+TEST(MappedVerify, SeamStatsCountWork) {
+  const gen::Scenario scenario = gen::generate(gen::mapped_corpus_options(1));
+  const Deployment d = deploy(scenario.model, *scenario.hardware);
+  if (!d.success) GTEST_SKIP() << d.failure_reason;
+  EXPECT_GT(d.seam_stats.windows, 0u);
+  DeployOptions threaded;
+  threaded.seam_threads = 4;
+  const Deployment t = deploy(scenario.model, *scenario.hardware, threaded);
+  EXPECT_EQ(t.seam_stats.windows, d.seam_stats.windows);
+}
+
+}  // namespace
+}  // namespace rtg::map

@@ -1,0 +1,161 @@
+// Platform declarations in the spec DSL: grammar, semantic checks, and
+// the canonical-form byte fixpoint (emit . compile . emit == emit).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "map/platform.hpp"
+#include "spec/compile.hpp"
+#include "spec/emit.hpp"
+
+namespace rtg::spec {
+namespace {
+
+const char* kBody =
+    "element a\n"
+    "element b weight 2\n"
+    "channel a -> b\n"
+    "constraint C periodic period 20 deadline 20 { a -> b }\n";
+
+std::string with_platform(const std::string& preamble) {
+  return preamble + "\n" + kBody;
+}
+
+TEST(PlatformSpec, BusDeclarationCompiles) {
+  const CompileResult r =
+      compile_text(with_platform("processor p0\nprocessor p1\nbus b0"));
+  ASSERT_TRUE(r.ok()) << (r.errors.empty() ? "" : r.errors[0].message);
+  ASSERT_TRUE(r.platform.has_value());
+  EXPECT_EQ(r.platform->processors(), 2u);
+  ASSERT_EQ(r.platform->links.size(), 1u);
+  EXPECT_TRUE(r.platform->links[0].is_bus(2));
+  EXPECT_EQ(r.platform->links[0].bandwidth, 1);
+}
+
+TEST(PlatformSpec, LinkDeclarationAndBandwidth) {
+  const CompileResult r = compile_text(with_platform(
+      "processor p0\nprocessor p1\nlink l0 p0 -> p1 bandwidth 3"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.platform.has_value());
+  ASSERT_EQ(r.platform->links.size(), 1u);
+  const map::Link& l = r.platform->links[0];
+  EXPECT_EQ(l.bandwidth, 3);
+  EXPECT_TRUE(l.serves(0, 1));
+  EXPECT_FALSE(l.serves(1, 0));
+  EXPECT_FALSE(l.is_bus(2));
+}
+
+TEST(PlatformSpec, RepeatedLinkNameMergesRoutes) {
+  const CompileResult r = compile_text(with_platform(
+      "processor p0\nprocessor p1\n"
+      "link l0 p0 -> p1\nlink l0 p1 -> p0"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.platform->links.size(), 1u);
+  EXPECT_TRUE(r.platform->links[0].is_bus(2));
+}
+
+TEST(PlatformSpec, NoPlatformCompilesAsBefore) {
+  const CompileResult r = compile_text(kBody);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.platform.has_value());
+  // And the two-argument emit with an empty platform is byte-identical
+  // to the plain emit.
+  EXPECT_EQ(emit(*r.model, map::Platform{}), emit(*r.model));
+}
+
+TEST(PlatformSpec, EmitIsAByteFixpoint) {
+  for (const char* preamble :
+       {"processor p0\nprocessor p1\nbus b0",
+        "processor p0\nprocessor p1\nprocessor p2\nbus b0 bandwidth 2",
+        "processor p0\nprocessor p1\nlink l0 p0 -> p1 bandwidth 3",
+        "processor p0\nprocessor p1\nprocessor p2\n"
+        "link r0 p0 -> p1\nlink r1 p1 -> p2\nlink r2 p2 -> p0"}) {
+    const CompileResult r = compile_text(with_platform(preamble));
+    ASSERT_TRUE(r.ok()) << preamble;
+    ASSERT_TRUE(r.platform.has_value()) << preamble;
+    const std::string once = emit(*r.model, *r.platform);
+    const CompileResult r2 = compile_text(once);
+    ASSERT_TRUE(r2.ok()) << once;
+    ASSERT_TRUE(r2.platform.has_value());
+    EXPECT_EQ(*r2.platform, *r.platform) << preamble;
+    EXPECT_EQ(emit(*r2.model, *r2.platform), once) << preamble;
+  }
+}
+
+TEST(PlatformSpec, FactoryPlatformsRoundTripThroughTheDsl) {
+  const CompileResult base = compile_text(kBody);
+  ASSERT_TRUE(base.ok());
+  for (const map::Platform& p :
+       {map::Platform::bus(4), map::Platform::full(3), map::Platform::ring(3),
+        map::Platform::bus(2, 2)}) {
+    const std::string text = emit(*base.model, p);
+    const CompileResult r = compile_text(text);
+    ASSERT_TRUE(r.ok()) << text;
+    ASSERT_TRUE(r.platform.has_value());
+    EXPECT_EQ(r.platform->processor_names, p.processor_names);
+    EXPECT_EQ(r.platform->links, p.links);
+  }
+}
+
+void expect_error(const std::string& text, const std::string& needle) {
+  const CompileResult r = compile_text(text);
+  ASSERT_FALSE(r.errors.empty()) << text;
+  bool found = false;
+  for (const CompileError& e : r.errors) {
+    if (e.message.find(needle) != std::string::npos) found = true;
+  }
+  EXPECT_TRUE(found) << text << "\nwanted: " << needle << "\ngot: "
+                     << r.errors[0].message;
+}
+
+TEST(PlatformSpec, DuplicateProcessorRejected) {
+  expect_error(with_platform("processor p0\nprocessor p0\nbus b0"),
+               "duplicate processor");
+}
+
+TEST(PlatformSpec, LinkToUndeclaredProcessorRejected) {
+  expect_error(with_platform("processor p0\nlink l0 p0 -> p9"), "p9");
+}
+
+TEST(PlatformSpec, SelfLinkRejected) {
+  expect_error(with_platform("processor p0\nprocessor p1\nlink l0 p0 -> p0"),
+               "itself");
+}
+
+TEST(PlatformSpec, ZeroBandwidthRejected) {
+  expect_error(
+      with_platform("processor p0\nprocessor p1\nlink l0 p0 -> p1 bandwidth 0"),
+      "bandwidth");
+}
+
+TEST(PlatformSpec, BandwidthDisagreementRejected) {
+  expect_error(with_platform("processor p0\nprocessor p1\n"
+                             "link l0 p0 -> p1 bandwidth 2\n"
+                             "link l0 p1 -> p0 bandwidth 3"),
+               "redeclared with bandwidth");
+}
+
+TEST(PlatformSpec, BusNeedsTwoProcessors) {
+  expect_error(with_platform("processor p0\nbus b0"), "at least two");
+}
+
+TEST(PlatformSpec, LinkWithoutProcessorsRejected) {
+  expect_error(std::string("bus b0\n") + kBody, "without processors");
+}
+
+TEST(PlatformHelpers, RouteAndTransferSlots) {
+  const map::Platform ring = map::Platform::ring(4, 2);
+  ASSERT_EQ(ring.links.size(), 4u);
+  ASSERT_TRUE(ring.route(0, 1).has_value());
+  ASSERT_TRUE(ring.route(1, 0).has_value());   // neighbour links go both ways
+  EXPECT_FALSE(ring.route(0, 2).has_value());  // no route across the ring
+  EXPECT_EQ(ring.transfer_slots(*ring.route(0, 1), 1), 1);
+  EXPECT_EQ(ring.transfer_slots(*ring.route(0, 1), 3), 2);  // ceil(3/2)
+  const map::Platform bus = map::Platform::bus(4);
+  ASSERT_TRUE(bus.route(3, 1).has_value());
+  EXPECT_TRUE(bus.links[0].is_bus(4));
+  EXPECT_FALSE(bus.links[0].is_bus(5));
+}
+
+}  // namespace
+}  // namespace rtg::spec

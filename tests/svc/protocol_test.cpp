@@ -148,5 +148,32 @@ TEST(Protocol, CrlfLineEndingsAccepted) {
   EXPECT_EQ(got->id, 42u);
 }
 
+TEST(Protocol, MapRequestRoundTrip) {
+  JobRequest req;
+  req.id = 9;
+  req.tenant = "acme";
+  req.kind = JobKind::kMap;
+  req.processors = 4;
+  req.mapper = "sa";
+  req.spec = "element a\n";
+
+  std::ostringstream out;
+  write_request(out, req);
+  std::istringstream in(out.str());
+  const auto got = read_request(in);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->kind, JobKind::kMap);
+  EXPECT_EQ(got->processors, 4u);
+  EXPECT_EQ(got->mapper, "sa");
+  EXPECT_EQ(got->spec, "element a\n");
+
+  // An unset mapper travels as the portfolio default.
+  JobRequest defaulted = req;
+  defaulted.mapper.clear();
+  std::ostringstream out2;
+  write_request(out2, defaulted);
+  EXPECT_NE(out2.str().find("MAP 4 greedy\n"), std::string::npos) << out2.str();
+}
+
 }  // namespace
 }  // namespace rtg::svc

@@ -382,5 +382,82 @@ TEST(VerifyService, HealthCountersAreCoherent) {
   EXPECT_EQ(h.completed + h.expired + h.invalid + h.failed + h.rejected, 6u);
 }
 
+JobRequest map_request(std::uint64_t id, std::uint64_t processors,
+                       const std::string& mapper = "") {
+  JobRequest req;
+  req.id = id;
+  req.tenant = "t";
+  req.kind = JobKind::kMap;
+  req.processors = processors;
+  req.mapper = mapper;
+  req.spec = kSpec;
+  return req;
+}
+
+TEST(VerifyService, MapJobDeploysOnRequestedProcessors) {
+  ServiceOptions options;
+  options.workers = 1;
+  VerifyService service(options);
+  std::uint64_t id = 0;
+  for (const char* mapper : {"", "greedy", "sa", "spd"}) {
+    JobRequest req = map_request(++id, 2, mapper);
+    const JobResponse rsp = service.submit(std::move(req)).get();
+    ASSERT_EQ(rsp.status, JobStatus::kOk) << rsp.detail;
+    EXPECT_TRUE(rsp.verdict);
+    EXPECT_NE(rsp.detail.find("deployed on 2 processors"), std::string::npos)
+        << rsp.detail;
+  }
+  service.shutdown();
+}
+
+TEST(VerifyService, MapJobSpecDeclaredPlatformWins) {
+  ServiceOptions options;
+  options.workers = 1;
+  VerifyService service(options);
+  JobRequest req = map_request(1, 8);
+  req.spec = std::string("processor p0\nprocessor p1\nprocessor p2\nbus b0\n\n") +
+             kSpec;
+  const JobResponse rsp = service.submit(std::move(req)).get();
+  ASSERT_EQ(rsp.status, JobStatus::kOk) << rsp.detail;
+  EXPECT_NE(rsp.detail.find("deployed on 3 processors"), std::string::npos)
+      << rsp.detail;
+  service.shutdown();
+}
+
+TEST(VerifyService, MapJobWithoutPlatformIsInvalid) {
+  ServiceOptions options;
+  options.workers = 1;
+  VerifyService service(options);
+  const JobResponse rsp = service.submit(map_request(1, 0)).get();
+  EXPECT_EQ(rsp.status, JobStatus::kInvalid);
+  service.shutdown();
+}
+
+TEST(VerifyService, MapJobUnknownMapperIsInvalid) {
+  ServiceOptions options;
+  options.workers = 1;
+  VerifyService service(options);
+  const JobResponse rsp = service.submit(map_request(1, 2, "nope")).get();
+  EXPECT_EQ(rsp.status, JobStatus::kInvalid);
+  service.shutdown();
+}
+
+TEST(VerifyService, MapJobsAreCachedPerMapperAndProcessorCount) {
+  ServiceOptions options;
+  options.workers = 1;
+  VerifyService service(options);
+  const JobResponse first = service.submit(map_request(1, 2, "greedy")).get();
+  ASSERT_EQ(first.status, JobStatus::kOk) << first.detail;
+  EXPECT_FALSE(first.cached);
+  const JobResponse again = service.submit(map_request(2, 2, "greedy")).get();
+  EXPECT_TRUE(again.cached);
+  // A different processor count or mapper is a different cache entry.
+  const JobResponse other = service.submit(map_request(3, 4, "greedy")).get();
+  EXPECT_FALSE(other.cached);
+  const JobResponse sa = service.submit(map_request(4, 2, "sa")).get();
+  EXPECT_FALSE(sa.cached);
+  service.shutdown();
+}
+
 }  // namespace
 }  // namespace rtg::svc
