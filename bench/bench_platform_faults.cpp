@@ -1,0 +1,238 @@
+// E24 — platform fault tolerance: healed vs blind deployments (ISSUE 10).
+//
+// Two measurements over the seeded mapped corpus:
+//
+//   1. Failure-rate sweep: for each (processor, link) failure-rate tier,
+//      every corpus entry that deploys gets a seeded platform fault plan
+//      (procfail / linkfail / linkdegrade) and is run twice over the
+//      same horizon — blind (nominal tables frozen) and healed
+//      (proof-checked migrations, keep-vs-reroute communication
+//      rescheduling, reverts on repair). The metric is deadline windows
+//      satisfied, plus the recovery action mix and proof volume.
+//   2. Tolerance-target sweep: one representative platform, k = 0..2 —
+//      scenario counts, migration-table coverage, and the wall cost of
+//      proving every entry (deploy_tolerant re-verifies each cell on
+//      the degraded platform; nothing is trusted from the nominal run).
+//
+// Every number is deterministic: fault decisions are pure hashes of
+// (seed, resource, time) and the run loop is bit-identical across seam
+// thread counts. Emits BENCH_platform_faults.json in the working
+// directory.
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "gen/generator.hpp"
+#include "map/fault_tolerance.hpp"
+
+namespace {
+
+using namespace rtg;
+using Time = core::Time;
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+
+struct RateRow {
+  double proc_rate = 0;
+  double link_rate = 0;
+  std::size_t deployed = 0;
+  std::size_t windows_total = 0;
+  std::size_t blind_ok = 0;
+  std::size_t healed_ok = 0;
+  std::size_t migrations = 0;
+  std::size_t reroutes = 0;
+  std::size_t reverts = 0;
+  std::size_t outages = 0;
+  std::size_t proof_checks = 0;
+  std::size_t proof_failures = 0;
+  std::size_t dominance_violations = 0;
+  double healed_ms = 0;  // mean per healed run
+};
+
+struct KRow {
+  std::size_t k = 0;
+  std::size_t scenarios = 0;
+  std::size_t covered = 0;
+  std::size_t uncovered = 0;
+  std::size_t standby = 0;
+  bool tolerant = false;
+  double deploy_ms = 0;
+};
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSeeds = 32;
+  constexpr Time kHorizon = 600;
+  constexpr Time kRepair = 60;
+
+  std::printf("E24: platform faults — blind deployment vs healed run loop\n\n");
+  std::printf("corpus: %llu mapped seeds (bus/ring/partial-mesh), horizon %lld, "
+              "repair %lld, k=1 standby\n\n",
+              static_cast<unsigned long long>(kSeeds),
+              static_cast<long long>(kHorizon), static_cast<long long>(kRepair));
+
+  // --- 1. Failure-rate sweep ----------------------------------------------
+  const double kTiers[][2] = {
+      {0.001, 0.0005}, {0.002, 0.001}, {0.004, 0.002}, {0.008, 0.004}};
+  std::printf("%-16s %-8s %-16s %-16s %-22s %-8s %-8s\n", "rate (proc/link)",
+              "deploys", "blind ok", "healed ok", "migr/rert/revert/out",
+              "proofs", "ms/run");
+  std::vector<RateRow> rows;
+  for (const auto& tier : kTiers) {
+    RateRow row;
+    row.proc_rate = tier[0];
+    row.link_rate = tier[1];
+    double healed_s = 0;
+    for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+      const gen::Scenario scenario =
+          gen::generate(gen::mapped_corpus_options(seed));
+      if (!scenario.hardware.has_value()) continue;
+      map::TolerantOptions topts;
+      topts.k = 1;
+      const map::TolerantDeployment td =
+          map::deploy_tolerant(scenario.model, *scenario.hardware, topts);
+      if (!td.success) continue;
+      ++row.deployed;
+      const core::FaultPlan plan = map::make_platform_fault_plan(
+          seed * 2654435761u + 1, *scenario.hardware, kHorizon, tier[0],
+          tier[1], kRepair, tier[1]);
+      map::FaultRunOptions options;
+      auto t0 = std::chrono::steady_clock::now();
+      const map::PlatformFaultRun healed =
+          map::run_deployment_with_faults(td, plan, kHorizon, options);
+      healed_s += seconds_since(t0);
+      options.heal = false;
+      const map::PlatformFaultRun blind =
+          map::run_deployment_with_faults(td, plan, kHorizon, options);
+      row.windows_total += healed.windows_total;
+      row.blind_ok += blind.windows_ok;
+      row.healed_ok += healed.windows_ok;
+      row.migrations += healed.migrations;
+      row.reroutes += healed.reroutes;
+      row.reverts += healed.reverts;
+      row.outages += healed.outages;
+      row.proof_checks += healed.proof_checks;
+      row.proof_failures += healed.proof_failures;
+      if (healed.windows_ok < blind.windows_ok) ++row.dominance_violations;
+    }
+    row.healed_ms = row.deployed > 0 ? 1e3 * healed_s / row.deployed : 0.0;
+    rows.push_back(row);
+    std::printf("%.4f/%-8.4f %-8zu %6zu/%-9zu %6zu/%-9zu %4zu/%zu/%zu/%-10zu "
+                "%-8zu %.3f\n",
+                row.proc_rate, row.link_rate, row.deployed, row.blind_ok,
+                row.windows_total, row.healed_ok, row.windows_total,
+                row.migrations, row.reroutes, row.reverts, row.outages,
+                row.proof_checks, row.healed_ms);
+    if (row.dominance_violations > 0) {
+      std::fprintf(stderr, "DOMINANCE VIOLATION: %zu seeds healed < blind\n",
+                   row.dominance_violations);
+      return 1;
+    }
+    if (row.proof_failures > 0) {
+      std::fprintf(stderr, "PROOF FAILURES: %zu activations failed re-proof\n",
+                   row.proof_failures);
+      return 1;
+    }
+  }
+
+  // --- 2. Tolerance-target sweep ------------------------------------------
+  // First corpus entry that deploys on >= 4 processors: enough platform
+  // to make k=2 a real combinatorial obligation.
+  gen::Scenario deep;
+  bool have_deep = false;
+  for (std::uint64_t seed = 0; seed < kSeeds && !have_deep; ++seed) {
+    gen::Scenario scenario = gen::generate(gen::mapped_corpus_options(seed));
+    if (!scenario.hardware.has_value() ||
+        scenario.hardware->processors() < 4) {
+      continue;
+    }
+    map::TolerantOptions topts;
+    topts.k = 0;
+    if (map::deploy_tolerant(scenario.model, *scenario.hardware, topts).success) {
+      deep = std::move(scenario);
+      have_deep = true;
+    }
+  }
+  std::vector<KRow> krows;
+  if (have_deep) {
+    std::printf("\nk-sweep on a %zu-processor corpus platform:\n",
+                deep.hardware->processors());
+    std::printf("%-4s %-10s %-10s %-10s %-8s %-9s %-10s\n", "k", "scenarios",
+                "covered", "uncovered", "standby", "tolerant", "deploy ms");
+    for (std::size_t k = 0; k <= 2; ++k) {
+      map::TolerantOptions topts;
+      topts.k = k;
+      auto t0 = std::chrono::steady_clock::now();
+      const map::TolerantDeployment td =
+          map::deploy_tolerant(deep.model, *deep.hardware, topts);
+      KRow krow;
+      krow.k = k;
+      krow.scenarios = td.scenarios;
+      krow.covered = td.table.entries.size();
+      krow.uncovered = td.uncovered.size();
+      krow.standby = td.standby.size();
+      krow.tolerant = td.tolerant;
+      krow.deploy_ms = 1e3 * seconds_since(t0);
+      krows.push_back(krow);
+      std::printf("%-4zu %-10zu %-10zu %-10zu %-8zu %-9s %.3f\n", krow.k,
+                  krow.scenarios, krow.covered, krow.uncovered, krow.standby,
+                  krow.tolerant ? "yes" : "no", krow.deploy_ms);
+    }
+  }
+
+  std::FILE* out = std::fopen("BENCH_platform_faults.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_platform_faults.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"E24_platform_faults\",\n");
+  std::fprintf(out,
+               "  \"workload\": {\"seeds\": %llu, \"horizon\": %lld, "
+               "\"repair\": %lld, \"k\": 1},\n",
+               static_cast<unsigned long long>(kSeeds),
+               static_cast<long long>(kHorizon),
+               static_cast<long long>(kRepair));
+  std::fprintf(out, "  \"rate_sweep\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const RateRow& r = rows[i];
+    std::fprintf(out,
+                 "    {\"proc_rate\": %.4f, \"link_rate\": %.4f, "
+                 "\"deployed\": %zu, \"windows_total\": %zu, "
+                 "\"blind_ok\": %zu, \"healed_ok\": %zu, \"migrations\": %zu, "
+                 "\"reroutes\": %zu, \"reverts\": %zu, \"outages\": %zu, "
+                 "\"proof_checks\": %zu, \"proof_failures\": %zu, "
+                 "\"healed_ms\": %.3f}%s\n",
+                 r.proc_rate, r.link_rate, r.deployed, r.windows_total,
+                 r.blind_ok, r.healed_ok, r.migrations, r.reroutes, r.reverts,
+                 r.outages, r.proof_checks, r.proof_failures, r.healed_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"k_sweep\": [\n");
+  for (std::size_t i = 0; i < krows.size(); ++i) {
+    const KRow& r = krows[i];
+    std::fprintf(out,
+                 "    {\"k\": %zu, \"scenarios\": %zu, \"covered\": %zu, "
+                 "\"uncovered\": %zu, \"standby\": %zu, \"tolerant\": %s, "
+                 "\"deploy_ms\": %.3f}%s\n",
+                 r.k, r.scenarios, r.covered, r.uncovered, r.standby,
+                 r.tolerant ? "true" : "false", r.deploy_ms,
+                 i + 1 < krows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\n# wrote BENCH_platform_faults.json\n");
+
+  std::printf("\nExpected shape: healed dominates blind at every failure rate\n"
+              "(enforced above — a violation fails the binary). The gap widens\n"
+              "with the rate until outages cap it: migrations absorb processor\n"
+              "failures while standby capacity holds, reroutes absorb link\n"
+              "deaths while a surviving route exists, and the keep-vs-reroute\n"
+              "rule leaves nominal tables in place when they still fit the\n"
+              "degraded bandwidth. Every activation is re-proved; the proof\n"
+              "column is the price of never trusting a stale witness.\n");
+  return 0;
+}

@@ -1,0 +1,7 @@
+# Platform fault plan for control_system.rts mapped on three
+# processors (format: docs/FAULTS.md, "Platform faults").
+# Exercise with:
+#   spec_compiler control_system.rts --map 3 --inject platform_faults.fp
+seed 7
+procfail p1 at 40 repair 30
+linkdegrade bus factor 2 from 90 to 120

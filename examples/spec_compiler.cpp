@@ -31,6 +31,7 @@
 #include "core/synthesis.hpp"
 #include "graph/dot.hpp"
 #include "map/deploy.hpp"
+#include "map/fault_tolerance.hpp"
 #include "monitor/streaming_monitor.hpp"
 #include "monitor/trace_capture.hpp"
 #include "monitor/trace_io.hpp"
@@ -103,7 +104,7 @@ int usage() {
                "                     [--mapper <greedy|sa|spd|roundrobin|lpt|comm>]\n"
                "                     [--threads N] [--save <sched>] [--verify <sched>]\n"
                "                     [--stats] [--emit-trace <trace.rtt>] [--monitor]\n"
-               "                     [--inject <plan.fp>] [--recovery]\n"
+               "                     [--inject <plan.fp>] [--recovery] [--tolerate K]\n"
                "  --map N       mapped deployment on N processors (shared bus\n"
                "                unless the spec declares processor/bus/link\n"
                "                lines): mapper portfolio, per-processor\n"
@@ -126,9 +127,15 @@ int usage() {
                "  --monitor     run the online streaming monitor over the\n"
                "                synthesized trace and print its health report\n"
                "  --inject      run the synthesized schedule under a fault plan\n"
-               "                (format: docs/FAULTS.md) and report survival\n"
+               "                (format: docs/FAULTS.md) and report survival;\n"
+               "                with --map the plan must hold *platform* faults\n"
+               "                (procfail/linkfail/linkdegrade) and the mapped\n"
+               "                deployment is run healed vs blind\n"
                "  --recovery    rerun the faulted horizon under the self-healing\n"
-               "                executive (retry / resync / verified failover)\n");
+               "                executive (retry / resync / verified failover)\n"
+               "  --tolerate K  with --map: k-failure-tolerant deployment — a\n"
+               "                proof-checked MigrationTable entry per failure\n"
+               "                set of at most K processors\n");
   return 1;
 }
 
@@ -156,6 +163,7 @@ int run(int argc, char** argv) {
   bool want_dot = false, want_schedule = false, want_processes = false;
   bool want_emit = false, want_exact = false, want_analyze = false;
   std::size_t map_procs = 0;
+  std::size_t tolerate = 0;
   const char* mapper_name = "greedy";
   std::size_t n_threads = 0;  // 0 = hardware concurrency
   const char* path = nullptr;
@@ -211,6 +219,10 @@ int run(int argc, char** argv) {
       if (map_procs == 0) {
         return flag_error("--map requires a positive processor count");
       }
+    } else if (std::strcmp(argv[i], "--tolerate") == 0) {
+      const int k = std::atoi(need_value(i));
+      if (k <= 0) return flag_error("--tolerate requires a positive k");
+      tolerate = static_cast<std::size_t>(k);
     } else if (std::strcmp(argv[i], "--mapper") == 0) {
       mapper_name = need_value(i);
       if (map::make_mapper(mapper_name) == nullptr) {
@@ -252,8 +264,18 @@ int run(int argc, char** argv) {
     return flag_error(
         "--stats requires --verify or --map (it reports the engine counters)");
   }
+  if (tolerate > 0 && map_procs == 0) {
+    return flag_error("--tolerate requires --map (it is a mapped-deployment knob)");
+  }
+  if (want_recovery && map_procs > 0) {
+    return flag_error(
+        "--recovery is the uniprocessor executive; use --inject with --map for "
+        "platform faults");
+  }
+  // --inject with --map feeds the mapped fault run, not the
+  // uniprocessor executive.
   if (save_path != nullptr || emit_trace_path != nullptr || want_monitor ||
-      inject_path != nullptr || want_recovery) {
+      (inject_path != nullptr && map_procs == 0) || want_recovery) {
     want_schedule = true;
   }
   if (!want_dot && !want_processes && !want_emit && !want_exact && !want_analyze &&
@@ -404,7 +426,7 @@ int run(int argc, char** argv) {
         }
       }
     }
-    if (inject_path != nullptr || want_recovery) {
+    if ((inject_path != nullptr && map_procs == 0) || want_recovery) {
       const core::GraphModel& sm = synth.scheduled_model;
       core::FaultPlan plan;  // empty = fault-free
       if (inject_path != nullptr) {
@@ -551,12 +573,80 @@ int run(int argc, char** argv) {
     deploy_options.mapper = mapper_name;
     deploy_options.local.n_threads = n_threads;
     deploy_options.seam_threads = n_threads;
-    const map::Deployment d = map::deploy(model, platform, deploy_options);
-    if (!d.success) {
-      std::fprintf(stderr, "mapped synthesis failed: %s\n",
-                   d.failure_reason.c_str());
-      return 2;
+
+    // A fault plan against a mapped deployment must be a *platform*
+    // plan; element-level fault kinds belong to the uniprocessor
+    // executives (--inject without --map).
+    core::FaultPlan platform_plan;
+    if (inject_path != nullptr) {
+      std::ifstream in(inject_path);
+      if (!in) {
+        std::fprintf(stderr, "spec_compiler: cannot open '%s'\n", inject_path);
+        return 1;
+      }
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const core::FaultPlanParse fp = core::parse_fault_plan(
+          buffer.str(), model, map::platform_names(platform));
+      if (!fp.ok()) {
+        for (const std::string& e : fp.errors) {
+          std::fprintf(stderr, "%s: error: %s\n", inject_path, e.c_str());
+        }
+        return 1;
+      }
+      for (const core::FaultSpec& f : fp.plan->faults) {
+        if (!core::is_platform_fault(f.kind)) {
+          return flag_error(std::string("--inject with --map: '") +
+                            std::string(core::fault_kind_name(f.kind)) +
+                            "' is an element-level fault; mapped runs take "
+                            "platform faults only (procfail, linkfail, "
+                            "linkdegrade) — drop --map or the directive");
+        }
+      }
+      platform_plan = *fp.plan;
     }
+
+    map::TolerantDeployment td;
+    map::Deployment deployment;
+    const bool tolerant_path = tolerate > 0 || inject_path != nullptr;
+    if (tolerant_path) {
+      map::TolerantOptions topts;
+      topts.k = tolerate > 0 ? tolerate : 1;
+      topts.deploy = deploy_options;
+      td = map::deploy_tolerant(model, platform, topts);
+      if (!td.success) {
+        std::fprintf(stderr, "mapped synthesis failed: %s\n",
+                     td.failure_reason.c_str());
+        return 2;
+      }
+      std::printf("# tolerant deployment k=%zu: %zu of %zu failure scenarios "
+                  "covered by proof-checked migrations\n",
+                  td.k, td.table.size(), td.scenarios);
+      for (const map::UncoveredScenario& u : td.uncovered) {
+        std::string names;
+        for (map::ProcId p : u.failed) {
+          if (!names.empty()) names += ",";
+          names += platform.processor_names[p];
+        }
+        std::printf("# uncovered {%s}: %s\n", names.c_str(), u.reason.c_str());
+      }
+      if (tolerate > 0 && !td.tolerant) {
+        std::fprintf(stderr,
+                     "spec_compiler: deployment is not %zu-failure tolerant "
+                     "(%zu uncovered scenarios)\n",
+                     td.k, td.uncovered.size());
+        return 2;
+      }
+      deployment = td.base;
+    } else {
+      deployment = map::deploy(model, platform, deploy_options);
+      if (!deployment.success) {
+        std::fprintf(stderr, "mapped synthesis failed: %s\n",
+                     deployment.failure_reason.c_str());
+        return 2;
+      }
+    }
+    const map::Deployment& d = deployment;
     std::printf("# mapped deployment on %zu processors (mapper %s): "
                 "%zu messages, %llu link slots, load imbalance %.2f\n",
                 platform.processors(), d.mapping.mapper.c_str(),
@@ -592,6 +682,42 @@ int run(int argc, char** argv) {
                   static_cast<unsigned long long>(d.seam_stats.index_seeks),
                   static_cast<unsigned long long>(d.seam_stats.threads_used),
                   d.witnesses.size());
+    }
+    if (inject_path != nullptr) {
+      // Horizon: three constraint spans, stretched to cover every
+      // injected fault window plus its repair.
+      core::Time needed = 1;
+      for (const core::TimingConstraint& c : d.scheduled_model.constraints()) {
+        needed = std::max(needed, c.period + c.deadline);
+      }
+      core::Time horizon = needed * 3;
+      for (const core::FaultSpec& f : platform_plan.faults) {
+        if (f.end != core::kOpenEnd) horizon = std::max(horizon, f.end + f.magnitude);
+        horizon = std::max(horizon, f.begin + 2 * std::max<core::Time>(f.magnitude, 1));
+      }
+      map::FaultRunOptions run_options;
+      run_options.seam_threads = n_threads;
+      const map::PlatformFaultRun healed =
+          map::run_deployment_with_faults(td, platform_plan, horizon, run_options);
+      run_options.heal = false;
+      const map::PlatformFaultRun blind =
+          map::run_deployment_with_faults(td, platform_plan, horizon, run_options);
+      std::printf("# platform inject: horizon %lld, %zu epochs, healed %zu/%zu "
+                  "windows (%zu migrations, %zu reroutes, %zu reverts, "
+                  "%zu outages, %zu proofs, %zu proof failures)\n",
+                  static_cast<long long>(horizon), healed.epochs.size(),
+                  healed.windows_ok, healed.windows_total, healed.migrations,
+                  healed.reroutes, healed.reverts, healed.outages,
+                  healed.proof_checks, healed.proof_failures);
+      std::printf("# platform inject: blind %zu/%zu windows; healed "
+                  "fingerprint %016llx\n",
+                  blind.windows_ok, blind.windows_total,
+                  static_cast<unsigned long long>(healed.fingerprint()));
+      for (const map::EpochRecord& e : healed.epochs) {
+        std::printf("# epoch [%lld, %lld): %s\n",
+                    static_cast<long long>(e.begin), static_cast<long long>(e.end),
+                    e.detail.c_str());
+      }
     }
   }
   if (verify_path != nullptr) {

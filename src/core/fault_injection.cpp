@@ -29,6 +29,9 @@ std::string_view fault_kind_name(FaultKind kind) {
     case FaultKind::kDrop: return "drop";
     case FaultKind::kArrivalJitter: return "jitter";
     case FaultKind::kClockDrift: return "drift";
+    case FaultKind::kProcessorFail: return "procfail";
+    case FaultKind::kLinkFail: return "linkfail";
+    case FaultKind::kLinkDegrade: return "linkdegrade";
   }
   return "unknown";
 }
@@ -72,6 +75,21 @@ std::vector<std::string> validate_fault_plan(const FaultPlan& plan,
       case FaultKind::kClockDrift:
         if (f.magnitude < 1) issues.push_back(where + ": tick spacing must be >= 1");
         break;
+      case FaultKind::kProcessorFail:
+      case FaultKind::kLinkFail:
+        if (f.resource == kAnyResource) {
+          issues.push_back(where + ": needs a concrete platform resource");
+        }
+        if (f.magnitude < 1) issues.push_back(where + ": repair must be >= 1 slot");
+        break;
+      case FaultKind::kLinkDegrade:
+        if (f.resource == kAnyResource) {
+          issues.push_back(where + ": needs a concrete platform resource");
+        }
+        if (f.magnitude < 1) {
+          issues.push_back(where + ": bandwidth divisor must be >= 1");
+        }
+        break;
       case FaultKind::kArrivalJitter: {
         if (f.magnitude < 0) issues.push_back(where + ": max shift must be >= 0");
         if (f.constraint != kAnyConstraint) {
@@ -88,6 +106,27 @@ std::vector<std::string> validate_fault_plan(const FaultPlan& plan,
       }
       default:
         break;
+    }
+  }
+  return issues;
+}
+
+std::vector<std::string> validate_fault_plan(const FaultPlan& plan,
+                                             const GraphModel& model,
+                                             const PlatformNames& names) {
+  std::vector<std::string> issues = validate_fault_plan(plan, model);
+  for (std::size_t i = 0; i < plan.faults.size(); ++i) {
+    const FaultSpec& f = plan.faults[i];
+    if (!is_platform_fault(f.kind) || f.resource == kAnyResource) continue;
+    const std::string where =
+        "fault " + std::to_string(i) + " (" + std::string(fault_kind_name(f.kind)) + ")";
+    const std::size_t limit = f.kind == FaultKind::kProcessorFail
+                                  ? names.processors.size()
+                                  : names.links.size();
+    const char* what = f.kind == FaultKind::kProcessorFail ? "processor" : "link";
+    if (f.resource >= limit) {
+      issues.push_back(where + ": " + what + " index " + std::to_string(f.resource) +
+                       " out of range (platform has " + std::to_string(limit) + ")");
     }
   }
   return issues;
@@ -128,6 +167,65 @@ bool FaultInjector::element_down(ElementId e, Time t) const {
     if (t >= f.begin && t < f.begin + f.magnitude) return true;
   }
   return false;
+}
+
+bool FaultInjector::processor_down(std::size_t proc, Time t) const {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::kProcessorFail || f.resource != proc) continue;
+    if (t >= f.begin && t < f.begin + f.magnitude) return true;
+  }
+  return false;
+}
+
+bool FaultInjector::link_down(std::size_t link, Time t) const {
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::kLinkFail || f.resource != link) continue;
+    if (t >= f.begin && t < f.begin + f.magnitude) return true;
+  }
+  return false;
+}
+
+Time FaultInjector::link_degrade(std::size_t link, Time t) const {
+  Time factor = 1;
+  for (const FaultSpec& f : plan_.faults) {
+    if (f.kind != FaultKind::kLinkDegrade || f.resource != link) continue;
+    if (in_window(f, t) && f.magnitude > 1) factor *= f.magnitude;
+  }
+  return factor;
+}
+
+bool FaultInjector::has_platform_faults() const {
+  for (const FaultSpec& f : plan_.faults) {
+    if (is_platform_fault(f.kind)) return true;
+  }
+  return false;
+}
+
+std::vector<Time> FaultInjector::platform_event_times(Time horizon) const {
+  std::vector<Time> times;
+  auto push = [&](Time t) {
+    if (t > 0 && t < horizon) times.push_back(t);
+  };
+  for (const FaultSpec& f : plan_.faults) {
+    switch (f.kind) {
+      case FaultKind::kProcessorFail:
+      case FaultKind::kLinkFail:
+        push(f.begin);
+        if (f.magnitude > 0 && f.begin <= horizon - f.magnitude) {
+          push(f.begin + f.magnitude);
+        }
+        break;
+      case FaultKind::kLinkDegrade:
+        push(f.begin);
+        if (f.end != kOpenEnd) push(f.end);
+        break;
+      default:
+        break;
+    }
+  }
+  std::sort(times.begin(), times.end());
+  times.erase(std::unique(times.begin(), times.end()), times.end());
+  return times;
 }
 
 ExecutionFate FaultInjector::fate(ElementId e, Time start, Time duration) const {
@@ -308,6 +406,11 @@ struct LineParser {
 }  // namespace
 
 FaultPlanParse parse_fault_plan(std::string_view text, const GraphModel& model) {
+  return parse_fault_plan(text, model, PlatformNames{});
+}
+
+FaultPlanParse parse_fault_plan(std::string_view text, const GraphModel& model,
+                                const PlatformNames& names) {
   FaultPlanParse result;
   FaultPlan plan;
   std::istringstream lines{std::string(text)};
@@ -342,6 +445,8 @@ FaultPlanParse parse_fault_plan(std::string_view text, const GraphModel& model) 
     FaultSpec spec;
     bool needs_element = false;
     bool needs_constraint = false;
+    bool needs_processor = false;
+    bool needs_link = false;
     if (directive == "slotloss") {
       spec.kind = FaultKind::kSlotLoss;
     } else if (directive == "fail") {
@@ -358,6 +463,15 @@ FaultPlanParse parse_fault_plan(std::string_view text, const GraphModel& model) 
       needs_constraint = true;
     } else if (directive == "drift") {
       spec.kind = FaultKind::kClockDrift;
+    } else if (directive == "procfail") {
+      spec.kind = FaultKind::kProcessorFail;
+      needs_processor = true;
+    } else if (directive == "linkfail") {
+      spec.kind = FaultKind::kLinkFail;
+      needs_link = true;
+    } else if (directive == "linkdegrade") {
+      spec.kind = FaultKind::kLinkDegrade;
+      needs_link = true;
     } else {
       fail("unknown directive '" + directive + "'");
       continue;
@@ -380,6 +494,28 @@ FaultPlanParse parse_fault_plan(std::string_view text, const GraphModel& model) 
         }
       }
     }
+    if (needs_processor || needs_link) {
+      const char* what = needs_processor ? "processor" : "link";
+      if (lp.done()) {
+        fail(directive + " needs a " + std::string(what) + " name");
+        continue;
+      }
+      const std::string name = lp.next();
+      const std::vector<std::string>& pool =
+          needs_processor ? names.processors : names.links;
+      if (pool.empty()) {
+        fail(directive + ": no platform in scope (declare one in the spec or map first)");
+        ok = false;
+      } else {
+        const auto it = std::find(pool.begin(), pool.end(), name);
+        if (it == pool.end()) {
+          fail("unknown " + std::string(what) + " '" + name + "'");
+          ok = false;
+        } else {
+          spec.resource = static_cast<std::size_t>(it - pool.begin());
+        }
+      }
+    }
     if (needs_constraint) {
       if (lp.done()) {
         fail("jitter needs a constraint name (or '*')");
@@ -398,6 +534,7 @@ FaultPlanParse parse_fault_plan(std::string_view text, const GraphModel& model) 
     }
 
     bool saw_repair = false, saw_every = false, saw_max = false, saw_at = false;
+    bool saw_factor = false;
     while (ok && !lp.done()) {
       const std::string key = lp.next();
       if (lp.done()) {
@@ -424,6 +561,9 @@ FaultPlanParse parse_fault_plan(std::string_view text, const GraphModel& model) 
       } else if (key == "every") {
         ok = lp.parse_time(value, spec.magnitude);
         saw_every = true;
+      } else if (key == "factor") {
+        ok = lp.parse_time(value, spec.magnitude);
+        saw_factor = true;
       } else {
         lp.error = "unknown option '" + key + "'";
         ok = false;
@@ -443,12 +583,21 @@ FaultPlanParse parse_fault_plan(std::string_view text, const GraphModel& model) 
       fail("drift needs 'every <slots>'");
       continue;
     }
+    if ((spec.kind == FaultKind::kProcessorFail || spec.kind == FaultKind::kLinkFail) &&
+        (!saw_at || !saw_repair)) {
+      fail(directive + " needs 'at <t>' and 'repair <slots>'");
+      continue;
+    }
+    if (spec.kind == FaultKind::kLinkDegrade && !saw_factor) {
+      fail("linkdegrade needs 'factor <divisor>'");
+      continue;
+    }
     // A failure window is [at, at + repair); keep `end` open so window
     // checks in element_down (which use magnitude) see the full range.
     plan.faults.push_back(spec);
   }
 
-  for (const std::string& issue : validate_fault_plan(plan, model)) {
+  for (const std::string& issue : validate_fault_plan(plan, model, names)) {
     result.errors.push_back("plan: " + issue);
   }
   if (result.errors.empty()) result.plan = std::move(plan);

@@ -42,6 +42,20 @@
 //                     time begin + m*every (m >= 1) inside the window;
 //                     ops at nominal time t start drift_before(t) late.
 //
+// Platform-level faults (consumed by map::run_deployment_with_faults;
+// the uniprocessor executives ignore them — a single-board run has no
+// processor or link identity to fail):
+//
+//   * kProcessorFail — processor `resource` is down in [at, at+repair):
+//                      every element mapped there is unavailable.
+//   * kLinkFail      — link `resource` carries nothing in [at, at+repair).
+//   * kLinkDegrade   — link `resource` runs at bandwidth/factor in
+//                      [from, to); transfers need factor× the slots.
+//
+// Processor and link indices resolve against a map::Platform's
+// declaration order; the textual grammar resolves names through
+// PlatformNames so this header stays free of map dependencies.
+//
 // All invalidated executions render as idle slots, so a
 // monitor::StreamingMonitor watching the visible trace computes exactly
 // the ground-truth verdict over the surviving (valid) executions.
@@ -71,13 +85,24 @@ enum class FaultKind : std::uint8_t {
   kDrop,
   kArrivalJitter,
   kClockDrift,
+  kProcessorFail,
+  kLinkFail,
+  kLinkDegrade,
 };
+
+/// True for the platform-level kinds (processor/link faults).
+[[nodiscard]] constexpr bool is_platform_fault(FaultKind kind) {
+  return kind == FaultKind::kProcessorFail || kind == FaultKind::kLinkFail ||
+         kind == FaultKind::kLinkDegrade;
+}
 
 [[nodiscard]] std::string_view fault_kind_name(FaultKind kind);
 
 /// Wildcard element / constraint for specs that apply to all.
 inline constexpr ElementId kAnyElement = graph::kInvalidNode;
 inline constexpr std::size_t kAnyConstraint = static_cast<std::size_t>(-1);
+/// Unset platform resource (platform kinds require a concrete one).
+inline constexpr std::size_t kAnyResource = static_cast<std::size_t>(-1);
 /// Open-ended fault window.
 inline constexpr Time kOpenEnd = std::numeric_limits<Time>::max();
 
@@ -87,6 +112,11 @@ inline constexpr Time kOpenEnd = std::numeric_limits<Time>::max();
 ///   kCorrupt/kDrop: element (or any), rate, [begin, end)
 ///   kArrivalJitter: constraint (or any async), magnitude (= max shift), [begin, end)
 ///   kClockDrift:    magnitude (= slots between drift ticks), [begin, end)
+///   kProcessorFail: resource (= processor), begin (= failure instant),
+///                   magnitude (= repair slots)
+///   kLinkFail:      resource (= link), begin, magnitude (= repair slots)
+///   kLinkDegrade:   resource (= link), magnitude (= bandwidth divisor),
+///                   [begin, end)
 struct FaultSpec {
   FaultKind kind = FaultKind::kSlotLoss;
   Time begin = 0;
@@ -95,6 +125,7 @@ struct FaultSpec {
   ElementId element = kAnyElement;
   std::size_t constraint = kAnyConstraint;
   Time magnitude = 0;
+  std::size_t resource = kAnyResource;
 
   friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
@@ -115,6 +146,21 @@ struct FaultPlan {
 [[nodiscard]] std::vector<std::string> validate_fault_plan(const FaultPlan& plan,
                                                            const GraphModel& model);
 
+/// Processor / link names of a platform, in declaration order, so the
+/// textual grammar can resolve `procfail p1` / `linkfail bus` without a
+/// core → map dependency (map::platform_names adapts a map::Platform).
+struct PlatformNames {
+  std::vector<std::string> processors;
+  std::vector<std::string> links;
+
+  [[nodiscard]] bool empty() const { return processors.empty() && links.empty(); }
+};
+
+/// validate_fault_plan, additionally bounds-checking platform resources
+/// against the named platform.
+[[nodiscard]] std::vector<std::string> validate_fault_plan(
+    const FaultPlan& plan, const GraphModel& model, const PlatformNames& names);
+
 /// Parse result for the textual fault-plan format (see docs/FAULTS.md):
 /// one directive per line, '#' comments, e.g.
 ///   seed 42
@@ -124,9 +170,14 @@ struct FaultPlan {
 ///   drop * rate 0.05 from 0 to 1000
 ///   jitter Z max 5
 ///   drift every 97
+///   procfail p1 at 200 repair 50
+///   linkfail bus at 100 repair 30
+///   linkdegrade r0 factor 2 from 0 to 500
 /// Element and constraint names resolve against the model; '*' is the
-/// wildcard. Errors carry "line N: message"; plan is set iff there are
-/// no errors (and then also passes validate_fault_plan).
+/// wildcard. Processor and link names resolve against the PlatformNames
+/// overload — the platform directives error out when no platform is in
+/// scope. Errors carry "line N: message"; plan is set iff there are no
+/// errors (and then also passes validate_fault_plan).
 struct FaultPlanParse {
   std::optional<FaultPlan> plan;
   std::vector<std::string> errors;
@@ -136,6 +187,10 @@ struct FaultPlanParse {
 
 [[nodiscard]] FaultPlanParse parse_fault_plan(std::string_view text,
                                               const GraphModel& model);
+
+[[nodiscard]] FaultPlanParse parse_fault_plan(std::string_view text,
+                                              const GraphModel& model,
+                                              const PlatformNames& names);
 
 /// What became of one dispatched execution.
 enum class ExecutionFate : std::uint8_t {
@@ -205,6 +260,26 @@ class FaultInjector {
 
   /// True iff element e is inside a failure/repair window at time t.
   [[nodiscard]] bool element_down(ElementId e, Time t) const;
+
+  /// True iff processor `proc` is inside a failure/repair window at t.
+  [[nodiscard]] bool processor_down(std::size_t proc, Time t) const;
+
+  /// True iff link `link` is inside a failure/repair window at t.
+  [[nodiscard]] bool link_down(std::size_t link, Time t) const;
+
+  /// Combined bandwidth divisor for `link` at t: the product of every
+  /// active kLinkDegrade factor (1 = nominal). Deterministic windows,
+  /// no draws.
+  [[nodiscard]] Time link_degrade(std::size_t link, Time t) const;
+
+  /// True iff the plan contains any platform-level spec.
+  [[nodiscard]] bool has_platform_faults() const;
+
+  /// Sorted, deduplicated instants in (0, horizon) where the platform
+  /// state (processor/link availability or degrade factor) changes —
+  /// the epoch boundaries of a platform fault run. Pure function of the
+  /// plan, so every consumer partitions time identically.
+  [[nodiscard]] std::vector<Time> platform_event_times(Time horizon) const;
 
   /// Fate of an execution of `e` occupying [start, start + duration).
   /// Precedence: element failure, then slot loss, then drop, then

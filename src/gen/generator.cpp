@@ -433,6 +433,15 @@ std::string_view domain_name(DomainPack d) {
   return "?";
 }
 
+std::string_view platform_shape_name(PlatformShape s) {
+  switch (s) {
+    case PlatformShape::kBus: return "bus";
+    case PlatformShape::kRing: return "ring";
+    case PlatformShape::kPartialMesh: return "partial_mesh";
+  }
+  return "?";
+}
+
 Scenario generate(const ScenarioOptions& options) {
   // Seed the stream with every discrete shape knob, so e.g. two
   // topologies at the same seed draw unrelated randomness.
@@ -469,9 +478,21 @@ Scenario generate(const ScenarioOptions& options) {
   if (options.processors > 0) {
     // The platform is a pure function of the knobs (no RNG draw), so
     // uniprocessor fingerprints are untouched by the knob's existence.
-    scenario.hardware =
-        map::Platform::bus(options.processors, std::max<Time>(options.link_bandwidth, 1));
+    const Time bw = std::max<Time>(options.link_bandwidth, 1);
     scenario.name += label("-p", options.processors);
+    switch (options.platform_shape) {
+      case PlatformShape::kBus:
+        scenario.hardware = map::Platform::bus(options.processors, bw);
+        break;
+      case PlatformShape::kRing:
+        scenario.hardware = map::Platform::ring(options.processors, bw);
+        scenario.name += "r";
+        break;
+      case PlatformShape::kPartialMesh:
+        scenario.hardware = map::Platform::partial_mesh(options.processors, bw);
+        scenario.name += "m";
+        break;
+    }
     scenario.spec = spec::emit(scenario.model, *scenario.hardware);
   } else {
     scenario.spec = spec::emit(scenario.model);
@@ -518,6 +539,11 @@ ScenarioOptions mapped_corpus_options(std::uint64_t index) {
   constexpr std::size_t kProcs[] = {2, 4, 8};
   o.processors = kProcs[index % 3];
   o.link_bandwidth = (index % 3 == 2) ? 2 : 1;
+  // Non-bus shapes (ISSUE 10): a quarter of the corpus runs on rings or
+  // partial meshes, so route-aware mapping and degraded-mode rerouting
+  // stay exercised by the standing sweep.
+  if (index % 8 == 3) o.platform_shape = PlatformShape::kRing;
+  if (index % 8 == 6) o.platform_shape = PlatformShape::kPartialMesh;
   return o;
 }
 
@@ -652,6 +678,16 @@ std::optional<ScenarioOptions> parse_scenario_spec(std::string_view text,
         return fail("bad link_bandwidth '" + std::string(value) + "'");
       }
       options.link_bandwidth = static_cast<Time>(u);
+    } else if (key == "platform_shape") {
+      if (value == "bus") {
+        options.platform_shape = PlatformShape::kBus;
+      } else if (value == "ring") {
+        options.platform_shape = PlatformShape::kRing;
+      } else if (value == "partial_mesh") {
+        options.platform_shape = PlatformShape::kPartialMesh;
+      } else {
+        return fail("bad platform_shape '" + std::string(value) + "'");
+      }
     } else {
       return fail("unknown key '" + std::string(key) + "'");
     }
@@ -685,6 +721,11 @@ std::string scenario_spec_string(const ScenarioOptions& o) {
     std::snprintf(buffer, sizeof buffer, ",processors=%zu,link_bandwidth=%lld",
                   o.processors, static_cast<long long>(o.link_bandwidth));
     spec += buffer;
+    if (o.platform_shape != PlatformShape::kBus) {
+      // Same appended-only rule for the shape knob (ISSUE 10).
+      spec += ",platform_shape=";
+      spec += platform_shape_name(o.platform_shape);
+    }
   }
   return spec;
 }

@@ -46,6 +46,16 @@ enum class PeriodFamily : std::uint8_t {
   kCoprime,       ///< small pairwise-coprime values (adversarial lcm)
 };
 
+/// Hardware platform shapes for mapped scenarios (ISSUE 10): the
+/// mapped corpus exercises non-bus topologies, so the mapper's
+/// route-awareness and the fault-tolerance reroute path see real
+/// route diversity, not just the shared bus.
+enum class PlatformShape : std::uint8_t {
+  kBus,          ///< one shared link serving every pair
+  kRing,         ///< adjacent bidirectional wires only
+  kPartialMesh,  ///< adjacent wires + a fallback bus (reroute redundancy)
+};
+
 /// Structured scenario packs layered on top of the raw topologies.
 enum class DomainPack : std::uint8_t {
   kNone,          ///< pure parameterized topology
@@ -101,6 +111,11 @@ struct ScenarioOptions {
   /// covers it.
   std::size_t processors = 0;
   core::Time link_bandwidth = 1;
+  /// Hardware shape when processors > 0 (ISSUE 10). Like the other
+  /// platform knobs it is a pure function of the options — no RNG
+  /// draw — and the emitted spec's link lines cover it, so the
+  /// fingerprint distinguishes shapes automatically.
+  PlatformShape platform_shape = PlatformShape::kBus;
 };
 
 /// A generated scenario: the model plus its emitted spec and the
@@ -123,6 +138,7 @@ struct Scenario {
 [[nodiscard]] std::string_view topology_name(Topology t);
 [[nodiscard]] std::string_view period_family_name(PeriodFamily f);
 [[nodiscard]] std::string_view domain_name(DomainPack d);
+[[nodiscard]] std::string_view platform_shape_name(PlatformShape s);
 
 /// Generates the scenario for `options`. Deterministic: equal options
 /// give bit-identical scenarios. The produced model always validates
@@ -138,10 +154,13 @@ struct Scenario {
 /// corpus suite, CI's seed window, and bench_scenario_corpus.
 [[nodiscard]] ScenarioOptions corpus_options(std::uint64_t index);
 
-/// The mapped-corpus convention (ISSUE 9): corpus_options(index) plus a
-/// bus platform whose processor count cycles 2 -> 4 -> 8 with the index
-/// and whose bandwidth doubles every third index. Used by the map
-/// differential suite, the service mapped jobs, and bench_multiproc.
+/// The mapped-corpus convention (ISSUE 9/10): corpus_options(index)
+/// plus a hardware platform whose processor count cycles 2 -> 4 -> 8
+/// with the index and whose bandwidth doubles every third index. Every
+/// eighth index (ISSUE 10) swaps the bus for a ring (index % 8 == 3) or
+/// a partial mesh (index % 8 == 6), so the standing corpus exercises
+/// non-bus route sets. Used by the map differential suite, the service
+/// mapped jobs, the platform-fault chaos sweep, and bench_multiproc.
 [[nodiscard]] ScenarioOptions mapped_corpus_options(std::uint64_t index);
 
 /// Parses a `--gen` scenario-spec string: comma-separated key=value
@@ -150,7 +169,8 @@ struct Scenario {
 /// domain (sensor_fusion|avionics|market_data), seed, elements, width,
 /// density, min_weight, max_weight, pipelinable, constraints, util,
 /// periods (harmonic|near_harmonic|coprime), sporadic, latency_density,
-/// max_ops, processors, link_bandwidth. Unknown keys or malformed
+/// max_ops, processors, link_bandwidth,
+/// platform_shape (bus|ring|partial_mesh). Unknown keys or malformed
 /// values fail with a diagnostic.
 [[nodiscard]] std::optional<ScenarioOptions> parse_scenario_spec(std::string_view text,
                                                                  std::string* error);

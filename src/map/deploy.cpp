@@ -31,9 +31,6 @@ Deployment deploy(const core::GraphModel& input, const Platform& platform,
   // Pipelining happens once, globally, so sub-problems share element ids.
   core::GraphModel model =
       options.local.pipeline ? core::pipeline_model(input).model : input;
-  out.scheduled_model = model;
-  const core::CommGraph& comm = model.comm();
-  const std::size_t m = platform.processors();
 
   // 1. Map.
   std::unique_ptr<Mapper> owned;
@@ -41,12 +38,35 @@ Deployment deploy(const core::GraphModel& input, const Platform& platform,
   if (!mapper) {
     owned = make_mapper(options.mapper, options.seed);
     if (!owned) {
+      out.scheduled_model = std::move(model);
       out.failure_reason = "unknown mapper '" + options.mapper + "'";
       return out;
     }
     mapper = owned.get();
   }
-  out.mapping = mapper->assign(model, platform);
+  Mapping mapping = mapper->assign(model, platform);
+  return deploy_assignment(model, platform, std::move(mapping.assignment), options,
+                           std::move(mapping.mapper));
+}
+
+Deployment deploy_assignment(const core::GraphModel& model, const Platform& platform,
+                             std::vector<ProcId> assignment,
+                             const DeployOptions& options, std::string mapper_name) {
+  Deployment out;
+  out.platform = platform;
+  if (platform.processors() == 0) {
+    out.failure_reason = "zero processors";
+    return out;
+  }
+  out.scheduled_model = model;
+  const core::CommGraph& comm = model.comm();
+  const std::size_t m = platform.processors();
+  out.mapping.assignment = std::move(assignment);
+  out.mapping.mapper = std::move(mapper_name);
+  if (out.mapping.assignment.size() < comm.size()) {
+    out.failure_reason = "assignment does not cover every element";
+    return out;
+  }
 
   // 2. Messages + slot tables.
   std::string why;

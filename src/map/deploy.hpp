@@ -112,4 +112,18 @@ struct Deployment {
 [[nodiscard]] Deployment deploy(const core::GraphModel& model, const Platform& platform,
                                 const DeployOptions& options = {});
 
+/// Steps 3–6 of deploy() for a fixed element→processor assignment:
+/// derive messages and slot tables, split deadlines, synthesize the
+/// per-processor schedules, and verify (shards + seam + witnesses).
+/// `model` is deployed as-is — no pipelining pass runs, so a caller
+/// re-verifying a patched assignment (fault_tolerance's migration
+/// entries) passes the already-pipelined `Deployment::scheduled_model`.
+/// `options.mapper`/`options.custom` are ignored; `mapper_name` only
+/// labels the resulting Mapping.
+[[nodiscard]] Deployment deploy_assignment(const core::GraphModel& model,
+                                           const Platform& platform,
+                                           std::vector<ProcId> assignment,
+                                           const DeployOptions& options = {},
+                                           std::string mapper_name = "fixed");
+
 }  // namespace rtg::map

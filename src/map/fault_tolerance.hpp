@@ -1,0 +1,280 @@
+// fault_tolerance.hpp — k-failure-tolerant deployments, proof-checked
+// migration plans, and degraded-mode communication rescheduling.
+//
+// PR 5 made a *single* processor survive faults: precomputed, proof-
+// checked FailoverTables plus a self-healing executive that measurably
+// dominates a blind baseline. The mapping layer (PR 9) had no fault
+// story at all — a dead processor or link silently voided every proof.
+// This module closes that seam, following the same "re-verify, don't
+// re-solve" design (Kermia; Dong & Liu, PAPERS.md): migration plans are
+// deterministic *patches* of the nominal mapping, and every one is
+// admissibility-checked through the existing machinery — messages
+// re-derived, generalized-TDMA slot tables rebuilt, per-processor
+// schedules re-synthesized, shard verification re-run, and the exact
+// `distributed_latency` seam check re-proved with an independently
+// re-validated GlobalWitness. Nothing is trusted because it "should"
+// still fit; everything executed at run time carries a fresh proof.
+//
+// Three layers:
+//
+//   * PlatformState / apply_state — a snapshot of which processors and
+//     links are down (and how degraded), and the degraded Platform copy
+//     it induces. Link and processor *indices stay stable*: a dead link
+//     keeps its slot in Platform::links but loses its routes, so every
+//     table in flight keeps meaning what it meant.
+//   * deploy_tolerant — produces the nominal deployment plus a standby
+//     (replica) processor per element on a *disjoint* processor, and a
+//     MigrationTable: one proof-checked degraded-platform deployment
+//     per failure set |F| <= k. Inadmissible scenarios are absent from
+//     the table and listed in `uncovered` with the verifier's
+//     diagnostic — the k-tolerance claim is exactly "uncovered is
+//     empty".
+//   * run_deployment_with_faults — a deterministic distributed run
+//     loop: platform fault windows from a core::FaultPlan partition the
+//     horizon into epochs; on each state change the healed policy
+//     switches to the MigrationTable entry (processor loss) and/or
+//     regenerates the slot tables over surviving routes (link loss or
+//     degradation), re-validating every witness it activates; the blind
+//     policy keeps dispatching the nominal deployment. Constraint
+//     windows are scored against the active configuration, giving the
+//     healed-vs-blind differential of E24 (BENCH_platform_faults.json).
+//     All verification funnels through distributed_latency, so the run
+//     is bit-identical at any seam thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/fault_injection.hpp"
+#include "map/deploy.hpp"
+#include "rt/recovery.hpp"
+
+namespace rtg::map {
+
+// ---------------------------------------------------------------------------
+// Platform state
+
+/// Availability and degradation of every platform resource at an
+/// instant. Sizes match the platform (processors / links / links).
+struct PlatformState {
+  std::vector<std::uint8_t> proc_down;
+  std::vector<std::uint8_t> link_down;
+  /// Bandwidth divisor per link, >= 1 (1 = nominal).
+  std::vector<Time> link_factor;
+
+  [[nodiscard]] static PlatformState nominal_for(const Platform& platform);
+  [[nodiscard]] bool nominal() const;
+  /// Sorted indices of down processors.
+  [[nodiscard]] std::vector<ProcId> failed_procs() const;
+  /// True iff any link is down or degraded.
+  [[nodiscard]] bool links_disturbed() const;
+  /// Human-readable summary, e.g. "p1 down; link bus /2".
+  [[nodiscard]] std::string describe(const Platform& platform) const;
+  /// Canonical key for config caching.
+  [[nodiscard]] std::string key() const;
+
+  friend bool operator==(const PlatformState&, const PlatformState&) = default;
+};
+
+/// Platform state at absolute time t under a fault plan (pure function
+/// of the plan — every consumer sees the same state).
+[[nodiscard]] PlatformState platform_state_at(const core::FaultInjector& injector,
+                                              const Platform& platform, Time t);
+
+/// The degraded platform a state induces: down links lose their routes,
+/// every route touching a down processor disappears, degraded links
+/// divide their bandwidth (floor, min 1). Link indices are stable — a
+/// dead link keeps its position with an empty route set.
+[[nodiscard]] Platform apply_state(const Platform& base, const PlatformState& state);
+
+/// Adapter for core's platform-aware fault grammar (procfail/linkfail/
+/// linkdegrade name resolution).
+[[nodiscard]] core::PlatformNames platform_names(const Platform& platform);
+
+// ---------------------------------------------------------------------------
+// Tolerant deployment
+
+struct TolerantOptions {
+  /// Target tolerance: the MigrationTable covers every failure set of
+  /// at most k processors (k is clamped to processors - 1).
+  std::size_t k = 1;
+  /// Options for the nominal deployment and every migration re-proof.
+  DeployOptions deploy;
+  /// Hard cap on enumerated failure scenarios (sum of C(P, i), i<=k);
+  /// exceeding it fails the tolerant deployment explicitly rather than
+  /// silently truncating coverage.
+  std::size_t max_scenarios = 512;
+};
+
+/// One precomputed migration: the proof-checked deployment to switch to
+/// when exactly the processors in `failed` are down.
+struct MigrationEntry {
+  std::vector<ProcId> failed;  ///< sorted, non-empty
+  Deployment deployment;       ///< verified on the degraded platform
+};
+
+/// The cross-processor generalization of rt::FailoverTable: entries are
+/// whole degraded-platform deployments instead of alternate schedules,
+/// and admissibility is the full shard + seam + witness proof instead
+/// of the single-processor phase check. Inadmissible cells are absent.
+struct MigrationTable {
+  std::vector<MigrationEntry> entries;  ///< sorted by `failed`
+
+  [[nodiscard]] const MigrationEntry* find(const std::vector<ProcId>& failed) const;
+  [[nodiscard]] std::size_t size() const { return entries.size(); }
+};
+
+/// A scenario with no admissible migration, and why.
+struct UncoveredScenario {
+  std::vector<ProcId> failed;
+  std::string reason;
+};
+
+struct TolerantDeployment {
+  /// The nominal deployment verified.
+  bool success = false;
+  /// Every failure set |F| <= k has an admissible MigrationTable entry.
+  bool tolerant = false;
+  bool cancelled = false;
+  std::size_t k = 0;
+  std::string failure_reason;
+  Deployment base;
+  /// standby[e] = replica processor for element e, always different
+  /// from the primary (the disjointness the migration patch relies on).
+  std::vector<ProcId> standby;
+  MigrationTable table;
+  std::vector<UncoveredScenario> uncovered;
+  /// Scenarios enumerated (covered + uncovered).
+  std::size_t scenarios = 0;
+};
+
+/// The deterministic migration patch for failure set `failed` (sorted):
+/// each element stays on its live primary, else moves to its live
+/// standby, else to the next live processor scanning up from the
+/// standby. Pure function of its arguments.
+[[nodiscard]] std::vector<ProcId> migrate_assignment(
+    const std::vector<ProcId>& primary, const std::vector<ProcId>& standby,
+    const std::vector<ProcId>& failed, std::size_t processors);
+
+/// Deploys `model` on `platform` and precomputes the MigrationTable for
+/// every failure set of at most options.k processors.
+[[nodiscard]] TolerantDeployment deploy_tolerant(const core::GraphModel& model,
+                                                 const Platform& platform,
+                                                 const TolerantOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Degraded-mode communication rescheduling
+
+/// Outcome of rerouting a deployment's messages over a degraded
+/// platform: fresh message set (surviving routes only), regenerated
+/// slot tables, and the re-proved per-constraint end-to-end latencies
+/// against the *unchanged* processor schedules.
+struct RerouteResult {
+  bool success = false;
+  /// Explicit diagnostic when no feasible reroute exists: the first
+  /// unroutable channel, invalid table, or busted constraint.
+  std::string failure_reason;
+  std::vector<Message> messages;
+  CommSchedule comm;
+  /// Per constraint; nullopt = infinite.
+  std::vector<std::optional<Time>> end_to_end;
+  std::vector<GlobalWitness> witnesses;
+  std::vector<std::size_t> witness_constraint;
+  /// Messages whose link changed relative to the deployment's tables.
+  std::size_t rerouted = 0;
+};
+
+/// Reroutes `deployment`'s channels over `degraded` (an apply_state
+/// output): placement and processor schedules stay fixed; messages are
+/// re-collected, the generalized-TDMA tables rebuilt at the degraded
+/// bandwidths, and every constraint re-proved through the seam check
+/// with witnesses re-validated.
+[[nodiscard]] RerouteResult reroute_messages(const Deployment& deployment,
+                                             const Platform& degraded,
+                                             const SeamOptions& seam = {});
+
+// ---------------------------------------------------------------------------
+// The distributed self-healing run loop
+
+struct FaultRunOptions {
+  /// false = the blind baseline: keep dispatching the nominal
+  /// deployment whatever the platform does.
+  bool heal = true;
+  /// Seam-check fan-out inside the loop; the run (scores, actions,
+  /// fingerprint) is bit-identical at every count.
+  std::size_t seam_threads = 1;
+  /// Slots from a platform event to the new configuration taking
+  /// effect (detection + table swap); the old configuration is scored
+  /// against the new platform state in the gap.
+  Time switch_latency = 1;
+};
+
+/// One maximal interval of constant platform state and configuration.
+struct EpochRecord {
+  enum class Mode : std::uint8_t {
+    kNominal,           ///< nominal deployment, nominal tables
+    kMigrated,          ///< a MigrationTable entry is active
+    kRerouted,          ///< nominal placement, regenerated tables
+    kMigratedRerouted,  ///< both
+    kOutage,            ///< no admissible configuration (uncovered set)
+  };
+
+  Time begin = 0;
+  Time end = 0;
+  PlatformState state;
+  Mode mode = Mode::kNominal;
+  /// Per-constraint verdict of the active configuration on this state.
+  std::vector<std::uint8_t> constraint_ok;
+  std::string detail;
+};
+
+struct PlatformFaultRun {
+  std::vector<EpochRecord> epochs;
+  /// Constraint windows scored / satisfied over the horizon.
+  std::size_t windows_total = 0;
+  std::size_t windows_ok = 0;
+  /// Configuration switches executed (healed mode only).
+  std::size_t migrations = 0;
+  std::size_t reroutes = 0;
+  std::size_t reverts = 0;
+  /// Epochs with no admissible configuration.
+  std::size_t outages = 0;
+  /// Witnesses re-validated when activating configurations, and how
+  /// many failed (always 0 — activation refuses a busted proof).
+  std::size_t proof_checks = 0;
+  std::size_t proof_failures = 0;
+  /// Migrate / reroute / revert log (rt::RecoveryAction records).
+  std::vector<rt::RecoveryAction> actions;
+
+  [[nodiscard]] double success_rate() const {
+    return windows_total == 0
+               ? 1.0
+               : static_cast<double>(windows_ok) / static_cast<double>(windows_total);
+  }
+  /// FNV-1a digest of epochs, verdicts, counters, and the action log —
+  /// the cross-thread determinism pin.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+};
+
+/// Runs the deployment for `horizon` slots under the plan's platform
+/// faults (element-level fault kinds are ignored here — they are the
+/// uniprocessor executives' job). Requires td.success; constraint
+/// windows are scored at the maximum invocation rate. Deterministic:
+/// same inputs, same run, at any seam_threads.
+[[nodiscard]] PlatformFaultRun run_deployment_with_faults(
+    const TolerantDeployment& td, const core::FaultPlan& plan, Time horizon,
+    const FaultRunOptions& options = {});
+
+/// Seeded schedule of platform faults for chaos sweeps and E24: each
+/// processor and link independently fails at the given per-slot rates
+/// (repair after `repair` slots); links may also degrade (factor 2, for
+/// `repair` slots) at `degrade_rate`. Every decision is a pure hash of
+/// (seed, resource, slot) — no generator state, so the plan is
+/// identical however it is consumed.
+[[nodiscard]] core::FaultPlan make_platform_fault_plan(
+    std::uint64_t seed, const Platform& platform, Time horizon, double proc_rate,
+    double link_rate, Time repair, double degrade_rate = 0.0);
+
+}  // namespace rtg::map

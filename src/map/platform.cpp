@@ -86,6 +86,25 @@ Platform Platform::full(std::size_t processors, Time bandwidth) {
   return plat;
 }
 
+Platform Platform::partial_mesh(std::size_t processors, Time bandwidth) {
+  Platform plat = Platform::ring(processors, 2 * bandwidth);
+  for (std::size_t l = 0; l < plat.links.size(); ++l) {
+    plat.links[l].name = label("m", l);
+  }
+  if (processors >= 2) {
+    Link bus;
+    bus.name = "bb";
+    bus.bandwidth = bandwidth;
+    for (ProcId a = 0; a < processors; ++a) {
+      for (ProcId b = 0; b < processors; ++b) {
+        if (a != b) bus.routes.emplace_back(a, b);
+      }
+    }
+    plat.links.push_back(std::move(bus));
+  }
+  return plat;
+}
+
 Platform Platform::ring(std::size_t processors, Time bandwidth) {
   Platform plat;
   plat.processor_names = default_names(processors);

@@ -75,6 +75,13 @@ struct Platform {
   /// Bidirectional ring: link i serves i <-> (i+1) mod P; non-adjacent
   /// processors have no route.
   [[nodiscard]] static Platform ring(std::size_t processors, Time bandwidth = 1);
+  /// Partial mesh: adjacent point-to-point wires ("m0".."m{P-1}", double
+  /// bandwidth) plus a shared fallback bus ("bb") at `bandwidth` serving
+  /// every pair. Adjacent traffic prefers its wire (declaration order);
+  /// every route survives any single wire loss via the bus — the
+  /// redundancy fault_tolerance's reroute path exercises.
+  [[nodiscard]] static Platform partial_mesh(std::size_t processors,
+                                             Time bandwidth = 1);
 
   friend bool operator==(const Platform&, const Platform&) = default;
 };

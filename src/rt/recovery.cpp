@@ -294,6 +294,12 @@ std::string_view recovery_action_name(RecoveryActionKind kind) {
       return "resync";
     case RecoveryActionKind::kFailover:
       return "failover";
+    case RecoveryActionKind::kMigrate:
+      return "migrate";
+    case RecoveryActionKind::kReroute:
+      return "reroute";
+    case RecoveryActionKind::kRevert:
+      return "revert";
   }
   return "?";
 }

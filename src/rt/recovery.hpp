@@ -209,6 +209,11 @@ enum class RecoveryActionKind : std::uint8_t {
   kRetryGaveUp,  ///< retry abandoned after max_retries attempts
   kResync,       ///< drift lag fully absorbed back into the table
   kFailover,     ///< hot switch onto a fallback schedule
+  // Platform-level actions, logged by map::run_deployment_with_faults
+  // (the cross-processor generalization of kFailover):
+  kMigrate,      ///< switch onto a MigrationTable entry (processor loss)
+  kReroute,      ///< regenerated link slot tables (link loss/degrade)
+  kRevert,       ///< back onto the nominal deployment after repair
 };
 
 [[nodiscard]] std::string_view recovery_action_name(RecoveryActionKind kind);

@@ -59,6 +59,11 @@ struct JobRequest {
   /// kMap only: portfolio member ("greedy", "sa", "spd", or a legacy
   /// partition alias); empty means "greedy".
   std::string mapper;
+  /// kMap only: k-failure tolerance target (ISSUE 10). 0 = plain
+  /// deployment; > 0 runs map::deploy_tolerant, so the verdict also
+  /// requires an admissible MigrationTable entry for every failure set
+  /// of at most `tolerate` processors.
+  std::uint64_t tolerate = 0;
 };
 
 struct JobResponse {

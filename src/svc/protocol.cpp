@@ -183,10 +183,12 @@ std::optional<JobRequest> read_request(std::istream& in,
     if (!next_line(in, line, limits)) fail("stream ended inside a REQ frame");
     if (line == "END") break;
     const std::vector<std::string> tokens = split_ws(line);
-    if (tokens.size() == 3 && tokens[0] == "MAP") {
-      // MAP <processors> <mapper> — the mapped-job header line.
+    if ((tokens.size() == 3 || tokens.size() == 4) && tokens[0] == "MAP") {
+      // MAP <processors> <mapper> [tolerate] — the mapped-job header
+      // line; the optional fourth token is the k-tolerance target.
       req.processors = parse_u64(tokens[1], "MAP processors");
       req.mapper = tokens[2];
+      req.tolerate = tokens.size() == 4 ? parse_u64(tokens[3], "MAP tolerate") : 0;
       continue;
     }
     if (tokens.size() != 2) fail("bad section header '" + line + "'");
@@ -217,7 +219,9 @@ void write_request(std::ostream& out, const JobRequest& req) {
       << ' ' << req.deadline_ms << ' ' << (req.exact ? 1 : 0) << '\n';
   if (req.kind == JobKind::kMap) {
     out << "MAP " << req.processors << ' '
-        << (req.mapper.empty() ? "greedy" : req.mapper) << '\n';
+        << (req.mapper.empty() ? "greedy" : req.mapper);
+    if (req.tolerate > 0) out << ' ' << req.tolerate;
+    out << '\n';
   }
   write_section(out, "SPEC", req.spec);
   write_section(out, "SCHED", req.schedule);

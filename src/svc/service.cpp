@@ -11,6 +11,7 @@
 #include "core/pipeline.hpp"
 #include "core/schedule_io.hpp"
 #include "map/deploy.hpp"
+#include "map/fault_tolerance.hpp"
 #include "monitor/streaming_monitor.hpp"
 #include "monitor/trace_io.hpp"
 #include "spec/compile.hpp"
@@ -51,6 +52,7 @@ std::uint64_t cache_key(const JobRequest& req, bool effective_exact) {
   if (req.kind == JobKind::kMap) {
     h.u64(req.processors);
     h.bytes(req.mapper);
+    h.u64(req.tolerate);
   }
   return h.state;
 }
@@ -463,6 +465,38 @@ JobResponse VerifyService::execute(Job& job, bool degraded,
     opts.local.cancel = &job.cancel;
     opts.local.progress = progress;
     opts.seam_threads = options_.verify_threads;
+    if (job.req.tolerate > 0) {
+      // k-tolerant deployment (ISSUE 10): the verdict also demands an
+      // admissible MigrationTable entry for every failure set |F| <= k.
+      map::TolerantOptions topts;
+      topts.k = static_cast<std::size_t>(job.req.tolerate);
+      topts.deploy = opts;
+      const map::TolerantDeployment td = map::deploy_tolerant(model, platform, topts);
+      if (td.cancelled) {
+        rsp.status = JobStatus::kExpired;
+        rsp.detail = "cancelled mid-deployment";
+        return rsp;
+      }
+      if (!td.success && td.failure_reason.rfind("unknown mapper", 0) == 0) {
+        rsp.status = JobStatus::kInvalid;
+        rsp.detail = td.failure_reason;
+        return rsp;
+      }
+      rsp.status = JobStatus::kOk;
+      rsp.verdict = td.success && td.tolerant;
+      if (td.success) {
+        rsp.detail = "deployed on " + std::to_string(platform.processors()) +
+                     " processors via " + opts.mapper + ", k=" +
+                     std::to_string(td.k) + ": " + std::to_string(td.table.size()) +
+                     " of " + std::to_string(td.scenarios) +
+                     " failure scenarios covered" +
+                     (td.tolerant ? "" : " (" + std::to_string(td.uncovered.size()) +
+                                             " uncovered)");
+      } else {
+        rsp.detail = td.failure_reason;
+      }
+      return rsp;
+    }
     const map::Deployment deployment = map::deploy(model, platform, opts);
     if (deployment.cancelled) {
       rsp.status = JobStatus::kExpired;

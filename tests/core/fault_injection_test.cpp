@@ -392,5 +392,122 @@ TEST(FaultInjection, SlotFilterFaultsCyclicExecutiveTraces) {
   EXPECT_TRUE(saw_t1);
 }
 
+// --- Platform faults (ISSUE 10) ----------------------------------------
+
+PlatformNames two_proc_names() {
+  PlatformNames names;
+  names.processors = {"p0", "p1"};
+  names.links = {"bus"};
+  return names;
+}
+
+TEST(FaultInjection, ParsesPlatformFaultPlans) {
+  const GraphModel model = two_constraint_model();
+  const FaultPlanParse parse = parse_fault_plan(
+      "seed 9\n"
+      "procfail p1 at 200 repair 50\n"
+      "linkfail bus at 100 repair 30\n"
+      "linkdegrade bus factor 2 from 0 to 500\n",
+      model, two_proc_names());
+  ASSERT_TRUE(parse.ok()) << (parse.errors.empty() ? "" : parse.errors[0]);
+  ASSERT_EQ(parse.plan->faults.size(), 3u);
+  EXPECT_EQ(parse.plan->faults[0].kind, FaultKind::kProcessorFail);
+  EXPECT_EQ(parse.plan->faults[0].resource, 1u);
+  EXPECT_EQ(parse.plan->faults[0].begin, 200);
+  EXPECT_EQ(parse.plan->faults[0].magnitude, 50);
+  EXPECT_EQ(parse.plan->faults[1].kind, FaultKind::kLinkFail);
+  EXPECT_EQ(parse.plan->faults[1].resource, 0u);
+  EXPECT_EQ(parse.plan->faults[2].kind, FaultKind::kLinkDegrade);
+  EXPECT_EQ(parse.plan->faults[2].magnitude, 2);
+  EXPECT_TRUE(is_platform_fault(parse.plan->faults[0].kind));
+  EXPECT_FALSE(is_platform_fault(FaultKind::kElementFail));
+}
+
+TEST(FaultInjection, PlatformDirectivesNeedAPlatformInScope) {
+  const GraphModel model = two_constraint_model();
+  // No PlatformNames overload: the platform grammar must error, not
+  // silently bind.
+  const FaultPlanParse bare =
+      parse_fault_plan("procfail p0 at 10 repair 5\n", model);
+  ASSERT_FALSE(bare.ok());
+  EXPECT_NE(bare.errors[0].find("no platform in scope"), std::string::npos);
+
+  const FaultPlanParse unknown = parse_fault_plan(
+      "procfail p7 at 10 repair 5\n", model, two_proc_names());
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_NE(unknown.errors[0].find("unknown processor 'p7'"), std::string::npos);
+
+  const FaultPlanParse badlink = parse_fault_plan(
+      "linkfail wire at 10 repair 5\n", model, two_proc_names());
+  ASSERT_FALSE(badlink.ok());
+  EXPECT_NE(badlink.errors[0].find("unknown link 'wire'"), std::string::npos);
+}
+
+TEST(FaultInjection, PlatformDirectivesEnforceTheirClauses) {
+  const GraphModel model = two_constraint_model();
+  // procfail needs at + repair; linkdegrade needs factor.
+  EXPECT_FALSE(parse_fault_plan("procfail p0 at 10\n", model, two_proc_names()).ok());
+  EXPECT_FALSE(
+      parse_fault_plan("linkdegrade bus from 0 to 10\n", model, two_proc_names()).ok());
+  // Validation rejects wildcard resources and zero magnitudes.
+  FaultPlan plan;
+  FaultSpec spec;
+  spec.kind = FaultKind::kProcessorFail;
+  spec.begin = 5;
+  spec.magnitude = 5;
+  plan.faults.push_back(spec);  // resource left at kAnyResource
+  EXPECT_FALSE(validate_fault_plan(plan, model, two_proc_names()).empty());
+  plan.faults[0].resource = 0;
+  EXPECT_TRUE(validate_fault_plan(plan, model, two_proc_names()).empty());
+  plan.faults[0].magnitude = 0;
+  EXPECT_FALSE(validate_fault_plan(plan, model, two_proc_names()).empty());
+}
+
+TEST(FaultInjection, PlatformWindowsAndEventTimes) {
+  const GraphModel model = two_constraint_model();
+  const FaultPlanParse parse = parse_fault_plan(
+      "procfail p1 at 200 repair 50\n"
+      "linkfail bus at 100 repair 30\n"
+      "linkdegrade bus factor 3 from 40 to 60\n"
+      "linkdegrade bus factor 2 from 50 to 70\n",
+      model, two_proc_names());
+  ASSERT_TRUE(parse.ok());
+  const FaultInjector inj(*parse.plan);
+  EXPECT_TRUE(inj.has_platform_faults());
+
+  // Windows are half-open [at, at + repair).
+  EXPECT_FALSE(inj.processor_down(1, 199));
+  EXPECT_TRUE(inj.processor_down(1, 200));
+  EXPECT_TRUE(inj.processor_down(1, 249));
+  EXPECT_FALSE(inj.processor_down(1, 250));
+  EXPECT_FALSE(inj.processor_down(0, 200));
+  EXPECT_TRUE(inj.link_down(0, 100));
+  EXPECT_FALSE(inj.link_down(0, 130));
+
+  // Overlapping degrades multiply.
+  EXPECT_EQ(inj.link_degrade(0, 39), 1);
+  EXPECT_EQ(inj.link_degrade(0, 45), 3);
+  EXPECT_EQ(inj.link_degrade(0, 55), 6);
+  EXPECT_EQ(inj.link_degrade(0, 65), 2);
+  EXPECT_EQ(inj.link_degrade(0, 70), 1);
+
+  const std::vector<Time> events = inj.platform_event_times(1000);
+  const std::vector<Time> expected = {40, 50, 60, 70, 100, 130, 200, 250};
+  EXPECT_EQ(events, expected);
+  // Clipped to (0, horizon).
+  const std::vector<Time> clipped = inj.platform_event_times(120);
+  const std::vector<Time> expected_clipped = {40, 50, 60, 70, 100};
+  EXPECT_EQ(clipped, expected_clipped);
+
+  // The oracle is stateless: a second injector over the same plan
+  // agrees everywhere.
+  const FaultInjector again(*parse.plan);
+  for (Time t = 0; t < 300; ++t) {
+    ASSERT_EQ(inj.processor_down(1, t), again.processor_down(1, t)) << t;
+    ASSERT_EQ(inj.link_degrade(0, t), again.link_degrade(0, t)) << t;
+  }
+  EXPECT_EQ(again.platform_event_times(1000), events);
+}
+
 }  // namespace
 }  // namespace rtg::core

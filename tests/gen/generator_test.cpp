@@ -220,6 +220,85 @@ TEST(GenSpecString, RoundTripsThroughTheParser) {
   }
 }
 
+TEST(Generator, PlatformShapesChangeHardwareNotTheModel) {
+  ScenarioOptions options;
+  options.seed = 11;
+  options.processors = 4;
+
+  ScenarioOptions ring = options;
+  ring.platform_shape = PlatformShape::kRing;
+  ScenarioOptions mesh = options;
+  mesh.platform_shape = PlatformShape::kPartialMesh;
+
+  const Scenario bus_s = generate(options);
+  const Scenario ring_s = generate(ring);
+  const Scenario mesh_s = generate(mesh);
+
+  // The shape is a pure function of the knobs: the software model is
+  // untouched (no RNG perturbation), only the hardware preamble moves.
+  EXPECT_EQ(bus_s.model.comm().size(), ring_s.model.comm().size());
+  EXPECT_EQ(bus_s.model.constraint_count(), mesh_s.model.constraint_count());
+
+  ASSERT_TRUE(bus_s.hardware.has_value());
+  ASSERT_TRUE(ring_s.hardware.has_value());
+  ASSERT_TRUE(mesh_s.hardware.has_value());
+  EXPECT_EQ(bus_s.hardware->links.size(), 1u);
+  EXPECT_EQ(ring_s.hardware->links.size(), 4u);   // one wire per adjacency
+  EXPECT_EQ(mesh_s.hardware->links.size(), 5u);   // wires + fallback bus
+  EXPECT_EQ(mesh_s.hardware->links.back().name, "bb");
+
+  // The emitted spec's link lines cover the shape, so fingerprints
+  // distinguish all three automatically; names carry the suffix.
+  EXPECT_NE(bus_s.fingerprint, ring_s.fingerprint);
+  EXPECT_NE(bus_s.fingerprint, mesh_s.fingerprint);
+  EXPECT_NE(ring_s.fingerprint, mesh_s.fingerprint);
+  EXPECT_NE(ring_s.name.find("r"), std::string::npos);
+  EXPECT_NE(mesh_s.name, bus_s.name);
+}
+
+TEST(Generator, MappedCorpusExercisesNonBusShapes) {
+  bool saw_ring = false, saw_mesh = false, saw_bus = false;
+  for (std::uint64_t index = 0; index < 24; ++index) {
+    const ScenarioOptions options = mapped_corpus_options(index);
+    ASSERT_GT(options.processors, 0u);
+    if (index % 8 == 3) {
+      EXPECT_EQ(options.platform_shape, PlatformShape::kRing) << index;
+      saw_ring = true;
+    } else if (index % 8 == 6) {
+      EXPECT_EQ(options.platform_shape, PlatformShape::kPartialMesh) << index;
+      saw_mesh = true;
+    } else {
+      EXPECT_EQ(options.platform_shape, PlatformShape::kBus) << index;
+      saw_bus = true;
+    }
+  }
+  EXPECT_TRUE(saw_ring);
+  EXPECT_TRUE(saw_mesh);
+  EXPECT_TRUE(saw_bus);
+}
+
+TEST(GenSpecString, PlatformShapeRoundTripsAndRejectsBadValues) {
+  ScenarioOptions options;
+  options.seed = 3;
+  options.processors = 4;
+  options.platform_shape = PlatformShape::kPartialMesh;
+  const std::string text = scenario_spec_string(options);
+  EXPECT_NE(text.find("platform_shape=partial_mesh"), std::string::npos);
+  std::string error;
+  const std::optional<ScenarioOptions> parsed = parse_scenario_spec(text, &error);
+  ASSERT_TRUE(parsed.has_value()) << error;
+  EXPECT_EQ(parsed->platform_shape, PlatformShape::kPartialMesh);
+  EXPECT_EQ(generate(*parsed).fingerprint, generate(options).fingerprint);
+
+  // Bus is the default and stays *out* of the spec string, so every
+  // pre-ISSUE-10 repro line parses to the same scenario.
+  options.platform_shape = PlatformShape::kBus;
+  EXPECT_EQ(scenario_spec_string(options).find("platform_shape"), std::string::npos);
+
+  EXPECT_FALSE(parse_scenario_spec("platform_shape=torus", &error));
+  EXPECT_NE(error.find("platform_shape"), std::string::npos);
+}
+
 TEST(GenSpecString, RejectsMalformedInput) {
   std::string error;
   EXPECT_FALSE(parse_scenario_spec("topology=moebius", &error));

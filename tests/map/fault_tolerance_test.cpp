@@ -1,0 +1,467 @@
+// Platform fault tolerance (ISSUE 10): the MigrationTable's exhaustive
+// admissibility contract (every entry re-proves through check_witness
+// and the seam check; inadmissible cells are absent, not silently
+// covered), degraded-mode rerouting over surviving routes, and the
+// self-healing run loop's determinism and healed-vs-blind dominance.
+#include "map/fault_tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "map/verify.hpp"
+
+namespace rtg::map {
+namespace {
+
+using core::ConstraintKind;
+using core::GraphModel;
+using core::OpId;
+using core::TaskGraph;
+using core::TimingConstraint;
+
+// A slack chain: 6 unit-weight elements, one asynchronous end-to-end
+// constraint with enough deadline headroom that every migration down to
+// a single surviving processor stays feasible.
+GraphModel slack_chain() {
+  core::CommGraph g;
+  for (std::size_t i = 0; i < 6; ++i) {
+    g.add_element("e" + std::to_string(i), 1);
+  }
+  for (std::size_t i = 0; i + 1 < 6; ++i) g.add_channel(i, i + 1);
+  GraphModel model(g);
+  TaskGraph tg;
+  OpId prev = tg.add_op(0);
+  for (std::size_t i = 1; i < 6; ++i) {
+    const OpId next = tg.add_op(i);
+    tg.add_dep(prev, next);
+    prev = next;
+  }
+  model.add_constraint(
+      TimingConstraint{"flow", std::move(tg), 60, 60, ConstraintKind::kAsynchronous});
+  return model;
+}
+
+// Three independent weight-3 period-15 elements: any one processor can
+// serve two of them, but all three overrun the per-processor EDF
+// demand bound — so on a 3-processor bus every single failure migrates
+// while every double failure is provably inadmissible.
+GraphModel saturating_trio() {
+  core::CommGraph g;
+  g.add_element("a", 3);
+  g.add_element("b", 3);
+  g.add_element("c", 3);
+  GraphModel model(g);
+  for (core::ElementId e = 0; e < 3; ++e) {
+    TaskGraph tg;
+    tg.add_op(e);
+    model.add_constraint(TimingConstraint{std::string(1, char('A' + e)), std::move(tg),
+                                          15, 15});
+  }
+  return model;
+}
+
+// Chain of 4 on two processors with an alternating assignment — three
+// cross-processor channels, so the reroute path has real messages to
+// move.
+Deployment alternating_on(const Platform& platform) {
+  core::CommGraph g;
+  for (std::size_t i = 0; i < 4; ++i) {
+    g.add_element("e" + std::to_string(i), 1);
+  }
+  for (std::size_t i = 0; i + 1 < 4; ++i) g.add_channel(i, i + 1);
+  GraphModel model(g);
+  TaskGraph tg;
+  OpId prev = tg.add_op(0);
+  for (std::size_t i = 1; i < 4; ++i) {
+    const OpId next = tg.add_op(i);
+    tg.add_dep(prev, next);
+    prev = next;
+  }
+  model.add_constraint(
+      TimingConstraint{"flow", std::move(tg), 48, 48, ConstraintKind::kAsynchronous});
+  return deploy_assignment(model, platform, {0, 1, 0, 1});
+}
+
+std::vector<std::vector<ProcId>> all_failure_sets(std::size_t procs, std::size_t k) {
+  std::vector<std::vector<ProcId>> out;
+  for (std::uint32_t mask = 1; mask < (1u << procs); ++mask) {
+    std::vector<ProcId> failed;
+    for (std::size_t p = 0; p < procs; ++p) {
+      if (mask & (1u << p)) failed.push_back(p);
+    }
+    if (failed.size() <= k) out.push_back(failed);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// --- Platform state ----------------------------------------------------
+
+TEST(PlatformState, ApplyStateDegradesWithStableIndices) {
+  const Platform pm = Platform::partial_mesh(3, 2);
+  ASSERT_EQ(pm.links.size(), 4u);  // m0 m1 m2 + fallback bus bb
+  PlatformState state = PlatformState::nominal_for(pm);
+  EXPECT_TRUE(state.nominal());
+
+  state.link_down[0] = 1;    // kill wire m0
+  state.link_factor[3] = 2;  // halve the fallback bus
+  EXPECT_FALSE(state.nominal());
+  EXPECT_TRUE(state.links_disturbed());
+  EXPECT_TRUE(state.failed_procs().empty());
+
+  const Platform degraded = apply_state(pm, state);
+  ASSERT_EQ(degraded.links.size(), pm.links.size());
+  EXPECT_EQ(degraded.links[0].name, pm.links[0].name);
+  EXPECT_TRUE(degraded.links[0].routes.empty());       // dead, slot kept
+  EXPECT_FALSE(degraded.links[1].routes.empty());      // untouched wire
+  EXPECT_EQ(degraded.links[3].bandwidth, pm.links[3].bandwidth / 2);
+
+  state.proc_down[1] = 1;
+  const Platform one_down = apply_state(pm, state);
+  EXPECT_EQ(one_down.processors(), pm.processors());
+  for (const Link& link : one_down.links) {
+    for (const auto& [from, to] : link.routes) {
+      EXPECT_NE(from, 1u);
+      EXPECT_NE(to, 1u);
+    }
+  }
+}
+
+TEST(PlatformState, MigrateAssignmentPatchesDeterministically) {
+  const std::vector<ProcId> primary = {0, 1, 2, 1};
+  const std::vector<ProcId> standby = {1, 2, 0, 0};
+  // p1 dies: e1 -> its standby p2, e3 -> its standby p0.
+  EXPECT_EQ(migrate_assignment(primary, standby, {1}, 3),
+            (std::vector<ProcId>{0, 2, 2, 0}));
+  // p1 and p2 die: e1's standby is dead too — scan up from it to p0.
+  EXPECT_EQ(migrate_assignment(primary, standby, {1, 2}, 3),
+            (std::vector<ProcId>{0, 0, 0, 0}));
+  // Pure function: same inputs, same output.
+  EXPECT_EQ(migrate_assignment(primary, standby, {1}, 3),
+            migrate_assignment(primary, standby, {1}, 3));
+}
+
+// --- MigrationTable admissibility (exhaustive) -------------------------
+
+TEST(TolerantDeploy, EveryMigrationEntryReprovesExhaustively) {
+  const GraphModel model = slack_chain();
+  const Platform platform = Platform::bus(3);
+  TolerantOptions options;
+  options.k = 2;
+  const TolerantDeployment td = deploy_tolerant(model, platform, options);
+  ASSERT_TRUE(td.success) << td.failure_reason;
+  EXPECT_TRUE(td.tolerant) << td.failure_reason;
+  EXPECT_EQ(td.k, 2u);
+
+  // Standby replicas live on disjoint processors from their primaries.
+  ASSERT_EQ(td.standby.size(), td.base.mapping.assignment.size());
+  for (std::size_t e = 0; e < td.standby.size(); ++e) {
+    EXPECT_NE(td.standby[e], td.base.mapping.assignment[e]) << "element " << e;
+  }
+
+  // Brute force over every failure set |F| <= k: the table holds
+  // exactly the admissible ones, and each entry independently re-proves
+  // through the seam check and the witness validator.
+  const std::vector<std::vector<ProcId>> sets = all_failure_sets(3, 2);
+  EXPECT_EQ(td.scenarios, sets.size());
+  for (const std::vector<ProcId>& failed : sets) {
+    const MigrationEntry* entry = td.table.find(failed);
+    ASSERT_NE(entry, nullptr) << "failure set of size " << failed.size();
+    const Deployment& d = entry->deployment;
+    ASSERT_TRUE(d.success);
+    EXPECT_EQ(entry->failed, failed);
+
+    // The patched assignment avoids every dead processor and matches
+    // the deterministic migration patch.
+    EXPECT_EQ(d.mapping.assignment,
+              migrate_assignment(td.base.mapping.assignment, td.standby, failed, 3));
+    for (const ProcId p : d.mapping.assignment) {
+      EXPECT_FALSE(std::binary_search(failed.begin(), failed.end(), p));
+    }
+
+    // Independent recomputation: the exact seam latency of every
+    // constraint on the entry's schedules meets its deadline.
+    for (std::size_t i = 0; i < d.scheduled_model.constraint_count(); ++i) {
+      const TimingConstraint& c = d.scheduled_model.constraint(i);
+      const std::optional<Time> latency = distributed_latency(
+          c.task_graph, d.processor_schedules, d.mapping.assignment, d.comm);
+      ASSERT_TRUE(latency.has_value()) << c.name;
+      EXPECT_LE(*latency, c.deadline) << c.name;
+      ASSERT_LT(i, d.end_to_end.size());
+      EXPECT_EQ(*latency, *d.end_to_end[i]) << c.name;
+    }
+    // Every shipped witness re-validates from the raw tables.
+    ASSERT_FALSE(d.witnesses.empty());
+    for (std::size_t w = 0; w < d.witnesses.size(); ++w) {
+      const TimingConstraint& c = d.scheduled_model.constraint(d.witness_constraint[w]);
+      const std::optional<std::string> flaw = check_witness(
+          c.task_graph, d.processor_schedules, d.mapping.assignment, d.comm, d.witnesses[w]);
+      EXPECT_FALSE(flaw.has_value()) << c.name << ": " << *flaw;
+    }
+  }
+}
+
+TEST(TolerantDeploy, InadmissibleCellsAreAbsentAndDiagnosed) {
+  const GraphModel model = saturating_trio();
+  const Platform platform = Platform::bus(3);
+  TolerantOptions options;
+  options.k = 2;
+  const TolerantDeployment td = deploy_tolerant(model, platform, options);
+  ASSERT_TRUE(td.success) << td.failure_reason;
+  EXPECT_FALSE(td.tolerant);
+
+  // Single failures migrate (two elements share a processor); every
+  // double failure piles all three onto one processor, overruns the
+  // demand bound, and must be *absent* from the table, with a
+  // diagnostic.
+  const std::vector<std::vector<ProcId>> sets = all_failure_sets(3, 2);
+  for (const std::vector<ProcId>& failed : sets) {
+    const MigrationEntry* entry = td.table.find(failed);
+    if (failed.size() == 1) {
+      EXPECT_NE(entry, nullptr);
+    } else {
+      EXPECT_EQ(entry, nullptr);
+      const auto uncovered = std::find_if(
+          td.uncovered.begin(), td.uncovered.end(),
+          [&](const UncoveredScenario& u) { return u.failed == failed; });
+      ASSERT_NE(uncovered, td.uncovered.end());
+      EXPECT_NE(uncovered->reason.find("inadmissible"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(td.table.size() + td.uncovered.size(), td.scenarios);
+  EXPECT_FALSE(td.failure_reason.empty());
+}
+
+TEST(TolerantDeploy, ScenarioBudgetFailsLoudly) {
+  const GraphModel model = slack_chain();
+  TolerantOptions options;
+  options.k = 2;
+  options.max_scenarios = 2;  // C(3,1) + C(3,2) = 6 > 2
+  const TolerantDeployment td = deploy_tolerant(model, Platform::bus(3), options);
+  EXPECT_TRUE(td.success);
+  EXPECT_FALSE(td.tolerant);
+  EXPECT_NE(td.failure_reason.find("scenario budget"), std::string::npos);
+}
+
+// --- Degraded-mode rerouting -------------------------------------------
+
+TEST(Reroute, MovesMessagesToSurvivingRoutesAndReproves) {
+  const Platform pm = Platform::partial_mesh(2);
+  const Deployment d = alternating_on(pm);
+  ASSERT_TRUE(d.success) << d.failure_reason;
+  ASSERT_FALSE(d.messages.empty());
+
+  // Kill the wire; the fallback bus must absorb every channel.
+  PlatformState state = PlatformState::nominal_for(pm);
+  state.link_down[0] = 1;
+  const Platform degraded = apply_state(pm, state);
+  const RerouteResult r = reroute_messages(d, degraded);
+  ASSERT_TRUE(r.success) << r.failure_reason;
+  EXPECT_EQ(r.messages.size(), d.messages.size());
+  EXPECT_GT(r.rerouted, 0u);
+  for (const Message& m : r.messages) {
+    EXPECT_FALSE(degraded.links[m.link].routes.empty());
+  }
+  // The re-proof stands on its own: witnesses validate against the
+  // unchanged processor schedules and the regenerated tables.
+  ASSERT_FALSE(r.witnesses.empty());
+  for (std::size_t w = 0; w < r.witnesses.size(); ++w) {
+    const TimingConstraint& c = d.scheduled_model.constraint(r.witness_constraint[w]);
+    const std::optional<std::string> flaw =
+        check_witness(c.task_graph, d.processor_schedules, d.mapping.assignment, r.comm,
+                      r.witnesses[w]);
+    EXPECT_FALSE(flaw.has_value()) << c.name << ": " << *flaw;
+  }
+  for (std::size_t i = 0; i < d.scheduled_model.constraint_count(); ++i) {
+    ASSERT_TRUE(r.end_to_end[i].has_value());
+    EXPECT_LE(*r.end_to_end[i], d.scheduled_model.constraint(i).deadline);
+  }
+}
+
+TEST(Reroute, RejectsWithExplicitDiagnosticWhenNoRouteSurvives) {
+  const Platform bus = Platform::bus(2);
+  const Deployment d = alternating_on(bus);
+  ASSERT_TRUE(d.success) << d.failure_reason;
+
+  PlatformState state = PlatformState::nominal_for(bus);
+  state.link_down[0] = 1;  // the only link
+  const RerouteResult r = reroute_messages(d, apply_state(bus, state));
+  EXPECT_FALSE(r.success);
+  EXPECT_NE(r.failure_reason.find("no feasible reroute"), std::string::npos);
+}
+
+// --- The self-healing run loop -----------------------------------------
+
+core::FaultPlan demo_plan(const Platform& platform, const GraphModel& model) {
+  const core::FaultPlanParse parse = core::parse_fault_plan(
+      "seed 7\n"
+      "procfail p1 at 40 repair 30\n"
+      "linkdegrade bus factor 2 from 90 to 120\n",
+      model, platform_names(platform));
+  EXPECT_TRUE(parse.ok()) << (parse.errors.empty() ? "" : parse.errors[0]);
+  return *parse.plan;
+}
+
+TEST(FaultRun, HealedRunMigratesRevertsAndDominatesBlind) {
+  const GraphModel model = slack_chain();
+  const Platform platform = Platform::bus(3);
+  const TolerantDeployment td = deploy_tolerant(model, platform, {});
+  ASSERT_TRUE(td.success) << td.failure_reason;
+  ASSERT_TRUE(td.tolerant) << td.failure_reason;
+
+  const core::FaultPlan plan = demo_plan(platform, model);
+  FaultRunOptions options;
+  const PlatformFaultRun healed = run_deployment_with_faults(td, plan, 240, options);
+  options.heal = false;
+  const PlatformFaultRun blind = run_deployment_with_faults(td, plan, 240, options);
+
+  EXPECT_GE(healed.migrations, 1u);
+  EXPECT_GE(healed.reverts, 1u);
+  EXPECT_GT(healed.proof_checks, 0u);
+  EXPECT_EQ(healed.proof_failures, 0u);
+  EXPECT_EQ(healed.outages, 0u);
+  EXPECT_FALSE(healed.actions.empty());
+  // Blind executes nothing and proves nothing.
+  EXPECT_EQ(blind.migrations + blind.reroutes + blind.reverts, 0u);
+  EXPECT_TRUE(blind.actions.empty());
+
+  // Same horizon partitioning, healed never below blind.
+  EXPECT_EQ(healed.windows_total, blind.windows_total);
+  EXPECT_GE(healed.windows_ok, blind.windows_ok);
+  EXPECT_GE(healed.success_rate(), blind.success_rate());
+
+  // Epochs tile [0, horizon) exactly.
+  ASSERT_FALSE(healed.epochs.empty());
+  EXPECT_EQ(healed.epochs.front().begin, 0);
+  EXPECT_EQ(healed.epochs.back().end, 240);
+  for (std::size_t i = 0; i + 1 < healed.epochs.size(); ++i) {
+    EXPECT_EQ(healed.epochs[i].end, healed.epochs[i + 1].begin);
+  }
+
+  // The action log uses the platform-level recovery kinds.
+  bool saw_migrate = false, saw_revert = false;
+  for (const rt::RecoveryAction& a : healed.actions) {
+    saw_migrate |= a.kind == rt::RecoveryActionKind::kMigrate;
+    saw_revert |= a.kind == rt::RecoveryActionKind::kRevert;
+  }
+  EXPECT_TRUE(saw_migrate);
+  EXPECT_TRUE(saw_revert);
+}
+
+TEST(FaultRun, BitIdenticalAcrossSeamThreadCounts) {
+  const GraphModel model = slack_chain();
+  const Platform platform = Platform::bus(3);
+  const TolerantDeployment td = deploy_tolerant(model, platform, {});
+  ASSERT_TRUE(td.success) << td.failure_reason;
+  const core::FaultPlan plan = demo_plan(platform, model);
+
+  FaultRunOptions options;
+  options.seam_threads = 1;
+  const PlatformFaultRun one = run_deployment_with_faults(td, plan, 240, options);
+  options.seam_threads = 2;
+  const PlatformFaultRun two = run_deployment_with_faults(td, plan, 240, options);
+  options.seam_threads = 4;
+  const PlatformFaultRun four = run_deployment_with_faults(td, plan, 240, options);
+
+  EXPECT_EQ(one.fingerprint(), two.fingerprint());
+  EXPECT_EQ(one.fingerprint(), four.fingerprint());
+  EXPECT_EQ(one.windows_ok, four.windows_ok);
+  EXPECT_EQ(one.epochs.size(), four.epochs.size());
+  for (std::size_t i = 0; i < one.epochs.size(); ++i) {
+    EXPECT_EQ(one.epochs[i].mode, four.epochs[i].mode) << i;
+    EXPECT_EQ(one.epochs[i].constraint_ok, four.epochs[i].constraint_ok) << i;
+  }
+  // And re-running the same configuration is a fixed point.
+  options.seam_threads = 1;
+  const PlatformFaultRun again = run_deployment_with_faults(td, plan, 240, options);
+  EXPECT_EQ(one.fingerprint(), again.fingerprint());
+}
+
+TEST(FaultRun, AdoptsTheRerouteWhenTheMessagesLinkDies) {
+  // Kill exactly the wire the deployment's messages ride: the kept
+  // tables break, the fallback bus absorbs the channels, and the healed
+  // loop must adopt the proved reroute while blind keeps losing every
+  // crossing window.
+  const Platform pm = Platform::partial_mesh(2);
+  TolerantDeployment td;
+  td.base = alternating_on(pm);
+  ASSERT_TRUE(td.base.success) << td.base.failure_reason;
+  ASSERT_FALSE(td.base.messages.empty());
+  td.success = true;
+  td.tolerant = true;
+
+  const std::size_t wire = td.base.messages.front().link;
+  const core::FaultPlanParse parse = core::parse_fault_plan(
+      "linkfail " + pm.links[wire].name + " at 48 repair 96\n",
+      td.base.scheduled_model, platform_names(pm));
+  ASSERT_TRUE(parse.ok()) << (parse.errors.empty() ? "" : parse.errors[0]);
+
+  FaultRunOptions options;
+  const PlatformFaultRun healed = run_deployment_with_faults(td, *parse.plan, 240, options);
+  options.heal = false;
+  const PlatformFaultRun blind = run_deployment_with_faults(td, *parse.plan, 240, options);
+
+  EXPECT_GE(healed.reroutes, 1u);
+  EXPECT_EQ(healed.proof_failures, 0u);
+  EXPECT_GT(healed.proof_checks, 0u);
+  bool saw_rerouted_epoch = false;
+  for (const EpochRecord& e : healed.epochs) {
+    saw_rerouted_epoch |= e.mode == EpochRecord::Mode::kRerouted;
+  }
+  EXPECT_TRUE(saw_rerouted_epoch);
+  // Strict dominance: the outage window is long enough that blind
+  // loses crossing windows healed keeps.
+  EXPECT_GT(healed.windows_ok, blind.windows_ok);
+}
+
+TEST(FaultRun, UncoveredFailureSetDegradesToOutageNeverBelowBlind) {
+  const GraphModel model = saturating_trio();
+  const Platform platform = Platform::bus(3);
+  TolerantOptions topts;
+  topts.k = 1;
+  const TolerantDeployment td = deploy_tolerant(model, platform, topts);
+  ASSERT_TRUE(td.success) << td.failure_reason;
+
+  // Two simultaneous processor failures exceed k=1: the healed loop
+  // must record an outage epoch, not fabricate an unproved config.
+  const core::FaultPlanParse parse = core::parse_fault_plan(
+      "procfail p0 at 40 repair 40\n"
+      "procfail p1 at 50 repair 40\n",
+      model, platform_names(platform));
+  ASSERT_TRUE(parse.ok());
+
+  FaultRunOptions options;
+  const PlatformFaultRun healed = run_deployment_with_faults(td, *parse.plan, 200, options);
+  options.heal = false;
+  const PlatformFaultRun blind = run_deployment_with_faults(td, *parse.plan, 200, options);
+  EXPECT_GT(healed.outages, 0u);
+  EXPECT_EQ(healed.proof_failures, 0u);
+  EXPECT_GE(healed.windows_ok, blind.windows_ok);
+}
+
+TEST(FaultRun, SeededPlatformPlansAreDeterministic) {
+  const Platform platform = Platform::partial_mesh(4);
+  const core::FaultPlan a = make_platform_fault_plan(17, platform, 2000, 0.001, 0.001,
+                                                     50, 0.001);
+  const core::FaultPlan b = make_platform_fault_plan(17, platform, 2000, 0.001, 0.001,
+                                                     50, 0.001);
+  EXPECT_EQ(a, b);
+  for (const core::FaultSpec& f : a.faults) {
+    EXPECT_TRUE(core::is_platform_fault(f.kind));
+    const std::size_t bound = f.kind == core::FaultKind::kProcessorFail
+                                  ? platform.processors()
+                                  : platform.links.size();
+    EXPECT_LT(f.resource, bound);
+    EXPECT_GE(f.magnitude, 1);
+  }
+  const core::FaultPlan c = make_platform_fault_plan(18, platform, 2000, 0.001, 0.001,
+                                                     50, 0.001);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace rtg::map

@@ -1,0 +1,98 @@
+// The platform-fault chaos sweep (ISSUE 10): seeded processor/link
+// failure schedules over the 64-seed mapped corpus. For every seed that
+// deploys, the healed run loop must (a) never score below the blind
+// baseline, (b) proof-check every configuration it activates with zero
+// failures, and (c) stay bit-identical across seam thread counts on a
+// deterministic slice of the sweep. This is the CI asan-faults /
+// tsan-job entry point for the fault-tolerance layer.
+#include "map/fault_tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+
+namespace rtg::map {
+namespace {
+
+constexpr std::uint64_t kSeeds = 64;
+constexpr core::Time kHorizon = 600;
+
+TEST(PlatformChaos, HealedDominatesBlindAcrossTheMappedCorpus) {
+  std::size_t deployed = 0;
+  std::size_t disturbed = 0;
+  std::size_t proof_checks = 0;
+  for (std::uint64_t seed = 0; seed < kSeeds; ++seed) {
+    const gen::Scenario scenario = gen::generate(gen::mapped_corpus_options(seed));
+    ASSERT_TRUE(scenario.hardware.has_value()) << "seed " << seed;
+
+    TolerantOptions topts;
+    topts.k = 1;
+    const TolerantDeployment td =
+        deploy_tolerant(scenario.model, *scenario.hardware, topts);
+    if (!td.success) continue;  // nominally infeasible corpus entries
+    ++deployed;
+
+    const core::FaultPlan plan = make_platform_fault_plan(
+        seed * 2654435761u + 1, *scenario.hardware, kHorizon,
+        /*proc_rate=*/0.004, /*link_rate=*/0.002, /*repair=*/60,
+        /*degrade_rate=*/0.002);
+
+    FaultRunOptions options;
+    const PlatformFaultRun healed =
+        run_deployment_with_faults(td, plan, kHorizon, options);
+    options.heal = false;
+    const PlatformFaultRun blind =
+        run_deployment_with_faults(td, plan, kHorizon, options);
+
+    EXPECT_EQ(healed.windows_total, blind.windows_total) << "seed " << seed;
+    EXPECT_GE(healed.windows_ok, blind.windows_ok) << "seed " << seed;
+    EXPECT_EQ(healed.proof_failures, 0u) << "seed " << seed;
+    proof_checks += healed.proof_checks;
+    if (healed.migrations + healed.reroutes > 0) ++disturbed;
+
+    // Epochs partition the horizon on both policies.
+    ASSERT_FALSE(healed.epochs.empty()) << "seed " << seed;
+    EXPECT_EQ(healed.epochs.front().begin, 0) << "seed " << seed;
+    EXPECT_EQ(healed.epochs.back().end, kHorizon) << "seed " << seed;
+  }
+  // The sweep must exercise the machinery, not vacuously skip it: most
+  // corpus entries deploy, the fault rates actually disturb a good
+  // fraction of them, and activations carried proofs.
+  EXPECT_GE(deployed, kSeeds / 4);
+  EXPECT_GE(disturbed, deployed / 4);
+  EXPECT_GT(proof_checks, 0u);
+}
+
+TEST(PlatformChaos, DeterministicAcrossSeamThreadsOnASlice) {
+  // Thread-identity on every 8th seed keeps the sweep affordable under
+  // TSan while still crossing bus, ring, and partial-mesh shapes
+  // (mapped_corpus_options swaps shape at index % 8 == 3 and 6).
+  for (std::uint64_t seed = 0; seed < kSeeds; seed += 8) {
+    for (const std::uint64_t shape_seed : {seed + 3, seed + 6, seed}) {
+      const gen::Scenario scenario =
+          gen::generate(gen::mapped_corpus_options(shape_seed));
+      ASSERT_TRUE(scenario.hardware.has_value());
+      TolerantOptions topts;
+      topts.k = 1;
+      const TolerantDeployment td =
+          deploy_tolerant(scenario.model, *scenario.hardware, topts);
+      if (!td.success) continue;
+      const core::FaultPlan plan = make_platform_fault_plan(
+          shape_seed + 99, *scenario.hardware, kHorizon, 0.004, 0.002, 60, 0.002);
+
+      FaultRunOptions options;
+      options.seam_threads = 1;
+      const PlatformFaultRun one = run_deployment_with_faults(td, plan, kHorizon, options);
+      options.seam_threads = 2;
+      const PlatformFaultRun two = run_deployment_with_faults(td, plan, kHorizon, options);
+      options.seam_threads = 4;
+      const PlatformFaultRun four =
+          run_deployment_with_faults(td, plan, kHorizon, options);
+      EXPECT_EQ(one.fingerprint(), two.fingerprint()) << "seed " << shape_seed;
+      EXPECT_EQ(one.fingerprint(), four.fingerprint()) << "seed " << shape_seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rtg::map

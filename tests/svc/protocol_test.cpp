@@ -175,5 +175,36 @@ TEST(Protocol, MapRequestRoundTrip) {
   EXPECT_NE(out2.str().find("MAP 4 greedy\n"), std::string::npos) << out2.str();
 }
 
+TEST(Protocol, MapTolerateRoundTripsAndStaysByteCompatible) {
+  JobRequest req;
+  req.id = 10;
+  req.tenant = "acme";
+  req.kind = JobKind::kMap;
+  req.processors = 3;
+  req.mapper = "greedy";
+  req.tolerate = 2;
+  req.spec = "element a\n";
+
+  std::ostringstream out;
+  write_request(out, req);
+  EXPECT_NE(out.str().find("MAP 3 greedy 2\n"), std::string::npos) << out.str();
+  std::istringstream in(out.str());
+  const auto got = read_request(in);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->tolerate, 2u);
+
+  // tolerate=0 is the pre-fault-tolerance wire shape: the fourth token
+  // is omitted so old peers keep parsing the line.
+  JobRequest plain = req;
+  plain.tolerate = 0;
+  std::ostringstream out2;
+  write_request(out2, plain);
+  EXPECT_NE(out2.str().find("MAP 3 greedy\n"), std::string::npos) << out2.str();
+  std::istringstream in2(out2.str());
+  const auto legacy = read_request(in2);
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->tolerate, 0u);
+}
+
 }  // namespace
 }  // namespace rtg::svc

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <future>
@@ -457,6 +458,75 @@ TEST(VerifyService, MapJobsAreCachedPerMapperAndProcessorCount) {
   const JobResponse sa = service.submit(map_request(4, 2, "sa")).get();
   EXPECT_FALSE(sa.cached);
   service.shutdown();
+}
+
+TEST(VerifyService, MapJobTolerateReportsScenarioCoverage) {
+  ServiceOptions options;
+  options.workers = 1;
+  VerifyService service(options);
+  JobRequest req = map_request(1, 3, "greedy");
+  req.tolerate = 1;
+  const JobResponse rsp = service.submit(std::move(req)).get();
+  service.shutdown();
+  ASSERT_EQ(rsp.status, JobStatus::kOk) << rsp.detail;
+  EXPECT_NE(rsp.detail.find("k=1"), std::string::npos) << rsp.detail;
+  EXPECT_NE(rsp.detail.find("failure scenarios covered"), std::string::npos)
+      << rsp.detail;
+  // The verdict is the tolerance claim itself: true iff every failure
+  // scenario carries a proof-checked migration entry.
+  EXPECT_EQ(rsp.verdict, rsp.detail.find("uncovered") == std::string::npos)
+      << rsp.detail;
+}
+
+TEST(VerifyService, MapJobToleratePartitionsTheCache) {
+  ServiceOptions options;
+  options.workers = 1;
+  VerifyService service(options);
+  JobRequest plain = map_request(1, 2, "greedy");
+  const JobResponse first = service.submit(std::move(plain)).get();
+  ASSERT_EQ(first.status, JobStatus::kOk) << first.detail;
+  // Same spec and mapper but a tolerance target is a different proof
+  // obligation, so it must miss the plain entry.
+  JobRequest tolerant = map_request(2, 2, "greedy");
+  tolerant.tolerate = 1;
+  const JobResponse second = service.submit(std::move(tolerant)).get();
+  ASSERT_EQ(second.status, JobStatus::kOk) << second.detail;
+  EXPECT_FALSE(second.cached);
+  JobRequest repeat = map_request(3, 2, "greedy");
+  repeat.tolerate = 1;
+  const JobResponse third = service.submit(std::move(repeat)).get();
+  EXPECT_TRUE(third.cached);
+  service.shutdown();
+}
+
+TEST(VerifyService, MapJobPastDeadlineCancelsWithoutStrandingItsFuture) {
+  // A deadline-expired map job must flip the cooperative cancel flag
+  // (queue sweep or watchdog, whichever catches it first) and resolve
+  // its future as kExpired — never hang the caller. A k=2 tolerant
+  // deployment over six processors enumerates 21 failure scenarios,
+  // comfortably outliving a 1ms deadline on any machine.
+  ServiceOptions options;
+  options.workers = 1;
+  options.supervisor_period_ms = 5;
+  VerifyService service(options);
+  JobRequest req = map_request(1, 0, "sa");
+  req.spec = std::string("processor p0\nprocessor p1\nprocessor p2\n"
+                         "processor p3\nprocessor p4\nprocessor p5\n"
+                         "bus b0\n\n") +
+             kSpec;
+  req.tolerate = 2;
+  req.deadline_ms = 1;
+  std::future<JobResponse> future = service.submit(std::move(req));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+            std::future_status::ready)
+      << "map job stranded its future";
+  const JobResponse rsp = future.get();
+  service.shutdown();
+  // On an absurdly fast machine the job may still finish in time; when
+  // it does not, the only acceptable outcome is an explicit expiry.
+  if (rsp.status != JobStatus::kOk) {
+    EXPECT_EQ(rsp.status, JobStatus::kExpired) << rsp.detail;
+  }
 }
 
 }  // namespace
